@@ -1,0 +1,77 @@
+//! Wall-clock criterion benches of the full solvers on small instances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpgmres::precond::poly::PolyPreconditioner;
+use mpgmres::precond::Identity;
+use mpgmres::{GmresConfig, GmresIr, GpuContext, GpuMatrix, Gmres, IrConfig};
+use mpgmres_gpusim::DeviceModel;
+use mpgmres_matgen::galeri;
+
+fn bench_solvers(c: &mut Criterion) {
+    let a = GpuMatrix::new(galeri::laplace2d(48, 48));
+    let n = a.n();
+    let b = vec![1.0f64; n];
+    let mut g = c.benchmark_group("solve_laplace2d_48");
+    g.sample_size(10);
+
+    g.bench_function("gmres_fp64_m25", |bch| {
+        bch.iter(|| {
+            let mut ctx = GpuContext::new(DeviceModel::v100_belos());
+            let mut x = vec![0.0f64; n];
+            let res = Gmres::new(&a, &Identity, GmresConfig::default().with_m(25))
+                .solve(&mut ctx, &b, &mut x);
+            assert!(res.status.is_converged());
+        })
+    });
+
+    g.bench_function("gmres_ir_m25", |bch| {
+        bch.iter(|| {
+            let mut ctx = GpuContext::new(DeviceModel::v100_belos());
+            let mut x = vec![0.0f64; n];
+            let res = GmresIr::<f32, f64>::new(&a, &Identity, IrConfig::default().with_m(25))
+                .solve(&mut ctx, &b, &mut x);
+            assert!(res.status.is_converged());
+        })
+    });
+
+    g.bench_function("gmres_fp32_m25", |bch| {
+        let a32 = a.convert::<f32>();
+        let b32 = vec![1.0f32; n];
+        bch.iter(|| {
+            let mut ctx = GpuContext::new(DeviceModel::v100_belos());
+            let mut x = vec![0.0f32; n];
+            // fp32 cannot hit 1e-10; bench a fixed 200-iteration budget.
+            let cfg = GmresConfig::default().with_m(25).with_max_iters(200);
+            let _ = Gmres::new(&a32, &Identity, cfg).solve(&mut ctx, &b32, &mut x);
+        })
+    });
+    g.finish();
+}
+
+fn bench_poly_setup(c: &mut Criterion) {
+    let a = GpuMatrix::new(galeri::stretched2d(64, 30.0));
+    let mut g = c.benchmark_group("poly_preconditioner");
+    g.sample_size(10);
+    for degree in [10usize, 25, 40] {
+        g.bench_function(format!("build_d{degree}"), |bch| {
+            bch.iter(|| {
+                let mut ctx = GpuContext::new(DeviceModel::v100_belos());
+                PolyPreconditioner::build_auto_seed(&mut ctx, &a, degree).unwrap()
+            })
+        });
+    }
+    let mut ctx = GpuContext::new(DeviceModel::v100_belos());
+    let poly = PolyPreconditioner::build_auto_seed(&mut ctx, &a, 25).unwrap();
+    let x = vec![1.0f64; a.n()];
+    let mut y = vec![0.0f64; a.n()];
+    g.bench_function("apply_d25", |bch| {
+        bch.iter(|| {
+            use mpgmres::precond::Preconditioner;
+            poly.apply(&mut ctx, &a, &x, &mut y)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(solvers, bench_solvers, bench_poly_setup);
+criterion_main!(solvers);

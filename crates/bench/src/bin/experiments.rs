@@ -1,0 +1,145 @@
+//! Experiment driver: regenerates every figure and table of the paper.
+//!
+//! ```text
+//! experiments <id>... [--scale F] [--paper-scale] [--quick] [--out DIR]
+//!
+//! ids: fig1 fig2 fig3 fig4_table1 fig5 fig6 fig7 vd_model table2 fig8
+//!      vf_degrees table3 all
+//! ```
+//!
+//! Aliases: `fig5` runs with `fig4_table1`; `fig7` with `fig6`.
+
+use std::process::ExitCode;
+
+use mpgmres_bench::experiments::{
+    self, convergence, fd_sweep, kernel_breakdown, poly_degrees, precond_stretched,
+    restart_sweep, spmv_model, suitesparse,
+};
+use mpgmres_bench::harness::Scale;
+use mpgmres_bench::output;
+
+const ALL_IDS: [&str; 10] = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4_table1",
+    "fig6",
+    "vd_model",
+    "table2",
+    "fig8",
+    "vf_degrees",
+    "table3",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: experiments <id>... [--scale F] [--paper-scale] [--quick] [--out DIR]\n\
+         ids: {} all",
+        ALL_IDS.join(" ")
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::Default;
+    let mut out_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let Some(f) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                scale = Scale::Factor(f);
+            }
+            "--paper-scale" => scale = Scale::Paper,
+            "--quick" => scale = Scale::Quick,
+            "--out" => {
+                i += 1;
+                let Some(d) = args.get(i) else { return usage() };
+                out_dir = Some(d.clone());
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        return usage();
+    }
+    if ids.iter().any(|s| s == "all") {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let out = output::results_dir(out_dir.as_deref());
+    let opts = experiments::ExpOpts::new(scale, out);
+
+    let t0 = std::time::Instant::now();
+    for id in &ids {
+        println!("\n==================== {id} ====================");
+        match normalize(id) {
+            Some("fig1") => {
+                fd_sweep::fig1(&opts);
+            }
+            Some("fig2") => {
+                fd_sweep::fig2(&opts);
+            }
+            Some("fig3") => {
+                convergence::fig3(&opts);
+            }
+            Some("fig4_table1") => {
+                kernel_breakdown::run(&opts);
+            }
+            Some("fig6") => {
+                precond_stretched::run(&opts);
+            }
+            Some("vd_model") => {
+                spmv_model::run(&opts);
+            }
+            Some("table2") => {
+                restart_sweep::table2(&opts);
+            }
+            Some("fig8") => {
+                restart_sweep::fig8(&opts);
+            }
+            Some("vf_degrees") => {
+                poly_degrees::run(&opts);
+            }
+            Some("table3") => {
+                suitesparse::run(&opts);
+            }
+            _ => {
+                eprintln!("unknown experiment id: {id}");
+                return usage();
+            }
+        }
+    }
+    println!(
+        "\nall done in {:.1} s wall; artifacts in {}",
+        t0.elapsed().as_secs_f64(),
+        opts.out.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn normalize(id: &str) -> Option<&'static str> {
+    match id {
+        "fig1" => Some("fig1"),
+        "fig2" => Some("fig2"),
+        "fig3" => Some("fig3"),
+        "fig4" | "fig5" | "table1" | "fig4_table1" => Some("fig4_table1"),
+        "fig6" | "fig7" | "fig6_fig7" => Some("fig6"),
+        "vd_model" | "vd" => Some("vd_model"),
+        "table2" => Some("table2"),
+        "fig8" => Some("fig8"),
+        "vf_degrees" | "vf" => Some("vf_degrees"),
+        "table3" => Some("table3"),
+        _ => None,
+    }
+}

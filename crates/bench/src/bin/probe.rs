@@ -1,0 +1,128 @@
+//! Scratch calibration probe: convergence behaviour of the default-scale
+//! problems (used to pick experiment defaults; not part of the paper's
+//! artifact set).
+
+use mpgmres::precond::{poly::PolyPreconditioner, Identity};
+use mpgmres::{GmresConfig, IrConfig};
+use mpgmres_bench::harness::Bench;
+use mpgmres_matgen::registry::PaperProblem;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(|s| s.as_str()).unwrap_or("all");
+
+    if which == "poly" {
+        // probe poly <nx> <stretch> <degree> [m]
+        let nx: usize = args[1].parse().unwrap();
+        let stretch: f64 = args[2].parse().unwrap();
+        let degree: usize = args[3].parse().unwrap();
+        let m: usize = args.get(4).map(|s| s.parse().unwrap()).unwrap_or(50);
+        let csr = mpgmres_matgen::galeri::stretched2d(nx, stretch);
+        let bench = Bench::new(format!("stretched{nx}@{stretch}"), csr, 2_250_000);
+        let cfg = GmresConfig::default().with_m(m).with_max_iters(8_000);
+        if degree == 0 {
+            let (r, _) = bench.run_fp64(&Identity, cfg);
+            println!(
+                "stretched nx={nx} s={stretch} unprec: {} iters {} rel {:.2e} sim {:.4}",
+                r.iterations, r.status, r.final_rel, r.sim_seconds
+            );
+            return;
+        }
+        let mut ctx = bench.ctx();
+        let poly = match PolyPreconditioner::build_auto_seed(&mut ctx, &bench.a, degree) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("stretched nx={nx} s={stretch} poly{degree}: BUILD FAILED {e}");
+                return;
+            }
+        };
+        let minmag = poly
+            .roots()
+            .iter()
+            .map(|r| r.abs())
+            .fold(f64::INFINITY, f64::min);
+        let maxmag = poly.roots().iter().map(|r| r.abs()).fold(0.0f64, f64::max);
+        let (r, _) = bench.run_fp64(&poly, cfg);
+        println!(
+            "stretched nx={nx} s={stretch} poly{degree}: {} iters {} rel {:.2e} sim {:.4} seedres {:.1e} roots [{:.2e},{:.2e}]",
+            r.iterations, r.status, r.final_rel, r.sim_seconds, poly.seed_residual_rel(), minmag, maxmag
+        );
+        return;
+    }
+
+    if which == "sweep" {
+        // probe sweep <bentpipe|uniflow> <nx> <pe> [m]
+        let gen = args[1].as_str();
+        let nx: usize = args[2].parse().unwrap();
+        let pe: f64 = args[3].parse().unwrap();
+        let m: usize = args.get(4).map(|s| s.parse().unwrap()).unwrap_or(50);
+        let csr = match gen {
+            "bentpipe" => mpgmres_matgen::galeri::bentpipe2d(nx, pe),
+            "uniflow" => mpgmres_matgen::galeri::uniflow2d(nx, pe),
+            other => panic!("unknown generator {other}"),
+        };
+        let bench = Bench::new(format!("{gen}{nx}@pe{pe}"), csr, 2_250_000);
+        let cfg = GmresConfig::default().with_m(m).with_max_iters(20_000);
+        let t0 = std::time::Instant::now();
+        let (r64, _) = bench.run_fp64(&Identity, cfg);
+        println!(
+            "{gen} nx={nx} pe={pe} m={m}: fp64 {} iters {} rel {:.2e} sim {:.4}s wall {:.1?}",
+            r64.iterations, r64.status, r64.final_rel, r64.sim_seconds, t0.elapsed()
+        );
+        let (rir, _) = bench.run_ir(&Identity, IrConfig::default().with_m(m).with_max_iters(20_000));
+        println!(
+            "   ir {} iters {} rel {:.2e} sim {:.4}s speedup {:.2}",
+            rir.iterations, rir.status, rir.final_rel, rir.sim_seconds,
+            r64.sim_seconds / rir.sim_seconds
+        );
+        return;
+    }
+    for p in PaperProblem::ALL {
+        if which != "all" && !p.name().to_lowercase().contains(which) {
+            continue;
+        }
+        let nx = p.default_nx();
+        let t0 = std::time::Instant::now();
+        let csr = p.generate_at(nx);
+        let bench = Bench::new(p.name(), csr, p.paper_n());
+        println!(
+            "{} nx={} n={} nnz={} bw={} gen={:?}",
+            p.name(),
+            nx,
+            bench.a.n(),
+            bench.a.nnz(),
+            bench.a.bandwidth(),
+            t0.elapsed()
+        );
+        let cfg = GmresConfig::default().with_m(50).with_max_iters(30_000);
+        if p.name().starts_with("Stretched") {
+            // Needs polynomial preconditioning per the paper.
+            let (r_plain, _) = bench.run_fp64(&Identity, cfg.with_max_iters(3_000));
+            println!("  fp64 unprec: {} iters status {} rel {:.2e} wall {:.2}s",
+                r_plain.iterations, r_plain.status, r_plain.final_rel, r_plain.wall_seconds);
+            let mut ctx = bench.ctx();
+            let _b64 = bench.b.clone();
+            let poly = PolyPreconditioner::build_auto_seed(&mut ctx, &bench.a, 40).unwrap();
+            let (r_poly, _) = bench.run_fp64(&poly, cfg);
+            println!("  fp64 poly40: {} iters status {} rel {:.2e} sim {:.4}s wall {:.2}s",
+                r_poly.iterations, r_poly.status, r_poly.final_rel, r_poly.sim_seconds, r_poly.wall_seconds);
+            continue;
+        }
+        let (r64, _) = bench.run_fp64(&Identity, cfg);
+        println!(
+            "  fp64: {} iters status {} rel {:.2e} sim {:.4}s wall {:.2}s",
+            r64.iterations, r64.status, r64.final_rel, r64.sim_seconds, r64.wall_seconds
+        );
+        let (rir, _) =
+            bench.run_ir(&Identity, IrConfig::default().with_m(50).with_max_iters(30_000));
+        println!(
+            "  ir  : {} iters status {} rel {:.2e} sim {:.4}s wall {:.2}s speedup {:.2}",
+            rir.iterations,
+            rir.status,
+            rir.final_rel,
+            rir.sim_seconds,
+            rir.wall_seconds,
+            r64.sim_seconds / rir.sim_seconds
+        );
+    }
+}

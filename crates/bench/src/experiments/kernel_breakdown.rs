@@ -1,0 +1,148 @@
+//! Figure 4, Table I, and Figure 5: per-kernel timing breakdowns and the
+//! fp64 -> GMRES-IR kernel speedups across the three PDE problems.
+//!
+//! Reproduction targets (paper, BentPipe2D1500): GEMV(Trans) 1.28x,
+//! Norm 1.15x, GEMV(NoTrans) 1.57x, total orthogonalization 1.38x,
+//! SpMV 2.48x, total 1.32x.
+
+use std::collections::BTreeMap;
+
+use mpgmres::precond::Identity;
+use mpgmres::{GmresConfig, IrConfig};
+use mpgmres_matgen::registry::PaperProblem;
+use serde::Serialize;
+
+use crate::experiments::ExpOpts;
+use crate::harness::{Bench, RunRecord};
+use crate::output;
+
+/// Per-problem kernel speedup rows (Fig. 5 data).
+#[derive(Serialize)]
+pub struct KernelBreakdownResult {
+    /// One entry per problem: (fp64 record, IR record).
+    pub runs: Vec<(RunRecord, RunRecord)>,
+    /// Per-problem per-category speedups (Fig. 5 bars) plus
+    /// "Orthog Total" and "Total".
+    pub speedups: Vec<BTreeMap<String, f64>>,
+}
+
+const CATS: [&str; 4] = ["GEMV (Trans)", "Norm", "GEMV (No Trans)", "SPMV"];
+
+/// Run Fig. 4 + Table I + Fig. 5.
+pub fn run(opts: &ExpOpts) -> KernelBreakdownResult {
+    let problems = [
+        PaperProblem::BentPipe2D1500,
+        PaperProblem::Laplace3D150,
+        PaperProblem::UniFlow2D2500,
+    ];
+    let mut runs = Vec::new();
+    let mut speedups = Vec::new();
+    let mut text = String::new();
+
+    for problem in problems {
+        let nx = opts.scale.nx(problem.default_nx(), problem.paper_nx());
+        let bench = Bench::new(problem.name(), problem.generate_at(nx), problem.paper_n());
+        println!("[fig4] {} nx={nx} n={}", problem.name(), bench.a.n());
+        let cfg = GmresConfig::default().with_m(50).with_max_iters(60_000);
+        let (fp64, _) = bench.run_fp64(&Identity, cfg);
+        let (ir, _) =
+            bench.run_ir(&Identity, IrConfig::default().with_m(50).with_max_iters(60_000));
+        println!(
+            "[fig4] fp64 {} iters {:.4}s | ir {} iters {:.4}s | speedup {:.2}x",
+            fp64.iterations, fp64.sim_seconds, ir.iterations, ir.sim_seconds,
+            fp64.sim_seconds / ir.sim_seconds
+        );
+
+        let mut s: BTreeMap<String, f64> = BTreeMap::new();
+        let mut ortho64 = 0.0;
+        let mut ortho_ir = 0.0;
+        for cat in CATS {
+            let t64 = fp64.breakdown.get(cat).copied().unwrap_or(0.0);
+            let tir = ir.breakdown.get(cat).copied().unwrap_or(0.0);
+            if cat != "SPMV" {
+                ortho64 += t64;
+                ortho_ir += tir;
+            }
+            s.insert(cat.to_string(), t64 / tir);
+        }
+        s.insert("Orthog Total".into(), ortho64 / ortho_ir);
+        s.insert("Total".into(), fp64.sim_seconds / ir.sim_seconds);
+
+        // Table-I-style block for this problem.
+        let mut table = output::TextTable::new(&["kernel", "fp64 (s)", "IR (s)", "speedup"]);
+        for cat in CATS {
+            let t64 = fp64.breakdown.get(cat).copied().unwrap_or(0.0);
+            let tir = ir.breakdown.get(cat).copied().unwrap_or(0.0);
+            table.row(vec![
+                cat.to_string(),
+                format!("{:.4}", t64),
+                format!("{:.4}", tir),
+                format!("{:.2}", t64 / tir),
+            ]);
+        }
+        table.row(vec![
+            "Orthog Total".into(),
+            format!("{ortho64:.4}"),
+            format!("{ortho_ir:.4}"),
+            format!("{:.2}", ortho64 / ortho_ir),
+        ]);
+        let other64 = fp64.breakdown.get("Other").copied().unwrap_or(0.0);
+        let other_ir = ir.breakdown.get("Other").copied().unwrap_or(0.0);
+        table.row(vec![
+            "Other".into(),
+            format!("{other64:.4}"),
+            format!("{other_ir:.4}"),
+            format!("{:.2}", other64 / other_ir),
+        ]);
+        table.row(vec![
+            "Total".into(),
+            format!("{:.4}", fp64.sim_seconds),
+            format!("{:.4}", ir.sim_seconds),
+            format!("{:.2}", fp64.sim_seconds / ir.sim_seconds),
+        ]);
+        text.push_str(&format!(
+            "\n=== {} (n = {}, fp64 {} iters / IR {} iters) ===\n{}",
+            problem.name(),
+            bench.a.n(),
+            fp64.iterations,
+            ir.iterations,
+            table.render()
+        ));
+
+        runs.push((fp64, ir));
+        speedups.push(s);
+    }
+
+    // Fig. 5 summary: one speedup row per problem.
+    let mut fig5 = output::TextTable::new(&[
+        "matrix", "GEMV(T)", "Norm", "GEMV(NT)", "Orthog", "SPMV", "Total",
+    ]);
+    for ((fp64, _), s) in runs.iter().zip(&speedups) {
+        fig5.row(vec![
+            fp64.problem.clone(),
+            format!("{:.2}", s["GEMV (Trans)"]),
+            format!("{:.2}", s["Norm"]),
+            format!("{:.2}", s["GEMV (No Trans)"]),
+            format!("{:.2}", s["Orthog Total"]),
+            format!("{:.2}", s["SPMV"]),
+            format!("{:.2}", s["Total"]),
+        ]);
+    }
+    text.push_str(&format!(
+        "\n=== Fig. 5: kernel speedups fp64 -> GMRES-IR ===\n\
+         (paper, BentPipe2D1500: 1.28 / 1.15 / 1.57 / 1.38 / 2.48 / 1.32)\n{}",
+        fig5.render()
+    ));
+    println!("{text}");
+
+    let result = KernelBreakdownResult { runs, speedups };
+    output::write_json(&opts.out, "fig4_table1", &result).expect("write json");
+    let flat: Vec<RunRecord> = result
+        .runs
+        .iter()
+        .flat_map(|(a, b)| [a.clone(), b.clone()])
+        .collect();
+    output::write_csv(&opts.out, "fig4_table1", &flat).expect("write csv");
+    output::write_text(&opts.out, "fig4_table1", &text).expect("write text");
+    result
+}

@@ -1,0 +1,45 @@
+//! One module per paper artifact (the experiment index of DESIGN.md §5).
+//!
+//! | id          | module               | paper artifact                   |
+//! |-------------|----------------------|----------------------------------|
+//! | `fig1`      | [`fd_sweep`]         | Fig. 1 (Laplace3D FD sweep)      |
+//! | `fig2`      | [`fd_sweep`]         | Fig. 2 (UniFlow2D FD sweep)      |
+//! | `fig3`      | [`convergence`]      | Fig. 3 (BentPipe curves)         |
+//! | `fig4_table1` | [`kernel_breakdown`] | Fig. 4 + Table I               |
+//! | `fig5`      | [`kernel_breakdown`] | Fig. 5 (3-problem speedups)      |
+//! | `fig6`      | [`precond_stretched`] | Fig. 6 (preconditioned curves)  |
+//! | `fig7`      | [`precond_stretched`] | Fig. 7 (preconditioned timings) |
+//! | `vd_model`  | [`spmv_model`]       | §V-D cache/traffic model         |
+//! | `table2`    | [`restart_sweep`]    | Table II (BentPipe restarts)     |
+//! | `fig8`      | [`restart_sweep`]    | Fig. 8 (Laplace3D restarts)      |
+//! | `vf_degrees`| [`poly_degrees`]     | §V-F polynomial stability        |
+//! | `table3`    | [`suitesparse`]      | Table III (SuiteSparse sweep)    |
+
+pub mod convergence;
+pub mod fd_sweep;
+pub mod kernel_breakdown;
+pub mod poly_degrees;
+pub mod precond_stretched;
+pub mod restart_sweep;
+pub mod spmv_model;
+pub mod suitesparse;
+
+use std::path::PathBuf;
+
+use crate::harness::Scale;
+
+/// Options shared by every experiment.
+#[derive(Clone, Debug)]
+pub struct ExpOpts {
+    /// Problem-size selector.
+    pub scale: Scale,
+    /// Output directory for result artifacts.
+    pub out: PathBuf,
+}
+
+impl ExpOpts {
+    /// Default options writing into `results/`.
+    pub fn new(scale: Scale, out: PathBuf) -> Self {
+        ExpOpts { scale, out }
+    }
+}

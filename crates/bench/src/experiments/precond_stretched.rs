@@ -1,0 +1,136 @@
+//! Figures 6-7: polynomial-preconditioned solves on Stretched2D.
+//!
+//! Three configurations with a degree-40 GMRES polynomial (§V-C):
+//! (a) fp64 GMRES + fp64 polynomial, (b) fp64 GMRES + fp32 polynomial
+//! (cast per application), (c) GMRES-IR + fp32 polynomial.
+//!
+//! Reproduction targets: all three converge with nearly identical curves
+//! (Fig. 6); the fp32-preconditioned runs shift time out of SpMV, and IR
+//! is fastest overall — paper: 1.58x over (a) — with the cost profile
+//! dominated by SpMV instead of orthogonalization (Fig. 7).
+
+use mpgmres::precond::mixed::CastPreconditioner;
+use mpgmres::precond::poly::PolyPreconditioner;
+use mpgmres::{GmresConfig, IrConfig};
+use mpgmres_matgen::registry::PaperProblem;
+use serde::Serialize;
+
+use crate::experiments::ExpOpts;
+use crate::harness::{Bench, RunRecord};
+use crate::output;
+
+/// Artifact for Figures 6-7.
+#[derive(Serialize)]
+pub struct StretchedResult {
+    /// (a) fp64 solve, fp64 poly.
+    pub fp64_prec64: RunRecord,
+    /// (b) fp64 solve, fp32 poly.
+    pub fp64_prec32: RunRecord,
+    /// (c) GMRES-IR, fp32 poly.
+    pub ir_prec32: RunRecord,
+    /// Polynomial degree used.
+    pub degree: usize,
+    /// Simulated polynomial setup seconds (excluded from solve times, as
+    /// in the paper; it reports <= 0.5 s).
+    pub setup_seconds: f64,
+}
+
+/// Run Figures 6-7.
+pub fn run(opts: &ExpOpts) -> StretchedResult {
+    let problem = PaperProblem::Stretched2D1500;
+    let nx = opts.scale.nx(problem.default_nx(), problem.paper_nx());
+    // The paper's degree-40 polynomial brings its n = 2.25M problem to 482
+    // iterations — about 10 restart cycles. A degree-40 polynomial on the
+    // reduced default problem converges in ~1 cycle, which erases the
+    // regime (GMRES-IR refines once per cycle). Scale the degree down with
+    // the problem so the iterations/m ratio stays paper-like; paper-scale
+    // runs use the paper's degree.
+    let degree = match opts.scale {
+        crate::harness::Scale::Paper => 40,
+        crate::harness::Scale::Quick => 10,
+        _ => 15,
+    };
+    let bench = Bench::new(problem.name(), problem.generate_at(nx), problem.paper_n());
+    println!("[fig6] {} nx={nx} n={} poly degree {degree}", problem.name(), bench.a.n());
+
+    let cfg = GmresConfig::default().with_m(50).with_max_iters(60_000);
+
+    // (a) fp64 polynomial under fp64 GMRES.
+    let mut setup_ctx = bench.ctx();
+    let poly64 = PolyPreconditioner::build_auto_seed(&mut setup_ctx, &bench.a, degree)
+        .expect("fp64 polynomial build");
+    let setup_seconds = poly64.setup_seconds();
+    let (a_rec, _) = bench.run_fp64(&poly64, cfg);
+    println!("[fig6] (a) fp64+poly64: {} iters {} {:.4}s", a_rec.iterations, a_rec.status, a_rec.sim_seconds);
+
+    // (b) fp32 polynomial (built and applied in fp32) under fp64 GMRES.
+    let a32 = bench.a.convert::<f32>();
+    let _b32: Vec<f32> = bench.b.iter().map(|&v| v as f32).collect();
+    let mut setup32 = bench.ctx();
+    let poly32 = PolyPreconditioner::build_auto_seed(&mut setup32, &a32, degree)
+        .expect("fp32 polynomial build");
+    let wrap: CastPreconditioner<f64, f32, PolyPreconditioner> =
+        CastPreconditioner::new(a32.clone(), poly32.clone());
+    let (b_rec, _) = bench.run_fp64(&wrap, cfg);
+    println!("[fig6] (b) fp64+poly32: {} iters {} {:.4}s", b_rec.iterations, b_rec.status, b_rec.sim_seconds);
+
+    // (c) GMRES-IR with the fp32 polynomial.
+    let (c_rec, _) =
+        bench.run_ir(&poly32, IrConfig::default().with_m(50).with_max_iters(60_000));
+    println!("[fig6] (c) ir+poly32  : {} iters {} {:.4}s", c_rec.iterations, c_rec.status, c_rec.sim_seconds);
+
+    let mut table = output::TextTable::new(&[
+        "config", "status", "iters", "Orthog(s)", "SPMV(s)", "Other(s)", "total(s)", "speedup",
+    ]);
+    let ortho = |r: &RunRecord| {
+        r.breakdown.get("GEMV (Trans)").copied().unwrap_or(0.0)
+            + r.breakdown.get("Norm").copied().unwrap_or(0.0)
+            + r.breakdown.get("GEMV (No Trans)").copied().unwrap_or(0.0)
+    };
+    for (name, r) in [
+        ("fp64 prec", &a_rec),
+        ("fp32 prec", &b_rec),
+        ("IR + fp32 prec", &c_rec),
+    ] {
+        table.row(vec![
+            name.to_string(),
+            r.status.clone(),
+            r.iterations.to_string(),
+            format!("{:.4}", ortho(r)),
+            format!("{:.4}", r.breakdown.get("SPMV").copied().unwrap_or(0.0)),
+            format!("{:.4}", r.breakdown.get("Other").copied().unwrap_or(0.0)),
+            format!("{:.4}", r.sim_seconds),
+            format!("{:.2}x", a_rec.sim_seconds / r.sim_seconds),
+        ]);
+    }
+    let spmv_frac = a_rec.breakdown.get("SPMV").copied().unwrap_or(0.0) / a_rec.sim_seconds;
+    let text = format!(
+        "fig6/fig7: degree-{degree} polynomial preconditioning on {} (n = {})\n\
+         polynomial setup: {:.4} s simulated (excluded from solve times)\n\
+         SpMV fraction of fp64 solve: {:.0}% (paper: 64%)\n\
+         (paper speedups: fp32 prec intermediate, IR 1.58x)\n\n{}",
+        bench.name,
+        bench.a.n(),
+        setup_seconds,
+        spmv_frac * 100.0,
+        table.render()
+    );
+    println!("{text}");
+
+    let result = StretchedResult {
+        fp64_prec64: a_rec,
+        fp64_prec32: b_rec,
+        ir_prec32: c_rec,
+        degree,
+        setup_seconds,
+    };
+    output::write_json(&opts.out, "fig6_fig7", &result).expect("write json");
+    output::write_csv(
+        &opts.out,
+        "fig6_fig7",
+        &[result.fp64_prec64.clone(), result.fp64_prec32.clone(), result.ir_prec32.clone()],
+    )
+    .expect("write csv");
+    output::write_text(&opts.out, "fig6_fig7", &text).expect("write text");
+    result
+}

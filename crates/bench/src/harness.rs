@@ -1,0 +1,289 @@
+//! Shared experiment plumbing: run a solver, capture iterations, the
+//! simulated-time breakdown, wall time, and history.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use mpgmres::precond::Preconditioner;
+use mpgmres::{
+    FdConfig, GmresConfig, GmresFd, GmresIr, GpuContext, GpuMatrix, Gmres, IrConfig, SolveResult,
+};
+use mpgmres_gpusim::{DeviceModel, PaperCategory};
+use mpgmres_la::csr::Csr;
+use mpgmres_scalar::Scalar;
+use serde::Serialize;
+
+/// Which solver produced a record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum SolverKind {
+    /// GMRES(m), all fp64.
+    Fp64,
+    /// GMRES(m), all fp32.
+    Fp32,
+    /// GMRES-IR (fp32 inner, fp64 outer).
+    Ir,
+    /// GMRES-IR with fp16 inner (extension).
+    IrHalf,
+    /// GMRES-FD with the given switch iteration.
+    Fd,
+}
+
+impl SolverKind {
+    /// Label used in result files.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverKind::Fp64 => "fp64",
+            SolverKind::Fp32 => "fp32",
+            SolverKind::Ir => "ir",
+            SolverKind::IrHalf => "ir16",
+            SolverKind::Fd => "fd",
+        }
+    }
+}
+
+/// Problem-size selector shared by all experiments.
+#[derive(Clone, Copy, Debug)]
+pub enum Scale {
+    /// The CPU-budget default size.
+    Default,
+    /// Multiply the default grid dimension by this factor.
+    Factor(f64),
+    /// The paper's size, unscaled device.
+    Paper,
+    /// Tiny sizes for integration tests.
+    Quick,
+}
+
+impl Scale {
+    /// Resolve a grid dimension from (default_nx, paper_nx).
+    pub fn nx(self, default_nx: usize, paper_nx: usize) -> usize {
+        match self {
+            Scale::Default => default_nx,
+            Scale::Factor(f) => ((default_nx as f64 * f) as usize).max(4),
+            Scale::Paper => paper_nx,
+            Scale::Quick => (default_nx / 3).max(8),
+        }
+    }
+}
+
+/// One solver run, fully described for the result files.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunRecord {
+    /// Problem name (paper nomenclature).
+    pub problem: String,
+    /// Solver label.
+    pub solver: String,
+    /// Unknowns.
+    pub n: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Restart length.
+    pub m: usize,
+    /// Preconditioner description.
+    pub precond: String,
+    /// Terminal status.
+    pub status: String,
+    /// Total (inner) iterations.
+    pub iterations: usize,
+    /// Restart/refinement cycles.
+    pub restarts: usize,
+    /// Final explicit relative residual.
+    pub final_rel: f64,
+    /// Simulated V100 seconds.
+    pub sim_seconds: f64,
+    /// Simulated seconds projected to the paper's problem size
+    /// (`sim_seconds / latency_scale`; equals `sim_seconds` at paper
+    /// scale).
+    pub projected_seconds: f64,
+    /// Wall-clock seconds the CPU actually took.
+    pub wall_seconds: f64,
+    /// Simulated seconds per paper category.
+    pub breakdown: BTreeMap<String, f64>,
+    /// Explicit-residual history (iteration, relative residual).
+    pub history: Vec<(usize, f64)>,
+    /// Implicit-residual history when recorded.
+    pub implicit_history: Vec<(usize, f64)>,
+}
+
+/// A prepared problem: fp64 matrix plus metadata and the scaled device.
+pub struct Bench {
+    /// Problem label for reports.
+    pub name: String,
+    /// The fp64 system matrix.
+    pub a: GpuMatrix<f64>,
+    /// Right-hand side (all ones, per the paper).
+    pub b: Vec<f64>,
+    /// Device with latencies scaled by `n / paper_n`.
+    pub device: DeviceModel,
+    /// The latency scale factor applied.
+    pub latency_scale: f64,
+}
+
+impl Bench {
+    /// Prepare a problem. `paper_n` is the dimension of the paper's
+    /// instance of this problem (for latency scaling); pass `n` itself
+    /// when running at paper scale.
+    pub fn new(name: impl Into<String>, csr: Csr<f64>, paper_n: usize) -> Bench {
+        let a = GpuMatrix::new(csr);
+        let n = a.n();
+        let factor = (n as f64 / paper_n as f64).min(1.0);
+        Bench {
+            name: name.into(),
+            b: vec![1.0; n],
+            device: DeviceModel::v100_belos().scaled_latencies(factor),
+            latency_scale: factor,
+            a,
+        }
+    }
+
+    /// Fresh context on this bench's device.
+    pub fn ctx(&self) -> GpuContext {
+        GpuContext::new(self.device.clone())
+    }
+
+    fn record(
+        &self,
+        solver: SolverKind,
+        m: usize,
+        precond: String,
+        res: &SolveResult,
+        ctx: &GpuContext,
+        wall: f64,
+    ) -> RunRecord {
+        let rep = ctx.report();
+        let mut breakdown = BTreeMap::new();
+        for cat in PaperCategory::ALL {
+            breakdown.insert(cat.label().to_string(), rep.seconds(cat));
+        }
+        RunRecord {
+            problem: self.name.clone(),
+            solver: solver.label().to_string(),
+            n: self.a.n(),
+            nnz: self.a.nnz(),
+            m,
+            precond,
+            status: format!("{:?}", res.status),
+            iterations: res.iterations,
+            restarts: res.restarts,
+            final_rel: res.final_relative_residual,
+            sim_seconds: ctx.elapsed(),
+            projected_seconds: ctx.elapsed() / self.latency_scale,
+            wall_seconds: wall,
+            breakdown,
+            history: res
+                .explicit_history()
+                .map(|h| (h.iteration, h.relative_residual))
+                .collect(),
+            implicit_history: res
+                .history
+                .iter()
+                .filter(|h| h.kind == mpgmres::HistoryKind::Implicit)
+                .map(|h| (h.iteration, h.relative_residual))
+                .collect(),
+        }
+    }
+
+    /// Run single-precision-family GMRES(m) (fp64 or fp32) with a
+    /// preconditioner built in that precision.
+    pub fn run_gmres<S: Scalar>(
+        &self,
+        precond: &dyn Preconditioner<S>,
+        cfg: GmresConfig,
+    ) -> (RunRecord, Vec<S>) {
+        let mut ctx = self.ctx();
+        let a: GpuMatrix<S> = self.a.convert::<S>();
+        let b: Vec<S> = self.b.iter().map(|&v| S::from_f64(v)).collect();
+        let mut x = vec![S::zero(); self.a.n()];
+        let t0 = Instant::now();
+        let res = Gmres::new(&a, precond, cfg).solve(&mut ctx, &b, &mut x);
+        let wall = t0.elapsed().as_secs_f64();
+        let kind = match S::PRECISION {
+            mpgmres_scalar::Precision::Fp64 => SolverKind::Fp64,
+            mpgmres_scalar::Precision::Fp32 => SolverKind::Fp32,
+            mpgmres_scalar::Precision::Fp16 => SolverKind::IrHalf,
+        };
+        (self.record(kind, cfg.m, precond.describe(), &res, &ctx, wall), x)
+    }
+
+    /// Run fp64 GMRES with an fp64-native preconditioner.
+    pub fn run_fp64(
+        &self,
+        precond: &dyn Preconditioner<f64>,
+        cfg: GmresConfig,
+    ) -> (RunRecord, Vec<f64>) {
+        self.run_gmres::<f64>(precond, cfg)
+    }
+
+    /// Run GMRES-IR (fp32 inner) with an fp32 preconditioner.
+    pub fn run_ir(
+        &self,
+        precond_lo: &dyn Preconditioner<f32>,
+        cfg: IrConfig,
+    ) -> (RunRecord, Vec<f64>) {
+        let mut ctx = self.ctx();
+        let mut x = vec![0.0f64; self.a.n()];
+        let t0 = Instant::now();
+        let ir = GmresIr::<f32, f64>::new(&self.a, precond_lo, cfg);
+        let res = ir.solve(&mut ctx, &self.b, &mut x);
+        let wall = t0.elapsed().as_secs_f64();
+        (self.record(SolverKind::Ir, cfg.m, precond_lo.describe(), &res, &ctx, wall), x)
+    }
+
+    /// Run GMRES-FD with the given switch iteration (identity
+    /// preconditioner, as in Figures 1-2).
+    pub fn run_fd(&self, cfg: FdConfig) -> (RunRecord, Vec<f64>) {
+        let mut ctx = self.ctx();
+        let mut x = vec![0.0f64; self.a.n()];
+        let id32 = mpgmres::precond::Identity;
+        let id64 = mpgmres::precond::Identity;
+        let t0 = Instant::now();
+        let fd = GmresFd::<f32, f64>::new(&self.a, &id32, &id64, cfg);
+        let res = fd.solve(&mut ctx, &self.b, &mut x);
+        let wall = t0.elapsed().as_secs_f64();
+        let mut rec = self.record(SolverKind::Fd, cfg.m, "none".into(), &res.result, &ctx, wall);
+        rec.solver = format!("fd@{}", cfg.switch_at);
+        (rec, x)
+    }
+}
+
+/// Paper-style speedup: fp64 time over IR time.
+pub fn speedup(fp64: &RunRecord, other: &RunRecord) -> f64 {
+    fp64.sim_seconds / other.sim_seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpgmres::precond::Identity;
+    use mpgmres_matgen::galeri;
+
+    #[test]
+    fn bench_runs_all_solver_kinds() {
+        let b = Bench::new("quick", galeri::laplace2d(12, 12), 2_250_000);
+        let cfg = GmresConfig::default().with_m(15).with_max_iters(2_000);
+        let (r64, x) = b.run_fp64(&Identity, cfg);
+        assert_eq!(r64.status, "Converged");
+        assert!(x.iter().all(|v| v.is_finite()));
+        let (rir, _) = b.run_ir(&Identity, IrConfig::default().with_m(15).with_max_iters(2_000));
+        assert_eq!(rir.status, "Converged");
+        assert!(rir.sim_seconds > 0.0);
+        let (rfd, _) = b.run_fd(FdConfig {
+            m: 15,
+            switch_at: 30,
+            max_iters: 2_000,
+            ..FdConfig::default()
+        });
+        assert_eq!(rfd.status, "Converged");
+        assert!(rfd.solver.starts_with("fd@"));
+        // Latency scaling applied: projected > simulated for small n.
+        assert!(r64.projected_seconds > r64.sim_seconds);
+    }
+
+    #[test]
+    fn scale_resolution() {
+        assert_eq!(Scale::Default.nx(128, 1500), 128);
+        assert_eq!(Scale::Paper.nx(128, 1500), 1500);
+        assert_eq!(Scale::Factor(0.5).nx(128, 1500), 64);
+        assert_eq!(Scale::Quick.nx(128, 1500), 42);
+    }
+}

@@ -1,0 +1,173 @@
+//! Result persistence: JSON, CSV, and rendered text tables.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+use crate::harness::RunRecord;
+
+/// Resolve (and create) the results directory.
+pub fn results_dir(explicit: Option<&str>) -> PathBuf {
+    let dir = explicit
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+/// Write any serializable artifact as pretty JSON.
+pub fn write_json<T: Serialize>(dir: &Path, id: &str, value: &T) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("{id}.json"));
+    let f = fs::File::create(&path)?;
+    serde_json::to_writer_pretty(f, value)?;
+    Ok(path)
+}
+
+/// Write run records as CSV (flat columns, no history).
+pub fn write_csv(dir: &Path, id: &str, records: &[RunRecord]) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("{id}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(
+        f,
+        "problem,solver,n,nnz,m,precond,status,iterations,restarts,final_rel,sim_seconds,projected_seconds,wall_seconds,gemv_t,norm,gemv_n,spmv,other"
+    )?;
+    for r in records {
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{},{},{},{:.3e},{:.6},{:.6},{:.3},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            r.problem,
+            r.solver,
+            r.n,
+            r.nnz,
+            r.m,
+            r.precond,
+            r.status,
+            r.iterations,
+            r.restarts,
+            r.final_rel,
+            r.sim_seconds,
+            r.projected_seconds,
+            r.wall_seconds,
+            r.breakdown.get("GEMV (Trans)").copied().unwrap_or(0.0),
+            r.breakdown.get("Norm").copied().unwrap_or(0.0),
+            r.breakdown.get("GEMV (No Trans)").copied().unwrap_or(0.0),
+            r.breakdown.get("SPMV").copied().unwrap_or(0.0),
+            r.breakdown.get("Other").copied().unwrap_or(0.0),
+        )?;
+    }
+    Ok(path)
+}
+
+/// Write a rendered text table alongside the structured outputs.
+pub fn write_text(dir: &Path, id: &str, text: &str) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("{id}.txt"));
+    fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Simple fixed-width table renderer.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "table arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with per-column widths.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds with sensible precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.1}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{:.2}ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "12345".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].contains("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_checks_arity() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(123.4), "123.4");
+        assert_eq!(fmt_secs(1.5), "1.50");
+        assert_eq!(fmt_secs(0.0015), "1.50ms");
+    }
+
+    #[test]
+    fn writes_files() {
+        let dir = std::env::temp_dir().join("mpgmres-output-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = results_dir(dir.to_str());
+        write_json(&d, "t", &vec![1, 2, 3]).unwrap();
+        write_text(&d, "t", "hello").unwrap();
+        assert!(d.join("t.json").exists());
+        assert!(d.join("t.txt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

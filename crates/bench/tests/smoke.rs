@@ -1,0 +1,108 @@
+//! Smoke tests for the experiment harness at Quick scale: every
+//! experiment must run end to end and emit its artifacts. These protect
+//! the figure/table-regeneration pipeline from rotting.
+
+use mpgmres_bench::experiments::{self, ExpOpts};
+use mpgmres_bench::harness::Scale;
+
+fn opts(tag: &str) -> ExpOpts {
+    let dir = std::env::temp_dir().join(format!("mpgmres-smoke-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    ExpOpts::new(Scale::Quick, dir)
+}
+
+#[test]
+fn fig3_quick() {
+    let o = opts("fig3");
+    let r = experiments::convergence::fig3(&o);
+    assert_eq!(r.fp64.status, "Converged");
+    assert_eq!(r.ir.status, "Converged");
+    assert!(r.fp32_floor > 1e-10, "fp32 must not reach fp64 tolerance");
+    assert!(o.out.join("fig3.json").exists());
+    assert!(o.out.join("fig3.csv").exists());
+    assert!(o.out.join("fig3.txt").exists());
+}
+
+#[test]
+fn fig1_quick() {
+    let o = opts("fig1");
+    let r = experiments::fd_sweep::fig1(&o);
+    assert_eq!(r.fp64.status, "Converged");
+    assert!(!r.sweep.is_empty());
+    assert!(r.best_fd_seconds.is_finite());
+    assert!(o.out.join("fig1.json").exists());
+}
+
+#[test]
+fn vd_model_quick() {
+    let o = opts("vd");
+    let r = experiments::spmv_model::run(&o);
+    assert_eq!(r.sweep.len(), 7);
+    // The priced model must land in the paper's neighbourhood for banded
+    // stencils.
+    for (name, speedup, bound) in &r.problems {
+        assert!(
+            (1.8..=3.0).contains(speedup),
+            "{name}: modeled SpMV speedup {speedup} vs bound {bound}"
+        );
+    }
+    // Cache study: fp32 never caches worse than fp64 at equal pressure.
+    for row in &r.cache {
+        assert!(
+            row.x_hit_fp32 >= row.x_hit_fp64 - 0.02,
+            "lanes {}: fp32 {} vs fp64 {}",
+            row.lanes,
+            row.x_hit_fp32,
+            row.x_hit_fp64
+        );
+    }
+}
+
+#[test]
+fn kernel_breakdown_quick() {
+    let o = opts("fig4");
+    let r = experiments::kernel_breakdown::run(&o);
+    assert_eq!(r.runs.len(), 3);
+    for ((fp64, ir), s) in r.runs.iter().zip(&r.speedups) {
+        assert_eq!(fp64.status, "Converged", "{}", fp64.problem);
+        assert_eq!(ir.status, "Converged", "{}", ir.problem);
+        // SpMV is always the biggest kernel win (the paper's headline).
+        let spmv = s["SPMV"];
+        for k in ["GEMV (Trans)", "Norm", "GEMV (No Trans)"] {
+            assert!(spmv > s[k], "{}: SpMV {spmv} vs {k} {}", fp64.problem, s[k]);
+        }
+    }
+}
+
+#[test]
+fn restart_sweep_quick() {
+    let o = opts("table2");
+    let r = experiments::restart_sweep::table2(&o);
+    assert!(r.rows.len() >= 3);
+    // fp64 iterations decrease with m (paper Table II's left columns).
+    let it: Vec<usize> = r.rows.iter().map(|x| x.fp64.iterations).collect();
+    assert!(it.windows(2).all(|w| w[1] <= w[0]), "iters not decreasing: {it:?}");
+}
+
+#[test]
+fn poly_degrees_quick() {
+    let o = opts("vf");
+    let r = experiments::poly_degrees::run(&o);
+    assert!(!r.rows.is_empty());
+    for row in &r.rows {
+        assert_eq!(row.fp64_status, "Converged", "degree {}", row.degree);
+        // IR with the fp32 polynomial must never be *worse* than plain
+        // convergence failure: Converged expected at quick scale.
+        assert_eq!(row.ir_status, "Converged", "degree {}", row.degree);
+    }
+}
+
+#[test]
+fn stretched_quick() {
+    let o = opts("fig6");
+    let r = experiments::precond_stretched::run(&o);
+    assert_eq!(r.fp64_prec64.status, "Converged");
+    assert_eq!(r.ir_prec32.status, "Converged");
+    assert!(r.setup_seconds > 0.0);
+}

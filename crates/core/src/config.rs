@@ -1,0 +1,187 @@
+//! Solver configuration.
+
+use serde::Serialize;
+
+/// Orthogonalization scheme for the Arnoldi basis.
+///
+/// The paper uses two-pass classical Gram-Schmidt (CGS2) exclusively: one
+/// CGS pass is numerically inadequate in low precision, and modified
+/// Gram-Schmidt — while stable — issues `2j` skinny kernels per iteration
+/// instead of CGS's four wide ones, which is hostile to GPUs (each launch
+/// pays overhead; see the ablation bench). The alternatives are provided
+/// for the DESIGN.md §8 ablations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum OrthoMethod {
+    /// Two-pass classical Gram-Schmidt (the paper's choice).
+    Cgs2,
+    /// Single-pass classical Gram-Schmidt: cheapest, loses orthogonality
+    /// in low precision.
+    Cgs1,
+    /// Modified Gram-Schmidt: stable but serializes into 2j kernels per
+    /// iteration.
+    Mgs,
+}
+
+/// Configuration for one GMRES(m) solver (Algorithm 1 of the paper).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct GmresConfig {
+    /// Restart length / maximum Krylov subspace size `m`. The paper uses
+    /// 50 unless stated otherwise (§V preamble).
+    pub m: usize,
+    /// Relative residual tolerance `||r|| / ||r0||` (paper: 1e-10).
+    pub rtol: f64,
+    /// Hard iteration cap across all restarts.
+    pub max_iters: usize,
+    /// Orthogonalization scheme (paper: CGS2).
+    pub ortho: OrthoMethod,
+    /// Monitor the implicit (Givens) residual every iteration and exit
+    /// the cycle early when it clears the tolerance. Standard GMRES
+    /// behaviour; GMRES-IR's inner solver sets this `false` because the
+    /// single-precision implicit residual says nothing about the outer
+    /// fp64 convergence (§III-B) — the inner cycle always runs its full
+    /// `m` iterations, which is why the paper's IR iteration counts are
+    /// multiples of `m`.
+    pub monitor_implicit: bool,
+    /// Declare "loss of accuracy" (Belos terminology, §V-F) when the
+    /// implicit residual claims convergence but the explicit residual is
+    /// more than `loa_factor * rtol`.
+    pub loa_factor: f64,
+    /// Record the per-iteration residual history (costs memory only).
+    pub record_history: bool,
+}
+
+impl Default for GmresConfig {
+    fn default() -> Self {
+        GmresConfig {
+            m: 50,
+            rtol: 1e-10,
+            max_iters: 200_000,
+            ortho: OrthoMethod::Cgs2,
+            monitor_implicit: true,
+            loa_factor: 10.0,
+            record_history: true,
+        }
+    }
+}
+
+impl GmresConfig {
+    /// Builder-style restart length.
+    pub fn with_m(mut self, m: usize) -> Self {
+        self.m = m;
+        self
+    }
+
+    /// Builder-style tolerance.
+    pub fn with_rtol(mut self, rtol: f64) -> Self {
+        self.rtol = rtol;
+        self
+    }
+
+    /// Builder-style iteration cap.
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Builder-style orthogonalization method.
+    pub fn with_ortho(mut self, ortho: OrthoMethod) -> Self {
+        self.ortho = ortho;
+        self
+    }
+
+    /// Configuration for the GMRES-IR inner solver: one full-`m` cycle,
+    /// no implicit monitoring.
+    pub fn inner_cycle(m: usize) -> Self {
+        GmresConfig {
+            m,
+            rtol: 0.0, // never triggers
+            max_iters: m,
+            ortho: OrthoMethod::Cgs2,
+            monitor_implicit: false,
+            loa_factor: f64::INFINITY,
+            record_history: false,
+        }
+    }
+}
+
+/// Configuration for GMRES-IR (Algorithm 2).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct IrConfig {
+    /// Inner restart length `m` (inner fp32 GMRES runs exactly `m`
+    /// iterations per refinement cycle).
+    pub m: usize,
+    /// Outer relative residual tolerance, on the fp64 residual.
+    pub rtol: f64,
+    /// Cap on total inner iterations.
+    pub max_iters: usize,
+    /// Optional early-exit threshold for the inner solver's own implicit
+    /// residual, relative to the inner cycle's starting residual. `None`
+    /// reproduces the paper (always full m). `Some(tau)` is the ablation
+    /// knob discussed in DESIGN.md §8.
+    pub inner_early_exit: Option<f64>,
+    /// Record residual history at refinement boundaries.
+    pub record_history: bool,
+}
+
+impl Default for IrConfig {
+    fn default() -> Self {
+        IrConfig {
+            m: 50,
+            rtol: 1e-10,
+            max_iters: 200_000,
+            inner_early_exit: None,
+            record_history: true,
+        }
+    }
+}
+
+impl IrConfig {
+    /// Builder-style restart length.
+    pub fn with_m(mut self, m: usize) -> Self {
+        self.m = m;
+        self
+    }
+
+    /// Builder-style tolerance.
+    pub fn with_rtol(mut self, rtol: f64) -> Self {
+        self.rtol = rtol;
+        self
+    }
+
+    /// Builder-style iteration cap.
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_protocol() {
+        let c = GmresConfig::default();
+        assert_eq!(c.m, 50);
+        assert_eq!(c.rtol, 1e-10);
+        assert!(c.monitor_implicit);
+        let ir = IrConfig::default();
+        assert_eq!(ir.m, 50);
+        assert!(ir.inner_early_exit.is_none(), "paper runs inner cycles to full m");
+    }
+
+    #[test]
+    fn inner_cycle_never_exits_early() {
+        let c = GmresConfig::inner_cycle(30);
+        assert_eq!(c.m, 30);
+        assert_eq!(c.max_iters, 30);
+        assert!(!c.monitor_implicit);
+        assert_eq!(c.rtol, 0.0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = GmresConfig::default().with_m(100).with_rtol(1e-8).with_max_iters(500);
+        assert_eq!((c.m, c.rtol, c.max_iters), (100, 1e-8, 500));
+    }
+}

@@ -1,0 +1,365 @@
+//! GMRES-IR: GMRES with iterative refinement (Algorithm 2 of the paper,
+//! after Turner & Walker).
+//!
+//! The inner GMRES(m) runs in the low precision `Lo`; at every restart
+//! the residual is recomputed in the high precision `Hi` and fed back as
+//! the next inner right-hand side:
+//!
+//! ```text
+//! r0 = b - A x0                       [Hi]
+//! loop:  solve A u = r  with GMRES(m) [Lo]
+//!        x += u                       [Hi]
+//!        r  = b - A x                 [Hi]
+//! ```
+//!
+//! Convergence is only checked at refinement boundaries — the inner
+//! fp32 implicit residual says nothing about the outer fp64 problem
+//! (§III-B) — so the inner solver always runs its full `m` iterations and
+//! GMRES-IR "may take at most m-1 extra iterations" versus fp64 GMRES.
+//! The inner right-hand side is normalized before casting down, which is
+//! an exact reformulation (GMRES is scale-invariant) and keeps the
+//! residual representable when `Lo` is fp16 (the paper's future-work
+//! third precision).
+
+use mpgmres_gpusim::KernelClass;
+use mpgmres_scalar::Scalar;
+
+use crate::config::{GmresConfig, IrConfig};
+use crate::context::{GpuContext, GpuMatrix};
+use crate::gmres::Gmres;
+use crate::precond::Preconditioner;
+use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
+
+/// GMRES-IR: inner precision `Lo`, outer (residual/solution) precision `Hi`.
+pub struct GmresIr<'a, Lo: Scalar, Hi: Scalar> {
+    a_hi: &'a GpuMatrix<Hi>,
+    a_lo: GpuMatrix<Lo>,
+    precond_lo: &'a dyn Preconditioner<Lo>,
+    cfg: IrConfig,
+}
+
+impl<'a, Lo: Scalar, Hi: Scalar> GmresIr<'a, Lo, Hi> {
+    /// Build the solver. The low-precision matrix copy is created here
+    /// (its one-time conversion cost is excluded from solve times, as in
+    /// the paper's protocol, §V).
+    pub fn new(
+        a_hi: &'a GpuMatrix<Hi>,
+        precond_lo: &'a dyn Preconditioner<Lo>,
+        cfg: IrConfig,
+    ) -> Self {
+        GmresIr { a_hi, a_lo: a_hi.convert::<Lo>(), precond_lo, cfg }
+    }
+
+    /// The low-precision matrix copy (GMRES-IR keeps both in memory,
+    /// §III-B).
+    pub fn matrix_lo(&self) -> &GpuMatrix<Lo> {
+        &self.a_lo
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &IrConfig {
+        &self.cfg
+    }
+
+    /// Solve `A x = b` to the outer tolerance; `x` holds the initial
+    /// guess on entry and the solution on exit.
+    pub fn solve(&self, ctx: &mut GpuContext, b: &[Hi], x: &mut [Hi]) -> SolveResult {
+        let n = self.a_hi.n();
+        assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
+        let m = self.cfg.m;
+
+        let mut history: Vec<HistoryPoint> = Vec::new();
+        let mut r = vec![Hi::zero(); n];
+        let mut r_lo = vec![Lo::zero(); n];
+        let mut u_lo = vec![Lo::zero(); n];
+        let mut u_hi = vec![Hi::zero(); n];
+
+        // High-precision initial residual (Algorithm 2, line 1).
+        ctx.residual_as(KernelClass::ResidualHi, self.a_hi, b, x, &mut r);
+        let mut rnorm = ctx.norm2_as(KernelClass::ResidualHi, &r).to_f64();
+        let r0_norm = rnorm;
+        if !r0_norm.is_finite() {
+            return SolveResult {
+                status: SolveStatus::Breakdown,
+                iterations: 0,
+                restarts: 0,
+                final_relative_residual: f64::NAN,
+                history,
+            };
+        }
+        if r0_norm == 0.0 {
+            return SolveResult {
+                status: SolveStatus::Converged,
+                iterations: 0,
+                restarts: 0,
+                final_relative_residual: 0.0,
+                history,
+            };
+        }
+
+        let inner_cfg = match self.cfg.inner_early_exit {
+            None => GmresConfig::inner_cycle(m),
+            Some(tau) => GmresConfig {
+                monitor_implicit: true,
+                rtol: tau,
+                record_history: self.cfg.record_history,
+                ..GmresConfig::inner_cycle(m)
+            },
+        };
+        let inner = Gmres::new(&self.a_lo, self.precond_lo, inner_cfg);
+
+        let mut total_iters = 0usize;
+        let mut restarts = 0usize;
+        let status;
+        if self.cfg.record_history {
+            history.push(HistoryPoint {
+                iteration: 0,
+                relative_residual: 1.0,
+                kind: HistoryKind::Explicit,
+            });
+        }
+
+        loop {
+            let rel = rnorm / r0_norm;
+            if rel <= self.cfg.rtol {
+                status = SolveStatus::Converged;
+                break;
+            }
+            if total_iters >= self.cfg.max_iters {
+                status = SolveStatus::MaxIters;
+                break;
+            }
+            if !rel.is_finite() {
+                status = SolveStatus::Breakdown;
+                break;
+            }
+
+            // Normalize and cast the residual down through the host
+            // interface (§IV: Belos-mediated conversions).
+            ctx.scal(Hi::from_f64(1.0 / rnorm), &mut r);
+            ctx.cast_host(&r, &mut r_lo);
+
+            // Inner solve A_lo u = r_lo from a zero guess (one cycle).
+            for ui in u_lo.iter_mut() {
+                *ui = Lo::zero();
+            }
+            let inner_res = inner.solve(ctx, &r_lo, &mut u_lo);
+            if inner_res.iterations == 0 {
+                // Inner solver could make no progress (e.g. fp16 overflow).
+                status = SolveStatus::Breakdown;
+                break;
+            }
+            if self.cfg.record_history {
+                for p in inner_res.history.iter().filter(|p| p.kind == HistoryKind::Implicit) {
+                    history.push(HistoryPoint {
+                        iteration: total_iters + p.iteration,
+                        relative_residual: p.relative_residual * rel,
+                        kind: HistoryKind::Implicit,
+                    });
+                }
+            }
+            total_iters += inner_res.iterations;
+            restarts += 1;
+
+            // x += rnorm * u  (undo the normalization), then refresh the
+            // true residual in high precision (Algorithm 2, lines 4-5).
+            ctx.cast_host(&u_lo, &mut u_hi);
+            ctx.axpy(Hi::from_f64(rnorm), &u_hi, x);
+            ctx.residual_as(KernelClass::ResidualHi, self.a_hi, b, x, &mut r);
+            let new_norm = ctx.norm2_as(KernelClass::ResidualHi, &r).to_f64();
+            if self.cfg.record_history {
+                history.push(HistoryPoint {
+                    iteration: total_iters,
+                    relative_residual: new_norm / r0_norm,
+                    kind: HistoryKind::Explicit,
+                });
+            }
+            if !new_norm.is_finite() {
+                status = SolveStatus::Breakdown;
+                break;
+            }
+            rnorm = new_norm;
+        }
+
+        SolveResult {
+            status,
+            iterations: total_iters,
+            restarts,
+            final_relative_residual: rnorm / r0_norm,
+            history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::Identity;
+    use mpgmres_gpusim::{DeviceModel, PaperCategory};
+    use mpgmres_la::coo::Coo;
+    use mpgmres_la::vec_ops::ReductionOrder;
+    use mpgmres_scalar::Half;
+
+    fn ctx() -> GpuContext {
+        GpuContext::with_reduction(DeviceModel::v100_belos(), ReductionOrder::Sequential)
+    }
+
+    fn laplace1d(n: usize) -> GpuMatrix<f64> {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+            }
+        }
+        GpuMatrix::new(coo.into_csr())
+    }
+
+    fn true_rel_residual(a: &GpuMatrix<f64>, b: &[f64], x: &[f64]) -> f64 {
+        let mut r = vec![0.0; b.len()];
+        a.csr().residual(b, x, &mut r);
+        mpgmres_la::vec_ops::norm2(&r) / mpgmres_la::vec_ops::norm2(b)
+    }
+
+    #[test]
+    fn reaches_double_precision_accuracy_with_fp32_inner() {
+        // The paper's core claim: fp32 inner + fp64 refinement converges
+        // to 1e-10, which fp32 alone cannot certify.
+        let n = 96;
+        let a = laplace1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let cfg = IrConfig::default().with_m(20).with_max_iters(20_000);
+        let ir = GmresIr::<f32, f64>::new(&a, &Identity, cfg);
+        let res = ir.solve(&mut ctx(), &b, &mut x);
+        assert_eq!(res.status, SolveStatus::Converged);
+        assert!(true_rel_residual(&a, &b, &x) <= 1.2e-10);
+    }
+
+    #[test]
+    fn iterations_are_multiples_of_m() {
+        // Inner cycles always run full m (paper: iteration counts in
+        // Tables II/III are exact multiples of the restart length).
+        let n = 64;
+        let a = laplace1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let m = 15;
+        let cfg = IrConfig::default().with_m(m).with_max_iters(10_000);
+        let res = GmresIr::<f32, f64>::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x);
+        assert_eq!(res.status, SolveStatus::Converged);
+        assert_eq!(res.iterations % m, 0, "iterations {} not multiple of {m}", res.iterations);
+        assert_eq!(res.iterations / m, res.restarts);
+    }
+
+    #[test]
+    fn refinement_work_lands_in_other_category() {
+        let n = 48;
+        let a = laplace1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let mut c = ctx();
+        let cfg = IrConfig::default().with_m(10).with_max_iters(5_000);
+        let res = GmresIr::<f32, f64>::new(&a, &Identity, cfg).solve(&mut c, &b, &mut x);
+        assert_eq!(res.status, SolveStatus::Converged);
+        let rep = c.report();
+        // Other must contain the hi-precision residual recomputations and
+        // host casts: at least 2 ResidualHi + 2 casts per restart.
+        assert!(rep.seconds(PaperCategory::Other) > 0.0);
+        let casts = c.profiler().class_stats(mpgmres_gpusim::KernelClass::CastHost).calls;
+        assert_eq!(casts as usize, 2 * res.restarts);
+        let hi_res = c.profiler().class_stats(mpgmres_gpusim::KernelClass::ResidualHi).calls;
+        assert_eq!(hi_res as usize, 2 * (res.restarts + 1));
+    }
+
+    #[test]
+    fn matches_fp64_gmres_solution() {
+        let n = 80;
+        let a = laplace1d(n);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let mut x_ir = vec![0.0; n];
+        let cfg = IrConfig::default().with_m(25).with_max_iters(20_000);
+        let res = GmresIr::<f32, f64>::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x_ir);
+        assert_eq!(res.status, SolveStatus::Converged);
+        let mut x_64 = vec![0.0; n];
+        let g = Gmres::new(&a, &Identity, GmresConfig::default().with_m(25));
+        g.solve(&mut ctx(), &b, &mut x_64);
+        // Both residuals meet 1e-10; solutions agree to solver accuracy.
+        let dx: f64 = x_ir
+            .iter()
+            .zip(&x_64)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
+        let xn = mpgmres_la::vec_ops::norm2(&x_64);
+        assert!(dx <= 1e-6 * xn, "solutions differ: {dx} vs {xn}");
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let a = laplace1d(10);
+        let b = vec![0.0; 10];
+        let mut x = vec![0.0; 10];
+        let res =
+            GmresIr::<f32, f64>::new(&a, &Identity, IrConfig::default()).solve(&mut ctx(), &b, &mut x);
+        assert_eq!(res.status, SolveStatus::Converged);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn max_iters_respected() {
+        let n = 128;
+        let a = laplace1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let cfg = IrConfig::default().with_m(10).with_max_iters(30);
+        let res = GmresIr::<f32, f64>::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x);
+        assert_eq!(res.status, SolveStatus::MaxIters);
+        assert!(res.iterations <= 30);
+    }
+
+    #[test]
+    fn fp16_inner_three_precision_future_work() {
+        // The paper's future-work extension: fp16 inner, fp64 outer.
+        // The normalized-residual refinement keeps fp16 in range; a small
+        // well-conditioned system must still reach fp64 accuracy.
+        let n = 24;
+        let a = laplace1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let cfg = IrConfig::default().with_m(24).with_rtol(1e-10).with_max_iters(50_000);
+        let ir = GmresIr::<Half, f64>::new(&a, &Identity, cfg);
+        let res = ir.solve(&mut ctx(), &b, &mut x);
+        assert_eq!(res.status, SolveStatus::Converged, "final rel {}", res.final_relative_residual);
+        assert!(true_rel_residual(&a, &b, &x) <= 1.2e-10);
+    }
+
+    #[test]
+    fn early_exit_ablation_reduces_iterations_sometimes() {
+        let n = 64;
+        let a = laplace1d(n);
+        let b = vec![1.0; n];
+        let full = {
+            let mut x = vec![0.0; n];
+            let cfg = IrConfig::default().with_m(40).with_max_iters(20_000);
+            GmresIr::<f32, f64>::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x)
+        };
+        let early = {
+            let mut x = vec![0.0; n];
+            let cfg = IrConfig {
+                inner_early_exit: Some(1e-6),
+                ..IrConfig::default().with_m(40).with_max_iters(20_000)
+            };
+            GmresIr::<f32, f64>::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x)
+        };
+        assert_eq!(full.status, SolveStatus::Converged);
+        assert_eq!(early.status, SolveStatus::Converged);
+        // Early exit stops inner cycles at fp32 stall instead of burning
+        // the full m; it must never need more iterations.
+        assert!(early.iterations <= full.iterations);
+    }
+}

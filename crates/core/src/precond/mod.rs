@@ -1,0 +1,83 @@
+//! Preconditioners (paper §III-D).
+//!
+//! The paper deliberately avoids LU-type preconditioning (fill, memory,
+//! and non-parallelizable triangular solves make it a poor fit for GPUs)
+//! and studies GPU-friendly alternatives instead: the GMRES polynomial
+//! ([`poly`]) and block Jacobi ([`block_jacobi`]). Right preconditioning
+//! `A M^{-1} (M x) = b` is used everywhere so preconditioned residuals
+//! match unpreconditioned ones in exact arithmetic.
+//!
+//! [`mixed`] provides §III-D case (a): an fp32 preconditioner applied
+//! inside an fp64 solve, casting on every application.
+
+pub mod block_jacobi;
+pub mod chebyshev;
+pub mod mixed;
+pub mod poly;
+
+use mpgmres_scalar::Scalar;
+
+use crate::context::{GpuContext, GpuMatrix};
+
+/// A right preconditioner `M^{-1}`.
+///
+/// `apply` computes `y = M^{-1} x`. The operator `A` is passed in so that
+/// matrix-polynomial preconditioners can run their SpMVs through the
+/// instrumented context without owning the matrix.
+pub trait Preconditioner<S: Scalar>: Send + Sync {
+    /// `y = M^{-1} x`.
+    fn apply(&self, ctx: &mut GpuContext, a: &GpuMatrix<S>, x: &[S], y: &mut [S]);
+
+    /// Human-readable description for reports (e.g. `"poly(40)"`).
+    fn describe(&self) -> String;
+
+    /// `true` for the identity (lets the solver skip the apply and its
+    /// buffer traffic entirely).
+    fn is_identity(&self) -> bool {
+        false
+    }
+
+    /// SpMV applications of `A` per preconditioner application (drives
+    /// the arithmetic-complexity discussion of §V-F).
+    fn spmvs_per_apply(&self) -> usize {
+        0
+    }
+}
+
+/// No preconditioning.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Identity;
+
+impl<S: Scalar> Preconditioner<S> for Identity {
+    fn apply(&self, _ctx: &mut GpuContext, _a: &GpuMatrix<S>, x: &[S], y: &mut [S]) {
+        y.copy_from_slice(x);
+    }
+
+    fn describe(&self) -> String {
+        "none".to_string()
+    }
+
+    fn is_identity(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpgmres_gpusim::DeviceModel;
+    use mpgmres_la::csr::Csr;
+
+    #[test]
+    fn identity_copies_and_charges_nothing() {
+        let a = GpuMatrix::new(Csr::<f64>::identity(4));
+        let mut ctx = GpuContext::new(DeviceModel::v100_belos());
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut y = [0.0; 4];
+        Preconditioner::apply(&Identity, &mut ctx, &a, &x, &mut y);
+        assert_eq!(x, y);
+        assert_eq!(ctx.elapsed(), 0.0);
+        assert!(Preconditioner::<f64>::is_identity(&Identity));
+        assert_eq!(Preconditioner::<f64>::spmvs_per_apply(&Identity), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests on solver invariants.
+
+use mpgmres::precond::Identity;
+use mpgmres::{GmresConfig, GmresIr, GpuContext, GpuMatrix, Gmres, IrConfig, SolveStatus};
+use mpgmres_gpusim::DeviceModel;
+use mpgmres_la::coo::Coo;
+use mpgmres_la::csr::Csr;
+use mpgmres_la::vec_ops::{norm2, ReductionOrder};
+use proptest::prelude::*;
+
+fn ctx() -> GpuContext {
+    GpuContext::with_reduction(DeviceModel::v100_belos(), ReductionOrder::Sequential)
+}
+
+/// Random diagonally dominant sparse matrix: GMRES must always converge.
+fn dd_matrix(n: usize) -> impl Strategy<Value = Csr<f64>> {
+    proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..6 * n).prop_map(move |trips| {
+        let mut coo = Coo::new(n, n);
+        let mut row_abs = vec![0.0f64; n];
+        for &(r, c, v) in &trips {
+            if r != c {
+                coo.push(r, c, v);
+                row_abs[r] += v.abs();
+            }
+        }
+        for (i, &s) in row_abs.iter().enumerate() {
+            coo.push(i, i, s + 1.0 + (i % 3) as f64);
+        }
+        coo.into_csr()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GMRES converges on diagonally dominant systems and the returned
+    /// status is consistent with the true residual.
+    #[test]
+    fn gmres_converges_on_dd_systems(csr in dd_matrix(24), m in 4usize..30) {
+        let a = GpuMatrix::new(csr);
+        let b = vec![1.0f64; a.n()];
+        let mut x = vec![0.0f64; a.n()];
+        let cfg = GmresConfig::default().with_m(m).with_max_iters(5_000);
+        let res = Gmres::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x);
+        prop_assert_eq!(res.status, SolveStatus::Converged);
+        let mut r = vec![0.0; a.n()];
+        a.csr().residual(&b, &x, &mut r);
+        prop_assert!(norm2(&r) / norm2(&b) <= 1.5e-10,
+            "status says converged but residual is {:e}", norm2(&r) / norm2(&b));
+    }
+
+    /// Explicit residuals are non-increasing across restarts (restarted
+    /// GMRES minimizes over an expanding correction at every cycle).
+    #[test]
+    fn explicit_residuals_nonincreasing(csr in dd_matrix(20)) {
+        let a = GpuMatrix::new(csr);
+        let b = vec![1.0f64; a.n()];
+        let mut x = vec![0.0f64; a.n()];
+        let cfg = GmresConfig::default().with_m(4).with_max_iters(2_000);
+        let res = Gmres::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x);
+        let explicit: Vec<f64> = res.explicit_history().map(|h| h.relative_residual).collect();
+        for w in explicit.windows(2) {
+            prop_assert!(w[1] <= w[0] * (1.0 + 1e-10),
+                "explicit residual rose across restart: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    /// GMRES-IR reaches the same tolerance as fp64 GMRES on the same
+    /// system, and the two solutions agree.
+    #[test]
+    fn ir_matches_fp64_solution(csr in dd_matrix(20), m in 4usize..16) {
+        let a = GpuMatrix::new(csr);
+        let b = vec![1.0f64; a.n()];
+        let mut x64 = vec![0.0f64; a.n()];
+        let cfg = GmresConfig::default().with_m(m).with_max_iters(5_000);
+        let r64 = Gmres::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x64);
+        prop_assert_eq!(r64.status, SolveStatus::Converged);
+        let mut xir = vec![0.0f64; a.n()];
+        let ir_cfg = IrConfig::default().with_m(m).with_max_iters(5_000);
+        let rir = GmresIr::<f32, f64>::new(&a, &Identity, ir_cfg).solve(&mut ctx(), &b, &mut xir);
+        prop_assert_eq!(rir.status, SolveStatus::Converged);
+        let dx: f64 = x64.iter().zip(&xir).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        prop_assert!(dx <= 1e-5 * norm2(&x64).max(1e-30), "solutions differ by {dx}");
+    }
+
+    /// IR total iterations are always an exact multiple of m (the paper's
+    /// restart-granularity property).
+    #[test]
+    fn ir_iterations_multiple_of_m(csr in dd_matrix(18), m in 3usize..12) {
+        let a = GpuMatrix::new(csr);
+        let b = vec![1.0f64; a.n()];
+        let mut x = vec![0.0f64; a.n()];
+        let ir_cfg = IrConfig::default().with_m(m).with_max_iters(5_000);
+        let res = GmresIr::<f32, f64>::new(&a, &Identity, ir_cfg).solve(&mut ctx(), &b, &mut x);
+        prop_assert_eq!(res.status, SolveStatus::Converged);
+        prop_assert_eq!(res.iterations % m, 0);
+    }
+
+    /// Solving A x = A y for random y recovers y (consistency on
+    /// manufactured solutions).
+    #[test]
+    fn manufactured_solution_recovered(csr in dd_matrix(16), seed in 0u64..100) {
+        let a = GpuMatrix::new(csr);
+        let n = a.n();
+        let y: Vec<f64> = (0..n)
+            .map(|i| (((i as u64).wrapping_mul(seed + 1).wrapping_mul(2654435761)) % 997) as f64
+                / 997.0 - 0.5)
+            .collect();
+        let mut b = vec![0.0f64; n];
+        a.csr().spmv(&y, &mut b);
+        prop_assume!(norm2(&b) > 1e-8);
+        let mut x = vec![0.0f64; n];
+        let cfg = GmresConfig::default().with_m(10).with_max_iters(5_000);
+        let res = Gmres::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x);
+        prop_assert_eq!(res.status, SolveStatus::Converged);
+        let dy: f64 = x.iter().zip(&y).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        prop_assert!(dy <= 1e-6 * norm2(&y).max(1e-30), "x != y: {dy}");
+    }
+
+    /// Simulated time is strictly positive, finite, and monotone in the
+    /// iteration count for the same problem.
+    #[test]
+    fn simulated_time_sane(csr in dd_matrix(16)) {
+        let a = GpuMatrix::new(csr);
+        let b = vec![1.0f64; a.n()];
+        let mut c1 = ctx();
+        let mut x = vec![0.0f64; a.n()];
+        let cfg_short = GmresConfig::default().with_m(4).with_max_iters(4);
+        let r1 = Gmres::new(&a, &Identity, cfg_short).solve(&mut c1, &b, &mut x);
+        let mut c2 = ctx();
+        let mut x2 = vec![0.0f64; a.n()];
+        let cfg_long = GmresConfig::default().with_m(4).with_max_iters(2_000);
+        let r2 = Gmres::new(&a, &Identity, cfg_long).solve(&mut c2, &b, &mut x2);
+        prop_assert!(c1.elapsed() > 0.0 && c1.elapsed().is_finite());
+        if r2.iterations > r1.iterations {
+            prop_assert!(c2.elapsed() > c1.elapsed());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The paper's §V-D analytic SpMV traffic model.
+//!
+//! CSR SpMV reads, per nonzero: one matrix value, one 4-byte column index,
+//! and one element of `x`. The paper observes on the V100 that for banded
+//! stencil matrices the fp32 kernel achieves near-perfect L2 reuse of `x`
+//! (each element fetched from DRAM once) while the fp64 kernel re-reads
+//! `x` per nonzero. That yields the famous bound
+//!
+//! ```text
+//! speedup = 20 w n / ((8w + 4) n) = 5w / (2w + 1)  ->  2.5 as w grows.
+//! ```
+//!
+//! This module encodes that empirical reuse rule (the default pricing path
+//! for [`crate::cost::spmv_time`]) plus the closed-form expressions the
+//! paper prints, so the `vd_model` experiment can compare: paper bound vs
+//! priced model vs the mechanistic LRU cache simulation in [`crate::cache`].
+
+use mpgmres_scalar::Precision;
+
+use crate::device::DeviceModel;
+
+/// Bytes of a CSR column index (the paper assumes the integer type stays
+/// 4 bytes in all precisions).
+pub const IDX_BYTES: usize = 4;
+
+/// Does the x-vector achieve (near-)perfect L2 reuse for this matrix
+/// structure and precision on this device?
+///
+/// Encodes the paper's empirical finding: narrow precisions (<= 4 bytes)
+/// cache `x` nearly perfectly on banded stencil matrices; fp64 does not;
+/// nothing does once the matrix bandwidth is a large fraction of `n`.
+pub fn x_reuse_is_perfect(
+    dev: &DeviceModel,
+    n: usize,
+    bandwidth_rows: usize,
+    p: Precision,
+) -> bool {
+    dev.is_banded(bandwidth_rows, n) && p.bytes() <= 4
+}
+
+/// Total DRAM traffic in bytes for one `y = A x` in precision `p`,
+/// using the empirical reuse rule. Includes the row-pointer stream and
+/// the store of `y` (the paper's closed form drops those; they are small).
+pub fn spmv_traffic_bytes(
+    dev: &DeviceModel,
+    n: usize,
+    nnz: usize,
+    bandwidth_rows: usize,
+    p: Precision,
+) -> usize {
+    let stream = nnz * (p.bytes() + IDX_BYTES) + (n + 1) * IDX_BYTES + n * p.bytes();
+    let x = if x_reuse_is_perfect(dev, n, bandwidth_rows, p) {
+        n * p.bytes()
+    } else {
+        nnz * p.bytes()
+    };
+    stream + x
+}
+
+/// The paper's idealized fp64 traffic: `20 w n` bytes (no x reuse, row
+/// pointers and y stores ignored).
+pub fn paper_fp64_traffic(n: usize, w: f64) -> f64 {
+    20.0 * w * n as f64
+}
+
+/// The paper's idealized fp32 traffic: `(8w + 4) n` bytes (perfect x
+/// reuse).
+pub fn paper_fp32_traffic(n: usize, w: f64) -> f64 {
+    (8.0 * w + 4.0) * n as f64
+}
+
+/// The paper's closed-form speedup bound `5w / (2w + 1)`.
+pub fn paper_speedup_bound(w: f64) -> f64 {
+    5.0 * w / (2.0 * w + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_bound_matches_paper_examples() {
+        // Paper: w = 5 (BentPipe/UniFlow) -> 2.27x; w = 7 (Laplace3D) -> 2.33x.
+        assert!((paper_speedup_bound(5.0) - 25.0 / 11.0).abs() < 1e-12);
+        assert!((paper_speedup_bound(5.0) - 2.2727).abs() < 1e-3);
+        assert!((paper_speedup_bound(7.0) - 2.3333).abs() < 1e-3);
+        // Limit is 2.5.
+        assert!(paper_speedup_bound(1e9) > 2.4999);
+    }
+
+    #[test]
+    fn traffic_formulas_are_the_paper_expressions() {
+        let (n, w) = (1000usize, 5.0f64);
+        assert_eq!(paper_fp64_traffic(n, w), 100_000.0);
+        assert_eq!(paper_fp32_traffic(n, w), 44_000.0);
+        assert!(
+            (paper_fp64_traffic(n, w) / paper_fp32_traffic(n, w) - paper_speedup_bound(w)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn reuse_rule_splits_precisions_on_banded_matrices() {
+        let dev = DeviceModel::v100_belos();
+        let (n, bw) = (2_250_000, 1500); // BentPipe2D1500
+        assert!(x_reuse_is_perfect(&dev, n, bw, Precision::Fp32));
+        assert!(x_reuse_is_perfect(&dev, n, bw, Precision::Fp16));
+        assert!(!x_reuse_is_perfect(&dev, n, bw, Precision::Fp64));
+        // Scattered matrix: no reuse in any precision.
+        assert!(!x_reuse_is_perfect(&dev, n, n - 1, Precision::Fp32));
+    }
+
+    #[test]
+    fn full_traffic_close_to_paper_form() {
+        let dev = DeviceModel::v100_belos();
+        let n = 2_250_000usize;
+        let nnz = 11_244_000usize;
+        let t64 = spmv_traffic_bytes(&dev, n, nnz, 1500, Precision::Fp64);
+        let t32 = spmv_traffic_bytes(&dev, n, nnz, 1500, Precision::Fp32);
+        // Within 15% of the closed forms (rowptr + y stores add a little).
+        let w = nnz as f64 / n as f64;
+        assert!((t64 as f64 / paper_fp64_traffic(n, w) - 1.0).abs() < 0.15);
+        assert!((t32 as f64 / paper_fp32_traffic(n, w) - 1.0).abs() < 0.35);
+        // Traffic ratio lands between 2.0 and 2.5.
+        let ratio = t64 as f64 / t32 as f64;
+        assert!(ratio > 2.0 && ratio < 2.5, "traffic ratio {ratio}");
+    }
+}

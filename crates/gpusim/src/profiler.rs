@@ -1,0 +1,211 @@
+//! Per-kernel-class simulated-time accounting.
+//!
+//! Mirrors the instrumentation behind the paper's Figures 4, 7, 8 and
+//! Table I: every kernel call adds (simulated seconds, bytes, one call)
+//! under its [`KernelClass`]; reports roll the classes up into the
+//! paper's five categories.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::kernel::{KernelClass, PaperCategory};
+
+/// Accumulated statistics for one kernel class.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct KernelStats {
+    /// Number of calls.
+    pub calls: u64,
+    /// Simulated seconds.
+    pub seconds: f64,
+    /// Modeled bytes moved.
+    pub bytes: u64,
+}
+
+/// Accumulates simulated kernel time for one solver run.
+#[derive(Clone, Debug, Default)]
+pub struct Profiler {
+    by_class: Vec<(KernelClass, KernelStats)>,
+    total: f64,
+}
+
+impl Profiler {
+    /// Fresh, empty profiler.
+    pub fn new() -> Self {
+        Profiler { by_class: Vec::new(), total: 0.0 }
+    }
+
+    /// Charge one kernel call.
+    pub fn charge(&mut self, class: KernelClass, seconds: f64, bytes: usize) {
+        debug_assert!(seconds >= 0.0 && seconds.is_finite(), "bad charge {seconds}");
+        if let Some((_, s)) = self.by_class.iter_mut().find(|(c, _)| *c == class) {
+            s.calls += 1;
+            s.seconds += seconds;
+            s.bytes += bytes as u64;
+        } else {
+            self.by_class.push((
+                class,
+                KernelStats { calls: 1, seconds, bytes: bytes as u64 },
+            ));
+        }
+        self.total += seconds;
+    }
+
+    /// Total simulated seconds across all classes.
+    pub fn total_seconds(&self) -> f64 {
+        self.total
+    }
+
+    /// Stats for one class (zero if never charged).
+    pub fn class_stats(&self, class: KernelClass) -> KernelStats {
+        self.by_class
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+
+    /// Merge another profiler into this one (e.g. inner-solver time into
+    /// the outer GMRES-IR accounting).
+    pub fn absorb(&mut self, other: &Profiler) {
+        for (class, s) in &other.by_class {
+            if let Some((_, mine)) = self.by_class.iter_mut().find(|(c, _)| c == class) {
+                mine.calls += s.calls;
+                mine.seconds += s.seconds;
+                mine.bytes += s.bytes;
+            } else {
+                self.by_class.push((*class, *s));
+            }
+        }
+        self.total += other.total;
+    }
+
+    /// Roll up into the paper's five categories.
+    pub fn report(&self) -> TimingReport {
+        let mut cats: BTreeMap<PaperCategory, KernelStats> = BTreeMap::new();
+        for (class, s) in &self.by_class {
+            let e = cats.entry(class.paper_category()).or_default();
+            e.calls += s.calls;
+            e.seconds += s.seconds;
+            e.bytes += s.bytes;
+        }
+        TimingReport { categories: cats, total_seconds: self.total }
+    }
+
+    /// Reset all counters.
+    pub fn reset(&mut self) {
+        self.by_class.clear();
+        self.total = 0.0;
+    }
+}
+
+/// Rolled-up timing in the paper's reporting categories.
+#[derive(Clone, Debug, Serialize)]
+pub struct TimingReport {
+    /// Seconds/calls/bytes per paper category.
+    pub categories: BTreeMap<PaperCategory, KernelStats>,
+    /// Total simulated solve seconds.
+    pub total_seconds: f64,
+}
+
+impl TimingReport {
+    /// Seconds in one category (0 if absent).
+    pub fn seconds(&self, cat: PaperCategory) -> f64 {
+        self.categories.get(&cat).map(|s| s.seconds).unwrap_or(0.0)
+    }
+
+    /// The paper's "Total Orthogonalization" line: GEMV(T) + Norm + GEMV(N).
+    pub fn orthogonalization_seconds(&self) -> f64 {
+        self.seconds(PaperCategory::GemvTrans)
+            + self.seconds(PaperCategory::Norm)
+            + self.seconds(PaperCategory::GemvNoTrans)
+    }
+
+    /// Render a Table-I-style block: one row per category plus
+    /// orthogonalization and total.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        for cat in PaperCategory::ALL {
+            let s = self.categories.get(&cat).copied().unwrap_or_default();
+            out.push_str(&format!(
+                "{:<16} {:>10.4} s {:>10} calls\n",
+                cat.label(),
+                s.seconds,
+                s.calls
+            ));
+        }
+        out.push_str(&format!("{:<16} {:>10.4} s\n", "Orthog Total", self.orthogonalization_seconds()));
+        out.push_str(&format!("{:<16} {:>10.4} s\n", "Total", self.total_seconds));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut p = Profiler::new();
+        p.charge(KernelClass::SpMV, 1.0e-3, 1000);
+        p.charge(KernelClass::SpMV, 2.0e-3, 2000);
+        p.charge(KernelClass::Norm, 0.5e-3, 10);
+        let s = p.class_stats(KernelClass::SpMV);
+        assert_eq!(s.calls, 2);
+        assert!((s.seconds - 3.0e-3).abs() < 1e-15);
+        assert_eq!(s.bytes, 3000);
+        assert!((p.total_seconds() - 3.5e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn report_rolls_up_to_paper_categories() {
+        let mut p = Profiler::new();
+        p.charge(KernelClass::GemvT, 1.0, 0);
+        p.charge(KernelClass::GemvN, 2.0, 0);
+        p.charge(KernelClass::Norm, 0.25, 0);
+        p.charge(KernelClass::SpMV, 4.0, 0);
+        p.charge(KernelClass::Axpy, 0.125, 0);
+        p.charge(KernelClass::ResidualHi, 0.5, 0);
+        p.charge(KernelClass::CastHost, 0.125, 0);
+        let r = p.report();
+        assert_eq!(r.seconds(PaperCategory::GemvTrans), 1.0);
+        assert_eq!(r.seconds(PaperCategory::SpMV), 4.0);
+        // Other = axpy + residual + cast.
+        assert!((r.seconds(PaperCategory::Other) - 0.75).abs() < 1e-15);
+        assert!((r.orthogonalization_seconds() - 3.25).abs() < 1e-15);
+        assert!((r.total_seconds - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = Profiler::new();
+        a.charge(KernelClass::SpMV, 1.0, 10);
+        let mut b = Profiler::new();
+        b.charge(KernelClass::SpMV, 2.0, 20);
+        b.charge(KernelClass::Dot, 0.5, 5);
+        a.absorb(&b);
+        assert_eq!(a.class_stats(KernelClass::SpMV).calls, 2);
+        assert_eq!(a.class_stats(KernelClass::Dot).calls, 1);
+        assert!((a.total_seconds() - 3.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut p = Profiler::new();
+        p.charge(KernelClass::Norm, 1.0, 1);
+        p.reset();
+        assert_eq!(p.total_seconds(), 0.0);
+        assert_eq!(p.class_stats(KernelClass::Norm).calls, 0);
+    }
+
+    #[test]
+    fn table_renders_all_categories() {
+        let mut p = Profiler::new();
+        p.charge(KernelClass::SpMV, 1.0, 0);
+        let t = p.report().table();
+        for cat in PaperCategory::ALL {
+            assert!(t.contains(cat.label()), "missing {}", cat.label());
+        }
+        assert!(t.contains("Total"));
+    }
+}

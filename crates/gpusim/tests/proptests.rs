@@ -1,0 +1,131 @@
+//! Property-based tests on the performance model and cache simulator.
+
+use mpgmres_gpusim::cache::CacheSim;
+use mpgmres_gpusim::{analytic, cost, DeviceModel};
+use mpgmres_scalar::Precision;
+use proptest::prelude::*;
+
+proptest! {
+    /// All kernel costs are positive, finite, and monotone in n.
+    #[test]
+    fn costs_positive_and_monotone(n in 100usize..1_000_000, scale in 2usize..8) {
+        let d = DeviceModel::v100_belos();
+        for p in Precision::ALL {
+            let pairs = [
+                (cost::norm_time(&d, n, p), cost::norm_time(&d, n * scale, p)),
+                (cost::axpy_time(&d, n, p), cost::axpy_time(&d, n * scale, p)),
+                (cost::gemv_t_time(&d, n, 10, p), cost::gemv_t_time(&d, n * scale, 10, p)),
+                (
+                    cost::spmv_time(&d, n, 5 * n, 100, p),
+                    cost::spmv_time(&d, n * scale, 5 * n * scale, 100, p),
+                ),
+            ];
+            for (small, big) in pairs {
+                prop_assert!(small > 0.0 && small.is_finite());
+                prop_assert!(big > small, "cost not monotone: {small} vs {big}");
+            }
+        }
+    }
+
+    /// Narrower precision never costs more for the same shape.
+    #[test]
+    fn narrower_precision_never_slower(n in 1_000usize..2_000_000) {
+        let d = DeviceModel::v100_belos();
+        let t64 = cost::spmv_time(&d, n, 5 * n, 100, Precision::Fp64);
+        let t32 = cost::spmv_time(&d, n, 5 * n, 100, Precision::Fp32);
+        let t16 = cost::spmv_time(&d, n, 5 * n, 100, Precision::Fp16);
+        prop_assert!(t32 <= t64);
+        prop_assert!(t16 <= t32);
+        let g64 = cost::gemv_n_time(&d, n, 25, Precision::Fp64);
+        let g32 = cost::gemv_n_time(&d, n, 25, Precision::Fp32);
+        prop_assert!(g32 <= g64);
+    }
+
+    /// Latency scaling preserves fp64/fp32 per-call time ratios for every
+    /// kernel shape (the invariant that justifies reduced-scale runs).
+    #[test]
+    fn latency_scaling_preserves_ratios(
+        factor in 0.001f64..1.0,
+        ncols in 2usize..100,
+    ) {
+        let d = DeviceModel::v100_belos();
+        let n_paper = 2_250_000usize;
+        let n_sim = ((n_paper as f64 * factor) as usize).max(10);
+        let ds = d.scaled_latencies(n_sim as f64 / n_paper as f64);
+        let ratio = |f: &dyn Fn(&DeviceModel, usize) -> (f64, f64)| {
+            let (a64, a32) = f(&d, n_paper);
+            let (b64, b32) = f(&ds, n_sim);
+            (a64 / a32, b64 / b32)
+        };
+        let (rp, rs) = ratio(&|dev, n| {
+            (
+                cost::gemv_t_time(dev, n, ncols, Precision::Fp64),
+                cost::gemv_t_time(dev, n, ncols, Precision::Fp32),
+            )
+        });
+        prop_assert!((rp - rs).abs() < 5e-3, "gemv_t ratio drift {rp} vs {rs}");
+        let (rp, rs) = ratio(&|dev, n| {
+            (
+                cost::norm_time(dev, n, Precision::Fp64),
+                cost::norm_time(dev, n, Precision::Fp32),
+            )
+        });
+        prop_assert!((rp - rs).abs() < 5e-3, "norm ratio drift {rp} vs {rs}");
+    }
+
+    /// SpMV traffic equals the sum of its parts and respects the reuse
+    /// rule's bounds: between perfect-reuse and no-reuse traffic.
+    #[test]
+    fn spmv_traffic_bounded(n in 100usize..500_000, w in 2usize..30, bw_frac in 0.001f64..1.0) {
+        let d = DeviceModel::v100_belos();
+        let nnz = n * w;
+        let bw_rows = ((n as f64 * bw_frac) as usize).max(1);
+        for p in Precision::ALL {
+            let t = analytic::spmv_traffic_bytes(&d, n, nnz, bw_rows, p);
+            let stream = nnz * (p.bytes() + 4) + (n + 1) * 4 + n * p.bytes();
+            let lo = stream + n * p.bytes();
+            let hi = stream + nnz * p.bytes();
+            prop_assert!(t >= lo && t <= hi, "traffic {t} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Cache hit rate is always in [0, 1]; a repeat pass over a fitting
+    /// working set hits 100%.
+    #[test]
+    fn cache_hit_rate_bounds(lines in 1usize..256, assoc in 1usize..8) {
+        let line = 64usize;
+        let cap = lines * assoc * line;
+        let mut sim = CacheSim::new(cap, line, assoc);
+        // Working set of half the capacity: second pass must fully hit.
+        let ws_lines = (lines * assoc / 2).max(1);
+        for pass in 0..2 {
+            for i in 0..ws_lines {
+                let hit = sim.access((i * line) as u64);
+                if pass == 1 {
+                    prop_assert!(hit, "second pass over fitting set must hit");
+                }
+            }
+        }
+        let r = sim.hit_rate();
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    /// Bigger caches never lower the hit rate for a fixed cyclic access
+    /// pattern.
+    #[test]
+    fn cache_capacity_monotone(ws in 16usize..512) {
+        let line = 64;
+        let run = |cap_lines: usize| -> f64 {
+            let mut sim = CacheSim::new(cap_lines * line, line, 8);
+            for _ in 0..3 {
+                for i in 0..ws {
+                    sim.access((i * line) as u64);
+                }
+            }
+            sim.hit_rate()
+        };
+        let small = run(32);
+        let big = run(1024);
+        prop_assert!(big >= small, "bigger cache lost hits: {small} vs {big}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Sparse and dense linear algebra substrate.
+//!
+//! This crate is the workspace's stand-in for Kokkos Kernels (paper §IV):
+//! every floating-point kernel GMRES needs, generic over the working
+//! precision [`mpgmres_scalar::Scalar`], with sequential and
+//! rayon-parallel execution paths and GPU-style blocked-tree reductions.
+//!
+//! Modules:
+//! - [`vec_ops`] — axpy/dot/norm/scale over slices, with selectable
+//!   [`vec_ops::ReductionOrder`] (the paper notes GPU reductions make runs
+//!   slightly nondeterministic; we model that by offering both orders).
+//! - [`multivector`] — column-major tall-skinny matrix `V` of Krylov basis
+//!   vectors plus the two GEMV kernels CGS2 needs.
+//! - [`csr`] — compressed sparse row matrices and SpMV.
+//! - [`coo`] — coordinate-format builder that deduplicates and sorts.
+//! - [`dense`] — small column-major dense matrices, LU with partial
+//!   pivoting, triangular solves (block Jacobi's factor/apply).
+//! - [`givens`] — Givens-rotation least-squares machinery for the Arnoldi
+//!   Hessenberg matrix (the solver's implicit residual).
+//! - [`eig`] — Francis double-shift QR eigenvalues of real upper Hessenberg
+//!   matrices (harmonic Ritz values for the polynomial preconditioner).
+//! - [`rcm`] — reverse Cuthill-McKee reordering (paper §V-G).
+//! - [`mtx`] — MatrixMarket coordinate IO.
+//! - [`stats`] — structural matrix statistics (bandwidth, nnz/row).
+
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod eig;
+pub mod givens;
+pub mod mtx;
+pub mod multivector;
+pub mod rcm;
+pub mod split_csr;
+pub mod stats;
+pub mod vec_ops;
+
+pub use coo::Coo;
+pub use csr::Csr;
+pub use dense::DenseMat;
+pub use givens::GivensLsq;
+pub use multivector::MultiVector;
+pub use vec_ops::ReductionOrder;

@@ -1,0 +1,270 @@
+//! Column-major multivector (tall-skinny dense matrix) and GEMV kernels.
+//!
+//! GMRES stores its Krylov basis `V = [v_1 .. v_m]` as n-long columns of a
+//! single allocation (the paper stores them in `Kokkos::View`s behind a
+//! Belos `MultiVector`). CGS2 orthogonalization needs exactly two GEMV
+//! shapes per pass:
+//!
+//! - **Transpose** `h = V_j^T w` — inner products of `w` against the first
+//!   `j` basis vectors (a reduction per column).
+//! - **No-transpose** `w -= V_j h` — subtract the projection.
+//!
+//! These are the `GEMV (Trans)` / `GEMV (No Trans)` kernels of the paper's
+//! Table I and Figures 4, 5, 7, 8.
+
+use mpgmres_scalar::Scalar;
+use rayon::prelude::*;
+
+use crate::vec_ops::{dot_ordered, ReductionOrder, PAR_THRESHOLD};
+
+/// Column-major `n x max_cols` storage for Krylov basis vectors.
+#[derive(Clone, Debug)]
+pub struct MultiVector<S> {
+    n: usize,
+    max_cols: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> MultiVector<S> {
+    /// Allocate an `n x max_cols` multivector initialized to zero.
+    pub fn zeros(n: usize, max_cols: usize) -> Self {
+        MultiVector { n, max_cols, data: vec![S::zero(); n * max_cols] }
+    }
+
+    /// Vector length (rows).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of allocated columns.
+    #[inline]
+    pub fn max_cols(&self) -> usize {
+        self.max_cols
+    }
+
+    /// Borrow column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[S] {
+        debug_assert!(j < self.max_cols);
+        &self.data[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Mutably borrow column `j`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [S] {
+        debug_assert!(j < self.max_cols);
+        &mut self.data[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Borrow two distinct columns, the second mutably.
+    ///
+    /// # Panics
+    /// Panics if `src == dst` or either index is out of range.
+    pub fn col_pair_mut(&mut self, src: usize, dst: usize) -> (&[S], &mut [S]) {
+        assert!(src != dst, "col_pair_mut: aliasing columns");
+        assert!(src < self.max_cols && dst < self.max_cols);
+        let n = self.n;
+        if src < dst {
+            let (a, b) = self.data.split_at_mut(dst * n);
+            (&a[src * n..src * n + n], &mut b[..n])
+        } else {
+            let (a, b) = self.data.split_at_mut(src * n);
+            (&b[..n], &mut a[dst * n..dst * n + n])
+        }
+    }
+
+    /// `h[i] = col_i . w` for `i in 0..ncols` (GEMV Trans).
+    ///
+    /// The reduction order applies within each column dot product.
+    pub fn gemv_t(&self, ncols: usize, w: &[S], h: &mut [S], order: ReductionOrder) {
+        assert!(ncols <= self.max_cols, "gemv_t: too many columns");
+        assert_eq!(w.len(), self.n, "gemv_t: vector length mismatch");
+        assert!(h.len() >= ncols, "gemv_t: output too short");
+        if self.n >= PAR_THRESHOLD && ncols > 1 {
+            h[..ncols]
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(i, hi)| *hi = dot_ordered(self.col(i), w, order));
+        } else {
+            for i in 0..ncols {
+                h[i] = dot_ordered(self.col(i), w, order);
+            }
+        }
+    }
+
+    /// `w -= V[:, ..ncols] * h` (GEMV No-Trans with alpha = -1).
+    pub fn gemv_n_sub(&self, ncols: usize, h: &[S], w: &mut [S]) {
+        assert!(ncols <= self.max_cols, "gemv_n_sub: too many columns");
+        assert_eq!(w.len(), self.n, "gemv_n_sub: vector length mismatch");
+        assert!(h.len() >= ncols, "gemv_n_sub: coefficient vector too short");
+        if self.n >= PAR_THRESHOLD {
+            w.par_iter_mut().enumerate().for_each(|(r, wr)| {
+                let mut acc = *wr;
+                for i in 0..ncols {
+                    acc = (-h[i]).mul_add(self.col(i)[r], acc);
+                }
+                *wr = acc;
+            });
+        } else {
+            for i in 0..ncols {
+                let ci = self.col(i);
+                let hi = h[i];
+                for (wr, &cr) in w.iter_mut().zip(ci) {
+                    *wr = (-hi).mul_add(cr, *wr);
+                }
+            }
+        }
+    }
+
+    /// `y += V[:, ..ncols] * h` (GEMV No-Trans with alpha = +1), used to
+    /// assemble the GMRES update `x += V_m y`.
+    pub fn gemv_n_add(&self, ncols: usize, h: &[S], y: &mut [S]) {
+        assert!(ncols <= self.max_cols);
+        assert_eq!(y.len(), self.n);
+        assert!(h.len() >= ncols);
+        if self.n >= PAR_THRESHOLD {
+            y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+                let mut acc = *yr;
+                for i in 0..ncols {
+                    acc = h[i].mul_add(self.col(i)[r], acc);
+                }
+                *yr = acc;
+            });
+        } else {
+            for i in 0..ncols {
+                let ci = self.col(i);
+                let hi = h[i];
+                for (yr, &cr) in y.iter_mut().zip(ci) {
+                    *yr = hi.mul_add(cr, *yr);
+                }
+            }
+        }
+    }
+
+    /// Overwrite column `j` from a slice.
+    pub fn set_col(&mut self, j: usize, v: &[S]) {
+        assert_eq!(v.len(), self.n);
+        self.col_mut(j).copy_from_slice(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec_ops::norm2;
+
+    fn filled(n: usize, cols: usize) -> MultiVector<f64> {
+        let mut mv = MultiVector::zeros(n, cols);
+        for j in 0..cols {
+            for r in 0..n {
+                mv.col_mut(j)[r] = (j + 1) as f64 + 0.1 * r as f64;
+            }
+        }
+        mv
+    }
+
+    #[test]
+    fn col_access_is_disjoint() {
+        let mut mv = MultiVector::<f64>::zeros(4, 3);
+        mv.col_mut(1)[2] = 5.0;
+        assert_eq!(mv.col(0), &[0.0; 4]);
+        assert_eq!(mv.col(1)[2], 5.0);
+    }
+
+    #[test]
+    fn gemv_t_computes_inner_products() {
+        let mv = filled(5, 3);
+        let w = vec![1.0f64; 5];
+        let mut h = vec![0.0f64; 3];
+        mv.gemv_t(3, &w, &mut h, ReductionOrder::Sequential);
+        for j in 0..3 {
+            let expect: f64 = (0..5).map(|r| (j + 1) as f64 + 0.1 * r as f64).sum();
+            assert!((h[j] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemv_n_sub_then_add_roundtrips() {
+        let mv = filled(6, 2);
+        let h = [0.5f64, -1.25];
+        let orig: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let mut w = orig.clone();
+        mv.gemv_n_sub(2, &h, &mut w);
+        mv.gemv_n_add(2, &h, &mut w);
+        for (a, b) in w.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_removes_component() {
+        // One normalized basis vector; after w -= V (V^T w), w . v == 0.
+        let n = 8;
+        let mut mv = MultiVector::<f64>::zeros(n, 1);
+        let inv = 1.0 / (n as f64).sqrt();
+        for r in 0..n {
+            mv.col_mut(0)[r] = inv;
+        }
+        let mut w: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 2.0).collect();
+        let mut h = vec![0.0f64; 1];
+        mv.gemv_t(1, &w, &mut h, ReductionOrder::Sequential);
+        mv.gemv_n_sub(1, &h, &mut w);
+        let mut h2 = vec![0.0f64; 1];
+        mv.gemv_t(1, &w, &mut h2, ReductionOrder::Sequential);
+        assert!(h2[0].abs() < 1e-12 * norm2(&w).max(1.0));
+    }
+
+    #[test]
+    fn col_pair_mut_both_orders() {
+        let mut mv = filled(4, 3);
+        {
+            let (src, dst) = mv.col_pair_mut(0, 2);
+            dst.copy_from_slice(src);
+        }
+        assert_eq!(mv.col(0), mv.col(2));
+        {
+            let (src, dst) = mv.col_pair_mut(2, 1);
+            dst.copy_from_slice(src);
+        }
+        assert_eq!(mv.col(1), mv.col(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "aliasing")]
+    fn col_pair_mut_rejects_aliasing() {
+        let mut mv = MultiVector::<f64>::zeros(4, 3);
+        let _ = mv.col_pair_mut(1, 1);
+    }
+
+    #[test]
+    fn gemv_matches_reference_on_parallel_path() {
+        // Large enough to trigger the rayon path; compare against the
+        // sequential loop.
+        let n = PAR_THRESHOLD + 17;
+        let cols = 4;
+        let mut mv = MultiVector::<f64>::zeros(n, cols);
+        for j in 0..cols {
+            for r in 0..n {
+                mv.col_mut(j)[r] = ((r * 31 + j * 7) % 13) as f64 - 6.0;
+            }
+        }
+        let w: Vec<f64> = (0..n).map(|r| ((r * 17) % 29) as f64 / 29.0).collect();
+        let mut h = vec![0.0f64; cols];
+        mv.gemv_t(cols, &w, &mut h, ReductionOrder::Sequential);
+        for j in 0..cols {
+            let expect: f64 = (0..n).map(|r| mv.col(j)[r] * w[r]).sum();
+            assert!((h[j] - expect).abs() < 1e-9 * expect.abs().max(1.0));
+        }
+        let mut w2 = w.clone();
+        mv.gemv_n_sub(cols, &h, &mut w2);
+        let mut w_ref = w.clone();
+        for j in 0..cols {
+            for r in 0..n {
+                w_ref[r] -= h[j] * mv.col(j)[r];
+            }
+        }
+        let diff: f64 = w2.iter().zip(&w_ref).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(diff < 1e-9);
+    }
+}

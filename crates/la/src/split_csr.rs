@@ -1,0 +1,202 @@
+//! Split-precision sparse matrix storage (extension; the paper's §V-D
+//! points to Ahmad, Sundar & Hall, "Data-Driven Mixed Precision Sparse
+//! Matrix Vector Multiplication for GPUs" — ref. \[21\] — for this idea).
+//!
+//! Entries whose magnitude is below a threshold are stored in a lower
+//! precision; the SpMV computes `y = A_hi x + A_lo x` with each part in
+//! its own precision and a single accumulation in the high precision.
+//! For matrices whose values span many orders of magnitude, most entries
+//! can ride in fp32 while the few large ones keep fp64, cutting memory
+//! traffic (the only thing that matters for SpMV) without iterative
+//! refinement.
+
+use mpgmres_scalar::{cast, Scalar};
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+
+/// A matrix split into a high-precision part (large entries) and a
+/// low-precision part (small entries) over the same row space.
+#[derive(Clone, Debug)]
+pub struct SplitCsr<Hi, Lo> {
+    hi: Csr<Hi>,
+    lo: Csr<Lo>,
+    threshold: f64,
+}
+
+impl<Hi: Scalar, Lo: Scalar> SplitCsr<Hi, Lo> {
+    /// Split `a`: entries with `|v| >= threshold` stay in `Hi`, the rest
+    /// are rounded once into `Lo`.
+    pub fn split(a: &Csr<Hi>, threshold: f64) -> Self {
+        assert!(threshold >= 0.0);
+        let (nr, nc) = (a.nrows(), a.ncols());
+        let mut hi = Coo::with_capacity(nr, nc, a.nnz());
+        let mut lo = Coo::new(nr, nc);
+        for r in 0..nr {
+            for (c, v) in a.row(r) {
+                if v.to_f64().abs() >= threshold {
+                    hi.push(r, c, v);
+                } else {
+                    lo.push(r, c, cast::<Hi, Lo>(v));
+                }
+            }
+        }
+        SplitCsr { hi: hi.into_csr(), lo: lo.into_csr(), threshold }
+    }
+
+    /// The high-precision part.
+    pub fn hi(&self) -> &Csr<Hi> {
+        &self.hi
+    }
+
+    /// The low-precision part.
+    pub fn lo(&self) -> &Csr<Lo> {
+        &self.lo
+    }
+
+    /// The split threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Fraction of entries demoted to the low precision.
+    pub fn lo_fraction(&self) -> f64 {
+        let total = self.hi.nnz() + self.lo.nnz();
+        if total == 0 {
+            0.0
+        } else {
+            self.lo.nnz() as f64 / total as f64
+        }
+    }
+
+    /// Value bytes of the split storage (what the §V-D traffic model
+    /// charges for the matrix stream).
+    pub fn value_bytes(&self) -> usize {
+        self.hi.nnz() * Hi::BYTES + self.lo.nnz() * Lo::BYTES
+    }
+
+    /// `y = A x` with the low part computed in `Lo` on a low-precision
+    /// copy of `x`, accumulated into the high-precision result.
+    pub fn spmv(&self, x: &[Hi], x_lo: &[Lo], y: &mut [Hi]) {
+        assert_eq!(x.len(), self.hi.ncols());
+        assert_eq!(x_lo.len(), x.len());
+        self.hi.spmv(x, y);
+        let mut y_lo = vec![Lo::zero(); y.len()];
+        self.lo.spmv(x_lo, &mut y_lo);
+        for (yi, &li) in y.iter_mut().zip(&y_lo) {
+            *yi += cast::<Lo, Hi>(li);
+        }
+    }
+
+    /// Convenience: derive the low-precision `x` copy internally.
+    pub fn spmv_simple(&self, x: &[Hi], y: &mut [Hi]) {
+        let x_lo: Vec<Lo> = x.iter().map(|&v| cast::<Hi, Lo>(v)).collect();
+        self.spmv(x, &x_lo, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec_ops::norm2;
+
+    /// Matrix with values spanning 6 orders of magnitude.
+    fn wide_range(n: usize) -> Csr<f64> {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 10.0);
+            if i + 1 < n {
+                coo.push(i, i + 1, 1e-5 * (1.0 + i as f64 / n as f64));
+                coo.push(i + 1, i, -2e-5);
+            }
+        }
+        coo.into_csr()
+    }
+
+    #[test]
+    fn threshold_zero_keeps_everything_hi() {
+        let a = wide_range(10);
+        let s: SplitCsr<f64, f32> = SplitCsr::split(&a, 0.0);
+        assert_eq!(s.hi().nnz(), a.nnz());
+        assert_eq!(s.lo().nnz(), 0);
+        assert_eq!(s.lo_fraction(), 0.0);
+    }
+
+    #[test]
+    fn huge_threshold_demotes_everything() {
+        let a = wide_range(10);
+        let s: SplitCsr<f64, f32> = SplitCsr::split(&a, 1e9);
+        assert_eq!(s.hi().nnz(), 0);
+        assert_eq!(s.lo_fraction(), 1.0);
+        assert!(s.value_bytes() < a.nnz() * 8);
+    }
+
+    #[test]
+    fn split_spmv_matches_full_within_lo_epsilon() {
+        let n = 64;
+        let a = wide_range(n);
+        let s: SplitCsr<f64, f32> = SplitCsr::split(&a, 1e-3);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin() + 1.5).collect();
+        let mut y_full = vec![0.0f64; n];
+        a.spmv(&x, &mut y_full);
+        let mut y_split = vec![0.0f64; n];
+        s.spmv_simple(&x, &mut y_split);
+        let err: f64 = y_full
+            .iter()
+            .zip(&y_split)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        // Error bounded by fp32 epsilon on the demoted (tiny) entries.
+        let demoted_scale = 2e-5 * 2.0 * (n as f64).sqrt() * 2.5;
+        assert!(err <= demoted_scale * f32::EPSILON as f64 * 100.0 + 1e-12,
+            "split error {err:e}");
+        assert!(err > 0.0, "split of tiny values must round somewhere");
+    }
+
+    #[test]
+    fn traffic_savings_reported() {
+        let n = 128;
+        let a = wide_range(n);
+        let s: SplitCsr<f64, f32> = SplitCsr::split(&a, 1e-3);
+        // Off-diagonals (2/3 of entries) demote: bytes drop accordingly.
+        assert!(s.lo_fraction() > 0.6);
+        let full = a.nnz() * 8;
+        assert!(
+            (s.value_bytes() as f64) < 0.72 * full as f64,
+            "bytes {} vs full {full}",
+            s.value_bytes()
+        );
+    }
+
+    #[test]
+    fn rows_preserved_exactly() {
+        let a = wide_range(32);
+        let s: SplitCsr<f64, f32> = SplitCsr::split(&a, 1e-3);
+        assert_eq!(s.hi().nnz() + s.lo().nnz(), a.nnz());
+        // Every large entry is bit-identical in the hi part.
+        for r in 0..a.nrows() {
+            for (c, v) in a.row(r) {
+                if v.abs() >= 1e-3 {
+                    let found = s.hi().row(r).any(|(c2, v2)| c2 == c && v2 == v);
+                    assert!(found, "large entry ({r},{c}) missing from hi part");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_half_low_part() {
+        let n = 32;
+        let a = wide_range(n);
+        let s: SplitCsr<f64, mpgmres_scalar::Half> = SplitCsr::split(&a, 1e-3);
+        let x = vec![1.0f64; n];
+        let mut y = vec![0.0f64; n];
+        s.spmv_simple(&x, &mut y);
+        let mut y_full = vec![0.0f64; n];
+        a.spmv(&x, &mut y_full);
+        let err = y.iter().zip(&y_full).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-6, "fp16 low part too lossy for these tiny values: {err}");
+        assert!(norm2(&y) > 0.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Level-1 vector kernels: axpy, scale, dot, norm.
+//!
+//! Two execution details matter for reproducing the paper:
+//!
+//! 1. **Reduction order.** The paper remarks (§V) that "numerical errors
+//!    from reductions on the GPU can give slightly different convergence
+//!    behaviors". GPU reductions are blocked trees, not left-to-right sums.
+//!    [`ReductionOrder`] exposes both so experiments can quantify the
+//!    effect and tests can pin determinism.
+//! 2. **Parallelism.** Long vectors use rayon with a length threshold so
+//!    tiny test problems stay sequential (and deterministic by default).
+
+use mpgmres_scalar::Scalar;
+use rayon::prelude::*;
+
+/// Below this length kernels run sequentially; above, rayon kicks in.
+/// Chosen so unit-test-sized problems never pay thread overhead.
+pub const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Summation order for dot products and norms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReductionOrder {
+    /// Strict left-to-right accumulation. Deterministic, matches a serial
+    /// CPU implementation.
+    Sequential,
+    /// Blocked tree reduction with the given block size: partial sums over
+    /// contiguous blocks, then a pairwise tree over block results. This is
+    /// the shape of a GPU grid reduction (one partial per thread block).
+    BlockedTree {
+        /// Elements per leaf block (a GPU thread-block's chunk).
+        block: usize,
+    },
+}
+
+impl Default for ReductionOrder {
+    fn default() -> Self {
+        ReductionOrder::Sequential
+    }
+}
+
+impl ReductionOrder {
+    /// A GPU-like default: 256-element blocks, the V100 sweet spot.
+    pub const GPU_LIKE: ReductionOrder = ReductionOrder::BlockedTree { block: 256 };
+}
+
+/// `y += alpha * x`.
+pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    if x.len() >= PAR_THRESHOLD {
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, &xi)| {
+            *yi = alpha.mul_add(xi, *yi);
+        });
+    } else {
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi = alpha.mul_add(xi, *yi);
+        }
+    }
+}
+
+/// `y = alpha * x + beta * y` (general vector update).
+pub fn axpby<S: Scalar>(alpha: S, x: &[S], beta: S, y: &mut [S]) {
+    assert_eq!(x.len(), y.len(), "axpby: length mismatch");
+    let f = |yi: &mut S, xi: S| *yi = alpha.mul_add(xi, beta * *yi);
+    if x.len() >= PAR_THRESHOLD {
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, &xi)| f(yi, xi));
+    } else {
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            f(yi, xi);
+        }
+    }
+}
+
+/// `x *= alpha`.
+pub fn scale<S: Scalar>(alpha: S, x: &mut [S]) {
+    if x.len() >= PAR_THRESHOLD {
+        x.par_iter_mut().for_each(|xi| *xi *= alpha);
+    } else {
+        for xi in x {
+            *xi *= alpha;
+        }
+    }
+}
+
+/// Copy `src` into `dst`.
+pub fn copy<S: Scalar>(src: &[S], dst: &mut [S]) {
+    assert_eq!(src.len(), dst.len(), "copy: length mismatch");
+    dst.copy_from_slice(src);
+}
+
+/// Set every element to `value`.
+pub fn fill<S: Scalar>(x: &mut [S], value: S) {
+    for xi in x {
+        *xi = value;
+    }
+}
+
+fn dot_seq<S: Scalar>(x: &[S], y: &[S]) -> S {
+    let mut acc = S::zero();
+    for (&xi, &yi) in x.iter().zip(y) {
+        acc = xi.mul_add(yi, acc);
+    }
+    acc
+}
+
+/// Pairwise tree reduction over per-block partial sums.
+fn tree_sum<S: Scalar>(mut parts: Vec<S>) -> S {
+    if parts.is_empty() {
+        return S::zero();
+    }
+    while parts.len() > 1 {
+        let half = parts.len().div_ceil(2);
+        for i in 0..parts.len() / 2 {
+            parts[i] = parts[2 * i] + parts[2 * i + 1];
+        }
+        if parts.len() % 2 == 1 {
+            parts[half - 1] = parts[parts.len() - 1];
+        }
+        parts.truncate(half);
+    }
+    parts[0]
+}
+
+/// Inner product `x . y` under the given reduction order.
+pub fn dot_ordered<S: Scalar>(x: &[S], y: &[S], order: ReductionOrder) -> S {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    match order {
+        ReductionOrder::Sequential => dot_seq(x, y),
+        ReductionOrder::BlockedTree { block } => {
+            let block = block.max(1);
+            let parts: Vec<S> = if x.len() >= PAR_THRESHOLD {
+                x.par_chunks(block)
+                    .zip(y.par_chunks(block))
+                    .map(|(xc, yc)| dot_seq(xc, yc))
+                    .collect()
+            } else {
+                x.chunks(block).zip(y.chunks(block)).map(|(xc, yc)| dot_seq(xc, yc)).collect()
+            };
+            tree_sum(parts)
+        }
+    }
+}
+
+/// Inner product with the default sequential order.
+pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
+    dot_ordered(x, y, ReductionOrder::Sequential)
+}
+
+/// Euclidean norm under the given reduction order.
+///
+/// Accumulates squares in the working precision (as the GPU kernels the
+/// paper profiles do), so fp32 norms of huge vectors can lose digits —
+/// that behaviour is part of what GMRES-IR has to cope with.
+pub fn norm2_ordered<S: Scalar>(x: &[S], order: ReductionOrder) -> S {
+    dot_ordered(x, x, order).sqrt()
+}
+
+/// Euclidean norm, sequential order.
+pub fn norm2<S: Scalar>(x: &[S]) -> S {
+    norm2_ordered(x, ReductionOrder::Sequential)
+}
+
+/// Maximum absolute entry (infinity norm).
+pub fn norm_inf<S: Scalar>(x: &[S]) -> S {
+    let mut m = S::zero();
+    for &xi in x {
+        let a = xi.abs();
+        if a > m {
+            m = a;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpgmres_scalar::Half;
+
+    #[test]
+    fn axpy_basic() {
+        let x = [1.0f64, 2.0, 3.0];
+        let mut y = [10.0f64, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn axpby_zero_beta_overwrites() {
+        let x = [1.0f32, -2.0];
+        let mut y = [5.0f32, 5.0];
+        axpby(3.0, &x, 0.0, &mut y);
+        assert_eq!(y, [3.0, -6.0]);
+    }
+
+    #[test]
+    fn dot_matches_manual() {
+        let x = [1.0f64, 2.0, 3.0];
+        let y = [4.0f64, 5.0, 6.0];
+        assert_eq!(dot(&x, &y), 32.0);
+    }
+
+    #[test]
+    fn norm_of_unit_axis() {
+        let mut e = vec![0.0f64; 100];
+        e[37] = -1.0;
+        assert_eq!(norm2(&e), 1.0);
+        assert_eq!(norm_inf(&e), 1.0);
+    }
+
+    #[test]
+    fn tree_and_sequential_agree_exactly_on_powers_of_two() {
+        // Sums of exactly representable values: both orders are exact.
+        let x: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let ones = vec![1.0f64; 64];
+        let seq = dot_ordered(&x, &ones, ReductionOrder::Sequential);
+        let tree = dot_ordered(&x, &ones, ReductionOrder::BlockedTree { block: 8 });
+        assert_eq!(seq, tree);
+        assert_eq!(seq, (0..64).sum::<i64>() as f64);
+    }
+
+    #[test]
+    fn tree_reduction_is_more_accurate_for_fp32_long_sums() {
+        // Classic: summing n equal values in fp32 left-to-right loses
+        // accuracy once the running sum dwarfs the addend; the blocked tree
+        // keeps partial sums balanced. Verify error(tree) <= error(seq).
+        let n = 1 << 20;
+        let x = vec![1.0f32; n];
+        let ones = vec![1.0f32; n];
+        let exact = n as f64;
+        let seq = f64::from(dot_ordered(&x, &ones, ReductionOrder::Sequential));
+        let tree = f64::from(dot_ordered(&x, &ones, ReductionOrder::GPU_LIKE));
+        assert!((tree - exact).abs() <= (seq - exact).abs());
+        assert_eq!(tree, exact); // powers of two: tree is exact here
+    }
+
+    #[test]
+    fn blocked_tree_handles_ragged_tail() {
+        let x: Vec<f64> = (0..37).map(|i| 0.1 * i as f64).collect();
+        let y: Vec<f64> = (0..37).map(|i| 1.0 - 0.01 * i as f64).collect();
+        let seq = dot_ordered(&x, &y, ReductionOrder::Sequential);
+        let tree = dot_ordered(&x, &y, ReductionOrder::BlockedTree { block: 5 });
+        assert!((seq - tree).abs() < 1e-12 * seq.abs().max(1.0));
+    }
+
+    #[test]
+    fn works_in_half_precision() {
+        let x: Vec<Half> = (0..10).map(|i| Half::from_f32(i as f32)).collect();
+        let n = norm2(&x);
+        let exact = (0..10).map(|i| (i * i) as f32).sum::<f32>().sqrt();
+        assert!((n.to_f32() - exact).abs() < 0.5);
+    }
+
+    #[test]
+    fn scale_and_fill() {
+        let mut x = vec![2.0f64; 5];
+        scale(0.5, &mut x);
+        assert!(x.iter().all(|&v| v == 1.0));
+        fill(&mut x, 7.0);
+        assert!(x.iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn empty_vectors() {
+        let x: [f64; 0] = [];
+        assert_eq!(dot(&x, &x), 0.0);
+        assert_eq!(norm2(&x), 0.0);
+        assert_eq!(norm_inf(&x), 0.0);
+        assert_eq!(dot_ordered(&x, &x, ReductionOrder::GPU_LIKE), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        let x = [1.0f64; 3];
+        let mut y = [1.0f64; 4];
+        axpy(1.0, &x, &mut y);
+    }
+}

@@ -1,0 +1,281 @@
+//! Finite-difference stencil generators matching Galeri's PDE problems.
+//!
+//! All problems discretize on the unit square/cube with an `nx`-point grid
+//! per direction (homogeneous Dirichlet boundary, eliminated), matching
+//! Galeri's conventions. Matrices are scaled by `h^2` so the Laplacian
+//! stencil carries the familiar `(4 | 6, -1)` entries.
+
+use mpgmres_la::coo::Coo;
+use mpgmres_la::csr::Csr;
+
+use crate::fem;
+
+/// 2D Poisson, 5-point stencil: center 4, edge neighbors -1.
+pub fn laplace2d(nx: usize, ny: usize) -> Csr<f64> {
+    assert!(nx > 0 && ny > 0);
+    let n = nx * ny;
+    let mut coo = Coo::with_capacity(n, n, 5 * n);
+    let id = |i: usize, j: usize| j * nx + i;
+    for j in 0..ny {
+        for i in 0..nx {
+            let me = id(i, j);
+            coo.push(me, me, 4.0);
+            if i > 0 {
+                coo.push(me, id(i - 1, j), -1.0);
+            }
+            if i + 1 < nx {
+                coo.push(me, id(i + 1, j), -1.0);
+            }
+            if j > 0 {
+                coo.push(me, id(i, j - 1), -1.0);
+            }
+            if j + 1 < ny {
+                coo.push(me, id(i, j + 1), -1.0);
+            }
+        }
+    }
+    coo.into_csr()
+}
+
+/// 3D Poisson, 7-point stencil: center 6, face neighbors -1.
+///
+/// The paper's `Laplace3D150` is `laplace3d(150)` (n = 3.375M); Figure 1
+/// uses `laplace3d(200)`.
+pub fn laplace3d(nx: usize) -> Csr<f64> {
+    assert!(nx > 0);
+    let n = nx * nx * nx;
+    let mut coo = Coo::with_capacity(n, n, 7 * n);
+    let id = |i: usize, j: usize, k: usize| (k * nx + j) * nx + i;
+    for k in 0..nx {
+        for j in 0..nx {
+            for i in 0..nx {
+                let me = id(i, j, k);
+                coo.push(me, me, 6.0);
+                if i > 0 {
+                    coo.push(me, id(i - 1, j, k), -1.0);
+                }
+                if i + 1 < nx {
+                    coo.push(me, id(i + 1, j, k), -1.0);
+                }
+                if j > 0 {
+                    coo.push(me, id(i, j - 1, k), -1.0);
+                }
+                if j + 1 < nx {
+                    coo.push(me, id(i, j + 1, k), -1.0);
+                }
+                if k > 0 {
+                    coo.push(me, id(i, j, k - 1), -1.0);
+                }
+                if k + 1 < nx {
+                    coo.push(me, id(i, j, k + 1), -1.0);
+                }
+            }
+        }
+    }
+    coo.into_csr()
+}
+
+/// 2D convection-diffusion with a velocity field, central differences.
+///
+/// Discretizes `-lap(u) + v . grad(u)` on the unit square; `velocity(x, y)`
+/// returns the local `(vx, vy)`. Entries are `h^2`-scaled: center 4, and
+/// edge neighbors `-1 +- vx*h/2` / `-1 +- vy*h/2`. Cell Peclet numbers
+/// above ~1 make the matrix strongly nonsymmetric and ill-conditioned —
+/// the regime the paper's BentPipe problem sits in.
+pub fn convection_diffusion2d(
+    nx: usize,
+    ny: usize,
+    mut velocity: impl FnMut(f64, f64) -> (f64, f64),
+) -> Csr<f64> {
+    assert!(nx > 0 && ny > 0);
+    let n = nx * ny;
+    let h = 1.0 / (nx as f64 + 1.0);
+    let mut coo = Coo::with_capacity(n, n, 5 * n);
+    let id = |i: usize, j: usize| j * nx + i;
+    for j in 0..ny {
+        for i in 0..nx {
+            let me = id(i, j);
+            let (x, y) = ((i as f64 + 1.0) * h, (j as f64 + 1.0) * h);
+            let (vx, vy) = velocity(x, y);
+            // h^2 * [ -lap + v.grad ] with central differences:
+            //   u_E coefficient: -1 + vx*h/2, u_W: -1 - vx*h/2, etc.
+            let (ce, cw) = (-1.0 + 0.5 * h * vx, -1.0 - 0.5 * h * vx);
+            let (cn, cs) = (-1.0 + 0.5 * h * vy, -1.0 - 0.5 * h * vy);
+            coo.push(me, me, 4.0);
+            if i > 0 {
+                coo.push(me, id(i - 1, j), cw);
+            }
+            if i + 1 < nx {
+                coo.push(me, id(i + 1, j), ce);
+            }
+            if j > 0 {
+                coo.push(me, id(i, j - 1), cs);
+            }
+            if j + 1 < ny {
+                coo.push(me, id(i, j + 1), cn);
+            }
+        }
+    }
+    coo.into_csr()
+}
+
+/// Galeri's `UniFlow2D`: uniform unidirectional flow at angle zero —
+/// constant velocity `(conv, 0)`.
+///
+/// `conv` is chosen via the target maximum cell Peclet number `peclet`:
+/// `conv = 2 * peclet / h`. The paper's UniFlow2D2500 is
+/// `uniflow2d(2500, ...)` (n = 6.25M).
+pub fn uniflow2d(nx: usize, peclet: f64) -> Csr<f64> {
+    let h = 1.0 / (nx as f64 + 1.0);
+    let conv = 2.0 * peclet / h;
+    convection_diffusion2d(nx, nx, |_x, _y| (conv, 0.0))
+}
+
+/// Galeri's `BentPipe2D`: recirculating ("bent pipe") flow
+/// `v = conv * (4x(x-1)(1-2y), -4y(y-1)(1-2x))`.
+///
+/// Strongly convection-dominated and highly nonsymmetric (paper §V-B).
+/// `peclet` sets the maximum cell Peclet number over the domain.
+pub fn bentpipe2d(nx: usize, peclet: f64) -> Csr<f64> {
+    let h = 1.0 / (nx as f64 + 1.0);
+    // max |4x(x-1)(1-2y)| over the unit square = 1 (at x=1/2, y in {0,1}).
+    let conv = 2.0 * peclet / h;
+    convection_diffusion2d(nx, nx, |x, y| {
+        (
+            conv * 4.0 * x * (x - 1.0) * (1.0 - 2.0 * y),
+            -conv * 4.0 * y * (y - 1.0) * (1.0 - 2.0 * x),
+        )
+    })
+}
+
+/// Galeri's `Stretched2D`: Q1 bilinear FEM Laplacian on a grid stretched
+/// by `stretch` in the y direction (9-point stencil, SPD, condition number
+/// grows like `stretch^2` — "GMRES(50) cannot converge without
+/// preconditioning", §V-C).
+pub fn stretched2d(nx: usize, stretch: f64) -> Csr<f64> {
+    fem::q1_laplacian_2d(nx, nx, 1.0, stretch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpgmres_la::stats::MatrixStats;
+
+    #[test]
+    fn laplace2d_structure() {
+        let a = laplace2d(4, 3);
+        assert_eq!(a.nrows(), 12);
+        // nnz = 5n - 2*(boundary deficits): count directly.
+        let s = MatrixStats::of(&a);
+        assert_eq!(s.max_nnz_per_row, 5);
+        assert!(a.is_symmetric(0.0));
+        // Interior row sums to zero; all rows sum >= 0 (diagonal dominance).
+        for r in 0..a.nrows() {
+            let sum: f64 = a.row(r).map(|(_, v)| v).sum();
+            assert!(sum >= -1e-14);
+        }
+    }
+
+    #[test]
+    fn laplace2d_nnz_formula() {
+        let (nx, ny) = (7, 5);
+        let a = laplace2d(nx, ny);
+        let expected = 5 * nx * ny - 2 * nx - 2 * ny;
+        assert_eq!(a.nnz(), expected);
+    }
+
+    #[test]
+    fn laplace3d_nnz_formula() {
+        let nx = 5;
+        let a = laplace3d(nx);
+        let expected = 7 * nx * nx * nx - 6 * nx * nx;
+        assert_eq!(a.nnz(), expected);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn laplace3d_matches_paper_density() {
+        // Paper: Laplace3D150 has n = 3,375,000 and nnz = 23,490,000.
+        // Check the formula at nx = 150 without building the matrix.
+        let nx: usize = 150;
+        assert_eq!(nx * nx * nx, 3_375_000);
+        assert_eq!(7 * nx * nx * nx - 6 * nx * nx, 23_490_000);
+    }
+
+    #[test]
+    fn uniflow_is_nonsymmetric_with_correct_peclet() {
+        let nx = 10;
+        let a = uniflow2d(nx, 1.5);
+        assert!(!a.is_symmetric(1e-12));
+        // East/west coefficients are -1 +- 1.5.
+        let mut found_e = false;
+        for (c, v) in a.row(1) {
+            if c == 2 {
+                assert!((v - 0.5).abs() < 1e-12, "east coeff {v}");
+                found_e = true;
+            }
+            if c == 0 {
+                assert!((v + 2.5).abs() < 1e-12, "west coeff {v}");
+            }
+        }
+        assert!(found_e);
+    }
+
+    #[test]
+    fn uniflow_matches_paper_density() {
+        // Paper: UniFlow2D2500 has n = 6,250,000 and nnz = 31,240,000.
+        let nx: usize = 2500;
+        assert_eq!(nx * nx, 6_250_000);
+        assert_eq!(5 * nx * nx - 4 * nx, 31_240_000);
+    }
+
+    #[test]
+    fn bentpipe_velocity_vanishes_on_boundary_and_center() {
+        let a = bentpipe2d(9, 2.0);
+        assert!(!a.is_symmetric(1e-12));
+        // The center node (x=y=0.5): velocity is zero, so its row must be
+        // the plain Laplacian stencil.
+        let mid = 4 * 9 + 4;
+        for (c, v) in a.row(mid) {
+            if c == mid {
+                assert!((v - 4.0).abs() < 1e-12);
+            } else {
+                assert!((v + 1.0).abs() < 1e-12, "center row coeff {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn bentpipe_matches_paper_density() {
+        // Paper: BentPipe2D1500 has n = 2,250,000, nnz = 11,244,000.
+        let nx: usize = 1500;
+        assert_eq!(nx * nx, 2_250_000);
+        assert_eq!(5 * nx * nx - 4 * nx, 11_244_000);
+    }
+
+    #[test]
+    fn stretched2d_is_spd_shaped_nine_point() {
+        let a = stretched2d(6, 8.0);
+        assert!(a.is_symmetric(1e-12));
+        let s = MatrixStats::of(&a);
+        assert_eq!(s.max_nnz_per_row, 9);
+        // Diagonal entries positive.
+        for r in 0..a.nrows() {
+            let d: f64 = a.row(r).find(|&(c, _)| c == r).map(|(_, v)| v).unwrap();
+            assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn stretched2d_matches_paper_density() {
+        // Paper: Stretched2D1500 has n = 2,250,000, nnz = 20,232,004.
+        let nx: usize = 1500;
+        assert_eq!(nx * nx, 2_250_000);
+        // 9-point stencil nnz: 9n - boundary corrections
+        // = 9 nx^2 - 12 nx + 4 for an nx x nx grid.
+        assert_eq!(9 * nx * nx - 12 * nx + 4, 20_232_004);
+        // And our generator at small size obeys the same formula.
+        let a = stretched2d(7, 4.0);
+        assert_eq!(a.nnz(), 9 * 49 - 12 * 7 + 4);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests on the matrix generators.
+
+use mpgmres_la::stats::MatrixStats;
+use mpgmres_matgen::{galeri, suitesparse};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Laplace2D invariants for arbitrary grid shapes.
+    #[test]
+    fn laplace2d_invariants(nx in 1usize..24, ny in 1usize..24) {
+        let a = galeri::laplace2d(nx, ny);
+        prop_assert_eq!(a.nrows(), nx * ny);
+        prop_assert_eq!(a.nnz(), 5 * nx * ny - 2 * nx - 2 * ny);
+        prop_assert!(a.is_symmetric(0.0));
+        // Weak diagonal dominance with at least one strongly dominant row.
+        let mut strict = false;
+        for r in 0..a.nrows() {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (c, v) in a.row(r) {
+                if c == r { diag = v } else { off += v.abs() }
+            }
+            prop_assert!(diag >= off - 1e-12);
+            if diag > off + 1e-12 {
+                strict = true;
+            }
+        }
+        prop_assert!(strict, "boundary rows must be strictly dominant");
+    }
+
+    /// Laplace3D nnz formula for arbitrary sizes.
+    #[test]
+    fn laplace3d_nnz(nx in 1usize..10) {
+        let a = galeri::laplace3d(nx);
+        prop_assert_eq!(a.nnz(), 7 * nx * nx * nx - 6 * nx * nx);
+        prop_assert!(a.is_symmetric(0.0));
+    }
+
+    /// Convection-diffusion row sums are independent of the wind
+    /// (convection is skew: +-v*h/2 cancels row-wise away from boundary).
+    #[test]
+    fn convection_preserves_row_sums(nx in 3usize..16, pe in 0.0f64..3.0) {
+        let plain = galeri::laplace2d(nx, nx);
+        let windy = galeri::uniflow2d(nx, pe);
+        prop_assert_eq!(plain.nnz(), windy.nnz());
+        for r in 0..plain.nrows() {
+            let s0: f64 = plain.row(r).map(|(_, v)| v).sum();
+            let s1: f64 = windy.row(r).map(|(_, v)| v).sum();
+            // Interior rows: both sum to 0; west/east boundary rows differ
+            // by the missing +-pe term.
+            prop_assert!((s1 - s0).abs() <= pe + 1e-12,
+                "row {r}: {s0} vs {s1}");
+        }
+    }
+
+    /// The stretched FEM matrix is symmetric with a 9-point pattern at
+    /// every stretch factor.
+    #[test]
+    fn stretched_fem_invariants(nx in 2usize..14, stretch in 0.2f64..50.0) {
+        let a = galeri::stretched2d(nx, stretch);
+        prop_assert!(a.is_symmetric(1e-11));
+        let st = MatrixStats::of(&a);
+        prop_assert!(st.max_nnz_per_row <= 9);
+        // Positive diagonal everywhere (SPD necessary condition).
+        for r in 0..a.nrows() {
+            let d = a.row(r).find(|&(c, _)| c == r).map(|(_, v)| v).unwrap_or(0.0);
+            prop_assert!(d > 0.0, "row {r} diagonal {d}");
+        }
+    }
+
+    /// Surrogates build at any scale and keep their symmetry class.
+    #[test]
+    fn surrogates_scale_invariant_classes(scale in 0.02f64..0.12, idx in 0usize..10) {
+        let entry = &suitesparse::TABLE3[idx];
+        let a = suitesparse::surrogate(entry.name, scale);
+        prop_assert!(a.nrows() > 0);
+        let sym = a.is_symmetric(1e-9);
+        match entry.symmetry {
+            suitesparse::Symmetry::General => prop_assert!(!sym),
+            _ => prop_assert!(sym),
+        }
+    }
+
+    /// BentPipe's velocity field vanishes at the domain centre: the
+    /// central row is the plain Laplacian stencil at every Peclet.
+    #[test]
+    fn bentpipe_center_row(pe in 0.0f64..8.0) {
+        let nx = 9; // odd -> exact centre node
+        let a = galeri::bentpipe2d(nx, pe);
+        let mid = (nx / 2) * nx + nx / 2;
+        for (c, v) in a.row(mid) {
+            if c == mid {
+                prop_assert!((v - 4.0).abs() < 1e-10);
+            } else {
+                prop_assert!((v + 1.0).abs() < 1e-10);
+            }
+        }
+    }
+}

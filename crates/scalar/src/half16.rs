@@ -1,0 +1,433 @@
+//! Software IEEE 754 binary16 ("half", fp16).
+//!
+//! The paper's future-work section proposes a third precision level below
+//! fp32 once Kokkos supports half. No stable Rust `f16` exists in our
+//! toolchain targets, so this module implements binary16 in software:
+//! storage is a `u16` bit pattern; arithmetic converts both operands to
+//! `f32`, performs the op, and rounds the result back to binary16.
+//!
+//! That emulation is *correctly rounded*: binary32 has p2 = 24 significand
+//! bits and binary16 has p1 = 11, and p2 >= 2*p1 + 2 guarantees that
+//! "compute in wide, round once to narrow" produces the same result as a
+//! native correctly-rounded binary16 operation for `+ - * /` and `sqrt`
+//! (Roux 2014 / Boldo-Melquiond double-rounding criterion).
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// IEEE 754 binary16 value stored as its bit pattern.
+#[derive(Clone, Copy, Default, PartialEq)]
+#[repr(transparent)]
+pub struct Half(u16);
+
+const EXP_MASK: u16 = 0x7c00;
+const MAN_MASK: u16 = 0x03ff;
+const SIGN_MASK: u16 = 0x8000;
+
+impl Half {
+    /// Positive zero.
+    pub const ZERO: Half = Half(0);
+    /// One.
+    pub const ONE: Half = Half(0x3c00);
+    /// Largest finite value, `65504`.
+    pub const MAX: Half = Half(0x7bff);
+    /// Smallest positive normal value, `2^-14`.
+    pub const MIN_POSITIVE: Half = Half(0x0400);
+    /// Smallest positive subnormal value, `2^-24`.
+    pub const MIN_SUBNORMAL: Half = Half(0x0001);
+    /// Positive infinity.
+    pub const INFINITY: Half = Half(0x7c00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Half = Half(0xfc00);
+    /// A quiet NaN.
+    pub const NAN: Half = Half(0x7e00);
+    /// Machine epsilon, `2^-10` (distance from 1.0 to the next value).
+    pub const EPSILON: Half = Half(0x1400);
+
+    /// Construct from a raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Half {
+        Half(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Round an `f32` to the nearest binary16 (ties to even).
+    pub fn from_f32(value: f32) -> Half {
+        let x = value.to_bits();
+        let sign = ((x >> 16) & 0x8000) as u16;
+        let exp = ((x >> 23) & 0xff) as i32;
+        let man = x & 0x007f_ffff;
+
+        if exp == 0xff {
+            return if man == 0 {
+                Half(sign | EXP_MASK) // +-Inf
+            } else {
+                // NaN: preserve top payload bits, force quiet/nonzero.
+                let payload = (man >> 13) as u16 & MAN_MASK;
+                Half(sign | EXP_MASK | if payload == 0 { 0x0200 } else { payload })
+            };
+        }
+
+        let half_exp = exp - 127 + 15;
+        if half_exp >= 0x1f {
+            // Magnitude >= 2^16: overflows to infinity under RNE.
+            return Half(sign | EXP_MASK);
+        }
+        if half_exp <= 0 {
+            if half_exp < -10 {
+                // Below half the smallest subnormal: rounds to zero.
+                return Half(sign);
+            }
+            // Subnormal result: significand (with implicit bit) shifted right.
+            let man = man | 0x0080_0000;
+            let shift = (14 - half_exp) as u32;
+            let half_man = man >> shift;
+            let round_bit = 1u32 << (shift - 1);
+            let rem = man & ((1u32 << shift) - 1);
+            let mut h = half_man as u16;
+            if rem > round_bit || (rem == round_bit && (h & 1) == 1) {
+                h += 1; // may carry into the exponent field: that is correct
+            }
+            return Half(sign | h);
+        }
+
+        // Normal result.
+        let half_man = (man >> 13) as u16;
+        let rem = man & 0x1fff;
+        let mut h = ((half_exp as u16) << 10) | half_man;
+        if rem > 0x1000 || (rem == 0x1000 && (h & 1) == 1) {
+            h = h.wrapping_add(1); // carry may turn exp 30 -> 31 (overflow to Inf): correct
+        }
+        Half(sign | h)
+    }
+
+    /// Round an `f64` to the nearest binary16 (ties to even), in a single
+    /// rounding step (no intermediate `f32`, so no double rounding).
+    pub fn from_f64(value: f64) -> Half {
+        let x = value.to_bits();
+        let sign = ((x >> 48) & 0x8000) as u16;
+        let exp = ((x >> 52) & 0x7ff) as i32;
+        let man = x & 0x000f_ffff_ffff_ffff;
+
+        if exp == 0x7ff {
+            return if man == 0 {
+                Half(sign | EXP_MASK)
+            } else {
+                let payload = (man >> 42) as u16 & MAN_MASK;
+                Half(sign | EXP_MASK | if payload == 0 { 0x0200 } else { payload })
+            };
+        }
+
+        let half_exp = exp - 1023 + 15;
+        if half_exp >= 0x1f {
+            return Half(sign | EXP_MASK);
+        }
+        if half_exp <= 0 {
+            if half_exp < -10 {
+                return Half(sign);
+            }
+            let man = man | 0x0010_0000_0000_0000;
+            let shift = (43 - half_exp) as u32;
+            let half_man = man >> shift;
+            let round_bit = 1u64 << (shift - 1);
+            let rem = man & ((1u64 << shift) - 1);
+            let mut h = half_man as u16;
+            if rem > round_bit || (rem == round_bit && (h & 1) == 1) {
+                h += 1;
+            }
+            return Half(sign | h);
+        }
+
+        let half_man = (man >> 42) as u16;
+        let rem = man & ((1u64 << 42) - 1);
+        let mut h = ((half_exp as u16) << 10) | half_man;
+        let tie = 1u64 << 41;
+        if rem > tie || (rem == tie && (h & 1) == 1) {
+            h = h.wrapping_add(1);
+        }
+        Half(sign | h)
+    }
+
+    /// Exact widening conversion to `f32`.
+    pub fn to_f32(self) -> f32 {
+        let sign = u32::from(self.0 & SIGN_MASK) << 16;
+        let exp = (self.0 & EXP_MASK) >> 10;
+        let man = u32::from(self.0 & MAN_MASK);
+
+        if exp == 0x1f {
+            return if man == 0 {
+                f32::from_bits(sign | 0x7f80_0000)
+            } else {
+                f32::from_bits(sign | 0x7f80_0000 | (man << 13) | 0x0040_0000)
+            };
+        }
+        if exp == 0 {
+            if man == 0 {
+                return f32::from_bits(sign);
+            }
+            // Subnormal: value = man * 2^-24. Normalize into f32.
+            let p = 31 - man.leading_zeros(); // MSB position, 0..=9
+            let exp32 = p + 103; // p - 24 + 127
+            let man32 = (man << (23 - p)) & 0x007f_ffff;
+            return f32::from_bits(sign | (exp32 << 23) | man32);
+        }
+        f32::from_bits(sign | ((u32::from(exp) + 112) << 23) | (man << 13))
+    }
+
+    /// Exact widening conversion to `f64`.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.to_f32())
+    }
+
+    /// `true` if the value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// `true` if the value is finite (neither Inf nor NaN).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// Absolute value (clears the sign bit).
+    #[inline]
+    pub fn abs(self) -> Half {
+        Half(self.0 & !SIGN_MASK)
+    }
+
+    /// Correctly rounded square root.
+    ///
+    /// `f32` sqrt of an exact binary16 input, rounded once back to binary16,
+    /// is correctly rounded by the same p2 >= 2*p1+2 criterion as the other
+    /// operations.
+    pub fn sqrt(self) -> Half {
+        Half::from_f32(self.to_f32().sqrt())
+    }
+}
+
+impl Add for Half {
+    type Output = Half;
+    #[inline]
+    fn add(self, rhs: Half) -> Half {
+        Half::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl Sub for Half {
+    type Output = Half;
+    #[inline]
+    fn sub(self, rhs: Half) -> Half {
+        Half::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl Mul for Half {
+    type Output = Half;
+    #[inline]
+    fn mul(self, rhs: Half) -> Half {
+        Half::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl Div for Half {
+    type Output = Half;
+    #[inline]
+    fn div(self, rhs: Half) -> Half {
+        Half::from_f32(self.to_f32() / rhs.to_f32())
+    }
+}
+
+impl Neg for Half {
+    type Output = Half;
+    #[inline]
+    fn neg(self) -> Half {
+        Half(self.0 ^ SIGN_MASK)
+    }
+}
+
+impl AddAssign for Half {
+    #[inline]
+    fn add_assign(&mut self, rhs: Half) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Half {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Half) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Half {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Half) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Half {
+    #[inline]
+    fn div_assign(&mut self, rhs: Half) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Half {
+    #[inline]
+    fn partial_cmp(&self, other: &Half) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for Half {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}h16", self.to_f32())
+    }
+}
+
+impl fmt::Display for Half {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl From<f32> for Half {
+    fn from(v: f32) -> Half {
+        Half::from_f32(v)
+    }
+}
+
+impl From<Half> for f32 {
+    fn from(v: Half) -> f32 {
+        v.to_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(Half::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(Half::from_f32(-0.0).to_bits(), 0x8000);
+        assert_eq!(Half::from_f32(1.0).to_bits(), 0x3c00);
+        assert_eq!(Half::from_f32(-2.0).to_bits(), 0xc000);
+        assert_eq!(Half::from_f32(65504.0).to_bits(), 0x7bff);
+        assert_eq!(Half::from_f32(f32::INFINITY).to_bits(), 0x7c00);
+        assert_eq!(Half::from_f32(f32::NEG_INFINITY).to_bits(), 0xfc00);
+        assert!(Half::from_f32(f32::NAN).is_nan());
+        // 2^-24 is the smallest subnormal.
+        assert_eq!(Half::from_f32(5.960_464_5e-8).to_bits(), 0x0001);
+        // 2^-14 is the smallest normal.
+        assert_eq!(Half::from_f32(6.103_515_6e-5).to_bits(), 0x0400);
+    }
+
+    #[test]
+    fn overflow_boundary_rne() {
+        // 65504 is max finite; the overflow threshold for RNE is 65520.
+        assert_eq!(Half::from_f32(65519.0).to_bits(), 0x7bff);
+        assert_eq!(Half::from_f32(65520.0).to_bits(), 0x7c00); // tie rounds to even = Inf
+        assert_eq!(Half::from_f32(65521.0).to_bits(), 0x7c00);
+        assert_eq!(Half::from_f64(65519.999).to_bits(), 0x7bff);
+        assert_eq!(Half::from_f64(65520.0).to_bits(), 0x7c00);
+    }
+
+    #[test]
+    fn underflow_boundary_rne() {
+        // Half the smallest subnormal, 2^-25, ties to even -> zero.
+        let tiny = (2.0f64).powi(-25);
+        assert_eq!(Half::from_f64(tiny).to_bits(), 0x0000);
+        // Slightly above ties away from zero -> smallest subnormal.
+        assert_eq!(Half::from_f64(tiny * 1.0001).to_bits(), 0x0001);
+        // Slightly below -> zero.
+        assert_eq!(Half::from_f64(tiny * 0.9999).to_bits(), 0x0000);
+        // Sign is preserved on underflow.
+        assert_eq!(Half::from_f64(-tiny * 0.5).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn ties_to_even_normal_range() {
+        // 1 + 2^-11 is exactly between 1.0 and 1 + 2^-10: ties to even -> 1.0.
+        let tie = 1.0 + (2.0f64).powi(-11);
+        assert_eq!(Half::from_f64(tie).to_bits(), 0x3c00);
+        // 1 + 3*2^-11 is between 1+2^-10 (odd mantissa) and 1+2^-9: -> 1+2^-9.
+        let tie2 = 1.0 + 3.0 * (2.0f64).powi(-11);
+        assert_eq!(Half::from_f64(tie2).to_bits(), 0x3c02);
+    }
+
+    #[test]
+    fn roundtrip_all_finite_bit_patterns() {
+        // Exhaustive: every non-NaN half value must survive h -> f32 -> h
+        // and h -> f64 -> h exactly.
+        for bits in 0..=u16::MAX {
+            let h = Half::from_bits(bits);
+            if h.is_nan() {
+                assert!(Half::from_f32(h.to_f32()).is_nan());
+                continue;
+            }
+            assert_eq!(Half::from_f32(h.to_f32()).to_bits(), bits, "f32 roundtrip {bits:#x}");
+            assert_eq!(Half::from_f64(h.to_f64()).to_bits(), bits, "f64 roundtrip {bits:#x}");
+        }
+    }
+
+    #[test]
+    fn from_f64_and_from_f32_agree_on_f32_inputs() {
+        // For inputs exactly representable in f32, the two conversion paths
+        // must agree (f32 -> f64 widening is exact).
+        let cases = [
+            0.1f32, 1.0, -1.5, 3.14159, 1e-5, 1e5, 6.1e-5, 5.9e-8, 65504.0, 65520.0, -65536.0,
+        ];
+        for &x in &cases {
+            assert_eq!(
+                Half::from_f32(x).to_bits(),
+                Half::from_f64(f64::from(x)).to_bits(),
+                "mismatch for {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn arithmetic_is_correctly_rounded_vs_f64_reference() {
+        // Spot-check: computing in f64 and rounding once must equal our
+        // compute-in-f32-and-round emulation (both are correctly rounded).
+        let vals: Vec<Half> = (0..200).map(|i| Half::from_f32(0.37 * i as f32 - 31.0)).collect();
+        for &a in &vals {
+            for &b in &vals {
+                let sum = Half::from_f64(a.to_f64() + b.to_f64());
+                assert_eq!((a + b).to_bits(), sum.to_bits());
+                let prod = Half::from_f64(a.to_f64() * b.to_f64());
+                assert_eq!((a * b).to_bits(), prod.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn neg_flips_sign_only() {
+        let h = Half::from_f32(3.5);
+        assert_eq!((-h).to_f32(), -3.5);
+        assert_eq!((-(-h)).to_bits(), h.to_bits());
+    }
+
+    #[test]
+    fn nan_payload_preserved_nonzero() {
+        let nan32 = f32::from_bits(0x7f80_0001); // signaling-ish payload that shifts to 0
+        let h = Half::from_f32(nan32);
+        assert!(h.is_nan(), "payload must not collapse NaN to Inf");
+    }
+
+    #[test]
+    fn half_precision_swamping() {
+        // Demonstrates why fp16 GMRES stalls early: 2048 + 1 == 2048 in binary16.
+        let big = Half::from_f32(2048.0);
+        let one = Half::ONE;
+        assert_eq!((big + one).to_bits(), big.to_bits());
+    }
+}

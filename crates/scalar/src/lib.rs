@@ -1,0 +1,114 @@
+//! Precision abstraction for multiprecision GMRES.
+//!
+//! The paper (Loe et al., IPDPS 2021) runs the same GMRES algorithm in
+//! different working precisions (fp64, fp32, and — as future work — fp16).
+//! This crate provides the [`Scalar`] trait that the whole workspace is
+//! generic over, concrete impls for `f64`/`f32`, a software IEEE 754
+//! binary16 type [`Half`], precision [`cast`]ing helpers, and a runtime
+//! [`Precision`] descriptor used by the performance model to price memory
+//! traffic per precision.
+//!
+//! # Example
+//!
+//! ```
+//! use mpgmres_scalar::{Scalar, Half, cast};
+//!
+//! fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
+//!     for (yi, &xi) in y.iter_mut().zip(x) {
+//!         *yi = alpha.mul_add(xi, *yi);
+//!     }
+//! }
+//!
+//! let x = [1.0f32, 2.0, 3.0];
+//! let mut y = [0.5f32; 3];
+//! axpy(2.0f32, &x, &mut y);
+//! assert_eq!(y, [2.5, 4.5, 6.5]);
+//!
+//! // The same kernel runs in software half precision:
+//! let xh: Vec<Half> = x.iter().map(|&v| cast::<f32, Half>(v)).collect();
+//! let mut yh = vec![Half::from_f32(0.5); 3];
+//! axpy(Half::from_f32(2.0), &xh, &mut yh);
+//! assert_eq!(yh[0].to_f32(), 2.5);
+//! ```
+
+mod half16;
+mod precision;
+mod traits;
+mod ulp;
+
+pub use half16::Half;
+pub use precision::Precision;
+pub use traits::Scalar;
+pub use ulp::{ulp_diff_f32, ulp_diff_f64};
+
+/// Losslessly widen to `f64`, then round once into the target precision.
+///
+/// Widening any supported scalar to `f64` is exact (`f32 -> f64` and
+/// `Half -> f64` are injective), so the single rounding happens in
+/// `T::from_f64` and the cast is correctly rounded for every `S -> T` pair.
+#[inline]
+pub fn cast<S: Scalar, T: Scalar>(x: S) -> T {
+    T::from_f64(x.to_f64())
+}
+
+/// Cast an entire slice into a freshly allocated vector of another precision.
+pub fn cast_slice<S: Scalar, T: Scalar>(xs: &[S]) -> Vec<T> {
+    xs.iter().map(|&x| cast::<S, T>(x)).collect()
+}
+
+/// Cast a slice into an existing buffer of another precision.
+///
+/// # Panics
+/// Panics if the two slices have different lengths.
+pub fn cast_into<S: Scalar, T: Scalar>(src: &[S], dst: &mut [T]) {
+    assert_eq!(src.len(), dst.len(), "cast_into: length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = cast::<S, T>(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cast_f64_to_f32_rounds_once() {
+        let x = 0.1f64;
+        let y: f32 = cast(x);
+        assert_eq!(y, 0.1f32);
+    }
+
+    #[test]
+    fn cast_roundtrip_f32_via_f64_is_identity() {
+        for &x in &[1.5f32, -2.25, 1e-30, 3.4e38, 0.0, -0.0] {
+            let up: f64 = cast(x);
+            let back: f32 = cast(up);
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn cast_slice_matches_elementwise() {
+        let xs = [1.0f64, 2.5, -3.75, 1e-8];
+        let ys: Vec<f32> = cast_slice(&xs);
+        for (y, x) in ys.iter().zip(&xs) {
+            assert_eq!(*y, *x as f32);
+        }
+    }
+
+    #[test]
+    fn cast_into_checks_lengths() {
+        let xs = [1.0f64; 4];
+        let mut ys = [0.0f32; 4];
+        cast_into(&xs, &mut ys);
+        assert!(ys.iter().all(|&y| y == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn cast_into_panics_on_mismatch() {
+        let xs = [1.0f64; 4];
+        let mut ys = [0.0f32; 3];
+        cast_into(&xs, &mut ys);
+    }
+}

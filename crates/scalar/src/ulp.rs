@@ -1,0 +1,81 @@
+//! ULP (units in the last place) distance helpers for numeric tests.
+//!
+//! Comparing iterative-solver outputs for exact equality is meaningless;
+//! comparing with a fixed absolute tolerance hides precision bugs. These
+//! helpers measure the distance in representable values, which is the
+//! right yardstick for "how many roundings apart are these results".
+
+/// Number of representable `f64` values strictly between `a` and `b`
+/// (plus one if they differ), i.e. the ULP distance. Returns `u64::MAX`
+/// for NaN inputs or mismatched infinite signs.
+pub fn ulp_diff_f64(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    let to_ordered = |x: f64| -> i64 {
+        let bits = x.to_bits() as i64;
+        // Map the sign-magnitude float representation to a monotone integer
+        // line: negative floats are flipped below zero.
+        if bits < 0 {
+            i64::MIN.wrapping_add(bits.wrapping_neg())
+        } else {
+            bits
+        }
+    };
+    let (x, y) = (to_ordered(a), to_ordered(b));
+    x.abs_diff(y)
+}
+
+/// ULP distance between two `f32` values. See [`ulp_diff_f64`].
+pub fn ulp_diff_f32(a: f32, b: f32) -> u32 {
+    if a.is_nan() || b.is_nan() {
+        return u32::MAX;
+    }
+    let to_ordered = |x: f32| -> i32 {
+        let bits = x.to_bits() as i32;
+        if bits < 0 {
+            i32::MIN.wrapping_add(bits.wrapping_neg())
+        } else {
+            bits
+        }
+    };
+    let (x, y) = (to_ordered(a), to_ordered(b));
+    x.abs_diff(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_values_are_zero_ulps() {
+        assert_eq!(ulp_diff_f64(1.0, 1.0), 0);
+        assert_eq!(ulp_diff_f32(-3.5, -3.5), 0);
+    }
+
+    #[test]
+    fn adjacent_values_are_one_ulp() {
+        let a = 1.0f64;
+        let b = f64::from_bits(a.to_bits() + 1);
+        assert_eq!(ulp_diff_f64(a, b), 1);
+        let a = -1.0f32;
+        let b = f32::from_bits(a.to_bits() + 1); // next toward -inf in magnitude space
+        assert_eq!(ulp_diff_f32(a, b), 1);
+    }
+
+    #[test]
+    fn spans_zero_correctly() {
+        // Distance from the smallest positive to the smallest negative
+        // subnormal is exactly 2 (one step to each side of +-0).
+        let pos = f64::from_bits(1);
+        let neg = -pos;
+        assert_eq!(ulp_diff_f64(pos, neg), 2);
+        assert_eq!(ulp_diff_f64(0.0, -0.0), 0);
+    }
+
+    #[test]
+    fn nan_is_max_distance() {
+        assert_eq!(ulp_diff_f64(f64::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_diff_f32(1.0, f32::NAN), u32::MAX);
+    }
+}

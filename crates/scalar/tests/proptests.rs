@@ -1,0 +1,85 @@
+//! Property-based tests for the precision substrate.
+
+use mpgmres_scalar::{cast, ulp_diff_f32, Half, Scalar};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every finite half value survives the round trip through f32 exactly.
+    #[test]
+    fn half_f32_roundtrip(bits in 0u16..=u16::MAX) {
+        let h = Half::from_bits(bits);
+        prop_assume!(!h.is_nan());
+        prop_assert_eq!(Half::from_f32(h.to_f32()).to_bits(), bits);
+    }
+
+    /// from_f32 is monotone: a <= b implies from(a) <= from(b).
+    #[test]
+    fn half_from_f32_monotone(a in -70000.0f32..70000.0, b in -70000.0f32..70000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (hl, hh) = (Half::from_f32(lo), Half::from_f32(hi));
+        prop_assert!(hl <= hh, "from_f32 not monotone: {lo} -> {hl:?}, {hi} -> {hh:?}");
+    }
+
+    /// Rounding error of from_f32 is at most half an ULP of the result.
+    #[test]
+    fn half_rounding_error_bounded(x in -65000.0f32..65000.0) {
+        let h = Half::from_f32(x);
+        let back = h.to_f32();
+        // ULP of the half result, measured in f32.
+        let next = Half::from_bits(h.to_bits().wrapping_add(1));
+        let ulp = if next.is_nan() || !next.is_finite() {
+            (2.0f32).powi(5) // near max: ulp = 2^5 at 2^15 scale
+        } else {
+            (next.to_f32() - back).abs()
+        };
+        prop_assert!((back - x).abs() <= 0.5 * ulp.max(f32::MIN_POSITIVE),
+            "|{back} - {x}| > ulp/2 = {}", 0.5 * ulp);
+    }
+
+    /// from_f64 and from_f32 agree whenever the input is exactly an f32.
+    #[test]
+    fn half_conversion_paths_agree(x in proptest::num::f32::NORMAL) {
+        let via32 = Half::from_f32(x);
+        let via64 = Half::from_f64(f64::from(x));
+        if via32.is_nan() {
+            prop_assert!(via64.is_nan());
+        } else {
+            prop_assert_eq!(via32.to_bits(), via64.to_bits());
+        }
+    }
+
+    /// Addition commutes exactly in every precision (IEEE round-to-nearest).
+    #[test]
+    fn half_addition_commutes(a in -1e4f32..1e4, b in -1e4f32..1e4) {
+        let (ha, hb) = (Half::from_f32(a), Half::from_f32(b));
+        prop_assert_eq!((ha + hb).to_bits(), (hb + ha).to_bits());
+    }
+
+    /// cast::<S, T> through f64 never moves an f32 value by more than the
+    /// target epsilon relative error (for normal-range values).
+    #[test]
+    fn cast_relative_error_bound(x in 1e-4f64..1e4) {
+        let y: f32 = cast(x);
+        prop_assert!(((f64::from(y) - x) / x).abs() <= f32::EPS / 2.0 * 1.0001);
+        let h: Half = cast(x.min(6e4));
+        let xa = x.min(6e4);
+        prop_assert!(((h.to_f64() - xa) / xa).abs() <= Half::EPS / 2.0 * 1.0001);
+    }
+
+    /// ULP distance of adjacent f32 values is 1 across the whole line.
+    #[test]
+    fn ulp_adjacent_is_one(bits in 0u32..0x7f7f_ffff) {
+        let a = f32::from_bits(bits);
+        let b = f32::from_bits(bits + 1);
+        prop_assume!(a.is_finite() && b.is_finite());
+        prop_assert_eq!(ulp_diff_f32(a, b), 1);
+    }
+
+    /// abs/neg interact correctly in half precision.
+    #[test]
+    fn half_abs_neg(x in -6e4f32..6e4) {
+        let h = Half::from_f32(x);
+        prop_assert_eq!((-h).abs().to_bits(), h.abs().to_bits());
+        prop_assert!(h.abs().to_f32() >= 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! RCM reordering + block Jacobi preconditioning (§V-G, the `hood` /
+//! `lung2` rows of Table III).
+//!
+//! ```text
+//! cargo run --release --example block_jacobi_rcm [block_size]
+//! ```
+//!
+//! Reverse Cuthill-McKee gathers strongly coupled unknowns near the
+//! diagonal so that the diagonal blocks capture real physics; block
+//! Jacobi then gives a GPU-friendly (embarrassingly parallel) solve per
+//! application.
+
+use multiprec_gmres::la::rcm::{bandwidth, rcm};
+use multiprec_gmres::matgen::suitesparse;
+use multiprec_gmres::prelude::*;
+
+fn main() {
+    let block_size: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    // The "hood" surrogate: SPD FEM matrix with strong local coefficient
+    // patches (see matgen::suitesparse for the substitution rationale).
+    // Scramble the generator's grid-ordered numbering first — real
+    // SuiteSparse downloads arrive in arbitrary orderings, which is why
+    // the paper applies RCM before blocking.
+    let raw = suitesparse::surrogate("hood", 0.12);
+    let n = raw.nrows();
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.sort_by_key(|&v| v.wrapping_mul(2654435761) % n);
+    let scrambled = raw.permute_sym(&ids);
+    let bw_before = bandwidth(&scrambled);
+    let perm = rcm(&scrambled);
+    let reordered = scrambled.permute_sym(&perm);
+    let bw_after = bandwidth(&reordered);
+    println!(
+        "hood surrogate: n = {}, nnz = {}; RCM bandwidth {} -> {}",
+        n,
+        raw.nnz(),
+        bw_before,
+        bw_after
+    );
+
+    let a = GpuMatrix::new(reordered);
+    let device = DeviceModel::v100_belos().scaled_latencies(n as f64 / 220_542.0);
+    let b = vec![1.0f64; n];
+
+    let bj = BlockJacobi::build(&a, block_size);
+    println!(
+        "block Jacobi: {} blocks of size {}, {} singular fallbacks",
+        bj.nblocks(),
+        block_size,
+        bj.singular_blocks()
+    );
+
+    let cfg = GmresConfig::default().with_max_iters(60_000);
+    let mut ctx64 = GpuContext::new(device.clone());
+    let mut x64 = vec![0.0f64; n];
+    let r64 = Gmres::new(&a, &bj, cfg).solve(&mut ctx64, &b, &mut x64);
+    println!(
+        "fp64 GMRES(50) + J{block_size}: {:?}, {} iters, {:.4} s simulated",
+        r64.status,
+        r64.iterations,
+        ctx64.elapsed()
+    );
+
+    // GMRES-IR with the fp32 block Jacobi (factors computed in fp32).
+    let a32 = a.convert::<f32>();
+    let bj32 = BlockJacobi::build(&a32, block_size);
+    let mut ctx_ir = GpuContext::new(device);
+    let mut x_ir = vec![0.0f64; n];
+    let rir = GmresIr::<f32, f64>::new(&a, &bj32, IrConfig::default().with_max_iters(60_000))
+        .solve(&mut ctx_ir, &b, &mut x_ir);
+    println!(
+        "GMRES-IR + fp32 J{block_size}:   {:?}, {} iters, {:.4} s  ->  {:.2}x (paper hood row: 1.55x)",
+        rir.status,
+        rir.iterations,
+        ctx_ir.elapsed(),
+        ctx64.elapsed() / ctx_ir.elapsed()
+    );
+
+    // Contrast with unpreconditioned iteration counts.
+    let mut ctx_plain = GpuContext::new(DeviceModel::v100_belos());
+    let mut xp = vec![0.0f64; n];
+    let rp = Gmres::new(&a, &Identity, GmresConfig::default().with_max_iters(r64.iterations * 4))
+        .solve(&mut ctx_plain, &b, &mut xp);
+    println!(
+        "unpreconditioned fp64:   {:?} after {} iters (block Jacobi cut iterations by {:.1}x)",
+        rp.status,
+        rp.iterations,
+        rp.iterations as f64 / r64.iterations as f64
+    );
+}

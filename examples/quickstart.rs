@@ -1,0 +1,72 @@
+//! Quickstart: solve a 2D Poisson problem three ways and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Demonstrates the core API: build a matrix, pick a device model, run
+//! fp64 GMRES(m), fp32 GMRES(m), and GMRES-IR, and read iterations +
+//! simulated V100 time + the per-kernel breakdown.
+
+use multiprec_gmres::matgen::galeri;
+use multiprec_gmres::prelude::*;
+
+fn main() {
+    let nx = 96;
+    let a = GpuMatrix::new(galeri::laplace2d(nx, nx));
+    let n = a.n();
+    let b = vec![1.0f64; n];
+    println!("Laplace2D {nx}x{nx}: n = {n}, nnz = {}", a.nnz());
+
+    // Device model with fixed latencies scaled to this problem size, so
+    // time ratios match a paper-scale (n ~ millions) run; see DESIGN.md.
+    let device = DeviceModel::v100_belos().scaled_latencies(n as f64 / 2_250_000.0);
+
+    // fp64 GMRES(50) — the baseline the paper measures everything against.
+    let mut ctx = GpuContext::new(device.clone());
+    let mut x64 = vec![0.0f64; n];
+    let g = Gmres::new(&a, &Identity, GmresConfig::default());
+    let r64 = g.solve(&mut ctx, &b, &mut x64);
+    let t64 = ctx.elapsed();
+    println!(
+        "fp64 GMRES(50):  {:?} in {} iterations, simulated {:.3} ms",
+        r64.status,
+        r64.iterations,
+        t64 * 1e3
+    );
+
+    // fp32 GMRES(50) — stalls near single-precision accuracy.
+    let a32 = a.convert::<f32>();
+    let b32 = vec![1.0f32; n];
+    let mut ctx32 = GpuContext::new(device.clone());
+    let mut x32 = vec![0.0f32; n];
+    let g32 = Gmres::new(&a32, &Identity, GmresConfig::default().with_max_iters(r64.iterations));
+    let r32 = g32.solve(&mut ctx32, &b32, &mut x32);
+    println!(
+        "fp32 GMRES(50):  {:?} after {} iterations, best residual {:.2e} (cannot certify 1e-10)",
+        r32.status,
+        r32.iterations,
+        r32.best_residual()
+    );
+
+    // GMRES-IR — fp32 inner iterations, fp64 refinement at each restart.
+    let mut ctx_ir = GpuContext::new(device);
+    let mut x_ir = vec![0.0f64; n];
+    let ir = GmresIr::<f32, f64>::new(&a, &Identity, IrConfig::default());
+    let rir = ir.solve(&mut ctx_ir, &b, &mut x_ir);
+    let tir = ctx_ir.elapsed();
+    println!(
+        "GMRES-IR(50):    {:?} in {} iterations, simulated {:.3} ms  ->  {:.2}x speedup over fp64",
+        rir.status,
+        rir.iterations,
+        tir * 1e3,
+        t64 / tir
+    );
+    println!(
+        "final residuals: fp64 {:.2e}, IR {:.2e} (both certified at 1e-10)",
+        r64.final_relative_residual, rir.final_relative_residual
+    );
+
+    println!("\nper-kernel simulated time, fp64 solve (the paper's Fig. 4 categories):");
+    print!("{}", ctx.report().table());
+}

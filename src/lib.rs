@@ -1,0 +1,51 @@
+//! # multiprec-gmres
+//!
+//! A reproduction of *"Experimental Evaluation of Multiprecision
+//! Strategies for GMRES on GPUs"* (Loe, Glusa, Yamazaki, Boman,
+//! Rajamanickam — IPDPS 2021, arXiv:2105.07544) as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`scalar`] — precision abstraction (`f64`/`f32`/software `f16`).
+//! - [`la`] — sparse/dense kernels (the Kokkos-Kernels stand-in).
+//! - [`matgen`] — PDE test matrices (the Galeri stand-in) and SuiteSparse
+//!   surrogates.
+//! - [`gpusim`] — the calibrated V100 performance model and cache
+//!   simulator.
+//! - [`solver`] — GMRES(m), GMRES-IR, GMRES-FD and the GPU-friendly
+//!   preconditioners (the paper's contribution).
+//!
+//! See `examples/` for runnable walkthroughs and
+//! `crates/bench` for the harness that regenerates every figure and
+//! table of the paper.
+//!
+//! ```
+//! use multiprec_gmres::prelude::*;
+//!
+//! let a = GpuMatrix::new(multiprec_gmres::matgen::galeri::laplace2d(16, 16));
+//! let b = vec![1.0f64; a.n()];
+//! let mut x = vec![0.0f64; a.n()];
+//! let mut ctx = GpuContext::new(DeviceModel::v100_belos());
+//! let ir = GmresIr::<f32, f64>::new(&a, &Identity, IrConfig::default().with_m(20));
+//! assert!(ir.solve(&mut ctx, &b, &mut x).status.is_converged());
+//! ```
+
+pub use mpgmres as solver;
+pub use mpgmres_gpusim as gpusim;
+pub use mpgmres_la as la;
+pub use mpgmres_matgen as matgen;
+pub use mpgmres_scalar as scalar;
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use mpgmres::precond::block_jacobi::BlockJacobi;
+    pub use mpgmres::precond::mixed::CastPreconditioner;
+    pub use mpgmres::precond::poly::PolyPreconditioner;
+    pub use mpgmres::precond::{Identity, Preconditioner};
+    pub use mpgmres::{
+        FdConfig, GmresConfig, GmresFd, GmresIr, GmresIr3, GpuContext, GpuMatrix, Gmres,
+        Ir3Config, IrConfig, OrthoMethod, SolveResult, SolveStatus,
+    };
+    pub use mpgmres_gpusim::{DeviceModel, KernelClass, PaperCategory};
+    pub use mpgmres_scalar::{Half, Precision, Scalar};
+}

@@ -1,0 +1,195 @@
+//! Cross-crate integration tests: generators -> solvers -> performance
+//! model, at tiny scale.
+
+use multiprec_gmres::la::vec_ops::{norm2, ReductionOrder};
+use multiprec_gmres::matgen::{galeri, registry::PaperProblem, suitesparse};
+use multiprec_gmres::prelude::*;
+
+fn ctx() -> GpuContext {
+    GpuContext::with_reduction(DeviceModel::v100_belos(), ReductionOrder::Sequential)
+}
+
+fn true_rel(a: &GpuMatrix<f64>, b: &[f64], x: &[f64]) -> f64 {
+    let mut r = vec![0.0; b.len()];
+    a.csr().residual(b, x, &mut r);
+    norm2(&r) / norm2(b)
+}
+
+#[test]
+fn every_paper_problem_solves_with_ir() {
+    for p in PaperProblem::ALL {
+        let nx = match p {
+            PaperProblem::Laplace3D150 | PaperProblem::Laplace3D200 => 8,
+            _ => 20,
+        };
+        let a = GpuMatrix::new(p.generate_at(nx));
+        let b = vec![1.0f64; a.n()];
+        let mut x = vec![0.0f64; a.n()];
+        let ir = GmresIr::<f32, f64>::new(
+            &a,
+            &Identity,
+            IrConfig::default().with_m(25).with_max_iters(50_000),
+        );
+        let res = ir.solve(&mut ctx(), &b, &mut x);
+        assert!(
+            res.status.is_converged(),
+            "{} did not converge: {:?} rel {:.2e}",
+            p.name(),
+            res.status,
+            res.final_relative_residual
+        );
+        assert!(true_rel(&a, &b, &x) <= 1.5e-10, "{} true residual too large", p.name());
+    }
+}
+
+#[test]
+fn ir_and_fp64_agree_on_convection_problem() {
+    let a = GpuMatrix::new(galeri::bentpipe2d(24, 0.5));
+    let b = vec![1.0f64; a.n()];
+    let cfg = GmresConfig::default().with_m(20).with_max_iters(20_000);
+    let mut x64 = vec![0.0f64; a.n()];
+    let r64 = Gmres::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x64);
+    let mut xir = vec![0.0f64; a.n()];
+    let rir = GmresIr::<f32, f64>::new(
+        &a,
+        &Identity,
+        IrConfig::default().with_m(20).with_max_iters(20_000),
+    )
+    .solve(&mut ctx(), &b, &mut xir);
+    assert!(r64.status.is_converged() && rir.status.is_converged());
+    let dx: f64 =
+        x64.iter().zip(&xir).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+    assert!(dx <= 1e-5 * norm2(&x64), "solutions disagree: {dx}");
+}
+
+#[test]
+fn deterministic_under_sequential_reductions() {
+    let a = GpuMatrix::new(galeri::uniflow2d(20, 0.9));
+    let b = vec![1.0f64; a.n()];
+    let run = || {
+        let mut x = vec![0.0f64; a.n()];
+        let res = GmresIr::<f32, f64>::new(
+            &a,
+            &Identity,
+            IrConfig::default().with_m(15).with_max_iters(20_000),
+        )
+        .solve(&mut ctx(), &b, &mut x);
+        (res.iterations, res.final_relative_residual, x)
+    };
+    let (i1, r1, x1) = run();
+    let (i2, r2, x2) = run();
+    assert_eq!(i1, i2, "iteration counts must be deterministic");
+    assert_eq!(r1, r2, "residuals must be bit-identical");
+    assert_eq!(x1, x2, "solutions must be bit-identical");
+}
+
+#[test]
+fn gpu_like_reductions_converge_too() {
+    // The paper notes GPU reductions make runs slightly nondeterministic;
+    // convergence must be robust to the blocked-tree order regardless.
+    let a = GpuMatrix::new(galeri::laplace2d(24, 24));
+    let b = vec![1.0f64; a.n()];
+    let mut c = GpuContext::with_reduction(DeviceModel::v100_belos(), ReductionOrder::GPU_LIKE);
+    let mut x = vec![0.0f64; a.n()];
+    let res = GmresIr::<f32, f64>::new(&a, &Identity, IrConfig::default().with_m(20))
+        .solve(&mut c, &b, &mut x);
+    assert!(res.status.is_converged());
+    assert!(true_rel(&a, &b, &x) <= 1.5e-10);
+}
+
+#[test]
+fn fd_and_ir_and_fp64_reach_same_accuracy() {
+    let a = GpuMatrix::new(galeri::laplace2d(20, 20));
+    let b = vec![1.0f64; a.n()];
+    let mut x_fd = vec![0.0f64; a.n()];
+    let id32 = Identity;
+    let id64 = Identity;
+    let fd = GmresFd::<f32, f64>::new(
+        &a,
+        &id32,
+        &id64,
+        FdConfig { m: 15, switch_at: 30, max_iters: 20_000, ..FdConfig::default() },
+    );
+    let res = fd.solve(&mut ctx(), &b, &mut x_fd);
+    assert!(res.result.status.is_converged());
+    assert!(true_rel(&a, &b, &x_fd) <= 1.5e-10);
+    assert!(res.lo_iterations > 0 && res.hi_iterations > 0);
+}
+
+#[test]
+fn polynomial_preconditioned_ir_on_fem_matrix() {
+    let a = GpuMatrix::new(galeri::stretched2d(20, 2.0));
+    let b = vec![1.0f64; a.n()];
+    let a32 = a.convert::<f32>();
+    let _b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+    let mut c = ctx();
+    let poly = PolyPreconditioner::build_auto_seed(&mut c, &a32, 10).expect("poly build");
+    let mut x = vec![0.0f64; a.n()];
+    let res = GmresIr::<f32, f64>::new(
+        &a,
+        &poly,
+        IrConfig::default().with_m(20).with_max_iters(20_000),
+    )
+    .solve(&mut ctx(), &b, &mut x);
+    assert!(res.status.is_converged(), "{:?}", res.status);
+    assert!(true_rel(&a, &b, &x) <= 1.5e-10);
+}
+
+#[test]
+fn block_jacobi_with_rcm_pipeline() {
+    use multiprec_gmres::la::rcm::{bandwidth, rcm};
+    // Scramble the generator's (already grid-ordered) numbering the way a
+    // real SuiteSparse download would arrive, then recover locality with
+    // RCM before blocking — the paper's §V-G protocol.
+    let raw = suitesparse::surrogate("hood", 0.04);
+    let n = raw.nrows();
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.sort_by_key(|&v| (v.wrapping_mul(2654435761)) % n);
+    let scrambled = raw.permute_sym(&ids);
+    let bw_scrambled = bandwidth(&scrambled);
+    let perm = rcm(&scrambled);
+    let reordered = scrambled.permute_sym(&perm);
+    assert!(
+        bandwidth(&reordered) < bw_scrambled,
+        "RCM must recover locality: {} -> {}",
+        bw_scrambled,
+        bandwidth(&reordered)
+    );
+    let a = GpuMatrix::new(reordered);
+    let b = vec![1.0f64; a.n()];
+    let bj = BlockJacobi::build(&a, 8);
+    let mut x = vec![0.0f64; a.n()];
+    let res = Gmres::new(&a, &bj, GmresConfig::default().with_m(30).with_max_iters(30_000))
+        .solve(&mut ctx(), &b, &mut x);
+    assert!(res.status.is_converged(), "{:?}", res.status);
+    assert!(true_rel(&a, &b, &x) <= 1.5e-10);
+}
+
+#[test]
+fn surrogates_match_paper_symmetry_classes() {
+    use multiprec_gmres::matgen::suitesparse::{Symmetry, TABLE3};
+    for entry in &TABLE3 {
+        let a = suitesparse::surrogate(entry.name, 0.04);
+        let sym = a.is_symmetric(1e-10);
+        match entry.symmetry {
+            Symmetry::General => assert!(!sym, "{}", entry.name),
+            _ => assert!(sym, "{}", entry.name),
+        }
+    }
+}
+
+#[test]
+fn mtx_roundtrip_through_solver() {
+    // Generate -> write MatrixMarket -> read back -> solve: same answer.
+    let a0 = galeri::laplace2d(12, 12);
+    let mut buf = Vec::new();
+    multiprec_gmres::la::mtx::write_matrix_market(&a0, &mut buf).unwrap();
+    let a1: multiprec_gmres::la::csr::Csr<f64> =
+        multiprec_gmres::la::mtx::read_matrix_market(buf.as_slice()).unwrap();
+    let a = GpuMatrix::new(a1);
+    let b = vec![1.0f64; a.n()];
+    let mut x = vec![0.0f64; a.n()];
+    let res = Gmres::new(&a, &Identity, GmresConfig::default().with_m(20))
+        .solve(&mut ctx(), &b, &mut x);
+    assert!(res.status.is_converged());
+}

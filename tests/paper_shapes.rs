@@ -1,0 +1,195 @@
+//! Regression tests on the paper's qualitative findings ("shapes"),
+//! at sizes small enough for CI.
+//!
+//! These are the claims EXPERIMENTS.md tracks; if a code change breaks
+//! one of them, the reproduction is broken even if unit tests pass.
+
+use multiprec_gmres::la::vec_ops::ReductionOrder;
+use multiprec_gmres::matgen::galeri;
+use multiprec_gmres::prelude::*;
+
+fn ctx_for(n: usize, paper_n: usize) -> GpuContext {
+    let dev = DeviceModel::v100_belos().scaled_latencies(n as f64 / paper_n as f64);
+    GpuContext::with_reduction(dev, ReductionOrder::Sequential)
+}
+
+/// Shared BentPipe instance in the many-iterations regime. The grid must
+/// be large enough that the fp32 inner solver tracks fp64 (at 48² the
+/// coarse, strongly convective operator inflates IR's iteration count by
+/// ~1.5x and the paper's regime is lost; 96² is the experiments' default).
+fn bentpipe() -> (GpuMatrix<f64>, Vec<f64>) {
+    let a = GpuMatrix::new(galeri::bentpipe2d(96, 0.5));
+    let b = vec![1.0f64; a.n()];
+    (a, b)
+}
+
+#[test]
+fn shape_ir_speedup_on_slow_problems() {
+    // Paper Table I/III: IR gives 1.2-1.5x on problems needing thousands
+    // of iterations.
+    let (a, b) = bentpipe();
+    let mut c64 = ctx_for(a.n(), 2_250_000);
+    let mut x = vec![0.0f64; a.n()];
+    let r64 = Gmres::new(&a, &Identity, GmresConfig::default().with_max_iters(60_000))
+        .solve(&mut c64, &b, &mut x);
+    assert!(r64.status.is_converged());
+    assert!(r64.iterations > 800, "need the many-iterations regime, got {}", r64.iterations);
+
+    let mut cir = ctx_for(a.n(), 2_250_000);
+    let mut xir = vec![0.0f64; a.n()];
+    let rir = GmresIr::<f32, f64>::new(&a, &Identity, IrConfig::default().with_max_iters(60_000))
+        .solve(&mut cir, &b, &mut xir);
+    assert!(rir.status.is_converged());
+
+    let speedup = c64.elapsed() / cir.elapsed();
+    assert!(
+        (1.15..=1.60).contains(&speedup),
+        "IR speedup {speedup:.2} outside the paper's band (1.2-1.5)"
+    );
+}
+
+#[test]
+fn shape_kernel_speedup_ordering() {
+    // Paper Table I ordering: SpMV >> GEMV(NoTrans) > GEMV(Trans) > Norm.
+    let (a, b) = bentpipe();
+    let run = |ir: bool| {
+        let mut c = ctx_for(a.n(), 2_250_000);
+        let mut x = vec![0.0f64; a.n()];
+        if ir {
+            GmresIr::<f32, f64>::new(&a, &Identity, IrConfig::default().with_max_iters(60_000))
+                .solve(&mut c, &b, &mut x);
+        } else {
+            Gmres::new(&a, &Identity, GmresConfig::default().with_max_iters(60_000))
+                .solve(&mut c, &b, &mut x);
+        }
+        c.report()
+    };
+    let rep64 = run(false);
+    let repir = run(true);
+    let s = |cat: PaperCategory| rep64.seconds(cat) / repir.seconds(cat);
+    let spmv = s(PaperCategory::SpMV);
+    let gemv_n = s(PaperCategory::GemvNoTrans);
+    let gemv_t = s(PaperCategory::GemvTrans);
+    let norm = s(PaperCategory::Norm);
+    assert!(spmv > 2.0, "SpMV speedup {spmv:.2} (paper 2.48)");
+    assert!(gemv_n > gemv_t, "GEMV ordering violated: {gemv_n:.2} vs {gemv_t:.2}");
+    assert!(gemv_t > norm * 0.98, "GEMV(T) {gemv_t:.2} should beat Norm {norm:.2}");
+    // Norm is latency-bound, so its speedup is smallest (paper: 1.15 per
+    // call); these are category *totals*, and IR makes ~10% more norm
+    // calls (extra iterations + inner-cycle norms), so the ratio can dip
+    // just below 1.
+    assert!(norm > 0.9 && norm < 1.3, "Norm speedup {norm:.2} (paper 1.15)");
+}
+
+#[test]
+fn shape_fp32_floor_fp64_converges_ir_tracks() {
+    // Paper Fig. 3.
+    let (a, b) = bentpipe();
+    let mut x64 = vec![0.0f64; a.n()];
+    let r64 = Gmres::new(&a, &Identity, GmresConfig::default().with_max_iters(60_000))
+        .solve(&mut ctx_for(a.n(), 2_250_000), &b, &mut x64);
+    assert!(r64.status.is_converged());
+
+    let a32 = a.convert::<f32>();
+    let b32 = vec![1.0f32; a.n()];
+    let mut x32 = vec![0.0f32; a.n()];
+    let r32 = Gmres::new(&a32, &Identity, GmresConfig::default().with_max_iters(r64.iterations))
+        .solve(&mut ctx_for(a.n(), 2_250_000), &b32, &mut x32);
+    assert!(!r32.status.is_converged(), "fp32 must not certify 1e-10");
+    let floor = r32.best_residual();
+    assert!(floor < 1e-3 && floor > 1e-9, "fp32 floor {floor:.2e} should be ~1e-5ish");
+
+    let mut xir = vec![0.0f64; a.n()];
+    let rir = GmresIr::<f32, f64>::new(&a, &Identity, IrConfig::default().with_max_iters(60_000))
+        .solve(&mut ctx_for(a.n(), 2_250_000), &b, &mut xir);
+    assert!(rir.status.is_converged());
+    // IR tracks fp64: iteration count within ~1 restart cycle + 15%.
+    let gap = rir.iterations as f64 / r64.iterations as f64;
+    assert!(
+        (0.85..=1.25).contains(&gap),
+        "IR/fp64 iteration ratio {gap:.2} — curves should track (paper: 13150 vs 12967)"
+    );
+}
+
+#[test]
+fn shape_restart_size_tradeoff() {
+    // Paper Table II: larger m lowers fp64 iterations but raises time
+    // (orthogonalization dominates).
+    let (a, b) = bentpipe();
+    let run_m = |m: usize| {
+        let mut c = ctx_for(a.n(), 2_250_000);
+        let mut x = vec![0.0f64; a.n()];
+        let r = Gmres::new(&a, &Identity, GmresConfig::default().with_m(m).with_max_iters(80_000))
+            .solve(&mut c, &b, &mut x);
+        assert!(r.status.is_converged(), "m={m}: {:?}", r.status);
+        (r.iterations, c.elapsed())
+    };
+    let (it_small, t_small) = run_m(25);
+    let (it_big, t_big) = run_m(100);
+    assert!(it_big < it_small, "bigger subspace must lower iterations");
+    assert!(t_big > t_small, "but time must rise as orthogonalization grows");
+}
+
+#[test]
+fn shape_fd_never_beats_ir_materially() {
+    // Paper Figs. 1-2: the best tuned FD is at most on par with untuned IR.
+    let a = GpuMatrix::new(galeri::uniflow2d(48, 0.9));
+    let b = vec![1.0f64; a.n()];
+    let paper_n = 6_250_000;
+
+    let mut cir = ctx_for(a.n(), paper_n);
+    let mut xir = vec![0.0f64; a.n()];
+    let rir = GmresIr::<f32, f64>::new(
+        &a,
+        &Identity,
+        IrConfig::default().with_m(25).with_max_iters(60_000),
+    )
+    .solve(&mut cir, &b, &mut xir);
+    assert!(rir.status.is_converged());
+    let t_ir = cir.elapsed();
+
+    let id32 = Identity;
+    let id64 = Identity;
+    let mut best_fd = f64::INFINITY;
+    for k in 1..=6usize {
+        let mut c = ctx_for(a.n(), paper_n);
+        let mut x = vec![0.0f64; a.n()];
+        let fd = GmresFd::<f32, f64>::new(
+            &a,
+            &id32,
+            &id64,
+            FdConfig { m: 25, switch_at: k * 25, max_iters: 60_000, ..FdConfig::default() },
+        );
+        let res = fd.solve(&mut c, &b, &mut x);
+        if res.result.status.is_converged() {
+            best_fd = best_fd.min(c.elapsed());
+        }
+    }
+    assert!(
+        best_fd >= 0.85 * t_ir,
+        "tuned FD {best_fd:.4}s should not materially beat untuned IR {t_ir:.4}s"
+    );
+}
+
+#[test]
+fn shape_half_inner_needs_more_refinements_than_fp32() {
+    // The future-work third precision: fp16 inner cycles are weaker, so
+    // more refinements are needed for the same tolerance.
+    let a = GpuMatrix::new(galeri::laplace2d(16, 16));
+    let b = vec![1.0f64; a.n()];
+    let cfg = IrConfig::default().with_m(16).with_max_iters(50_000);
+    let mut x32 = vec![0.0f64; a.n()];
+    let r32 = GmresIr::<f32, f64>::new(&a, &Identity, cfg)
+        .solve(&mut ctx_for(a.n(), 2_250_000), &b, &mut x32);
+    let mut x16 = vec![0.0f64; a.n()];
+    let r16 = GmresIr::<Half, f64>::new(&a, &Identity, cfg)
+        .solve(&mut ctx_for(a.n(), 2_250_000), &b, &mut x16);
+    assert!(r32.status.is_converged());
+    assert!(r16.status.is_converged(), "{:?}", r16.status);
+    assert!(
+        r16.restarts >= r32.restarts,
+        "fp16 should need at least as many refinements: {} vs {}",
+        r16.restarts,
+        r32.restarts
+    );
+}
