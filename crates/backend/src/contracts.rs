@@ -1,0 +1,114 @@
+//! Kernel dimension contracts, asserted once at the backend boundary.
+//!
+//! `GpuContext` validates every kernel call here before charging the
+//! profiler and dispatching to the backend, so individual backends can
+//! assume well-shaped inputs and all callers fail with one uniform
+//! message. (The reference kernels in `mpgmres-la` keep their own
+//! cheap asserts as defense in depth for direct users of that crate.)
+
+use mpgmres_la::csr::Csr;
+use mpgmres_la::multivector::MultiVector;
+use mpgmres_scalar::Scalar;
+
+/// `y = A x`: `x` must match the column count, `y` the row count.
+#[inline]
+pub fn spmv<S: Scalar>(a: &Csr<S>, x: &[S], y: &[S]) {
+    assert_eq!(
+        x.len(),
+        a.ncols(),
+        "backend spmv: x has length {} but A has {} columns",
+        x.len(),
+        a.ncols()
+    );
+    assert_eq!(
+        y.len(),
+        a.nrows(),
+        "backend spmv: y has length {} but A has {} rows",
+        y.len(),
+        a.nrows()
+    );
+}
+
+/// `r = b - A x`: SpMV shapes plus `b` matching the row count.
+#[inline]
+pub fn residual<S: Scalar>(a: &Csr<S>, b: &[S], x: &[S], r: &[S]) {
+    spmv(a, x, r);
+    assert_eq!(
+        b.len(),
+        a.nrows(),
+        "backend residual: b has length {} but A has {} rows",
+        b.len(),
+        a.nrows()
+    );
+}
+
+/// GEMV over the first `ncols` basis columns: the column budget, the
+/// vector length, and the coefficient slice must all agree.
+#[inline]
+pub fn gemv<S: Scalar>(v: &MultiVector<S>, ncols: usize, vec: &[S], coeff: &[S]) {
+    assert!(
+        ncols <= v.max_cols(),
+        "backend gemv: {ncols} columns requested but only {} allocated",
+        v.max_cols()
+    );
+    assert_eq!(
+        vec.len(),
+        v.n(),
+        "backend gemv: vector has length {} but V has {} rows",
+        vec.len(),
+        v.n()
+    );
+    assert!(
+        coeff.len() >= ncols,
+        "backend gemv: coefficient slice has length {} but {ncols} columns requested",
+        coeff.len()
+    );
+}
+
+/// Two equal-length vectors (dot, axpy, copy).
+#[inline]
+pub fn same_len<S: Scalar>(op: &'static str, x: &[S], y: &[S]) {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "backend {op}: length mismatch ({} vs {})",
+        x.len(),
+        y.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_shapes_pass() {
+        let a = Csr::<f64>::identity(3);
+        let v = [0.0; 3];
+        spmv(&a, &v, &v);
+        residual(&a, &v, &v, &v);
+        let mv = MultiVector::<f64>::zeros(3, 2);
+        gemv(&mv, 2, &v, &[0.0; 2]);
+        same_len("dot", &v, &v);
+    }
+
+    #[test]
+    #[should_panic(expected = "backend spmv: x has length")]
+    fn spmv_shape_mismatch_panics() {
+        let a = Csr::<f64>::identity(3);
+        spmv(&a, &[0.0; 2], &[0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backend gemv: 5 columns requested")]
+    fn gemv_column_overflow_panics() {
+        let mv = MultiVector::<f64>::zeros(3, 2);
+        gemv(&mv, 5, &[0.0; 3], &[0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backend dot: length mismatch")]
+    fn dot_length_mismatch_panics() {
+        same_len::<f64>("dot", &[0.0; 2], &[0.0; 3]);
+    }
+}

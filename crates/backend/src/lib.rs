@@ -1,0 +1,371 @@
+//! Pluggable kernel execution backends.
+//!
+//! The paper's core finding is that GMRES performance is decided by the
+//! kernel implementations executing SpMV/GEMV/dot — not by the solver
+//! logic. This crate makes the kernel layer swappable: solvers talk to
+//! an instrumented context (`mpgmres::GpuContext`), the context charges
+//! the simulated-device profiler and then delegates *computation* to a
+//! [`Backend`] trait object. Swapping backends changes wall-clock
+//! execution only; simulated V100 timings and (under the determinism
+//! contract below) every floating-point result stay identical.
+//!
+//! # Architecture
+//!
+//! ```text
+//! Gmres / GmresIr / GmresIr3 / GmresFd / preconditioners
+//!         |            (solver layer: mpgmres)
+//!         v
+//! GpuContext ── charges ──> gpusim::Profiler (simulated V100 time)
+//!         |
+//!         v  ScalarBackend<S> dispatch (BackendScalar)
+//! Backend trait object
+//!    ├── ReferenceBackend   sequential, bit-deterministic (mpgmres-la)
+//!    └── ParallelBackend    std-thread row/column/block partitioned
+//!         (future: GPU backend, batched multi-RHS backend, ...)
+//! ```
+//!
+//! # Determinism contract
+//!
+//! [`ParallelBackend`] only partitions *independent outputs* across
+//! threads and evaluates each output in the reference operation order
+//! (see `mpgmres_la::par`). Every kernel is therefore bit-identical to
+//! [`ReferenceBackend`] — including reductions under
+//! [`ReductionOrder::BlockedTree`], whose block partials are
+//! order-independent. The one serial holdout is `dot`/`norm2` under
+//! [`ReductionOrder::Sequential`], which is a single dependency chain
+//! and runs sequentially on every backend.
+//!
+//! # Dimension contracts
+//!
+//! Kernel argument shapes are asserted once at the backend boundary via
+//! [`contracts`]; implementations may assume validated inputs.
+
+use core::fmt;
+use std::sync::Arc;
+
+use mpgmres_la::csr::Csr;
+use mpgmres_la::multivector::MultiVector;
+use mpgmres_la::par;
+use mpgmres_la::vec_ops::{self, ReductionOrder};
+use mpgmres_scalar::{Half, Scalar};
+
+pub mod contracts;
+
+/// The kernel call surface for one working precision `S`.
+///
+/// These are exactly the operations the solvers and preconditioners
+/// issue through `GpuContext`: SpMV and the fused residual, the two
+/// CGS2 GEMV shapes, reductions, and the level-1 vector updates.
+///
+/// Shape contracts (asserted by the caller via [`contracts`], listed
+/// here as documentation):
+///
+/// - `spmv`: `x.len() == a.ncols()`, `y.len() == a.nrows()`
+/// - `residual`: additionally `b.len() == a.nrows()`
+/// - `gemv_t`: `ncols <= v.max_cols()`, `w.len() == v.n()`,
+///   `h.len() >= ncols`
+/// - `gemv_n_sub`/`gemv_n_add`: `ncols <= v.max_cols()`,
+///   `w.len() == v.n()`, `h.len() >= ncols`
+/// - `dot`/`axpy`/`copy`: equal slice lengths
+pub trait ScalarBackend<S: Scalar> {
+    /// `y = A x`.
+    fn spmv(&self, a: &Csr<S>, x: &[S], y: &mut [S]);
+    /// `r = b - A x` (fused residual).
+    fn residual(&self, a: &Csr<S>, b: &[S], x: &[S], r: &mut [S]);
+    /// `h[i] = col_i . w` over the first `ncols` columns (GEMV Trans).
+    fn gemv_t(&self, v: &MultiVector<S>, ncols: usize, w: &[S], h: &mut [S], order: ReductionOrder);
+    /// `w -= V[:, ..ncols] h` (GEMV No-Trans, alpha = -1).
+    fn gemv_n_sub(&self, v: &MultiVector<S>, ncols: usize, h: &[S], w: &mut [S]);
+    /// `y += V[:, ..ncols] h` (GEMV No-Trans, alpha = +1).
+    fn gemv_n_add(&self, v: &MultiVector<S>, ncols: usize, h: &[S], y: &mut [S]);
+    /// Inner product under the given reduction order.
+    fn dot(&self, x: &[S], y: &[S], order: ReductionOrder) -> S;
+    /// Euclidean norm under the given reduction order.
+    fn norm2(&self, x: &[S], order: ReductionOrder) -> S;
+    /// `y += alpha x`.
+    fn axpy(&self, alpha: S, x: &[S], y: &mut [S]);
+    /// `x *= alpha`.
+    fn scal(&self, alpha: S, x: &mut [S]);
+    /// Copy `src` into `dst`.
+    fn copy(&self, src: &[S], dst: &mut [S]);
+}
+
+/// A complete kernel backend: [`ScalarBackend`] for every working
+/// precision the workspace supports, usable as a trait object.
+pub trait Backend:
+    ScalarBackend<f64> + ScalarBackend<f32> + ScalarBackend<Half> + fmt::Debug + Send + Sync
+{
+    /// Short name for reports and CLI selection.
+    fn name(&self) -> &'static str;
+
+    /// Worker count callers may use for their own independent-output
+    /// loops (e.g. block Jacobi's batched solves): 1 for sequential
+    /// backends, the thread count for parallel ones.
+    fn parallelism(&self) -> usize {
+        1
+    }
+}
+
+/// Routes a generic `S: Scalar` call site to the matching
+/// [`ScalarBackend`] view of a [`Backend`] trait object.
+///
+/// Implemented for every supported precision via trait upcasting; this
+/// is what lets `GpuContext` keep fully generic kernel methods while
+/// holding a single `Arc<dyn Backend>`.
+pub trait BackendScalar: Scalar {
+    /// The `ScalarBackend<Self>` view of `backend`.
+    fn view(backend: &dyn Backend) -> &dyn ScalarBackend<Self>;
+}
+
+macro_rules! impl_backend_scalar {
+    ($($t:ty),*) => {$(
+        impl BackendScalar for $t {
+            #[inline]
+            fn view(backend: &dyn Backend) -> &dyn ScalarBackend<$t> {
+                backend
+            }
+        }
+    )*};
+}
+impl_backend_scalar!(f64, f32, Half);
+
+/// The sequential, bit-deterministic backend: today's `mpgmres-la`
+/// reference kernels, unchanged. This is the default and the ground
+/// truth for every parity test.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReferenceBackend;
+
+impl<S: Scalar> ScalarBackend<S> for ReferenceBackend {
+    fn spmv(&self, a: &Csr<S>, x: &[S], y: &mut [S]) {
+        a.spmv(x, y);
+    }
+    fn residual(&self, a: &Csr<S>, b: &[S], x: &[S], r: &mut [S]) {
+        a.residual(b, x, r);
+    }
+    fn gemv_t(
+        &self,
+        v: &MultiVector<S>,
+        ncols: usize,
+        w: &[S],
+        h: &mut [S],
+        order: ReductionOrder,
+    ) {
+        v.gemv_t(ncols, w, h, order);
+    }
+    fn gemv_n_sub(&self, v: &MultiVector<S>, ncols: usize, h: &[S], w: &mut [S]) {
+        v.gemv_n_sub(ncols, h, w);
+    }
+    fn gemv_n_add(&self, v: &MultiVector<S>, ncols: usize, h: &[S], y: &mut [S]) {
+        v.gemv_n_add(ncols, h, y);
+    }
+    fn dot(&self, x: &[S], y: &[S], order: ReductionOrder) -> S {
+        vec_ops::dot_ordered(x, y, order)
+    }
+    fn norm2(&self, x: &[S], order: ReductionOrder) -> S {
+        vec_ops::norm2_ordered(x, order)
+    }
+    fn axpy(&self, alpha: S, x: &[S], y: &mut [S]) {
+        vec_ops::axpy(alpha, x, y);
+    }
+    fn scal(&self, alpha: S, x: &mut [S]) {
+        vec_ops::scale(alpha, x);
+    }
+    fn copy(&self, src: &[S], dst: &mut [S]) {
+        vec_ops::copy(src, dst);
+    }
+}
+
+impl Backend for ReferenceBackend {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+}
+
+/// The std-thread parallel backend: row-partitioned SpMV/residual,
+/// column-partitioned GEMV-Trans, row-partitioned GEMV-NoTrans, and
+/// block-parallel tree reductions — all bit-identical to
+/// [`ReferenceBackend`] (see the crate docs for the contract).
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelBackend {
+    threads: usize,
+}
+
+impl ParallelBackend {
+    /// Backend using [`mpgmres_la::par::default_threads`] workers.
+    pub fn new() -> Self {
+        Self::with_threads(par::default_threads())
+    }
+
+    /// Backend with an explicit worker count (clamped to >= 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelBackend {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for ParallelBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Scalar> ScalarBackend<S> for ParallelBackend {
+    fn spmv(&self, a: &Csr<S>, x: &[S], y: &mut [S]) {
+        par::spmv(self.threads, a, x, y);
+    }
+    fn residual(&self, a: &Csr<S>, b: &[S], x: &[S], r: &mut [S]) {
+        par::residual(self.threads, a, b, x, r);
+    }
+    fn gemv_t(
+        &self,
+        v: &MultiVector<S>,
+        ncols: usize,
+        w: &[S],
+        h: &mut [S],
+        order: ReductionOrder,
+    ) {
+        par::gemv_t(self.threads, v, ncols, w, h, order);
+    }
+    fn gemv_n_sub(&self, v: &MultiVector<S>, ncols: usize, h: &[S], w: &mut [S]) {
+        par::gemv_n_sub(self.threads, v, ncols, h, w);
+    }
+    fn gemv_n_add(&self, v: &MultiVector<S>, ncols: usize, h: &[S], y: &mut [S]) {
+        par::gemv_n_add(self.threads, v, ncols, h, y);
+    }
+    fn dot(&self, x: &[S], y: &[S], order: ReductionOrder) -> S {
+        par::dot(self.threads, x, y, order)
+    }
+    fn norm2(&self, x: &[S], order: ReductionOrder) -> S {
+        par::norm2(self.threads, x, order)
+    }
+    fn axpy(&self, alpha: S, x: &[S], y: &mut [S]) {
+        par::axpy(self.threads, alpha, x, y);
+    }
+    fn scal(&self, alpha: S, x: &mut [S]) {
+        par::scal(self.threads, alpha, x);
+    }
+    fn copy(&self, src: &[S], dst: &mut [S]) {
+        par::copy(self.threads, src, dst);
+    }
+}
+
+impl Backend for ParallelBackend {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.threads
+    }
+}
+
+/// CLI-friendly backend selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Sequential reference kernels (default).
+    #[default]
+    Reference,
+    /// Std-thread parallel kernels.
+    Parallel,
+}
+
+impl BackendKind {
+    /// All selectable kinds.
+    pub const ALL: [BackendKind; 2] = [BackendKind::Reference, BackendKind::Parallel];
+
+    /// Instantiate the backend.
+    pub fn create(self) -> Arc<dyn Backend> {
+        match self {
+            BackendKind::Reference => Arc::new(ReferenceBackend),
+            BackendKind::Parallel => Arc::new(ParallelBackend::new()),
+        }
+    }
+
+    /// The selector's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Reference => "reference",
+            BackendKind::Parallel => "parallel",
+        }
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reference" | "ref" | "seq" | "sequential" => Ok(BackendKind::Reference),
+            "parallel" | "par" | "threads" => Ok(BackendKind::Parallel),
+            other => Err(format!(
+                "unknown backend `{other}` (expected reference|parallel)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upcast_dispatch_reaches_every_precision() {
+        let b: Arc<dyn Backend> = Arc::new(ReferenceBackend);
+        let x64 = [3.0f64, 4.0];
+        assert_eq!(
+            <f64 as BackendScalar>::view(&*b).norm2(&x64, ReductionOrder::Sequential),
+            5.0
+        );
+        let x32 = [3.0f32, 4.0];
+        assert_eq!(
+            <f32 as BackendScalar>::view(&*b).norm2(&x32, ReductionOrder::Sequential),
+            5.0
+        );
+        let xh = [Half::from_f32(3.0), Half::from_f32(4.0)];
+        let nh: Half = <Half as BackendScalar>::view(&*b).norm2(&xh, ReductionOrder::Sequential);
+        assert_eq!(nh.to_f32(), 5.0);
+    }
+
+    #[test]
+    fn backend_kind_parses_and_creates() {
+        assert_eq!(
+            "parallel".parse::<BackendKind>().unwrap(),
+            BackendKind::Parallel
+        );
+        assert_eq!(
+            "ref".parse::<BackendKind>().unwrap(),
+            BackendKind::Reference
+        );
+        assert!("cuda".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::Reference.create().name(), "reference");
+        assert_eq!(BackendKind::Parallel.create().name(), "parallel");
+        assert_eq!(BackendKind::default(), BackendKind::Reference);
+    }
+
+    #[test]
+    fn parallel_backend_thread_config() {
+        assert_eq!(ParallelBackend::with_threads(0).threads(), 1);
+        assert!(ParallelBackend::new().threads() >= 1);
+    }
+
+    #[test]
+    fn generic_call_site_compiles_through_backend_scalar() {
+        fn norm_via<S: BackendScalar>(b: &dyn Backend, x: &[S]) -> S {
+            S::view(b).norm2(x, ReductionOrder::Sequential)
+        }
+        let b = BackendKind::Parallel.create();
+        assert_eq!(norm_via(&*b, &[3.0f64, 4.0]), 5.0);
+    }
+}

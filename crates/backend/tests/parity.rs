@@ -1,0 +1,243 @@
+//! Backend-parity property tests.
+//!
+//! Contract under test (see the crate docs): for every kernel,
+//! `ParallelBackend` is **bit-identical** to `ReferenceBackend` under
+//! `ReductionOrder::Sequential`, and agrees within a tight ULP bound
+//! under `GPU_LIKE` (the implementation is in fact bit-identical there
+//! too — block partials are order-independent — so the ULP bound is
+//! asserted at zero ULPs via bit equality, with the documented bound
+//! checked as the outer tolerance).
+
+use mpgmres_backend::{BackendKind, ParallelBackend, ReferenceBackend, ScalarBackend};
+use mpgmres_la::coo::Coo;
+use mpgmres_la::csr::Csr;
+use mpgmres_la::multivector::MultiVector;
+use mpgmres_la::vec_ops::ReductionOrder;
+use mpgmres_scalar::ulp_diff_f64;
+use proptest::prelude::*;
+
+/// Sizes straddling the parallel thresholds (1<<14 elements, 1<<15 nnz).
+const SIZES: [usize; 3] = [37, 1 << 14, (1 << 15) + 123];
+
+fn pseudo_vec(n: usize, salt: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let z = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+fn banded_matrix(n: usize, salt: u64) -> Csr<f64> {
+    let mut coo = Coo::new(n, n);
+    let off = [1usize, 2, 7];
+    for i in 0..n {
+        coo.push(
+            i,
+            i,
+            4.0 + ((i.wrapping_mul(31).wrapping_add(salt as usize)) % 13) as f64 * 0.1,
+        );
+        for &d in &off {
+            if i >= d {
+                coo.push(i, i - d, -0.5);
+            }
+            if i + d < n {
+                coo.push(i, i + d, -0.25);
+            }
+        }
+    }
+    coo.into_csr()
+}
+
+fn orders() -> [ReductionOrder; 3] {
+    [
+        ReductionOrder::Sequential,
+        ReductionOrder::GPU_LIKE,
+        ReductionOrder::BlockedTree { block: 37 },
+    ]
+}
+
+/// Max ULP distance allowed under non-sequential orders (the documented
+/// bound; the implementation achieves 0).
+const GPU_LIKE_ULP_BOUND: u64 = 4;
+
+#[test]
+fn spmv_and_residual_bit_identical_at_all_sizes() {
+    let reference = ReferenceBackend;
+    let parallel = ParallelBackend::new();
+    for &n in &SIZES {
+        let a = banded_matrix(n, 1);
+        let x = pseudo_vec(n, 2);
+        let b = pseudo_vec(n, 3);
+        let (mut y_ref, mut y_par) = (vec![0.0; n], vec![0.0; n]);
+        ScalarBackend::<f64>::spmv(&reference, &a, &x, &mut y_ref);
+        ScalarBackend::<f64>::spmv(&parallel, &a, &x, &mut y_par);
+        assert_eq!(y_ref, y_par, "spmv n={n}");
+        ScalarBackend::<f64>::residual(&reference, &a, &b, &x, &mut y_ref);
+        ScalarBackend::<f64>::residual(&parallel, &a, &b, &x, &mut y_par);
+        assert_eq!(y_ref, y_par, "residual n={n}");
+    }
+}
+
+#[test]
+fn reductions_sequential_bit_identical_gpu_like_ulp_bounded() {
+    let reference = ReferenceBackend;
+    let parallel = ParallelBackend::new();
+    for &n in &SIZES {
+        let x = pseudo_vec(n, 4);
+        let y = pseudo_vec(n, 5);
+        for order in orders() {
+            let d_ref = ScalarBackend::<f64>::dot(&reference, &x, &y, order);
+            let d_par = ScalarBackend::<f64>::dot(&parallel, &x, &y, order);
+            match order {
+                ReductionOrder::Sequential => {
+                    assert_eq!(d_ref.to_bits(), d_par.to_bits(), "dot n={n} sequential")
+                }
+                _ => assert!(
+                    ulp_diff_f64(d_ref, d_par) <= GPU_LIKE_ULP_BOUND,
+                    "dot n={n} {order:?}: {d_ref} vs {d_par}"
+                ),
+            }
+            let n_ref = ScalarBackend::<f64>::norm2(&reference, &x, order);
+            let n_par = ScalarBackend::<f64>::norm2(&parallel, &x, order);
+            assert!(
+                ulp_diff_f64(n_ref, n_par) <= GPU_LIKE_ULP_BOUND,
+                "norm2 n={n} {order:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gemv_and_level1_bit_identical_at_all_sizes() {
+    let reference = ReferenceBackend;
+    let parallel = ParallelBackend::new();
+    for &n in &SIZES {
+        let cols = 6;
+        let mut v = MultiVector::<f64>::zeros(n, cols);
+        for j in 0..cols {
+            let c = pseudo_vec(n, 20 + j as u64);
+            v.col_mut(j).copy_from_slice(&c);
+        }
+        let w = pseudo_vec(n, 30);
+        for order in orders() {
+            let (mut h_ref, mut h_par) = (vec![0.0; cols], vec![0.0; cols]);
+            ScalarBackend::<f64>::gemv_t(&reference, &v, cols, &w, &mut h_ref, order);
+            ScalarBackend::<f64>::gemv_t(&parallel, &v, cols, &w, &mut h_par, order);
+            assert_eq!(h_ref, h_par, "gemv_t n={n} {order:?}");
+
+            let (mut w_ref, mut w_par) = (w.clone(), w.clone());
+            ScalarBackend::<f64>::gemv_n_sub(&reference, &v, cols, &h_ref, &mut w_ref);
+            ScalarBackend::<f64>::gemv_n_sub(&parallel, &v, cols, &h_par, &mut w_par);
+            assert_eq!(w_ref, w_par, "gemv_n_sub n={n}");
+
+            ScalarBackend::<f64>::gemv_n_add(&reference, &v, cols, &h_ref, &mut w_ref);
+            ScalarBackend::<f64>::gemv_n_add(&parallel, &v, cols, &h_par, &mut w_par);
+            assert_eq!(w_ref, w_par, "gemv_n_add n={n}");
+        }
+        let x = pseudo_vec(n, 40);
+        let (mut y_ref, mut y_par) = (pseudo_vec(n, 41), pseudo_vec(n, 41));
+        ScalarBackend::<f64>::axpy(&reference, 1.37, &x, &mut y_ref);
+        ScalarBackend::<f64>::axpy(&parallel, 1.37, &x, &mut y_par);
+        assert_eq!(y_ref, y_par, "axpy n={n}");
+        ScalarBackend::<f64>::scal(&reference, 0.93, &mut y_ref);
+        ScalarBackend::<f64>::scal(&parallel, 0.93, &mut y_par);
+        assert_eq!(y_ref, y_par, "scal n={n}");
+        let (mut c_ref, mut c_par) = (vec![0.0; n], vec![0.0; n]);
+        ScalarBackend::<f64>::copy(&reference, &y_ref, &mut c_ref);
+        ScalarBackend::<f64>::copy(&parallel, &y_par, &mut c_par);
+        assert_eq!(c_ref, c_par, "copy n={n}");
+    }
+}
+
+#[test]
+fn fp32_and_half_kernels_agree_across_backends() {
+    let reference = ReferenceBackend;
+    let parallel = ParallelBackend::new();
+    let n = (1 << 15) + 7;
+    let a64 = banded_matrix(n, 9);
+    let a32 = a64.convert::<f32>();
+    let x32: Vec<f32> = pseudo_vec(n, 10).iter().map(|&v| v as f32).collect();
+    let (mut y_ref, mut y_par) = (vec![0.0f32; n], vec![0.0f32; n]);
+    ScalarBackend::<f32>::spmv(&reference, &a32, &x32, &mut y_ref);
+    ScalarBackend::<f32>::spmv(&parallel, &a32, &x32, &mut y_par);
+    assert_eq!(y_ref, y_par, "fp32 spmv");
+
+    use mpgmres_scalar::Half;
+    let ah = a64.convert::<Half>();
+    let xh: Vec<Half> = pseudo_vec(n, 11)
+        .iter()
+        .map(|&v| Half::from_f64(v))
+        .collect();
+    let (mut yh_ref, mut yh_par) = (vec![Half::from_f32(0.0); n], vec![Half::from_f32(0.0); n]);
+    ScalarBackend::<Half>::spmv(&reference, &ah, &xh, &mut yh_ref);
+    ScalarBackend::<Half>::spmv(&parallel, &ah, &xh, &mut yh_par);
+    for (a, b) in yh_ref.iter().zip(&yh_par) {
+        assert_eq!(a.to_bits(), b.to_bits(), "fp16 spmv");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random shapes and data: every kernel bit-identical across
+    /// backends under Sequential, ULP-bounded (here: bit-equal) under
+    /// GPU_LIKE.
+    #[test]
+    fn random_kernel_parity(
+        n in 1usize..600,
+        cols in 1usize..8,
+        block in 1usize..300,
+        salt in 0u64..1_000,
+        threads in 1usize..9,
+    ) {
+        let reference = ReferenceBackend;
+        let parallel = ParallelBackend::with_threads(threads);
+        let a = banded_matrix(n, salt);
+        let x = pseudo_vec(n, salt + 1);
+        let y0 = pseudo_vec(n, salt + 2);
+        for order in [ReductionOrder::Sequential, ReductionOrder::BlockedTree { block }] {
+            let (mut ya, mut yb) = (vec![0.0; n], vec![0.0; n]);
+            ScalarBackend::<f64>::spmv(&reference, &a, &x, &mut ya);
+            ScalarBackend::<f64>::spmv(&parallel, &a, &x, &mut yb);
+            prop_assert_eq!(&ya, &yb);
+
+            let d_ref = ScalarBackend::<f64>::dot(&reference, &x, &y0, order);
+            let d_par = ScalarBackend::<f64>::dot(&parallel, &x, &y0, order);
+            match order {
+                ReductionOrder::Sequential =>
+                    prop_assert_eq!(d_ref.to_bits(), d_par.to_bits()),
+                _ => prop_assert!(ulp_diff_f64(d_ref, d_par) <= GPU_LIKE_ULP_BOUND),
+            }
+
+            let mut v = MultiVector::<f64>::zeros(n, cols);
+            for j in 0..cols {
+                let c = pseudo_vec(n, salt + 10 + j as u64);
+                v.col_mut(j).copy_from_slice(&c);
+            }
+            let (mut ha, mut hb) = (vec![0.0; cols], vec![0.0; cols]);
+            ScalarBackend::<f64>::gemv_t(&reference, &v, cols, &x, &mut ha, order);
+            ScalarBackend::<f64>::gemv_t(&parallel, &v, cols, &x, &mut hb, order);
+            prop_assert_eq!(&ha, &hb);
+        }
+    }
+
+    /// Backend kinds produced by the selector behave identically to the
+    /// concrete types (guards the trait-object dispatch path).
+    #[test]
+    fn kind_created_backends_match_concrete(n in 1usize..400, salt in 0u64..500) {
+        let a = banded_matrix(n, salt);
+        let x = pseudo_vec(n, salt);
+        let mut expect = vec![0.0; n];
+        a.spmv(&x, &mut expect);
+        for kind in BackendKind::ALL {
+            let b = kind.create();
+            let mut y = vec![0.0; n];
+            let view: &dyn ScalarBackend<f64> = &*b;
+            view.spmv(&a, &x, &mut y);
+            prop_assert_eq!(&y, &expect, "kind {}", b.name());
+        }
+    }
+}

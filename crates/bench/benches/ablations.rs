@@ -80,9 +80,8 @@ fn bench_reduction_order_effect(c: &mut Criterion) {
             bch.iter(|| {
                 let mut ctx = GpuContext::with_reduction(DeviceModel::v100_belos(), ord);
                 let mut x = vec![0.0f64; n];
-                let res =
-                    GmresIr::<f32, f64>::new(&a, &Identity, IrConfig::default().with_m(30))
-                        .solve(&mut ctx, &b, &mut x);
+                let res = GmresIr::<f32, f64>::new(&a, &Identity, IrConfig::default().with_m(30))
+                    .solve(&mut ctx, &b, &mut x);
                 assert!(res.status.is_converged());
             })
         });

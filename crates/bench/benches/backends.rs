@@ -1,0 +1,139 @@
+//! Backend comparison bench: wall-clock of SpMV / GEMV / reductions on
+//! the reference (sequential) vs parallel (std-thread) backends across
+//! matrix sizes, plus a full-solve comparison.
+//!
+//! The acceptance bar for the parallel backend is >= 2x SpMV speedup on
+//! a >= 512x512 Laplace2D problem on a multicore runner; the summary
+//! line printed at the end reports the measured ratio.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpgmres::{Backend, BackendKind, ScalarBackend};
+use mpgmres_la::multivector::MultiVector;
+use mpgmres_la::vec_ops::ReductionOrder;
+use mpgmres_matgen::galeri;
+
+fn backends() -> Vec<(&'static str, std::sync::Arc<dyn Backend>)> {
+    BackendKind::ALL
+        .iter()
+        .map(|k| (k.name(), k.create()))
+        .collect()
+}
+
+fn bench_spmv_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend_spmv");
+    g.sample_size(20);
+    for nx in [128usize, 256, 512] {
+        let a = galeri::laplace2d(nx, nx);
+        let n = a.nrows();
+        let x = vec![1.0f64; n];
+        g.throughput(Throughput::Elements(a.nnz() as u64));
+        for (name, backend) in backends() {
+            let mut y = vec![0.0f64; n];
+            g.bench_with_input(BenchmarkId::new(name, nx), &nx, |b, _| {
+                let view: &dyn ScalarBackend<f64> = &*backend;
+                b.iter(|| view.spmv(&a, &x, &mut y))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_gemv_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend_gemv");
+    g.sample_size(20);
+    let n = 1 << 18;
+    let cols = 25;
+    let mut v = MultiVector::<f64>::zeros(n, cols);
+    for j in 0..cols {
+        for r in 0..n {
+            v.col_mut(j)[r] = ((r * 7 + j) % 13) as f64 / 13.0;
+        }
+    }
+    let w = vec![1.0f64; n];
+    for (name, backend) in backends() {
+        let view: &dyn ScalarBackend<f64> = &*backend;
+        let mut h = vec![0.0f64; cols];
+        g.bench_function(format!("gemv_t/{name}"), |b| {
+            b.iter(|| view.gemv_t(&v, cols, &w, &mut h, ReductionOrder::GPU_LIKE))
+        });
+        let mut wm = w.clone();
+        g.bench_function(format!("gemv_n_sub/{name}"), |b| {
+            b.iter(|| view.gemv_n_sub(&v, cols, &h, &mut wm))
+        });
+        g.bench_function(format!("dot_gpu_like/{name}"), |b| {
+            b.iter(|| view.dot(&w, &w, ReductionOrder::GPU_LIKE))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_solve_backends(c: &mut Criterion) {
+    use mpgmres::precond::Identity;
+    use mpgmres::{Gmres, GmresConfig, GpuContext, GpuMatrix};
+    use mpgmres_gpusim::DeviceModel;
+
+    let mut g = c.benchmark_group("backend_solve_laplace2d_96");
+    g.sample_size(10);
+    let a = GpuMatrix::new(galeri::laplace2d(96, 96));
+    let n = a.n();
+    let b = vec![1.0f64; n];
+    for kind in BackendKind::ALL {
+        g.bench_function(kind.name(), |bch| {
+            bch.iter(|| {
+                let mut ctx = GpuContext::with_backend_kind(
+                    DeviceModel::v100_belos(),
+                    ReductionOrder::GPU_LIKE,
+                    kind,
+                );
+                let mut x = vec![0.0f64; n];
+                let cfg = GmresConfig::default().with_m(30).with_max_iters(4_000);
+                Gmres::new(&a, &Identity, cfg).solve(&mut ctx, &b, &mut x)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Direct acceptance measurement: parallel-vs-reference SpMV ratio on
+/// 512x512 Laplace2D, printed as a summary line.
+fn spmv_speedup_summary(_c: &mut Criterion) {
+    let a = galeri::laplace2d(512, 512);
+    let n = a.nrows();
+    let x = vec![1.0f64; n];
+    let mut y = vec![0.0f64; n];
+    let mut time_backend = |kind: BackendKind| -> f64 {
+        let backend = kind.create();
+        let view: &dyn ScalarBackend<f64> = &*backend;
+        // Warm up, then best-of-10 (best-of filters scheduler noise).
+        view.spmv(&a, &x, &mut y);
+        let mut best = f64::INFINITY;
+        for _ in 0..10 {
+            let t0 = Instant::now();
+            view.spmv(&a, &x, &mut y);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let t_ref = time_backend(BackendKind::Reference);
+    let t_par = time_backend(BackendKind::Parallel);
+    println!(
+        "\n[backend summary] 512x512 Laplace2D SpMV (n={n}, nnz={}): \
+         reference {:.3} ms, parallel {:.3} ms, speedup {:.2}x \
+         (acceptance bar: >= 2x on a multicore runner)",
+        a.nnz(),
+        t_ref * 1e3,
+        t_par * 1e3,
+        t_ref / t_par
+    );
+}
+
+criterion_group!(
+    backends_group,
+    bench_spmv_backends,
+    bench_gemv_backends,
+    bench_full_solve_backends,
+    spmv_speedup_summary
+);
+criterion_main!(backends_group);

@@ -52,9 +52,13 @@ fn bench_gemv(c: &mut Criterion) {
         b.iter(|| v32.gemv_t(cols, &w32, &mut h32, ReductionOrder::Sequential))
     });
     let mut wm64 = w64.clone();
-    g.bench_function("gemv_n_sub/fp64", |b| b.iter(|| v64.gemv_n_sub(cols, &h64, &mut wm64)));
+    g.bench_function("gemv_n_sub/fp64", |b| {
+        b.iter(|| v64.gemv_n_sub(cols, &h64, &mut wm64))
+    });
     let mut wm32 = w32.clone();
-    g.bench_function("gemv_n_sub/fp32", |b| b.iter(|| v32.gemv_n_sub(cols, &h32, &mut wm32)));
+    g.bench_function("gemv_n_sub/fp32", |b| {
+        b.iter(|| v32.gemv_n_sub(cols, &h32, &mut wm32))
+    });
     g.finish();
 }
 

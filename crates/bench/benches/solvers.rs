@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mpgmres::precond::poly::PolyPreconditioner;
 use mpgmres::precond::Identity;
-use mpgmres::{GmresConfig, GmresIr, GpuContext, GpuMatrix, Gmres, IrConfig};
+use mpgmres::{Gmres, GmresConfig, GmresIr, GpuContext, GpuMatrix, IrConfig};
 use mpgmres_gpusim::DeviceModel;
 use mpgmres_matgen::galeri;
 

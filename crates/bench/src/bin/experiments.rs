@@ -2,18 +2,23 @@
 //!
 //! ```text
 //! experiments <id>... [--scale F] [--paper-scale] [--quick] [--out DIR]
+//!                     [--backend reference|parallel]
 //!
 //! ids: fig1 fig2 fig3 fig4_table1 fig5 fig6 fig7 vd_model table2 fig8
 //!      vf_degrees table3 all
 //! ```
 //!
+//! `--backend` selects the kernel execution backend (wall-clock only;
+//! simulated V100 results are identical across backends).
+//!
 //! Aliases: `fig5` runs with `fig4_table1`; `fig7` with `fig6`.
 
 use std::process::ExitCode;
 
+use mpgmres::BackendKind;
 use mpgmres_bench::experiments::{
-    self, convergence, fd_sweep, kernel_breakdown, poly_degrees, precond_stretched,
-    restart_sweep, spmv_model, suitesparse,
+    self, convergence, fd_sweep, kernel_breakdown, poly_degrees, precond_stretched, restart_sweep,
+    spmv_model, suitesparse,
 };
 use mpgmres_bench::harness::Scale;
 use mpgmres_bench::output;
@@ -33,7 +38,8 @@ const ALL_IDS: [&str; 10] = [
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments <id>... [--scale F] [--paper-scale] [--quick] [--out DIR]\n\
+        "usage: experiments <id>... [--scale F] [--paper-scale] [--quick] [--out DIR] \
+         [--backend reference|parallel]\n\
          ids: {} all",
         ALL_IDS.join(" ")
     );
@@ -45,9 +51,17 @@ fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Default;
     let mut out_dir: Option<String> = None;
+    let mut backend = BackendKind::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--backend" => {
+                i += 1;
+                let Some(b) = args.get(i).and_then(|s| s.parse::<BackendKind>().ok()) else {
+                    return usage();
+                };
+                backend = b;
+            }
             "--scale" => {
                 i += 1;
                 let Some(f) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
@@ -78,7 +92,8 @@ fn main() -> ExitCode {
     }
 
     let out = output::results_dir(out_dir.as_deref());
-    let opts = experiments::ExpOpts::new(scale, out);
+    let opts = experiments::ExpOpts::new(scale, out).with_backend(backend);
+    println!("kernel backend: {backend}");
 
     let t0 = std::time::Instant::now();
     for id in &ids {

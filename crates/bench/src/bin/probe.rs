@@ -3,12 +3,29 @@
 //! artifact set).
 
 use mpgmres::precond::{poly::PolyPreconditioner, Identity};
-use mpgmres::{GmresConfig, IrConfig};
+use mpgmres::{BackendKind, GmresConfig, IrConfig};
 use mpgmres_bench::harness::Bench;
 use mpgmres_matgen::registry::PaperProblem;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Extract `--backend NAME` anywhere on the line; positional args
+    // keep their existing meaning.
+    let mut backend = BackendKind::default();
+    if let Some(pos) = args.iter().position(|a| a == "--backend") {
+        let Some(name) = args.get(pos + 1) else {
+            eprintln!("probe: --backend requires a value (reference|parallel)");
+            std::process::exit(2);
+        };
+        backend = name.parse().unwrap_or_else(|e| {
+            eprintln!("probe: {e}");
+            std::process::exit(2);
+        });
+        args.drain(pos..pos + 2);
+    }
+    let bench_for = move |name: String, csr, paper_n| -> Bench {
+        Bench::new(name, csr, paper_n).with_backend(backend)
+    };
     let which = args.first().map(|s| s.as_str()).unwrap_or("all");
 
     if which == "poly" {
@@ -18,7 +35,7 @@ fn main() {
         let degree: usize = args[3].parse().unwrap();
         let m: usize = args.get(4).map(|s| s.parse().unwrap()).unwrap_or(50);
         let csr = mpgmres_matgen::galeri::stretched2d(nx, stretch);
-        let bench = Bench::new(format!("stretched{nx}@{stretch}"), csr, 2_250_000);
+        let bench = bench_for(format!("stretched{nx}@{stretch}"), csr, 2_250_000);
         let cfg = GmresConfig::default().with_m(m).with_max_iters(8_000);
         if degree == 0 {
             let (r, _) = bench.run_fp64(&Identity, cfg);
@@ -61,18 +78,28 @@ fn main() {
             "uniflow" => mpgmres_matgen::galeri::uniflow2d(nx, pe),
             other => panic!("unknown generator {other}"),
         };
-        let bench = Bench::new(format!("{gen}{nx}@pe{pe}"), csr, 2_250_000);
+        let bench = bench_for(format!("{gen}{nx}@pe{pe}"), csr, 2_250_000);
         let cfg = GmresConfig::default().with_m(m).with_max_iters(20_000);
         let t0 = std::time::Instant::now();
         let (r64, _) = bench.run_fp64(&Identity, cfg);
         println!(
             "{gen} nx={nx} pe={pe} m={m}: fp64 {} iters {} rel {:.2e} sim {:.4}s wall {:.1?}",
-            r64.iterations, r64.status, r64.final_rel, r64.sim_seconds, t0.elapsed()
+            r64.iterations,
+            r64.status,
+            r64.final_rel,
+            r64.sim_seconds,
+            t0.elapsed()
         );
-        let (rir, _) = bench.run_ir(&Identity, IrConfig::default().with_m(m).with_max_iters(20_000));
+        let (rir, _) = bench.run_ir(
+            &Identity,
+            IrConfig::default().with_m(m).with_max_iters(20_000),
+        );
         println!(
             "   ir {} iters {} rel {:.2e} sim {:.4}s speedup {:.2}",
-            rir.iterations, rir.status, rir.final_rel, rir.sim_seconds,
+            rir.iterations,
+            rir.status,
+            rir.final_rel,
+            rir.sim_seconds,
             r64.sim_seconds / rir.sim_seconds
         );
         return;
@@ -84,7 +111,7 @@ fn main() {
         let nx = p.default_nx();
         let t0 = std::time::Instant::now();
         let csr = p.generate_at(nx);
-        let bench = Bench::new(p.name(), csr, p.paper_n());
+        let bench = bench_for(p.name().to_string(), csr, p.paper_n());
         println!(
             "{} nx={} n={} nnz={} bw={} gen={:?}",
             p.name(),
@@ -98,14 +125,22 @@ fn main() {
         if p.name().starts_with("Stretched") {
             // Needs polynomial preconditioning per the paper.
             let (r_plain, _) = bench.run_fp64(&Identity, cfg.with_max_iters(3_000));
-            println!("  fp64 unprec: {} iters status {} rel {:.2e} wall {:.2}s",
-                r_plain.iterations, r_plain.status, r_plain.final_rel, r_plain.wall_seconds);
+            println!(
+                "  fp64 unprec: {} iters status {} rel {:.2e} wall {:.2}s",
+                r_plain.iterations, r_plain.status, r_plain.final_rel, r_plain.wall_seconds
+            );
             let mut ctx = bench.ctx();
             let _b64 = bench.b.clone();
             let poly = PolyPreconditioner::build_auto_seed(&mut ctx, &bench.a, 40).unwrap();
             let (r_poly, _) = bench.run_fp64(&poly, cfg);
-            println!("  fp64 poly40: {} iters status {} rel {:.2e} sim {:.4}s wall {:.2}s",
-                r_poly.iterations, r_poly.status, r_poly.final_rel, r_poly.sim_seconds, r_poly.wall_seconds);
+            println!(
+                "  fp64 poly40: {} iters status {} rel {:.2e} sim {:.4}s wall {:.2}s",
+                r_poly.iterations,
+                r_poly.status,
+                r_poly.final_rel,
+                r_poly.sim_seconds,
+                r_poly.wall_seconds
+            );
             continue;
         }
         let (r64, _) = bench.run_fp64(&Identity, cfg);
@@ -113,8 +148,10 @@ fn main() {
             "  fp64: {} iters status {} rel {:.2e} sim {:.4}s wall {:.2}s",
             r64.iterations, r64.status, r64.final_rel, r64.sim_seconds, r64.wall_seconds
         );
-        let (rir, _) =
-            bench.run_ir(&Identity, IrConfig::default().with_m(50).with_max_iters(30_000));
+        let (rir, _) = bench.run_ir(
+            &Identity,
+            IrConfig::default().with_m(50).with_max_iters(30_000),
+        );
         println!(
             "  ir  : {} iters status {} rel {:.2e} sim {:.4}s wall {:.2}s speedup {:.2}",
             rir.iterations,

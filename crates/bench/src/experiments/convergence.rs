@@ -39,13 +39,16 @@ pub struct ConvergenceResult {
 pub fn fig3(opts: &ExpOpts) -> ConvergenceResult {
     let problem = PaperProblem::BentPipe2D1500;
     let nx = opts.scale.nx(problem.default_nx(), problem.paper_nx());
-    let bench = Bench::new(problem.name(), problem.generate_at(nx), problem.paper_n());
+    let bench = Bench::new(problem.name(), problem.generate_at(nx), problem.paper_n())
+        .with_backend(opts.backend);
     println!("[fig3] {} nx={nx} n={}", problem.name(), bench.a.n());
     let m = 50;
     let max_iters = 60_000;
 
-    let (fp64, _) =
-        bench.run_fp64(&Identity, GmresConfig::default().with_m(m).with_max_iters(max_iters));
+    let (fp64, _) = bench.run_fp64(
+        &Identity,
+        GmresConfig::default().with_m(m).with_max_iters(max_iters),
+    );
     println!("[fig3] fp64: {} iters {}", fp64.iterations, fp64.status);
     // fp32 cannot reach 1e-10; cap it a little past the fp64 count so the
     // stall plateau is visible, as in the paper's figure.
@@ -54,8 +57,14 @@ pub fn fig3(opts: &ExpOpts) -> ConvergenceResult {
         &Identity,
         GmresConfig::default().with_m(m).with_max_iters(fp32_cap),
     );
-    println!("[fig3] fp32: {} iters {} floor", fp32.iterations, fp32.status);
-    let (ir, _) = bench.run_ir(&Identity, IrConfig::default().with_m(m).with_max_iters(max_iters));
+    println!(
+        "[fig3] fp32: {} iters {} floor",
+        fp32.iterations, fp32.status
+    );
+    let (ir, _) = bench.run_ir(
+        &Identity,
+        IrConfig::default().with_m(m).with_max_iters(max_iters),
+    );
     println!("[fig3] ir  : {} iters {}", ir.iterations, ir.status);
 
     let fp32_floor = fp32
@@ -72,11 +81,7 @@ pub fn fig3(opts: &ExpOpts) -> ConvergenceResult {
         if *r64 < 5e-10 {
             break; // endgame: iteration counts differ by < m
         }
-        if let Some((_, rir)) = ir
-            .history
-            .iter()
-            .find(|(iti, _)| iti == it64)
-        {
+        if let Some((_, rir)) = ir.history.iter().find(|(iti, _)| iti == it64) {
             gap = gap.max((r64.log10() - rir.log10()).abs());
         }
     }

@@ -58,24 +58,33 @@ fn sweep_m(scale: Scale, problem: PaperProblem) -> usize {
 fn run_sweep(opts: &ExpOpts, problem: PaperProblem, id: &str) -> FdSweepResult {
     let nx = opts.scale.nx(problem.default_nx(), problem.paper_nx());
     let m = sweep_m(opts.scale, problem);
-    let bench = Bench::new(problem.name(), problem.generate_at(nx), problem.paper_n());
+    let bench = Bench::new(problem.name(), problem.generate_at(nx), problem.paper_n())
+        .with_backend(opts.backend);
     println!("[{id}] {} nx={nx} n={} m={m}", problem.name(), bench.a.n());
 
     let max_iters = 60_000;
-    let (fp64, _) =
-        bench.run_fp64(&Identity, GmresConfig::default().with_m(m).with_max_iters(max_iters));
+    let (fp64, _) = bench.run_fp64(
+        &Identity,
+        GmresConfig::default().with_m(m).with_max_iters(max_iters),
+    );
     println!(
         "[{id}] fp64: {} iters, {:.4} s simulated",
         fp64.iterations, fp64.sim_seconds
     );
-    let (ir, _) = bench.run_ir(&Identity, IrConfig::default().with_m(m).with_max_iters(max_iters));
-    println!("[{id}] ir  : {} iters, {:.4} s simulated", ir.iterations, ir.sim_seconds);
+    let (ir, _) = bench.run_ir(
+        &Identity,
+        IrConfig::default().with_m(m).with_max_iters(max_iters),
+    );
+    println!(
+        "[{id}] ir  : {} iters, {:.4} s simulated",
+        ir.iterations, ir.sim_seconds
+    );
 
     // Switch points: multiples of m, from m to ~1.3x the fp64 iteration
     // count (the paper sweeps past the convergence point to show the
     // wasted-fp32-iterations regime).
     let limit = ((fp64.iterations as f64 * 1.3) as usize).max(4 * m);
-    let npoints = (limit / m).min(24).max(4);
+    let npoints = (limit / m).clamp(4, 24);
     let stride = (limit / m).div_ceil(npoints).max(1);
     let mut sweep = Vec::new();
     for k in (stride..=limit / m).step_by(stride) {
@@ -105,9 +114,8 @@ fn run_sweep(opts: &ExpOpts, problem: PaperProblem, id: &str) -> FdSweepResult {
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .unwrap_or((0, f64::NAN));
 
-    let mut table = output::TextTable::new(&[
-        "switch", "status", "iters", "sim(s)", "vs fp64", "vs IR",
-    ]);
+    let mut table =
+        output::TextTable::new(&["switch", "status", "iters", "sim(s)", "vs fp64", "vs IR"]);
     for r in &sweep {
         let s = r.solver.trim_start_matches("fd@");
         table.row(vec![

@@ -41,15 +41,21 @@ pub fn run(opts: &ExpOpts) -> KernelBreakdownResult {
 
     for problem in problems {
         let nx = opts.scale.nx(problem.default_nx(), problem.paper_nx());
-        let bench = Bench::new(problem.name(), problem.generate_at(nx), problem.paper_n());
+        let bench = Bench::new(problem.name(), problem.generate_at(nx), problem.paper_n())
+            .with_backend(opts.backend);
         println!("[fig4] {} nx={nx} n={}", problem.name(), bench.a.n());
         let cfg = GmresConfig::default().with_m(50).with_max_iters(60_000);
         let (fp64, _) = bench.run_fp64(&Identity, cfg);
-        let (ir, _) =
-            bench.run_ir(&Identity, IrConfig::default().with_m(50).with_max_iters(60_000));
+        let (ir, _) = bench.run_ir(
+            &Identity,
+            IrConfig::default().with_m(50).with_max_iters(60_000),
+        );
         println!(
             "[fig4] fp64 {} iters {:.4}s | ir {} iters {:.4}s | speedup {:.2}x",
-            fp64.iterations, fp64.sim_seconds, ir.iterations, ir.sim_seconds,
+            fp64.iterations,
+            fp64.sim_seconds,
+            ir.iterations,
+            ir.sim_seconds,
             fp64.sim_seconds / ir.sim_seconds
         );
 

@@ -26,6 +26,8 @@ pub mod suitesparse;
 
 use std::path::PathBuf;
 
+use mpgmres::BackendKind;
+
 use crate::harness::Scale;
 
 /// Options shared by every experiment.
@@ -35,11 +37,24 @@ pub struct ExpOpts {
     pub scale: Scale,
     /// Output directory for result artifacts.
     pub out: PathBuf,
+    /// Kernel backend executing the numerics (`--backend`). Changes
+    /// wall-clock only; simulated V100 results are backend-independent.
+    pub backend: BackendKind,
 }
 
 impl ExpOpts {
-    /// Default options writing into `results/`.
+    /// Default options writing into `results/` on the default backend.
     pub fn new(scale: Scale, out: PathBuf) -> Self {
-        ExpOpts { scale, out }
+        ExpOpts {
+            scale,
+            out,
+            backend: BackendKind::default(),
+        }
+    }
+
+    /// Select the kernel backend (builder style).
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
     }
 }

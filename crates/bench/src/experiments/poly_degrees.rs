@@ -49,7 +49,8 @@ pub struct PolyDegreesResult {
 pub fn run(opts: &ExpOpts) -> PolyDegreesResult {
     let problem = PaperProblem::Laplace3D200;
     let nx = opts.scale.nx(problem.default_nx(), problem.paper_nx());
-    let bench = Bench::new(problem.name(), problem.generate_at(nx), problem.paper_n());
+    let bench = Bench::new(problem.name(), problem.generate_at(nx), problem.paper_n())
+        .with_backend(opts.backend);
     println!("[vf_degrees] {} nx={nx} n={}", problem.name(), bench.a.n());
     let degrees: Vec<usize> = match opts.scale {
         Scale::Quick => vec![10, 30],
@@ -77,8 +78,10 @@ pub fn run(opts: &ExpOpts) -> PolyDegreesResult {
                         CastPreconditioner::new(a32.clone(), poly32.clone());
                     let (r, _) = bench.run_fp64(&wrap, cfg);
                     // IR with the same fp32 polynomial.
-                    let (rir, _) = bench
-                        .run_ir(&poly32, IrConfig::default().with_m(50).with_max_iters(20_000));
+                    let (rir, _) = bench.run_ir(
+                        &poly32,
+                        IrConfig::default().with_m(50).with_max_iters(20_000),
+                    );
                     let row = DegreeRow {
                         degree,
                         fp64_status: r64.status.clone(),
@@ -140,7 +143,10 @@ pub fn run(opts: &ExpOpts) -> PolyDegreesResult {
     );
     println!("{text}");
 
-    let result = PolyDegreesResult { problem: problem.name().to_string(), rows };
+    let result = PolyDegreesResult {
+        problem: problem.name().to_string(),
+        rows,
+    };
     output::write_json(&opts.out, "vf_degrees", &result).expect("write json");
     output::write_text(&opts.out, "vf_degrees", &text).expect("write text");
     result

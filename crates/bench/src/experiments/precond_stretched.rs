@@ -50,8 +50,13 @@ pub fn run(opts: &ExpOpts) -> StretchedResult {
         crate::harness::Scale::Quick => 10,
         _ => 15,
     };
-    let bench = Bench::new(problem.name(), problem.generate_at(nx), problem.paper_n());
-    println!("[fig6] {} nx={nx} n={} poly degree {degree}", problem.name(), bench.a.n());
+    let bench = Bench::new(problem.name(), problem.generate_at(nx), problem.paper_n())
+        .with_backend(opts.backend);
+    println!(
+        "[fig6] {} nx={nx} n={} poly degree {degree}",
+        problem.name(),
+        bench.a.n()
+    );
 
     let cfg = GmresConfig::default().with_m(50).with_max_iters(60_000);
 
@@ -61,7 +66,10 @@ pub fn run(opts: &ExpOpts) -> StretchedResult {
         .expect("fp64 polynomial build");
     let setup_seconds = poly64.setup_seconds();
     let (a_rec, _) = bench.run_fp64(&poly64, cfg);
-    println!("[fig6] (a) fp64+poly64: {} iters {} {:.4}s", a_rec.iterations, a_rec.status, a_rec.sim_seconds);
+    println!(
+        "[fig6] (a) fp64+poly64: {} iters {} {:.4}s",
+        a_rec.iterations, a_rec.status, a_rec.sim_seconds
+    );
 
     // (b) fp32 polynomial (built and applied in fp32) under fp64 GMRES.
     let a32 = bench.a.convert::<f32>();
@@ -72,15 +80,30 @@ pub fn run(opts: &ExpOpts) -> StretchedResult {
     let wrap: CastPreconditioner<f64, f32, PolyPreconditioner> =
         CastPreconditioner::new(a32.clone(), poly32.clone());
     let (b_rec, _) = bench.run_fp64(&wrap, cfg);
-    println!("[fig6] (b) fp64+poly32: {} iters {} {:.4}s", b_rec.iterations, b_rec.status, b_rec.sim_seconds);
+    println!(
+        "[fig6] (b) fp64+poly32: {} iters {} {:.4}s",
+        b_rec.iterations, b_rec.status, b_rec.sim_seconds
+    );
 
     // (c) GMRES-IR with the fp32 polynomial.
-    let (c_rec, _) =
-        bench.run_ir(&poly32, IrConfig::default().with_m(50).with_max_iters(60_000));
-    println!("[fig6] (c) ir+poly32  : {} iters {} {:.4}s", c_rec.iterations, c_rec.status, c_rec.sim_seconds);
+    let (c_rec, _) = bench.run_ir(
+        &poly32,
+        IrConfig::default().with_m(50).with_max_iters(60_000),
+    );
+    println!(
+        "[fig6] (c) ir+poly32  : {} iters {} {:.4}s",
+        c_rec.iterations, c_rec.status, c_rec.sim_seconds
+    );
 
     let mut table = output::TextTable::new(&[
-        "config", "status", "iters", "Orthog(s)", "SPMV(s)", "Other(s)", "total(s)", "speedup",
+        "config",
+        "status",
+        "iters",
+        "Orthog(s)",
+        "SPMV(s)",
+        "Other(s)",
+        "total(s)",
+        "speedup",
     ]);
     let ortho = |r: &RunRecord| {
         r.breakdown.get("GEMV (Trans)").copied().unwrap_or(0.0)
@@ -128,7 +151,11 @@ pub fn run(opts: &ExpOpts) -> StretchedResult {
     output::write_csv(
         &opts.out,
         "fig6_fig7",
-        &[result.fp64_prec64.clone(), result.fp64_prec32.clone(), result.ir_prec32.clone()],
+        &[
+            result.fp64_prec64.clone(),
+            result.fp64_prec32.clone(),
+            result.ir_prec32.clone(),
+        ],
     )
     .expect("write csv");
     output::write_text(&opts.out, "fig6_fig7", &text).expect("write text");

@@ -63,14 +63,18 @@ pub fn fig8(opts: &ExpOpts) -> RestartSweepResult {
 
 fn run_sweep(opts: &ExpOpts, problem: PaperProblem, id: &str) -> RestartSweepResult {
     let nx = opts.scale.nx(problem.default_nx(), problem.paper_nx());
-    let bench = Bench::new(problem.name(), problem.generate_at(nx), problem.paper_n());
+    let bench = Bench::new(problem.name(), problem.generate_at(nx), problem.paper_n())
+        .with_backend(opts.backend);
     println!("[{id}] {} nx={nx} n={}", problem.name(), bench.a.n());
 
     let mut rows = Vec::new();
     for m in m_grid(opts.scale, matches!(opts.scale, Scale::Paper)) {
         let cfg = GmresConfig::default().with_m(m).with_max_iters(80_000);
         let (fp64, _) = bench.run_fp64(&Identity, cfg);
-        let (ir, _) = bench.run_ir(&Identity, IrConfig::default().with_m(m).with_max_iters(80_000));
+        let (ir, _) = bench.run_ir(
+            &Identity,
+            IrConfig::default().with_m(m).with_max_iters(80_000),
+        );
         println!(
             "[{id}] m={m:<4} fp64 {:>6} iters {:.4}s | ir {:>6} iters {:.4}s | speedup {:.2}",
             fp64.iterations,
@@ -84,7 +88,14 @@ fn run_sweep(opts: &ExpOpts, problem: PaperProblem, id: &str) -> RestartSweepRes
 
     // Table II format: subspace | fp64 iters/time | IR iters/time | speedup.
     let mut table = output::TextTable::new(&[
-        "m", "fp64 iters", "fp64 time", "IR iters", "IR time", "speedup", "fp64 ortho%", "IR ortho%",
+        "m",
+        "fp64 iters",
+        "fp64 time",
+        "IR iters",
+        "IR time",
+        "speedup",
+        "fp64 ortho%",
+        "IR ortho%",
     ]);
     for row in &rows {
         let ortho = |r: &RunRecord| {
@@ -114,7 +125,10 @@ fn run_sweep(opts: &ExpOpts, problem: PaperProblem, id: &str) -> RestartSweepRes
     );
     println!("{text}");
 
-    let result = RestartSweepResult { problem: problem.name().to_string(), rows };
+    let result = RestartSweepResult {
+        problem: problem.name().to_string(),
+        rows,
+    };
     output::write_json(&opts.out, id, &result).expect("write json");
     let flat: Vec<RunRecord> = result
         .rows

@@ -89,7 +89,11 @@ pub fn run(opts: &ExpOpts) -> SpmvModelResult {
     // --- Part 2: the three PDE problems at experiment scale. ---
     let mut problems = Vec::new();
     let mut t2 = output::TextTable::new(&["matrix", "w", "model", "paper bound", "paper measured"]);
-    let measured = [("BentPipe2D1500", 2.48), ("Laplace3D150", 2.6), ("UniFlow2D2500", 2.4)];
+    let measured = [
+        ("BentPipe2D1500", 2.48),
+        ("Laplace3D150", 2.6),
+        ("UniFlow2D2500", 2.4),
+    ];
     for (problem, paper_meas) in [
         (PaperProblem::BentPipe2D1500, measured[0].1),
         (PaperProblem::Laplace3D150, measured[1].1),
@@ -156,7 +160,11 @@ pub fn run(opts: &ExpOpts) -> SpmvModelResult {
     ));
     println!("{text}");
 
-    let result = SpmvModelResult { sweep, problems, cache };
+    let result = SpmvModelResult {
+        sweep,
+        problems,
+        cache,
+    };
     output::write_json(&opts.out, "vd_model", &result).expect("write json");
     output::write_text(&opts.out, "vd_model", &text).expect("write text");
     result

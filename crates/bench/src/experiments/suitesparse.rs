@@ -124,8 +124,7 @@ fn run_pair(
         TablePrecond::Poly { degree } => {
             let degree = scaled_degree(scale, degree);
             let mut c64 = bench.ctx();
-            let (r64, rir) = match PolyPreconditioner::build_auto_seed(&mut c64, &bench.a, degree)
-            {
+            let (r64, rir) = match PolyPreconditioner::build_auto_seed(&mut c64, &bench.a, degree) {
                 Ok(poly64) => {
                     let (r64, _) = bench.run_fp64(&poly64, cfg);
                     let a32 = bench.a.convert::<f32>();
@@ -162,7 +161,7 @@ pub fn run(opts: &ExpOpts) -> Table3Result {
             let perm = rcm(a.csr());
             csr = a.csr().permute_sym(&perm);
         }
-        let bench = Bench::new(entry.name, csr, entry.paper_n);
+        let bench = Bench::new(entry.name, csr, entry.paper_n).with_backend(opts.backend);
         println!(
             "[table3] {} n={} nnz={} prec={:?}",
             entry.name,
@@ -205,7 +204,8 @@ pub fn run(opts: &ExpOpts) -> Table3Result {
     ];
     for (problem, poly_degree, paper_speedup, paper_iters) in galeri {
         let nx = opts.scale.nx(problem.default_nx(), problem.paper_nx());
-        let bench = Bench::new(problem.name(), problem.generate_at(nx), problem.paper_n());
+        let bench = Bench::new(problem.name(), problem.generate_at(nx), problem.paper_n())
+            .with_backend(opts.backend);
         println!("[table3] {} n={}", problem.name(), bench.a.n());
         let prec = match poly_degree {
             Some(d) => TablePrecond::Poly { degree: d },
@@ -240,8 +240,17 @@ pub fn run(opts: &ExpOpts) -> Table3Result {
     }
 
     let mut table = output::TextTable::new(&[
-        "matrix", "N", "NNZ", "symm", "prec", "fp64 time", "fp64 iters", "IR time", "IR iters",
-        "speedup", "paper",
+        "matrix",
+        "N",
+        "NNZ",
+        "symm",
+        "prec",
+        "fp64 time",
+        "fp64 iters",
+        "IR time",
+        "IR iters",
+        "speedup",
+        "paper",
     ]);
     for r in &rows {
         table.row(vec![

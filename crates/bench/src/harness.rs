@@ -6,11 +6,12 @@ use std::time::Instant;
 
 use mpgmres::precond::Preconditioner;
 use mpgmres::{
-    FdConfig, GmresConfig, GmresFd, GmresIr, GpuContext, GpuMatrix, Gmres, IrConfig, SolveResult,
+    BackendKind, FdConfig, Gmres, GmresConfig, GmresFd, GmresIr, GpuContext, GpuMatrix, IrConfig,
+    SolveResult,
 };
 use mpgmres_gpusim::{DeviceModel, PaperCategory};
 use mpgmres_la::csr::Csr;
-use mpgmres_scalar::Scalar;
+use mpgmres_la::vec_ops::ReductionOrder;
 use serde::Serialize;
 
 /// Which solver produced a record.
@@ -117,6 +118,9 @@ pub struct Bench {
     pub device: DeviceModel,
     /// The latency scale factor applied.
     pub latency_scale: f64,
+    /// Kernel backend executing the computation (wall-clock only;
+    /// simulated timings are backend-independent).
+    pub backend: BackendKind,
 }
 
 impl Bench {
@@ -133,12 +137,19 @@ impl Bench {
             device: DeviceModel::v100_belos().scaled_latencies(factor),
             latency_scale: factor,
             a,
+            backend: BackendKind::default(),
         }
     }
 
-    /// Fresh context on this bench's device.
+    /// Select the kernel backend (builder style).
+    pub fn with_backend(mut self, backend: BackendKind) -> Bench {
+        self.backend = backend;
+        self
+    }
+
+    /// Fresh context on this bench's device and backend.
     pub fn ctx(&self) -> GpuContext {
-        GpuContext::new(self.device.clone())
+        GpuContext::with_backend_kind(self.device.clone(), ReductionOrder::GPU_LIKE, self.backend)
     }
 
     fn record(
@@ -185,7 +196,7 @@ impl Bench {
 
     /// Run single-precision-family GMRES(m) (fp64 or fp32) with a
     /// preconditioner built in that precision.
-    pub fn run_gmres<S: Scalar>(
+    pub fn run_gmres<S: mpgmres::BackendScalar>(
         &self,
         precond: &dyn Preconditioner<S>,
         cfg: GmresConfig,
@@ -202,7 +213,10 @@ impl Bench {
             mpgmres_scalar::Precision::Fp32 => SolverKind::Fp32,
             mpgmres_scalar::Precision::Fp16 => SolverKind::IrHalf,
         };
-        (self.record(kind, cfg.m, precond.describe(), &res, &ctx, wall), x)
+        (
+            self.record(kind, cfg.m, precond.describe(), &res, &ctx, wall),
+            x,
+        )
     }
 
     /// Run fp64 GMRES with an fp64-native preconditioner.
@@ -226,7 +240,17 @@ impl Bench {
         let ir = GmresIr::<f32, f64>::new(&self.a, precond_lo, cfg);
         let res = ir.solve(&mut ctx, &self.b, &mut x);
         let wall = t0.elapsed().as_secs_f64();
-        (self.record(SolverKind::Ir, cfg.m, precond_lo.describe(), &res, &ctx, wall), x)
+        (
+            self.record(
+                SolverKind::Ir,
+                cfg.m,
+                precond_lo.describe(),
+                &res,
+                &ctx,
+                wall,
+            ),
+            x,
+        )
     }
 
     /// Run GMRES-FD with the given switch iteration (identity
@@ -240,7 +264,14 @@ impl Bench {
         let fd = GmresFd::<f32, f64>::new(&self.a, &id32, &id64, cfg);
         let res = fd.solve(&mut ctx, &self.b, &mut x);
         let wall = t0.elapsed().as_secs_f64();
-        let mut rec = self.record(SolverKind::Fd, cfg.m, "none".into(), &res.result, &ctx, wall);
+        let mut rec = self.record(
+            SolverKind::Fd,
+            cfg.m,
+            "none".into(),
+            &res.result,
+            &ctx,
+            wall,
+        );
         rec.solver = format!("fd@{}", cfg.switch_at);
         (rec, x)
     }
@@ -264,7 +295,10 @@ mod tests {
         let (r64, x) = b.run_fp64(&Identity, cfg);
         assert_eq!(r64.status, "Converged");
         assert!(x.iter().all(|v| v.is_finite()));
-        let (rir, _) = b.run_ir(&Identity, IrConfig::default().with_m(15).with_max_iters(2_000));
+        let (rir, _) = b.run_ir(
+            &Identity,
+            IrConfig::default().with_m(15).with_max_iters(2_000),
+        );
         assert_eq!(rir.status, "Converged");
         assert!(rir.sim_seconds > 0.0);
         let (rfd, _) = b.run_fd(FdConfig {

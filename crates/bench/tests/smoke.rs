@@ -82,7 +82,10 @@ fn restart_sweep_quick() {
     assert!(r.rows.len() >= 3);
     // fp64 iterations decrease with m (paper Table II's left columns).
     let it: Vec<usize> = r.rows.iter().map(|x| x.fp64.iterations).collect();
-    assert!(it.windows(2).all(|w| w[1] <= w[0]), "iters not decreasing: {it:?}");
+    assert!(
+        it.windows(2).all(|w| w[1] <= w[0]),
+        "iters not decreasing: {it:?}"
+    );
 }
 
 #[test]

@@ -167,7 +167,10 @@ mod tests {
         assert!(c.monitor_implicit);
         let ir = IrConfig::default();
         assert_eq!(ir.m, 50);
-        assert!(ir.inner_early_exit.is_none(), "paper runs inner cycles to full m");
+        assert!(
+            ir.inner_early_exit.is_none(),
+            "paper runs inner cycles to full m"
+        );
     }
 
     #[test]
@@ -181,7 +184,10 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = GmresConfig::default().with_m(100).with_rtol(1e-8).with_max_iters(500);
+        let c = GmresConfig::default()
+            .with_m(100)
+            .with_rtol(1e-8)
+            .with_max_iters(500);
         assert_eq!((c.m, c.rtol, c.max_iters), (100, 1e-8, 500));
     }
 }

@@ -1,18 +1,26 @@
-//! The instrumented execution context: real kernels + simulated time.
+//! The instrumented execution context: pluggable kernels + simulated time.
 //!
-//! [`GpuContext`] is the workspace's Belos/Kokkos-Kernels layer. Every
-//! linear algebra operation a solver performs goes through it:
-//! the *computation* executes natively (bit-true IEEE arithmetic via
-//! `mpgmres-la`), and the *cost* is charged to a
-//! [`mpgmres_gpusim::Profiler`] using the V100 device model. This is what
-//! lets a CPU-only environment reproduce the paper's GPU timing shapes
-//! while keeping the convergence behaviour exact.
+//! [`GpuContext`] is the workspace's Belos/Kokkos-Kernels layer, reduced
+//! to an instrumentation shim over the backend abstraction: every linear
+//! algebra operation a solver performs goes through it, the *cost* is
+//! charged to a [`mpgmres_gpusim::Profiler`] using the V100 device
+//! model, and the *computation* is delegated to an
+//! [`mpgmres_backend::Backend`] trait object (sequential reference or
+//! std-thread parallel; future GPU/batched backends slot in the same
+//! way). Charging depends only on operand shapes and the device model,
+//! so the simulated V100 timing of a solve is identical for every
+//! backend; and because the backends are bit-compatible (see
+//! `mpgmres-backend`'s determinism contract), so is the convergence
+//! behaviour.
 
+use std::sync::Arc;
+
+use mpgmres_backend::{contracts, Backend, BackendKind, BackendScalar};
 use mpgmres_gpusim::{cost, DeviceModel, KernelClass, Profiler, TimingReport};
 use mpgmres_la::csr::Csr;
 use mpgmres_la::multivector::MultiVector;
 use mpgmres_la::stats::MatrixStats;
-use mpgmres_la::vec_ops::{self, ReductionOrder};
+use mpgmres_la::vec_ops::ReductionOrder;
 use mpgmres_scalar::Scalar;
 
 /// A sparse matrix prepared for the simulated device: the CSR data plus
@@ -60,34 +68,72 @@ impl<S: Scalar> GpuMatrix<S> {
     /// the fp64 one, §III-B). Not charged to the profiler: the paper's
     /// solve times exclude this one-time copy.
     pub fn convert<T: Scalar>(&self) -> GpuMatrix<T> {
-        GpuMatrix { csr: self.csr.convert::<T>(), stats: self.stats }
+        GpuMatrix {
+            csr: self.csr.convert::<T>(),
+            stats: self.stats,
+        }
     }
 }
 
-/// Instrumented kernel executor.
+/// Instrumented kernel executor: charges the profiler, delegates
+/// computation to the configured [`Backend`].
 #[derive(Debug)]
 pub struct GpuContext {
     device: DeviceModel,
     profiler: Profiler,
     reduction: ReductionOrder,
+    backend: Arc<dyn Backend>,
 }
 
 impl GpuContext {
-    /// New context on the given device, GPU-like reduction order.
+    /// New context on the given device, GPU-like reduction order, and
+    /// the default (sequential reference) backend.
     pub fn new(device: DeviceModel) -> Self {
-        GpuContext { device, profiler: Profiler::new(), reduction: ReductionOrder::GPU_LIKE }
+        Self::with_backend(
+            device,
+            ReductionOrder::GPU_LIKE,
+            BackendKind::default().create(),
+        )
     }
 
     /// New context with an explicit reduction order (tests use
     /// [`ReductionOrder::Sequential`] for bit-determinism; the paper notes
     /// GPU reductions make convergence slightly nondeterministic).
     pub fn with_reduction(device: DeviceModel, reduction: ReductionOrder) -> Self {
-        GpuContext { device, profiler: Profiler::new(), reduction }
+        Self::with_backend(device, reduction, BackendKind::default().create())
+    }
+
+    /// New context with an explicit kernel backend.
+    pub fn with_backend(
+        device: DeviceModel,
+        reduction: ReductionOrder,
+        backend: Arc<dyn Backend>,
+    ) -> Self {
+        GpuContext {
+            device,
+            profiler: Profiler::new(),
+            reduction,
+            backend,
+        }
+    }
+
+    /// New context selecting the backend by kind.
+    pub fn with_backend_kind(
+        device: DeviceModel,
+        reduction: ReductionOrder,
+        kind: BackendKind,
+    ) -> Self {
+        Self::with_backend(device, reduction, kind.create())
     }
 
     /// The device model in use.
     pub fn device(&self) -> &DeviceModel {
         &self.device
+    }
+
+    /// The kernel backend executing the computation.
+    pub fn backend(&self) -> &dyn Backend {
+        &*self.backend
     }
 
     /// Accumulated profile.
@@ -116,27 +162,33 @@ impl GpuContext {
     /// `y = A x`, charged to the given class (solvers use
     /// [`KernelClass::SpMV`]; GMRES-IR's refinement residual uses
     /// [`KernelClass::ResidualHi`] so it lands in the paper's "Other").
-    pub fn spmv_as<S: Scalar>(
+    pub fn spmv_as<S: BackendScalar>(
         &mut self,
         class: KernelClass,
         a: &GpuMatrix<S>,
         x: &[S],
         y: &mut [S],
     ) {
+        contracts::spmv(a.csr(), x, y);
         let t = cost::spmv_time(&self.device, a.n(), a.nnz(), a.bandwidth(), S::PRECISION);
-        let bytes =
-            mpgmres_gpusim::analytic::spmv_traffic_bytes(&self.device, a.n(), a.nnz(), a.bandwidth(), S::PRECISION);
+        let bytes = mpgmres_gpusim::analytic::spmv_traffic_bytes(
+            &self.device,
+            a.n(),
+            a.nnz(),
+            a.bandwidth(),
+            S::PRECISION,
+        );
         self.profiler.charge(class, t, bytes);
-        a.csr().spmv(x, y);
+        S::view(&*self.backend).spmv(a.csr(), x, y);
     }
 
     /// `y = A x` charged as a solver SpMV.
-    pub fn spmv<S: Scalar>(&mut self, a: &GpuMatrix<S>, x: &[S], y: &mut [S]) {
+    pub fn spmv<S: BackendScalar>(&mut self, a: &GpuMatrix<S>, x: &[S], y: &mut [S]) {
         self.spmv_as(KernelClass::SpMV, a, x, y);
     }
 
     /// Fused residual `r = b - A x`.
-    pub fn residual_as<S: Scalar>(
+    pub fn residual_as<S: BackendScalar>(
         &mut self,
         class: KernelClass,
         a: &GpuMatrix<S>,
@@ -144,6 +196,7 @@ impl GpuContext {
         x: &[S],
         r: &mut [S],
     ) {
+        contracts::residual(a.csr(), b, x, r);
         let t = cost::residual_time(&self.device, a.n(), a.nnz(), a.bandwidth(), S::PRECISION);
         let bytes = mpgmres_gpusim::analytic::spmv_traffic_bytes(
             &self.device,
@@ -153,89 +206,110 @@ impl GpuContext {
             S::PRECISION,
         ) + a.n() * S::BYTES;
         self.profiler.charge(class, t, bytes);
-        a.csr().residual(b, x, r);
+        S::view(&*self.backend).residual(a.csr(), b, x, r);
     }
 
     /// `h = V^T w` over the first `ncols` basis columns (GEMV Trans).
-    pub fn gemv_t<S: Scalar>(
+    pub fn gemv_t<S: BackendScalar>(
         &mut self,
         v: &MultiVector<S>,
         ncols: usize,
         w: &[S],
         h: &mut [S],
     ) {
+        contracts::gemv(v, ncols, w, h);
         let t = cost::gemv_t_time(&self.device, v.n(), ncols, S::PRECISION);
-        self.profiler.charge(KernelClass::GemvT, t, (ncols + 1) * v.n() * S::BYTES);
-        v.gemv_t(ncols, w, h, self.reduction);
+        self.profiler
+            .charge(KernelClass::GemvT, t, (ncols + 1) * v.n() * S::BYTES);
+        S::view(&*self.backend).gemv_t(v, ncols, w, h, self.reduction);
     }
 
     /// `w -= V h` (GEMV No-Trans).
-    pub fn gemv_n_sub<S: Scalar>(
+    pub fn gemv_n_sub<S: BackendScalar>(
         &mut self,
         v: &MultiVector<S>,
         ncols: usize,
         h: &[S],
         w: &mut [S],
     ) {
+        contracts::gemv(v, ncols, w, h);
         let t = cost::gemv_n_time(&self.device, v.n(), ncols, S::PRECISION);
-        self.profiler.charge(KernelClass::GemvN, t, (ncols + 2) * v.n() * S::BYTES);
-        v.gemv_n_sub(ncols, h, w);
+        self.profiler
+            .charge(KernelClass::GemvN, t, (ncols + 2) * v.n() * S::BYTES);
+        S::view(&*self.backend).gemv_n_sub(v, ncols, h, w);
     }
 
     /// `y += V h` (GEMV No-Trans; the solution update `x += V y`).
-    pub fn gemv_n_add<S: Scalar>(
+    pub fn gemv_n_add<S: BackendScalar>(
         &mut self,
         v: &MultiVector<S>,
         ncols: usize,
         h: &[S],
         y: &mut [S],
     ) {
+        contracts::gemv(v, ncols, y, h);
         let t = cost::gemv_n_time(&self.device, v.n(), ncols, S::PRECISION);
-        self.profiler.charge(KernelClass::GemvN, t, (ncols + 2) * v.n() * S::BYTES);
-        v.gemv_n_add(ncols, h, y);
+        self.profiler
+            .charge(KernelClass::GemvN, t, (ncols + 2) * v.n() * S::BYTES);
+        S::view(&*self.backend).gemv_n_add(v, ncols, h, y);
     }
 
     /// Euclidean norm with device-to-host result transfer.
-    pub fn norm2<S: Scalar>(&mut self, x: &[S]) -> S {
+    pub fn norm2<S: BackendScalar>(&mut self, x: &[S]) -> S {
         self.norm2_as(KernelClass::Norm, x)
     }
 
     /// Euclidean norm charged to an explicit class (GMRES-IR charges its
     /// refinement-residual norms to [`KernelClass::ResidualHi`] so they
     /// land in the paper's "Other" bar, per the Fig. 4 caption).
-    pub fn norm2_as<S: Scalar>(&mut self, class: KernelClass, x: &[S]) -> S {
+    pub fn norm2_as<S: BackendScalar>(&mut self, class: KernelClass, x: &[S]) -> S {
         let t = cost::norm_time(&self.device, x.len(), S::PRECISION);
         self.profiler.charge(class, t, x.len() * S::BYTES);
-        vec_ops::norm2_ordered(x, self.reduction)
+        S::view(&*self.backend).norm2(x, self.reduction)
     }
 
     /// Inner product with device-to-host result transfer.
-    pub fn dot<S: Scalar>(&mut self, x: &[S], y: &[S]) -> S {
+    pub fn dot<S: BackendScalar>(&mut self, x: &[S], y: &[S]) -> S {
+        contracts::same_len("dot", x, y);
         let t = cost::dot_time(&self.device, x.len(), S::PRECISION);
-        self.profiler.charge(KernelClass::Dot, t, 2 * x.len() * S::BYTES);
-        vec_ops::dot_ordered(x, y, self.reduction)
+        self.profiler
+            .charge(KernelClass::Dot, t, 2 * x.len() * S::BYTES);
+        S::view(&*self.backend).dot(x, y, self.reduction)
     }
 
     /// `y += alpha x`.
-    pub fn axpy<S: Scalar>(&mut self, alpha: S, x: &[S], y: &mut [S]) {
+    pub fn axpy<S: BackendScalar>(&mut self, alpha: S, x: &[S], y: &mut [S]) {
+        contracts::same_len("axpy", x, y);
         let t = cost::axpy_time(&self.device, x.len(), S::PRECISION);
-        self.profiler.charge(KernelClass::Axpy, t, 3 * x.len() * S::BYTES);
-        vec_ops::axpy(alpha, x, y);
+        self.profiler
+            .charge(KernelClass::Axpy, t, 3 * x.len() * S::BYTES);
+        S::view(&*self.backend).axpy(alpha, x, y);
     }
 
     /// `x *= alpha`.
-    pub fn scal<S: Scalar>(&mut self, alpha: S, x: &mut [S]) {
+    pub fn scal<S: BackendScalar>(&mut self, alpha: S, x: &mut [S]) {
         let t = cost::scal_time(&self.device, x.len(), S::PRECISION);
-        self.profiler.charge(KernelClass::Scal, t, 2 * x.len() * S::BYTES);
-        vec_ops::scale(alpha, x);
+        self.profiler
+            .charge(KernelClass::Scal, t, 2 * x.len() * S::BYTES);
+        S::view(&*self.backend).scal(alpha, x);
+    }
+
+    /// Device-resident vector copy (no profiler charge is attached to
+    /// plain copies in the paper's accounting; provided for backends).
+    pub fn copy<S: BackendScalar>(&mut self, src: &[S], dst: &mut [S]) {
+        contracts::same_len("copy", src, dst);
+        S::view(&*self.backend).copy(src, dst);
     }
 
     /// Device-resident precision cast (fp32 preconditioner under an fp64
     /// solve, §III-D case a).
     pub fn cast_device<S: Scalar, T: Scalar>(&mut self, src: &[S], dst: &mut [T]) {
         let t = cost::cast_device_time(&self.device, src.len(), S::PRECISION, T::PRECISION);
-        self.profiler
-            .charge(KernelClass::CastDevice, t, src.len() * (S::BYTES + T::BYTES));
+        self.profiler.charge(
+            KernelClass::CastDevice,
+            t,
+            src.len() * (S::BYTES + T::BYTES),
+        );
         mpgmres_scalar::cast_into(src, dst);
     }
 
@@ -243,7 +317,8 @@ impl GpuContext {
     /// the Belos interface on the host, §IV).
     pub fn cast_host<S: Scalar, T: Scalar>(&mut self, src: &[S], dst: &mut [T]) {
         let t = cost::cast_host_time(&self.device, src.len(), S::PRECISION, T::PRECISION);
-        self.profiler.charge(KernelClass::CastHost, t, src.len() * (S::BYTES + T::BYTES));
+        self.profiler
+            .charge(KernelClass::CastHost, t, src.len() * (S::BYTES + T::BYTES));
         mpgmres_scalar::cast_into(src, dst);
     }
 
@@ -321,8 +396,7 @@ mod tests {
 
     #[test]
     fn norm_matches_sequential_for_small_vectors() {
-        let mut ctx =
-            GpuContext::with_reduction(DeviceModel::ideal(), ReductionOrder::Sequential);
+        let mut ctx = GpuContext::with_reduction(DeviceModel::ideal(), ReductionOrder::Sequential);
         let x = vec![3.0f64, 4.0];
         assert_eq!(ctx.norm2(&x), 5.0);
     }

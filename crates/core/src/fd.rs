@@ -7,7 +7,7 @@
 //! and finds it needs per-problem tuning of the switch point — and even
 //! at the optimum it rarely beats untuned GMRES-IR.
 
-use mpgmres_scalar::Scalar;
+use mpgmres_backend::BackendScalar;
 use serde::Serialize;
 
 use crate::config::GmresConfig;
@@ -34,7 +34,13 @@ pub struct FdConfig {
 
 impl Default for FdConfig {
     fn default() -> Self {
-        FdConfig { m: 50, rtol: 1e-10, switch_at: 500, max_iters: 200_000, record_history: true }
+        FdConfig {
+            m: 50,
+            rtol: 1e-10,
+            switch_at: 500,
+            max_iters: 200_000,
+            record_history: true,
+        }
     }
 }
 
@@ -52,7 +58,7 @@ pub struct FdResult {
 }
 
 /// GMRES-FD with low precision `Lo` and high precision `Hi`.
-pub struct GmresFd<'a, Lo: Scalar, Hi: Scalar> {
+pub struct GmresFd<'a, Lo: BackendScalar, Hi: BackendScalar> {
     a_hi: &'a GpuMatrix<Hi>,
     a_lo: GpuMatrix<Lo>,
     precond_lo: &'a dyn Preconditioner<Lo>,
@@ -60,7 +66,7 @@ pub struct GmresFd<'a, Lo: Scalar, Hi: Scalar> {
     cfg: FdConfig,
 }
 
-impl<'a, Lo: Scalar, Hi: Scalar> GmresFd<'a, Lo, Hi> {
+impl<'a, Lo: BackendScalar, Hi: BackendScalar> GmresFd<'a, Lo, Hi> {
     /// Build the solver (the low-precision matrix copy is made here).
     pub fn new(
         a_hi: &'a GpuMatrix<Hi>,
@@ -68,7 +74,13 @@ impl<'a, Lo: Scalar, Hi: Scalar> GmresFd<'a, Lo, Hi> {
         precond_hi: &'a dyn Preconditioner<Hi>,
         cfg: FdConfig,
     ) -> Self {
-        GmresFd { a_hi, a_lo: a_hi.convert::<Lo>(), precond_lo, precond_hi, cfg }
+        GmresFd {
+            a_hi,
+            a_lo: a_hi.convert::<Lo>(),
+            precond_lo,
+            precond_hi,
+            cfg,
+        }
     }
 
     /// Solve `A x = b`; `x` carries the initial guess in and solution out.
@@ -234,7 +246,12 @@ mod tests {
         let a = laplace1d(n);
         let b = vec![1.0; n];
         let mut x = vec![0.0; n];
-        let cfg = FdConfig { m: 20, switch_at: 60, max_iters: 20_000, ..FdConfig::default() };
+        let cfg = FdConfig {
+            m: 20,
+            switch_at: 60,
+            max_iters: 20_000,
+            ..FdConfig::default()
+        };
         let fd = GmresFd::<f32, f64>::new(&a, &Identity, &Identity, cfg);
         let res = fd.solve(&mut ctx(), &b, &mut x);
         assert_eq!(res.result.status, SolveStatus::Converged);
@@ -250,9 +267,14 @@ mod tests {
         let a = laplace1d(n);
         let b = vec![1.0; n];
         let mut x = vec![0.0; n];
-        let cfg = FdConfig { m: 15, switch_at: 0, max_iters: 5_000, ..FdConfig::default() };
-        let res = GmresFd::<f32, f64>::new(&a, &Identity, &Identity, cfg)
-            .solve(&mut ctx(), &b, &mut x);
+        let cfg = FdConfig {
+            m: 15,
+            switch_at: 0,
+            max_iters: 5_000,
+            ..FdConfig::default()
+        };
+        let res =
+            GmresFd::<f32, f64>::new(&a, &Identity, &Identity, cfg).solve(&mut ctx(), &b, &mut x);
         assert_eq!(res.lo_iterations, 0);
         assert_eq!(res.result.status, SolveStatus::Converged);
         assert!(true_rel(&a, &b, &x) <= 1.2e-10);
@@ -267,7 +289,12 @@ mod tests {
         let b = vec![1.0; n];
         let run = |switch_at: usize| {
             let mut x = vec![0.0; n];
-            let cfg = FdConfig { m: 16, switch_at, max_iters: 50_000, ..FdConfig::default() };
+            let cfg = FdConfig {
+                m: 16,
+                switch_at,
+                max_iters: 50_000,
+                ..FdConfig::default()
+            };
             GmresFd::<f32, f64>::new(&a, &Identity, &Identity, cfg).solve(&mut ctx(), &b, &mut x)
         };
         let early = run(64);
@@ -288,9 +315,14 @@ mod tests {
         let a = laplace1d(n);
         let b = vec![1.0; n];
         let mut x = vec![0.0; n];
-        let cfg = FdConfig { m: 12, switch_at: 24, max_iters: 5_000, ..FdConfig::default() };
-        let res = GmresFd::<f32, f64>::new(&a, &Identity, &Identity, cfg)
-            .solve(&mut ctx(), &b, &mut x);
+        let cfg = FdConfig {
+            m: 12,
+            switch_at: 24,
+            max_iters: 5_000,
+            ..FdConfig::default()
+        };
+        let res =
+            GmresFd::<f32, f64>::new(&a, &Identity, &Identity, cfg).solve(&mut ctx(), &b, &mut x);
         // Final explicit history point must match the final residual.
         let last = res
             .result

@@ -11,29 +11,24 @@
 //! - Belos-style "loss of accuracy" detection when the two disagree
 //!   (§V-F).
 
-use mpgmres_la::givens::GivensLsq;
-use mpgmres_la::multivector::MultiVector;
-use mpgmres_scalar::Scalar;
-
 use crate::config::{GmresConfig, OrthoMethod};
 use crate::context::{GpuContext, GpuMatrix};
 use crate::precond::Preconditioner;
 use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
+use mpgmres_backend::BackendScalar;
+use mpgmres_la::givens::GivensLsq;
+use mpgmres_la::multivector::MultiVector;
 
 /// Restarted GMRES(m) in a single working precision `S`.
-pub struct Gmres<'a, S: Scalar> {
+pub struct Gmres<'a, S: BackendScalar> {
     a: &'a GpuMatrix<S>,
     precond: &'a dyn Preconditioner<S>,
     cfg: GmresConfig,
 }
 
-impl<'a, S: Scalar> Gmres<'a, S> {
+impl<'a, S: BackendScalar> Gmres<'a, S> {
     /// Build a solver for `A x = b` with a right preconditioner.
-    pub fn new(
-        a: &'a GpuMatrix<S>,
-        precond: &'a dyn Preconditioner<S>,
-        cfg: GmresConfig,
-    ) -> Self {
+    pub fn new(a: &'a GpuMatrix<S>, precond: &'a dyn Preconditioner<S>, cfg: GmresConfig) -> Self {
         assert!(cfg.m >= 1, "restart length must be at least 1");
         Gmres { a, precond, cfg }
     }
@@ -314,7 +309,11 @@ mod tests {
         a.csr().residual(b, x, &mut r);
         let rn = mpgmres_la::vec_ops::norm2(&r);
         let bn = mpgmres_la::vec_ops::norm2(b);
-        assert!(rn <= rtol * bn * 1.01, "true residual {rn:e} vs {:e}", rtol * bn);
+        assert!(
+            rn <= rtol * bn * 1.01,
+            "true residual {rn:e} vs {:e}",
+            rtol * bn
+        );
     }
 
     #[test]
@@ -377,7 +376,11 @@ mod tests {
         let cfg = GmresConfig::default().with_m(n + 2);
         let mut x_ref = vec![0.0; n];
         Gmres::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x_ref);
-        let mut x: Vec<f64> = x_ref.iter().enumerate().map(|(i, v)| v + ((i % 3) as f64 - 1.0)).collect();
+        let mut x: Vec<f64> = x_ref
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + ((i % 3) as f64 - 1.0))
+            .collect();
         let res = Gmres::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x);
         assert_eq!(res.status, SolveStatus::Converged);
         check_residual(&a, &b, &x, 1e-9);
@@ -411,7 +414,11 @@ mod tests {
         let cfg = GmresConfig::default().with_m(12);
         let res = Gmres::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x);
         let mut prev: Option<(usize, f64)> = None;
-        for h in res.history.iter().filter(|h| h.kind == HistoryKind::Implicit) {
+        for h in res
+            .history
+            .iter()
+            .filter(|h| h.kind == HistoryKind::Implicit)
+        {
             if let Some((pi, pr)) = prev {
                 if h.iteration == pi + 1 {
                     assert!(
@@ -433,7 +440,11 @@ mod tests {
         let cfg = GmresConfig::default().with_m(10).with_max_iters(25);
         let res = Gmres::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x);
         assert_eq!(res.status, SolveStatus::MaxIters);
-        assert!(res.iterations <= 25 + 10, "cap overshoot: {}", res.iterations);
+        assert!(
+            res.iterations <= 25 + 10,
+            "cap overshoot: {}",
+            res.iterations
+        );
     }
 
     #[test]
@@ -464,7 +475,10 @@ mod tests {
         let b = vec![1.0; n];
         for ortho in [OrthoMethod::Cgs2, OrthoMethod::Cgs1, OrthoMethod::Mgs] {
             let mut x = vec![0.0; n];
-            let cfg = GmresConfig::default().with_m(12).with_ortho(ortho).with_max_iters(5_000);
+            let cfg = GmresConfig::default()
+                .with_m(12)
+                .with_ortho(ortho)
+                .with_max_iters(5_000);
             let res = Gmres::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x);
             assert_eq!(res.status, SolveStatus::Converged, "{ortho:?}");
             check_residual(&a, &b, &x, 1e-10);
@@ -482,7 +496,10 @@ mod tests {
         let count = |ortho: OrthoMethod| {
             let mut c = ctx();
             let mut x = vec![0.0; n];
-            let cfg = GmresConfig::default().with_m(10).with_ortho(ortho).with_max_iters(200);
+            let cfg = GmresConfig::default()
+                .with_m(10)
+                .with_ortho(ortho)
+                .with_max_iters(200);
             Gmres::new(&a, &Identity, cfg).solve(&mut c, &b, &mut x);
             let p = c.profiler();
             (
@@ -511,7 +528,9 @@ mod tests {
                 .with_m(24)
                 .with_ortho(ortho)
                 .with_max_iters(600);
-            Gmres::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x).best_residual()
+            Gmres::new(&a, &Identity, cfg)
+                .solve(&mut ctx(), &b, &mut x)
+                .best_residual()
         };
         let cgs2 = run(OrthoMethod::Cgs2);
         let cgs1 = run(OrthoMethod::Cgs1);
@@ -553,10 +572,14 @@ mod tests {
         let mut x32 = vec![0.0f32; n];
         let r64 = Gmres::new(&a64, &Identity, cfg).solve(&mut ctx(), &b64, &mut x64);
         let r32 = Gmres::new(&a32, &Identity, cfg).solve(&mut ctx(), &b32, &mut x32);
-        let e64: Vec<f64> =
-            r64.explicit_history().map(|h| h.relative_residual).collect();
-        let e32: Vec<f64> =
-            r32.explicit_history().map(|h| h.relative_residual).collect();
+        let e64: Vec<f64> = r64
+            .explicit_history()
+            .map(|h| h.relative_residual)
+            .collect();
+        let e32: Vec<f64> = r32
+            .explicit_history()
+            .map(|h| h.relative_residual)
+            .collect();
         for (a, b) in e64.iter().zip(&e32) {
             if *a < 1e-4 {
                 break;

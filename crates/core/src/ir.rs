@@ -21,8 +21,8 @@
 //! residual representable when `Lo` is fp16 (the paper's future-work
 //! third precision).
 
+use mpgmres_backend::BackendScalar;
 use mpgmres_gpusim::KernelClass;
-use mpgmres_scalar::Scalar;
 
 use crate::config::{GmresConfig, IrConfig};
 use crate::context::{GpuContext, GpuMatrix};
@@ -31,14 +31,14 @@ use crate::precond::Preconditioner;
 use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
 
 /// GMRES-IR: inner precision `Lo`, outer (residual/solution) precision `Hi`.
-pub struct GmresIr<'a, Lo: Scalar, Hi: Scalar> {
+pub struct GmresIr<'a, Lo: BackendScalar, Hi: BackendScalar> {
     a_hi: &'a GpuMatrix<Hi>,
     a_lo: GpuMatrix<Lo>,
     precond_lo: &'a dyn Preconditioner<Lo>,
     cfg: IrConfig,
 }
 
-impl<'a, Lo: Scalar, Hi: Scalar> GmresIr<'a, Lo, Hi> {
+impl<'a, Lo: BackendScalar, Hi: BackendScalar> GmresIr<'a, Lo, Hi> {
     /// Build the solver. The low-precision matrix copy is created here
     /// (its one-time conversion cost is excluded from solve times, as in
     /// the paper's protocol, §V).
@@ -47,7 +47,12 @@ impl<'a, Lo: Scalar, Hi: Scalar> GmresIr<'a, Lo, Hi> {
         precond_lo: &'a dyn Preconditioner<Lo>,
         cfg: IrConfig,
     ) -> Self {
-        GmresIr { a_hi, a_lo: a_hi.convert::<Lo>(), precond_lo, cfg }
+        GmresIr {
+            a_hi,
+            a_lo: a_hi.convert::<Lo>(),
+            precond_lo,
+            cfg,
+        }
     }
 
     /// The low-precision matrix copy (GMRES-IR keeps both in memory,
@@ -151,7 +156,11 @@ impl<'a, Lo: Scalar, Hi: Scalar> GmresIr<'a, Lo, Hi> {
                 break;
             }
             if self.cfg.record_history {
-                for p in inner_res.history.iter().filter(|p| p.kind == HistoryKind::Implicit) {
+                for p in inner_res
+                    .history
+                    .iter()
+                    .filter(|p| p.kind == HistoryKind::Implicit)
+                {
                     history.push(HistoryPoint {
                         iteration: total_iters + p.iteration,
                         relative_residual: p.relative_residual * rel,
@@ -252,7 +261,12 @@ mod tests {
         let cfg = IrConfig::default().with_m(m).with_max_iters(10_000);
         let res = GmresIr::<f32, f64>::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x);
         assert_eq!(res.status, SolveStatus::Converged);
-        assert_eq!(res.iterations % m, 0, "iterations {} not multiple of {m}", res.iterations);
+        assert_eq!(
+            res.iterations % m,
+            0,
+            "iterations {} not multiple of {m}",
+            res.iterations
+        );
         assert_eq!(res.iterations / m, res.restarts);
     }
 
@@ -270,9 +284,15 @@ mod tests {
         // Other must contain the hi-precision residual recomputations and
         // host casts: at least 2 ResidualHi + 2 casts per restart.
         assert!(rep.seconds(PaperCategory::Other) > 0.0);
-        let casts = c.profiler().class_stats(mpgmres_gpusim::KernelClass::CastHost).calls;
+        let casts = c
+            .profiler()
+            .class_stats(mpgmres_gpusim::KernelClass::CastHost)
+            .calls;
         assert_eq!(casts as usize, 2 * res.restarts);
-        let hi_res = c.profiler().class_stats(mpgmres_gpusim::KernelClass::ResidualHi).calls;
+        let hi_res = c
+            .profiler()
+            .class_stats(mpgmres_gpusim::KernelClass::ResidualHi)
+            .calls;
         assert_eq!(hi_res as usize, 2 * (res.restarts + 1));
     }
 
@@ -304,8 +324,11 @@ mod tests {
         let a = laplace1d(10);
         let b = vec![0.0; 10];
         let mut x = vec![0.0; 10];
-        let res =
-            GmresIr::<f32, f64>::new(&a, &Identity, IrConfig::default()).solve(&mut ctx(), &b, &mut x);
+        let res = GmresIr::<f32, f64>::new(&a, &Identity, IrConfig::default()).solve(
+            &mut ctx(),
+            &b,
+            &mut x,
+        );
         assert_eq!(res.status, SolveStatus::Converged);
         assert_eq!(res.iterations, 0);
     }
@@ -331,10 +354,18 @@ mod tests {
         let a = laplace1d(n);
         let b = vec![1.0; n];
         let mut x = vec![0.0; n];
-        let cfg = IrConfig::default().with_m(24).with_rtol(1e-10).with_max_iters(50_000);
+        let cfg = IrConfig::default()
+            .with_m(24)
+            .with_rtol(1e-10)
+            .with_max_iters(50_000);
         let ir = GmresIr::<Half, f64>::new(&a, &Identity, cfg);
         let res = ir.solve(&mut ctx(), &b, &mut x);
-        assert_eq!(res.status, SolveStatus::Converged, "final rel {}", res.final_relative_residual);
+        assert_eq!(
+            res.status,
+            SolveStatus::Converged,
+            "final rel {}",
+            res.final_relative_residual
+        );
         assert!(true_rel_residual(&a, &b, &x) <= 1.2e-10);
     }
 

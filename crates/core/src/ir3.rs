@@ -74,7 +74,12 @@ impl<'a> GmresIr3<'a> {
         precond_lo: &'a dyn Preconditioner<Half>,
         cfg: Ir3Config,
     ) -> Self {
-        GmresIr3 { a_hi, a_mid: a_hi.convert::<f32>(), precond_lo, cfg }
+        GmresIr3 {
+            a_hi,
+            a_mid: a_hi.convert::<f32>(),
+            precond_lo,
+            cfg,
+        }
     }
 
     /// The configuration in use.
@@ -219,9 +224,17 @@ mod tests {
         let a = laplace1d(n);
         let b = vec![1.0f64; n];
         let mut x = vec![0.0f64; n];
-        let cfg = Ir3Config { m: 32, ..Ir3Config::default() };
+        let cfg = Ir3Config {
+            m: 32,
+            ..Ir3Config::default()
+        };
         let res = GmresIr3::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x);
-        assert_eq!(res.status, SolveStatus::Converged, "rel {}", res.final_relative_residual);
+        assert_eq!(
+            res.status,
+            SolveStatus::Converged,
+            "rel {}",
+            res.final_relative_residual
+        );
         let mut r = vec![0.0; n];
         a.csr().residual(&b, &x, &mut r);
         let rel = mpgmres_la::vec_ops::norm2(&r) / mpgmres_la::vec_ops::norm2(&b);
@@ -235,7 +248,10 @@ mod tests {
         let b = vec![1.0f64; n];
         let mut x = vec![0.0f64; n];
         let mut c = ctx();
-        let cfg = Ir3Config { m: 24, ..Ir3Config::default() };
+        let cfg = Ir3Config {
+            m: 24,
+            ..Ir3Config::default()
+        };
         let res = GmresIr3::new(&a, &Identity, cfg).solve(&mut c, &b, &mut x);
         assert_eq!(res.status, SolveStatus::Converged);
         // Outer casts f64<->f32 and middle casts f32<->f16 both happen.
@@ -274,7 +290,12 @@ mod tests {
         let a = GpuMatrix::new(coo.into_csr());
         let b = vec![1.0f64; n];
         let mut x = vec![0.0f64; n];
-        let cfg = Ir3Config { m: 8, mid_max_iters: 64, max_iters: 4_000, ..Ir3Config::default() };
+        let cfg = Ir3Config {
+            m: 8,
+            mid_max_iters: 64,
+            max_iters: 4_000,
+            ..Ir3Config::default()
+        };
         let res = GmresIr3::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x);
         // Either it manages (fp16 can be surprisingly scrappy) or it
         // terminates cleanly; both are acceptable, spinning is not.

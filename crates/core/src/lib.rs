@@ -16,8 +16,10 @@
 //! mixed-precision wrapper [`precond::mixed::CastPreconditioner`].
 //!
 //! Execution goes through [`GpuContext`]: numerics run natively in IEEE
-//! arithmetic; time is charged to a calibrated V100 performance model
-//! (`mpgmres-gpusim`), giving the paper's per-kernel timing breakdowns.
+//! arithmetic on a pluggable kernel [`Backend`] (sequential reference or
+//! std-thread parallel, selected via [`BackendKind`]); time is charged to
+//! a calibrated V100 performance model (`mpgmres-gpusim`), giving the
+//! paper's per-kernel timing breakdowns identically on every backend.
 //!
 //! # Example
 //!
@@ -61,4 +63,7 @@ pub use fd::{FdConfig, FdResult, GmresFd};
 pub use gmres::Gmres;
 pub use ir::GmresIr;
 pub use ir3::{GmresIr3, Ir3Config};
+pub use mpgmres_backend::{
+    Backend, BackendKind, BackendScalar, ParallelBackend, ReferenceBackend, ScalarBackend,
+};
 pub use status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};

@@ -7,11 +7,15 @@
 //! unknowns share a block (`mpgmres_la::rcm`).
 
 use mpgmres_la::dense::{DenseMat, LuFactors};
+use mpgmres_la::par;
 use mpgmres_scalar::Scalar;
-use rayon::prelude::*;
 
 use crate::context::{GpuContext, GpuMatrix};
 use crate::precond::Preconditioner;
+
+/// Below this many blocks, setup and apply stay sequential (thread
+/// spawn would dominate the tiny per-block work).
+const PAR_BLOCK_THRESHOLD: usize = 64;
 
 /// Block Jacobi with dense per-block LU factors.
 #[derive(Clone, Debug)]
@@ -32,24 +36,40 @@ impl<S: Scalar> BlockJacobi<S> {
         assert!(block_size >= 1, "block size must be >= 1");
         let n = a.n();
         let starts: Vec<usize> = (0..n).step_by(block_size).collect();
-        let results: Vec<(LuFactors<S>, bool)> = starts
-            .par_iter()
-            .map(|&s| {
-                let size = block_size.min(n - s);
-                let block = DenseMat::from_col_major(size, size, a.csr().diag_block(s, size));
-                match LuFactors::factor(&block) {
-                    Ok(f) => (f, false),
-                    Err(_) => {
-                        let f = LuFactors::factor(&DenseMat::identity(size))
-                            .expect("identity always factors");
-                        (f, true)
-                    }
+        // Each block factors independently: parallel setup is
+        // deterministic (results depend on position only).
+        let threads = if starts.len() >= PAR_BLOCK_THRESHOLD {
+            par::default_threads()
+        } else {
+            1
+        };
+        let mut slots: Vec<Option<(LuFactors<S>, bool)>> = vec![None; starts.len()];
+        par::for_each_slot_mut(threads, &mut slots, |i, slot| {
+            let s = starts[i];
+            let size = block_size.min(n - s);
+            let block = DenseMat::from_col_major(size, size, a.csr().diag_block(s, size));
+            *slot = Some(match LuFactors::factor(&block) {
+                Ok(f) => (f, false),
+                Err(_) => {
+                    let f = LuFactors::factor(&DenseMat::identity(size))
+                        .expect("identity always factors");
+                    (f, true)
                 }
-            })
+            });
+        });
+        let results: Vec<(LuFactors<S>, bool)> = slots
+            .into_iter()
+            .map(|r| r.expect("every block factored"))
             .collect();
         let singular_blocks = results.iter().filter(|(_, bad)| *bad).count();
         let factors = results.into_iter().map(|(f, _)| f).collect();
-        BlockJacobi { factors, starts, block_size, n, singular_blocks }
+        BlockJacobi {
+            factors,
+            starts,
+            block_size,
+            n,
+            singular_blocks,
+        }
     }
 
     /// Number of diagonal blocks.
@@ -73,23 +93,27 @@ impl<S: Scalar> Preconditioner<S> for BlockJacobi<S> {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
         ctx.block_solve_charge::<S>(self.n, self.block_size);
-        // Batched block solves: each block independent (GPU-parallel).
-        let starts = &self.starts;
-        let factors = &self.factors;
+        // Batched block solves: each block is an independent output, so
+        // distributing them over the backend's workers cannot change any
+        // result (parallel backend recovers wall-clock; reference backend
+        // stays sequential; the simulated cost above is what the paper's
+        // timings see either way).
         y.copy_from_slice(x);
-        // Partition y into per-block slices for parallel solves.
-        let mut slices: Vec<&mut [S]> = Vec::with_capacity(starts.len());
-        let mut rest = y;
-        for (i, &s) in starts.iter().enumerate() {
-            let end = if i + 1 < starts.len() { starts[i + 1] } else { self.n };
-            let (head, tail) = rest.split_at_mut(end - s);
-            slices.push(head);
-            rest = tail;
-        }
-        slices
-            .par_iter_mut()
-            .zip(factors.par_iter())
-            .for_each(|(chunk, lu)| lu.solve_in_place(chunk));
+        let ends: Vec<usize> = self
+            .starts
+            .iter()
+            .skip(1)
+            .copied()
+            .chain(std::iter::once(self.n))
+            .collect();
+        let threads = if self.factors.len() >= PAR_BLOCK_THRESHOLD {
+            ctx.backend().parallelism()
+        } else {
+            1
+        };
+        par::for_each_partition_mut(threads, y, &ends, |i, chunk| {
+            self.factors[i].solve_in_place(chunk);
+        });
     }
 
     fn describe(&self) -> String {
@@ -158,7 +182,7 @@ mod tests {
         let bj = BlockJacobi::build(&a, 4); // blocks of 4 and 2
         assert_eq!(bj.nblocks(), 2);
         let mut y = vec![0.0; 6];
-        Preconditioner::apply(&bj, &mut ctx(), &a, &vec![1.0; 6], &mut y);
+        Preconditioner::apply(&bj, &mut ctx(), &a, &[1.0; 6], &mut y);
         assert!(y.iter().all(|v| v.is_finite()));
     }
 
@@ -182,7 +206,7 @@ mod tests {
         let a = block_diag(4).convert::<f32>();
         let bj = BlockJacobi::build(&a, 2);
         let mut y = vec![0.0f32; 8];
-        Preconditioner::apply(&bj, &mut ctx(), &a, &vec![1.0f32; 8], &mut y);
+        Preconditioner::apply(&bj, &mut ctx(), &a, &[1.0f32; 8], &mut y);
         // [[3,1],[1,3]] solve of [1,1] is [0.25, 0.25].
         for v in &y {
             assert!((v - 0.25).abs() < 1e-6);
@@ -195,7 +219,7 @@ mod tests {
         let bj = BlockJacobi::build(&a, 2);
         let mut c = ctx();
         let mut y = vec![0.0; 8];
-        Preconditioner::apply(&bj, &mut c, &a, &vec![1.0; 8], &mut y);
+        Preconditioner::apply(&bj, &mut c, &a, &[1.0; 8], &mut y);
         assert!(c.elapsed() > 0.0);
     }
 }

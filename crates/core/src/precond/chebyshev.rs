@@ -13,7 +13,7 @@
 //! This is an extension beyond the paper (its follow-up work compares
 //! GMRES vs Chebyshev polynomials); included for the ablation studies.
 
-use mpgmres_scalar::Scalar;
+use mpgmres_backend::BackendScalar;
 
 use crate::context::{GpuContext, GpuMatrix};
 use crate::precond::Preconditioner;
@@ -64,7 +64,7 @@ impl ChebyshevPreconditioner {
     /// steps (inflated 5%), `lo` as `hi / kappa_guess` with the standard
     /// smoother convention `kappa_guess = 30` unless a tighter guess is
     /// supplied.
-    pub fn build<S: Scalar>(
+    pub fn build<S: BackendScalar>(
         ctx: &mut GpuContext,
         a: &GpuMatrix<S>,
         degree: usize,
@@ -104,7 +104,7 @@ impl ChebyshevPreconditioner {
     }
 }
 
-impl<S: Scalar> Preconditioner<S> for ChebyshevPreconditioner {
+impl<S: BackendScalar> Preconditioner<S> for ChebyshevPreconditioner {
     fn apply(&self, ctx: &mut GpuContext, a: &GpuMatrix<S>, x: &[S], y: &mut [S]) {
         // Standard Chebyshev iteration applied to A y = x from y0 = 0;
         // after `degree` steps, y = p(A) x with the Chebyshev residual
@@ -236,22 +236,31 @@ mod tests {
         let x = vec![1.0f64; 32];
         let mut y = vec![0.0f64; 32];
         Preconditioner::apply(&ch, &mut c, &a, &x, &mut y);
-        let spmvs = c.profiler().class_stats(mpgmres_gpusim::KernelClass::SpMV).calls;
-        assert_eq!(spmvs as usize, <ChebyshevPreconditioner as Preconditioner<f64>>::spmvs_per_apply(&ch));
+        let spmvs = c
+            .profiler()
+            .class_stats(mpgmres_gpusim::KernelClass::SpMV)
+            .calls;
+        assert_eq!(
+            spmvs as usize,
+            <ChebyshevPreconditioner as Preconditioner<f64>>::spmvs_per_apply(&ch)
+        );
     }
 
     #[test]
     fn works_in_fp32_under_ir() {
-        use crate::ir::GmresIr;
         use crate::config::IrConfig;
+        use crate::ir::GmresIr;
         let n = 96;
         let a = laplace1d(n);
         let b = vec![1.0f64; n];
         let lam_min = 2.0 - 2.0 * (std::f64::consts::PI / (n as f64 + 1.0)).cos();
         let ch = ChebyshevPreconditioner::with_bounds(8, lam_min, 4.0).unwrap();
         let mut x = vec![0.0f64; n];
-        let res = GmresIr::<f32, f64>::new(&a, &ch, IrConfig::default().with_m(20))
-            .solve(&mut ctx(), &b, &mut x);
+        let res = GmresIr::<f32, f64>::new(&a, &ch, IrConfig::default().with_m(20)).solve(
+            &mut ctx(),
+            &b,
+            &mut x,
+        );
         assert_eq!(res.status, SolveStatus::Converged);
     }
 }

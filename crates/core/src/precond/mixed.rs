@@ -125,8 +125,12 @@ mod tests {
         let mut ay = vec![0.0f64; n];
         a.csr().spmv(&y, &mut ay);
         // fp32 polynomial: expect rough inverse, fp32-level accuracy.
-        let err: f64 =
-            ay.iter().zip(&x).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt();
+        let err: f64 = ay
+            .iter()
+            .zip(&x)
+            .map(|(p, q)| (p - q).powi(2))
+            .sum::<f64>()
+            .sqrt();
         let scale = (n as f64).sqrt();
         assert!(err < 0.8 * scale, "too inaccurate: {err}");
         assert!(err > 0.0, "suspiciously exact for fp32");

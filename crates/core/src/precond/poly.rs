@@ -19,14 +19,13 @@
 //! solver's own SpMV), which is why polynomial preconditioning shifts the
 //! timing profile toward SpMV (Fig. 7) — exactly where fp32 wins biggest.
 
+use crate::context::{GpuContext, GpuMatrix};
+use crate::precond::Preconditioner;
+use mpgmres_backend::BackendScalar;
 use mpgmres_la::dense::{DenseMat, LuFactors};
 use mpgmres_la::eig::{hessenberg_eigenvalues, Complex};
 use mpgmres_la::givens::GivensLsq;
 use mpgmres_la::multivector::MultiVector;
-use mpgmres_scalar::Scalar;
-
-use crate::context::{GpuContext, GpuMatrix};
-use crate::precond::Preconditioner;
 
 /// Errors from polynomial construction.
 #[derive(Clone, Debug, PartialEq)]
@@ -83,7 +82,7 @@ impl PolyPreconditioner {
     /// polynomial unconstrained on part of the spectrum — `A p(A)` then
     /// has wild or negative eigenvalues and the preconditioned solver
     /// stagnates. A random seed touches every eigendirection.
-    pub fn build_auto_seed<S: Scalar>(
+    pub fn build_auto_seed<S: BackendScalar>(
         ctx: &mut GpuContext,
         a: &GpuMatrix<S>,
         degree: usize,
@@ -110,7 +109,7 @@ impl PolyPreconditioner {
     /// All vector work runs in precision `S` through the instrumented
     /// context (so an fp32 polynomial is "computed in fp32", §V-C), while
     /// the tiny projected eigenproblem is solved in f64.
-    pub fn build<S: Scalar>(
+    pub fn build<S: BackendScalar>(
         ctx: &mut GpuContext,
         a: &GpuMatrix<S>,
         degree: usize,
@@ -183,10 +182,15 @@ impl PolyPreconditioner {
             modified[(r, d - 1)] += h2_corner * g[r];
         }
         ctx.charge_host_flops(2 * d * d * d / 3 + 10 * d * d);
-        let mut roots = hessenberg_eigenvalues(&modified)
-            .map_err(|e| PolyError::BadSpectrum(e.to_string()))?;
-        if roots.iter().any(|r| r.abs() == 0.0 || !r.re.is_finite() || !r.im.is_finite()) {
-            return Err(PolyError::BadSpectrum("root at origin or non-finite".into()));
+        let mut roots =
+            hessenberg_eigenvalues(&modified).map_err(|e| PolyError::BadSpectrum(e.to_string()))?;
+        if roots
+            .iter()
+            .any(|r| r.abs() == 0.0 || !r.re.is_finite() || !r.im.is_finite())
+        {
+            return Err(PolyError::BadSpectrum(
+                "root at origin or non-finite".into(),
+            ));
         }
         normalize_conjugates(&mut roots);
         let roots = modified_leja_order(&roots);
@@ -250,7 +254,10 @@ fn modified_leja_order(roots: &[Complex]) -> Vec<Complex> {
     while i < roots.len() {
         let r = roots[i];
         if r.im != 0.0 {
-            items.push(Complex { re: r.re, im: r.im.abs() });
+            items.push(Complex {
+                re: r.re,
+                im: r.im.abs(),
+            });
             i += 2;
         } else {
             items.push(r);
@@ -293,11 +300,14 @@ fn modified_leja_order(roots: &[Complex]) -> Vec<Complex> {
 fn push_with_conjugate(chosen: &mut Vec<Complex>, z: Complex) {
     chosen.push(z);
     if z.im != 0.0 {
-        chosen.push(Complex { re: z.re, im: -z.im });
+        chosen.push(Complex {
+            re: z.re,
+            im: -z.im,
+        });
     }
 }
 
-impl<S: Scalar> Preconditioner<S> for PolyPreconditioner {
+impl<S: BackendScalar> Preconditioner<S> for PolyPreconditioner {
     fn apply(&self, ctx: &mut GpuContext, a: &GpuMatrix<S>, x: &[S], y: &mut [S]) {
         let n = x.len();
         debug_assert_eq!(y.len(), n);
@@ -424,7 +434,12 @@ mod tests {
         Preconditioner::apply(&p, &mut c, &a, &b, &mut pb);
         let mut apb = vec![0.0; n];
         a.csr().spmv(&pb, &mut apb);
-        let err: f64 = apb.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt();
+        let err: f64 = apb
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).powi(2))
+            .sum::<f64>()
+            .sqrt();
         assert!(err < 1e-7 * norm2(&b), "A p(A) b != b: err {err:e}");
     }
 
@@ -456,8 +471,16 @@ mod tests {
         Preconditioner::apply(&p, &mut c, &a, &b, &mut pb);
         let mut apb = vec![0.0; n];
         a.csr().spmv(&pb, &mut apb);
-        let err: f64 = apb.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt();
-        assert!(err < 1e-6 * norm2(&b), "complex-pair application broken: {err:e}");
+        let err: f64 = apb
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            err < 1e-6 * norm2(&b),
+            "complex-pair application broken: {err:e}"
+        );
     }
 
     #[test]
@@ -473,8 +496,16 @@ mod tests {
         Preconditioner::apply(&p, &mut c, &a, &b, &mut pb);
         let mut apb = vec![0.0; n];
         a.csr().spmv(&pb, &mut apb);
-        let err: f64 = apb.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt();
-        assert!(err < 1e-4 * norm2(&b), "degree-12 polynomial too weak: {err:e}");
+        let err: f64 = apb
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            err < 1e-4 * norm2(&b),
+            "degree-12 polynomial too weak: {err:e}"
+        );
     }
 
     #[test]
@@ -484,8 +515,11 @@ mod tests {
         // seed must reproduce the Arnoldi least-squares residual:
         // ||b - A p(A) b|| == lsq residual. This validates the whole
         // harmonic-Ritz -> Leja -> conjugate-pair-application chain.
-        for (name, a) in [("spd", spd_tridiag(40)), ("nonsym", nonsym(40)), ("dd", dd_tridiag(40))]
-        {
+        for (name, a) in [
+            ("spd", spd_tridiag(40)),
+            ("nonsym", nonsym(40)),
+            ("dd", dd_tridiag(40)),
+        ] {
             let n = a.n();
             let b = vec![1.0f64; n];
             let mut c = ctx();
@@ -494,8 +528,13 @@ mod tests {
             Preconditioner::apply(&p, &mut c, &a, &b, &mut pb);
             let mut apb = vec![0.0; n];
             a.csr().spmv(&pb, &mut apb);
-            let err: f64 =
-                apb.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt() / norm2(&b);
+            let err: f64 = apb
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f64>()
+                .sqrt()
+                / norm2(&b);
             let expect = p.seed_residual_rel();
             assert!(
                 (err - expect).abs() <= 1e-8 + 0.02 * expect,
@@ -551,10 +590,16 @@ mod tests {
         c.reset_profile();
         let mut y = vec![0.0; n];
         Preconditioner::apply(&p, &mut c, &a, &b, &mut y);
-        let spmvs = c.profiler().class_stats(mpgmres_gpusim::KernelClass::SpMV).calls;
+        let spmvs = c
+            .profiler()
+            .class_stats(mpgmres_gpusim::KernelClass::SpMV)
+            .calls;
         // degree-8 with real spectrum: 7 SpMVs (last root skips the update).
         assert_eq!(spmvs, 7);
-        assert_eq!(<PolyPreconditioner as Preconditioner<f64>>::spmvs_per_apply(&p), 7);
+        assert_eq!(
+            <PolyPreconditioner as Preconditioner<f64>>::spmvs_per_apply(&p),
+            7
+        );
     }
 
     #[test]

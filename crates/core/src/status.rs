@@ -67,7 +67,9 @@ pub struct SolveResult {
 impl SolveResult {
     /// Explicit-residual samples only.
     pub fn explicit_history(&self) -> impl Iterator<Item = &HistoryPoint> {
-        self.history.iter().filter(|h| h.kind == HistoryKind::Explicit)
+        self.history
+            .iter()
+            .filter(|h| h.kind == HistoryKind::Explicit)
     }
 
     /// Smallest relative residual ever recorded.
@@ -99,8 +101,16 @@ mod tests {
             restarts: 1,
             final_relative_residual: 1e-11,
             history: vec![
-                HistoryPoint { iteration: 1, relative_residual: 0.5, kind: HistoryKind::Implicit },
-                HistoryPoint { iteration: 2, relative_residual: 1e-11, kind: HistoryKind::Explicit },
+                HistoryPoint {
+                    iteration: 1,
+                    relative_residual: 0.5,
+                    kind: HistoryKind::Implicit,
+                },
+                HistoryPoint {
+                    iteration: 2,
+                    relative_residual: 1e-11,
+                    kind: HistoryKind::Explicit,
+                },
             ],
         };
         assert_eq!(r.explicit_history().count(), 1);

@@ -1,7 +1,7 @@
 //! Property-based tests on solver invariants.
 
 use mpgmres::precond::Identity;
-use mpgmres::{GmresConfig, GmresIr, GpuContext, GpuMatrix, Gmres, IrConfig, SolveStatus};
+use mpgmres::{Gmres, GmresConfig, GmresIr, GpuContext, GpuMatrix, IrConfig, SolveStatus};
 use mpgmres_gpusim::DeviceModel;
 use mpgmres_la::coo::Coo;
 use mpgmres_la::csr::Csr;

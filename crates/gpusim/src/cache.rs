@@ -39,7 +39,13 @@ impl CacheSim {
         assert!(line.is_power_of_two(), "line size must be a power of two");
         assert!(assoc >= 1);
         let nsets = (capacity / (line * assoc)).max(1);
-        CacheSim { line, sets: vec![Vec::with_capacity(assoc); nsets], assoc, hits: 0, misses: 0 }
+        CacheSim {
+            line,
+            sets: vec![Vec::with_capacity(assoc); nsets],
+            assoc,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Access one byte address; returns `true` on hit.
@@ -140,7 +146,12 @@ pub fn simulate_spmv_cache<S: Scalar>(
             } else {
                 (0, 0)
             };
-            Lane { row_end, row, k, k_end }
+            Lane {
+                row_end,
+                row,
+                k,
+                k_end,
+            }
         })
         .collect();
 
@@ -177,7 +188,11 @@ pub fn simulate_spmv_cache<S: Scalar>(
     }
 
     SpmvCacheStats {
-        x_hit_rate: if x_total == 0 { 0.0 } else { x_hits as f64 / x_total as f64 },
+        x_hit_rate: if x_total == 0 {
+            0.0
+        } else {
+            x_hits as f64 / x_total as f64
+        },
         total_hit_rate: cache.hit_rate(),
         dram_bytes: cache.misses() * dev.l2_line as u64,
         accesses: cache.hits() + cache.misses(),

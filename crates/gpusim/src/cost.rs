@@ -146,16 +146,28 @@ mod tests {
         let ratio = |f: &dyn Fn(Precision) -> f64| f(Precision::Fp64) / f(Precision::Fp32);
 
         let spmv = ratio(&|p| spmv_time(&d, N, NNZ, BW, p));
-        assert!((2.3..=2.7).contains(&spmv), "SpMV speedup {spmv} vs paper 2.48");
+        assert!(
+            (2.3..=2.7).contains(&spmv),
+            "SpMV speedup {spmv} vs paper 2.48"
+        );
 
         let gt = ratio(&|p| gemv_t_time(&d, N, 26, p));
-        assert!((1.18..=1.40).contains(&gt), "GEMV-T speedup {gt} vs paper 1.28");
+        assert!(
+            (1.18..=1.40).contains(&gt),
+            "GEMV-T speedup {gt} vs paper 1.28"
+        );
 
         let gn = ratio(&|p| gemv_n_time(&d, N, 26, p));
-        assert!((1.45..=1.70).contains(&gn), "GEMV-N speedup {gn} vs paper 1.57");
+        assert!(
+            (1.45..=1.70).contains(&gn),
+            "GEMV-N speedup {gn} vs paper 1.57"
+        );
 
         let nm = ratio(&|p| norm_time(&d, N, p));
-        assert!((1.08..=1.25).contains(&nm), "Norm speedup {nm} vs paper 1.15");
+        assert!(
+            (1.08..=1.25).contains(&nm),
+            "Norm speedup {nm} vs paper 1.15"
+        );
     }
 
     #[test]
@@ -167,9 +179,12 @@ mod tests {
         let s32 = spmv_time(&d, N, NNZ, N - 1, Precision::Fp32);
         let r = s64 / s32;
         assert!((1.5..=2.1).contains(&r), "scattered speedup {r}");
-        let banded = spmv_time(&d, N, NNZ, BW, Precision::Fp64)
-            / spmv_time(&d, N, NNZ, BW, Precision::Fp32);
-        assert!(r < banded - 0.3, "reuse must contribute materially: {r} vs {banded}");
+        let banded =
+            spmv_time(&d, N, NNZ, BW, Precision::Fp64) / spmv_time(&d, N, NNZ, BW, Precision::Fp32);
+        assert!(
+            r < banded - 0.3,
+            "reuse must contribute materially: {r} vs {banded}"
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ impl Efficiency {
 
     /// Same efficiency for all precisions.
     pub const fn uniform(e: f64) -> Efficiency {
-        Efficiency { fp64: e, fp32: e, fp16: e }
+        Efficiency {
+            fp64: e,
+            fp32: e,
+            fp16: e,
+        }
     }
 }
 
@@ -115,10 +119,26 @@ impl DeviceModel {
             restart_overhead: 5.0e-3,
             iter_overhead: 95.0e-6,
             pcie_bw: 12.0e9,
-            eff_spmv: Efficiency { fp64: 0.496, fp32: 0.60, fp16: 0.60 },
-            eff_gemv_t: Efficiency { fp64: 0.722, fp32: 0.478, fp16: 0.478 },
-            eff_gemv_n: Efficiency { fp64: 0.739, fp32: 0.583, fp16: 0.583 },
-            eff_vec: Efficiency { fp64: 0.889, fp32: 0.889, fp16: 0.889 },
+            eff_spmv: Efficiency {
+                fp64: 0.496,
+                fp32: 0.60,
+                fp16: 0.60,
+            },
+            eff_gemv_t: Efficiency {
+                fp64: 0.722,
+                fp32: 0.478,
+                fp16: 0.478,
+            },
+            eff_gemv_n: Efficiency {
+                fp64: 0.739,
+                fp32: 0.583,
+                fp16: 0.583,
+            },
+            eff_vec: Efficiency {
+                fp64: 0.889,
+                fp32: 0.889,
+                fp16: 0.889,
+            },
             l2_capacity: 6 << 20,
             l2_line: 64,
             l2_assoc: 16,

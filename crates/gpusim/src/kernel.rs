@@ -133,13 +133,22 @@ mod tests {
     #[test]
     fn category_mapping_matches_paper() {
         assert_eq!(KernelClass::SpMV.paper_category(), PaperCategory::SpMV);
-        assert_eq!(KernelClass::GemvT.paper_category(), PaperCategory::GemvTrans);
-        assert_eq!(KernelClass::GemvN.paper_category(), PaperCategory::GemvNoTrans);
+        assert_eq!(
+            KernelClass::GemvT.paper_category(),
+            PaperCategory::GemvTrans
+        );
+        assert_eq!(
+            KernelClass::GemvN.paper_category(),
+            PaperCategory::GemvNoTrans
+        );
         assert_eq!(KernelClass::Norm.paper_category(), PaperCategory::Norm);
         // Everything else is "Other", including the IR residual SpMV —
         // Fig. 4's caption: "the Other portion represents ... for
         // GMRES-IR, computing residuals in fp64".
-        assert_eq!(KernelClass::ResidualHi.paper_category(), PaperCategory::Other);
+        assert_eq!(
+            KernelClass::ResidualHi.paper_category(),
+            PaperCategory::Other
+        );
         assert_eq!(KernelClass::CastHost.paper_category(), PaperCategory::Other);
         assert_eq!(KernelClass::Dot.paper_category(), PaperCategory::Other);
     }

@@ -32,12 +32,18 @@ pub struct Profiler {
 impl Profiler {
     /// Fresh, empty profiler.
     pub fn new() -> Self {
-        Profiler { by_class: Vec::new(), total: 0.0 }
+        Profiler {
+            by_class: Vec::new(),
+            total: 0.0,
+        }
     }
 
     /// Charge one kernel call.
     pub fn charge(&mut self, class: KernelClass, seconds: f64, bytes: usize) {
-        debug_assert!(seconds >= 0.0 && seconds.is_finite(), "bad charge {seconds}");
+        debug_assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "bad charge {seconds}"
+        );
         if let Some((_, s)) = self.by_class.iter_mut().find(|(c, _)| *c == class) {
             s.calls += 1;
             s.seconds += seconds;
@@ -45,7 +51,11 @@ impl Profiler {
         } else {
             self.by_class.push((
                 class,
-                KernelStats { calls: 1, seconds, bytes: bytes as u64 },
+                KernelStats {
+                    calls: 1,
+                    seconds,
+                    bytes: bytes as u64,
+                },
             ));
         }
         self.total += seconds;
@@ -89,7 +99,10 @@ impl Profiler {
             e.seconds += s.seconds;
             e.bytes += s.bytes;
         }
-        TimingReport { categories: cats, total_seconds: self.total }
+        TimingReport {
+            categories: cats,
+            total_seconds: self.total,
+        }
     }
 
     /// Reset all counters.
@@ -134,7 +147,11 @@ impl TimingReport {
                 s.calls
             ));
         }
-        out.push_str(&format!("{:<16} {:>10.4} s\n", "Orthog Total", self.orthogonalization_seconds()));
+        out.push_str(&format!(
+            "{:<16} {:>10.4} s\n",
+            "Orthog Total",
+            self.orthogonalization_seconds()
+        ));
         out.push_str(&format!("{:<16} {:>10.4} s\n", "Total", self.total_seconds));
         out
     }

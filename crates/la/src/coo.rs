@@ -20,7 +20,11 @@ impl<S: Scalar> Coo<S> {
     /// Start assembling an `nrows x ncols` matrix.
     pub fn new(nrows: usize, ncols: usize) -> Self {
         assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize);
-        Coo { nrows, ncols, entries: Vec::new() }
+        Coo {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
     }
 
     /// Pre-allocate for an expected entry count.
@@ -55,7 +59,8 @@ impl<S: Scalar> Coo<S> {
     /// Finish assembly: sort, sum duplicates, drop exact zeros that arose
     /// from cancellation only if `drop_zeros` is set, and build CSR.
     pub fn into_csr_dropping(mut self, drop_zeros: bool) -> Csr<S> {
-        self.entries.sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
         let mut row_ptr = vec![0usize; self.nrows + 1];
         let mut col_idx: Vec<u32> = Vec::with_capacity(self.entries.len());
         let mut vals: Vec<S> = Vec::with_capacity(self.entries.len());

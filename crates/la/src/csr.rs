@@ -8,9 +8,6 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use mpgmres_scalar::{cast, Scalar};
-use rayon::prelude::*;
-
-use crate::vec_ops::PAR_THRESHOLD;
 
 static NEXT_MATRIX_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -53,9 +50,17 @@ impl<S: Scalar> Csr<S> {
         col_idx: Vec<u32>,
         vals: Vec<S>,
     ) -> Self {
-        assert_eq!(row_ptr.len(), nrows + 1, "row_ptr must have nrows+1 entries");
+        assert_eq!(
+            row_ptr.len(),
+            nrows + 1,
+            "row_ptr must have nrows+1 entries"
+        );
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr must end at nnz");
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            col_idx.len(),
+            "row_ptr must end at nnz"
+        );
         assert_eq!(col_idx.len(), vals.len(), "col_idx and vals must match");
         assert!(
             row_ptr.windows(2).all(|w| w[0] <= w[1]),
@@ -139,28 +144,48 @@ impl<S: Scalar> Csr<S> {
     pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, S)> + '_ {
         let lo = self.row_ptr[r];
         let hi = self.row_ptr[r + 1];
-        self.col_idx[lo..hi].iter().map(|&c| c as usize).zip(self.vals[lo..hi].iter().copied())
+        self.col_idx[lo..hi]
+            .iter()
+            .map(|&c| c as usize)
+            .zip(self.vals[lo..hi].iter().copied())
+    }
+
+    /// One row of `y = A x`: strict left-to-right fused multiply-add.
+    ///
+    /// This is THE per-row SpMV kernel — the sequential [`Csr::spmv`]
+    /// and the row-partitioned parallel kernel (`crate::par::spmv`)
+    /// both call it, which is what makes their results bit-identical by
+    /// construction rather than merely by test.
+    #[inline]
+    pub(crate) fn spmv_row(&self, r: usize, x: &[S]) -> S {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        let mut acc = S::zero();
+        for k in lo..hi {
+            acc = self.vals[k].mul_add(x[self.col_idx[k] as usize], acc);
+        }
+        acc
+    }
+
+    /// One row of `y = b - A x` (same sharing contract as
+    /// [`Csr::spmv_row`]).
+    #[inline]
+    pub(crate) fn residual_row(&self, r: usize, b_r: S, x: &[S]) -> S {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        let mut acc = b_r;
+        for k in lo..hi {
+            acc = (-self.vals[k]).mul_add(x[self.col_idx[k] as usize], acc);
+        }
+        acc
     }
 
     /// `y = A x`.
     pub fn spmv(&self, x: &[S], y: &mut [S]) {
         assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
         assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
-        let row_kernel = |r: usize| -> S {
-            let lo = self.row_ptr[r];
-            let hi = self.row_ptr[r + 1];
-            let mut acc = S::zero();
-            for k in lo..hi {
-                acc = self.vals[k].mul_add(x[self.col_idx[k] as usize], acc);
-            }
-            acc
-        };
-        if self.nnz() >= PAR_THRESHOLD {
-            y.par_iter_mut().enumerate().for_each(|(r, yr)| *yr = row_kernel(r));
-        } else {
-            for (r, yr) in y.iter_mut().enumerate() {
-                *yr = row_kernel(r);
-            }
+        for (r, yr) in y.iter_mut().enumerate() {
+            *yr = self.spmv_row(r, x);
         }
     }
 
@@ -169,21 +194,8 @@ impl<S: Scalar> Csr<S> {
         assert_eq!(b.len(), self.nrows);
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
-        let row_kernel = |r: usize| -> S {
-            let lo = self.row_ptr[r];
-            let hi = self.row_ptr[r + 1];
-            let mut acc = b[r];
-            for k in lo..hi {
-                acc = (-self.vals[k]).mul_add(x[self.col_idx[k] as usize], acc);
-            }
-            acc
-        };
-        if self.nnz() >= PAR_THRESHOLD {
-            y.par_iter_mut().enumerate().for_each(|(r, yr)| *yr = row_kernel(r));
-        } else {
-            for (r, yr) in y.iter_mut().enumerate() {
-                *yr = row_kernel(r);
-            }
+        for (r, yr) in y.iter_mut().enumerate() {
+            *yr = self.residual_row(r, b[r], x);
         }
     }
 
@@ -247,7 +259,10 @@ impl<S: Scalar> Csr<S> {
     /// row and column `perm[i]` of `self` (used with RCM orderings).
     pub fn permute_sym(&self, perm: &[usize]) -> Csr<S> {
         assert_eq!(perm.len(), self.nrows);
-        assert_eq!(self.nrows, self.ncols, "permute_sym requires a square matrix");
+        assert_eq!(
+            self.nrows, self.ncols,
+            "permute_sym requires a square matrix"
+        );
         let n = self.nrows;
         let mut inv = vec![0usize; n];
         for (new, &old) in perm.iter().enumerate() {
@@ -264,10 +279,8 @@ impl<S: Scalar> Csr<S> {
         for new_r in 0..n {
             let old_r = perm[new_r];
             let dst = row_ptr[new_r];
-            let mut entries: Vec<(u32, S)> = self
-                .row(old_r)
-                .map(|(c, v)| (inv[c] as u32, v))
-                .collect();
+            let mut entries: Vec<(u32, S)> =
+                self.row(old_r).map(|(c, v)| (inv[c] as u32, v)).collect();
             entries.sort_unstable_by_key(|&(c, _)| c);
             for (k, (c, v)) in entries.into_iter().enumerate() {
                 col_idx[dst + k] = c;
@@ -295,7 +308,11 @@ impl<S: Scalar> Csr<S> {
 
     /// Frobenius norm (accumulated in f64 regardless of `S`).
     pub fn frobenius_norm(&self) -> f64 {
-        self.vals.iter().map(|v| v.to_f64() * v.to_f64()).sum::<f64>().sqrt()
+        self.vals
+            .iter()
+            .map(|v| v.to_f64() * v.to_f64())
+            .sum::<f64>()
+            .sqrt()
     }
 }
 
@@ -345,13 +362,7 @@ mod tests {
 
     #[test]
     fn transpose_twice_is_identity_op() {
-        let a = Csr::from_raw(
-            2,
-            3,
-            vec![0, 2, 3],
-            vec![0, 2, 1],
-            vec![1.0f64, 2.0, 3.0],
-        );
+        let a = Csr::from_raw(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0f64, 2.0, 3.0]);
         let att = a.transpose().transpose();
         assert_eq!(att.row_ptr(), a.row_ptr());
         assert_eq!(att.col_idx(), a.col_idx());
@@ -370,13 +381,7 @@ mod tests {
     #[test]
     fn symmetric_detection() {
         assert!(tridiag3().is_symmetric(0.0));
-        let asym = Csr::from_raw(
-            2,
-            2,
-            vec![0, 2, 3],
-            vec![0, 1, 1],
-            vec![1.0f64, 5.0, 1.0],
-        );
+        let asym = Csr::from_raw(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1.0f64, 5.0, 1.0]);
         assert!(!asym.is_symmetric(1e-12));
     }
 

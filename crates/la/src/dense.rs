@@ -22,7 +22,11 @@ pub struct DenseMat<S> {
 impl<S: Scalar> DenseMat<S> {
     /// Zero matrix.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        DenseMat { nrows, ncols, data: vec![S::zero(); nrows * ncols] }
+        DenseMat {
+            nrows,
+            ncols,
+            data: vec![S::zero(); nrows * ncols],
+        }
     }
 
     /// Identity matrix.
@@ -50,7 +54,11 @@ impl<S: Scalar> DenseMat<S> {
     /// # Panics
     /// Panics unless `data.len() == nrows * ncols`.
     pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<S>) -> Self {
-        assert_eq!(data.len(), nrows * ncols, "from_col_major: bad buffer length");
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "from_col_major: bad buffer length"
+        );
         DenseMat { nrows, ncols, data }
     }
 
@@ -124,7 +132,11 @@ impl<S: Scalar> DenseMat<S> {
         DenseMat {
             nrows: self.nrows,
             ncols: self.ncols,
-            data: self.data.iter().map(|&v| mpgmres_scalar::cast::<S, T>(v)).collect(),
+            data: self
+                .data
+                .iter()
+                .map(|&v| mpgmres_scalar::cast::<S, T>(v))
+                .collect(),
         }
     }
 }
@@ -155,7 +167,11 @@ pub struct SingularMatrix {
 
 impl fmt::Display for SingularMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "matrix is singular to working precision at elimination step {}", self.step)
+        write!(
+            f,
+            "matrix is singular to working precision at elimination step {}",
+            self.step
+        )
     }
 }
 

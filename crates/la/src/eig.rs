@@ -49,7 +49,11 @@ pub struct QrNoConvergence {
 
 impl core::fmt::Display for QrNoConvergence {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "QR iteration failed to converge while deflating block {}", self.block)
+        write!(
+            f,
+            "QR iteration failed to converge while deflating block {}",
+            self.block
+        )
     }
 }
 
@@ -253,14 +257,21 @@ pub fn hessenberg_eigenvalues(h: &DenseMat<f64>) -> Result<Vec<Complex>, QrNoCon
         }
     }
 
-    Ok((1..=n).map(|i| Complex { re: wr[i], im: wi[i] }).collect())
+    Ok((1..=n)
+        .map(|i| Complex {
+            re: wr[i],
+            im: wi[i],
+        })
+        .collect())
 }
 
 /// Sort eigenvalues by (real part, imaginary part) — stable order for tests
 /// and reporting.
 pub fn sort_eigenvalues(eigs: &mut [Complex]) {
     eigs.sort_by(|a, b| {
-        a.re.partial_cmp(&b.re).unwrap().then(a.im.partial_cmp(&b.im).unwrap())
+        a.re.partial_cmp(&b.re)
+            .unwrap()
+            .then(a.im.partial_cmp(&b.im).unwrap())
     });
 }
 
@@ -268,7 +279,7 @@ pub fn sort_eigenvalues(eigs: &mut [Complex]) {
 mod tests {
     use super::*;
 
-    fn assert_spectrum(h: &DenseMat<f64>, expected: &mut Vec<Complex>, tol: f64) {
+    fn assert_spectrum(h: &DenseMat<f64>, expected: &mut [Complex], tol: f64) {
         let mut eigs = hessenberg_eigenvalues(h).expect("QR must converge");
         sort_eigenvalues(&mut eigs);
         sort_eigenvalues(expected);
@@ -292,8 +303,12 @@ mod tests {
                 0.0
             }
         });
-        let mut expect: Vec<Complex> =
-            (1..=4).map(|k| Complex { re: k as f64, im: 0.0 }).collect();
+        let mut expect: Vec<Complex> = (1..=4)
+            .map(|k| Complex {
+                re: k as f64,
+                im: 0.0,
+            })
+            .collect();
         assert_spectrum(&h, &mut expect, 1e-10);
     }
 
@@ -319,8 +334,12 @@ mod tests {
         for i in 1..n {
             h[(i, i - 1)] = 1.0;
         }
-        let mut expect: Vec<Complex> =
-            (1..=4).map(|k| Complex { re: k as f64, im: 0.0 }).collect();
+        let mut expect: Vec<Complex> = (1..=4)
+            .map(|k| Complex {
+                re: k as f64,
+                im: 0.0,
+            })
+            .collect();
         assert_spectrum(&h, &mut expect, 1e-8);
     }
 
@@ -368,7 +387,9 @@ mod tests {
 
     #[test]
     fn empty_and_single() {
-        assert!(hessenberg_eigenvalues(&DenseMat::<f64>::zeros(0, 0)).unwrap().is_empty());
+        assert!(hessenberg_eigenvalues(&DenseMat::<f64>::zeros(0, 0))
+            .unwrap()
+            .is_empty());
         let one = DenseMat::from_col_major(1, 1, vec![42.0]);
         let e = hessenberg_eigenvalues(&one).unwrap();
         assert_eq!(e[0], Complex { re: 42.0, im: 0.0 });

@@ -2,13 +2,17 @@
 //!
 //! This crate is the workspace's stand-in for Kokkos Kernels (paper §IV):
 //! every floating-point kernel GMRES needs, generic over the working
-//! precision [`mpgmres_scalar::Scalar`], with sequential and
-//! rayon-parallel execution paths and GPU-style blocked-tree reductions.
+//! precision [`mpgmres_scalar::Scalar`], with a sequential
+//! bit-deterministic reference path and std-thread parallel kernels
+//! ([`par`]) plus GPU-style blocked-tree reductions.
 //!
 //! Modules:
 //! - [`vec_ops`] — axpy/dot/norm/scale over slices, with selectable
 //!   [`vec_ops::ReductionOrder`] (the paper notes GPU reductions make runs
 //!   slightly nondeterministic; we model that by offering both orders).
+//! - [`par`] — std-thread parallel counterparts of every kernel, bit
+//!   identical to the reference (see the module docs for the contract);
+//!   the engine behind `mpgmres-backend`'s `ParallelBackend`.
 //! - [`multivector`] — column-major tall-skinny matrix `V` of Krylov basis
 //!   vectors plus the two GEMV kernels CGS2 needs.
 //! - [`csr`] — compressed sparse row matrices and SpMV.
@@ -30,6 +34,7 @@ pub mod eig;
 pub mod givens;
 pub mod mtx;
 pub mod multivector;
+pub mod par;
 pub mod rcm;
 pub mod split_csr;
 pub mod stats;

@@ -55,7 +55,10 @@ pub fn read_matrix_market<S: Scalar, R: Read>(reader: R) -> Result<Csr<S>, MtxEr
         Some(l) => l?,
         None => return parse_err("empty stream"),
     };
-    let h: Vec<String> = header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    let h: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
     if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
         return parse_err(format!("bad header line: {header}"));
     }
@@ -89,14 +92,21 @@ pub fn read_matrix_market<S: Scalar, R: Read>(reader: R) -> Result<Csr<S>, MtxEr
     if dims.len() != 3 {
         return parse_err(format!("bad size line: {size_line}"));
     }
-    let nrows: usize =
-        dims[0].parse().map_err(|_| MtxError::Parse(format!("bad nrows {}", dims[0])))?;
-    let ncols: usize =
-        dims[1].parse().map_err(|_| MtxError::Parse(format!("bad ncols {}", dims[1])))?;
-    let nnz: usize =
-        dims[2].parse().map_err(|_| MtxError::Parse(format!("bad nnz {}", dims[2])))?;
+    let nrows: usize = dims[0]
+        .parse()
+        .map_err(|_| MtxError::Parse(format!("bad nrows {}", dims[0])))?;
+    let ncols: usize = dims[1]
+        .parse()
+        .map_err(|_| MtxError::Parse(format!("bad ncols {}", dims[1])))?;
+    let nnz: usize = dims[2]
+        .parse()
+        .map_err(|_| MtxError::Parse(format!("bad nnz {}", dims[2])))?;
 
-    let mut coo = Coo::with_capacity(nrows, ncols, if symmetry == "general" { nnz } else { 2 * nnz });
+    let mut coo = Coo::with_capacity(
+        nrows,
+        ncols,
+        if symmetry == "general" { nnz } else { 2 * nnz },
+    );
     let mut seen = 0usize;
     for line in lines {
         let line = line?;

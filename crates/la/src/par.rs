@@ -1,0 +1,470 @@
+//! Std-thread parallel kernels: the compute engine behind
+//! `mpgmres-backend`'s `ParallelBackend`.
+//!
+//! Design rule: **parallelism never changes a floating-point result.**
+//! Every kernel partitions *independent outputs* (rows of `y` in
+//! SpMV/GEMV-NoTrans, columns in GEMV-Trans, blocks in a blocked-tree
+//! reduction) across threads and evaluates each output with exactly the
+//! same operation order as the sequential reference in [`crate::vec_ops`],
+//! [`crate::csr`], and [`crate::multivector`]. Consequences:
+//!
+//! - SpMV, residual, GEMV (both shapes), axpy, scal, copy are
+//!   bit-identical to the reference for *any* [`ReductionOrder`].
+//! - `dot`/`norm2` under [`ReductionOrder::BlockedTree`] are
+//!   bit-identical too: block partial sums are independent and the
+//!   pairwise combine tree is shared with the reference
+//!   (`vec_ops::tree_sum`).
+//! - `dot`/`norm2` under [`ReductionOrder::Sequential`] are inherently
+//!   serial (a single left-to-right chain) and therefore run
+//!   sequentially here as well — bit-determinism is the contract, and a
+//!   parallel sum would break it.
+//!
+//! Threads are spawned with `std::thread::scope` per call; below
+//! [`crate::vec_ops::PAR_THRESHOLD`] elements (or
+//! [`SPMV_PAR_THRESHOLD`] nonzeros for matrix kernels) the kernels fall
+//! back to the sequential path so small problems never pay spawn
+//! overhead.
+
+use mpgmres_scalar::Scalar;
+
+use crate::csr::Csr;
+use crate::multivector::MultiVector;
+use crate::vec_ops::{self, ReductionOrder, PAR_THRESHOLD};
+
+/// Minimum stored nonzeros before SpMV/residual go parallel.
+pub const SPMV_PAR_THRESHOLD: usize = 1 << 15;
+
+/// Number of worker threads to use: `MPGMRES_THREADS` if set, else the
+/// machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("MPGMRES_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `[0, len)` into at most `threads` contiguous chunks and run
+/// `f(start, chunk)` for each chunk of `data` on its own scoped thread.
+fn for_each_chunk_mut<S: Send, F>(threads: usize, data: &mut [S], f: F)
+where
+    F: Fn(usize, &mut [S]) + Sync,
+{
+    let len = data.len();
+    let threads = threads.clamp(1, len.max(1));
+    let chunk = len.div_ceil(threads);
+    if threads <= 1 || chunk == 0 {
+        f(0, data);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut start = 0usize;
+        let f = &f;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let s = start;
+            scope.spawn(move || f(s, head));
+            start += take;
+            rest = tail;
+        }
+    });
+}
+
+/// Run `f(i, &mut data[i])` for every element, elements partitioned in
+/// contiguous runs across scoped threads. For batches of independent
+/// work items (e.g. factoring the diagonal blocks of block Jacobi);
+/// results are position-deterministic, so parallelism never changes an
+/// outcome.
+pub fn for_each_slot_mut<T: Send, F>(threads: usize, data: &mut [T], f: F)
+where
+    F: Fn(usize, &mut T) + Sync,
+{
+    if threads <= 1 || data.len() <= 1 {
+        for (i, slot) in data.iter_mut().enumerate() {
+            f(i, slot);
+        }
+        return;
+    }
+    for_each_chunk_mut(threads, data, |start, chunk| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            f(start + i, slot);
+        }
+    });
+}
+
+/// Split `data` at the ascending `ends` boundaries (last entry must be
+/// `data.len()`) and run `f(i, chunk_i)` for each variable-length chunk,
+/// chunks distributed across scoped threads. Chunks are independent
+/// outputs, so execution order cannot affect results (block Jacobi's
+/// batched triangular solves).
+pub fn for_each_partition_mut<S: Send, F>(threads: usize, data: &mut [S], ends: &[usize], f: F)
+where
+    F: Fn(usize, &mut [S]) + Sync,
+{
+    assert_eq!(
+        ends.last().copied().unwrap_or(0),
+        data.len(),
+        "partition must cover data"
+    );
+    if threads <= 1 || ends.len() <= 1 {
+        let mut rest = data;
+        let mut prev = 0usize;
+        for (i, &end) in ends.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut(end - prev);
+            f(i, head);
+            rest = tail;
+            prev = end;
+        }
+        return;
+    }
+    // Carve the per-chunk mutable slices up front, then hand contiguous
+    // runs of chunks to scoped threads.
+    let mut slices: Vec<(usize, &mut [S])> = Vec::with_capacity(ends.len());
+    let mut rest = data;
+    let mut prev = 0usize;
+    for (i, &end) in ends.iter().enumerate() {
+        let (head, tail) = rest.split_at_mut(end - prev);
+        slices.push((i, head));
+        rest = tail;
+        prev = end;
+    }
+    let per_thread = slices.len().div_ceil(threads.max(1));
+    std::thread::scope(|scope| {
+        let f = &f;
+        while !slices.is_empty() {
+            let take = per_thread.min(slices.len());
+            let batch: Vec<(usize, &mut [S])> = slices.drain(..take).collect();
+            scope.spawn(move || {
+                for (i, chunk) in batch {
+                    f(i, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// `y = A x`, rows partitioned across threads.
+///
+/// Bit-identical to [`Csr::spmv`] (same per-row accumulation order).
+pub fn spmv<S: Scalar>(threads: usize, a: &Csr<S>, x: &[S], y: &mut [S]) {
+    assert_eq!(x.len(), a.ncols(), "spmv: x length mismatch");
+    assert_eq!(y.len(), a.nrows(), "spmv: y length mismatch");
+    if a.nnz() < SPMV_PAR_THRESHOLD || threads <= 1 {
+        a.spmv(x, y);
+        return;
+    }
+    for_each_chunk_mut(threads, y, |start, chunk| {
+        for (i, yr) in chunk.iter_mut().enumerate() {
+            *yr = a.spmv_row(start + i, x);
+        }
+    });
+}
+
+/// `r = b - A x` (fused residual), rows partitioned across threads.
+///
+/// Bit-identical to [`Csr::residual`].
+pub fn residual<S: Scalar>(threads: usize, a: &Csr<S>, b: &[S], x: &[S], r: &mut [S]) {
+    assert_eq!(b.len(), a.nrows(), "residual: b length mismatch");
+    assert_eq!(x.len(), a.ncols(), "residual: x length mismatch");
+    assert_eq!(r.len(), a.nrows(), "residual: r length mismatch");
+    if a.nnz() < SPMV_PAR_THRESHOLD || threads <= 1 {
+        a.residual(b, x, r);
+        return;
+    }
+    for_each_chunk_mut(threads, r, |start, chunk| {
+        for (i, rr) in chunk.iter_mut().enumerate() {
+            let row = start + i;
+            *rr = a.residual_row(row, b[row], x);
+        }
+    });
+}
+
+/// `h[i] = col_i . w` for `i in 0..ncols` (GEMV Trans), columns
+/// partitioned across threads.
+///
+/// Each column's dot product uses [`vec_ops::dot_ordered`], so per-column
+/// results are bit-identical to [`MultiVector::gemv_t`].
+pub fn gemv_t<S: Scalar>(
+    threads: usize,
+    v: &MultiVector<S>,
+    ncols: usize,
+    w: &[S],
+    h: &mut [S],
+    order: ReductionOrder,
+) {
+    assert!(ncols <= v.max_cols(), "gemv_t: too many columns");
+    assert_eq!(w.len(), v.n(), "gemv_t: vector length mismatch");
+    assert!(h.len() >= ncols, "gemv_t: output too short");
+    if v.n() < PAR_THRESHOLD || ncols <= 1 || threads <= 1 {
+        v.gemv_t(ncols, w, h, order);
+        return;
+    }
+    for_each_chunk_mut(threads.min(ncols), &mut h[..ncols], |start, chunk| {
+        for (i, hi) in chunk.iter_mut().enumerate() {
+            *hi = vec_ops::dot_ordered(v.col(start + i), w, order);
+        }
+    });
+}
+
+/// `w -= V[:, ..ncols] h` (GEMV No-Trans, alpha = -1), rows partitioned
+/// across threads.
+///
+/// Within each row, columns accumulate in the same order as
+/// [`MultiVector::gemv_n_sub`], so results are bit-identical.
+pub fn gemv_n_sub<S: Scalar>(
+    threads: usize,
+    v: &MultiVector<S>,
+    ncols: usize,
+    h: &[S],
+    w: &mut [S],
+) {
+    assert!(ncols <= v.max_cols(), "gemv_n_sub: too many columns");
+    assert_eq!(w.len(), v.n(), "gemv_n_sub: vector length mismatch");
+    assert!(h.len() >= ncols, "gemv_n_sub: coefficient vector too short");
+    if v.n() < PAR_THRESHOLD || threads <= 1 {
+        v.gemv_n_sub(ncols, h, w);
+        return;
+    }
+    for_each_chunk_mut(threads, w, |start, chunk| {
+        for i in 0..ncols {
+            let ci = &v.col(i)[start..start + chunk.len()];
+            let hi = h[i];
+            for (wr, &cr) in chunk.iter_mut().zip(ci) {
+                *wr = (-hi).mul_add(cr, *wr);
+            }
+        }
+    });
+}
+
+/// `y += V[:, ..ncols] h` (GEMV No-Trans, alpha = +1), rows partitioned
+/// across threads. Bit-identical to [`MultiVector::gemv_n_add`].
+pub fn gemv_n_add<S: Scalar>(
+    threads: usize,
+    v: &MultiVector<S>,
+    ncols: usize,
+    h: &[S],
+    y: &mut [S],
+) {
+    assert!(ncols <= v.max_cols(), "gemv_n_add: too many columns");
+    assert_eq!(y.len(), v.n(), "gemv_n_add: vector length mismatch");
+    assert!(h.len() >= ncols, "gemv_n_add: coefficient vector too short");
+    if v.n() < PAR_THRESHOLD || threads <= 1 {
+        v.gemv_n_add(ncols, h, y);
+        return;
+    }
+    for_each_chunk_mut(threads, y, |start, chunk| {
+        for i in 0..ncols {
+            let ci = &v.col(i)[start..start + chunk.len()];
+            let hi = h[i];
+            for (yr, &cr) in chunk.iter_mut().zip(ci) {
+                *yr = hi.mul_add(cr, *yr);
+            }
+        }
+    });
+}
+
+/// Inner product under the given reduction order.
+///
+/// [`ReductionOrder::Sequential`] runs serially (a single dependency
+/// chain — see module docs); [`ReductionOrder::BlockedTree`] computes
+/// block partials in parallel and combines them with the shared
+/// pairwise tree, bit-identical to the reference.
+pub fn dot<S: Scalar>(threads: usize, x: &[S], y: &[S], order: ReductionOrder) -> S {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    match order {
+        ReductionOrder::Sequential => vec_ops::dot_ordered(x, y, order),
+        ReductionOrder::BlockedTree { block } => {
+            let block = block.max(1);
+            let nblocks = x.len().div_ceil(block);
+            if x.len() < PAR_THRESHOLD || threads <= 1 || nblocks <= 1 {
+                return vec_ops::dot_ordered(x, y, order);
+            }
+            let mut parts = vec![S::zero(); nblocks];
+            for_each_chunk_mut(threads, &mut parts, |start, chunk| {
+                for (i, p) in chunk.iter_mut().enumerate() {
+                    let b = start + i;
+                    let lo = b * block;
+                    let hi = ((b + 1) * block).min(x.len());
+                    *p = vec_ops::dot_ordered(&x[lo..hi], &y[lo..hi], ReductionOrder::Sequential);
+                }
+            });
+            vec_ops::tree_sum(parts)
+        }
+    }
+}
+
+/// Euclidean norm under the given reduction order (see [`dot`]).
+pub fn norm2<S: Scalar>(threads: usize, x: &[S], order: ReductionOrder) -> S {
+    dot(threads, x, x, order).sqrt()
+}
+
+/// `y += alpha x`, elementwise partitioned. Bit-identical to
+/// [`vec_ops::axpy`].
+pub fn axpy<S: Scalar>(threads: usize, alpha: S, x: &[S], y: &mut [S]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    if x.len() < PAR_THRESHOLD || threads <= 1 {
+        vec_ops::axpy(alpha, x, y);
+        return;
+    }
+    for_each_chunk_mut(threads, y, |start, chunk| {
+        for (i, yi) in chunk.iter_mut().enumerate() {
+            *yi = alpha.mul_add(x[start + i], *yi);
+        }
+    });
+}
+
+/// `x *= alpha`, elementwise partitioned. Bit-identical to
+/// [`vec_ops::scale`].
+pub fn scal<S: Scalar>(threads: usize, alpha: S, x: &mut [S]) {
+    if x.len() < PAR_THRESHOLD || threads <= 1 {
+        vec_ops::scale(alpha, x);
+        return;
+    }
+    for_each_chunk_mut(threads, x, |_, chunk| {
+        for xi in chunk {
+            *xi *= alpha;
+        }
+    });
+}
+
+/// Copy `src` into `dst`, partitioned.
+pub fn copy<S: Scalar>(threads: usize, src: &[S], dst: &mut [S]) {
+    assert_eq!(src.len(), dst.len(), "copy: length mismatch");
+    if src.len() < PAR_THRESHOLD || threads <= 1 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    for_each_chunk_mut(threads, dst, |start, chunk| {
+        chunk.copy_from_slice(&src[start..start + chunk.len()]);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn big_laplace(n: usize) -> Csr<f64> {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0 + (i % 7) as f64 * 0.125);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+            }
+        }
+        coo.into_csr()
+    }
+
+    fn pseudo(n: usize, salt: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let z = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(salt);
+                (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spmv_bit_identical_to_reference() {
+        let n = 50_000; // nnz ~ 150k > threshold
+        let a = big_laplace(n);
+        let x = pseudo(n, 1);
+        let mut y_seq = vec![0.0; n];
+        let mut y_par = vec![0.0; n];
+        a.spmv(&x, &mut y_seq);
+        spmv(8, &a, &x, &mut y_par);
+        assert_eq!(y_seq, y_par);
+    }
+
+    #[test]
+    fn residual_bit_identical_to_reference() {
+        let n = 50_000;
+        let a = big_laplace(n);
+        let x = pseudo(n, 2);
+        let b = pseudo(n, 3);
+        let mut r_seq = vec![0.0; n];
+        let mut r_par = vec![0.0; n];
+        a.residual(&b, &x, &mut r_seq);
+        residual(8, &a, &b, &x, &mut r_par);
+        assert_eq!(r_seq, r_par);
+    }
+
+    #[test]
+    fn blocked_tree_dot_bit_identical() {
+        let n = PAR_THRESHOLD * 3 + 41;
+        let x = pseudo(n, 4);
+        let y = pseudo(n, 5);
+        for block in [1usize, 7, 256, 1024] {
+            let order = ReductionOrder::BlockedTree { block };
+            let seq = vec_ops::dot_ordered(&x, &y, order);
+            let par = dot(8, &x, &y, order);
+            assert_eq!(seq.to_bits(), par.to_bits(), "block {block}");
+        }
+    }
+
+    #[test]
+    fn gemv_kernels_bit_identical() {
+        let n = PAR_THRESHOLD + 31;
+        let cols = 5;
+        let mut v = MultiVector::<f64>::zeros(n, cols);
+        for j in 0..cols {
+            let c = pseudo(n, 10 + j as u64);
+            v.col_mut(j).copy_from_slice(&c);
+        }
+        let w = pseudo(n, 99);
+        let mut h_seq = vec![0.0; cols];
+        let mut h_par = vec![0.0; cols];
+        v.gemv_t(cols, &w, &mut h_seq, ReductionOrder::GPU_LIKE);
+        gemv_t(8, &v, cols, &w, &mut h_par, ReductionOrder::GPU_LIKE);
+        assert_eq!(h_seq, h_par);
+
+        let mut w_seq = w.clone();
+        let mut w_par = w.clone();
+        v.gemv_n_sub(cols, &h_seq, &mut w_seq);
+        gemv_n_sub(8, &v, cols, &h_par, &mut w_par);
+        assert_eq!(w_seq, w_par);
+
+        v.gemv_n_add(cols, &h_seq, &mut w_seq);
+        gemv_n_add(8, &v, cols, &h_par, &mut w_par);
+        assert_eq!(w_seq, w_par);
+    }
+
+    #[test]
+    fn elementwise_kernels_bit_identical() {
+        let n = PAR_THRESHOLD * 2 + 13;
+        let x = pseudo(n, 6);
+        let mut y_seq = pseudo(n, 7);
+        let mut y_par = y_seq.clone();
+        vec_ops::axpy(1.25, &x, &mut y_seq);
+        axpy(8, 1.25, &x, &mut y_par);
+        assert_eq!(y_seq, y_par);
+        vec_ops::scale(0.75, &mut y_seq);
+        scal(8, 0.75, &mut y_par);
+        assert_eq!(y_seq, y_par);
+        let mut dst = vec![0.0; n];
+        copy(8, &y_par, &mut dst);
+        assert_eq!(dst, y_par);
+    }
+
+    #[test]
+    fn small_inputs_take_sequential_path() {
+        let a = big_laplace(16);
+        let x = pseudo(16, 8);
+        let mut y = vec![0.0; 16];
+        spmv(8, &a, &x, &mut y); // must not panic, must match
+        let mut y_ref = vec![0.0; 16];
+        a.spmv(&x, &mut y_ref);
+        assert_eq!(y, y_ref);
+        assert!(default_threads() >= 1);
+    }
+}

@@ -86,8 +86,7 @@ fn pseudo_peripheral(seed: usize, adj: &[Vec<usize>], degree: &[usize]) -> usize
     let (mut levels, mut ecc) = bfs_levels(seed, adj);
     loop {
         // Pick a minimum-degree node in the last level.
-        let last: Vec<usize> =
-            (0..adj.len()).filter(|&v| levels[v] == Some(ecc)).collect();
+        let last: Vec<usize> = (0..adj.len()).filter(|&v| levels[v] == Some(ecc)).collect();
         let candidate = *last
             .iter()
             .min_by_key(|&&v| (degree[v], v))
@@ -168,7 +167,10 @@ mod tests {
         // A fixed "random" permutation.
         let shuffle: Vec<usize> = (0..n).map(|i| (i * 37 + 11) % n).collect();
         let scrambled = a.permute_sym(&shuffle);
-        assert!(bandwidth(&scrambled) > 5, "scramble should destroy locality");
+        assert!(
+            bandwidth(&scrambled) > 5,
+            "scramble should destroy locality"
+        );
         let p = rcm(&scrambled);
         let restored = scrambled.permute_sym(&p);
         assert_eq!(bandwidth(&restored), 1);
@@ -182,8 +184,8 @@ mod tests {
         let n = nx * nx;
         let mut coo = Coo::new(n, n);
         let idx = |i: usize, j: usize| ((i * 31 + j * 17) % n + n) % n; // scrambled ids... must be bijective
-        // A simple bijective scramble: multiply by 31 mod 64 won't be bijective;
-        // instead use a fixed permutation built by sorting keys.
+                                                                        // A simple bijective scramble: multiply by 31 mod 64 won't be bijective;
+                                                                        // instead use a fixed permutation built by sorting keys.
         let mut ids: Vec<usize> = (0..n).collect();
         ids.sort_by_key(|&v| (v * 37 + 5) % n);
         let _ = idx;
@@ -205,8 +207,14 @@ mod tests {
         let before = bandwidth(&a);
         let p = rcm(&a);
         let after = bandwidth(&a.permute_sym(&p));
-        assert!(after <= before, "RCM must not increase bandwidth: {before} -> {after}");
-        assert!(after <= 2 * nx, "grid RCM bandwidth should be O(nx), got {after}");
+        assert!(
+            after <= before,
+            "RCM must not increase bandwidth: {before} -> {after}"
+        );
+        assert!(
+            after <= 2 * nx,
+            "grid RCM bandwidth should be O(nx), got {after}"
+        );
     }
 
     #[test]

@@ -41,7 +41,11 @@ impl<Hi: Scalar, Lo: Scalar> SplitCsr<Hi, Lo> {
                 }
             }
         }
-        SplitCsr { hi: hi.into_csr(), lo: lo.into_csr(), threshold }
+        SplitCsr {
+            hi: hi.into_csr(),
+            lo: lo.into_csr(),
+            threshold,
+        }
     }
 
     /// The high-precision part.
@@ -149,8 +153,10 @@ mod tests {
             .sqrt();
         // Error bounded by fp32 epsilon on the demoted (tiny) entries.
         let demoted_scale = 2e-5 * 2.0 * (n as f64).sqrt() * 2.5;
-        assert!(err <= demoted_scale * f32::EPSILON as f64 * 100.0 + 1e-12,
-            "split error {err:e}");
+        assert!(
+            err <= demoted_scale * f32::EPSILON as f64 * 100.0 + 1e-12,
+            "split error {err:e}"
+        );
         assert!(err > 0.0, "split of tiny values must round somewhere");
     }
 
@@ -195,8 +201,15 @@ mod tests {
         s.spmv_simple(&x, &mut y);
         let mut y_full = vec![0.0f64; n];
         a.spmv(&x, &mut y_full);
-        let err = y.iter().zip(&y_full).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
-        assert!(err < 1e-6, "fp16 low part too lossy for these tiny values: {err}");
+        let err = y
+            .iter()
+            .zip(&y_full)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(
+            err < 1e-6,
+            "fp16 low part too lossy for these tiny values: {err}"
+        );
         assert!(norm2(&y) > 0.0);
     }
 }

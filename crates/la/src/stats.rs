@@ -56,11 +56,19 @@ impl MatrixStats {
             nrows,
             ncols: a.ncols(),
             nnz: a.nnz(),
-            avg_nnz_per_row: if nrows == 0 { 0.0 } else { a.nnz() as f64 / nrows as f64 },
+            avg_nnz_per_row: if nrows == 0 {
+                0.0
+            } else {
+                a.nnz() as f64 / nrows as f64
+            },
             max_nnz_per_row: max_r,
             min_nnz_per_row: min_r,
             bandwidth: bw,
-            avg_row_spread: if nrows == 0 { 0.0 } else { spread_sum / nrows as f64 },
+            avg_row_spread: if nrows == 0 {
+                0.0
+            } else {
+                spread_sum / nrows as f64
+            },
         }
     }
 }

@@ -7,21 +7,25 @@
 //!    behaviors". GPU reductions are blocked trees, not left-to-right sums.
 //!    [`ReductionOrder`] exposes both so experiments can quantify the
 //!    effect and tests can pin determinism.
-//! 2. **Parallelism.** Long vectors use rayon with a length threshold so
-//!    tiny test problems stay sequential (and deterministic by default).
+//! 2. **Parallelism.** The kernels in this module are the *sequential
+//!    reference implementations* — bit-deterministic, the ground truth
+//!    every execution backend is checked against. The std-thread
+//!    parallel counterparts live in [`crate::par`] and are wired up by
+//!    the `mpgmres-backend` crate's `ParallelBackend`.
 
 use mpgmres_scalar::Scalar;
-use rayon::prelude::*;
 
-/// Below this length kernels run sequentially; above, rayon kicks in.
-/// Chosen so unit-test-sized problems never pay thread overhead.
+/// Below this length the parallel kernels in [`crate::par`] fall back to
+/// the sequential path (thread spawn would dominate). Chosen so
+/// unit-test-sized problems never pay thread overhead.
 pub const PAR_THRESHOLD: usize = 1 << 14;
 
 /// Summation order for dot products and norms.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ReductionOrder {
     /// Strict left-to-right accumulation. Deterministic, matches a serial
     /// CPU implementation.
+    #[default]
     Sequential,
     /// Blocked tree reduction with the given block size: partial sums over
     /// contiguous blocks, then a pairwise tree over block results. This is
@@ -32,12 +36,6 @@ pub enum ReductionOrder {
     },
 }
 
-impl Default for ReductionOrder {
-    fn default() -> Self {
-        ReductionOrder::Sequential
-    }
-}
-
 impl ReductionOrder {
     /// A GPU-like default: 256-element blocks, the V100 sweet spot.
     pub const GPU_LIKE: ReductionOrder = ReductionOrder::BlockedTree { block: 256 };
@@ -46,38 +44,23 @@ impl ReductionOrder {
 /// `y += alpha * x`.
 pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    if x.len() >= PAR_THRESHOLD {
-        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, &xi)| {
-            *yi = alpha.mul_add(xi, *yi);
-        });
-    } else {
-        for (yi, &xi) in y.iter_mut().zip(x) {
-            *yi = alpha.mul_add(xi, *yi);
-        }
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = alpha.mul_add(xi, *yi);
     }
 }
 
 /// `y = alpha * x + beta * y` (general vector update).
 pub fn axpby<S: Scalar>(alpha: S, x: &[S], beta: S, y: &mut [S]) {
     assert_eq!(x.len(), y.len(), "axpby: length mismatch");
-    let f = |yi: &mut S, xi: S| *yi = alpha.mul_add(xi, beta * *yi);
-    if x.len() >= PAR_THRESHOLD {
-        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, &xi)| f(yi, xi));
-    } else {
-        for (yi, &xi) in y.iter_mut().zip(x) {
-            f(yi, xi);
-        }
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = alpha.mul_add(xi, beta * *yi);
     }
 }
 
 /// `x *= alpha`.
 pub fn scale<S: Scalar>(alpha: S, x: &mut [S]) {
-    if x.len() >= PAR_THRESHOLD {
-        x.par_iter_mut().for_each(|xi| *xi *= alpha);
-    } else {
-        for xi in x {
-            *xi *= alpha;
-        }
+    for xi in x {
+        *xi *= alpha;
     }
 }
 
@@ -94,7 +77,11 @@ pub fn fill<S: Scalar>(x: &mut [S], value: S) {
     }
 }
 
-fn dot_seq<S: Scalar>(x: &[S], y: &[S]) -> S {
+/// Strict left-to-right fused-multiply-add accumulation — the kernel
+/// every per-block partial sum is built from, in both the sequential
+/// reference and the parallel backend (so block partials are
+/// bit-identical across backends).
+pub(crate) fn dot_seq<S: Scalar>(x: &[S], y: &[S]) -> S {
     let mut acc = S::zero();
     for (&xi, &yi) in x.iter().zip(y) {
         acc = xi.mul_add(yi, acc);
@@ -102,8 +89,9 @@ fn dot_seq<S: Scalar>(x: &[S], y: &[S]) -> S {
     acc
 }
 
-/// Pairwise tree reduction over per-block partial sums.
-fn tree_sum<S: Scalar>(mut parts: Vec<S>) -> S {
+/// Pairwise tree reduction over per-block partial sums. Shared with
+/// [`crate::par`] so the combine order is identical across backends.
+pub(crate) fn tree_sum<S: Scalar>(mut parts: Vec<S>) -> S {
     if parts.is_empty() {
         return S::zero();
     }
@@ -127,14 +115,11 @@ pub fn dot_ordered<S: Scalar>(x: &[S], y: &[S], order: ReductionOrder) -> S {
         ReductionOrder::Sequential => dot_seq(x, y),
         ReductionOrder::BlockedTree { block } => {
             let block = block.max(1);
-            let parts: Vec<S> = if x.len() >= PAR_THRESHOLD {
-                x.par_chunks(block)
-                    .zip(y.par_chunks(block))
-                    .map(|(xc, yc)| dot_seq(xc, yc))
-                    .collect()
-            } else {
-                x.chunks(block).zip(y.chunks(block)).map(|(xc, yc)| dot_seq(xc, yc)).collect()
-            };
+            let parts: Vec<S> = x
+                .chunks(block)
+                .zip(y.chunks(block))
+                .map(|(xc, yc)| dot_seq(xc, yc))
+                .collect();
             tree_sum(parts)
         }
     }

@@ -12,11 +12,7 @@ use proptest::prelude::*;
 
 /// Strategy: a random sparse square matrix as a triplet list.
 fn sparse_matrix(n: usize, max_entries: usize) -> impl Strategy<Value = Csr<f64>> {
-    proptest::collection::vec(
-        (0..n, 0..n, -2.0f64..2.0),
-        1..max_entries,
-    )
-    .prop_map(move |trips| {
+    proptest::collection::vec((0..n, 0..n, -2.0f64..2.0), 1..max_entries).prop_map(move |trips| {
         let mut coo = Coo::new(n, n);
         for i in 0..n {
             coo.push(i, i, 4.0); // keep it nonsingular-ish and every row nonempty

@@ -138,8 +138,9 @@ mod tests {
         let a = q1_laplacian_2d(5, 5, 1.0, 7.0);
         let n = a.nrows();
         for seed in 1..5u64 {
-            let x: Vec<f64> =
-                (0..n).map(|i| ((i as u64 * seed * 2654435761 % 1000) as f64 / 500.0) - 1.0).collect();
+            let x: Vec<f64> = (0..n)
+                .map(|i| ((i as u64 * seed * 2654435761 % 1000) as f64 / 500.0) - 1.0)
+                .collect();
             let mut ax = vec![0.0; n];
             a.spmv(&x, &mut ax);
             let q: f64 = x.iter().zip(&ax).map(|(a, b)| a * b).sum();

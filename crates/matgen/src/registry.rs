@@ -133,9 +133,15 @@ mod tests {
     fn symmetry_classes_match_paper() {
         // Table III: BentPipe "n", UniFlow "n", Laplace3D "spd",
         // Stretched2D "spd".
-        assert!(!PaperProblem::BentPipe2D1500.generate_at(12).is_symmetric(1e-12));
-        assert!(!PaperProblem::UniFlow2D2500.generate_at(12).is_symmetric(1e-12));
+        assert!(!PaperProblem::BentPipe2D1500
+            .generate_at(12)
+            .is_symmetric(1e-12));
+        assert!(!PaperProblem::UniFlow2D2500
+            .generate_at(12)
+            .is_symmetric(1e-12));
         assert!(PaperProblem::Laplace3D150.generate_at(6).is_symmetric(0.0));
-        assert!(PaperProblem::Stretched2D1500.generate_at(8).is_symmetric(1e-12));
+        assert!(PaperProblem::Stretched2D1500
+            .generate_at(8)
+            .is_symmetric(1e-12));
     }
 }

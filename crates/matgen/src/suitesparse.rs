@@ -113,7 +113,13 @@ pub const TABLE3: [TableMatrix; 10] = [
         paper_nnz: 8_814_880,
         symmetry: Symmetry::General,
         precond: TablePrecond::None,
-        paper: PaperRow { double_time: 5.12, double_iters: 1740, ir_time: 3.78, ir_iters: 1750, speedup: 1.35 },
+        paper: PaperRow {
+            double_time: 5.12,
+            double_iters: 1740,
+            ir_time: 3.78,
+            ir_iters: 1750,
+            speedup: 1.35,
+        },
         surrogate_note: "atmospheric model (7-pt 3D convection-diffusion, mildly \
             nonsymmetric, ~1.7k iterations) -> 3D convection-diffusion with \
             moderate uniform wind; same stencil, same many-hundreds regime",
@@ -125,7 +131,13 @@ pub const TABLE3: [TableMatrix; 10] = [
         paper_nnz: 3_636_643,
         symmetry: Symmetry::Spd,
         precond: TablePrecond::None,
-        paper: PaperRow { double_time: 1.15, double_iters: 1131, ir_time: 1.05, ir_iters: 1150, speedup: 1.10 },
+        paper: PaperRow {
+            double_time: 1.15,
+            double_iters: 1131,
+            ir_time: 1.05,
+            ir_iters: 1150,
+            speedup: 1.10,
+        },
         surrogate_note: "2D PDE FEM matrix (SPD, ~1.1k iterations) -> Q1 FEM \
             Laplacian with mild stretching; SPD, ~9 nnz/row like the original's \
             FEM stencil",
@@ -137,7 +149,13 @@ pub const TABLE3: [TableMatrix; 10] = [
         paper_nnz: 3_021_648,
         symmetry: Symmetry::General,
         precond: TablePrecond::None,
-        paper: PaperRow { double_time: 0.51, double_iters: 359, ir_time: 0.52, ir_iters: 400, speedup: 0.98 },
+        paper: PaperRow {
+            double_time: 0.51,
+            double_iters: 359,
+            ir_time: 0.52,
+            ir_iters: 400,
+            speedup: 0.98,
+        },
         surrogate_note: "3D electro-physical model, converges in a few hundred \
             iterations (regime where IR's restart-granularity overhead erases \
             the win) -> diagonally shifted 3D convection-diffusion, fast-converging",
@@ -149,7 +167,13 @@ pub const TABLE3: [TableMatrix; 10] = [
         paper_nnz: 11_283_503,
         symmetry: Symmetry::Symmetric,
         precond: TablePrecond::None,
-        paper: PaperRow { double_time: 18.23, double_iters: 17385, ir_time: 16.86, ir_iters: 17600, speedup: 1.08 },
+        paper: PaperRow {
+            double_time: 18.23,
+            double_iters: 17385,
+            ir_time: 16.86,
+            ir_iters: 17600,
+            speedup: 1.08,
+        },
         surrogate_note: "quantum chemistry, symmetric indefinite, ~17k iterations \
             -> shifted 2D Laplacian (A - sigma I with sigma inside the spectrum): \
             symmetric indefinite, tens-of-thousands regime",
@@ -161,7 +185,13 @@ pub const TABLE3: [TableMatrix; 10] = [
         paper_nnz: 3_674_625,
         symmetry: Symmetry::Spd,
         precond: TablePrecond::None,
-        paper: PaperRow { double_time: 41.77, double_iters: 27493, ir_time: 45.34, ir_iters: 36600, speedup: 0.92 },
+        paper: PaperRow {
+            double_time: 41.77,
+            double_iters: 27493,
+            ir_time: 45.34,
+            ir_iters: 36600,
+            speedup: 0.92,
+        },
         surrogate_note: "parabolic FEM (SPD, extremely ill-conditioned; the one \
             problem where IR convergence diverges from fp64, §V-G) -> strongly \
             anisotropic Q1 FEM Laplacian; condition number large enough that the \
@@ -174,7 +204,13 @@ pub const TABLE3: [TableMatrix; 10] = [
         paper_nnz: 492_564,
         symmetry: Symmetry::General,
         precond: TablePrecond::BlockJacobi { block_size: 1 },
-        paper: PaperRow { double_time: 0.46, double_iters: 206, ir_time: 0.49, ir_iters: 250, speedup: 0.94 },
+        paper: PaperRow {
+            double_time: 0.46,
+            double_iters: 206,
+            ir_time: 0.49,
+            ir_iters: 250,
+            speedup: 0.94,
+        },
         surrogate_note: "pulmonary model, very sparse (4.5 nnz/row) nonsymmetric, \
             point-Jacobi preconditioned, converges in ~200 iterations -> 2D \
             convection-diffusion with strongly varying diagonal (so Jacobi \
@@ -187,7 +223,13 @@ pub const TABLE3: [TableMatrix; 10] = [
         paper_nnz: 9_895_422,
         symmetry: Symmetry::Spd,
         precond: TablePrecond::BlockJacobi { block_size: 42 },
-        paper: PaperRow { double_time: 13.98, double_iters: 5762, ir_time: 9.04, ir_iters: 5000, speedup: 1.55 },
+        paper: PaperRow {
+            double_time: 13.98,
+            double_iters: 5762,
+            ir_time: 9.04,
+            ir_iters: 5000,
+            speedup: 1.55,
+        },
         surrogate_note: "car-hood stiffness matrix (SPD shell FEM, strong local \
             blocks; RCM + block Jacobi 42) -> Q1 FEM Laplacian with random \
             piecewise-constant coefficient patches: SPD, block-local coupling, \
@@ -200,7 +242,13 @@ pub const TABLE3: [TableMatrix; 10] = [
         paper_nnz: 3_085_406,
         symmetry: Symmetry::Spd,
         precond: TablePrecond::Poly { degree: 25 },
-        paper: PaperRow { double_time: 6.05, double_iters: 1092, ir_time: 4.55, ir_iters: 1100, speedup: 1.33 },
+        paper: PaperRow {
+            double_time: 6.05,
+            double_iters: 1092,
+            ir_time: 4.55,
+            ir_iters: 1100,
+            speedup: 1.33,
+        },
         surrogate_note: "pressure matrix from CFD (SPD, poly(25)-preconditioned, \
             ~1.1k iterations) -> 2D Laplacian at a size/conditioning that needs \
             ~1k iterations unpreconditioned",
@@ -212,7 +260,13 @@ pub const TABLE3: [TableMatrix; 10] = [
         paper_nnz: 23_487_281,
         symmetry: Symmetry::General,
         precond: TablePrecond::Poly { degree: 25 },
-        paper: PaperRow { double_time: 8.35, double_iters: 339, ir_time: 8.73, ir_iters: 450, speedup: 0.96 },
+        paper: PaperRow {
+            double_time: 8.35,
+            double_iters: 339,
+            ir_time: 8.73,
+            ir_iters: 450,
+            speedup: 0.96,
+        },
         surrogate_note: "FEM flow transport (nonsymmetric, converges in ~340 \
             iterations with poly(25); IR loses) -> 3D convection-diffusion with \
             strong uniform wind, fast-converging under the polynomial",
@@ -224,7 +278,13 @@ pub const TABLE3: [TableMatrix; 10] = [
         paper_nnz: 2_707_179,
         symmetry: Symmetry::Symmetric,
         precond: TablePrecond::Poly { degree: 25 },
-        paper: PaperRow { double_time: 25.24, double_iters: 4449, ir_time: 18.12, ir_iters: 4450, speedup: 1.39 },
+        paper: PaperRow {
+            double_time: 25.24,
+            double_iters: 4449,
+            ir_time: 18.12,
+            ir_iters: 4450,
+            speedup: 1.39,
+        },
         surrogate_note: "3D microfilter device (symmetric indefinite, thousands \
             of iterations even preconditioned) -> lightly shifted 3D Laplacian: \
             symmetric, barely indefinite, slow-converging",
@@ -270,7 +330,10 @@ pub fn surrogate(name: &str, scale: f64) -> Csr<f64> {
             // tens-of-thousands-of-iterations regime.
             let nx = dim(394, 16);
             let a = galeri::laplace2d(nx, nx);
-            let lam_min = 8.0 * (std::f64::consts::PI / (2.0 * (nx as f64 + 1.0))).sin().powi(2);
+            let lam_min = 8.0
+                * (std::f64::consts::PI / (2.0 * (nx as f64 + 1.0)))
+                    .sin()
+                    .powi(2);
             shift_diagonal(a, -3.5 * lam_min)
         }
         "parabolic_fem" => {
@@ -301,8 +364,10 @@ pub fn surrogate(name: &str, scale: f64) -> Csr<f64> {
             // of iterations).
             let nx = dim(47, 8);
             let a = galeri::laplace3d(nx);
-            let lam_min =
-                12.0 * (std::f64::consts::PI / (2.0 * (nx as f64 + 1.0))).sin().powi(2);
+            let lam_min = 12.0
+                * (std::f64::consts::PI / (2.0 * (nx as f64 + 1.0)))
+                    .sin()
+                    .powi(2);
             shift_diagonal(a, -2.2 * lam_min)
         }
         other => panic!("unknown Table III matrix {other:?}"),
@@ -327,8 +392,11 @@ pub fn convection_diffusion3d(
         for j in 0..nx {
             for i in 0..nx {
                 let me = id(i, j, k);
-                let (x, y, z) =
-                    ((i as f64 + 1.0) * h, (j as f64 + 1.0) * h, (k as f64 + 1.0) * h);
+                let (x, y, z) = (
+                    (i as f64 + 1.0) * h,
+                    (j as f64 + 1.0) * h,
+                    (k as f64 + 1.0) * h,
+                );
                 let (vx, vy, vz) = velocity(x, y, z);
                 let pe = 0.5 * h / diffusion;
                 coo.push(me, me, 6.0);
@@ -378,8 +446,9 @@ pub fn shift_diagonal(a: Csr<f64>, shift: f64) -> Csr<f64> {
 pub fn random_diagonal_scaling(a: Csr<f64>, seed: u64, range: f64) -> Csr<f64> {
     let n = a.nrows();
     let mut rng = StdRng::seed_from_u64(seed);
-    let d: Vec<f64> =
-        (0..n).map(|_| range.powf(rng.gen_range(-1.0f64..1.0))).collect();
+    let d: Vec<f64> = (0..n)
+        .map(|_| range.powf(rng.gen_range(-1.0f64..1.0)))
+        .collect();
     let row_ptr = a.row_ptr().to_vec();
     let col_idx = a.col_idx().to_vec();
     let mut vals = a.vals().to_vec();
@@ -397,8 +466,9 @@ pub fn random_diagonal_scaling(a: Csr<f64>, seed: u64, range: f64) -> Csr<f64> {
 pub fn patchy_coefficient_laplacian(nx: usize, seed: u64, contrast: f64) -> Csr<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
     let patches = nx.div_ceil(8) + 1;
-    let coefs: Vec<f64> =
-        (0..patches * patches).map(|_| contrast.powf(rng.gen_range(0.0f64..1.0))).collect();
+    let coefs: Vec<f64> = (0..patches * patches)
+        .map(|_| contrast.powf(rng.gen_range(0.0f64..1.0)))
+        .collect();
     let k_unit = crate::fem::q1_element_stiffness(1.0, 1.0);
     let n = nx * nx;
     let mut coo = Coo::with_capacity(n, n, 9 * n);
@@ -414,8 +484,12 @@ pub fn patchy_coefficient_laplacian(nx: usize, seed: u64, contrast: f64) -> Csr<
             let patch =
                 (ej as usize / 8).min(patches - 1) * patches + (ei as usize / 8).min(patches - 1);
             let c = coefs[patch];
-            let corners =
-                [node(ei - 1, ej - 1), node(ei, ej - 1), node(ei, ej), node(ei - 1, ej)];
+            let corners = [
+                node(ei - 1, ej - 1),
+                node(ei, ej - 1),
+                node(ei, ej),
+                node(ei - 1, ej),
+            ];
             for (a, ca) in corners.iter().enumerate() {
                 let Some(ra) = *ca else { continue };
                 for (b, cb) in corners.iter().enumerate() {
@@ -500,7 +574,9 @@ mod tests {
         let diag: Vec<f64> = (0..b.nrows())
             .map(|r| b.row(r).find(|&(c, _)| c == r).unwrap().1)
             .collect();
-        let (lo, hi) = diag.iter().fold((f64::MAX, 0.0f64), |(l, h), &d| (l.min(d), h.max(d)));
+        let (lo, hi) = diag
+            .iter()
+            .fold((f64::MAX, 0.0f64), |(l, h), &d| (l.min(d), h.max(d)));
         assert!(hi / lo > 4.0, "scaling too uniform: {lo}..{hi}");
     }
 
@@ -511,7 +587,9 @@ mod tests {
         let diag: Vec<f64> = (0..a.nrows())
             .map(|r| a.row(r).find(|&(c, _)| c == r).unwrap().1)
             .collect();
-        let (lo, hi) = diag.iter().fold((f64::MAX, 0.0f64), |(l, h), &d| (l.min(d), h.max(d)));
+        let (lo, hi) = diag
+            .iter()
+            .fold((f64::MAX, 0.0f64), |(l, h), &d| (l.min(d), h.max(d)));
         assert!(hi / lo > 10.0, "patches should create contrast: {lo}..{hi}");
     }
 

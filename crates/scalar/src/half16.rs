@@ -373,8 +373,16 @@ mod tests {
                 assert!(Half::from_f32(h.to_f32()).is_nan());
                 continue;
             }
-            assert_eq!(Half::from_f32(h.to_f32()).to_bits(), bits, "f32 roundtrip {bits:#x}");
-            assert_eq!(Half::from_f64(h.to_f64()).to_bits(), bits, "f64 roundtrip {bits:#x}");
+            assert_eq!(
+                Half::from_f32(h.to_f32()).to_bits(),
+                bits,
+                "f32 roundtrip {bits:#x}"
+            );
+            assert_eq!(
+                Half::from_f64(h.to_f64()).to_bits(),
+                bits,
+                "f64 roundtrip {bits:#x}"
+            );
         }
     }
 
@@ -383,7 +391,17 @@ mod tests {
         // For inputs exactly representable in f32, the two conversion paths
         // must agree (f32 -> f64 widening is exact).
         let cases = [
-            0.1f32, 1.0, -1.5, 3.14159, 1e-5, 1e5, 6.1e-5, 5.9e-8, 65504.0, 65520.0, -65536.0,
+            0.1f32,
+            1.0,
+            -1.5,
+            std::f32::consts::PI,
+            1e-5,
+            1e5,
+            6.1e-5,
+            5.9e-8,
+            65504.0,
+            65520.0,
+            -65536.0,
         ];
         for &x in &cases {
             assert_eq!(
@@ -398,7 +416,9 @@ mod tests {
     fn arithmetic_is_correctly_rounded_vs_f64_reference() {
         // Spot-check: computing in f64 and rounding once must equal our
         // compute-in-f32-and-round emulation (both are correctly rounded).
-        let vals: Vec<Half> = (0..200).map(|i| Half::from_f32(0.37 * i as f32 - 31.0)).collect();
+        let vals: Vec<Half> = (0..200)
+            .map(|i| Half::from_f32(0.37 * i as f32 - 31.0))
+            .collect();
         for &a in &vals {
             for &b in &vals {
                 let sum = Half::from_f64(a.to_f64() + b.to_f64());

@@ -32,8 +32,8 @@ impl Precision {
     #[inline]
     pub const fn eps(self) -> f64 {
         match self {
-            Precision::Fp16 => 9.765_625e-4,   // 2^-10
-            Precision::Fp32 => 1.192_092_9e-7, // 2^-23
+            Precision::Fp16 => 9.765_625e-4,              // 2^-10
+            Precision::Fp32 => 1.192_092_9e-7,            // 2^-23
             Precision::Fp64 => 2.220_446_049_250_313e-16, // 2^-52
         }
     }

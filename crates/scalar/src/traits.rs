@@ -219,7 +219,12 @@ mod tests {
         let next = S::from_f64(1.0 + S::EPS);
         assert!(next.to_f64() > 1.0, "{}: 1+eps must be > 1", S::NAME);
         let half_eps = S::from_f64(1.0 + S::EPS / 2.0);
-        assert_eq!(half_eps.to_f64(), one.to_f64(), "{}: 1+eps/2 rounds to 1", S::NAME);
+        assert_eq!(
+            half_eps.to_f64(),
+            one.to_f64(),
+            "{}: 1+eps/2 rounds to 1",
+            S::NAME
+        );
     }
 
     #[test]

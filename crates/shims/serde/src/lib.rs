@@ -1,0 +1,240 @@
+//! Offline shim for `serde` (see `crates/shims/README.md`).
+//!
+//! Provides a [`Serialize`] trait producing a JSON [`Value`] tree, plus
+//! the `#[derive(Serialize)]` macro from the sibling `serde_derive`
+//! shim. The surface intentionally covers only what this workspace
+//! uses: plain structs with named fields, unit-variant enums, and the
+//! standard container/primitive types below.
+
+use std::collections::{BTreeMap, HashMap};
+
+// Let the derive macro's `::serde::` paths resolve inside this crate's
+// own tests as well.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// A JSON value tree — the intermediate representation every
+/// [`Serialize`] impl produces and `serde_json` renders.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats, as
+    /// `JSON.stringify` does).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    Uint(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The key string this value contributes when used as a map key.
+    ///
+    /// Mirrors `serde_json`: string keys pass through, unit enum
+    /// variants serialize as their name, integers stringify.
+    pub fn into_key(self) -> String {
+        match self {
+            Value::Str(s) => s,
+            Value::Uint(u) => u.to_string(),
+            Value::Int(i) => i.to_string(),
+            other => panic!("map key must serialize to a string, got {other:?}"),
+        }
+    }
+}
+
+/// Serialization into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Uint(*self as u64) }
+        }
+    )*};
+}
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )+};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_value().into_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value().into_key(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic output
+        Value::Object(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(3usize.to_value(), Value::Uint(3));
+        assert_eq!((-2i32).to_value(), Value::Int(-2));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!("x".to_string().to_value(), Value::Str("x".into()));
+        assert_eq!(None::<f64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers() {
+        let v = vec![(1usize, 2.0f64)];
+        assert_eq!(
+            v.to_value(),
+            Value::Array(vec![Value::Array(vec![Value::Uint(1), Value::Float(2.0)])])
+        );
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        assert_eq!(
+            m.to_value(),
+            Value::Object(vec![("a".into(), Value::Uint(1))])
+        );
+    }
+
+    #[derive(Serialize)]
+    struct Demo {
+        n: usize,
+        label: String,
+    }
+
+    #[derive(Serialize)]
+    enum Kind {
+        Alpha,
+        #[allow(dead_code)]
+        Beta,
+    }
+
+    #[test]
+    fn derive_struct_and_enum() {
+        let d = Demo {
+            n: 7,
+            label: "ok".into(),
+        };
+        assert_eq!(
+            d.to_value(),
+            Value::Object(vec![
+                ("n".into(), Value::Uint(7)),
+                ("label".into(), Value::Str("ok".into())),
+            ])
+        );
+        assert_eq!(Kind::Alpha.to_value(), Value::Str("Alpha".into()));
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline shim for `serde_derive` (see `crates/shims/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` by hand-parsing the item's token
+//! stream (no `syn`/`quote` available offline). Supported shapes — the
+//! only ones this workspace uses:
+//!
+//! - `struct Name { field: Ty, ... }` → JSON object in field order
+//! - `enum Name { VariantA, VariantB, ... }` (unit variants only)
+//!   → JSON string of the variant name
+//!
+//! Generics, tuple structs, and data-carrying enum variants are
+//! rejected with a compile-time panic naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (shim: to_value -> serde::Value).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip attributes (#[...]) and visibility.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the bracketed attribute body.
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde_derive shim: malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Optional pub(...) restriction.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                panic!("serde_derive shim: unexpected token `{s}` before struct/enum");
+            }
+            other => panic!("serde_derive shim: unexpected token {other:?}"),
+        }
+    };
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+
+    // Reject generics: the workspace derives only on concrete types.
+    let body = match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive shim: generic type `{name}` is not supported")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("serde_derive shim: tuple struct `{name}` is not supported")
+        }
+        other => panic!("serde_derive shim: expected {{...}} body for `{name}`, got {other:?}"),
+    };
+
+    let out = if kind == "struct" {
+        let fields = parse_named_fields(body, &name);
+        let entries: String = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})),"
+                )
+            })
+            .collect();
+        format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Object(::std::vec![{entries}])\n\
+                 }}\n\
+             }}"
+        )
+    } else {
+        let variants = parse_unit_variants(body, &name);
+        let arms: String = variants
+            .iter()
+            .map(|v| {
+                format!(
+                    "{name}::{v} => \
+                     ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                )
+            })
+            .collect();
+        format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{ {arms} }}\n\
+                 }}\n\
+             }}"
+        )
+    };
+
+    out.parse()
+        .expect("serde_derive shim: generated impl failed to parse")
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn parse_named_fields(body: TokenStream, type_name: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    match iter.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                        other => panic!(
+                            "serde_derive shim: malformed field attribute in `{type_name}`: {other:?}"
+                        ),
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = iter.next() else { break };
+        let field = match tok {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                panic!("serde_derive shim: expected field name in `{type_name}`, got {other:?}")
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde_derive shim: expected `:` after `{type_name}.{field}`, got {other:?}")
+            }
+        }
+        // Skip the type: consume until a top-level comma (angle depth 0).
+        let mut depth = 0i32;
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Variant names of a unit-variant enum body.
+fn parse_unit_variants(body: TokenStream, type_name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip per-variant attributes (incl. doc comments).
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            iter.next();
+            match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                other => panic!(
+                    "serde_derive shim: malformed variant attribute in `{type_name}`: {other:?}"
+                ),
+            }
+        }
+        let Some(tok) = iter.next() else { break };
+        let variant = match tok {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                panic!("serde_derive shim: expected variant name in `{type_name}`, got {other:?}")
+            }
+        };
+        match iter.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive shim: enum `{type_name}` variant `{variant}` carries data — \
+                 only unit variants are supported"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                "serde_derive shim: enum `{type_name}` uses explicit discriminants — unsupported"
+            ),
+            other => panic!("serde_derive shim: unexpected token in `{type_name}`: {other:?}"),
+        }
+    }
+    variants
+}

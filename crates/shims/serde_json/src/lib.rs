@@ -1,0 +1,165 @@
+//! Offline shim for `serde_json` (see `crates/shims/README.md`).
+//!
+//! Renders the `serde` shim's [`Value`] tree as pretty-printed JSON.
+//! Non-finite floats serialize as `null` (like `JSON.stringify`), and
+//! writer errors surface as `std::io::Error` so call sites using `?`
+//! inside `io::Result` functions keep working.
+
+use std::io::Write;
+
+use serde::Serialize;
+pub use serde::Value;
+
+/// Serialize `value` as pretty JSON into `writer`.
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> std::io::Result<()> {
+    let s = to_string_pretty(value);
+    writer.write_all(s.as_bytes())?;
+    writer.write_all(b"\n")
+}
+
+/// Serialize `value` as a pretty JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    render(&value.to_value(), 0, &mut out);
+    out
+}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    // Compact output reuses the pretty renderer with indent elision is
+    // not worth a second code path here; strip is lossy for strings, so
+    // render compactly for real.
+    let mut out = String::new();
+    render_compact(&value.to_value(), &mut out);
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn render(v: &Value, level: usize, out: &mut String) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                indent(level + 1, out);
+                render(item, level + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(level, out);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                indent(level + 1, out);
+                push_json_string(k, out);
+                out.push_str(": ");
+                render(val, level + 1, out);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(level, out);
+            out.push('}');
+        }
+        other => render_compact(other, out),
+    }
+}
+
+fn render_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Uint(u) => out.push_str(&u.to_string()),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Rust's Display for floats is shortest-roundtrip.
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => push_json_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_string(k, out);
+                out.push(':');
+                render_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn push_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_roundtrip_shapes() {
+        let v = vec![1.0f64, 2.5, f64::NAN];
+        assert_eq!(to_string(&v), "[1.0,2.5,null]");
+        let pretty = to_string_pretty(&v);
+        assert!(pretty.starts_with("[\n"));
+        assert!(pretty.contains("  1.0,"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = "a\"b\\c\nd".to_string();
+        assert_eq!(to_string(&s), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn writer_path_appends_newline() {
+        let mut buf = Vec::new();
+        to_writer_pretty(&mut buf, &42usize).unwrap();
+        assert_eq!(buf, b"42\n");
+    }
+}

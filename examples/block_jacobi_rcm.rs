@@ -15,8 +15,10 @@ use multiprec_gmres::matgen::suitesparse;
 use multiprec_gmres::prelude::*;
 
 fn main() {
-    let block_size: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let block_size: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
 
     // The "hood" surrogate: SPD FEM matrix with strong local coefficient
     // patches (see matgen::suitesparse for the substitution rationale).
@@ -81,8 +83,12 @@ fn main() {
     // Contrast with unpreconditioned iteration counts.
     let mut ctx_plain = GpuContext::new(DeviceModel::v100_belos());
     let mut xp = vec![0.0f64; n];
-    let rp = Gmres::new(&a, &Identity, GmresConfig::default().with_max_iters(r64.iterations * 4))
-        .solve(&mut ctx_plain, &b, &mut xp);
+    let rp = Gmres::new(
+        &a,
+        &Identity,
+        GmresConfig::default().with_max_iters(r64.iterations * 4),
+    )
+    .solve(&mut ctx_plain, &b, &mut xp);
     println!(
         "unpreconditioned fp64:   {:?} after {} iters (block Jacobi cut iterations by {:.1}x)",
         rp.status,

@@ -13,14 +13,20 @@ use multiprec_gmres::matgen::{galeri, registry};
 use multiprec_gmres::prelude::*;
 
 fn main() {
-    let nx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(96);
+    let nx: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(96);
     let a = GpuMatrix::new(galeri::bentpipe2d(nx, registry::BENTPIPE_PECLET));
     let n = a.n();
     // Scale the device's fixed latencies with problem size so time ratios
     // match the paper-scale experiment (see DESIGN.md).
     let device = DeviceModel::v100_belos().scaled_latencies(n as f64 / 2_250_000.0);
     let b = vec![1.0f64; n];
-    println!("BentPipe2D {nx}x{nx}: n = {n}, nnz = {}, recirculating wind", a.nnz());
+    println!(
+        "BentPipe2D {nx}x{nx}: n = {n}, nnz = {}, recirculating wind",
+        a.nnz()
+    );
 
     // fp64 baseline.
     let mut ctx64 = GpuContext::new(device.clone());
@@ -66,7 +72,9 @@ fn main() {
     // Table-I-style kernel comparison.
     let rep64 = ctx64.report();
     let rep_ir = ctx_ir.report();
-    println!("\nkernel speedups fp64 -> IR (paper Table I: 1.28 / 1.15 / 1.57 / 2.48 / total 1.32):");
+    println!(
+        "\nkernel speedups fp64 -> IR (paper Table I: 1.28 / 1.15 / 1.57 / 2.48 / total 1.32):"
+    );
     for cat in PaperCategory::ALL {
         let t64 = rep64.seconds(cat);
         let tir = rep_ir.seconds(cat);

@@ -17,11 +17,19 @@
 use multiprec_gmres::matgen::galeri;
 use multiprec_gmres::prelude::*;
 
-fn run_ir<Lo: Scalar>(a: &GpuMatrix<f64>, b: &[f64], m: usize) -> (SolveResult, f64) {
+fn run_ir<Lo: multiprec_gmres::prelude::BackendScalar>(
+    a: &GpuMatrix<f64>,
+    b: &[f64],
+    m: usize,
+) -> (SolveResult, f64) {
     let device = DeviceModel::v100_belos().scaled_latencies(a.n() as f64 / 2_250_000.0);
     let mut ctx = GpuContext::new(device);
     let mut x = vec![0.0f64; a.n()];
-    let ir = GmresIr::<Lo, f64>::new(a, &Identity, IrConfig::default().with_m(m).with_max_iters(50_000));
+    let ir = GmresIr::<Lo, f64>::new(
+        a,
+        &Identity,
+        IrConfig::default().with_m(m).with_max_iters(50_000),
+    );
     let res = ir.solve(&mut ctx, b, &mut x);
     (res, ctx.elapsed())
 }

@@ -13,8 +13,14 @@ use multiprec_gmres::matgen::{galeri, registry};
 use multiprec_gmres::prelude::*;
 
 fn main() {
-    let nx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(384);
-    let degree: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(15);
+    let nx: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(384);
+    let degree: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
     let a = GpuMatrix::new(galeri::stretched2d(nx, registry::STRETCH_FACTOR));
     let n = a.n();
     let device = DeviceModel::v100_belos().scaled_latencies(n as f64 / 2_250_000.0);

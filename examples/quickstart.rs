@@ -40,7 +40,11 @@ fn main() {
     let b32 = vec![1.0f32; n];
     let mut ctx32 = GpuContext::new(device.clone());
     let mut x32 = vec![0.0f32; n];
-    let g32 = Gmres::new(&a32, &Identity, GmresConfig::default().with_max_iters(r64.iterations));
+    let g32 = Gmres::new(
+        &a32,
+        &Identity,
+        GmresConfig::default().with_max_iters(r64.iterations),
+    );
     let r32 = g32.solve(&mut ctx32, &b32, &mut x32);
     println!(
         "fp32 GMRES(50):  {:?} after {} iterations, best residual {:.2e} (cannot certify 1e-10)",

@@ -19,7 +19,10 @@ fn main() {
 
     println!("paper bound 5w/(2w+1) by nonzeros-per-row:");
     for w in [2, 5, 7, 9, 27] {
-        println!("  w = {w:>2}: {:.3}x", analytic::paper_speedup_bound(w as f64));
+        println!(
+            "  w = {w:>2}: {:.3}x",
+            analytic::paper_speedup_bound(w as f64)
+        );
     }
 
     println!("\npriced model on the paper's matrices (banded -> fp32 x-reuse):");
@@ -61,7 +64,10 @@ fn main() {
     for lanes in [1usize, 8, 32, 128, 512] {
         let h64 = simulate_spmv_cache(&a64, &sim_dev, Precision::Fp64, lanes);
         let h32 = simulate_spmv_cache(&a32, &sim_dev, Precision::Fp32, lanes);
-        println!("  {:>6} {:>12.3} {:>12.3}", lanes, h64.x_hit_rate, h32.x_hit_rate);
+        println!(
+            "  {:>6} {:>12.3} {:>12.3}",
+            lanes, h64.x_hit_rate, h32.x_hit_rate
+        );
     }
     println!(
         "\nfp32 halves every stream, so under the same pressure its x lines\n\

@@ -38,7 +38,11 @@ fn every_paper_problem_solves_with_ir() {
             res.status,
             res.final_relative_residual
         );
-        assert!(true_rel(&a, &b, &x) <= 1.5e-10, "{} true residual too large", p.name());
+        assert!(
+            true_rel(&a, &b, &x) <= 1.5e-10,
+            "{} true residual too large",
+            p.name()
+        );
     }
 }
 
@@ -57,8 +61,12 @@ fn ir_and_fp64_agree_on_convection_problem() {
     )
     .solve(&mut ctx(), &b, &mut xir);
     assert!(r64.status.is_converged() && rir.status.is_converged());
-    let dx: f64 =
-        x64.iter().zip(&xir).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+    let dx: f64 = x64
+        .iter()
+        .zip(&xir)
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt();
     assert!(dx <= 1e-5 * norm2(&x64), "solutions disagree: {dx}");
 }
 
@@ -108,7 +116,12 @@ fn fd_and_ir_and_fp64_reach_same_accuracy() {
         &a,
         &id32,
         &id64,
-        FdConfig { m: 15, switch_at: 30, max_iters: 20_000, ..FdConfig::default() },
+        FdConfig {
+            m: 15,
+            switch_at: 30,
+            max_iters: 20_000,
+            ..FdConfig::default()
+        },
     );
     let res = fd.solve(&mut ctx(), &b, &mut x_fd);
     assert!(res.result.status.is_converged());
@@ -159,8 +172,12 @@ fn block_jacobi_with_rcm_pipeline() {
     let b = vec![1.0f64; a.n()];
     let bj = BlockJacobi::build(&a, 8);
     let mut x = vec![0.0f64; a.n()];
-    let res = Gmres::new(&a, &bj, GmresConfig::default().with_m(30).with_max_iters(30_000))
-        .solve(&mut ctx(), &b, &mut x);
+    let res = Gmres::new(
+        &a,
+        &bj,
+        GmresConfig::default().with_m(30).with_max_iters(30_000),
+    )
+    .solve(&mut ctx(), &b, &mut x);
     assert!(res.status.is_converged(), "{:?}", res.status);
     assert!(true_rel(&a, &b, &x) <= 1.5e-10);
 }
@@ -189,7 +206,7 @@ fn mtx_roundtrip_through_solver() {
     let a = GpuMatrix::new(a1);
     let b = vec![1.0f64; a.n()];
     let mut x = vec![0.0f64; a.n()];
-    let res = Gmres::new(&a, &Identity, GmresConfig::default().with_m(20))
-        .solve(&mut ctx(), &b, &mut x);
+    let res =
+        Gmres::new(&a, &Identity, GmresConfig::default().with_m(20)).solve(&mut ctx(), &b, &mut x);
     assert!(res.status.is_converged());
 }

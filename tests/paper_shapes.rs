@@ -33,7 +33,11 @@ fn shape_ir_speedup_on_slow_problems() {
     let r64 = Gmres::new(&a, &Identity, GmresConfig::default().with_max_iters(60_000))
         .solve(&mut c64, &b, &mut x);
     assert!(r64.status.is_converged());
-    assert!(r64.iterations > 800, "need the many-iterations regime, got {}", r64.iterations);
+    assert!(
+        r64.iterations > 800,
+        "need the many-iterations regime, got {}",
+        r64.iterations
+    );
 
     let mut cir = ctx_for(a.n(), 2_250_000);
     let mut xir = vec![0.0f64; a.n()];
@@ -72,13 +76,22 @@ fn shape_kernel_speedup_ordering() {
     let gemv_t = s(PaperCategory::GemvTrans);
     let norm = s(PaperCategory::Norm);
     assert!(spmv > 2.0, "SpMV speedup {spmv:.2} (paper 2.48)");
-    assert!(gemv_n > gemv_t, "GEMV ordering violated: {gemv_n:.2} vs {gemv_t:.2}");
-    assert!(gemv_t > norm * 0.98, "GEMV(T) {gemv_t:.2} should beat Norm {norm:.2}");
+    assert!(
+        gemv_n > gemv_t,
+        "GEMV ordering violated: {gemv_n:.2} vs {gemv_t:.2}"
+    );
+    assert!(
+        gemv_t > norm * 0.98,
+        "GEMV(T) {gemv_t:.2} should beat Norm {norm:.2}"
+    );
     // Norm is latency-bound, so its speedup is smallest (paper: 1.15 per
     // call); these are category *totals*, and IR makes ~10% more norm
     // calls (extra iterations + inner-cycle norms), so the ratio can dip
     // just below 1.
-    assert!(norm > 0.9 && norm < 1.3, "Norm speedup {norm:.2} (paper 1.15)");
+    assert!(
+        norm > 0.9 && norm < 1.3,
+        "Norm speedup {norm:.2} (paper 1.15)"
+    );
 }
 
 #[test]
@@ -86,18 +99,28 @@ fn shape_fp32_floor_fp64_converges_ir_tracks() {
     // Paper Fig. 3.
     let (a, b) = bentpipe();
     let mut x64 = vec![0.0f64; a.n()];
-    let r64 = Gmres::new(&a, &Identity, GmresConfig::default().with_max_iters(60_000))
-        .solve(&mut ctx_for(a.n(), 2_250_000), &b, &mut x64);
+    let r64 = Gmres::new(&a, &Identity, GmresConfig::default().with_max_iters(60_000)).solve(
+        &mut ctx_for(a.n(), 2_250_000),
+        &b,
+        &mut x64,
+    );
     assert!(r64.status.is_converged());
 
     let a32 = a.convert::<f32>();
     let b32 = vec![1.0f32; a.n()];
     let mut x32 = vec![0.0f32; a.n()];
-    let r32 = Gmres::new(&a32, &Identity, GmresConfig::default().with_max_iters(r64.iterations))
-        .solve(&mut ctx_for(a.n(), 2_250_000), &b32, &mut x32);
+    let r32 = Gmres::new(
+        &a32,
+        &Identity,
+        GmresConfig::default().with_max_iters(r64.iterations),
+    )
+    .solve(&mut ctx_for(a.n(), 2_250_000), &b32, &mut x32);
     assert!(!r32.status.is_converged(), "fp32 must not certify 1e-10");
     let floor = r32.best_residual();
-    assert!(floor < 1e-3 && floor > 1e-9, "fp32 floor {floor:.2e} should be ~1e-5ish");
+    assert!(
+        floor < 1e-3 && floor > 1e-9,
+        "fp32 floor {floor:.2e} should be ~1e-5ish"
+    );
 
     let mut xir = vec![0.0f64; a.n()];
     let rir = GmresIr::<f32, f64>::new(&a, &Identity, IrConfig::default().with_max_iters(60_000))
@@ -119,15 +142,22 @@ fn shape_restart_size_tradeoff() {
     let run_m = |m: usize| {
         let mut c = ctx_for(a.n(), 2_250_000);
         let mut x = vec![0.0f64; a.n()];
-        let r = Gmres::new(&a, &Identity, GmresConfig::default().with_m(m).with_max_iters(80_000))
-            .solve(&mut c, &b, &mut x);
+        let r = Gmres::new(
+            &a,
+            &Identity,
+            GmresConfig::default().with_m(m).with_max_iters(80_000),
+        )
+        .solve(&mut c, &b, &mut x);
         assert!(r.status.is_converged(), "m={m}: {:?}", r.status);
         (r.iterations, c.elapsed())
     };
     let (it_small, t_small) = run_m(25);
     let (it_big, t_big) = run_m(100);
     assert!(it_big < it_small, "bigger subspace must lower iterations");
-    assert!(t_big > t_small, "but time must rise as orthogonalization grows");
+    assert!(
+        t_big > t_small,
+        "but time must rise as orthogonalization grows"
+    );
 }
 
 #[test]
@@ -158,7 +188,12 @@ fn shape_fd_never_beats_ir_materially() {
             &a,
             &id32,
             &id64,
-            FdConfig { m: 25, switch_at: k * 25, max_iters: 60_000, ..FdConfig::default() },
+            FdConfig {
+                m: 25,
+                switch_at: k * 25,
+                max_iters: 60_000,
+                ..FdConfig::default()
+            },
         );
         let res = fd.solve(&mut c, &b, &mut x);
         if res.result.status.is_converged() {
@@ -179,11 +214,17 @@ fn shape_half_inner_needs_more_refinements_than_fp32() {
     let b = vec![1.0f64; a.n()];
     let cfg = IrConfig::default().with_m(16).with_max_iters(50_000);
     let mut x32 = vec![0.0f64; a.n()];
-    let r32 = GmresIr::<f32, f64>::new(&a, &Identity, cfg)
-        .solve(&mut ctx_for(a.n(), 2_250_000), &b, &mut x32);
+    let r32 = GmresIr::<f32, f64>::new(&a, &Identity, cfg).solve(
+        &mut ctx_for(a.n(), 2_250_000),
+        &b,
+        &mut x32,
+    );
     let mut x16 = vec![0.0f64; a.n()];
-    let r16 = GmresIr::<Half, f64>::new(&a, &Identity, cfg)
-        .solve(&mut ctx_for(a.n(), 2_250_000), &b, &mut x16);
+    let r16 = GmresIr::<Half, f64>::new(&a, &Identity, cfg).solve(
+        &mut ctx_for(a.n(), 2_250_000),
+        &b,
+        &mut x16,
+    );
     assert!(r32.status.is_converged());
     assert!(r16.status.is_converged(), "{:?}", r16.status);
     assert!(
