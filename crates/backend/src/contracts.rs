@@ -7,6 +7,7 @@
 //! cheap asserts as defense in depth for direct users of that crate.)
 
 use mpgmres_la::csr::Csr;
+use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
 use mpgmres_scalar::Scalar;
 
@@ -65,6 +66,103 @@ pub fn gemv<S: Scalar>(v: &MultiVector<S>, ncols: usize, vec: &[S], coeff: &[S])
     );
 }
 
+/// SpMM `Y[:, ..k] = A X[:, ..k]`: row counts must match the matrix,
+/// both blocks must have at least `k` columns, and the block must be
+/// non-empty (width-0 launches are a driver bug, and the SpMM cost
+/// model's `k - 1` extra-column term requires `k >= 1`).
+#[inline]
+pub fn spmm<S: Scalar>(a: &Csr<S>, x: &MultiVec<S>, k: usize, y: &MultiVec<S>) {
+    assert!(k >= 1, "backend spmm: empty block (k = 0)");
+    assert_eq!(
+        x.n(),
+        a.ncols(),
+        "backend spmm: X has {} rows but A has {} columns",
+        x.n(),
+        a.ncols()
+    );
+    assert_eq!(
+        y.n(),
+        a.nrows(),
+        "backend spmm: Y has {} rows but A has {} rows",
+        y.n(),
+        a.nrows()
+    );
+    assert!(
+        k <= x.k() && k <= y.k(),
+        "backend spmm: {k} columns requested but X has {} and Y has {}",
+        x.k(),
+        y.k()
+    );
+}
+
+/// Batched GEMV over one basis per block column: every basis must hold
+/// `ncols` columns of the block's row count, and the packed coefficient
+/// slice must hold `vs.len() * ncols` entries.
+#[inline]
+pub fn block_gemv<S: Scalar>(vs: &[&MultiVector<S>], ncols: usize, w: &MultiVec<S>, coeff: &[S]) {
+    assert!(
+        vs.len() <= w.k(),
+        "backend block_gemv: {} bases but the block has {} columns",
+        vs.len(),
+        w.k()
+    );
+    for (c, v) in vs.iter().enumerate() {
+        assert!(
+            ncols <= v.max_cols(),
+            "backend block_gemv: {ncols} columns requested but basis {c} has {}",
+            v.max_cols()
+        );
+        assert_eq!(
+            v.n(),
+            w.n(),
+            "backend block_gemv: basis {c} has {} rows but the block has {}",
+            v.n(),
+            w.n()
+        );
+    }
+    assert!(
+        coeff.len() >= vs.len() * ncols,
+        "backend block_gemv: coefficient slice has length {} but {} x {ncols} requested",
+        coeff.len(),
+        vs.len()
+    );
+}
+
+/// Column-wise kernels over the leading `k` columns of equal-shape
+/// blocks (block_dot, block_axpy, block_copy).
+#[inline]
+pub fn block_pair<S: Scalar>(op: &'static str, x: &MultiVec<S>, y: &MultiVec<S>, k: usize) {
+    assert_eq!(
+        x.n(),
+        y.n(),
+        "backend {op}: row mismatch ({} vs {})",
+        x.n(),
+        y.n()
+    );
+    assert!(
+        k <= x.k() && k <= y.k(),
+        "backend {op}: {k} columns requested but blocks have {} and {}",
+        x.k(),
+        y.k()
+    );
+}
+
+/// A block and a per-column scalar slice (block_norm2, block_scal,
+/// block_axpy coefficients).
+#[inline]
+pub fn block_scalars<S: Scalar>(op: &'static str, x: &MultiVec<S>, k: usize, out: &[S]) {
+    assert!(
+        k <= x.k(),
+        "backend {op}: {k} columns requested but the block has {}",
+        x.k()
+    );
+    assert!(
+        out.len() >= k,
+        "backend {op}: scalar slice has length {} but {k} columns requested",
+        out.len()
+    );
+}
+
 /// Two equal-length vectors (dot, axpy, copy).
 #[inline]
 pub fn same_len<S: Scalar>(op: &'static str, x: &[S], y: &[S]) {
@@ -90,6 +188,36 @@ mod tests {
         let mv = MultiVector::<f64>::zeros(3, 2);
         gemv(&mv, 2, &v, &[0.0; 2]);
         same_len("dot", &v, &v);
+        let block = MultiVec::<f64>::zeros(3, 2);
+        spmm(&a, &block, 2, &block);
+        block_gemv(&[&mv, &mv], 2, &block, &[0.0; 4]);
+        block_pair("block_copy", &block, &block, 2);
+        block_scalars("block_norm2", &block, 2, &[0.0; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backend spmm: 3 columns requested")]
+    fn spmm_column_overflow_panics() {
+        let a = Csr::<f64>::identity(3);
+        let block = MultiVec::<f64>::zeros(3, 2);
+        spmm(&a, &block, 3, &block);
+    }
+
+    #[test]
+    #[should_panic(expected = "backend spmm: empty block")]
+    fn spmm_zero_width_panics() {
+        let a = Csr::<f64>::identity(3);
+        let block = MultiVec::<f64>::zeros(3, 2);
+        spmm(&a, &block, 0, &block);
+    }
+
+    #[test]
+    #[should_panic(expected = "backend block_gemv: basis 1 has")]
+    fn block_gemv_row_mismatch_panics() {
+        let ok = MultiVector::<f64>::zeros(3, 2);
+        let bad = MultiVector::<f64>::zeros(4, 2);
+        let block = MultiVec::<f64>::zeros(3, 2);
+        block_gemv(&[&ok, &bad], 2, &block, &[0.0; 4]);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! # Architecture
 //!
 //! ```text
-//! Gmres / GmresIr / GmresIr3 / GmresFd / preconditioners
+//! Gmres / GmresIr / GmresIr3 / GmresFd / BlockGmres / preconditioners
 //!         |            (solver layer: mpgmres)
 //!         v
 //! GpuContext ── charges ──> gpusim::Profiler (simulated V100 time)
@@ -20,8 +20,9 @@
 //!         v  ScalarBackend<S> dispatch (BackendScalar)
 //! Backend trait object
 //!    ├── ReferenceBackend   sequential, bit-deterministic (mpgmres-la)
-//!    └── ParallelBackend    std-thread row/column/block partitioned
-//!         (future: GPU backend, batched multi-RHS backend, ...)
+//!    └── ParallelBackend    std-thread row/column/block partitioned,
+//!         fused SpMM, cached row partitions
+//!         (future: GPU backend, ...)
 //! ```
 //!
 //! # Determinism contract
@@ -35,15 +36,25 @@
 //! [`ReductionOrder::Sequential`], which is a single dependency chain
 //! and runs sequentially on every backend.
 //!
+//! The batched multi-RHS surface (`spmm`, `block_gemv_*`, `block_dot`,
+//! `block_norm2`, `block_axpy`/`block_scal`/`block_copy`) extends the
+//! contract across block widths: default implementations loop the
+//! single-vector kernels, and every fused override (the parallel
+//! row-streaming SpMM) preserves the per-column operation order, so a
+//! k-column block call is bit-identical to k independent single-vector
+//! calls on every backend.
+//!
 //! # Dimension contracts
 //!
 //! Kernel argument shapes are asserted once at the backend boundary via
 //! [`contracts`]; implementations may assume validated inputs.
 
 use core::fmt;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use mpgmres_la::csr::Csr;
+use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
 use mpgmres_la::par;
 use mpgmres_la::vec_ops::{self, ReductionOrder};
@@ -88,6 +99,103 @@ pub trait ScalarBackend<S: Scalar> {
     fn scal(&self, alpha: S, x: &mut [S]);
     /// Copy `src` into `dst`.
     fn copy(&self, src: &[S], dst: &mut [S]);
+
+    // ----- batched multi-RHS (block) kernels --------------------------
+    //
+    // Multivector variants over the leading `k` columns of an `n x k`
+    // block. Every default implementation loops the corresponding
+    // single-vector kernel, so the per-column results of ANY backend are
+    // bit-identical to `k` independent single-vector calls by
+    // construction; fused overrides (e.g. [`ParallelBackend::spmm`])
+    // must preserve that per-column operation order. This is the
+    // multi-RHS determinism contract the parity test-suite pins.
+
+    /// SpMM `Y[:, ..k] = A X[:, ..k]` (one column per right-hand side).
+    fn spmm(&self, a: &Csr<S>, x: &MultiVec<S>, k: usize, y: &mut MultiVec<S>) {
+        for j in 0..k {
+            self.spmv(a, x.col(j), y.col_mut(j));
+        }
+    }
+
+    /// Batched GEMV-Trans: for each column `c`, `h[c*ncols + i] =
+    /// vs[c].col(i) . w.col(c)` over the first `ncols` basis columns.
+    /// One basis multivector per right-hand side (`vs.len()` columns are
+    /// processed; coefficients are packed contiguously with stride
+    /// `ncols`).
+    fn block_gemv_t(
+        &self,
+        vs: &[&MultiVector<S>],
+        ncols: usize,
+        w: &MultiVec<S>,
+        h: &mut [S],
+        order: ReductionOrder,
+    ) {
+        for (c, v) in vs.iter().enumerate() {
+            self.gemv_t(
+                v,
+                ncols,
+                w.col(c),
+                &mut h[c * ncols..(c + 1) * ncols],
+                order,
+            );
+        }
+    }
+
+    /// Batched GEMV-NoTrans: `w.col(c) -= vs[c][:, ..ncols] h_c`.
+    fn block_gemv_n_sub(&self, vs: &[&MultiVector<S>], ncols: usize, h: &[S], w: &mut MultiVec<S>) {
+        for (c, v) in vs.iter().enumerate() {
+            self.gemv_n_sub(v, ncols, &h[c * ncols..(c + 1) * ncols], w.col_mut(c));
+        }
+    }
+
+    /// Batched GEMV-NoTrans: `y.col(c) += vs[c][:, ..ncols] h_c`.
+    fn block_gemv_n_add(&self, vs: &[&MultiVector<S>], ncols: usize, h: &[S], y: &mut MultiVec<S>) {
+        for (c, v) in vs.iter().enumerate() {
+            self.gemv_n_add(v, ncols, &h[c * ncols..(c + 1) * ncols], y.col_mut(c));
+        }
+    }
+
+    /// Column-wise inner products `out[j] = x.col(j) . y.col(j)`.
+    fn block_dot(
+        &self,
+        x: &MultiVec<S>,
+        y: &MultiVec<S>,
+        k: usize,
+        out: &mut [S],
+        order: ReductionOrder,
+    ) {
+        for j in 0..k {
+            out[j] = self.dot(x.col(j), y.col(j), order);
+        }
+    }
+
+    /// Column-wise Euclidean norms `out[j] = ||x.col(j)||`.
+    fn block_norm2(&self, x: &MultiVec<S>, k: usize, out: &mut [S], order: ReductionOrder) {
+        for j in 0..k {
+            out[j] = self.norm2(x.col(j), order);
+        }
+    }
+
+    /// Column-wise `y.col(j) += alpha[j] x.col(j)`.
+    fn block_axpy(&self, alpha: &[S], x: &MultiVec<S>, k: usize, y: &mut MultiVec<S>) {
+        for j in 0..k {
+            self.axpy(alpha[j], x.col(j), y.col_mut(j));
+        }
+    }
+
+    /// Column-wise `x.col(j) *= alpha[j]`.
+    fn block_scal(&self, alpha: &[S], x: &mut MultiVec<S>, k: usize) {
+        for j in 0..k {
+            self.scal(alpha[j], x.col_mut(j));
+        }
+    }
+
+    /// Column-wise copy of the leading `k` columns.
+    fn block_copy(&self, src: &MultiVec<S>, k: usize, dst: &mut MultiVec<S>) {
+        for j in 0..k {
+            self.copy(src.col(j), dst.col_mut(j));
+        }
+    }
 }
 
 /// A complete kernel backend: [`ScalarBackend`] for every working
@@ -181,13 +289,43 @@ impl Backend for ReferenceBackend {
     }
 }
 
-/// The std-thread parallel backend: row-partitioned SpMV/residual,
+/// Memoized row partitions, keyed by `(rows, workers)`.
+///
+/// `ParallelBackend` used to recompute the contiguous row split inside
+/// every kernel call; matrix dimensions are stable across the thousands
+/// of SpMV/SpMM calls of a solve, so the split is computed once per
+/// shape here and shared by all clones of the backend (a first step
+/// toward the ROADMAP persistent-pool item, where the same cached
+/// ranges become per-worker assignments). Partitioning never affects
+/// results — it only decides which worker computes which rows.
+#[derive(Debug, Default)]
+struct PartitionCache {
+    map: Mutex<HashMap<(usize, usize), SharedPartition>>,
+}
+
+/// A cached `(start, end)` row split, shared across kernel calls.
+type SharedPartition = Arc<Vec<(usize, usize)>>;
+
+impl PartitionCache {
+    fn get(&self, len: usize, threads: usize) -> SharedPartition {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry((len, threads))
+            .or_insert_with(|| Arc::new(par::row_partition(len, threads)))
+            .clone()
+    }
+}
+
+/// The std-thread parallel backend: row-partitioned SpMV/SpMM/residual,
 /// column-partitioned GEMV-Trans, row-partitioned GEMV-NoTrans, and
 /// block-parallel tree reductions — all bit-identical to
-/// [`ReferenceBackend`] (see the crate docs for the contract).
-#[derive(Clone, Copy, Debug)]
+/// [`ReferenceBackend`] (see the crate docs for the contract). Row
+/// partitions are computed once per matrix shape and memoized in a
+/// shared cache (hoisted out of the per-kernel hot path; a first step
+/// toward a persistent worker pool).
+#[derive(Clone, Debug)]
 pub struct ParallelBackend {
     threads: usize,
+    partitions: Arc<PartitionCache>,
 }
 
 impl ParallelBackend {
@@ -200,12 +338,19 @@ impl ParallelBackend {
     pub fn with_threads(threads: usize) -> Self {
         ParallelBackend {
             threads: threads.max(1),
+            partitions: Arc::new(PartitionCache::default()),
         }
     }
 
     /// Configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The cached row partition for an `len`-row kernel (computed on
+    /// first use, shared across clones).
+    fn row_parts(&self, len: usize) -> SharedPartition {
+        self.partitions.get(len, self.threads)
     }
 }
 
@@ -217,10 +362,28 @@ impl Default for ParallelBackend {
 
 impl<S: Scalar> ScalarBackend<S> for ParallelBackend {
     fn spmv(&self, a: &Csr<S>, x: &[S], y: &mut [S]) {
-        par::spmv(self.threads, a, x, y);
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+            a.spmv(x, y);
+            return;
+        }
+        par::spmv_parts(&self.row_parts(a.nrows()), a, x, y);
     }
     fn residual(&self, a: &Csr<S>, b: &[S], x: &[S], r: &mut [S]) {
-        par::residual(self.threads, a, b, x, r);
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+            a.residual(b, x, r);
+            return;
+        }
+        par::residual_parts(&self.row_parts(a.nrows()), a, b, x, r);
+    }
+    fn spmm(&self, a: &Csr<S>, x: &MultiVec<S>, k: usize, y: &mut MultiVec<S>) {
+        // Fused: one pass over the matrix serves all k columns. Below
+        // the parallel threshold the fused kernel still runs (single
+        // part, no spawn) — the matrix-read amortization is the point.
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+            par::spmm_parts(&[(0, a.nrows())], a, x, k, y);
+            return;
+        }
+        par::spmm_parts(&self.row_parts(a.nrows()), a, x, k, y);
     }
     fn gemv_t(
         &self,

@@ -11,6 +11,7 @@
 use mpgmres_backend::{BackendKind, ParallelBackend, ReferenceBackend, ScalarBackend};
 use mpgmres_la::coo::Coo;
 use mpgmres_la::csr::Csr;
+use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
 use mpgmres_la::vec_ops::ReductionOrder;
 use mpgmres_scalar::ulp_diff_f64;
@@ -179,6 +180,109 @@ fn fp32_and_half_kernels_agree_across_backends() {
     }
 }
 
+fn pseudo_block(n: usize, k: usize, salt: u64) -> MultiVec<f64> {
+    let mut mv = MultiVec::<f64>::zeros(n, k);
+    for j in 0..k {
+        let c = pseudo_vec(n, salt + 17 * j as u64);
+        mv.col_mut(j).copy_from_slice(&c);
+    }
+    mv
+}
+
+/// Multi-RHS contract, deterministic large case: fused SpMM and the
+/// column-wise block reductions are bit-identical to k independent
+/// single-vector calls on both backends, at a size that forces the
+/// parallel backend onto multiple workers (nnz and n both above the
+/// parallel thresholds).
+#[test]
+fn block_kernels_bit_identical_at_multi_worker_sizes() {
+    let n = (1 << 15) + 61; // nnz ~ 7n >> SPMV threshold, n > PAR_THRESHOLD
+    let k = 4;
+    let a = banded_matrix(n, 3);
+    let x = pseudo_block(n, k, 50);
+    let y = pseudo_block(n, k, 90);
+    let reference = ReferenceBackend;
+    let parallel = ParallelBackend::with_threads(4);
+
+    for backend in [&reference as &dyn ScalarBackend<f64>, &parallel] {
+        let mut ym = MultiVec::<f64>::zeros(n, k);
+        backend.spmm(&a, &x, k, &mut ym);
+        for j in 0..k {
+            let mut y_single = vec![0.0; n];
+            backend.spmv(&a, x.col(j), &mut y_single);
+            assert_eq!(ym.col(j), &y_single[..], "spmm col {j}");
+        }
+        for order in orders() {
+            let mut dots = vec![0.0; k];
+            backend.block_dot(&x, &y, k, &mut dots, order);
+            let mut nrms = vec![0.0; k];
+            backend.block_norm2(&x, k, &mut nrms, order);
+            for j in 0..k {
+                assert_eq!(
+                    dots[j].to_bits(),
+                    backend.dot(x.col(j), y.col(j), order).to_bits(),
+                    "block_dot col {j} {order:?}"
+                );
+                assert_eq!(
+                    nrms[j].to_bits(),
+                    backend.norm2(x.col(j), order).to_bits(),
+                    "block_norm2 col {j} {order:?}"
+                );
+            }
+        }
+    }
+    // Cross-backend: the fused parallel SpMM equals the reference loop.
+    let (mut y_ref, mut y_par) = (MultiVec::<f64>::zeros(n, k), MultiVec::<f64>::zeros(n, k));
+    ScalarBackend::<f64>::spmm(&reference, &a, &x, k, &mut y_ref);
+    ScalarBackend::<f64>::spmm(&parallel, &a, &x, k, &mut y_par);
+    assert_eq!(y_ref.data(), y_par.data(), "cross-backend spmm");
+}
+
+/// Batched GEMV (one basis per column) is bit-identical to the
+/// single-vector GEMVs it fuses, on both backends.
+#[test]
+fn block_gemv_bit_identical_to_column_gemvs() {
+    let n = (1 << 14) + 11;
+    let k = 3;
+    let ncols = 5;
+    let vs_owned: Vec<MultiVector<f64>> = (0..k)
+        .map(|c| {
+            let mut v = MultiVector::<f64>::zeros(n, ncols);
+            for j in 0..ncols {
+                let col = pseudo_vec(n, (c * 31 + j) as u64);
+                v.col_mut(j).copy_from_slice(&col);
+            }
+            v
+        })
+        .collect();
+    let vs: Vec<&MultiVector<f64>> = vs_owned.iter().collect();
+    let w0 = pseudo_block(n, k, 7);
+    let reference = ReferenceBackend;
+    let parallel = ParallelBackend::with_threads(4);
+    for backend in [&reference as &dyn ScalarBackend<f64>, &parallel] {
+        for order in orders() {
+            let mut h = vec![0.0; k * ncols];
+            backend.block_gemv_t(&vs, ncols, &w0, &mut h, order);
+            let mut w = w0.clone();
+            backend.block_gemv_n_sub(&vs, ncols, &h, &mut w);
+            backend.block_gemv_n_add(&vs, ncols, &h, &mut w);
+            for c in 0..k {
+                let mut h_single = vec![0.0; ncols];
+                backend.gemv_t(vs[c], ncols, w0.col(c), &mut h_single, order);
+                assert_eq!(
+                    &h[c * ncols..(c + 1) * ncols],
+                    &h_single[..],
+                    "block_gemv_t col {c} {order:?}"
+                );
+                let mut w_single = w0.col(c).to_vec();
+                backend.gemv_n_sub(vs[c], ncols, &h_single, &mut w_single);
+                backend.gemv_n_add(vs[c], ncols, &h_single, &mut w_single);
+                assert_eq!(w.col(c), &w_single[..], "block_gemv_n col {c} {order:?}");
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -222,6 +326,52 @@ proptest! {
             ScalarBackend::<f64>::gemv_t(&parallel, &v, cols, &x, &mut hb, order);
             prop_assert_eq!(&ha, &hb);
         }
+    }
+
+    /// Multi-RHS proptest: `spmm` and `block_dot` on a k-column block
+    /// are bit-identical to k independent single-vector calls, on both
+    /// backends. `big` flips the size above the parallel thresholds so
+    /// the multi-worker fused kernel is exercised, not just the
+    /// sequential fallback.
+    #[test]
+    fn random_block_kernel_parity(
+        small_n in 1usize..400,
+        k in 1usize..8,
+        salt in 0u64..1_000,
+        threads in 2usize..9,
+        big in 0usize..2,
+        block in 1usize..300,
+    ) {
+        let n = if big == 1 { (1 << 15) + small_n } else { small_n };
+        let a = banded_matrix(n, salt);
+        let x = pseudo_block(n, k, salt + 40);
+        let y = pseudo_block(n, k, salt + 80);
+        let reference = ReferenceBackend;
+        let parallel = ParallelBackend::with_threads(threads);
+        for backend in [&reference as &dyn ScalarBackend<f64>, &parallel] {
+            let mut ym = MultiVec::<f64>::zeros(n, k);
+            backend.spmm(&a, &x, k, &mut ym);
+            for j in 0..k {
+                let mut y_single = vec![0.0; n];
+                backend.spmv(&a, x.col(j), &mut y_single);
+                prop_assert_eq!(ym.col(j), &y_single[..]);
+            }
+            for order in [ReductionOrder::Sequential, ReductionOrder::BlockedTree { block }] {
+                let mut dots = vec![0.0; k];
+                backend.block_dot(&x, &y, k, &mut dots, order);
+                for j in 0..k {
+                    prop_assert_eq!(
+                        dots[j].to_bits(),
+                        backend.dot(x.col(j), y.col(j), order).to_bits()
+                    );
+                }
+            }
+        }
+        // And across backends the fused kernel agrees with the loop.
+        let (mut y_ref, mut y_par) = (MultiVec::<f64>::zeros(n, k), MultiVec::<f64>::zeros(n, k));
+        ScalarBackend::<f64>::spmm(&reference, &a, &x, k, &mut y_ref);
+        ScalarBackend::<f64>::spmm(&parallel, &a, &x, k, &mut y_par);
+        prop_assert_eq!(y_ref.data(), y_par.data());
     }
 
     /// Backend kinds produced by the selector behave identically to the

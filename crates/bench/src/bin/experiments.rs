@@ -2,14 +2,17 @@
 //!
 //! ```text
 //! experiments <id>... [--scale F] [--paper-scale] [--quick] [--out DIR]
-//!                     [--backend reference|parallel]
+//!                     [--backend reference|parallel] [--rhs-block K]
 //!
 //! ids: fig1 fig2 fig3 fig4_table1 fig5 fig6 fig7 vd_model table2 fig8
-//!      vf_degrees table3 all
+//!      vf_degrees table3 multirhs all
 //! ```
 //!
 //! `--backend` selects the kernel execution backend (wall-clock only;
-//! simulated V100 results are identical across backends).
+//! simulated V100 results are identical across backends). `--rhs-block`
+//! sets the block width of the `multirhs` batched-solve experiment
+//! (default 4; `multirhs` is a ROADMAP extension, not a paper artifact,
+//! and is not part of `all`).
 //!
 //! Aliases: `fig5` runs with `fig4_table1`; `fig7` with `fig6`.
 
@@ -17,8 +20,8 @@ use std::process::ExitCode;
 
 use mpgmres::BackendKind;
 use mpgmres_bench::experiments::{
-    self, convergence, fd_sweep, kernel_breakdown, poly_degrees, precond_stretched, restart_sweep,
-    spmv_model, suitesparse,
+    self, convergence, fd_sweep, kernel_breakdown, multirhs, poly_degrees, precond_stretched,
+    restart_sweep, spmv_model, suitesparse,
 };
 use mpgmres_bench::harness::Scale;
 use mpgmres_bench::output;
@@ -39,8 +42,8 @@ const ALL_IDS: [&str; 10] = [
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <id>... [--scale F] [--paper-scale] [--quick] [--out DIR] \
-         [--backend reference|parallel]\n\
-         ids: {} all",
+         [--backend reference|parallel] [--rhs-block K]\n\
+         ids: {} multirhs all",
         ALL_IDS.join(" ")
     );
     ExitCode::FAILURE
@@ -52,6 +55,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::Default;
     let mut out_dir: Option<String> = None;
     let mut backend = BackendKind::default();
+    let mut rhs_block = 4usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -61,6 +65,13 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 backend = b;
+            }
+            "--rhs-block" => {
+                i += 1;
+                let Some(k) = args.get(i).and_then(|s| s.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                rhs_block = k.max(1);
             }
             "--scale" => {
                 i += 1;
@@ -92,7 +103,9 @@ fn main() -> ExitCode {
     }
 
     let out = output::results_dir(out_dir.as_deref());
-    let opts = experiments::ExpOpts::new(scale, out).with_backend(backend);
+    let opts = experiments::ExpOpts::new(scale, out)
+        .with_backend(backend)
+        .with_rhs_block(rhs_block);
     println!("kernel backend: {backend}");
 
     let t0 = std::time::Instant::now();
@@ -129,6 +142,9 @@ fn main() -> ExitCode {
             Some("table3") => {
                 suitesparse::run(&opts);
             }
+            Some("multirhs") => {
+                multirhs::run(&opts);
+            }
             _ => {
                 eprintln!("unknown experiment id: {id}");
                 return usage();
@@ -155,6 +171,7 @@ fn normalize(id: &str) -> Option<&'static str> {
         "fig8" => Some("fig8"),
         "vf_degrees" | "vf" => Some("vf_degrees"),
         "table3" => Some("table3"),
+        "multirhs" | "multi-rhs" => Some("multirhs"),
         _ => None,
     }
 }

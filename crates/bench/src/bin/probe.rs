@@ -1,16 +1,21 @@
 //! Scratch calibration probe: convergence behaviour of the default-scale
 //! problems (used to pick experiment defaults; not part of the paper's
 //! artifact set).
+//!
+//! `--rhs-block K` (K > 1) switches the default problem sweep to the
+//! batched multi-RHS path: each problem is solved for a block of K
+//! heterogeneous right-hand sides with `BlockGmres` and the per-RHS
+//! simulated cost is compared against a single-RHS solve.
 
 use mpgmres::precond::{poly::PolyPreconditioner, Identity};
-use mpgmres::{BackendKind, GmresConfig, IrConfig};
+use mpgmres::{BackendKind, BlockGmres, Gmres, GmresConfig, IrConfig, MultiVec};
 use mpgmres_bench::harness::Bench;
 use mpgmres_matgen::registry::PaperProblem;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // Extract `--backend NAME` anywhere on the line; positional args
-    // keep their existing meaning.
+    // Extract `--backend NAME` / `--rhs-block K` anywhere on the line;
+    // positional args keep their existing meaning.
     let mut backend = BackendKind::default();
     if let Some(pos) = args.iter().position(|a| a == "--backend") {
         let Some(name) = args.get(pos + 1) else {
@@ -19,6 +24,18 @@ fn main() {
         };
         backend = name.parse().unwrap_or_else(|e| {
             eprintln!("probe: {e}");
+            std::process::exit(2);
+        });
+        args.drain(pos..pos + 2);
+    }
+    let mut rhs_block = 1usize;
+    if let Some(pos) = args.iter().position(|a| a == "--rhs-block") {
+        let Some(kstr) = args.get(pos + 1) else {
+            eprintln!("probe: --rhs-block requires a width");
+            std::process::exit(2);
+        };
+        rhs_block = kstr.parse::<usize>().unwrap_or_else(|e| {
+            eprintln!("probe: bad --rhs-block value: {e}");
             std::process::exit(2);
         });
         args.drain(pos..pos + 2);
@@ -122,6 +139,14 @@ fn main() {
             t0.elapsed()
         );
         let cfg = GmresConfig::default().with_m(50).with_max_iters(30_000);
+        if rhs_block > 1 {
+            if p.name().starts_with("Stretched") {
+                println!("  (skipped in --rhs-block mode: needs polynomial preconditioning)");
+                continue;
+            }
+            probe_multirhs(&bench, cfg, rhs_block);
+            continue;
+        }
         if p.name().starts_with("Stretched") {
             // Needs polynomial preconditioning per the paper.
             let (r_plain, _) = bench.run_fp64(&Identity, cfg.with_max_iters(3_000));
@@ -162,4 +187,42 @@ fn main() {
             r64.sim_seconds / rir.sim_seconds
         );
     }
+}
+
+/// Batched multi-RHS probe: K heterogeneous right-hand sides solved as
+/// one block, compared against a single-RHS reference solve.
+fn probe_multirhs(bench: &Bench, cfg: GmresConfig, k: usize) {
+    let n = bench.a.n();
+    let cols = mpgmres_bench::experiments::multirhs::rhs_columns(n, k);
+    // Reference: one single-RHS solve of column 0.
+    let mut ctx1 = bench.ctx();
+    let mut x1 = vec![0.0f64; n];
+    let t0 = std::time::Instant::now();
+    let r1 = Gmres::new(&bench.a, &Identity, cfg).solve(&mut ctx1, &cols[0], &mut x1);
+    let single_sim = ctx1.elapsed();
+    let single_wall = t0.elapsed().as_secs_f64();
+    // The block solve.
+    let col_refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+    let b = MultiVec::from_columns(&col_refs);
+    let mut x = MultiVec::<f64>::zeros(n, k);
+    let mut ctx = bench.ctx();
+    let t0 = std::time::Instant::now();
+    let results = BlockGmres::new(&bench.a, &Identity, cfg).solve(&mut ctx, &b, &mut x);
+    let block_sim = ctx.elapsed();
+    let block_wall = t0.elapsed().as_secs_f64();
+    println!(
+        "  single: {} iters {:?} sim {single_sim:.4}s wall {single_wall:.2}s",
+        r1.iterations, r1.status
+    );
+    for (l, r) in results.iter().enumerate() {
+        println!(
+            "  rhs {l}: {} iters {:?} rel {:.2e}",
+            r.iterations, r.status, r.final_relative_residual
+        );
+    }
+    println!(
+        "  block k={k}: sim {block_sim:.4}s ({:.4}s per RHS, {:.2}x vs single) wall {block_wall:.2}s",
+        block_sim / k as f64,
+        single_sim / (block_sim / k as f64),
+    );
 }

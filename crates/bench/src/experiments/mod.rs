@@ -18,6 +18,7 @@
 pub mod convergence;
 pub mod fd_sweep;
 pub mod kernel_breakdown;
+pub mod multirhs;
 pub mod poly_degrees;
 pub mod precond_stretched;
 pub mod restart_sweep;
@@ -40,6 +41,9 @@ pub struct ExpOpts {
     /// Kernel backend executing the numerics (`--backend`). Changes
     /// wall-clock only; simulated V100 results are backend-independent.
     pub backend: BackendKind,
+    /// Right-hand-side block width for the multi-RHS experiment
+    /// (`--rhs-block`); width 1 degenerates to single-RHS GMRES.
+    pub rhs_block: usize,
 }
 
 impl ExpOpts {
@@ -49,12 +53,20 @@ impl ExpOpts {
             scale,
             out,
             backend: BackendKind::default(),
+            rhs_block: 4,
         }
     }
 
     /// Select the kernel backend (builder style).
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Select the multi-RHS block width (builder style, clamped to
+    /// >= 1).
+    pub fn with_rhs_block(mut self, k: usize) -> Self {
+        self.rhs_block = k.max(1);
         self
     }
 }

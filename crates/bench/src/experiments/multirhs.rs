@@ -1,0 +1,174 @@
+//! Batched multi-RHS solve experiment (ROADMAP item, not a paper
+//! artifact): solve BentPipe for a block of `--rhs-block` heterogeneous
+//! right-hand sides with [`mpgmres::BlockGmres`] and compare per-RHS
+//! simulated cost against independent single-RHS solves, verifying the
+//! bit-for-bit per-column determinism contract along the way.
+
+use mpgmres::precond::Identity;
+use mpgmres::{BlockGmres, Gmres, GmresConfig, MultiVec};
+use mpgmres_gpusim::PaperCategory;
+use mpgmres_matgen::galeri;
+use serde::Serialize;
+
+use super::ExpOpts;
+use crate::harness::Bench;
+use crate::output::{self, fmt_secs, TextTable};
+
+#[derive(Serialize)]
+struct RhsRecord {
+    rhs: usize,
+    status: String,
+    iterations: usize,
+    restarts: usize,
+    final_rel: f64,
+    single_sim_seconds: f64,
+    bit_identical_to_single: bool,
+}
+
+#[derive(Serialize)]
+struct MultiRhsReport {
+    problem: String,
+    n: usize,
+    nnz: usize,
+    k: usize,
+    backend: String,
+    block_sim_seconds: f64,
+    per_rhs_sim_seconds: f64,
+    singles_sim_seconds_total: f64,
+    per_rhs_speedup: f64,
+    block_spmv_category_seconds: f64,
+    singles_spmv_category_seconds: f64,
+    rhs: Vec<RhsRecord>,
+}
+
+/// Heterogeneous right-hand sides: different smooth/rough mixes so the
+/// columns converge at different iteration counts and deflation shows.
+/// Shared with the probe binary's `--rhs-block` mode so both tools
+/// measure the same block of problems.
+pub fn rhs_columns(n: usize, k: usize) -> Vec<Vec<f64>> {
+    (0..k)
+        .map(|j| {
+            (0..n)
+                .map(|i| {
+                    let z = (i as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(j as u64 * 0xBF58_476D_1CE4_E5B9);
+                    let rough = (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                    1.0 + j as f64 * 0.25 * rough
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Run the multi-RHS comparison and write
+/// `results/multirhs_solve.{json,csv is omitted,txt}`.
+pub fn run(opts: &ExpOpts) {
+    let k = opts.rhs_block.max(1);
+    let nx = opts.scale.nx(48, 1500);
+    let csr = galeri::bentpipe2d(nx, 0.5);
+    let bench = Bench::new(format!("BentPipe2D{nx}"), csr, 2_250_000).with_backend(opts.backend);
+    let n = bench.a.n();
+    let cfg = GmresConfig::default().with_max_iters(60_000);
+    let cols = rhs_columns(n, k);
+    let col_refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+
+    // Independent single-RHS solves (the baseline the paper-scale
+    // serving scenario would otherwise pay).
+    let mut singles = Vec::new();
+    let mut singles_sim_total = 0.0;
+    let mut singles_spmv = 0.0;
+    for b in &cols {
+        let mut ctx = bench.ctx();
+        let mut x = vec![0.0f64; n];
+        let res = Gmres::new(&bench.a, &Identity, cfg).solve(&mut ctx, b, &mut x);
+        singles_sim_total += ctx.elapsed();
+        singles_spmv += ctx.report().seconds(PaperCategory::SpMV);
+        singles.push((res, x, ctx.elapsed()));
+    }
+
+    // One batched block solve.
+    let mut ctx = bench.ctx();
+    let b = MultiVec::from_columns(&col_refs);
+    let mut x = MultiVec::<f64>::zeros(n, k);
+    let results = BlockGmres::new(&bench.a, &Identity, cfg).solve(&mut ctx, &b, &mut x);
+    let block_sim = ctx.elapsed();
+    let block_spmv = ctx.report().seconds(PaperCategory::SpMV);
+
+    let mut table = TextTable::new(&[
+        "rhs",
+        "status",
+        "iters",
+        "restarts",
+        "final_rel",
+        "single_sim",
+        "bit_id",
+    ]);
+    let mut rhs_records = Vec::new();
+    for (l, ((res_s, x_s, sim_s), res_b)) in singles.iter().zip(&results).enumerate() {
+        let bit_identical = res_s.status == res_b.status
+            && res_s.iterations == res_b.iterations
+            && x_s
+                .iter()
+                .zip(x.col(l))
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        table.row(vec![
+            l.to_string(),
+            format!("{:?}", res_b.status),
+            res_b.iterations.to_string(),
+            res_b.restarts.to_string(),
+            format!("{:.2e}", res_b.final_relative_residual),
+            fmt_secs(*sim_s),
+            bit_identical.to_string(),
+        ]);
+        rhs_records.push(RhsRecord {
+            rhs: l,
+            status: format!("{:?}", res_b.status),
+            iterations: res_b.iterations,
+            restarts: res_b.restarts,
+            final_rel: res_b.final_relative_residual,
+            single_sim_seconds: *sim_s,
+            bit_identical_to_single: bit_identical,
+        });
+    }
+    let per_rhs = block_sim / k as f64;
+    let speedup = singles_sim_total / block_sim;
+    let report = MultiRhsReport {
+        problem: bench.name.clone(),
+        n,
+        nnz: bench.a.nnz(),
+        k,
+        backend: bench.backend.name().to_string(),
+        block_sim_seconds: block_sim,
+        per_rhs_sim_seconds: per_rhs,
+        singles_sim_seconds_total: singles_sim_total,
+        per_rhs_speedup: speedup,
+        block_spmv_category_seconds: block_spmv,
+        singles_spmv_category_seconds: singles_spmv,
+        rhs: rhs_records,
+    };
+
+    let all_bit_identical = report.rhs.iter().all(|r| r.bit_identical_to_single);
+    let rendered = format!(
+        "{}\nblock k={k}: sim {} ({} per RHS) vs {} for {k} independent solves \
+         => simulated speedup {:.2}x\nSpMV category: block {} vs singles {} \
+         ({:.2}x amortization)\nall columns bit-identical to independent solves: {}\n",
+        table.render(),
+        fmt_secs(block_sim),
+        fmt_secs(per_rhs),
+        fmt_secs(singles_sim_total),
+        speedup,
+        fmt_secs(block_spmv),
+        fmt_secs(singles_spmv),
+        singles_spmv / block_spmv.max(f64::MIN_POSITIVE),
+        all_bit_identical,
+    );
+    print!("{rendered}");
+    assert!(
+        all_bit_identical,
+        "multi-RHS determinism contract violated: block columns diverged from single solves"
+    );
+    let _ = output::write_json(&opts.out, "multirhs_solve", &report);
+    let _ = output::write_text(&opts.out, "multirhs_solve", &rendered);
+    println!("wrote {}/multirhs_solve.{{json,txt}}", opts.out.display());
+}

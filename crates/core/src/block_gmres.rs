@@ -1,0 +1,418 @@
+//! Batched multi-RHS restarted GMRES(m): `k` independent solves in
+//! lockstep, sharing kernel launches.
+//!
+//! [`BlockGmres`] solves `A X = B` for a block of `k` right-hand sides.
+//! It is **not** a block-Krylov method: each column keeps its own Krylov
+//! basis, Hessenberg recurrence, and convergence state, and the solver
+//! runs the `k` state machines in lockstep so that every iteration's
+//! SpMV becomes one SpMM (the matrix is read once per block instead of
+//! once per column — the §V-D bandwidth argument, and the kernel shape
+//! Aliaga et al.'s multi-RHS work targets on GPUs) and the CGS2
+//! projections become batched GEMM-shaped calls.
+//!
+//! # Determinism contract
+//!
+//! Because every batched kernel preserves the per-column operation order
+//! of its single-vector counterpart (see `mpgmres-backend`'s multi-RHS
+//! contract), each column's solution, iteration history, and terminal
+//! status are **bit-for-bit identical** to an independent [`Gmres`]
+//! solve of that column, on every backend. With `k = 1` the simulated
+//! timing report is also bit-identical to [`Gmres`] (every block cost
+//! collapses to the single-vector cost at width 1).
+//!
+//! # Deflation
+//!
+//! Columns converge at different iterations. A column whose cycle ends
+//! in a terminal state (converged, breakdown, iteration cap) is
+//! *deflated*: it stops participating and subsequent batched kernels run
+//! over the compacted block of still-active columns, so a nearly-done
+//! block doesn't keep paying full-width kernels. Within a cycle, a
+//! column that exits early (implicit convergence or breakdown) simply
+//! idles until the cycle barrier — cycles stay globally synchronized,
+//! which is what keeps the batched projections a uniform width.
+//!
+//! [`Gmres`]: crate::gmres::Gmres
+
+use crate::config::{GmresConfig, OrthoMethod};
+use crate::context::{GpuContext, GpuMatrix};
+use crate::precond::Preconditioner;
+use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
+use mpgmres_backend::BackendScalar;
+use mpgmres_la::givens::GivensLsq;
+use mpgmres_la::multivec::MultiVec;
+use mpgmres_la::multivector::MultiVector;
+
+/// Batched multi-RHS GMRES(m): `k` single-RHS solves in lockstep.
+pub struct BlockGmres<'a, S: BackendScalar> {
+    a: &'a GpuMatrix<S>,
+    precond: &'a dyn Preconditioner<S>,
+    cfg: GmresConfig,
+}
+
+/// Per-column solver state (one lane per right-hand side).
+struct Lane<S> {
+    /// This lane's own Krylov basis (n x (m+1)).
+    v: MultiVector<S>,
+    /// Current Hessenberg column assembly buffer (m+2).
+    hcol: Vec<S>,
+    lsq: Option<GivensLsq<S>>,
+    gamma: S,
+    scale: f64,
+    total_iters: usize,
+    restarts: usize,
+    history: Vec<HistoryPoint>,
+    final_rel: f64,
+    /// Pending terminal status raised inside a cycle (breakdown paths).
+    pending: Option<SolveStatus>,
+    /// Still inside the current cycle's Arnoldi loop.
+    in_cycle: bool,
+    implicit_claims_convergence: bool,
+    lucky: bool,
+}
+
+impl<'a, S: BackendScalar> BlockGmres<'a, S> {
+    /// Build a solver for `A X = B` with a right preconditioner shared
+    /// by all columns.
+    pub fn new(a: &'a GpuMatrix<S>, precond: &'a dyn Preconditioner<S>, cfg: GmresConfig) -> Self {
+        assert!(cfg.m >= 1, "restart length must be at least 1");
+        BlockGmres { a, precond, cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GmresConfig {
+        &self.cfg
+    }
+
+    /// Solve `A X = B` starting from the initial guesses in `x`; the
+    /// solutions are written back into `x`. Returns one [`SolveResult`]
+    /// per column, each bit-identical to an independent single-RHS
+    /// solve of that column.
+    pub fn solve(
+        &self,
+        ctx: &mut GpuContext,
+        b: &MultiVec<S>,
+        x: &mut MultiVec<S>,
+    ) -> Vec<SolveResult> {
+        let n = self.a.n();
+        let k = b.k();
+        assert_eq!(b.n(), n, "rhs row count mismatch");
+        assert_eq!(x.n(), n, "solution row count mismatch");
+        assert_eq!(x.k(), k, "solution column count mismatch");
+        let m = self.cfg.m;
+
+        // Shared workspaces. `z` holds the (preconditioned) directions
+        // fed to SpMM, `w` the SpMM output being orthogonalized; both
+        // are compacted over the active columns each step.
+        let mut r = MultiVec::<S>::zeros(n, k);
+        let mut z = MultiVec::<S>::zeros(n, k);
+        let mut w = MultiVec::<S>::zeros(n, k);
+        let mut u = vec![S::zero(); n];
+        let mut zvec = vec![S::zero(); n];
+        let mut h1 = vec![S::zero(); k * m.max(1)];
+        let mut h2 = vec![S::zero(); k * m.max(1)];
+        let mut norms = vec![S::zero(); k];
+
+        // Initial residuals R = B - A X and reference norms.
+        for l in 0..k {
+            ctx.residual_as(
+                mpgmres_gpusim::KernelClass::SpMV,
+                self.a,
+                b.col(l),
+                x.col(l),
+                r.col_mut(l),
+            );
+        }
+        ctx.block_norm2(&r, k, &mut norms);
+
+        let mut lanes: Vec<Lane<S>> = Vec::with_capacity(k);
+        let mut results: Vec<Option<SolveResult>> = (0..k).map(|_| None).collect();
+
+        for (l, result) in results.iter_mut().enumerate() {
+            let gamma = norms[l];
+            let r0_norm = gamma.to_f64();
+            let mut history: Vec<HistoryPoint> = Vec::new();
+            if !r0_norm.is_finite() {
+                *result = Some(SolveResult {
+                    status: SolveStatus::Breakdown,
+                    iterations: 0,
+                    restarts: 0,
+                    final_relative_residual: f64::NAN,
+                    history: Vec::new(),
+                });
+            } else if r0_norm == 0.0 {
+                *result = Some(SolveResult {
+                    status: SolveStatus::Converged,
+                    iterations: 0,
+                    restarts: 0,
+                    final_relative_residual: 0.0,
+                    history: Vec::new(),
+                });
+            } else {
+                if self.cfg.record_history {
+                    history.push(HistoryPoint {
+                        iteration: 0,
+                        relative_residual: 1.0,
+                        kind: HistoryKind::Explicit,
+                    });
+                }
+                if self.cfg.rtol >= 1.0 {
+                    *result = Some(SolveResult {
+                        status: SolveStatus::Converged,
+                        iterations: 0,
+                        restarts: 0,
+                        final_relative_residual: 1.0,
+                        history: std::mem::take(&mut history),
+                    });
+                }
+            }
+            lanes.push(Lane {
+                v: MultiVector::zeros(if result.is_none() { n } else { 0 }, m + 1),
+                hcol: vec![S::zero(); m + 2],
+                lsq: None,
+                gamma,
+                scale: r0_norm,
+                total_iters: 0,
+                restarts: 0,
+                history,
+                final_rel: 1.0,
+                pending: None,
+                in_cycle: false,
+                implicit_claims_convergence: false,
+                lucky: false,
+            });
+        }
+
+        loop {
+            // Columns still solving, in lane order; columns whose lane
+            // finished are deflated out of every batched kernel below.
+            let mut cycle: Vec<usize> = Vec::with_capacity(k);
+            for (l, result) in results.iter_mut().enumerate() {
+                if result.is_some() {
+                    continue;
+                }
+                let lane = &mut lanes[l];
+                if lane.total_iters >= self.cfg.max_iters {
+                    // Mirror of Gmres's outer-loop-top cap check.
+                    *result = Some(SolveResult {
+                        status: SolveStatus::MaxIters,
+                        iterations: lane.total_iters,
+                        restarts: lane.restarts,
+                        final_relative_residual: lane.final_rel,
+                        history: std::mem::take(&mut lane.history),
+                    });
+                    continue;
+                }
+                cycle.push(l);
+            }
+            if cycle.is_empty() {
+                break;
+            }
+
+            // Start a cycle on every participating lane: v1 = r / gamma.
+            for &l in &cycle {
+                let lane = &mut lanes[l];
+                lane.v.col_mut(0).copy_from_slice(r.col(l));
+                let inv_gamma = S::from_f64(1.0 / lane.gamma.to_f64());
+                ctx.scal(inv_gamma, lane.v.col_mut(0));
+                lane.lsq = Some(GivensLsq::new(m, lane.gamma));
+                lane.in_cycle = true;
+                lane.implicit_claims_convergence = false;
+                lane.lucky = false;
+            }
+
+            for j in 0..m {
+                // Lanes still iterating this cycle (lockstep: all share j).
+                let act: Vec<usize> = cycle
+                    .iter()
+                    .copied()
+                    .filter(|&l| lanes[l].in_cycle && lanes[l].total_iters < self.cfg.max_iters)
+                    .collect();
+                if act.is_empty() {
+                    break;
+                }
+                let kc = act.len();
+                let ncols = j + 1;
+
+                // Direction block: Z[:, c] = M^{-1} v_j^{(c)}.
+                for (c, &l) in act.iter().enumerate() {
+                    if self.precond.is_identity() {
+                        z.col_mut(c).copy_from_slice(lanes[l].v.col(j));
+                    } else {
+                        self.precond
+                            .apply(ctx, self.a, lanes[l].v.col(j), z.col_mut(c));
+                    }
+                }
+                // W = A Z: one matrix read for all kc columns.
+                ctx.spmm(self.a, &z, kc, &mut w);
+
+                // Blocked orthogonalization against each lane's basis.
+                match self.cfg.ortho {
+                    OrthoMethod::Cgs2 => {
+                        let vs: Vec<&MultiVector<S>> = act.iter().map(|&l| &lanes[l].v).collect();
+                        ctx.block_gemv_t(&vs, ncols, &w, &mut h1[..kc * ncols]);
+                        ctx.block_gemv_n_sub(&vs, ncols, &h1[..kc * ncols], &mut w);
+                        ctx.block_gemv_t(&vs, ncols, &w, &mut h2[..kc * ncols]);
+                        ctx.block_gemv_n_sub(&vs, ncols, &h2[..kc * ncols], &mut w);
+                    }
+                    OrthoMethod::Cgs1 => {
+                        let vs: Vec<&MultiVector<S>> = act.iter().map(|&l| &lanes[l].v).collect();
+                        ctx.block_gemv_t(&vs, ncols, &w, &mut h1[..kc * ncols]);
+                        ctx.block_gemv_n_sub(&vs, ncols, &h1[..kc * ncols], &mut w);
+                    }
+                    OrthoMethod::Mgs => {
+                        // 2j skinny kernels per lane; nothing to batch.
+                        for (c, &l) in act.iter().enumerate() {
+                            for i in 0..ncols {
+                                let hi = ctx.dot(lanes[l].v.col(i), w.col(c));
+                                ctx.axpy(-hi, lanes[l].v.col(i), w.col_mut(c));
+                                h1[c * ncols + i] = hi;
+                            }
+                        }
+                    }
+                }
+                ctx.block_norm2(&w, kc, &mut norms);
+
+                for (c, &l) in act.iter().enumerate() {
+                    let lane = &mut lanes[l];
+                    match self.cfg.ortho {
+                        OrthoMethod::Cgs2 => {
+                            for i in 0..ncols {
+                                lane.hcol[i] = h1[c * ncols + i] + h2[c * ncols + i];
+                            }
+                        }
+                        OrthoMethod::Cgs1 | OrthoMethod::Mgs => {
+                            lane.hcol[..ncols].copy_from_slice(&h1[c * ncols..(c + 1) * ncols]);
+                        }
+                    }
+                    let hj1 = norms[c];
+                    lane.hcol[ncols] = hj1;
+                    lane.total_iters += 1;
+                    ctx.charge_iteration_host(j);
+
+                    if !hj1.is_finite() {
+                        lane.pending = Some(SolveStatus::Breakdown);
+                        lane.in_cycle = false;
+                        continue;
+                    }
+
+                    let implicit = lane
+                        .lsq
+                        .as_mut()
+                        .expect("lane in cycle has an lsq")
+                        .push_column(&lane.hcol[..ncols + 1]);
+                    let implicit_rel = implicit.to_f64() / lane.scale;
+
+                    if self.cfg.record_history {
+                        lane.history.push(HistoryPoint {
+                            iteration: lane.total_iters,
+                            relative_residual: implicit_rel,
+                            kind: HistoryKind::Implicit,
+                        });
+                    }
+
+                    if hj1.to_f64() <= lane.scale * f64::from(f32::MIN_POSITIVE) * f64::EPSILON {
+                        lane.lucky = true;
+                        lane.implicit_claims_convergence = true;
+                        lane.in_cycle = false;
+                        continue;
+                    }
+                    lane.v.col_mut(j + 1).copy_from_slice(w.col(c));
+                    let inv = S::from_f64(1.0 / hj1.to_f64());
+                    ctx.scal(inv, lane.v.col_mut(j + 1));
+
+                    if self.cfg.monitor_implicit && implicit_rel <= self.cfg.rtol {
+                        lane.implicit_claims_convergence = true;
+                        lane.in_cycle = false;
+                    }
+                }
+            }
+
+            // Cycle barrier: every participating lane assembles its
+            // update x += M^{-1} V_kc y, then recomputes its explicit
+            // residual.
+            for &l in &cycle {
+                let lane = &mut lanes[l];
+                lane.in_cycle = false;
+                let lsq = lane.lsq.as_ref().expect("cycle lane has an lsq");
+                let kc = lsq.ncols();
+                if kc > 0 {
+                    if lsq.is_degenerate() {
+                        lane.pending = Some(SolveStatus::Breakdown);
+                    } else {
+                        let y = lsq.solve(kc);
+                        ctx.charge_restart_host(kc);
+                        for ui in u.iter_mut() {
+                            *ui = S::zero();
+                        }
+                        ctx.gemv_n_add(&lane.v, kc, &y, &mut u);
+                        if self.precond.is_identity() {
+                            ctx.axpy(S::one(), &u, x.col_mut(l));
+                        } else {
+                            self.precond.apply(ctx, self.a, &u, &mut zvec);
+                            ctx.axpy(S::one(), &zvec, x.col_mut(l));
+                        }
+                    }
+                }
+                lane.restarts += 1;
+                ctx.residual_as(
+                    mpgmres_gpusim::KernelClass::SpMV,
+                    self.a,
+                    b.col(l),
+                    x.col(l),
+                    r.col_mut(l),
+                );
+                lane.gamma = ctx.norm2(r.col(l));
+            }
+
+            // Per-lane status resolution (the tail of Gmres's outer loop);
+            // terminal lanes are deflated.
+            for &l in &cycle {
+                let lane = &mut lanes[l];
+                let explicit_rel = lane.gamma.to_f64() / lane.scale;
+                lane.final_rel = explicit_rel;
+                if self.cfg.record_history {
+                    lane.history.push(HistoryPoint {
+                        iteration: lane.total_iters,
+                        relative_residual: explicit_rel,
+                        kind: HistoryKind::Explicit,
+                    });
+                }
+                let status = if let Some(s) = lane.pending {
+                    // Breakdown paths: report convergence if the explicit
+                    // residual happens to clear the tolerance.
+                    Some(if explicit_rel <= self.cfg.rtol {
+                        SolveStatus::Converged
+                    } else {
+                        s
+                    })
+                } else if !explicit_rel.is_finite() {
+                    Some(SolveStatus::Breakdown)
+                } else if explicit_rel <= self.cfg.rtol {
+                    Some(SolveStatus::Converged)
+                } else if (lane.implicit_claims_convergence || lane.lucky)
+                    && explicit_rel > self.cfg.loa_factor * self.cfg.rtol
+                {
+                    Some(SolveStatus::LossOfAccuracy)
+                } else if lane.total_iters >= self.cfg.max_iters {
+                    Some(SolveStatus::MaxIters)
+                } else {
+                    None
+                };
+                if let Some(status) = status {
+                    results[l] = Some(SolveResult {
+                        status,
+                        iterations: lane.total_iters,
+                        restarts: lane.restarts,
+                        final_relative_residual: lane.final_rel,
+                        history: std::mem::take(&mut lane.history),
+                    });
+                }
+            }
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every column resolved"))
+            .collect()
+    }
+}

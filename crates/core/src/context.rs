@@ -18,6 +18,7 @@ use std::sync::Arc;
 use mpgmres_backend::{contracts, Backend, BackendKind, BackendScalar};
 use mpgmres_gpusim::{cost, DeviceModel, KernelClass, Profiler, TimingReport};
 use mpgmres_la::csr::Csr;
+use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
 use mpgmres_la::stats::MatrixStats;
 use mpgmres_la::vec_ops::ReductionOrder;
@@ -299,6 +300,149 @@ impl GpuContext {
     pub fn copy<S: BackendScalar>(&mut self, src: &[S], dst: &mut [S]) {
         contracts::same_len("copy", src, dst);
         S::view(&*self.backend).copy(src, dst);
+    }
+
+    // ----- batched multi-RHS (block) kernels --------------------------
+    //
+    // The profiler is charged with SpMM/GEMM-shaped costs
+    // (`mpgmres_gpusim::cost::{spmm_time, gemm_t_time, ...}`) under the
+    // SAME kernel classes as the single-vector calls: at k = 1 every
+    // block charge is bit-identical to its single-vector counterpart, so
+    // a width-1 block solve reproduces a single-RHS solve's timing
+    // report exactly, and the category rollup stays comparable across
+    // block widths.
+
+    /// Batched SpMM `Y[:, ..k] = A X[:, ..k]` — one matrix read serves
+    /// all `k` right-hand sides.
+    pub fn spmm<S: BackendScalar>(
+        &mut self,
+        a: &GpuMatrix<S>,
+        x: &MultiVec<S>,
+        k: usize,
+        y: &mut MultiVec<S>,
+    ) {
+        contracts::spmm(a.csr(), x, k, y);
+        let t = cost::spmm_time(&self.device, a.n(), a.nnz(), a.bandwidth(), k, S::PRECISION);
+        let bytes = mpgmres_gpusim::analytic::spmv_traffic_bytes(
+            &self.device,
+            a.n(),
+            a.nnz(),
+            a.bandwidth(),
+            S::PRECISION,
+        ) + (k - 1) * 2 * a.n() * S::BYTES;
+        self.profiler.charge(KernelClass::SpMV, t, bytes);
+        S::view(&*self.backend).spmm(a.csr(), x, k, y);
+    }
+
+    /// Batched GEMV-Trans (GEMM shape): `h_c = V_c^T w_c` for each of
+    /// the block's columns, one basis per column, coefficients packed
+    /// with stride `ncols`.
+    pub fn block_gemv_t<S: BackendScalar>(
+        &mut self,
+        vs: &[&MultiVector<S>],
+        ncols: usize,
+        w: &MultiVec<S>,
+        h: &mut [S],
+    ) {
+        contracts::block_gemv(vs, ncols, w, h);
+        let k = vs.len();
+        let t = cost::gemm_t_time(&self.device, w.n(), ncols, k, S::PRECISION);
+        self.profiler
+            .charge(KernelClass::GemvT, t, k * (ncols + 1) * w.n() * S::BYTES);
+        S::view(&*self.backend).block_gemv_t(vs, ncols, w, h, self.reduction);
+    }
+
+    /// Batched GEMV-NoTrans (GEMM shape): `w_c -= V_c h_c`.
+    pub fn block_gemv_n_sub<S: BackendScalar>(
+        &mut self,
+        vs: &[&MultiVector<S>],
+        ncols: usize,
+        h: &[S],
+        w: &mut MultiVec<S>,
+    ) {
+        contracts::block_gemv(vs, ncols, w, h);
+        let k = vs.len();
+        let t = cost::gemm_n_time(&self.device, w.n(), ncols, k, S::PRECISION);
+        self.profiler
+            .charge(KernelClass::GemvN, t, k * (ncols + 2) * w.n() * S::BYTES);
+        S::view(&*self.backend).block_gemv_n_sub(vs, ncols, h, w);
+    }
+
+    /// Batched GEMV-NoTrans (GEMM shape): `y_c += V_c h_c`.
+    pub fn block_gemv_n_add<S: BackendScalar>(
+        &mut self,
+        vs: &[&MultiVector<S>],
+        ncols: usize,
+        h: &[S],
+        y: &mut MultiVec<S>,
+    ) {
+        contracts::block_gemv(vs, ncols, y, h);
+        let k = vs.len();
+        let t = cost::gemm_n_time(&self.device, y.n(), ncols, k, S::PRECISION);
+        self.profiler
+            .charge(KernelClass::GemvN, t, k * (ncols + 2) * y.n() * S::BYTES);
+        S::view(&*self.backend).block_gemv_n_add(vs, ncols, h, y);
+    }
+
+    /// Fused column norms with one device-to-host result transfer.
+    pub fn block_norm2<S: BackendScalar>(&mut self, x: &MultiVec<S>, k: usize, out: &mut [S]) {
+        contracts::block_scalars("block_norm2", x, k, out);
+        let t = cost::block_norm_time(&self.device, x.n(), k, S::PRECISION);
+        self.profiler
+            .charge(KernelClass::Norm, t, k * x.n() * S::BYTES);
+        S::view(&*self.backend).block_norm2(x, k, out, self.reduction);
+    }
+
+    /// Fused column inner products with one result transfer.
+    pub fn block_dot<S: BackendScalar>(
+        &mut self,
+        x: &MultiVec<S>,
+        y: &MultiVec<S>,
+        k: usize,
+        out: &mut [S],
+    ) {
+        contracts::block_pair("block_dot", x, y, k);
+        contracts::block_scalars("block_dot", x, k, out);
+        let t = cost::block_dot_time(&self.device, x.n(), k, S::PRECISION);
+        self.profiler
+            .charge(KernelClass::Dot, t, 2 * k * x.n() * S::BYTES);
+        S::view(&*self.backend).block_dot(x, y, k, out, self.reduction);
+    }
+
+    /// Fused column updates `y_c += alpha_c x_c`.
+    pub fn block_axpy<S: BackendScalar>(
+        &mut self,
+        alpha: &[S],
+        x: &MultiVec<S>,
+        k: usize,
+        y: &mut MultiVec<S>,
+    ) {
+        contracts::block_pair("block_axpy", x, y, k);
+        contracts::block_scalars("block_axpy", x, k, alpha);
+        let t = cost::block_axpy_time(&self.device, x.n(), k, S::PRECISION);
+        self.profiler
+            .charge(KernelClass::Axpy, t, 3 * k * x.n() * S::BYTES);
+        S::view(&*self.backend).block_axpy(alpha, x, k, y);
+    }
+
+    /// Fused column scalings `x_c *= alpha_c`.
+    pub fn block_scal<S: BackendScalar>(&mut self, alpha: &[S], x: &mut MultiVec<S>, k: usize) {
+        contracts::block_scalars("block_scal", x, k, alpha);
+        let t = cost::block_scal_time(&self.device, x.n(), k, S::PRECISION);
+        self.profiler
+            .charge(KernelClass::Scal, t, 2 * k * x.n() * S::BYTES);
+        S::view(&*self.backend).block_scal(alpha, x, k);
+    }
+
+    /// Block copy (uncharged, like [`GpuContext::copy`]).
+    pub fn block_copy<S: BackendScalar>(
+        &mut self,
+        src: &MultiVec<S>,
+        k: usize,
+        dst: &mut MultiVec<S>,
+    ) {
+        contracts::block_pair("block_copy", src, dst, k);
+        S::view(&*self.backend).block_copy(src, k, dst);
     }
 
     /// Device-resident precision cast (fp32 preconditioner under an fp64

@@ -10,6 +10,12 @@
 //! - [`GmresFd`] — the float-then-double switching scheme the paper
 //!   compares against (and finds inferior to) GMRES-IR.
 //!
+//! Plus the batched multi-RHS extension: [`BlockGmres`] solves
+//! `A X = B` for an `n x k` block ([`MultiVec`]) of right-hand sides by
+//! running `k` independent GMRES(m) state machines in lockstep (SpMM
+//! instead of SpMV, blocked CGS2, per-column deflation); each column is
+//! bit-identical to an independent [`Gmres`] solve.
+//!
 //! Preconditioners (paper §III-D): [`precond::poly::PolyPreconditioner`]
 //! (GMRES polynomial with harmonic Ritz roots and modified Leja
 //! ordering), [`precond::block_jacobi::BlockJacobi`], and the
@@ -48,6 +54,7 @@
 //! println!("simulated V100 solve time: {:.3} ms", ctx.elapsed() * 1e3);
 //! ```
 
+pub mod block_gmres;
 pub mod config;
 pub mod context;
 pub mod fd;
@@ -57,6 +64,7 @@ pub mod ir3;
 pub mod precond;
 pub mod status;
 
+pub use block_gmres::BlockGmres;
 pub use config::{GmresConfig, IrConfig, OrthoMethod};
 pub use context::{GpuContext, GpuMatrix};
 pub use fd::{FdConfig, FdResult, GmresFd};
@@ -66,4 +74,5 @@ pub use ir3::{GmresIr3, Ir3Config};
 pub use mpgmres_backend::{
     Backend, BackendKind, BackendScalar, ParallelBackend, ReferenceBackend, ScalarBackend,
 };
+pub use mpgmres_la::multivec::MultiVec;
 pub use status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};

@@ -1,0 +1,276 @@
+//! Multi-RHS parity: `BlockGmres` vs independent single-RHS `Gmres`.
+//!
+//! The contract under test (see `block_gmres`'s module docs):
+//!
+//! - `k = 1`: solution, iteration history, terminal status, AND the
+//!   simulated timing report are **bit-for-bit** identical to `Gmres`,
+//!   on both backends.
+//! - `k = 4`: each column's solution and history are bit-for-bit
+//!   identical to an independent `Gmres` solve of that column, on both
+//!   backends, including columns that converge at different iterations
+//!   (exercising deflation).
+
+use std::sync::Arc;
+
+use mpgmres::precond::block_jacobi::BlockJacobi;
+use mpgmres::precond::{Identity, Preconditioner};
+use mpgmres::{
+    Backend, BlockGmres, Gmres, GmresConfig, GpuContext, GpuMatrix, MultiVec, ParallelBackend,
+    ReferenceBackend, SolveResult,
+};
+use mpgmres_gpusim::{DeviceModel, PaperCategory};
+use mpgmres_la::coo::Coo;
+use mpgmres_la::vec_ops::ReductionOrder;
+
+fn laplace2d_matrix(nx: usize) -> GpuMatrix<f64> {
+    let n = nx * nx;
+    let mut coo = Coo::new(n, n);
+    let idx = |i: usize, j: usize| i * nx + j;
+    for i in 0..nx {
+        for j in 0..nx {
+            let r = idx(i, j);
+            coo.push(r, r, 4.0);
+            if i > 0 {
+                coo.push(r, idx(i - 1, j), -1.0);
+            }
+            if i + 1 < nx {
+                coo.push(r, idx(i + 1, j), -1.0);
+            }
+            if j > 0 {
+                coo.push(r, idx(i, j - 1), -1.0);
+            }
+            if j + 1 < nx {
+                coo.push(r, idx(i, j + 1), -1.0);
+            }
+        }
+    }
+    GpuMatrix::new(coo.into_csr())
+}
+
+fn rhs(n: usize, salt: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let z = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+fn backends() -> Vec<(&'static str, Arc<dyn Backend>)> {
+    vec![
+        ("reference", Arc::new(ReferenceBackend) as Arc<dyn Backend>),
+        (
+            "parallel",
+            Arc::new(ParallelBackend::with_threads(4)) as Arc<dyn Backend>,
+        ),
+    ]
+}
+
+fn ctx_on(backend: Arc<dyn Backend>, order: ReductionOrder) -> GpuContext {
+    GpuContext::with_backend(DeviceModel::v100_belos(), order, backend)
+}
+
+fn assert_results_identical(single: &SolveResult, block: &SolveResult, what: &str) {
+    assert_eq!(single.status, block.status, "{what}: status");
+    assert_eq!(single.iterations, block.iterations, "{what}: iterations");
+    assert_eq!(single.restarts, block.restarts, "{what}: restarts");
+    assert_eq!(
+        single.final_relative_residual.to_bits(),
+        block.final_relative_residual.to_bits(),
+        "{what}: final residual"
+    );
+    assert_eq!(
+        single.history.len(),
+        block.history.len(),
+        "{what}: history length"
+    );
+    for (i, (hs, hb)) in single.history.iter().zip(&block.history).enumerate() {
+        assert_eq!(hs.iteration, hb.iteration, "{what}: history[{i}] iteration");
+        assert_eq!(hs.kind, hb.kind, "{what}: history[{i}] kind");
+        assert_eq!(
+            hs.relative_residual.to_bits(),
+            hb.relative_residual.to_bits(),
+            "{what}: history[{i}] residual"
+        );
+    }
+}
+
+fn assert_reports_identical(single: &GpuContext, block: &GpuContext, what: &str) {
+    let (rs, rb) = (single.report(), block.report());
+    assert_eq!(
+        rs.total_seconds.to_bits(),
+        rb.total_seconds.to_bits(),
+        "{what}: total simulated seconds"
+    );
+    for cat in PaperCategory::ALL {
+        let s = rs.categories.get(&cat).copied().unwrap_or_default();
+        let b = rb.categories.get(&cat).copied().unwrap_or_default();
+        assert_eq!(s.calls, b.calls, "{what}: {cat} calls");
+        assert_eq!(s.bytes, b.bytes, "{what}: {cat} bytes");
+        assert_eq!(
+            s.seconds.to_bits(),
+            b.seconds.to_bits(),
+            "{what}: {cat} seconds"
+        );
+    }
+}
+
+/// k = 1 reproduces single-RHS GMRES bit-for-bit, including the
+/// simulated timing report, on both backends and both reduction orders.
+#[test]
+fn width_one_block_solve_is_bit_identical_to_gmres() {
+    let a = laplace2d_matrix(40);
+    let n = a.n();
+    let b = rhs(n, 1);
+    let cfg = GmresConfig::default().with_m(25).with_max_iters(5_000);
+    for (name, backend) in backends() {
+        for order in [ReductionOrder::Sequential, ReductionOrder::GPU_LIKE] {
+            let what = format!("{name}/{order:?}");
+            let mut ctx_s = ctx_on(backend.clone(), order);
+            let mut x_s = vec![0.0f64; n];
+            let res_s = Gmres::new(&a, &Identity, cfg).solve(&mut ctx_s, &b, &mut x_s);
+
+            let mut ctx_b = ctx_on(backend.clone(), order);
+            let bb = MultiVec::from_columns(&[&b]);
+            let mut xb = MultiVec::<f64>::zeros(n, 1);
+            let res_b = BlockGmres::new(&a, &Identity, cfg).solve(&mut ctx_b, &bb, &mut xb);
+
+            assert_eq!(res_b.len(), 1);
+            assert!(
+                res_s.status.is_converged(),
+                "{what}: single solve converged"
+            );
+            assert_results_identical(&res_s, &res_b[0], &what);
+            for (i, (xs, xb)) in x_s.iter().zip(xb.col(0)).enumerate() {
+                assert_eq!(xs.to_bits(), xb.to_bits(), "{what}: x[{i}]");
+            }
+            assert_reports_identical(&ctx_s, &ctx_b, &what);
+        }
+    }
+}
+
+/// k = 4 with heterogeneous right-hand sides: every column bit-identical
+/// to its independent solve, with columns converging at different
+/// iteration counts (so the deflation path really runs).
+#[test]
+fn width_four_columns_match_independent_solves() {
+    let a = laplace2d_matrix(40);
+    let n = a.n();
+    // Heterogeneous difficulty: a smooth RHS, two pseudo-random ones,
+    // and a near-sparse one converge at different iteration counts.
+    let b0: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 / n as f64)).collect();
+    let b1 = rhs(n, 2);
+    let b2 = rhs(n, 3);
+    let mut b3 = vec![0.0f64; n];
+    b3[0] = 1.0;
+    b3[n / 2] = -2.0;
+    let cols: Vec<&[f64]> = vec![&b0, &b1, &b2, &b3];
+    let cfg = GmresConfig::default().with_m(30).with_max_iters(5_000);
+
+    for (name, backend) in backends() {
+        let order = ReductionOrder::GPU_LIKE;
+        let mut singles = Vec::new();
+        for (l, b) in cols.iter().enumerate() {
+            let mut ctx = ctx_on(backend.clone(), order);
+            let mut x = vec![0.0f64; n];
+            let res = Gmres::new(&a, &Identity, cfg).solve(&mut ctx, b, &mut x);
+            assert!(res.status.is_converged(), "{name}: single col {l}");
+            singles.push((res, x));
+        }
+        let iters: Vec<usize> = singles.iter().map(|(r, _)| r.iterations).collect();
+        assert!(
+            iters.iter().any(|&i| i != iters[0]),
+            "{name}: columns should converge at different iterations, got {iters:?}"
+        );
+
+        let mut ctx_b = ctx_on(backend.clone(), order);
+        let bb = MultiVec::from_columns(&cols);
+        let mut xb = MultiVec::<f64>::zeros(n, 4);
+        let res_b = BlockGmres::new(&a, &Identity, cfg).solve(&mut ctx_b, &bb, &mut xb);
+        assert_eq!(res_b.len(), 4);
+        for (l, (res_s, x_s)) in singles.iter().enumerate() {
+            let what = format!("{name}: col {l}");
+            assert_results_identical(res_s, &res_b[l], &what);
+            for (i, (xs, xbv)) in x_s.iter().zip(xb.col(l)).enumerate() {
+                assert_eq!(xs.to_bits(), xbv.to_bits(), "{what}: x[{i}]");
+            }
+        }
+    }
+}
+
+/// Preconditioned parity (block Jacobi): the preconditioner is applied
+/// per column inside the block path and per solve outside; results must
+/// still be bit-identical, k = 1 and k = 4.
+#[test]
+fn preconditioned_block_solve_matches_independent_solves() {
+    let a = laplace2d_matrix(32);
+    let n = a.n();
+    let precond = BlockJacobi::build(&a, 8);
+    assert!(!precond.is_identity());
+    let cfg = GmresConfig::default().with_m(20).with_max_iters(3_000);
+    let cols: Vec<Vec<f64>> = (0..3).map(|l| rhs(n, 10 + l)).collect();
+    let col_refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+    let order = ReductionOrder::GPU_LIKE;
+
+    for (name, backend) in backends() {
+        let mut singles = Vec::new();
+        for b in &cols {
+            let mut ctx = ctx_on(backend.clone(), order);
+            let mut x = vec![0.0f64; n];
+            let res = Gmres::new(&a, &precond, cfg).solve(&mut ctx, b, &mut x);
+            assert!(res.status.is_converged(), "{name}: preconditioned single");
+            singles.push((res, x, ctx));
+        }
+        let mut ctx_b = ctx_on(backend.clone(), order);
+        let bb = MultiVec::from_columns(&col_refs);
+        let mut xb = MultiVec::<f64>::zeros(n, 3);
+        let res_b = BlockGmres::new(&a, &precond, cfg).solve(&mut ctx_b, &bb, &mut xb);
+        for (l, (res_s, x_s, _)) in singles.iter().enumerate() {
+            let what = format!("{name}: precond col {l}");
+            assert_results_identical(res_s, &res_b[l], &what);
+            for (xs, xbv) in x_s.iter().zip(xb.col(l)) {
+                assert_eq!(xs.to_bits(), xbv.to_bits(), "{what}");
+            }
+        }
+        // Width-1 preconditioned solve also reproduces the timing report.
+        let mut ctx_s1 = ctx_on(backend.clone(), order);
+        let mut x1 = vec![0.0f64; n];
+        Gmres::new(&a, &precond, cfg).solve(&mut ctx_s1, &cols[0], &mut x1);
+        let mut ctx_b1 = ctx_on(backend.clone(), order);
+        let b1 = MultiVec::from_columns(&[&cols[0]]);
+        let mut xb1 = MultiVec::<f64>::zeros(n, 1);
+        BlockGmres::new(&a, &precond, cfg).solve(&mut ctx_b1, &b1, &mut xb1);
+        assert_reports_identical(&ctx_s1, &ctx_b1, &format!("{name}: precond k=1"));
+    }
+}
+
+/// Degenerate columns (zero RHS, trivially convergent RHS) deflate
+/// immediately without disturbing the remaining columns.
+#[test]
+fn degenerate_columns_deflate_cleanly() {
+    let a = laplace2d_matrix(16);
+    let n = a.n();
+    let zero = vec![0.0f64; n];
+    let hard = rhs(n, 5);
+    let cfg = GmresConfig::default().with_m(12).with_max_iters(2_000);
+    let cols: Vec<&[f64]> = vec![&zero, &hard];
+    let mut ctx = ctx_on(Arc::new(ReferenceBackend), ReductionOrder::Sequential);
+    let bb = MultiVec::from_columns(&cols);
+    let mut xb = MultiVec::<f64>::zeros(n, 2);
+    let res = BlockGmres::new(&a, &Identity, cfg).solve(&mut ctx, &bb, &mut xb);
+    assert!(res[0].status.is_converged());
+    assert_eq!(res[0].iterations, 0);
+    assert!(xb.col(0).iter().all(|&v| v == 0.0));
+    assert!(res[1].status.is_converged());
+    assert!(res[1].iterations > 0);
+
+    // And a single-column zero block terminates immediately too.
+    let mut ctx2 = ctx_on(Arc::new(ReferenceBackend), ReductionOrder::Sequential);
+    let zb = MultiVec::from_columns(&[&zero[..]]);
+    let mut xz = MultiVec::<f64>::zeros(n, 1);
+    let rz = BlockGmres::new(&a, &Identity, cfg).solve(&mut ctx2, &zb, &mut xz);
+    assert_eq!(rz[0].iterations, 0);
+    assert!(rz[0].status.is_converged());
+}

@@ -25,6 +25,30 @@ pub fn spmv_time(
     dev.launch_overhead + bytes / (dev.dram_bw * dev.eff_spmv.get(p))
 }
 
+/// Time for the batched SpMM `Y = A X` over `k` right-hand sides: the
+/// matrix (values, indices, row pointers, and the bandwidth-dependent
+/// share of the first input vector) is streamed **once** per block, and
+/// each of the `k - 1` additional columns only adds its own input read
+/// and output write. This is the multi-RHS amortization the batched
+/// backend exists for.
+///
+/// At `k = 1` the byte count — and therefore the simulated time — is
+/// bit-identical to [`spmv_time`], which is what lets a width-1 block
+/// solve reproduce a single-RHS solve's timing report exactly.
+pub fn spmm_time(
+    dev: &DeviceModel,
+    n: usize,
+    nnz: usize,
+    bandwidth_rows: usize,
+    k: usize,
+    p: Precision,
+) -> f64 {
+    assert!(k >= 1, "spmm_time: block width must be >= 1");
+    let bytes = (analytic::spmv_traffic_bytes(dev, n, nnz, bandwidth_rows, p)
+        + (k - 1) * 2 * n * p.bytes()) as f64;
+    dev.launch_overhead + bytes / (dev.dram_bw * dev.eff_spmv.get(p))
+}
+
 /// Time for the fused residual `r = b - A x` (one SpMV plus streaming b).
 pub fn residual_time(
     dev: &DeviceModel,
@@ -51,6 +75,52 @@ pub fn gemv_t_time(dev: &DeviceModel, n: usize, ncols: usize, p: Precision) -> f
 pub fn gemv_n_time(dev: &DeviceModel, n: usize, ncols: usize, p: Precision) -> f64 {
     let bytes = ((ncols + 2) * n * p.bytes()) as f64;
     dev.launch_overhead + bytes / (dev.dram_bw * dev.eff_gemv_n.get(p))
+}
+
+/// Time for the batched GEMV-Trans (a tall-skinny GEMM): `k` independent
+/// `h_c = V_c^T w_c` projections fused into one launch with one host
+/// synchronization. Each right-hand side keeps its own Krylov basis, so
+/// the byte traffic is `k` times the single-vector projection; the
+/// amortization is in the launch and sync overheads. Bit-identical to
+/// [`gemv_t_time`] at `k = 1`.
+pub fn gemm_t_time(dev: &DeviceModel, n: usize, ncols: usize, k: usize, p: Precision) -> f64 {
+    let bytes = (k * (ncols + 1) * n * p.bytes()) as f64;
+    dev.launch_overhead + dev.host_sync / 2.0 + bytes / (dev.dram_bw * dev.eff_gemv_t.get(p))
+}
+
+/// Time for the batched GEMV-NoTrans (GEMM shape): `k` fused
+/// `w_c -= V_c h_c` updates in one launch. Bit-identical to
+/// [`gemv_n_time`] at `k = 1`.
+pub fn gemm_n_time(dev: &DeviceModel, n: usize, ncols: usize, k: usize, p: Precision) -> f64 {
+    let bytes = (k * (ncols + 2) * n * p.bytes()) as f64;
+    dev.launch_overhead + bytes / (dev.dram_bw * dev.eff_gemv_n.get(p))
+}
+
+/// Time for `k` fused column norms: one launch, one host sync, `k`
+/// vector streams. Bit-identical to [`norm_time`] at `k = 1`.
+pub fn block_norm_time(dev: &DeviceModel, n: usize, k: usize, p: Precision) -> f64 {
+    let bytes = (k * n * p.bytes()) as f64;
+    dev.launch_overhead + dev.host_sync + bytes / (dev.dram_bw * dev.eff_vec.get(p))
+}
+
+/// Time for `k` fused column dot products (see [`block_norm_time`]).
+pub fn block_dot_time(dev: &DeviceModel, n: usize, k: usize, p: Precision) -> f64 {
+    let bytes = (2 * k * n * p.bytes()) as f64;
+    dev.launch_overhead + dev.host_sync + bytes / (dev.dram_bw * dev.eff_vec.get(p))
+}
+
+/// Time for `k` fused column axpys. Bit-identical to [`axpy_time`] at
+/// `k = 1`.
+pub fn block_axpy_time(dev: &DeviceModel, n: usize, k: usize, p: Precision) -> f64 {
+    let bytes = (3 * k * n * p.bytes()) as f64;
+    dev.launch_overhead + bytes / (dev.dram_bw * dev.eff_vec.get(p))
+}
+
+/// Time for `k` fused column scalings. Bit-identical to [`scal_time`]
+/// at `k = 1`.
+pub fn block_scal_time(dev: &DeviceModel, n: usize, k: usize, p: Precision) -> f64 {
+    let bytes = (2 * k * n * p.bytes()) as f64;
+    dev.launch_overhead + bytes / (dev.dram_bw * dev.eff_vec.get(p))
 }
 
 /// Time for a 2-norm: streams the vector, then synchronizes the scalar
@@ -214,6 +284,71 @@ mod tests {
         let dev = cast_device_time(&d, n, Precision::Fp64, Precision::Fp32);
         let host = cast_host_time(&d, n, Precision::Fp64, Precision::Fp32);
         assert!(host > 10.0 * dev, "host {host} vs device {dev}");
+    }
+
+    /// The multi-RHS contract: every block cost at k = 1 is bit-for-bit
+    /// the single-vector cost (this is what makes a width-1 block solve
+    /// reproduce the single-RHS timing report exactly).
+    #[test]
+    fn block_costs_bit_identical_at_k1() {
+        let d = v100();
+        for p in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+            assert_eq!(
+                spmm_time(&d, N, NNZ, BW, 1, p).to_bits(),
+                spmv_time(&d, N, NNZ, BW, p).to_bits()
+            );
+            assert_eq!(
+                gemm_t_time(&d, N, 26, 1, p).to_bits(),
+                gemv_t_time(&d, N, 26, p).to_bits()
+            );
+            assert_eq!(
+                gemm_n_time(&d, N, 26, 1, p).to_bits(),
+                gemv_n_time(&d, N, 26, p).to_bits()
+            );
+            assert_eq!(
+                block_norm_time(&d, N, 1, p).to_bits(),
+                norm_time(&d, N, p).to_bits()
+            );
+            assert_eq!(
+                block_dot_time(&d, N, 1, p).to_bits(),
+                dot_time(&d, N, p).to_bits()
+            );
+            assert_eq!(
+                block_axpy_time(&d, N, 1, p).to_bits(),
+                axpy_time(&d, N, p).to_bits()
+            );
+            assert_eq!(
+                block_scal_time(&d, N, 1, p).to_bits(),
+                scal_time(&d, N, p).to_bits()
+            );
+        }
+    }
+
+    /// SpMM amortizes the matrix read: per-RHS time at k = 4 must be
+    /// well under the k = 1 SpMV time on the paper's BentPipe shape
+    /// (matrix traffic dominates, extra columns only stream vectors).
+    #[test]
+    fn spmm_amortizes_matrix_traffic() {
+        let d = v100();
+        for p in [Precision::Fp64, Precision::Fp32] {
+            let single = spmv_time(&d, N, NNZ, BW, p);
+            let per_rhs4 = spmm_time(&d, N, NNZ, BW, 4, p) / 4.0;
+            assert!(
+                per_rhs4 < 0.6 * single,
+                "{p:?}: per-RHS SpMM {per_rhs4:.3e} vs SpMV {single:.3e}"
+            );
+            // More RHS amortize more, monotonically.
+            let per_rhs8 = spmm_time(&d, N, NNZ, BW, 8, p) / 8.0;
+            assert!(per_rhs8 < per_rhs4);
+        }
+        // Batched GEMM/norms amortize launch+sync only (each RHS has its
+        // own basis), so per-RHS time still drops, slightly.
+        let g1 = gemm_t_time(&d, N, 26, 1, Precision::Fp64);
+        let g4 = gemm_t_time(&d, N, 26, 4, Precision::Fp64) / 4.0;
+        assert!(g4 < g1);
+        let n1 = block_norm_time(&d, N, 1, Precision::Fp64);
+        let n4 = block_norm_time(&d, N, 4, Precision::Fp64) / 4.0;
+        assert!(n4 < n1);
     }
 
     #[test]

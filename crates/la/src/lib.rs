@@ -33,6 +33,7 @@ pub mod dense;
 pub mod eig;
 pub mod givens;
 pub mod mtx;
+pub mod multivec;
 pub mod multivector;
 pub mod par;
 pub mod rcm;
@@ -44,5 +45,6 @@ pub use coo::Coo;
 pub use csr::Csr;
 pub use dense::DenseMat;
 pub use givens::GivensLsq;
+pub use multivec::MultiVec;
 pub use multivector::MultiVector;
 pub use vec_ops::ReductionOrder;

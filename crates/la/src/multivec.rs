@@ -1,0 +1,179 @@
+//! Column-major `n x k` block of right-hand-side / solution vectors.
+//!
+//! The batched multi-RHS path solves `A X = B` for a block of `k`
+//! right-hand sides at once, the kernel shape Aliaga et al.'s
+//! compressed-basis GMRES exploits on GPUs: one pass over the sparse
+//! matrix serves all `k` columns (SpMM instead of `k` SpMVs), and the
+//! CGS2 projections batch into GEMM-shaped calls. [`MultiVec`] is the
+//! storage for such a block — deliberately distinct from
+//! [`crate::multivector::MultiVector`], which holds one solve's Krylov
+//! *basis*; a `MultiVec` holds one vector *per right-hand side*.
+//!
+//! Block kernels take an explicit leading-column count `k` (mirroring
+//! `MultiVector`'s `ncols` idiom) so drivers can deflate converged
+//! columns by compacting the active ones into the leading positions.
+
+use mpgmres_scalar::Scalar;
+
+/// Column-major `n x k` dense block, one column per right-hand side.
+#[derive(Clone, Debug)]
+pub struct MultiVec<S> {
+    n: usize,
+    k: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> MultiVec<S> {
+    /// Allocate an `n x k` block initialized to zero.
+    pub fn zeros(n: usize, k: usize) -> Self {
+        MultiVec {
+            n,
+            k,
+            data: vec![S::zero(); n * k],
+        }
+    }
+
+    /// Build a block whose columns are copies of the given slices (all
+    /// the same length).
+    pub fn from_columns(cols: &[&[S]]) -> Self {
+        let n = cols.first().map(|c| c.len()).unwrap_or(0);
+        let mut mv = MultiVec::zeros(n, cols.len());
+        for (j, c) in cols.iter().enumerate() {
+            assert_eq!(c.len(), n, "from_columns: ragged column {j}");
+            mv.col_mut(j).copy_from_slice(c);
+        }
+        mv
+    }
+
+    /// Build a block of `k` copies of one vector.
+    pub fn replicate(v: &[S], k: usize) -> Self {
+        let mut mv = MultiVec::zeros(v.len(), k);
+        for j in 0..k {
+            mv.col_mut(j).copy_from_slice(v);
+        }
+        mv
+    }
+
+    /// Vector length (rows).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of columns (right-hand sides).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Borrow column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[S] {
+        debug_assert!(j < self.k);
+        &self.data[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Mutably borrow column `j`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [S] {
+        debug_assert!(j < self.k);
+        &mut self.data[j * self.n..(j + 1) * self.n]
+    }
+
+    /// The whole column-major backing store.
+    #[inline]
+    pub fn data(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Split the first `k` columns into row ranges: for each contiguous
+    /// `(start, end)` range in `parts` (which must tile `0..n` in
+    /// order), yield the `k` per-column mutable sub-slices covering
+    /// those rows. This is what lets a row-partitioned SpMM hand each
+    /// worker disjoint writable views of *every* output column without
+    /// unsafe code.
+    pub fn partition_rows_mut(&mut self, k: usize, parts: &[(usize, usize)]) -> Vec<Vec<&mut [S]>> {
+        assert!(k <= self.k, "partition_rows_mut: too many columns");
+        if let (Some(first), Some(last)) = (parts.first(), parts.last()) {
+            assert_eq!(first.0, 0, "partition_rows_mut: parts must start at row 0");
+            assert_eq!(
+                last.1, self.n,
+                "partition_rows_mut: parts must end at row n"
+            );
+        }
+        let n = self.n;
+        let mut out: Vec<Vec<&mut [S]>> = (0..parts.len()).map(|_| Vec::with_capacity(k)).collect();
+        let mut rest: &mut [S] = &mut self.data[..k * n];
+        for _ in 0..k {
+            let (col, tail) = rest.split_at_mut(n);
+            rest = tail;
+            let mut col_rest = col;
+            let mut prev = 0usize;
+            for (p, &(lo, hi)) in parts.iter().enumerate() {
+                assert_eq!(lo, prev, "partition_rows_mut: parts must be contiguous");
+                let (head, t) = col_rest.split_at_mut(hi - lo);
+                out[p].push(head);
+                col_rest = t;
+                prev = hi;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_disjoint() {
+        let mut mv = MultiVec::<f64>::zeros(4, 3);
+        mv.col_mut(1)[2] = 5.0;
+        assert_eq!(mv.col(0), &[0.0; 4]);
+        assert_eq!(mv.col(2), &[0.0; 4]);
+        assert_eq!(mv.col(1)[2], 5.0);
+        assert_eq!((mv.n(), mv.k()), (4, 3));
+    }
+
+    #[test]
+    fn from_columns_and_replicate() {
+        let a = [1.0f64, 2.0];
+        let b = [3.0f64, 4.0];
+        let mv = MultiVec::from_columns(&[&a, &b]);
+        assert_eq!(mv.col(0), &a);
+        assert_eq!(mv.col(1), &b);
+        let r = MultiVec::replicate(&a, 3);
+        for j in 0..3 {
+            assert_eq!(r.col(j), &a);
+        }
+    }
+
+    #[test]
+    fn partition_rows_mut_covers_all_cells() {
+        let mut mv = MultiVec::<f64>::zeros(7, 2);
+        let parts = [(0usize, 3usize), (3, 7)];
+        {
+            let slots = mv.partition_rows_mut(2, &parts);
+            assert_eq!(slots.len(), 2);
+            for (p, cols) in slots.into_iter().enumerate() {
+                assert_eq!(cols.len(), 2);
+                for (j, rows) in cols.into_iter().enumerate() {
+                    for (i, v) in rows.iter_mut().enumerate() {
+                        *v = (p * 100 + j * 10 + i) as f64;
+                    }
+                }
+            }
+        }
+        // Column 1, row 4 lands in part 1 (local row 1): 101.
+        assert_eq!(mv.col(1)[4], 111.0);
+        assert_eq!(mv.col(0)[0], 0.0);
+        assert_eq!(mv.col(0)[3], 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn partition_rows_mut_rejects_gaps() {
+        let mut mv = MultiVec::<f64>::zeros(6, 1);
+        let _ = mv.partition_rows_mut(1, &[(0, 2), (3, 6)]);
+    }
+}

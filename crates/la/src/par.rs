@@ -28,11 +28,33 @@
 use mpgmres_scalar::Scalar;
 
 use crate::csr::Csr;
+use crate::multivec::MultiVec;
 use crate::multivector::MultiVector;
 use crate::vec_ops::{self, ReductionOrder, PAR_THRESHOLD};
 
 /// Minimum stored nonzeros before SpMV/residual go parallel.
 pub const SPMV_PAR_THRESHOLD: usize = 1 << 15;
+
+/// Split `[0, len)` into at most `threads` contiguous `(start, end)`
+/// ranges — the row partition every row-parallel kernel uses. Exposed so
+/// backends can compute it once per `(len, threads)` pair and reuse it
+/// across kernel calls (the partition never affects results, only which
+/// thread computes which rows).
+pub fn row_partition(len: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.clamp(1, len.max(1));
+    let chunk = len.div_ceil(threads.max(1)).max(1);
+    let mut parts = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    while start < len {
+        let end = (start + chunk).min(len);
+        parts.push((start, end));
+        start = end;
+    }
+    if parts.is_empty() {
+        parts.push((0, 0));
+    }
+    parts
+}
 
 /// Number of worker threads to use: `MPGMRES_THREADS` if set, else the
 /// machine's available parallelism.
@@ -148,6 +170,35 @@ where
     });
 }
 
+/// Run `f(start, chunk)` for each precomputed contiguous `(start, end)`
+/// range of `data`, one scoped thread per range. The ranges must tile
+/// `0..data.len()` in order (as produced by [`row_partition`]); callers
+/// that cache partitions (see `mpgmres-backend`'s `ParallelBackend`) use
+/// this instead of recomputing the split on every kernel call.
+fn for_each_part_mut<S: Send, F>(parts: &[(usize, usize)], data: &mut [S], f: F)
+where
+    F: Fn(usize, &mut [S]) + Sync,
+{
+    if parts.len() <= 1 {
+        f(0, data);
+        return;
+    }
+    let len = data.len();
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut prev = 0usize;
+        let f = &f;
+        for &(lo, hi) in parts {
+            assert_eq!(lo, prev, "parts must be contiguous");
+            let (head, tail) = rest.split_at_mut(hi - lo);
+            scope.spawn(move || f(lo, head));
+            rest = tail;
+            prev = hi;
+        }
+        assert_eq!(prev, len, "parts must cover the data");
+    });
+}
+
 /// `y = A x`, rows partitioned across threads.
 ///
 /// Bit-identical to [`Csr::spmv`] (same per-row accumulation order).
@@ -163,6 +214,155 @@ pub fn spmv<S: Scalar>(threads: usize, a: &Csr<S>, x: &[S], y: &mut [S]) {
             *yr = a.spmv_row(start + i, x);
         }
     });
+}
+
+/// `y = A x` over a precomputed row partition (no threshold check; the
+/// caller decides when going parallel pays). Bit-identical to
+/// [`Csr::spmv`].
+pub fn spmv_parts<S: Scalar>(parts: &[(usize, usize)], a: &Csr<S>, x: &[S], y: &mut [S]) {
+    assert_eq!(x.len(), a.ncols(), "spmv: x length mismatch");
+    assert_eq!(y.len(), a.nrows(), "spmv: y length mismatch");
+    for_each_part_mut(parts, y, |start, chunk| {
+        for (i, yr) in chunk.iter_mut().enumerate() {
+            *yr = a.spmv_row(start + i, x);
+        }
+    });
+}
+
+/// `r = b - A x` over a precomputed row partition. Bit-identical to
+/// [`Csr::residual`].
+pub fn residual_parts<S: Scalar>(
+    parts: &[(usize, usize)],
+    a: &Csr<S>,
+    b: &[S],
+    x: &[S],
+    r: &mut [S],
+) {
+    assert_eq!(b.len(), a.nrows(), "residual: b length mismatch");
+    assert_eq!(x.len(), a.ncols(), "residual: x length mismatch");
+    assert_eq!(r.len(), a.nrows(), "residual: r length mismatch");
+    for_each_part_mut(parts, r, |start, chunk| {
+        for (i, rr) in chunk.iter_mut().enumerate() {
+            let row = start + i;
+            *rr = a.residual_row(row, b[row], x);
+        }
+    });
+}
+
+/// Fused SpMM `Y = A X` over the leading `k` columns: one pass over the
+/// CSR rows serves all `k` right-hand sides (the matrix values and
+/// indices are read once per block instead of once per column).
+///
+/// Per output column this accumulates in exactly the order of
+/// [`Csr::spmv`]'s per-row kernel, so the result is bit-identical to `k`
+/// independent SpMV calls — the multi-RHS determinism contract.
+pub fn spmm<S: Scalar>(threads: usize, a: &Csr<S>, x: &MultiVec<S>, k: usize, y: &mut MultiVec<S>) {
+    if a.nnz() < SPMV_PAR_THRESHOLD || threads <= 1 {
+        spmm_parts(&[(0, a.nrows())], a, x, k, y);
+        return;
+    }
+    spmm_parts(&row_partition(a.nrows(), threads), a, x, k, y);
+}
+
+/// Fused SpMM over a precomputed row partition (see [`spmm`]).
+pub fn spmm_parts<S: Scalar>(
+    parts: &[(usize, usize)],
+    a: &Csr<S>,
+    x: &MultiVec<S>,
+    k: usize,
+    y: &mut MultiVec<S>,
+) {
+    assert_eq!(x.n(), a.ncols(), "spmm: x row count mismatch");
+    assert_eq!(y.n(), a.nrows(), "spmm: y row count mismatch");
+    assert!(k <= x.k() && k <= y.k(), "spmm: too many columns");
+    let xcols: Vec<&[S]> = (0..k).map(|j| x.col(j)).collect();
+    let mut slots = y.partition_rows_mut(k, parts);
+    if parts.len() <= 1 {
+        if let (Some(&(lo, hi)), Some(cols)) = (parts.first(), slots.first_mut()) {
+            spmm_rows(a, &xcols, lo, hi, cols);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let xcols = &xcols;
+        for (&(lo, hi), mut cols) in parts.iter().zip(slots) {
+            scope.spawn(move || spmm_rows(a, xcols, lo, hi, &mut cols));
+        }
+    });
+}
+
+/// The per-worker SpMM loop: stream rows `[lo, hi)` once, updating all
+/// `k` accumulators per stored entry; each accumulator follows the exact
+/// left-to-right `mul_add` order of [`Csr::spmv`]. Common small widths
+/// dispatch to a const-generic body so the accumulators live in
+/// registers instead of a heap buffer.
+fn spmm_rows<S: Scalar>(a: &Csr<S>, xcols: &[&[S]], lo: usize, hi: usize, out: &mut [&mut [S]]) {
+    match xcols.len() {
+        1 => spmm_rows_fixed::<S, 1>(a, xcols, lo, hi, out),
+        2 => spmm_rows_fixed::<S, 2>(a, xcols, lo, hi, out),
+        3 => spmm_rows_fixed::<S, 3>(a, xcols, lo, hi, out),
+        4 => spmm_rows_fixed::<S, 4>(a, xcols, lo, hi, out),
+        5 => spmm_rows_fixed::<S, 5>(a, xcols, lo, hi, out),
+        6 => spmm_rows_fixed::<S, 6>(a, xcols, lo, hi, out),
+        7 => spmm_rows_fixed::<S, 7>(a, xcols, lo, hi, out),
+        8 => spmm_rows_fixed::<S, 8>(a, xcols, lo, hi, out),
+        _ => spmm_rows_dyn(a, xcols, lo, hi, out),
+    }
+}
+
+fn spmm_rows_fixed<S: Scalar, const K: usize>(
+    a: &Csr<S>,
+    xcols: &[&[S]],
+    lo: usize,
+    hi: usize,
+    out: &mut [&mut [S]],
+) {
+    debug_assert_eq!(xcols.len(), K);
+    let xc: &[&[S]; K] = xcols.try_into().expect("width checked by dispatch");
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let vals = a.vals();
+    for r in lo..hi {
+        let mut acc = [S::zero(); K];
+        for idx in row_ptr[r]..row_ptr[r + 1] {
+            let c = col_idx[idx] as usize;
+            let v = vals[idx];
+            for j in 0..K {
+                acc[j] = v.mul_add(xc[j][c], acc[j]);
+            }
+        }
+        for j in 0..K {
+            out[j][r - lo] = acc[j];
+        }
+    }
+}
+
+fn spmm_rows_dyn<S: Scalar>(
+    a: &Csr<S>,
+    xcols: &[&[S]],
+    lo: usize,
+    hi: usize,
+    out: &mut [&mut [S]],
+) {
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let vals = a.vals();
+    let mut acc = vec![S::zero(); xcols.len()];
+    for r in lo..hi {
+        for a_j in acc.iter_mut() {
+            *a_j = S::zero();
+        }
+        for idx in row_ptr[r]..row_ptr[r + 1] {
+            let c = col_idx[idx] as usize;
+            let v = vals[idx];
+            for (j, xc) in xcols.iter().enumerate() {
+                acc[j] = v.mul_add(xc[c], acc[j]);
+            }
+        }
+        for (j, a_j) in acc.iter().enumerate() {
+            out[j][r - lo] = *a_j;
+        }
+    }
 }
 
 /// `r = b - A x` (fused residual), rows partitioned across threads.
@@ -454,6 +654,67 @@ mod tests {
         let mut dst = vec![0.0; n];
         copy(8, &y_par, &mut dst);
         assert_eq!(dst, y_par);
+    }
+
+    #[test]
+    fn spmm_bit_identical_to_column_spmvs() {
+        for n in [64usize, 50_000] {
+            let a = big_laplace(n);
+            let k = 5;
+            let mut x = MultiVec::<f64>::zeros(n, k);
+            for j in 0..k {
+                let c = pseudo(n, 100 + j as u64);
+                x.col_mut(j).copy_from_slice(&c);
+            }
+            let mut y = MultiVec::<f64>::zeros(n, k);
+            spmm(8, &a, &x, k, &mut y);
+            for j in 0..k {
+                let mut y_ref = vec![0.0; n];
+                a.spmv(x.col(j), &mut y_ref);
+                assert_eq!(y.col(j), &y_ref[..], "n={n} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_parts_with_cached_partition_matches() {
+        let n = 10_000;
+        let a = big_laplace(n);
+        let k = 3;
+        let mut x = MultiVec::<f64>::zeros(n, k);
+        for j in 0..k {
+            let c = pseudo(n, 7 + j as u64);
+            x.col_mut(j).copy_from_slice(&c);
+        }
+        let parts = row_partition(n, 4);
+        assert!(parts.len() > 1 && parts.last().unwrap().1 == n);
+        let mut y = MultiVec::<f64>::zeros(n, k);
+        spmm_parts(&parts, &a, &x, k, &mut y);
+        let mut y1 = vec![0.0; n];
+        spmv_parts(&parts, &a, x.col(1), &mut y1);
+        assert_eq!(y.col(1), &y1[..]);
+        let mut y_ref = vec![0.0; n];
+        a.spmv(x.col(1), &mut y_ref);
+        assert_eq!(y1, y_ref);
+        // residual over the same cached partition.
+        let b = pseudo(n, 21);
+        let (mut r_seq, mut r_par) = (vec![0.0; n], vec![0.0; n]);
+        a.residual(&b, x.col(0), &mut r_seq);
+        residual_parts(&parts, &a, &b, x.col(0), &mut r_par);
+        assert_eq!(r_seq, r_par);
+    }
+
+    #[test]
+    fn row_partition_tiles_and_matches_chunking() {
+        for (len, threads) in [(10usize, 3usize), (16, 4), (7, 16), (1, 1), (100, 7)] {
+            let parts = row_partition(len, threads);
+            assert_eq!(parts[0].0, 0);
+            assert_eq!(parts.last().unwrap().1, len);
+            for w in parts.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+            assert!(parts.len() <= threads.max(1));
+        }
     }
 
     #[test]

@@ -176,7 +176,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Anything usable as the size parameter of [`vec`].
+    /// Anything usable as the size parameter of [`vec()`].
     pub trait IntoSizeRange {
         /// Inclusive lower and exclusive upper bound of the length.
         fn bounds(&self) -> (usize, usize);

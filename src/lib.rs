@@ -43,9 +43,9 @@ pub mod prelude {
     pub use mpgmres::precond::poly::PolyPreconditioner;
     pub use mpgmres::precond::{Identity, Preconditioner};
     pub use mpgmres::{
-        Backend, BackendKind, BackendScalar, FdConfig, Gmres, GmresConfig, GmresFd, GmresIr,
-        GmresIr3, GpuContext, GpuMatrix, Ir3Config, IrConfig, OrthoMethod, ParallelBackend,
-        ReferenceBackend, SolveResult, SolveStatus,
+        Backend, BackendKind, BackendScalar, BlockGmres, FdConfig, Gmres, GmresConfig, GmresFd,
+        GmresIr, GmresIr3, GpuContext, GpuMatrix, Ir3Config, IrConfig, MultiVec, OrthoMethod,
+        ParallelBackend, ReferenceBackend, SolveResult, SolveStatus,
     };
     pub use mpgmres_gpusim::{DeviceModel, KernelClass, PaperCategory};
     pub use mpgmres_scalar::{Half, Precision, Scalar};

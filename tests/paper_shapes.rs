@@ -3,6 +3,16 @@
 //!
 //! These are the claims EXPERIMENTS.md tracks; if a code change breaks
 //! one of them, the reproduction is broken even if unit tests pass.
+//!
+//! Each shape runs twice: a **downscaled default** (BentPipe 72², fast
+//! enough that tier-1 `cargo test -q` stays well under two minutes
+//! single-core) and a `#[ignore]`d **full-size** variant at the
+//! experiments' default 96² / 48² instances, exercised by the
+//! `paper-shapes-full` CI job (`cargo test -q -- --ignored`). 72² is
+//! the smallest BentPipe grid that preserves the paper's regimes — at
+//! 48² the coarse, strongly convective operator inflates IR's iteration
+//! count by ~1.5x and the IR-speedup band is lost; 64² still misses it
+//! (measured speedup 1.06, iteration gap 1.32).
 
 use multiprec_gmres::la::vec_ops::ReductionOrder;
 use multiprec_gmres::matgen::galeri;
@@ -13,21 +23,26 @@ fn ctx_for(n: usize, paper_n: usize) -> GpuContext {
     GpuContext::with_reduction(dev, ReductionOrder::Sequential)
 }
 
+/// Downscaled default BentPipe grid (see the module docs for why 72).
+const BENTPIPE_NX: usize = 72;
+/// The experiments' full default grid.
+const BENTPIPE_NX_FULL: usize = 96;
+
 /// Shared BentPipe instance in the many-iterations regime. The grid must
 /// be large enough that the fp32 inner solver tracks fp64 (at 48² the
 /// coarse, strongly convective operator inflates IR's iteration count by
-/// ~1.5x and the paper's regime is lost; 96² is the experiments' default).
-fn bentpipe() -> (GpuMatrix<f64>, Vec<f64>) {
-    let a = GpuMatrix::new(galeri::bentpipe2d(96, 0.5));
+/// ~1.5x and the paper's regime is lost; 96² is the experiments'
+/// default, 72² the smallest grid that keeps the regime).
+fn bentpipe(nx: usize) -> (GpuMatrix<f64>, Vec<f64>) {
+    let a = GpuMatrix::new(galeri::bentpipe2d(nx, 0.5));
     let b = vec![1.0f64; a.n()];
     (a, b)
 }
 
-#[test]
-fn shape_ir_speedup_on_slow_problems() {
+fn check_ir_speedup_on_slow_problems(nx: usize) {
     // Paper Table I/III: IR gives 1.2-1.5x on problems needing thousands
     // of iterations.
-    let (a, b) = bentpipe();
+    let (a, b) = bentpipe(nx);
     let mut c64 = ctx_for(a.n(), 2_250_000);
     let mut x = vec![0.0f64; a.n()];
     let r64 = Gmres::new(&a, &Identity, GmresConfig::default().with_max_iters(60_000))
@@ -53,9 +68,19 @@ fn shape_ir_speedup_on_slow_problems() {
 }
 
 #[test]
-fn shape_kernel_speedup_ordering() {
+fn shape_ir_speedup_on_slow_problems() {
+    check_ir_speedup_on_slow_problems(BENTPIPE_NX);
+}
+
+#[test]
+#[ignore = "full-size shape; run via the paper-shapes-full CI job"]
+fn shape_ir_speedup_on_slow_problems_full() {
+    check_ir_speedup_on_slow_problems(BENTPIPE_NX_FULL);
+}
+
+fn check_kernel_speedup_ordering(nx: usize) {
     // Paper Table I ordering: SpMV >> GEMV(NoTrans) > GEMV(Trans) > Norm.
-    let (a, b) = bentpipe();
+    let (a, b) = bentpipe(nx);
     let run = |ir: bool| {
         let mut c = ctx_for(a.n(), 2_250_000);
         let mut x = vec![0.0f64; a.n()];
@@ -95,9 +120,19 @@ fn shape_kernel_speedup_ordering() {
 }
 
 #[test]
-fn shape_fp32_floor_fp64_converges_ir_tracks() {
+fn shape_kernel_speedup_ordering() {
+    check_kernel_speedup_ordering(BENTPIPE_NX);
+}
+
+#[test]
+#[ignore = "full-size shape; run via the paper-shapes-full CI job"]
+fn shape_kernel_speedup_ordering_full() {
+    check_kernel_speedup_ordering(BENTPIPE_NX_FULL);
+}
+
+fn check_fp32_floor_fp64_converges_ir_tracks(nx: usize) {
     // Paper Fig. 3.
-    let (a, b) = bentpipe();
+    let (a, b) = bentpipe(nx);
     let mut x64 = vec![0.0f64; a.n()];
     let r64 = Gmres::new(&a, &Identity, GmresConfig::default().with_max_iters(60_000)).solve(
         &mut ctx_for(a.n(), 2_250_000),
@@ -135,10 +170,25 @@ fn shape_fp32_floor_fp64_converges_ir_tracks() {
 }
 
 #[test]
-fn shape_restart_size_tradeoff() {
+fn shape_fp32_floor_fp64_converges_ir_tracks() {
+    check_fp32_floor_fp64_converges_ir_tracks(BENTPIPE_NX);
+}
+
+#[test]
+#[ignore = "full-size shape; run via the paper-shapes-full CI job"]
+fn shape_fp32_floor_fp64_converges_ir_tracks_full() {
+    check_fp32_floor_fp64_converges_ir_tracks(BENTPIPE_NX_FULL);
+}
+
+fn check_restart_size_tradeoff(nx: usize, m_small: usize, m_big: usize) {
     // Paper Table II: larger m lowers fp64 iterations but raises time
-    // (orthogonalization dominates).
-    let (a, b) = bentpipe();
+    // (orthogonalization dominates). The comparison pair is
+    // size-dependent: at 96² the paper's 25-vs-100 pair shows it, but
+    // on smaller grids the iteration count collapses so fast with m
+    // that total time falls again past m = 50, so the downscaled
+    // variant compares 25 vs 50 (measured at 72²: 4498 iters/0.0293 s
+    // vs 3273 iters/0.0307 s — fewer iterations, more time).
+    let (a, b) = bentpipe(nx);
     let run_m = |m: usize| {
         let mut c = ctx_for(a.n(), 2_250_000);
         let mut x = vec![0.0f64; a.n()];
@@ -151,8 +201,8 @@ fn shape_restart_size_tradeoff() {
         assert!(r.status.is_converged(), "m={m}: {:?}", r.status);
         (r.iterations, c.elapsed())
     };
-    let (it_small, t_small) = run_m(25);
-    let (it_big, t_big) = run_m(100);
+    let (it_small, t_small) = run_m(m_small);
+    let (it_big, t_big) = run_m(m_big);
     assert!(it_big < it_small, "bigger subspace must lower iterations");
     assert!(
         t_big > t_small,
@@ -161,9 +211,19 @@ fn shape_restart_size_tradeoff() {
 }
 
 #[test]
-fn shape_fd_never_beats_ir_materially() {
+fn shape_restart_size_tradeoff() {
+    check_restart_size_tradeoff(BENTPIPE_NX, 25, 50);
+}
+
+#[test]
+#[ignore = "full-size shape; run via the paper-shapes-full CI job"]
+fn shape_restart_size_tradeoff_full() {
+    check_restart_size_tradeoff(BENTPIPE_NX_FULL, 25, 100);
+}
+
+fn check_fd_never_beats_ir_materially(nx: usize) {
     // Paper Figs. 1-2: the best tuned FD is at most on par with untuned IR.
-    let a = GpuMatrix::new(galeri::uniflow2d(48, 0.9));
+    let a = GpuMatrix::new(galeri::uniflow2d(nx, 0.9));
     let b = vec![1.0f64; a.n()];
     let paper_n = 6_250_000;
 
@@ -207,6 +267,17 @@ fn shape_fd_never_beats_ir_materially() {
 }
 
 #[test]
+fn shape_fd_never_beats_ir_materially() {
+    check_fd_never_beats_ir_materially(36);
+}
+
+#[test]
+#[ignore = "full-size shape; run via the paper-shapes-full CI job"]
+fn shape_fd_never_beats_ir_materially_full() {
+    check_fd_never_beats_ir_materially(48);
+}
+
+#[test]
 fn shape_half_inner_needs_more_refinements_than_fp32() {
     // The future-work third precision: fp16 inner cycles are weaker, so
     // more refinements are needed for the same tolerance.
@@ -233,4 +304,41 @@ fn shape_half_inner_needs_more_refinements_than_fp32() {
         r16.restarts,
         r32.restarts
     );
+}
+
+/// The batched multi-RHS path is guarded at tier-1 too: a k=3 BentPipe
+/// block solve must reproduce the single-RHS solves bit-for-bit (the
+/// full parity matrix lives in `crates/core/tests/block_parity.rs`).
+#[test]
+fn shape_multirhs_block_solve_matches_singles() {
+    let a = GpuMatrix::new(galeri::bentpipe2d(24, 0.5));
+    let n = a.n();
+    let cols: Vec<Vec<f64>> = (0..3)
+        .map(|j| {
+            (0..n)
+                .map(|i| 1.0 + j as f64 * 0.25 * (((i * 7 + j) % 13) as f64 / 13.0 - 0.5))
+                .collect()
+        })
+        .collect();
+    let cfg = GmresConfig::default().with_m(30).with_max_iters(20_000);
+    let mut singles = Vec::new();
+    for bcol in &cols {
+        let mut c = ctx_for(n, 2_250_000);
+        let mut x = vec![0.0f64; n];
+        let r = Gmres::new(&a, &Identity, cfg).solve(&mut c, bcol, &mut x);
+        assert!(r.status.is_converged());
+        singles.push((r, x));
+    }
+    let col_refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+    let b = MultiVec::from_columns(&col_refs);
+    let mut x = MultiVec::<f64>::zeros(n, 3);
+    let mut c = ctx_for(n, 2_250_000);
+    let results = BlockGmres::new(&a, &Identity, cfg).solve(&mut c, &b, &mut x);
+    for (l, (rs, xs)) in singles.iter().enumerate() {
+        assert_eq!(rs.status, results[l].status);
+        assert_eq!(rs.iterations, results[l].iterations, "rhs {l}");
+        for (a_, b_) in xs.iter().zip(x.col(l)) {
+            assert_eq!(a_.to_bits(), b_.to_bits(), "rhs {l}");
+        }
+    }
 }
