@@ -163,6 +163,46 @@ pub fn block_scalars<S: Scalar>(op: &'static str, x: &MultiVec<S>, k: usize, out
     );
 }
 
+/// Lane-set kernels: matching lane counts, per-lane equal lengths, and
+/// (when present) one scalar per lane.
+#[inline]
+pub fn lanes<S: Scalar>(op: &'static str, alpha: Option<&[S]>, srcs: &[&[S]], dsts: &[&mut [S]]) {
+    assert_eq!(
+        srcs.len(),
+        dsts.len(),
+        "backend {op}: {} sources but {} destinations",
+        srcs.len(),
+        dsts.len()
+    );
+    if let Some(alpha) = alpha {
+        assert_eq!(
+            alpha.len(),
+            srcs.len(),
+            "backend {op}: {} scalars for {} lanes",
+            alpha.len(),
+            srcs.len()
+        );
+    }
+    for (c, (s, d)) in srcs.iter().zip(dsts.iter()).enumerate() {
+        assert_eq!(
+            s.len(),
+            d.len(),
+            "backend {op}: lane {c} length mismatch ({} vs {})",
+            s.len(),
+            d.len()
+        );
+        // Lane sets are uniform-length by contract: the cost model and
+        // the parallel threshold both key off lane 0's length.
+        assert_eq!(
+            s.len(),
+            srcs[0].len(),
+            "backend {op}: lane {c} length {} differs from lane 0's {}",
+            s.len(),
+            srcs[0].len()
+        );
+    }
+}
+
 /// Two equal-length vectors (dot, axpy, copy).
 #[inline]
 pub fn same_len<S: Scalar>(op: &'static str, x: &[S], y: &[S]) {

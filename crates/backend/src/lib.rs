@@ -15,15 +15,25 @@
 //! Gmres / GmresIr / GmresIr3 / GmresFd / BlockGmres / preconditioners
 //!         |            (solver layer: mpgmres)
 //!         v
-//! GpuContext ── charges ──> gpusim::Profiler (simulated V100 time)
-//!         |
-//!         v  ScalarBackend<S> dispatch (BackendScalar)
-//! Backend trait object
+//! GpuContext ── charges ──> gpusim::Profiler (simulated V100 time,
+//!         |                  serial + critical-path timelines)
+//!         |── Stream (record) ──> stream::OpGraph ── submit ──┐
+//!         v  ScalarBackend<S> dispatch (BackendScalar)        v
+//! Backend trait object                            Backend::execute_batch
 //!    ├── ReferenceBackend   sequential, bit-deterministic (mpgmres-la)
-//!    └── ParallelBackend    std-thread row/column/block partitioned,
-//!         fused SpMM, cached row partitions
+//!    └── ParallelBackend    persistent pinned worker pool, cached
+//!         row/nnz partitions, fused SpMM, concurrent ready-op batches
 //!         (future: GPU backend, ...)
 //! ```
+//!
+//! Kernels can execute *eagerly* (each `GpuContext` method records and
+//! immediately syncs a single op) or through a *recorded stream*
+//! (`GpuContext::stream`), which enqueues typed [`stream::OpNode`]s,
+//! derives a dependency DAG from their read/write buffer spans, and at
+//! sync hands wavefronts of independent ready ops to
+//! [`Backend::execute_batch`]. Recorded execution is bit-identical to
+//! eager execution by construction — the DAG only relaxes ordering
+//! between ops that cannot observe each other (see [`stream`]).
 //!
 //! # Determinism contract
 //!
@@ -57,10 +67,14 @@ use mpgmres_la::csr::Csr;
 use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
 use mpgmres_la::par;
+use mpgmres_la::pool::{ScopedSpawn, WorkerPool};
 use mpgmres_la::vec_ops::{self, ReductionOrder};
 use mpgmres_scalar::{Half, Scalar};
 
 pub mod contracts;
+pub mod stream;
+
+use stream::ReadyOp;
 
 /// The kernel call surface for one working precision `S`.
 ///
@@ -196,6 +210,31 @@ pub trait ScalarBackend<S: Scalar> {
             self.copy(src.col(j), dst.col_mut(j));
         }
     }
+
+    // ----- batched lane-set kernels -----------------------------------
+    //
+    // `BlockGmres` keeps one Krylov basis per right-hand side, so its
+    // per-lane normalize/copy steps touch one standalone vector per
+    // lane. These kernels fuse the whole lane set into a single call;
+    // defaults loop the scalar kernels (exactly the sequence the driver
+    // used to issue one lane at a time), so any fused override must be —
+    // and the parallel one is — bit-identical per lane.
+
+    /// Per-lane copy: `dsts[c] = srcs[c]`.
+    fn lane_copy(&self, srcs: &[&[S]], dsts: &mut [&mut [S]]) {
+        for (s, d) in srcs.iter().zip(dsts.iter_mut()) {
+            self.copy(s, d);
+        }
+    }
+
+    /// Per-lane normalize-and-store: `dsts[c] = alpha[c] * srcs[c]`
+    /// (the fused copy-then-scal of a Krylov basis extension).
+    fn lane_scal_copy(&self, alpha: &[S], srcs: &[&[S]], dsts: &mut [&mut [S]]) {
+        for ((&a, s), d) in alpha.iter().zip(srcs).zip(dsts.iter_mut()) {
+            self.copy(s, d);
+            self.scal(a, d);
+        }
+    }
 }
 
 /// A complete kernel backend: [`ScalarBackend`] for every working
@@ -212,6 +251,15 @@ pub trait Backend:
     fn parallelism(&self) -> usize {
         1
     }
+
+    /// Execute one wavefront of a recorded kernel stream: a batch of
+    /// mutually independent ready ops (no read/write span conflicts —
+    /// see [`stream`]). Sequential backends run the batch in record
+    /// order ([`stream::run_batch_serial`]); parallel backends may run
+    /// the ops concurrently, which is safe because batched ops touch
+    /// disjoint memory, and bit-deterministic because every op is
+    /// executed by a bit-compatible kernel implementation.
+    fn execute_batch(&self, batch: Vec<ReadyOp>);
 }
 
 /// Routes a generic `S: Scalar` call site to the matching
@@ -287,30 +335,54 @@ impl Backend for ReferenceBackend {
     fn name(&self) -> &'static str {
         "reference"
     }
+
+    fn execute_batch(&self, batch: Vec<ReadyOp>) {
+        stream::run_batch_serial(self, batch);
+    }
 }
 
-/// Memoized row partitions, keyed by `(rows, workers)`.
+/// Row-partitioning policy for the matrix kernels (SpMV/SpMM/residual).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// Equal row counts per worker (default; right for uniform stencils).
+    #[default]
+    EvenRows,
+    /// Equal stored-nonzero counts per worker
+    /// ([`mpgmres_la::par::nnz_partition`]) — the work-balancing split
+    /// for skewed matrices (arrow heads, SuiteSparse surrogates).
+    NnzBalanced,
+}
+
+/// Memoized row partitions, keyed by `(rows, workers, nnz-salt)`.
 ///
 /// `ParallelBackend` used to recompute the contiguous row split inside
 /// every kernel call; matrix dimensions are stable across the thousands
 /// of SpMV/SpMM calls of a solve, so the split is computed once per
-/// shape here and shared by all clones of the backend (a first step
-/// toward the ROADMAP persistent-pool item, where the same cached
-/// ranges become per-worker assignments). Partitioning never affects
-/// results — it only decides which worker computes which rows.
+/// shape here and shared by all clones of the backend. The persistent
+/// worker pool pins job `i` of a cached partition to worker
+/// `i % threads`, so the same worker sees the same rows on every call.
+/// Even splits are keyed by shape alone; nnz-balanced splits add the
+/// matrix's nnz count to the key (two different matrices with identical
+/// `(rows, nnz)` would share a split, which can only cost balance, never
+/// correctness — partitioning only decides which worker computes which
+/// rows).
 #[derive(Debug, Default)]
 struct PartitionCache {
-    map: Mutex<HashMap<(usize, usize), SharedPartition>>,
+    map: Mutex<HashMap<(usize, usize, u64), SharedPartition>>,
 }
 
 /// A cached `(start, end)` row split, shared across kernel calls.
 type SharedPartition = Arc<Vec<(usize, usize)>>;
 
 impl PartitionCache {
-    fn get(&self, len: usize, threads: usize) -> SharedPartition {
+    fn get_with<F: FnOnce() -> Vec<(usize, usize)>>(
+        &self,
+        key: (usize, usize, u64),
+        compute: F,
+    ) -> SharedPartition {
         let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
-        map.entry((len, threads))
-            .or_insert_with(|| Arc::new(par::row_partition(len, threads)))
+        map.entry(key)
+            .or_insert_with(|| Arc::new(compute()))
             .clone()
     }
 }
@@ -318,14 +390,21 @@ impl PartitionCache {
 /// The std-thread parallel backend: row-partitioned SpMV/SpMM/residual,
 /// column-partitioned GEMV-Trans, row-partitioned GEMV-NoTrans, and
 /// block-parallel tree reductions — all bit-identical to
-/// [`ReferenceBackend`] (see the crate docs for the contract). Row
-/// partitions are computed once per matrix shape and memoized in a
-/// shared cache (hoisted out of the per-kernel hot path; a first step
-/// toward a persistent worker pool).
+/// [`ReferenceBackend`] (see the crate docs for the contract).
+///
+/// Kernels execute on a persistent pinned [`WorkerPool`] (no per-call
+/// thread spawn); row partitions are computed once per matrix shape —
+/// evenly by rows or balanced by nonzeros, per [`PartitionStrategy`] —
+/// and memoized in a shared cache whose ranges are pinned to pool
+/// workers. Recorded-stream batches with more than one ready op run the
+/// ops concurrently, one pool worker per op (see
+/// [`Backend::execute_batch`]).
 #[derive(Clone, Debug)]
 pub struct ParallelBackend {
     threads: usize,
+    strategy: PartitionStrategy,
     partitions: Arc<PartitionCache>,
+    pool: Arc<WorkerPool>,
 }
 
 impl ParallelBackend {
@@ -336,10 +415,19 @@ impl ParallelBackend {
 
     /// Backend with an explicit worker count (clamped to >= 1).
     pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
         ParallelBackend {
-            threads: threads.max(1),
+            threads,
+            strategy: PartitionStrategy::default(),
             partitions: Arc::new(PartitionCache::default()),
+            pool: Arc::new(WorkerPool::new(threads)),
         }
+    }
+
+    /// Select the matrix partitioning strategy (builder style).
+    pub fn with_strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Configured worker count.
@@ -347,10 +435,32 @@ impl ParallelBackend {
         self.threads
     }
 
-    /// The cached row partition for an `len`-row kernel (computed on
-    /// first use, shared across clones).
-    fn row_parts(&self, len: usize) -> SharedPartition {
-        self.partitions.get(len, self.threads)
+    /// The partitioning strategy in use.
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// The persistent worker pool kernels execute on.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The cached row partition for the matrix kernels: even rows or
+    /// nnz-balanced per [`PartitionStrategy`], computed on first use per
+    /// matrix shape and shared across clones.
+    fn matrix_parts<S: Scalar>(&self, a: &Csr<S>) -> SharedPartition {
+        match self.strategy {
+            PartitionStrategy::EvenRows => {
+                self.partitions.get_with((a.nrows(), self.threads, 0), || {
+                    par::row_partition(a.nrows(), self.threads)
+                })
+            }
+            PartitionStrategy::NnzBalanced => self
+                .partitions
+                .get_with((a.nrows(), self.threads, a.nnz() as u64), || {
+                    par::nnz_partition(a, self.threads)
+                }),
+        }
     }
 }
 
@@ -366,24 +476,134 @@ impl<S: Scalar> ScalarBackend<S> for ParallelBackend {
             a.spmv(x, y);
             return;
         }
-        par::spmv_parts(&self.row_parts(a.nrows()), a, x, y);
+        par::spmv_parts_on(&*self.pool, &self.matrix_parts(a), a, x, y);
     }
     fn residual(&self, a: &Csr<S>, b: &[S], x: &[S], r: &mut [S]) {
         if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
             a.residual(b, x, r);
             return;
         }
-        par::residual_parts(&self.row_parts(a.nrows()), a, b, x, r);
+        par::residual_parts_on(&*self.pool, &self.matrix_parts(a), a, b, x, r);
     }
     fn spmm(&self, a: &Csr<S>, x: &MultiVec<S>, k: usize, y: &mut MultiVec<S>) {
         // Fused: one pass over the matrix serves all k columns. Below
         // the parallel threshold the fused kernel still runs (single
-        // part, no spawn) — the matrix-read amortization is the point.
+        // part, no dispatch) — the matrix-read amortization is the point.
         if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
             par::spmm_parts(&[(0, a.nrows())], a, x, k, y);
             return;
         }
-        par::spmm_parts(&self.row_parts(a.nrows()), a, x, k, y);
+        par::spmm_parts_on(&*self.pool, &self.matrix_parts(a), a, x, k, y);
+    }
+    fn gemv_t(
+        &self,
+        v: &MultiVector<S>,
+        ncols: usize,
+        w: &[S],
+        h: &mut [S],
+        order: ReductionOrder,
+    ) {
+        par::gemv_t_on(&*self.pool, v, ncols, w, h, order);
+    }
+    fn gemv_n_sub(&self, v: &MultiVector<S>, ncols: usize, h: &[S], w: &mut [S]) {
+        par::gemv_n_sub_on(&*self.pool, v, ncols, h, w);
+    }
+    fn gemv_n_add(&self, v: &MultiVector<S>, ncols: usize, h: &[S], y: &mut [S]) {
+        par::gemv_n_add_on(&*self.pool, v, ncols, h, y);
+    }
+    fn dot(&self, x: &[S], y: &[S], order: ReductionOrder) -> S {
+        par::dot_on(&*self.pool, x, y, order)
+    }
+    fn norm2(&self, x: &[S], order: ReductionOrder) -> S {
+        par::norm2_on(&*self.pool, x, order)
+    }
+    fn axpy(&self, alpha: S, x: &[S], y: &mut [S]) {
+        par::axpy_on(&*self.pool, alpha, x, y);
+    }
+    fn scal(&self, alpha: S, x: &mut [S]) {
+        par::scal_on(&*self.pool, alpha, x);
+    }
+    fn copy(&self, src: &[S], dst: &mut [S]) {
+        par::copy_on(&*self.pool, src, dst);
+    }
+    fn lane_copy(&self, srcs: &[&[S]], dsts: &mut [&mut [S]]) {
+        par::lane_copy_on(&*self.pool, srcs, dsts);
+    }
+    fn lane_scal_copy(&self, alpha: &[S], srcs: &[&[S]], dsts: &mut [&mut [S]]) {
+        par::lane_scal_copy_on(&*self.pool, alpha, srcs, dsts);
+    }
+}
+
+impl Backend for ParallelBackend {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.threads
+    }
+
+    /// Multi-op batches run concurrently, one pinned pool worker per
+    /// op. The pool must not be re-entered from a worker, so each
+    /// concurrently executed op runs its kernels through a width-limited
+    /// scoped-spawn backend (`threads / batch_len` workers each — a
+    /// small batch on a wide pool keeps intra-op parallelism instead of
+    /// degrading to fully sequential kernels). By the determinism
+    /// contract every kernel is bit-identical across backends, so the
+    /// switch is unobservable in the results. A single ready op keeps
+    /// the full width of the pool-parallel kernels instead.
+    fn execute_batch(&self, batch: Vec<ReadyOp>) {
+        if batch.len() <= 1 || self.threads <= 1 {
+            stream::run_batch_serial(self, batch);
+            return;
+        }
+        // Divide the pool's width across the batch, spreading the
+        // remainder so no worker idles when threads % batch_len != 0
+        // (e.g. 4 workers, 3 ops -> widths 2, 1, 1).
+        let base = self.threads / batch.len();
+        let extra = self.threads % batch.len();
+        let inners: Vec<SpawnBackend> = (0..batch.len())
+            .map(|i| SpawnBackend {
+                threads: (base + usize::from(i < extra)).max(1),
+            })
+            .collect();
+        let slots: Vec<Mutex<Option<ReadyOp>>> =
+            batch.into_iter().map(|op| Mutex::new(Some(op))).collect();
+        self.pool.run(slots.len(), |i| {
+            let op = slots[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("batch op executed twice");
+            (op.exec)(&inners[i]);
+        });
+    }
+}
+
+/// Width-limited scoped-spawn backend: the execution context handed to
+/// each op of a concurrent stream batch. It reuses the per-call
+/// scoped-spawn kernels (the pre-pool dispatch style), so it can run
+/// inside a pool worker without re-entering the pool; at `threads = 1`
+/// every kernel takes the sequential path. Bit-identical to the other
+/// backends by the determinism contract. Known limitations (tracked in
+/// ROADMAP.md under "nested pool reservations"): ops executed here pay
+/// scoped-spawn dispatch again, and matrix kernels use even row splits
+/// regardless of the outer backend's [`PartitionStrategy`] — neither
+/// affects results, only multicore wall-clock.
+#[derive(Debug)]
+struct SpawnBackend {
+    threads: usize,
+}
+
+impl<S: Scalar> ScalarBackend<S> for SpawnBackend {
+    fn spmv(&self, a: &Csr<S>, x: &[S], y: &mut [S]) {
+        par::spmv(self.threads, a, x, y);
+    }
+    fn residual(&self, a: &Csr<S>, b: &[S], x: &[S], r: &mut [S]) {
+        par::residual(self.threads, a, b, x, r);
+    }
+    fn spmm(&self, a: &Csr<S>, x: &MultiVec<S>, k: usize, y: &mut MultiVec<S>) {
+        par::spmm(self.threads, a, x, k, y);
     }
     fn gemv_t(
         &self,
@@ -416,15 +636,25 @@ impl<S: Scalar> ScalarBackend<S> for ParallelBackend {
     fn copy(&self, src: &[S], dst: &mut [S]) {
         par::copy(self.threads, src, dst);
     }
+    fn lane_copy(&self, srcs: &[&[S]], dsts: &mut [&mut [S]]) {
+        par::lane_copy_on(&ScopedSpawn(self.threads), srcs, dsts);
+    }
+    fn lane_scal_copy(&self, alpha: &[S], srcs: &[&[S]], dsts: &mut [&mut [S]]) {
+        par::lane_scal_copy_on(&ScopedSpawn(self.threads), alpha, srcs, dsts);
+    }
 }
 
-impl Backend for ParallelBackend {
+impl Backend for SpawnBackend {
     fn name(&self) -> &'static str {
-        "parallel"
+        "parallel-spawn"
     }
 
     fn parallelism(&self) -> usize {
         self.threads
+    }
+
+    fn execute_batch(&self, batch: Vec<ReadyOp>) {
+        stream::run_batch_serial(self, batch);
     }
 }
 
@@ -434,19 +664,29 @@ pub enum BackendKind {
     /// Sequential reference kernels (default).
     #[default]
     Reference,
-    /// Std-thread parallel kernels.
+    /// Std-thread parallel kernels (even row split).
     Parallel,
+    /// Std-thread parallel kernels with nnz-balanced matrix partitions
+    /// (for skewed matrices).
+    ParallelNnz,
 }
 
 impl BackendKind {
     /// All selectable kinds.
-    pub const ALL: [BackendKind; 2] = [BackendKind::Reference, BackendKind::Parallel];
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Reference,
+        BackendKind::Parallel,
+        BackendKind::ParallelNnz,
+    ];
 
     /// Instantiate the backend.
     pub fn create(self) -> Arc<dyn Backend> {
         match self {
             BackendKind::Reference => Arc::new(ReferenceBackend),
             BackendKind::Parallel => Arc::new(ParallelBackend::new()),
+            BackendKind::ParallelNnz => {
+                Arc::new(ParallelBackend::new().with_strategy(PartitionStrategy::NnzBalanced))
+            }
         }
     }
 
@@ -455,6 +695,7 @@ impl BackendKind {
         match self {
             BackendKind::Reference => "reference",
             BackendKind::Parallel => "parallel",
+            BackendKind::ParallelNnz => "parallel-nnz",
         }
     }
 }
@@ -466,8 +707,9 @@ impl std::str::FromStr for BackendKind {
         match s {
             "reference" | "ref" | "seq" | "sequential" => Ok(BackendKind::Reference),
             "parallel" | "par" | "threads" => Ok(BackendKind::Parallel),
+            "parallel-nnz" | "nnz" => Ok(BackendKind::ParallelNnz),
             other => Err(format!(
-                "unknown backend `{other}` (expected reference|parallel)"
+                "unknown backend `{other}` (expected reference|parallel|parallel-nnz)"
             )),
         }
     }

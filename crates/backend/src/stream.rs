@@ -1,0 +1,337 @@
+//! Recorded kernel streams: typed op nodes, the read/write dependency
+//! DAG, and deferred batch submission.
+//!
+//! Real GPU GMRES implementations hide launch latency by recording
+//! kernels into streams/graphs and letting the driver overlap
+//! independent work. This module is the workspace's equivalent: a
+//! recorder (`mpgmres::Stream`, built on these types) enqueues one
+//! [`OpNode`] per kernel call, each carrying the *byte spans* the kernel
+//! reads and writes; [`OpGraph`] derives the dependency DAG from span
+//! overlap (read-after-write, write-after-write, and write-after-read
+//! all order; concurrent reads do not); and [`submit`] walks the DAG in
+//! wavefronts, handing each batch of mutually independent ready ops to
+//! [`Backend::execute_batch`] for execution.
+//!
+//! # Determinism
+//!
+//! Two ops land in the same batch only if their spans do not conflict —
+//! they touch disjoint memory (or only share reads) — so *any* execution
+//! order or interleaving of a batch produces bit-identical memory
+//! contents. Dependent ops are always in distinct batches, and batches
+//! execute strictly in sequence. Recorded execution is therefore
+//! bit-identical to eager in-order execution by construction; the DAG
+//! only ever *relaxes* ordering between operations that cannot observe
+//! each other.
+//!
+//! # Safety model
+//!
+//! Recorded ops capture raw views ([`RawSlice`], [`RawSliceMut`],
+//! [`RawRef`]) of the caller's buffers, exactly like a device API holds
+//! buffer handles across an asynchronous launch. The recorder upholds
+//! the stream contract: every captured buffer outlives the stream, and
+//! the host neither reads nor writes a recorded buffer between record
+//! and sync. `mpgmres::Stream` documents the same contract to solver
+//! authors; all dereferences happen inside [`submit`], which the
+//! recorder runs before the borrows it took at record time can expire.
+
+use crate::Backend;
+
+/// A half-open range of host addresses used as a dependency token for
+/// one buffer a kernel touches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    lo: usize,
+    hi: usize,
+}
+
+impl Span {
+    /// The address span of a slice.
+    pub fn of<T>(s: &[T]) -> Span {
+        let lo = s.as_ptr() as usize;
+        Span {
+            lo,
+            hi: lo + std::mem::size_of_val(s),
+        }
+    }
+
+    /// The address span of a single value (norm results and other
+    /// device-to-host scalars).
+    pub fn of_value<T>(v: &T) -> Span {
+        let lo = v as *const T as usize;
+        Span {
+            lo,
+            hi: lo + std::mem::size_of::<T>(),
+        }
+    }
+
+    /// A raw byte range (for tests and synthetic graphs).
+    pub fn from_range(lo: usize, hi: usize) -> Span {
+        assert!(lo <= hi, "span: lo must not exceed hi");
+        Span { lo, hi }
+    }
+
+    /// Whether two spans share at least one byte.
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// Smallest span covering both (used to summarize a contiguous run
+    /// of basis columns as one dependency token).
+    pub fn hull(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+/// One recorded kernel: a label for diagnostics plus the buffer spans it
+/// reads and writes. The spans are the *entire* dependency interface —
+/// the DAG builder never looks inside the op.
+#[derive(Clone, Debug)]
+pub struct OpNode {
+    /// Kernel name for diagnostics (`"spmv"`, `"gemv_t"`, ...).
+    pub label: &'static str,
+    /// Buffers the op reads.
+    pub reads: Vec<Span>,
+    /// Buffers the op writes (read-modify-write buffers belong here).
+    pub writes: Vec<Span>,
+}
+
+impl OpNode {
+    /// New node with the given read/write sets.
+    pub fn new(label: &'static str, reads: Vec<Span>, writes: Vec<Span>) -> Self {
+        OpNode {
+            label,
+            reads,
+            writes,
+        }
+    }
+}
+
+/// Whether `later` must wait for `earlier`: true on any RAW
+/// (earlier-write feeding later-read), WAW (write-write), or WAR
+/// (later-write clobbering an earlier read) span overlap.
+pub fn conflicts(earlier: &OpNode, later: &OpNode) -> bool {
+    let hits = |xs: &[Span], ys: &[Span]| xs.iter().any(|x| ys.iter().any(|y| x.overlaps(y)));
+    hits(&earlier.writes, &later.reads)
+        || hits(&earlier.writes, &later.writes)
+        || hits(&earlier.reads, &later.writes)
+}
+
+/// The dependency DAG over a recorded op sequence. Edges point from each
+/// op to the earlier ops it must wait for, derived purely from span
+/// conflicts at [`OpGraph::push`] time.
+#[derive(Debug, Default)]
+pub struct OpGraph {
+    nodes: Vec<OpNode>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl OpGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        OpGraph::default()
+    }
+
+    /// Number of recorded ops.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no ops have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Record an op, deriving its dependencies on every earlier
+    /// conflicting op. Returns the op's index.
+    pub fn push(&mut self, node: OpNode) -> usize {
+        let deps: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| conflicts(&self.nodes[i], &node))
+            .collect();
+        self.nodes.push(node);
+        self.preds.push(deps);
+        self.nodes.len() - 1
+    }
+
+    /// The node at `index`.
+    pub fn node(&self, index: usize) -> &OpNode {
+        &self.nodes[index]
+    }
+
+    /// Indices of the ops `index` must wait for.
+    pub fn preds(&self, index: usize) -> &[usize] {
+        &self.preds[index]
+    }
+
+    /// Topological wavefronts: batch `b` holds every op whose
+    /// predecessors all sit in batches `< b`, in record order within a
+    /// batch. Ops inside one batch are mutually conflict-free (any two
+    /// conflicting ops have an edge, which forces distinct batches), so
+    /// a backend may execute a batch in any order or concurrently.
+    pub fn batches(&self) -> Vec<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut level = vec![0usize; n];
+        let mut height = 0usize;
+        for i in 0..n {
+            let l = self.preds[i]
+                .iter()
+                .map(|&p| level[p] + 1)
+                .max()
+                .unwrap_or(0);
+            level[i] = l;
+            height = height.max(l + 1);
+        }
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); height.min(n)];
+        for i in 0..n {
+            out[level[i]].push(i);
+        }
+        out
+    }
+}
+
+/// The execution payload of a recorded op: runs the kernel against a
+/// backend, dereferencing the raw views captured at record time.
+pub type ExecOp = Box<dyn FnOnce(&dyn Backend) + Send>;
+
+/// One ready op of a submitted batch: its record-order index (backends
+/// executing serially run batches in index order for reproducible
+/// diagnostics) and its execution payload.
+pub struct ReadyOp {
+    /// Record-order index in the stream.
+    pub index: usize,
+    /// The kernel launch.
+    pub exec: ExecOp,
+}
+
+/// Execute a batch serially in record order — the baseline
+/// [`Backend::execute_batch`] every sequential backend uses.
+pub fn run_batch_serial(backend: &dyn Backend, batch: Vec<ReadyOp>) {
+    for op in batch {
+        (op.exec)(backend);
+    }
+}
+
+/// Submit a recorded graph: walk the wavefront batches in order, handing
+/// each to `backend.execute_batch`. `execs[i]` must hold op `i`'s
+/// payload; ops without a payload (already taken, or pure bookkeeping)
+/// are skipped.
+pub fn submit(graph: &OpGraph, mut execs: Vec<Option<ExecOp>>, backend: &dyn Backend) {
+    assert_eq!(execs.len(), graph.len(), "submit: payload count mismatch");
+    for batch in graph.batches() {
+        let ready: Vec<ReadyOp> = batch
+            .into_iter()
+            .filter_map(|index| execs[index].take().map(|exec| ReadyOp { index, exec }))
+            .collect();
+        if !ready.is_empty() {
+            backend.execute_batch(ready);
+        }
+    }
+}
+
+// ----- raw views -------------------------------------------------------
+
+// The captured buffer handles of a recorded op — one audited
+// implementation lives in `mpgmres_la::raw` (shared with the parallel
+// kernel dispatchers) and is re-exported here as part of the stream
+// surface. All carry the stream contract: the underlying borrow must
+// outlive the stream, and the host must not touch the buffer until
+// sync. See `mpgmres_la::raw` for the pointer-provenance caveat.
+pub use mpgmres_la::raw::{RawMut, RawRef, RawSlice, RawSliceMut};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(label: &'static str, reads: &[(usize, usize)], writes: &[(usize, usize)]) -> OpNode {
+        OpNode::new(
+            label,
+            reads
+                .iter()
+                .map(|&(lo, hi)| Span::from_range(lo, hi))
+                .collect(),
+            writes
+                .iter()
+                .map(|&(lo, hi)| Span::from_range(lo, hi))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn span_overlap_is_half_open() {
+        let a = Span::from_range(0, 8);
+        let b = Span::from_range(8, 16);
+        assert!(!a.overlaps(&b));
+        assert!(!b.overlaps(&a));
+        let c = Span::from_range(7, 9);
+        assert!(a.overlaps(&c) && c.overlaps(&b));
+        let v = [1.0f64; 4];
+        let s = Span::of(&v[..2]);
+        let t = Span::of(&v[2..]);
+        assert!(!s.overlaps(&t));
+        assert!(Span::of(&v[..]).overlaps(&s));
+        assert!(Span::of_value(&v[0]).overlaps(&s));
+    }
+
+    #[test]
+    fn raw_and_war_and_waw_all_order() {
+        let w = node("w", &[], &[(0, 8)]);
+        let raw = node("raw", &[(0, 8)], &[]);
+        let war = node("war", &[], &[(4, 12)]);
+        let unrelated = node("free", &[(100, 108)], &[(200, 208)]);
+        assert!(conflicts(&w, &raw), "read-after-write");
+        assert!(conflicts(&raw, &war), "write-after-read");
+        assert!(conflicts(&w, &war), "write-after-write");
+        assert!(!conflicts(&w, &unrelated));
+        // Two pure readers never conflict.
+        let r2 = node("r2", &[(0, 8)], &[]);
+        assert!(!conflicts(&raw, &r2));
+    }
+
+    #[test]
+    fn chain_graph_is_one_op_per_batch() {
+        let mut g = OpGraph::new();
+        g.push(node("a", &[], &[(0, 8)]));
+        g.push(node("b", &[(0, 8)], &[(8, 16)]));
+        g.push(node("c", &[(8, 16)], &[(16, 24)]));
+        assert_eq!(g.preds(1), &[0]);
+        assert_eq!(g.preds(2), &[1]);
+        let batches = g.batches();
+        assert_eq!(batches, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn independent_ops_share_a_batch() {
+        let mut g = OpGraph::new();
+        g.push(node("a", &[(64, 72)], &[(0, 8)]));
+        g.push(node("b", &[(64, 72)], &[(8, 16)])); // shares only a read
+        g.push(node("c", &[(0, 8), (8, 16)], &[(16, 24)])); // joins both
+        let batches = g.batches();
+        assert_eq!(batches, vec![vec![0, 1], vec![2]]);
+        assert_eq!(g.preds(2), &[0, 1]);
+    }
+
+    #[test]
+    fn submit_respects_batch_order() {
+        use std::sync::{Arc, Mutex};
+        let mut g = OpGraph::new();
+        g.push(node("a", &[], &[(0, 8)]));
+        g.push(node("b", &[(0, 8)], &[(8, 16)]));
+        g.push(node("free", &[], &[(32, 40)]));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let execs: Vec<Option<ExecOp>> = (0..3)
+            .map(|i| {
+                let log = Arc::clone(&log);
+                Some(Box::new(move |_: &dyn Backend| {
+                    log.lock().unwrap().push(i);
+                }) as ExecOp)
+            })
+            .collect();
+        submit(&g, execs, &crate::ReferenceBackend);
+        let order = log.lock().unwrap().clone();
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert_eq!(order.len(), 3);
+        assert!(pos(0) < pos(1), "dependent pair reordered: {order:?}");
+    }
+}

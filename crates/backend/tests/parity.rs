@@ -283,6 +283,45 @@ fn block_gemv_bit_identical_to_column_gemvs() {
     }
 }
 
+/// Lane-set kernels (the fused per-lane copy / normalize-and-store of
+/// the lockstep multi-RHS driver): the parallel backend's fused override
+/// is bit-identical to the reference default (copy then scal, per lane)
+/// at sizes straddling the parallel threshold.
+#[test]
+fn lane_kernels_bit_identical_across_backends() {
+    let reference = ReferenceBackend;
+    let parallel = ParallelBackend::with_threads(4);
+    for &n in &SIZES {
+        let k = 3;
+        let srcs_data: Vec<Vec<f64>> = (0..k).map(|j| pseudo_vec(n, 60 + j as u64)).collect();
+        let srcs: Vec<&[f64]> = srcs_data.iter().map(|s| s.as_slice()).collect();
+        let alpha = [0.5f64, -1.25, 3.5];
+
+        let run = |backend: &dyn ScalarBackend<f64>| {
+            let mut scaled: Vec<Vec<f64>> = (0..k).map(|_| vec![0.0; n]).collect();
+            {
+                let mut dsts: Vec<&mut [f64]> =
+                    scaled.iter_mut().map(|d| d.as_mut_slice()).collect();
+                backend.lane_scal_copy(&alpha, &srcs, &mut dsts);
+            }
+            let mut copied: Vec<Vec<f64>> = (0..k).map(|_| vec![0.0; n]).collect();
+            {
+                let mut dsts: Vec<&mut [f64]> =
+                    copied.iter_mut().map(|d| d.as_mut_slice()).collect();
+                backend.lane_copy(&srcs, &mut dsts);
+            }
+            (scaled, copied)
+        };
+        let (s_ref, c_ref) = run(&reference);
+        let (s_par, c_par) = run(&parallel);
+        assert_eq!(s_ref, s_par, "lane_scal_copy n={n}");
+        assert_eq!(c_ref, c_par, "lane_copy n={n}");
+        for j in 0..k {
+            assert_eq!(c_ref[j], srcs_data[j], "lane_copy content n={n} lane {j}");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -1,0 +1,171 @@
+//! Property tests for the recorded-stream dependency DAG: the scheduler
+//! must never reorder dependent ops, for any random read/write span
+//! sets, on any backend (including the parallel backend's concurrent
+//! batch execution).
+
+use std::sync::{Arc, Mutex};
+
+use mpgmres_backend::stream::{conflicts, submit, ExecOp, OpGraph, OpNode, Span};
+use mpgmres_backend::{Backend, ParallelBackend, ReferenceBackend};
+use proptest::prelude::*;
+
+/// A synthetic op over an arena of `NBUF` fixed 64-byte buffers.
+#[derive(Clone, Debug)]
+struct SynthOp {
+    reads: Vec<usize>,
+    writes: Vec<usize>,
+}
+
+const NBUF: usize = 8;
+
+fn buf_span(b: usize) -> Span {
+    Span::from_range(b * 64, b * 64 + 64)
+}
+
+fn to_node(op: &SynthOp) -> OpNode {
+    OpNode::new(
+        "synth",
+        op.reads.iter().map(|&b| buf_span(b)).collect(),
+        op.writes.iter().map(|&b| buf_span(b)).collect(),
+    )
+}
+
+/// Decode a u32 mask pair into buffer index sets.
+fn decode(mask_r: u32, mask_w: u32) -> SynthOp {
+    let pick = |mask: u32| (0..NBUF).filter(|b| mask & (1 << b) != 0).collect();
+    SynthOp {
+        reads: pick(mask_r),
+        writes: pick(mask_w),
+    }
+}
+
+/// Run the scheduler over the ops on `backend`, returning the observed
+/// execution order (one entry per op, the op's record index).
+fn schedule_and_log(ops: &[SynthOp], backend: &dyn Backend) -> Vec<usize> {
+    let mut graph = OpGraph::new();
+    for op in ops {
+        graph.push(to_node(op));
+    }
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let execs: Vec<Option<ExecOp>> = (0..ops.len())
+        .map(|i| {
+            let log = Arc::clone(&log);
+            Some(Box::new(move |_: &dyn Backend| {
+                log.lock().unwrap().push(i);
+            }) as ExecOp)
+        })
+        .collect();
+    submit(&graph, execs, backend);
+    Arc::try_unwrap(log).unwrap().into_inner().unwrap()
+}
+
+fn check_order(ops: &[SynthOp], order: &[usize], what: &str) {
+    assert_eq!(order.len(), ops.len(), "{what}: every op runs exactly once");
+    let mut seen = vec![false; ops.len()];
+    for &i in order {
+        assert!(!seen[i], "{what}: op {i} ran twice");
+        seen[i] = true;
+    }
+    let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+    for i in 0..ops.len() {
+        for j in (i + 1)..ops.len() {
+            if conflicts(&to_node(&ops[i]), &to_node(&ops[j])) {
+                assert!(
+                    pos(i) < pos(j),
+                    "{what}: dependent pair ({i}, {j}) reordered: {order:?} (ops {ops:?})"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For random op sequences with random read/write sets, the
+    /// scheduler preserves the order of every conflicting pair on both
+    /// the serial and the concurrent (pool) execution path.
+    #[test]
+    fn dependent_ops_never_reorder(
+        masks in proptest::collection::vec((0u32..(1 << NBUF), 0u32..(1 << NBUF)), 1..24),
+        threads in 2usize..5,
+    ) {
+        let ops: Vec<SynthOp> = masks.iter().map(|&(r, w)| decode(r, w)).collect();
+        let serial = schedule_and_log(&ops, &ReferenceBackend);
+        check_order(&ops, &serial, "reference");
+        let parallel = ParallelBackend::with_threads(threads);
+        let concurrent = schedule_and_log(&ops, &parallel);
+        check_order(&ops, &concurrent, "parallel");
+    }
+
+    /// The wavefront batches partition the ops and are internally
+    /// conflict-free (the property that makes concurrent batch
+    /// execution safe).
+    #[test]
+    fn batches_partition_and_are_conflict_free(
+        masks in proptest::collection::vec((0u32..(1 << NBUF), 0u32..(1 << NBUF)), 1..24),
+    ) {
+        let ops: Vec<SynthOp> = masks.iter().map(|&(r, w)| decode(r, w)).collect();
+        let mut graph = OpGraph::new();
+        for op in &ops {
+            graph.push(to_node(op));
+        }
+        let batches = graph.batches();
+        let mut seen = vec![false; ops.len()];
+        for batch in &batches {
+            for (a, &i) in batch.iter().enumerate() {
+                prop_assert!(!seen[i], "op {} in two batches", i);
+                seen[i] = true;
+                for &j in &batch[a + 1..] {
+                    prop_assert!(
+                        !conflicts(&to_node(&ops[i]), &to_node(&ops[j]))
+                            && !conflicts(&to_node(&ops[j]), &to_node(&ops[i])),
+                        "conflicting ops {} and {} share a batch",
+                        i,
+                        j
+                    );
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "batches must cover every op");
+        // And each op's preds sit in strictly earlier batches.
+        let batch_of = |i: usize| batches.iter().position(|b| b.contains(&i)).unwrap();
+        for i in 0..ops.len() {
+            for &p in graph.preds(i) {
+                prop_assert!(batch_of(p) < batch_of(i));
+            }
+        }
+    }
+}
+
+/// Deterministic smoke: a diamond (one producer, two independent
+/// consumers, one join) executes with the two middle ops unordered
+/// relative to each other but strictly inside the producer/join fence.
+#[test]
+fn diamond_respects_fences_on_the_pool() {
+    let ops = vec![
+        SynthOp {
+            reads: vec![],
+            writes: vec![0],
+        },
+        SynthOp {
+            reads: vec![0],
+            writes: vec![1],
+        },
+        SynthOp {
+            reads: vec![0],
+            writes: vec![2],
+        },
+        SynthOp {
+            reads: vec![1, 2],
+            writes: vec![3],
+        },
+    ];
+    let parallel = ParallelBackend::with_threads(4);
+    for _ in 0..16 {
+        let order = schedule_and_log(&ops, &parallel);
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(1) && pos(0) < pos(2));
+        assert!(pos(3) > pos(1) && pos(3) > pos(2));
+    }
+}

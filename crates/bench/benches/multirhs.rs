@@ -9,14 +9,13 @@
 //! printed ratio is informational — matrix-read amortization usually
 //! still clears the bar, thread-level speedup does not.
 
-use std::time::Instant;
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpgmres::precond::Identity;
 use mpgmres::{
     Backend, BackendKind, BlockGmres, Gmres, GmresConfig, GpuContext, GpuMatrix, MultiVec,
     ParallelBackend, ScalarBackend,
 };
+use mpgmres_bench::harness::best_of;
 use mpgmres_bench::output;
 use mpgmres_gpusim::DeviceModel;
 use mpgmres_la::par;
@@ -118,15 +117,20 @@ struct WidthRecord {
     ratio_vs_spmv: f64,
 }
 
-fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    f(); // warm up
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        f();
-        best = best.min(t0.elapsed().as_secs_f64());
-    }
-    best
+#[derive(Serialize)]
+struct PartitionCacheRecord {
+    threads: usize,
+    cached_ms: f64,
+    recomputed_ms: f64,
+    speedup: f64,
+}
+
+/// The archived artifact: per-width SpMM ratios *and* the
+/// partition-cache comparison (both numbers the summary prints).
+#[derive(Serialize)]
+struct MultirhsArtifact {
+    widths: Vec<WidthRecord>,
+    partition_cache: PartitionCacheRecord,
 }
 
 /// Direct acceptance measurement: per-RHS SpMM time vs k on a 512x512
@@ -166,7 +170,8 @@ fn per_rhs_summary(_c: &mut Criterion) {
         }
     }
     // Partition-cache effect (the hoisted row split): cached partitions
-    // via the backend vs recomputing the split on every call.
+    // via the backend (now also pool-executed) vs recomputing the split
+    // and spawning scoped threads on every call.
     let threads = 4;
     let cached = ParallelBackend::with_threads(threads);
     let view: &dyn ScalarBackend<f64> = &cached;
@@ -181,8 +186,19 @@ fn per_rhs_summary(_c: &mut Criterion) {
         t_fresh * 1e3,
         t_fresh / t_cached
     );
+    // Archive BOTH numbers the summary prints: the per-width ratios and
+    // the partition-cache comparison.
+    let artifact = MultirhsArtifact {
+        widths: records,
+        partition_cache: PartitionCacheRecord {
+            threads,
+            cached_ms: t_cached * 1e3,
+            recomputed_ms: t_fresh * 1e3,
+            speedup: t_fresh / t_cached,
+        },
+    };
     let dir = output::results_dir(None);
-    match output::write_json(&dir, "multirhs", &records) {
+    match output::write_json(&dir, "multirhs", &artifact) {
         Ok(path) => println!("  wrote {}", path.display()),
         Err(e) => println!("  could not write results JSON: {e}"),
     }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments <id>... [--scale F] [--paper-scale] [--quick] [--out DIR]
-//!                     [--backend reference|parallel] [--rhs-block K]
+//!                     [--backend reference|parallel|parallel-nnz] [--rhs-block K]
 //!
 //! ids: fig1 fig2 fig3 fig4_table1 fig5 fig6 fig7 vd_model table2 fig8
 //!      vf_degrees table3 multirhs all
@@ -42,7 +42,7 @@ const ALL_IDS: [&str; 10] = [
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <id>... [--scale F] [--paper-scale] [--quick] [--out DIR] \
-         [--backend reference|parallel] [--rhs-block K]\n\
+         [--backend reference|parallel|parallel-nnz] [--rhs-block K]\n\
          ids: {} multirhs all",
         ALL_IDS.join(" ")
     );

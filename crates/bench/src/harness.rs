@@ -14,6 +14,20 @@ use mpgmres_la::csr::Csr;
 use mpgmres_la::vec_ops::ReductionOrder;
 use serde::Serialize;
 
+/// Best-of-N wall-clock timing with one warm-up call: the shared
+/// measurement helper of the bench summaries (best-of rather than mean
+/// rejects scheduler noise on shared runners).
+pub fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f(); // warm up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
 /// Which solver produced a record.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub enum SolverKind {

@@ -8,11 +8,23 @@ use serde::Serialize;
 
 use crate::harness::RunRecord;
 
-/// Resolve (and create) the results directory.
+/// Resolve (and create) the results directory. The default is anchored
+/// at the *workspace root* (not the current directory): `cargo bench`
+/// runs with the package dir as CWD while the experiment bins usually
+/// run from the root, and CI archives `results/` from the root — one
+/// anchor means every artifact lands where the upload step looks. The
+/// anchor comes from the build-time manifest path, so when the binary
+/// runs away from its build checkout (moved or copied), fall back to a
+/// CWD-relative `results/` instead of resurrecting the build path.
 pub fn results_dir(explicit: Option<&str>) -> PathBuf {
-    let dir = explicit
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"));
+    let dir = explicit.map(PathBuf::from).unwrap_or_else(|| {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .filter(|ws| ws.is_dir())
+            .map(|ws| ws.join("results"))
+            .unwrap_or_else(|| PathBuf::from("results"))
+    });
     fs::create_dir_all(&dir).expect("cannot create results directory");
     dir
 }

@@ -70,6 +70,32 @@ struct Lane<S> {
     lucky: bool,
 }
 
+/// Collect `&mut lane.v.col(col)` for the lane indices in `which`, in
+/// order. The lockstep driver always builds its lane sets in ascending
+/// lane order, and the fused lane-set kernels pair sources with
+/// destinations by position — this helper asserts that invariant
+/// instead of letting an out-of-order set silently drop a lane.
+fn lane_cols_mut<'l, S: BackendScalar>(
+    lanes: &'l mut [Lane<S>],
+    which: &[usize],
+    col: usize,
+) -> Vec<&'l mut [S]> {
+    debug_assert!(
+        which.windows(2).all(|w| w[0] < w[1]),
+        "lane sets must be ascending"
+    );
+    let mut out = Vec::with_capacity(which.len());
+    let mut it = which.iter().copied().peekable();
+    for (li, lane) in lanes.iter_mut().enumerate() {
+        if it.peek() == Some(&li) {
+            it.next();
+            out.push(lane.v.col_mut(col));
+        }
+    }
+    assert_eq!(out.len(), which.len(), "lane set not found in order");
+    out
+}
+
 impl<'a, S: BackendScalar> BlockGmres<'a, S> {
     /// Build a solver for `A X = B` with a right preconditioner shared
     /// by all columns.
@@ -102,27 +128,41 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
 
         // Shared workspaces. `z` holds the (preconditioned) directions
         // fed to SpMM, `w` the SpMM output being orthogonalized; both
-        // are compacted over the active columns each step.
+        // are compacted over the active columns each step. `u` holds one
+        // update-assembly column per lane so the barrier's per-lane
+        // chains stay independent in the recorded DAG.
         let mut r = MultiVec::<S>::zeros(n, k);
         let mut z = MultiVec::<S>::zeros(n, k);
         let mut w = MultiVec::<S>::zeros(n, k);
-        let mut u = vec![S::zero(); n];
+        let mut u = MultiVec::<S>::zeros(n, k);
         let mut zvec = vec![S::zero(); n];
         let mut h1 = vec![S::zero(); k * m.max(1)];
         let mut h2 = vec![S::zero(); k * m.max(1)];
         let mut norms = vec![S::zero(); k];
+        let mut gammas = vec![S::zero(); k];
 
-        // Initial residuals R = B - A X and reference norms.
-        for l in 0..k {
-            ctx.residual_as(
-                mpgmres_gpusim::KernelClass::SpMV,
-                self.a,
-                b.col(l),
-                x.col(l),
-                r.col_mut(l),
-            );
+        // Initial residuals R = B - A X and reference norms: the k
+        // per-column residuals are independent of each other, so they
+        // form the first recorded region (the fused norm joins them).
+        {
+            let mut st = ctx.stream();
+            // SAFETY: a, b, x, r, norms all outlive `st` (function
+            // locals / parameters) and the host does not touch them
+            // before the sync below.
+            unsafe {
+                for l in 0..k {
+                    st.residual_as(
+                        mpgmres_gpusim::KernelClass::SpMV,
+                        self.a,
+                        b.col(l),
+                        x.col(l),
+                        r.col_mut(l),
+                    );
+                }
+                st.block_norm2_into(&r, k, &mut norms);
+            }
+            st.sync();
         }
-        ctx.block_norm2(&r, k, &mut norms);
 
         let mut lanes: Vec<Lane<S>> = Vec::with_capacity(k);
         let mut results: Vec<Option<SolveResult>> = (0..k).map(|_| None).collect();
@@ -208,16 +248,24 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                 break;
             }
 
-            // Start a cycle on every participating lane: v1 = r / gamma.
-            for &l in &cycle {
-                let lane = &mut lanes[l];
-                lane.v.col_mut(0).copy_from_slice(r.col(l));
-                let inv_gamma = S::from_f64(1.0 / lane.gamma.to_f64());
-                ctx.scal(inv_gamma, lane.v.col_mut(0));
-                lane.lsq = Some(GivensLsq::new(m, lane.gamma));
-                lane.in_cycle = true;
-                lane.implicit_claims_convergence = false;
-                lane.lucky = false;
+            // Start a cycle on every participating lane: v1 = r / gamma,
+            // fused over the lane set (one batched normalize-and-store
+            // instead of a copy + scal per lane; bit-identical per lane,
+            // charged once as a width-|cycle| block scaling).
+            {
+                let mut alphas: Vec<S> = Vec::with_capacity(cycle.len());
+                let mut srcs: Vec<&[S]> = Vec::with_capacity(cycle.len());
+                for &l in &cycle {
+                    let lane = &mut lanes[l];
+                    alphas.push(S::from_f64(1.0 / lane.gamma.to_f64()));
+                    srcs.push(r.col(l));
+                    lane.lsq = Some(GivensLsq::new(m, lane.gamma));
+                    lane.in_cycle = true;
+                    lane.implicit_claims_convergence = false;
+                    lane.lucky = false;
+                }
+                let mut dsts = lane_cols_mut(&mut lanes, &cycle, 0);
+                ctx.lane_scal_copy(&alphas, &srcs, &mut dsts);
             }
 
             for j in 0..m {
@@ -233,34 +281,58 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                 let kc = act.len();
                 let ncols = j + 1;
 
-                // Direction block: Z[:, c] = M^{-1} v_j^{(c)}.
-                for (c, &l) in act.iter().enumerate() {
-                    if self.precond.is_identity() {
-                        z.col_mut(c).copy_from_slice(lanes[l].v.col(j));
-                    } else {
+                // Direction block: Z[:, c] = M^{-1} v_j^{(c)} — one
+                // fused lane gather when the preconditioner is the
+                // identity (the per-lane copies the recorded DAG was
+                // built to absorb), per-lane applications otherwise.
+                if self.precond.is_identity() {
+                    let srcs: Vec<&[S]> = act.iter().map(|&l| lanes[l].v.col(j)).collect();
+                    let mut dsts = z.cols_mut(kc);
+                    ctx.lane_copy(&srcs, &mut dsts);
+                } else {
+                    for (c, &l) in act.iter().enumerate() {
                         self.precond
                             .apply(ctx, self.a, lanes[l].v.col(j), z.col_mut(c));
                     }
                 }
-                // W = A Z: one matrix read for all kc columns.
-                ctx.spmm(self.a, &z, kc, &mut w);
 
-                // Blocked orthogonalization against each lane's basis.
+                // W = A Z (one matrix read for all kc columns) plus the
+                // blocked orthogonalization: one recorded region, a
+                // chain through W like the single-RHS CGS region.
                 match self.cfg.ortho {
                     OrthoMethod::Cgs2 => {
                         let vs: Vec<&MultiVector<S>> = act.iter().map(|&l| &lanes[l].v).collect();
-                        ctx.block_gemv_t(&vs, ncols, &w, &mut h1[..kc * ncols]);
-                        ctx.block_gemv_n_sub(&vs, ncols, &h1[..kc * ncols], &mut w);
-                        ctx.block_gemv_t(&vs, ncols, &w, &mut h2[..kc * ncols]);
-                        ctx.block_gemv_n_sub(&vs, ncols, &h2[..kc * ncols], &mut w);
+                        let mut st = ctx.stream();
+                        // SAFETY: a, z, w, h1, h2, norms, and the lane
+                        // bases behind `vs` all outlive `st`; the host
+                        // does not touch them before the sync below
+                        // (lane bases are only modified after it).
+                        unsafe {
+                            st.spmm(self.a, &z, kc, &mut w);
+                            st.block_gemv_t(&vs, ncols, &w, &mut h1[..kc * ncols]);
+                            st.block_gemv_n_sub(&vs, ncols, &h1[..kc * ncols], &mut w);
+                            st.block_gemv_t(&vs, ncols, &w, &mut h2[..kc * ncols]);
+                            st.block_gemv_n_sub(&vs, ncols, &h2[..kc * ncols], &mut w);
+                            st.block_norm2_into(&w, kc, &mut norms);
+                        }
+                        st.sync();
                     }
                     OrthoMethod::Cgs1 => {
                         let vs: Vec<&MultiVector<S>> = act.iter().map(|&l| &lanes[l].v).collect();
-                        ctx.block_gemv_t(&vs, ncols, &w, &mut h1[..kc * ncols]);
-                        ctx.block_gemv_n_sub(&vs, ncols, &h1[..kc * ncols], &mut w);
+                        let mut st = ctx.stream();
+                        // SAFETY: as in the Cgs2 region above.
+                        unsafe {
+                            st.spmm(self.a, &z, kc, &mut w);
+                            st.block_gemv_t(&vs, ncols, &w, &mut h1[..kc * ncols]);
+                            st.block_gemv_n_sub(&vs, ncols, &h1[..kc * ncols], &mut w);
+                            st.block_norm2_into(&w, kc, &mut norms);
+                        }
+                        st.sync();
                     }
                     OrthoMethod::Mgs => {
-                        // 2j skinny kernels per lane; nothing to batch.
+                        // 2j skinny kernels per lane, each feeding the
+                        // next host decision; nothing to batch or record.
+                        ctx.spmm(self.a, &z, kc, &mut w);
                         for (c, &l) in act.iter().enumerate() {
                             for i in 0..ncols {
                                 let hi = ctx.dot(lanes[l].v.col(i), w.col(c));
@@ -268,10 +340,15 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                                 h1[c * ncols + i] = hi;
                             }
                         }
+                        ctx.block_norm2(&w, kc, &mut norms);
                     }
                 }
-                ctx.block_norm2(&w, kc, &mut norms);
 
+                // Per-lane host steps (Hessenberg column assembly,
+                // Givens update, convergence decisions); lanes that keep
+                // iterating queue their basis extension for one fused
+                // lane-set scatter below.
+                let mut store: Vec<(usize, usize, S)> = Vec::new(); // (col, lane, 1/h)
                 for (c, &l) in act.iter().enumerate() {
                     let lane = &mut lanes[l];
                     match self.cfg.ortho {
@@ -316,20 +393,31 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                         lane.in_cycle = false;
                         continue;
                     }
-                    lane.v.col_mut(j + 1).copy_from_slice(w.col(c));
-                    let inv = S::from_f64(1.0 / hj1.to_f64());
-                    ctx.scal(inv, lane.v.col_mut(j + 1));
+                    store.push((c, l, S::from_f64(1.0 / hj1.to_f64())));
 
                     if self.cfg.monitor_implicit && implicit_rel <= self.cfg.rtol {
                         lane.implicit_claims_convergence = true;
                         lane.in_cycle = false;
                     }
                 }
+
+                // v_{j+1}^{(l)} = w_c / h_{j+1,j}: one fused lane-set
+                // normalize-and-store for every extending lane (the
+                // per-lane copy + scal pair this replaces is the small
+                // kernel the ROADMAP flagged; bit-identical per lane).
+                if !store.is_empty() {
+                    let alphas: Vec<S> = store.iter().map(|&(_, _, inv)| inv).collect();
+                    let srcs: Vec<&[S]> = store.iter().map(|&(c, _, _)| w.col(c)).collect();
+                    let which: Vec<usize> = store.iter().map(|&(_, l, _)| l).collect();
+                    let mut dsts = lane_cols_mut(&mut lanes, &which, j + 1);
+                    ctx.lane_scal_copy(&alphas, &srcs, &mut dsts);
+                }
             }
 
-            // Cycle barrier: every participating lane assembles its
-            // update x += M^{-1} V_kc y, then recomputes its explicit
-            // residual.
+            // Cycle barrier, phase 1 (host): per-lane least-squares
+            // solves and restart bookkeeping; each solved lane queues
+            // its update for the recorded device phase.
+            let mut upds: Vec<(usize, usize, Vec<S>)> = Vec::new(); // (lane, kc, y)
             for &l in &cycle {
                 let lane = &mut lanes[l];
                 lane.in_cycle = false;
@@ -341,27 +429,76 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                     } else {
                         let y = lsq.solve(kc);
                         ctx.charge_restart_host(kc);
-                        for ui in u.iter_mut() {
+                        for ui in u.col_mut(l) {
                             *ui = S::zero();
                         }
-                        ctx.gemv_n_add(&lane.v, kc, &y, &mut u);
-                        if self.precond.is_identity() {
-                            ctx.axpy(S::one(), &u, x.col_mut(l));
-                        } else {
-                            self.precond.apply(ctx, self.a, &u, &mut zvec);
-                            ctx.axpy(S::one(), &zvec, x.col_mut(l));
-                        }
+                        upds.push((l, kc, y));
                     }
                 }
                 lane.restarts += 1;
-                ctx.residual_as(
-                    mpgmres_gpusim::KernelClass::SpMV,
-                    self.a,
-                    b.col(l),
-                    x.col(l),
-                    r.col_mut(l),
-                );
-                lane.gamma = ctx.norm2(r.col(l));
+            }
+
+            // Phase 2 (device): per-lane update chains x += M^{-1} V y
+            // and explicit residuals. Each lane's chain (GEMV-N -> axpy
+            // -> residual -> norm) is independent of every other lane's,
+            // so the recorded DAG overlaps them — this is where the
+            // critical path drops below the serial sum for k > 1.
+            // SAFETY (all three regions below): a, b, x, r, u, gammas,
+            // the per-lane `y` vectors held alive in `upds`, and the
+            // lane bases all outlive each stream, and the host does not
+            // touch them until the region's sync.
+            if self.precond.is_identity() {
+                let mut st = ctx.stream();
+                unsafe {
+                    for (l, kc, y) in &upds {
+                        st.gemv_n_add(&lanes[*l].v, *kc, y, u.col_mut(*l));
+                        st.axpy(S::one(), u.col(*l), x.col_mut(*l));
+                    }
+                    for &l in &cycle {
+                        st.residual_as(
+                            mpgmres_gpusim::KernelClass::SpMV,
+                            self.a,
+                            b.col(l),
+                            x.col(l),
+                            r.col_mut(l),
+                        );
+                        st.norm2_into(r.col(l), &mut gammas[l]);
+                    }
+                }
+                st.sync();
+            } else {
+                {
+                    let mut st = ctx.stream();
+                    unsafe {
+                        for (l, kc, y) in &upds {
+                            st.gemv_n_add(&lanes[*l].v, *kc, y, u.col_mut(*l));
+                        }
+                    }
+                    st.sync();
+                }
+                // Preconditioner applications run eagerly between the
+                // two recorded regions.
+                for (l, _, _) in &upds {
+                    self.precond.apply(ctx, self.a, u.col(*l), &mut zvec);
+                    ctx.axpy(S::one(), &zvec, x.col_mut(*l));
+                }
+                let mut st = ctx.stream();
+                unsafe {
+                    for &l in &cycle {
+                        st.residual_as(
+                            mpgmres_gpusim::KernelClass::SpMV,
+                            self.a,
+                            b.col(l),
+                            x.col(l),
+                            r.col_mut(l),
+                        );
+                        st.norm2_into(r.col(l), &mut gammas[l]);
+                    }
+                }
+                st.sync();
+            }
+            for &l in &cycle {
+                lanes[l].gamma = gammas[l];
             }
 
             // Per-lane status resolution (the tail of Gmres's outer loop);

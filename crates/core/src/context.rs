@@ -78,12 +78,29 @@ impl<S: Scalar> GpuMatrix<S> {
 
 /// Instrumented kernel executor: charges the profiler, delegates
 /// computation to the configured [`Backend`].
+///
+/// Kernels run in one of two modes:
+///
+/// - **eager** (each method below): validate, charge the profiler,
+///   execute — semantically "record one op and sync immediately".
+/// - **recorded**: [`GpuContext::stream`] opens a
+///   [`Stream`](crate::Stream) that enqueues ops carrying read/write
+///   buffer spans, derives the dependency DAG, and executes ready
+///   batches at sync. Recorded execution is bit-identical to eager (the
+///   DAG only relaxes ordering between ops that cannot observe each
+///   other) and lets the simulated timeline overlap independent ops
+///   (the critical-path figure of [`TimingReport`]).
+///
+/// [`GpuContext::set_streaming`] turns recording off globally (every
+/// stream then degenerates to eager per-op execution) — the switch the
+/// recorded-vs-eager parity suite flips.
 #[derive(Debug)]
 pub struct GpuContext {
     device: DeviceModel,
     profiler: Profiler,
     reduction: ReductionOrder,
     backend: Arc<dyn Backend>,
+    streaming: bool,
 }
 
 impl GpuContext {
@@ -115,6 +132,7 @@ impl GpuContext {
             profiler: Profiler::new(),
             reduction,
             backend,
+            streaming: true,
         }
     }
 
@@ -158,6 +176,135 @@ impl GpuContext {
         self.profiler.reset();
     }
 
+    /// Whether streams record (default) or degenerate to eager per-op
+    /// execution.
+    pub fn streaming(&self) -> bool {
+        self.streaming
+    }
+
+    /// Enable/disable stream recording. With recording off, every
+    /// [`GpuContext::stream`] region executes its ops eagerly in record
+    /// order — the reference behavior the parity suite compares against.
+    pub fn set_streaming(&mut self, on: bool) {
+        self.streaming = on;
+    }
+
+    /// Open a command recorder on this context. See
+    /// [`Stream`](crate::Stream) for the recording contract.
+    pub fn stream(&mut self) -> crate::Stream<'_> {
+        crate::Stream::begin(self)
+    }
+
+    pub(crate) fn profiler_mut(&mut self) -> &mut Profiler {
+        &mut self.profiler
+    }
+
+    pub(crate) fn reduction(&self) -> ReductionOrder {
+        self.reduction
+    }
+
+    // ----- cost specs -------------------------------------------------
+    //
+    // One function per kernel shape computing (simulated seconds, modeled
+    // bytes). Both the eager methods below and the recorded Stream path
+    // go through these, so the two modes charge bit-identical costs by
+    // construction.
+
+    pub(crate) fn spmv_spec<S: Scalar>(&self, a: &GpuMatrix<S>) -> (f64, usize) {
+        let t = cost::spmv_time(&self.device, a.n(), a.nnz(), a.bandwidth(), S::PRECISION);
+        let bytes = mpgmres_gpusim::analytic::spmv_traffic_bytes(
+            &self.device,
+            a.n(),
+            a.nnz(),
+            a.bandwidth(),
+            S::PRECISION,
+        );
+        (t, bytes)
+    }
+
+    pub(crate) fn residual_spec<S: Scalar>(&self, a: &GpuMatrix<S>) -> (f64, usize) {
+        let t = cost::residual_time(&self.device, a.n(), a.nnz(), a.bandwidth(), S::PRECISION);
+        let bytes = mpgmres_gpusim::analytic::spmv_traffic_bytes(
+            &self.device,
+            a.n(),
+            a.nnz(),
+            a.bandwidth(),
+            S::PRECISION,
+        ) + a.n() * S::BYTES;
+        (t, bytes)
+    }
+
+    pub(crate) fn spmm_spec<S: Scalar>(&self, a: &GpuMatrix<S>, k: usize) -> (f64, usize) {
+        let t = cost::spmm_time(&self.device, a.n(), a.nnz(), a.bandwidth(), k, S::PRECISION);
+        let bytes = mpgmres_gpusim::analytic::spmv_traffic_bytes(
+            &self.device,
+            a.n(),
+            a.nnz(),
+            a.bandwidth(),
+            S::PRECISION,
+        ) + (k - 1) * 2 * a.n() * S::BYTES;
+        (t, bytes)
+    }
+
+    pub(crate) fn gemv_t_spec<S: Scalar>(&self, n: usize, ncols: usize) -> (f64, usize) {
+        let t = cost::gemv_t_time(&self.device, n, ncols, S::PRECISION);
+        (t, (ncols + 1) * n * S::BYTES)
+    }
+
+    pub(crate) fn gemv_n_spec<S: Scalar>(&self, n: usize, ncols: usize) -> (f64, usize) {
+        let t = cost::gemv_n_time(&self.device, n, ncols, S::PRECISION);
+        (t, (ncols + 2) * n * S::BYTES)
+    }
+
+    pub(crate) fn gemm_t_spec<S: Scalar>(&self, n: usize, ncols: usize, k: usize) -> (f64, usize) {
+        let t = cost::gemm_t_time(&self.device, n, ncols, k, S::PRECISION);
+        (t, k * (ncols + 1) * n * S::BYTES)
+    }
+
+    pub(crate) fn gemm_n_spec<S: Scalar>(&self, n: usize, ncols: usize, k: usize) -> (f64, usize) {
+        let t = cost::gemm_n_time(&self.device, n, ncols, k, S::PRECISION);
+        (t, k * (ncols + 2) * n * S::BYTES)
+    }
+
+    pub(crate) fn norm_spec<S: Scalar>(&self, n: usize) -> (f64, usize) {
+        (cost::norm_time(&self.device, n, S::PRECISION), n * S::BYTES)
+    }
+
+    pub(crate) fn dot_spec<S: Scalar>(&self, n: usize) -> (f64, usize) {
+        (
+            cost::dot_time(&self.device, n, S::PRECISION),
+            2 * n * S::BYTES,
+        )
+    }
+
+    pub(crate) fn axpy_spec<S: Scalar>(&self, n: usize) -> (f64, usize) {
+        (
+            cost::axpy_time(&self.device, n, S::PRECISION),
+            3 * n * S::BYTES,
+        )
+    }
+
+    pub(crate) fn scal_spec<S: Scalar>(&self, n: usize) -> (f64, usize) {
+        (
+            cost::scal_time(&self.device, n, S::PRECISION),
+            2 * n * S::BYTES,
+        )
+    }
+
+    pub(crate) fn block_norm_spec<S: Scalar>(&self, n: usize, k: usize) -> (f64, usize) {
+        (
+            cost::block_norm_time(&self.device, n, k, S::PRECISION),
+            k * n * S::BYTES,
+        )
+    }
+
+    pub(crate) fn block_scal_spec<S: Scalar>(&self, n: usize, k: usize) -> (f64, usize) {
+        (
+            cost::block_scal_time(&self.device, n, k, S::PRECISION),
+            2 * k * n * S::BYTES,
+        )
+    }
+
     // ----- instrumented kernels --------------------------------------
 
     /// `y = A x`, charged to the given class (solvers use
@@ -171,14 +318,7 @@ impl GpuContext {
         y: &mut [S],
     ) {
         contracts::spmv(a.csr(), x, y);
-        let t = cost::spmv_time(&self.device, a.n(), a.nnz(), a.bandwidth(), S::PRECISION);
-        let bytes = mpgmres_gpusim::analytic::spmv_traffic_bytes(
-            &self.device,
-            a.n(),
-            a.nnz(),
-            a.bandwidth(),
-            S::PRECISION,
-        );
+        let (t, bytes) = self.spmv_spec::<S>(a);
         self.profiler.charge(class, t, bytes);
         S::view(&*self.backend).spmv(a.csr(), x, y);
     }
@@ -198,14 +338,7 @@ impl GpuContext {
         r: &mut [S],
     ) {
         contracts::residual(a.csr(), b, x, r);
-        let t = cost::residual_time(&self.device, a.n(), a.nnz(), a.bandwidth(), S::PRECISION);
-        let bytes = mpgmres_gpusim::analytic::spmv_traffic_bytes(
-            &self.device,
-            a.n(),
-            a.nnz(),
-            a.bandwidth(),
-            S::PRECISION,
-        ) + a.n() * S::BYTES;
+        let (t, bytes) = self.residual_spec::<S>(a);
         self.profiler.charge(class, t, bytes);
         S::view(&*self.backend).residual(a.csr(), b, x, r);
     }
@@ -219,9 +352,8 @@ impl GpuContext {
         h: &mut [S],
     ) {
         contracts::gemv(v, ncols, w, h);
-        let t = cost::gemv_t_time(&self.device, v.n(), ncols, S::PRECISION);
-        self.profiler
-            .charge(KernelClass::GemvT, t, (ncols + 1) * v.n() * S::BYTES);
+        let (t, bytes) = self.gemv_t_spec::<S>(v.n(), ncols);
+        self.profiler.charge(KernelClass::GemvT, t, bytes);
         S::view(&*self.backend).gemv_t(v, ncols, w, h, self.reduction);
     }
 
@@ -234,9 +366,8 @@ impl GpuContext {
         w: &mut [S],
     ) {
         contracts::gemv(v, ncols, w, h);
-        let t = cost::gemv_n_time(&self.device, v.n(), ncols, S::PRECISION);
-        self.profiler
-            .charge(KernelClass::GemvN, t, (ncols + 2) * v.n() * S::BYTES);
+        let (t, bytes) = self.gemv_n_spec::<S>(v.n(), ncols);
+        self.profiler.charge(KernelClass::GemvN, t, bytes);
         S::view(&*self.backend).gemv_n_sub(v, ncols, h, w);
     }
 
@@ -249,9 +380,8 @@ impl GpuContext {
         y: &mut [S],
     ) {
         contracts::gemv(v, ncols, y, h);
-        let t = cost::gemv_n_time(&self.device, v.n(), ncols, S::PRECISION);
-        self.profiler
-            .charge(KernelClass::GemvN, t, (ncols + 2) * v.n() * S::BYTES);
+        let (t, bytes) = self.gemv_n_spec::<S>(v.n(), ncols);
+        self.profiler.charge(KernelClass::GemvN, t, bytes);
         S::view(&*self.backend).gemv_n_add(v, ncols, h, y);
     }
 
@@ -264,34 +394,31 @@ impl GpuContext {
     /// refinement-residual norms to [`KernelClass::ResidualHi`] so they
     /// land in the paper's "Other" bar, per the Fig. 4 caption).
     pub fn norm2_as<S: BackendScalar>(&mut self, class: KernelClass, x: &[S]) -> S {
-        let t = cost::norm_time(&self.device, x.len(), S::PRECISION);
-        self.profiler.charge(class, t, x.len() * S::BYTES);
+        let (t, bytes) = self.norm_spec::<S>(x.len());
+        self.profiler.charge(class, t, bytes);
         S::view(&*self.backend).norm2(x, self.reduction)
     }
 
     /// Inner product with device-to-host result transfer.
     pub fn dot<S: BackendScalar>(&mut self, x: &[S], y: &[S]) -> S {
         contracts::same_len("dot", x, y);
-        let t = cost::dot_time(&self.device, x.len(), S::PRECISION);
-        self.profiler
-            .charge(KernelClass::Dot, t, 2 * x.len() * S::BYTES);
+        let (t, bytes) = self.dot_spec::<S>(x.len());
+        self.profiler.charge(KernelClass::Dot, t, bytes);
         S::view(&*self.backend).dot(x, y, self.reduction)
     }
 
     /// `y += alpha x`.
     pub fn axpy<S: BackendScalar>(&mut self, alpha: S, x: &[S], y: &mut [S]) {
         contracts::same_len("axpy", x, y);
-        let t = cost::axpy_time(&self.device, x.len(), S::PRECISION);
-        self.profiler
-            .charge(KernelClass::Axpy, t, 3 * x.len() * S::BYTES);
+        let (t, bytes) = self.axpy_spec::<S>(x.len());
+        self.profiler.charge(KernelClass::Axpy, t, bytes);
         S::view(&*self.backend).axpy(alpha, x, y);
     }
 
     /// `x *= alpha`.
     pub fn scal<S: BackendScalar>(&mut self, alpha: S, x: &mut [S]) {
-        let t = cost::scal_time(&self.device, x.len(), S::PRECISION);
-        self.profiler
-            .charge(KernelClass::Scal, t, 2 * x.len() * S::BYTES);
+        let (t, bytes) = self.scal_spec::<S>(x.len());
+        self.profiler.charge(KernelClass::Scal, t, bytes);
         S::view(&*self.backend).scal(alpha, x);
     }
 
@@ -322,14 +449,7 @@ impl GpuContext {
         y: &mut MultiVec<S>,
     ) {
         contracts::spmm(a.csr(), x, k, y);
-        let t = cost::spmm_time(&self.device, a.n(), a.nnz(), a.bandwidth(), k, S::PRECISION);
-        let bytes = mpgmres_gpusim::analytic::spmv_traffic_bytes(
-            &self.device,
-            a.n(),
-            a.nnz(),
-            a.bandwidth(),
-            S::PRECISION,
-        ) + (k - 1) * 2 * a.n() * S::BYTES;
+        let (t, bytes) = self.spmm_spec::<S>(a, k);
         self.profiler.charge(KernelClass::SpMV, t, bytes);
         S::view(&*self.backend).spmm(a.csr(), x, k, y);
     }
@@ -345,10 +465,8 @@ impl GpuContext {
         h: &mut [S],
     ) {
         contracts::block_gemv(vs, ncols, w, h);
-        let k = vs.len();
-        let t = cost::gemm_t_time(&self.device, w.n(), ncols, k, S::PRECISION);
-        self.profiler
-            .charge(KernelClass::GemvT, t, k * (ncols + 1) * w.n() * S::BYTES);
+        let (t, bytes) = self.gemm_t_spec::<S>(w.n(), ncols, vs.len());
+        self.profiler.charge(KernelClass::GemvT, t, bytes);
         S::view(&*self.backend).block_gemv_t(vs, ncols, w, h, self.reduction);
     }
 
@@ -361,10 +479,8 @@ impl GpuContext {
         w: &mut MultiVec<S>,
     ) {
         contracts::block_gemv(vs, ncols, w, h);
-        let k = vs.len();
-        let t = cost::gemm_n_time(&self.device, w.n(), ncols, k, S::PRECISION);
-        self.profiler
-            .charge(KernelClass::GemvN, t, k * (ncols + 2) * w.n() * S::BYTES);
+        let (t, bytes) = self.gemm_n_spec::<S>(w.n(), ncols, vs.len());
+        self.profiler.charge(KernelClass::GemvN, t, bytes);
         S::view(&*self.backend).block_gemv_n_sub(vs, ncols, h, w);
     }
 
@@ -377,19 +493,16 @@ impl GpuContext {
         y: &mut MultiVec<S>,
     ) {
         contracts::block_gemv(vs, ncols, y, h);
-        let k = vs.len();
-        let t = cost::gemm_n_time(&self.device, y.n(), ncols, k, S::PRECISION);
-        self.profiler
-            .charge(KernelClass::GemvN, t, k * (ncols + 2) * y.n() * S::BYTES);
+        let (t, bytes) = self.gemm_n_spec::<S>(y.n(), ncols, vs.len());
+        self.profiler.charge(KernelClass::GemvN, t, bytes);
         S::view(&*self.backend).block_gemv_n_add(vs, ncols, h, y);
     }
 
     /// Fused column norms with one device-to-host result transfer.
     pub fn block_norm2<S: BackendScalar>(&mut self, x: &MultiVec<S>, k: usize, out: &mut [S]) {
         contracts::block_scalars("block_norm2", x, k, out);
-        let t = cost::block_norm_time(&self.device, x.n(), k, S::PRECISION);
-        self.profiler
-            .charge(KernelClass::Norm, t, k * x.n() * S::BYTES);
+        let (t, bytes) = self.block_norm_spec::<S>(x.n(), k);
+        self.profiler.charge(KernelClass::Norm, t, bytes);
         S::view(&*self.backend).block_norm2(x, k, out, self.reduction);
     }
 
@@ -428,9 +541,8 @@ impl GpuContext {
     /// Fused column scalings `x_c *= alpha_c`.
     pub fn block_scal<S: BackendScalar>(&mut self, alpha: &[S], x: &mut MultiVec<S>, k: usize) {
         contracts::block_scalars("block_scal", x, k, alpha);
-        let t = cost::block_scal_time(&self.device, x.n(), k, S::PRECISION);
-        self.profiler
-            .charge(KernelClass::Scal, t, 2 * k * x.n() * S::BYTES);
+        let (t, bytes) = self.block_scal_spec::<S>(x.n(), k);
+        self.profiler.charge(KernelClass::Scal, t, bytes);
         S::view(&*self.backend).block_scal(alpha, x, k);
     }
 
@@ -443,6 +555,33 @@ impl GpuContext {
     ) {
         contracts::block_pair("block_copy", src, dst, k);
         S::view(&*self.backend).block_copy(src, k, dst);
+    }
+
+    /// Fused per-lane copy `dsts[c] = srcs[c]` over a lane set (the
+    /// batched form of `BlockGmres`'s per-lane direction gathers).
+    /// Uncharged, like [`GpuContext::copy`].
+    pub fn lane_copy<S: BackendScalar>(&mut self, srcs: &[&[S]], dsts: &mut [&mut [S]]) {
+        contracts::lanes("lane_copy", None, srcs, dsts);
+        S::view(&*self.backend).lane_copy(srcs, dsts);
+    }
+
+    /// Fused per-lane normalize-and-store `dsts[c] = alpha[c] * srcs[c]`
+    /// (the batched form of the copy-then-scal pair that extends each
+    /// lane's Krylov basis). Charged like a width-`k` block scaling —
+    /// bit-identical to a single [`GpuContext::scal`] at `k = 1`.
+    pub fn lane_scal_copy<S: BackendScalar>(
+        &mut self,
+        alpha: &[S],
+        srcs: &[&[S]],
+        dsts: &mut [&mut [S]],
+    ) {
+        contracts::lanes("lane_scal_copy", Some(alpha), srcs, dsts);
+        if srcs.is_empty() {
+            return;
+        }
+        let (t, bytes) = self.block_scal_spec::<S>(srcs[0].len(), srcs.len());
+        self.profiler.charge(KernelClass::Scal, t, bytes);
+        S::view(&*self.backend).lane_scal_copy(alpha, srcs, dsts);
     }
 
     /// Device-resident precision cast (fp32 preconditioner under an fp64

@@ -121,42 +121,68 @@ impl<'a, S: BackendScalar> Gmres<'a, S> {
             let mut lucky = false;
 
             while j < m && total_iters < self.cfg.max_iters {
-                // w = A M^{-1} v_j.
-                if self.precond.is_identity() {
-                    ctx.spmv(self.a, v.col(j), &mut w);
+                // Direction for w = A M^{-1} v_j (preconditioner
+                // applications stay eager — they run their own kernels).
+                let dir: &[S] = if self.precond.is_identity() {
+                    v.col(j)
                 } else {
                     self.precond.apply(ctx, self.a, v.col(j), &mut z);
-                    ctx.spmv(self.a, &z, &mut w);
-                }
+                    &z
+                };
 
-                // Orthogonalize w against V_{j+1}.
+                // SpMV + orthogonalization of w against V_{j+1}. The
+                // CGS passes form one recorded region: the ops chain
+                // through w/h, so the DAG reproduces eager order (and
+                // eager timing) exactly — this region is the parity
+                // anchor for recorded single-RHS execution.
                 let ncols = j + 1;
+                let mut hj1 = S::zero();
                 match self.cfg.ortho {
                     OrthoMethod::Cgs2 => {
                         // Two classical passes: 2x (GEMV-T + GEMV-N).
-                        ctx.gemv_t(&v, ncols, &w, &mut h1);
-                        ctx.gemv_n_sub(&v, ncols, &h1, &mut w);
-                        ctx.gemv_t(&v, ncols, &w, &mut h2);
-                        ctx.gemv_n_sub(&v, ncols, &h2, &mut w);
+                        let mut st = ctx.stream();
+                        // SAFETY: every recorded buffer (a, v, z, w, h1,
+                        // h2, hj1) is a local of this function that
+                        // outlives `st`, and none is touched by the host
+                        // before the sync below.
+                        unsafe {
+                            st.spmv(self.a, dir, &mut w);
+                            st.gemv_t(&v, ncols, &w, &mut h1);
+                            st.gemv_n_sub(&v, ncols, &h1, &mut w);
+                            st.gemv_t(&v, ncols, &w, &mut h2);
+                            st.gemv_n_sub(&v, ncols, &h2, &mut w);
+                            st.norm2_into(&w, &mut hj1);
+                        }
+                        st.sync();
                         for i in 0..ncols {
                             hcol[i] = h1[i] + h2[i];
                         }
                     }
                     OrthoMethod::Cgs1 => {
-                        ctx.gemv_t(&v, ncols, &w, &mut h1);
-                        ctx.gemv_n_sub(&v, ncols, &h1, &mut w);
+                        let mut st = ctx.stream();
+                        // SAFETY: as in the Cgs2 region above.
+                        unsafe {
+                            st.spmv(self.a, dir, &mut w);
+                            st.gemv_t(&v, ncols, &w, &mut h1);
+                            st.gemv_n_sub(&v, ncols, &h1, &mut w);
+                            st.norm2_into(&w, &mut hj1);
+                        }
+                        st.sync();
                         hcol[..ncols].copy_from_slice(&h1[..ncols]);
                     }
                     OrthoMethod::Mgs => {
-                        // 2j skinny kernels: stable, launch-heavy.
+                        // 2j skinny kernels: stable, launch-heavy, and
+                        // each dot feeds the next host decision — nothing
+                        // to record.
+                        ctx.spmv(self.a, dir, &mut w);
                         for i in 0..ncols {
                             let hi = ctx.dot(v.col(i), &w);
                             ctx.axpy(-hi, v.col(i), &mut w);
                             hcol[i] = hi;
                         }
+                        hj1 = ctx.norm2(&w);
                     }
                 }
-                let hj1 = ctx.norm2(&w);
                 hcol[ncols] = hj1;
                 total_iters += 1;
                 ctx.charge_iteration_host(j);

@@ -63,6 +63,7 @@ pub mod ir;
 pub mod ir3;
 pub mod precond;
 pub mod status;
+pub mod stream;
 
 pub use block_gmres::BlockGmres;
 pub use config::{GmresConfig, IrConfig, OrthoMethod};
@@ -72,7 +73,9 @@ pub use gmres::Gmres;
 pub use ir::GmresIr;
 pub use ir3::{GmresIr3, Ir3Config};
 pub use mpgmres_backend::{
-    Backend, BackendKind, BackendScalar, ParallelBackend, ReferenceBackend, ScalarBackend,
+    Backend, BackendKind, BackendScalar, ParallelBackend, PartitionStrategy, ReferenceBackend,
+    ScalarBackend,
 };
 pub use mpgmres_la::multivec::MultiVec;
 pub use status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
+pub use stream::Stream;

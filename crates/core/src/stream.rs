@@ -1,0 +1,687 @@
+//! The command recorder: kernel calls enqueue typed ops, `sync` builds
+//! and executes the dependency DAG.
+//!
+//! [`Stream`] is the recorded counterpart of [`GpuContext`]'s eager
+//! kernel methods. Each record call validates shapes and charges the
+//! profiler exactly like its eager twin (the two share the same cost
+//! specs, so the per-class accounting of a recorded run is bit-identical
+//! to an eager run of the same call sequence), but instead of executing
+//! immediately it pushes an [`OpNode`] carrying the call's read/write
+//! buffer spans. Dependencies are derived from span overlap as ops are
+//! recorded; at [`Stream::sync`] (or drop) the DAG's wavefronts of
+//! mutually independent ready ops go to
+//! [`Backend::execute_batch`](mpgmres_backend::Backend), which may run
+//! them concurrently.
+//!
+//! Two things distinguish a recorded region from eager execution, and
+//! bit-identical results are *not* one of them (see the determinism
+//! notes in [`mpgmres_backend::stream`]):
+//!
+//! - independent ops may execute concurrently on a parallel backend;
+//! - the profiler charges each op on the overlap-aware timeline at the
+//!   finish time of its dependencies, so the report's critical path can
+//!   drop below the serial sum. For a chain-shaped region the two
+//!   timelines agree bit-for-bit.
+//!
+//! # Recording contract
+//!
+//! A recorded op holds raw views of the buffers passed to the record
+//! call, exactly like a device stream holds buffer handles across an
+//! asynchronous launch — the borrow checker cannot see them, which is
+//! why every record method is `unsafe fn`. The caller promises that
+//! between the record call and `sync`:
+//!
+//! - every recorded buffer (and matrix/basis) stays alive, and
+//! - the host neither reads nor writes it.
+//!
+//! `sync` runs automatically when the stream drops, and the stream
+//! mutably borrows the context, so in the usual pattern — record a
+//! region over locals that outlive the stream, sync, read results — a
+//! single `// SAFETY` comment per region discharges the obligation.
+//! Reading a result buffer (e.g. a [`Stream::norm2_into`] slot) before
+//! `sync` yields unspecified *values*; letting a recorded buffer drop
+//! before `sync` is a use-after-free, which is exactly what the
+//! `unsafe` marks.
+//!
+//! With [`GpuContext::set_streaming`] turned off, every record call
+//! executes eagerly in place (record + immediate sync), which is the
+//! reference behavior the parity suite compares against.
+
+use mpgmres_backend::stream::{
+    ExecOp, OpGraph, OpNode, RawMut, RawRef, RawSlice, RawSliceMut, Span,
+};
+use mpgmres_backend::{contracts, BackendScalar};
+use mpgmres_gpusim::KernelClass;
+use mpgmres_la::csr::Csr;
+use mpgmres_la::multivec::MultiVec;
+use mpgmres_la::multivector::MultiVector;
+
+use crate::context::{GpuContext, GpuMatrix};
+
+/// A recording session on a [`GpuContext`]. See the module docs for the
+/// recording contract; obtain one with [`GpuContext::stream`].
+pub struct Stream<'c> {
+    ctx: &'c mut GpuContext,
+    graph: OpGraph,
+    execs: Vec<Option<ExecOp>>,
+    finish: Vec<f64>,
+    base: f64,
+    eager: bool,
+}
+
+/// Dependency span of the leading `ncols` columns of a Krylov basis
+/// (they are one contiguous run of the backing allocation).
+fn basis_span<S: mpgmres_scalar::Scalar>(v: &MultiVector<S>, ncols: usize) -> Span {
+    debug_assert!(ncols >= 1);
+    Span::of(v.col(0)).hull(Span::of(v.col(ncols - 1)))
+}
+
+/// Dependency span of the leading `k` columns of a multi-RHS block.
+fn block_span<S: mpgmres_scalar::Scalar>(x: &MultiVec<S>, k: usize) -> Span {
+    Span::of(&x.data()[..k * x.n()])
+}
+
+impl<'c> Stream<'c> {
+    pub(crate) fn begin(ctx: &'c mut GpuContext) -> Self {
+        let base = ctx.profiler().critical_seconds();
+        let eager = !ctx.streaming();
+        Stream {
+            ctx,
+            graph: OpGraph::new(),
+            execs: Vec::new(),
+            finish: Vec::new(),
+            base,
+            eager,
+        }
+    }
+
+    /// Ops recorded so far (0 in eager mode — everything already ran).
+    pub fn recorded(&self) -> usize {
+        self.graph.len()
+    }
+
+    fn record(&mut self, node: OpNode, charge: Option<(KernelClass, f64, usize)>, exec: ExecOp) {
+        let idx = self.graph.push(node);
+        let mut ready = self.base;
+        for &p in self.graph.preds(idx) {
+            if self.finish[p] > ready {
+                ready = self.finish[p];
+            }
+        }
+        let fin = match charge {
+            Some((class, t, bytes)) => self.ctx.profiler_mut().charge_ready(class, t, bytes, ready),
+            None => ready,
+        };
+        self.finish.push(fin);
+        self.execs.push(Some(exec));
+    }
+
+    /// Submit everything recorded and wait for completion. Dropping the
+    /// stream does the same; `sync` just makes the barrier explicit at
+    /// the point where the host reads results.
+    pub fn sync(self) {}
+
+    // ----- recordable kernels ----------------------------------------
+
+    /// Record `y = A x` (charged as a solver SpMV).
+    ///
+    /// # Safety
+    /// The stream contract (module docs): every buffer recorded here
+    /// must outlive the stream's sync/drop, and the host must not
+    /// read or write it until then.
+    pub unsafe fn spmv<S: BackendScalar>(&mut self, a: &GpuMatrix<S>, x: &[S], y: &mut [S]) {
+        if self.eager {
+            self.ctx.spmv(a, x, y);
+            return;
+        }
+        contracts::spmv(a.csr(), x, y);
+        let (t, bytes) = self.ctx.spmv_spec::<S>(a);
+        let node = OpNode::new("spmv", vec![Span::of(x)], vec![Span::of(y)]);
+        let (ar, xr, yw): (RawRef<Csr<S>>, _, _) =
+            (RawRef::new(a.csr()), RawSlice::new(x), RawSliceMut::new(y));
+        self.record(
+            node,
+            Some((KernelClass::SpMV, t, bytes)),
+            Box::new(move |b| {
+                // SAFETY: stream contract (module docs).
+                unsafe { S::view(b).spmv(ar.get(), xr.get(), yw.get()) }
+            }),
+        );
+    }
+
+    /// Record the fused residual `r = b - A x`, charged to `class`.
+    ///
+    /// # Safety
+    /// The stream contract (module docs): every buffer recorded here
+    /// must outlive the stream's sync/drop, and the host must not
+    /// read or write it until then.
+    pub unsafe fn residual_as<S: BackendScalar>(
+        &mut self,
+        class: KernelClass,
+        a: &GpuMatrix<S>,
+        b: &[S],
+        x: &[S],
+        r: &mut [S],
+    ) {
+        if self.eager {
+            self.ctx.residual_as(class, a, b, x, r);
+            return;
+        }
+        contracts::residual(a.csr(), b, x, r);
+        let (t, bytes) = self.ctx.residual_spec::<S>(a);
+        let node = OpNode::new(
+            "residual",
+            vec![Span::of(b), Span::of(x)],
+            vec![Span::of(r)],
+        );
+        let (ar, br, xr, rw): (RawRef<Csr<S>>, _, _, _) = (
+            RawRef::new(a.csr()),
+            RawSlice::new(b),
+            RawSlice::new(x),
+            RawSliceMut::new(r),
+        );
+        self.record(
+            node,
+            Some((class, t, bytes)),
+            Box::new(move |be| {
+                // SAFETY: stream contract.
+                unsafe { S::view(be).residual(ar.get(), br.get(), xr.get(), rw.get()) }
+            }),
+        );
+    }
+
+    /// Record `h = V^T w` over the first `ncols` basis columns.
+    ///
+    /// # Safety
+    /// The stream contract (module docs): every buffer recorded here
+    /// must outlive the stream's sync/drop, and the host must not
+    /// read or write it until then.
+    pub unsafe fn gemv_t<S: BackendScalar>(
+        &mut self,
+        v: &MultiVector<S>,
+        ncols: usize,
+        w: &[S],
+        h: &mut [S],
+    ) {
+        if self.eager {
+            self.ctx.gemv_t(v, ncols, w, h);
+            return;
+        }
+        contracts::gemv(v, ncols, w, h);
+        let (t, bytes) = self.ctx.gemv_t_spec::<S>(v.n(), ncols);
+        let node = OpNode::new(
+            "gemv_t",
+            vec![basis_span(v, ncols), Span::of(w)],
+            vec![Span::of(&h[..ncols])],
+        );
+        let order = self.ctx.reduction();
+        let (vr, wr, hw) = (RawRef::new(v), RawSlice::new(w), RawSliceMut::new(h));
+        self.record(
+            node,
+            Some((KernelClass::GemvT, t, bytes)),
+            Box::new(move |b| {
+                // SAFETY: stream contract.
+                unsafe { S::view(b).gemv_t(vr.get(), ncols, wr.get(), hw.get(), order) }
+            }),
+        );
+    }
+
+    /// Record `w -= V h` (GEMV No-Trans).
+    ///
+    /// # Safety
+    /// The stream contract (module docs): every buffer recorded here
+    /// must outlive the stream's sync/drop, and the host must not
+    /// read or write it until then.
+    pub unsafe fn gemv_n_sub<S: BackendScalar>(
+        &mut self,
+        v: &MultiVector<S>,
+        ncols: usize,
+        h: &[S],
+        w: &mut [S],
+    ) {
+        if self.eager {
+            self.ctx.gemv_n_sub(v, ncols, h, w);
+            return;
+        }
+        contracts::gemv(v, ncols, w, h);
+        let (t, bytes) = self.ctx.gemv_n_spec::<S>(v.n(), ncols);
+        let node = OpNode::new(
+            "gemv_n_sub",
+            vec![basis_span(v, ncols), Span::of(&h[..ncols])],
+            vec![Span::of(w)],
+        );
+        let (vr, hr, ww) = (RawRef::new(v), RawSlice::new(h), RawSliceMut::new(w));
+        self.record(
+            node,
+            Some((KernelClass::GemvN, t, bytes)),
+            Box::new(move |b| {
+                // SAFETY: stream contract.
+                unsafe { S::view(b).gemv_n_sub(vr.get(), ncols, hr.get(), ww.get()) }
+            }),
+        );
+    }
+
+    /// Record `y += V h` (GEMV No-Trans; the solution update).
+    ///
+    /// # Safety
+    /// The stream contract (module docs): every buffer recorded here
+    /// must outlive the stream's sync/drop, and the host must not
+    /// read or write it until then.
+    pub unsafe fn gemv_n_add<S: BackendScalar>(
+        &mut self,
+        v: &MultiVector<S>,
+        ncols: usize,
+        h: &[S],
+        y: &mut [S],
+    ) {
+        if self.eager {
+            self.ctx.gemv_n_add(v, ncols, h, y);
+            return;
+        }
+        contracts::gemv(v, ncols, y, h);
+        let (t, bytes) = self.ctx.gemv_n_spec::<S>(v.n(), ncols);
+        let node = OpNode::new(
+            "gemv_n_add",
+            vec![basis_span(v, ncols), Span::of(&h[..ncols])],
+            vec![Span::of(y)],
+        );
+        let (vr, hr, yw) = (RawRef::new(v), RawSlice::new(h), RawSliceMut::new(y));
+        self.record(
+            node,
+            Some((KernelClass::GemvN, t, bytes)),
+            Box::new(move |b| {
+                // SAFETY: stream contract.
+                unsafe { S::view(b).gemv_n_add(vr.get(), ncols, hr.get(), yw.get()) }
+            }),
+        );
+    }
+
+    /// Record `y += alpha x`.
+    ///
+    /// # Safety
+    /// The stream contract (module docs): every buffer recorded here
+    /// must outlive the stream's sync/drop, and the host must not
+    /// read or write it until then.
+    pub unsafe fn axpy<S: BackendScalar>(&mut self, alpha: S, x: &[S], y: &mut [S]) {
+        if self.eager {
+            self.ctx.axpy(alpha, x, y);
+            return;
+        }
+        contracts::same_len("axpy", x, y);
+        let (t, bytes) = self.ctx.axpy_spec::<S>(x.len());
+        let node = OpNode::new("axpy", vec![Span::of(x)], vec![Span::of(y)]);
+        let (xr, yw) = (RawSlice::new(x), RawSliceMut::new(y));
+        self.record(
+            node,
+            Some((KernelClass::Axpy, t, bytes)),
+            Box::new(move |b| {
+                // SAFETY: stream contract.
+                unsafe { S::view(b).axpy(alpha, xr.get(), yw.get()) }
+            }),
+        );
+    }
+
+    /// Record `x *= alpha`.
+    ///
+    /// # Safety
+    /// The stream contract (module docs): every buffer recorded here
+    /// must outlive the stream's sync/drop, and the host must not
+    /// read or write it until then.
+    pub unsafe fn scal<S: BackendScalar>(&mut self, alpha: S, x: &mut [S]) {
+        if self.eager {
+            self.ctx.scal(alpha, x);
+            return;
+        }
+        let (t, bytes) = self.ctx.scal_spec::<S>(x.len());
+        let node = OpNode::new("scal", Vec::new(), vec![Span::of(x)]);
+        let xw = RawSliceMut::new(x);
+        self.record(
+            node,
+            Some((KernelClass::Scal, t, bytes)),
+            Box::new(move |b| {
+                // SAFETY: stream contract.
+                unsafe { S::view(b).scal(alpha, xw.get()) }
+            }),
+        );
+    }
+
+    /// Record a device-resident copy (uncharged, like
+    /// [`GpuContext::copy`]; still a DAG node so dependent ops order).
+    ///
+    /// # Safety
+    /// The stream contract (module docs): every buffer recorded here
+    /// must outlive the stream's sync/drop, and the host must not
+    /// read or write it until then.
+    pub unsafe fn copy<S: BackendScalar>(&mut self, src: &[S], dst: &mut [S]) {
+        if self.eager {
+            self.ctx.copy(src, dst);
+            return;
+        }
+        contracts::same_len("copy", src, dst);
+        let node = OpNode::new("copy", vec![Span::of(src)], vec![Span::of(dst)]);
+        let (sr, dw) = (RawSlice::new(src), RawSliceMut::new(dst));
+        self.record(
+            node,
+            None,
+            Box::new(move |b| {
+                // SAFETY: stream contract.
+                unsafe { S::view(b).copy(sr.get(), dw.get()) }
+            }),
+        );
+    }
+
+    /// Record a Euclidean norm whose result lands in `*out` after sync
+    /// (the recordable form of [`GpuContext::norm2`]).
+    ///
+    /// # Safety
+    /// The stream contract (module docs): every buffer recorded here
+    /// must outlive the stream's sync/drop, and the host must not
+    /// read or write it until then.
+    pub unsafe fn norm2_into<S: BackendScalar>(&mut self, x: &[S], out: &mut S) {
+        if self.eager {
+            *out = self.ctx.norm2(x);
+            return;
+        }
+        let (t, bytes) = self.ctx.norm_spec::<S>(x.len());
+        let node = OpNode::new("norm2", vec![Span::of(x)], vec![Span::of_value(out)]);
+        let order = self.ctx.reduction();
+        let (xr, ow) = (RawSlice::new(x), RawMut::new(out));
+        self.record(
+            node,
+            Some((KernelClass::Norm, t, bytes)),
+            Box::new(move |b| {
+                // SAFETY: stream contract.
+                unsafe { *ow.get() = S::view(b).norm2(xr.get(), order) }
+            }),
+        );
+    }
+
+    // ----- batched multi-RHS kernels ---------------------------------
+
+    /// Record the batched SpMM `Y[:, ..k] = A X[:, ..k]`.
+    ///
+    /// # Safety
+    /// The stream contract (module docs): every buffer recorded here
+    /// must outlive the stream's sync/drop, and the host must not
+    /// read or write it until then.
+    pub unsafe fn spmm<S: BackendScalar>(
+        &mut self,
+        a: &GpuMatrix<S>,
+        x: &MultiVec<S>,
+        k: usize,
+        y: &mut MultiVec<S>,
+    ) {
+        if self.eager {
+            self.ctx.spmm(a, x, k, y);
+            return;
+        }
+        contracts::spmm(a.csr(), x, k, y);
+        let (t, bytes) = self.ctx.spmm_spec::<S>(a, k);
+        let node = OpNode::new("spmm", vec![block_span(x, k)], vec![block_span(y, k)]);
+        let ar: RawRef<Csr<S>> = RawRef::new(a.csr());
+        let (xr, yw) = (RawRef::new(x), RawMut::new(y));
+        self.record(
+            node,
+            Some((KernelClass::SpMV, t, bytes)),
+            Box::new(move |b| {
+                // SAFETY: stream contract.
+                unsafe { S::view(b).spmm(ar.get(), xr.get(), k, yw.get()) }
+            }),
+        );
+    }
+
+    /// Record the batched GEMV-Trans over one basis per block column.
+    ///
+    /// # Safety
+    /// The stream contract (module docs): every buffer recorded here
+    /// must outlive the stream's sync/drop, and the host must not
+    /// read or write it until then.
+    pub unsafe fn block_gemv_t<S: BackendScalar>(
+        &mut self,
+        vs: &[&MultiVector<S>],
+        ncols: usize,
+        w: &MultiVec<S>,
+        h: &mut [S],
+    ) {
+        if self.eager {
+            self.ctx.block_gemv_t(vs, ncols, w, h);
+            return;
+        }
+        contracts::block_gemv(vs, ncols, w, h);
+        let k = vs.len();
+        let (t, bytes) = self.ctx.gemm_t_spec::<S>(w.n(), ncols, k);
+        let mut reads: Vec<Span> = vs.iter().map(|v| basis_span(v, ncols)).collect();
+        reads.push(block_span(w, k));
+        let node = OpNode::new("block_gemv_t", reads, vec![Span::of(&h[..k * ncols])]);
+        let order = self.ctx.reduction();
+        let vrs: Vec<RawRef<MultiVector<S>>> = vs.iter().map(|v| RawRef::new(*v)).collect();
+        let (wr, hw): (RawRef<MultiVec<S>>, _) = (RawRef::new(w), RawSliceMut::new(h));
+        self.record(
+            node,
+            Some((KernelClass::GemvT, t, bytes)),
+            Box::new(move |b| {
+                // SAFETY: stream contract.
+                unsafe {
+                    let vs: Vec<&MultiVector<S>> = vrs.iter().map(|v| v.get()).collect();
+                    S::view(b).block_gemv_t(&vs, ncols, wr.get(), hw.get(), order)
+                }
+            }),
+        );
+    }
+
+    /// Record the batched GEMV-NoTrans `w_c -= V_c h_c`.
+    ///
+    /// # Safety
+    /// The stream contract (module docs): every buffer recorded here
+    /// must outlive the stream's sync/drop, and the host must not
+    /// read or write it until then.
+    pub unsafe fn block_gemv_n_sub<S: BackendScalar>(
+        &mut self,
+        vs: &[&MultiVector<S>],
+        ncols: usize,
+        h: &[S],
+        w: &mut MultiVec<S>,
+    ) {
+        if self.eager {
+            self.ctx.block_gemv_n_sub(vs, ncols, h, w);
+            return;
+        }
+        contracts::block_gemv(vs, ncols, w, h);
+        let k = vs.len();
+        let (t, bytes) = self.ctx.gemm_n_spec::<S>(w.n(), ncols, k);
+        let mut reads: Vec<Span> = vs.iter().map(|v| basis_span(v, ncols)).collect();
+        reads.push(Span::of(&h[..k * ncols]));
+        let node = OpNode::new("block_gemv_n_sub", reads, vec![block_span(w, k)]);
+        let vrs: Vec<RawRef<MultiVector<S>>> = vs.iter().map(|v| RawRef::new(*v)).collect();
+        let (hr, ww): (_, RawMut<MultiVec<S>>) = (RawSlice::new(h), RawMut::new(w));
+        self.record(
+            node,
+            Some((KernelClass::GemvN, t, bytes)),
+            Box::new(move |b| {
+                // SAFETY: stream contract.
+                unsafe {
+                    let vs: Vec<&MultiVector<S>> = vrs.iter().map(|v| v.get()).collect();
+                    S::view(b).block_gemv_n_sub(&vs, ncols, hr.get(), ww.get())
+                }
+            }),
+        );
+    }
+
+    /// Record fused column norms whose results land in `out[..k]` after
+    /// sync.
+    ///
+    /// # Safety
+    /// The stream contract (module docs): every buffer recorded here
+    /// must outlive the stream's sync/drop, and the host must not
+    /// read or write it until then.
+    pub unsafe fn block_norm2_into<S: BackendScalar>(
+        &mut self,
+        x: &MultiVec<S>,
+        k: usize,
+        out: &mut [S],
+    ) {
+        if self.eager {
+            self.ctx.block_norm2(x, k, out);
+            return;
+        }
+        contracts::block_scalars("block_norm2", x, k, out);
+        let (t, bytes) = self.ctx.block_norm_spec::<S>(x.n(), k);
+        let node = OpNode::new(
+            "block_norm2",
+            vec![block_span(x, k)],
+            vec![Span::of(&out[..k])],
+        );
+        let order = self.ctx.reduction();
+        let (xr, ow): (RawRef<MultiVec<S>>, _) = (RawRef::new(x), RawSliceMut::new(out));
+        self.record(
+            node,
+            Some((KernelClass::Norm, t, bytes)),
+            Box::new(move |b| {
+                // SAFETY: stream contract.
+                unsafe { S::view(b).block_norm2(xr.get(), k, ow.get(), order) }
+            }),
+        );
+    }
+}
+
+impl Drop for Stream<'_> {
+    fn drop(&mut self) {
+        if self.graph.is_empty() {
+            return;
+        }
+        // A record call's contract assert can fire mid-region; running
+        // the half-recorded graph while unwinding would risk a
+        // double-panic abort that masks the original message. Pending
+        // ops are simply abandoned in that case.
+        if std::thread::panicking() {
+            return;
+        }
+        let execs = std::mem::take(&mut self.execs);
+        mpgmres_backend::stream::submit(&self.graph, execs, self.ctx.backend());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpgmres_gpusim::DeviceModel;
+    use mpgmres_la::coo::Coo;
+    use mpgmres_la::vec_ops::ReductionOrder;
+
+    fn small_matrix() -> GpuMatrix<f64> {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, 2.0);
+        coo.push(0, 1, -1.0);
+        coo.push(1, 0, -1.0);
+        coo.push(1, 1, 2.0);
+        coo.push(1, 2, -1.0);
+        coo.push(2, 1, -1.0);
+        coo.push(2, 2, 2.0);
+        GpuMatrix::new(coo.into_csr())
+    }
+
+    #[test]
+    fn recorded_chain_matches_eager_bitwise() {
+        let a = small_matrix();
+        let run = |streaming: bool| {
+            let mut ctx =
+                GpuContext::with_reduction(DeviceModel::v100_belos(), ReductionOrder::Sequential);
+            ctx.set_streaming(streaming);
+            let x = [1.0, 2.0, 3.0];
+            let mut y = [0.0f64; 3];
+            let mut nrm = 0.0f64;
+            {
+                let mut st = ctx.stream();
+                // SAFETY: all recorded buffers are locals outliving the stream.
+                unsafe {
+                    st.spmv(&a, &x, &mut y);
+                    st.norm2_into(&y, &mut nrm);
+                }
+                st.sync();
+            }
+            (y, nrm, ctx.elapsed(), ctx.profiler().critical_seconds())
+        };
+        let (y_r, n_r, t_r, c_r) = run(true);
+        let (y_e, n_e, t_e, c_e) = run(false);
+        assert_eq!(y_r, y_e);
+        assert_eq!(n_r.to_bits(), n_e.to_bits());
+        assert_eq!(t_r.to_bits(), t_e.to_bits());
+        // A pure chain has critical == serial in both modes.
+        assert_eq!(c_r.to_bits(), t_r.to_bits());
+        assert_eq!(c_e.to_bits(), t_e.to_bits());
+    }
+
+    #[test]
+    fn independent_recorded_ops_overlap_on_the_timeline() {
+        let run_streaming = |streaming: bool| {
+            let mut ctx =
+                GpuContext::with_reduction(DeviceModel::v100_belos(), ReductionOrder::Sequential);
+            ctx.set_streaming(streaming);
+            let x = vec![1.0f64; 64];
+            let mut y1 = vec![2.0f64; 64];
+            let mut y2 = vec![3.0f64; 64];
+            {
+                let mut st = ctx.stream();
+                // SAFETY: all recorded buffers are locals outliving the stream.
+                unsafe {
+                    st.axpy(1.5, &x, &mut y1);
+                    st.axpy(-0.5, &x, &mut y2); // independent of the first
+                }
+                st.sync();
+            }
+            (y1, y2, ctx.elapsed(), ctx.profiler().critical_seconds())
+        };
+        let (y1, y2, serial, critical) = run_streaming(true);
+        let (e1, e2, serial_e, critical_e) = run_streaming(false);
+        assert_eq!(y1, e1);
+        assert_eq!(y2, e2);
+        assert_eq!(serial.to_bits(), serial_e.to_bits());
+        // Eager mode serializes; recorded mode overlaps the two axpys.
+        assert_eq!(critical_e.to_bits(), serial_e.to_bits());
+        assert!(critical < serial, "{critical} !< {serial}");
+    }
+
+    #[test]
+    fn war_hazard_orders_recorded_ops() {
+        // op1 reads w, op2 overwrites w: the DAG must execute op1 first
+        // even though op2 carries no data from it (write-after-read).
+        let mut ctx =
+            GpuContext::with_reduction(DeviceModel::v100_belos(), ReductionOrder::Sequential);
+        let mut w = vec![3.0f64, 4.0];
+        let mut h = vec![0.0f64; 2];
+        {
+            let mut st = ctx.stream();
+            // SAFETY: all recorded buffers are locals outliving the stream.
+            unsafe {
+                st.axpy(2.0, &w, &mut h); // reads the original w
+                st.scal(0.5, &mut w); // then clobbers it
+            }
+            st.sync();
+        }
+        assert_eq!(h, vec![6.0, 8.0], "axpy must see w before the scal");
+        assert_eq!(w, vec![1.5, 2.0]);
+    }
+
+    #[test]
+    fn raw_and_waw_hazards_order_recorded_ops() {
+        let a = small_matrix();
+        let mut ctx =
+            GpuContext::with_reduction(DeviceModel::v100_belos(), ReductionOrder::Sequential);
+        let x = [1.0f64, 1.0, 1.0];
+        let mut y = [0.0f64; 3];
+        let mut nrm = 0.0f64;
+        {
+            let mut st = ctx.stream();
+            // SAFETY: all recorded buffers are locals outliving the stream.
+            unsafe {
+                st.spmv(&a, &x, &mut y); // writes y
+                st.scal(2.0, &mut y); // WAW + RAW on y
+                st.norm2_into(&y, &mut nrm); // RAW on y
+            }
+            st.sync();
+        }
+        // A 1D Laplacian row sums: y = [1, 0, 1] then doubled.
+        assert_eq!(y, [2.0, 0.0, 2.0]);
+        assert_eq!(nrm, (8.0f64).sqrt());
+    }
+}

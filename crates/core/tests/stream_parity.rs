@@ -1,0 +1,315 @@
+//! Recorded-stream vs eager execution parity.
+//!
+//! The contract under test (ISSUE 3 acceptance): with streaming on, the
+//! solvers record kernel regions into a dependency DAG and submit them
+//! in overlapping batches; with streaming off, the identical call
+//! sequence executes eagerly in record order. For GMRES and `BlockGmres`
+//! (preconditioned included), on both backends:
+//!
+//! - solutions, histories, and statuses are **bit-for-bit** identical
+//!   across the two modes;
+//! - the serial simulated timing (total + per-category) is bit-for-bit
+//!   identical across the two modes;
+//! - the critical path never exceeds the serial total, equals it when
+//!   everything is a chain (single-RHS GMRES, and all eager runs), and
+//!   drops strictly below it when independent per-lane work exists
+//!   (`BlockGmres` with several lanes).
+
+use std::sync::Arc;
+
+use mpgmres::precond::block_jacobi::BlockJacobi;
+use mpgmres::precond::{Identity, Preconditioner};
+use mpgmres::{
+    Backend, BlockGmres, Gmres, GmresConfig, GpuContext, GpuMatrix, MultiVec, OrthoMethod,
+    ParallelBackend, ReferenceBackend, SolveResult,
+};
+use mpgmres_gpusim::{DeviceModel, PaperCategory};
+use mpgmres_la::coo::Coo;
+use mpgmres_la::vec_ops::ReductionOrder;
+
+fn laplace2d_matrix(nx: usize) -> GpuMatrix<f64> {
+    let n = nx * nx;
+    let mut coo = Coo::new(n, n);
+    let idx = |i: usize, j: usize| i * nx + j;
+    for i in 0..nx {
+        for j in 0..nx {
+            let r = idx(i, j);
+            coo.push(r, r, 4.0);
+            if i > 0 {
+                coo.push(r, idx(i - 1, j), -1.0);
+            }
+            if i + 1 < nx {
+                coo.push(r, idx(i + 1, j), -1.0);
+            }
+            if j > 0 {
+                coo.push(r, idx(i, j - 1), -1.0);
+            }
+            if j + 1 < nx {
+                coo.push(r, idx(i, j + 1), -1.0);
+            }
+        }
+    }
+    GpuMatrix::new(coo.into_csr())
+}
+
+fn rhs(n: usize, salt: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let z = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+fn backends() -> Vec<(&'static str, Arc<dyn Backend>)> {
+    vec![
+        ("reference", Arc::new(ReferenceBackend) as Arc<dyn Backend>),
+        (
+            "parallel",
+            Arc::new(ParallelBackend::with_threads(4)) as Arc<dyn Backend>,
+        ),
+    ]
+}
+
+fn ctx_on(backend: Arc<dyn Backend>, streaming: bool) -> GpuContext {
+    let mut ctx =
+        GpuContext::with_backend(DeviceModel::v100_belos(), ReductionOrder::GPU_LIKE, backend);
+    ctx.set_streaming(streaming);
+    ctx
+}
+
+fn assert_results_identical(a: &SolveResult, b: &SolveResult, what: &str) {
+    assert_eq!(a.status, b.status, "{what}: status");
+    assert_eq!(a.iterations, b.iterations, "{what}: iterations");
+    assert_eq!(a.restarts, b.restarts, "{what}: restarts");
+    assert_eq!(
+        a.final_relative_residual.to_bits(),
+        b.final_relative_residual.to_bits(),
+        "{what}: final residual"
+    );
+    assert_eq!(a.history.len(), b.history.len(), "{what}: history length");
+    for (i, (ha, hb)) in a.history.iter().zip(&b.history).enumerate() {
+        assert_eq!(
+            ha.relative_residual.to_bits(),
+            hb.relative_residual.to_bits(),
+            "{what}: history[{i}]"
+        );
+    }
+}
+
+/// Serial accounting (total, per-category seconds/calls/bytes) must be
+/// bit-identical across modes; criticals are compared by the caller.
+fn assert_serial_reports_identical(rec: &GpuContext, eager: &GpuContext, what: &str) {
+    let (rr, re) = (rec.report(), eager.report());
+    assert_eq!(
+        rr.total_seconds.to_bits(),
+        re.total_seconds.to_bits(),
+        "{what}: serial total"
+    );
+    for cat in PaperCategory::ALL {
+        let a = rr.categories.get(&cat).copied().unwrap_or_default();
+        let b = re.categories.get(&cat).copied().unwrap_or_default();
+        assert_eq!(a.calls, b.calls, "{what}: {cat} calls");
+        assert_eq!(a.bytes, b.bytes, "{what}: {cat} bytes");
+        assert_eq!(
+            a.seconds.to_bits(),
+            b.seconds.to_bits(),
+            "{what}: {cat} seconds"
+        );
+    }
+}
+
+/// Single-RHS GMRES: recorded == eager bit-for-bit, and because every
+/// recorded region is a chain, the critical path equals the serial
+/// total bit-for-bit in both modes.
+#[test]
+fn gmres_recorded_matches_eager_and_is_a_chain() {
+    let a = laplace2d_matrix(40);
+    let n = a.n();
+    let b = rhs(n, 1);
+    let cfg = GmresConfig::default().with_m(25).with_max_iters(5_000);
+    for (name, backend) in backends() {
+        for ortho in [OrthoMethod::Cgs2, OrthoMethod::Cgs1] {
+            let what = format!("{name}/{ortho:?}");
+            let run = |streaming: bool| {
+                let mut ctx = ctx_on(backend.clone(), streaming);
+                let mut x = vec![0.0f64; n];
+                let res =
+                    Gmres::new(&a, &Identity, cfg.with_ortho(ortho)).solve(&mut ctx, &b, &mut x);
+                (ctx, x, res)
+            };
+            let (ctx_r, x_r, res_r) = run(true);
+            let (ctx_e, x_e, res_e) = run(false);
+            assert!(res_e.status.is_converged(), "{what}: converged");
+            assert_results_identical(&res_r, &res_e, &what);
+            for (i, (xr, xe)) in x_r.iter().zip(&x_e).enumerate() {
+                assert_eq!(xr.to_bits(), xe.to_bits(), "{what}: x[{i}]");
+            }
+            assert_serial_reports_identical(&ctx_r, &ctx_e, &what);
+            // Chain case: critical == serial, bit-for-bit, in both modes.
+            let rep_r = ctx_r.report();
+            let rep_e = ctx_e.report();
+            assert_eq!(
+                rep_r.critical_path_seconds.to_bits(),
+                rep_r.total_seconds.to_bits(),
+                "{what}: recorded single-RHS GMRES is a chain"
+            );
+            assert_eq!(
+                rep_e.critical_path_seconds.to_bits(),
+                rep_e.total_seconds.to_bits(),
+                "{what}: eager runs serialize"
+            );
+        }
+    }
+}
+
+/// Preconditioned single-RHS GMRES (block Jacobi): recorded == eager.
+#[test]
+fn preconditioned_gmres_recorded_matches_eager() {
+    let a = laplace2d_matrix(32);
+    let n = a.n();
+    let precond = BlockJacobi::build(&a, 8);
+    assert!(!precond.is_identity());
+    let b = rhs(n, 7);
+    let cfg = GmresConfig::default().with_m(20).with_max_iters(3_000);
+    for (name, backend) in backends() {
+        let run = |streaming: bool| {
+            let mut ctx = ctx_on(backend.clone(), streaming);
+            let mut x = vec![0.0f64; n];
+            let res = Gmres::new(&a, &precond, cfg).solve(&mut ctx, &b, &mut x);
+            (ctx, x, res)
+        };
+        let (ctx_r, x_r, res_r) = run(true);
+        let (ctx_e, x_e, res_e) = run(false);
+        assert!(res_e.status.is_converged(), "{name}: converged");
+        assert_results_identical(&res_r, &res_e, name);
+        for (xr, xe) in x_r.iter().zip(&x_e) {
+            assert_eq!(xr.to_bits(), xe.to_bits(), "{name}: solution");
+        }
+        assert_serial_reports_identical(&ctx_r, &ctx_e, name);
+    }
+}
+
+/// BlockGmres with several heterogeneous lanes: recorded == eager
+/// bit-for-bit per column, serial accounting identical, and the
+/// recorded critical path drops strictly below the serial total (the
+/// per-lane barrier chains and initial residuals overlap).
+#[test]
+fn block_gmres_recorded_matches_eager_and_overlaps() {
+    let a = laplace2d_matrix(40);
+    let n = a.n();
+    let b0: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 / n as f64)).collect();
+    let b1 = rhs(n, 2);
+    let b2 = rhs(n, 3);
+    let mut b3 = vec![0.0f64; n];
+    b3[0] = 1.0;
+    b3[n / 2] = -2.0;
+    let cols: Vec<&[f64]> = vec![&b0, &b1, &b2, &b3];
+    let k = cols.len();
+    let cfg = GmresConfig::default().with_m(30).with_max_iters(5_000);
+    for (name, backend) in backends() {
+        let run = |streaming: bool| {
+            let mut ctx = ctx_on(backend.clone(), streaming);
+            let bb = MultiVec::from_columns(&cols);
+            let mut x = MultiVec::<f64>::zeros(n, k);
+            let res = BlockGmres::new(&a, &Identity, cfg).solve(&mut ctx, &bb, &mut x);
+            (ctx, x, res)
+        };
+        let (ctx_r, x_r, res_r) = run(true);
+        let (ctx_e, x_e, res_e) = run(false);
+        for l in 0..k {
+            let what = format!("{name}: col {l}");
+            assert!(res_e[l].status.is_converged(), "{what}: converged");
+            assert_results_identical(&res_r[l], &res_e[l], &what);
+            for (xr, xe) in x_r.col(l).iter().zip(x_e.col(l)) {
+                assert_eq!(xr.to_bits(), xe.to_bits(), "{what}: solution");
+            }
+        }
+        assert_serial_reports_identical(&ctx_r, &ctx_e, name);
+        let rep_r = ctx_r.report();
+        let rep_e = ctx_e.report();
+        assert_eq!(
+            rep_e.critical_path_seconds.to_bits(),
+            rep_e.total_seconds.to_bits(),
+            "{name}: eager mode serializes"
+        );
+        assert!(
+            rep_r.critical_path_seconds <= rep_r.total_seconds,
+            "{name}: critical must never exceed serial"
+        );
+        assert!(
+            rep_r.critical_path_seconds < rep_r.total_seconds,
+            "{name}: k = {k} lanes must overlap ({} !< {})",
+            rep_r.critical_path_seconds,
+            rep_r.total_seconds
+        );
+        // The contract is only `critical < serial`; no lower bound — a
+        // future change that overlaps more must not fail this suite.
+        assert!(rep_r.overlap_ratio() < 1.0 && rep_r.overlap_ratio() > 0.0);
+    }
+}
+
+/// Preconditioned BlockGmres: recorded == eager per column, and the
+/// split barrier (recorded GEMV region, eager preconditioner, recorded
+/// residual region) still overlaps the independent lanes.
+#[test]
+fn preconditioned_block_gmres_recorded_matches_eager() {
+    let a = laplace2d_matrix(32);
+    let n = a.n();
+    let precond = BlockJacobi::build(&a, 8);
+    let cols_data: Vec<Vec<f64>> = (0..3).map(|l| rhs(n, 10 + l)).collect();
+    let cols: Vec<&[f64]> = cols_data.iter().map(|c| c.as_slice()).collect();
+    let cfg = GmresConfig::default().with_m(20).with_max_iters(3_000);
+    for (name, backend) in backends() {
+        let run = |streaming: bool| {
+            let mut ctx = ctx_on(backend.clone(), streaming);
+            let bb = MultiVec::from_columns(&cols);
+            let mut x = MultiVec::<f64>::zeros(n, 3);
+            let res = BlockGmres::new(&a, &precond, cfg).solve(&mut ctx, &bb, &mut x);
+            (ctx, x, res)
+        };
+        let (ctx_r, x_r, res_r) = run(true);
+        let (ctx_e, x_e, res_e) = run(false);
+        for l in 0..3 {
+            let what = format!("{name}: precond col {l}");
+            assert!(res_e[l].status.is_converged(), "{what}: converged");
+            assert_results_identical(&res_r[l], &res_e[l], &what);
+            for (xr, xe) in x_r.col(l).iter().zip(x_e.col(l)) {
+                assert_eq!(xr.to_bits(), xe.to_bits(), "{what}: solution");
+            }
+        }
+        assert_serial_reports_identical(&ctx_r, &ctx_e, name);
+        let rep = ctx_r.report();
+        assert!(
+            rep.critical_path_seconds < rep.total_seconds,
+            "{name}: preconditioned lanes still overlap"
+        );
+    }
+}
+
+/// Sequential reduction order (the fully bit-deterministic mode): the
+/// recorded path holds the same contract there.
+#[test]
+fn sequential_reduction_recorded_matches_eager() {
+    let a = laplace2d_matrix(24);
+    let n = a.n();
+    let b = rhs(n, 21);
+    let cfg = GmresConfig::default().with_m(15).with_max_iters(2_000);
+    let run = |streaming: bool| {
+        let mut ctx =
+            GpuContext::with_reduction(DeviceModel::v100_belos(), ReductionOrder::Sequential);
+        ctx.set_streaming(streaming);
+        let mut x = vec![0.0f64; n];
+        let res = Gmres::new(&a, &Identity, cfg).solve(&mut ctx, &b, &mut x);
+        (x, res, ctx.elapsed())
+    };
+    let (x_r, res_r, t_r) = run(true);
+    let (x_e, res_e, t_e) = run(false);
+    assert_results_identical(&res_r, &res_e, "sequential");
+    assert_eq!(t_r.to_bits(), t_e.to_bits());
+    for (xr, xe) in x_r.iter().zip(&x_e) {
+        assert_eq!(xr.to_bits(), xe.to_bits());
+    }
+}

@@ -13,6 +13,9 @@
 //! - [`par`] — std-thread parallel counterparts of every kernel, bit
 //!   identical to the reference (see the module docs for the contract);
 //!   the engine behind `mpgmres-backend`'s `ParallelBackend`.
+//! - [`pool`] — persistent pinned worker pool (and the [`pool::Executor`]
+//!   abstraction over scoped-spawn vs pooled execution) that lets the
+//!   parallel kernels skip the per-call thread spawn.
 //! - [`multivector`] — column-major tall-skinny matrix `V` of Krylov basis
 //!   vectors plus the two GEMV kernels CGS2 needs.
 //! - [`csr`] — compressed sparse row matrices and SpMV.
@@ -36,6 +39,8 @@ pub mod mtx;
 pub mod multivec;
 pub mod multivector;
 pub mod par;
+pub mod pool;
+pub mod raw;
 pub mod rcm;
 pub mod split_csr;
 pub mod stats;

@@ -86,6 +86,21 @@ impl<S: Scalar> MultiVec<S> {
         &self.data
     }
 
+    /// Mutably borrow the leading `k` columns as separate slices (for
+    /// lane-set kernels that scatter into several columns at once).
+    pub fn cols_mut(&mut self, k: usize) -> Vec<&mut [S]> {
+        assert!(k <= self.k, "cols_mut: too many columns");
+        let n = self.n;
+        let mut out = Vec::with_capacity(k);
+        let mut rest: &mut [S] = &mut self.data[..k * n];
+        for _ in 0..k {
+            let (col, tail) = rest.split_at_mut(n);
+            out.push(col);
+            rest = tail;
+        }
+        out
+    }
+
     /// Split the first `k` columns into row ranges: for each contiguous
     /// `(start, end)` range in `parts` (which must tile `0..n` in
     /// order), yield the `k` per-column mutable sub-slices covering

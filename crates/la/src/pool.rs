@@ -1,0 +1,361 @@
+//! Persistent pinned worker pool: the execution engine behind
+//! `mpgmres-backend`'s `ParallelBackend`.
+//!
+//! The scoped-spawn kernels in [`crate::par`] pay a thread spawn + join
+//! per kernel call, which is fine for large kernels and wasteful for the
+//! mid-size ones a GMRES iteration is made of. [`WorkerPool`] keeps a
+//! fixed set of workers alive for the lifetime of the backend and hands
+//! them *indexed jobs*: job `i` of a call always runs on worker
+//! `i % threads`, so the cached row partitions of a matrix kernel (see
+//! `ParallelBackend`'s partition cache) are pinned to the same worker on
+//! every call. Pinning is a locality policy only — job assignment can
+//! never affect results, because every job writes outputs that are
+//! disjoint from every other job's (the same independent-output rule as
+//! [`crate::par`]).
+//!
+//! Determinism: the pool runs exactly the closures it is given; it adds
+//! no reductions, no reordering of any dependent computation, and no
+//! shared mutable state. A kernel executed through the pool is therefore
+//! bit-identical to the same kernel executed through scoped spawns (or
+//! sequentially) by construction.
+//!
+//! # Usage rules
+//!
+//! - [`WorkerPool::run`] blocks until all jobs have finished; the job
+//!   closure may borrow stack data.
+//! - Jobs must **not** call back into the same pool (`run` is not
+//!   reentrant from a worker; doing so deadlocks). Callers that need
+//!   nested parallelism run the inner work sequentially — which is what
+//!   `mpgmres-backend` does when it executes independent recorded ops
+//!   concurrently.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Something that can run `njobs` independent indexed jobs and wait for
+/// them: either per-call scoped spawns ([`ScopedSpawn`]) or a persistent
+/// [`WorkerPool`]. The kernels in [`crate::par`] are generic over this,
+/// so the same partitioned loops serve both execution styles.
+///
+/// # Safety
+///
+/// Implementations are load-bearing for memory safety: the `_on`
+/// kernels hand jobs lifetime-erased views of disjoint buffer chunks
+/// ([`crate::raw`]), relying on `run_jobs` to (a) invoke each job index
+/// **at most once**, and (b) **not return until every job has
+/// finished**. An implementation that runs an index twice (aliasing two
+/// live `&mut` views) or returns early (letting a borrow expire under a
+/// running job) causes undefined behavior without any `unsafe` at the
+/// call site — hence the `unsafe trait`.
+pub unsafe trait Executor: Sync {
+    /// Number of jobs worth creating for a data-parallel kernel (the
+    /// worker count).
+    fn width(&self) -> usize;
+
+    /// Run `f(0), f(1), .., f(njobs - 1)` concurrently and return when
+    /// all have finished. Jobs must write disjoint outputs.
+    fn run_jobs(&self, njobs: usize, f: &(dyn Fn(usize) + Sync));
+}
+
+/// The per-call scoped-spawn executor: at most `width` scoped threads,
+/// jobs distributed round-robin (job `i` on thread `i % width`, the
+/// same pinning rule as the pool) — the execution style the
+/// [`crate::par`] kernels used before the pool existed, kept as the
+/// baseline the pool is benchmarked against.
+#[derive(Clone, Copy, Debug)]
+pub struct ScopedSpawn(pub usize);
+
+// SAFETY: scoped threads each iterate a disjoint residue class of job
+// indices exactly once, and `thread::scope` joins them all before
+// returning.
+unsafe impl Executor for ScopedSpawn {
+    fn width(&self) -> usize {
+        self.0.max(1)
+    }
+
+    fn run_jobs(&self, njobs: usize, f: &(dyn Fn(usize) + Sync)) {
+        let width = self.width().min(njobs);
+        if width <= 1 {
+            for i in 0..njobs {
+                f(i);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            for w in 0..width {
+                scope.spawn(move || {
+                    let mut i = w;
+                    while i < njobs {
+                        f(i);
+                        i += width;
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// A job message: a lifetime-erased reference to the caller's closure
+/// plus the job index. The `'static` is a lie upheld by
+/// [`WorkerPool::run`], which does not return until every job sent for
+/// that closure has completed.
+struct Job {
+    f: &'static (dyn Fn(usize) + Sync),
+    index: usize,
+}
+
+struct PoolState {
+    /// Jobs still outstanding for the current `run` call.
+    pending: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload of the current `run` call; `run` resumes the
+    /// unwind with it after the barrier, so the original message (e.g. a
+    /// kernel contract assert) reaches the caller intact.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A fixed set of persistent worker threads with pinned job assignment
+/// (job `i` runs on worker `i % threads`). See the module docs for the
+/// determinism argument and usage rules.
+pub struct WorkerPool {
+    threads: usize,
+    senders: Vec<Sender<Job>>,
+    state: Arc<PoolState>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes `run` calls: the pending counter is per-pool, so two
+    /// concurrent submitters must not interleave.
+    submit: Mutex<()>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>, state: Arc<PoolState>) {
+    while let Ok(job) = rx.recv() {
+        let f = job.f;
+        let index = job.index;
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(index))) {
+            let mut slot = state.panic.lock().unwrap_or_else(|e| e.into_inner());
+            slot.get_or_insert(payload);
+        }
+        let mut pending = state.pending.lock().unwrap_or_else(|e| e.into_inner());
+        *pending -= 1;
+        if *pending == 0 {
+            state.done.notify_all();
+        }
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `threads` pinned workers (clamped to >= 1). A
+    /// width-1 pool spawns no workers at all — every `run` executes
+    /// inline on the caller, so single-core hosts don't pay for an idle
+    /// thread per backend instance.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let state = Arc::new(PoolState {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let workers = if threads > 1 { threads } else { 0 };
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            let st = Arc::clone(&state);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mpgmres-worker-{w}"))
+                    .spawn(move || worker_loop(rx, st))
+                    .expect("spawn pool worker"),
+            );
+            senders.push(tx);
+        }
+        WorkerPool {
+            threads,
+            senders,
+            state,
+            handles,
+            submit: Mutex::new(()),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(0), .., f(njobs - 1)` on the pinned workers (job `i` on
+    /// worker `i % threads`) and block until all have finished. A single
+    /// job runs inline on the caller. Panics in jobs are re-raised here
+    /// after every job has drained.
+    pub fn run<F: Fn(usize) + Sync>(&self, njobs: usize, f: F) {
+        if njobs == 0 {
+            return;
+        }
+        if njobs == 1 || self.senders.len() <= 1 {
+            for i in 0..njobs {
+                f(i);
+            }
+            return;
+        }
+        let guard = self.submit.lock().unwrap_or_else(|e| e.into_inner());
+        let fref: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: the lifetime is erased only for transport to the
+        // workers; the barrier below keeps `f` borrowed until every job
+        // that references it has finished.
+        let fstatic: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(fref) };
+        {
+            let mut pending = self.state.pending.lock().unwrap_or_else(|e| e.into_inner());
+            *pending = njobs;
+        }
+        for index in 0..njobs {
+            self.senders[index % self.senders.len()]
+                .send(Job { f: fstatic, index })
+                .expect("worker pool shut down while in use");
+        }
+        let mut pending = self.state.pending.lock().unwrap_or_else(|e| e.into_inner());
+        while *pending != 0 {
+            pending = self
+                .state
+                .done
+                .wait(pending)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        drop(pending);
+        // Consume the panic payload while still holding the submit lock:
+        // a concurrent submitter acquiring the lock next must not have
+        // its jobs' panics stolen by (or leaked into) this run.
+        let panic = self
+            .state
+            .panic
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        drop(guard);
+        if let Some(payload) = panic {
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+// SAFETY: `run` sends each job index to exactly one worker and blocks
+// on the pending-counter barrier until all have finished.
+unsafe impl Executor for WorkerPool {
+    fn width(&self) -> usize {
+        self.threads()
+    }
+
+    fn run_jobs(&self, njobs: usize, f: &(dyn Fn(usize) + Sync)) {
+        self.run(njobs, f);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channels makes every worker's `recv` fail and the
+        // loop exit.
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for njobs in [0usize, 1, 3, 4, 17] {
+            let hits: Vec<AtomicUsize> = (0..njobs).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(njobs, |i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "job {i} of {njobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_calls() {
+        let pool = WorkerPool::new(3);
+        let mut data = [0usize; 12];
+        for round in 1..=5 {
+            let chunks: Vec<_> = data.chunks_mut(3).collect();
+            let cells: Vec<Mutex<&mut [usize]>> = chunks.into_iter().map(Mutex::new).collect();
+            pool.run(cells.len(), |i| {
+                for v in cells[i].lock().unwrap().iter_mut() {
+                    *v += round;
+                }
+            });
+        }
+        assert!(data.iter().all(|&v| v == 15));
+    }
+
+    #[test]
+    fn jobs_are_pinned_round_robin() {
+        // Job i must land on worker i % threads: record thread ids and
+        // check jobs that share a residue share a thread.
+        let pool = WorkerPool::new(2);
+        let ids: Vec<Mutex<Option<std::thread::ThreadId>>> =
+            (0..6).map(|_| Mutex::new(None)).collect();
+        pool.run(6, |i| {
+            *ids[i].lock().unwrap() = Some(std::thread::current().id());
+        });
+        let get = |i: usize| ids[i].lock().unwrap().expect("job ran");
+        for i in 0..6 {
+            assert_eq!(get(i), get(i % 2), "job {i} not pinned");
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline_in_order() {
+        let pool = WorkerPool::new(1);
+        let log = Mutex::new(Vec::new());
+        pool.run(5, |i| log.lock().unwrap().push(i));
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn panics_propagate_without_poisoning_the_pool() {
+        let pool = WorkerPool::new(2);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, |i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "job panic must propagate");
+        // The pool must still work afterwards.
+        let count = AtomicUsize::new(0);
+        pool.run(4, |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn scoped_spawn_executor_matches() {
+        let exec = ScopedSpawn(3);
+        assert_eq!(exec.width(), 3);
+        let hits: Vec<AtomicUsize> = (0..7).map(|_| AtomicUsize::new(0)).collect();
+        exec.run_jobs(7, &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+}

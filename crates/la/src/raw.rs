@@ -1,0 +1,153 @@
+//! Lifetime-erased raw buffer views.
+//!
+//! One audited implementation of the `Send`-able raw slice/reference
+//! handles that both the parallel kernels ([`crate::par`] hands
+//! pre-split disjoint chunks to pool jobs by index) and
+//! `mpgmres-backend`'s recorded streams (ops hold buffer views across a
+//! deferred submit) are built on.
+//!
+//! Every type carries the same contract: the captured borrow's referent
+//! must still be alive — and not aliased in a conflicting way — for the
+//! duration of any `get` borrow. The two call sites uphold it
+//! differently: the kernel dispatchers block until every job finishes
+//! (so the erased borrow outlives all uses, and jobs touch disjoint
+//! chunks), while the stream recorder documents a device-style contract
+//! (buffers stay alive and host-untouched until sync, and the
+//! dependency DAG keeps conflicting ops out of concurrent batches).
+//!
+//! Provenance caveat (applies to the *stream* use, not the kernel
+//! dispatchers): a raw pointer derived from a `&mut` borrow is
+//! invalidated under Stacked Borrows when the owner is later reborrowed
+//! — which recorded regions do between record calls. Today's rustc
+//! compiles this as intended (the pattern is the standard one for
+//! async/FFI buffer handles), but `miri` flags it; the Miri-clean
+//! design is a buffer-handle arena where ops never hold derived
+//! pointers, tracked as the stream-graph-replay item in ROADMAP.md.
+
+/// Raw view of an immutable slice.
+pub struct RawSlice<T> {
+    ptr: *const T,
+    len: usize,
+}
+
+impl<T> RawSlice<T> {
+    /// Capture a slice.
+    pub fn new(s: &[T]) -> Self {
+        RawSlice {
+            ptr: s.as_ptr(),
+            len: s.len(),
+        }
+    }
+
+    /// Rematerialize the slice.
+    ///
+    /// # Safety
+    /// The captured buffer must still be alive and not mutably aliased
+    /// for the duration of the returned borrow.
+    pub unsafe fn get<'a>(&self) -> &'a [T] {
+        std::slice::from_raw_parts(self.ptr, self.len)
+    }
+}
+
+unsafe impl<T: Sync> Send for RawSlice<T> {}
+unsafe impl<T: Sync> Sync for RawSlice<T> {}
+
+/// Raw view of a mutable slice.
+pub struct RawSliceMut<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+impl<T> RawSliceMut<T> {
+    /// Capture a mutable slice.
+    pub fn new(s: &mut [T]) -> Self {
+        RawSliceMut {
+            ptr: s.as_mut_ptr(),
+            len: s.len(),
+        }
+    }
+
+    /// Rematerialize the slice.
+    ///
+    /// # Safety
+    /// The captured buffer must still be alive and this must be the only
+    /// live view of it during the borrow (kernel dispatchers guarantee
+    /// disjoint chunks; the stream DAG keeps conflicting ops out of
+    /// concurrent batches).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get<'a>(&self) -> &'a mut [T] {
+        std::slice::from_raw_parts_mut(self.ptr, self.len)
+    }
+}
+
+unsafe impl<T: Send> Send for RawSliceMut<T> {}
+unsafe impl<T: Send> Sync for RawSliceMut<T> {}
+
+/// Raw view of a shared reference (matrices, multivectors).
+pub struct RawRef<T> {
+    ptr: *const T,
+}
+
+impl<T> RawRef<T> {
+    /// Capture a reference.
+    pub fn new(r: &T) -> Self {
+        RawRef { ptr: r }
+    }
+
+    /// Rematerialize the reference.
+    ///
+    /// # Safety
+    /// The referent must still be alive and not mutably aliased during
+    /// the borrow.
+    pub unsafe fn get<'a>(&self) -> &'a T {
+        &*self.ptr
+    }
+}
+
+unsafe impl<T: Sync> Send for RawRef<T> {}
+unsafe impl<T: Sync> Sync for RawRef<T> {}
+
+/// Raw view of a mutable scalar slot (norm results).
+pub struct RawMut<T> {
+    ptr: *mut T,
+}
+
+impl<T> RawMut<T> {
+    /// Capture a mutable reference.
+    pub fn new(r: &mut T) -> Self {
+        RawMut { ptr: r }
+    }
+
+    /// Rematerialize the reference.
+    ///
+    /// # Safety
+    /// Same as [`RawSliceMut::get`].
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get<'a>(&self) -> &'a mut T {
+        &mut *self.ptr
+    }
+}
+
+unsafe impl<T: Send> Send for RawMut<T> {}
+unsafe impl<T: Send> Sync for RawMut<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_views_round_trip() {
+        let xs = [1.0f64, 2.0, 3.0];
+        let r = RawSlice::new(&xs);
+        assert_eq!(unsafe { r.get() }, &xs[..]);
+        let mut ys = [0.0f64; 2];
+        let w = RawSliceMut::new(&mut ys);
+        unsafe { w.get()[1] = 7.0 };
+        assert_eq!(ys, [0.0, 7.0]);
+        let v = 42usize;
+        assert_eq!(*unsafe { RawRef::new(&v).get() }, 42);
+        let mut s = 0.0f32;
+        unsafe { *RawMut::new(&mut s).get() = 1.5 };
+        assert_eq!(s, 1.5);
+    }
+}
