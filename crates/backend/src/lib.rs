@@ -28,12 +28,15 @@
 //!
 //! Kernels can execute *eagerly* (each `GpuContext` method records and
 //! immediately syncs a single op) or through a *recorded stream*
-//! (`GpuContext::stream`), which enqueues typed [`stream::OpNode`]s,
-//! derives a dependency DAG from their read/write buffer spans, and at
-//! sync hands wavefronts of independent ready ops to
-//! [`Backend::execute_batch`]. Recorded execution is bit-identical to
-//! eager execution by construction — the DAG only relaxes ordering
-//! between ops that cannot observe each other (see [`stream`]).
+//! (`GpuContext::stream`), which registers buffers into an arena
+//! (`mpgmres_la::raw::BufferArena`), pushes one [`stream::OpShape`] per
+//! kernel (handle + byte-span read/write sets), derives a dependency
+//! DAG from span overlap, and at sync hands wavefronts of independent
+//! ready ops to [`Backend::execute_batch`]. Shape-stable regions cache
+//! the payload-free graph and replay it with rebound payloads. Recorded
+//! execution is bit-identical to eager execution by construction — the
+//! DAG only relaxes ordering between ops that cannot observe each other
+//! (see [`stream`]).
 //!
 //! # Determinism contract
 //!
@@ -74,7 +77,7 @@ use mpgmres_scalar::{Half, Scalar};
 pub mod contracts;
 pub mod stream;
 
-use stream::ReadyOp;
+use stream::Batch;
 
 /// The kernel call surface for one working precision `S`.
 ///
@@ -255,11 +258,11 @@ pub trait Backend:
     /// Execute one wavefront of a recorded kernel stream: a batch of
     /// mutually independent ready ops (no read/write span conflicts —
     /// see [`stream`]). Sequential backends run the batch in record
-    /// order ([`stream::run_batch_serial`]); parallel backends may run
+    /// order ([`stream::Batch::run_serial`]); parallel backends may run
     /// the ops concurrently, which is safe because batched ops touch
     /// disjoint memory, and bit-deterministic because every op is
     /// executed by a bit-compatible kernel implementation.
-    fn execute_batch(&self, batch: Vec<ReadyOp>);
+    fn execute_batch(&self, batch: Batch<'_>);
 }
 
 /// Routes a generic `S: Scalar` call site to the matching
@@ -336,8 +339,8 @@ impl Backend for ReferenceBackend {
         "reference"
     }
 
-    fn execute_batch(&self, batch: Vec<ReadyOp>) {
-        stream::run_batch_serial(self, batch);
+    fn execute_batch(&self, batch: Batch<'_>) {
+        batch.run_serial(self);
     }
 }
 
@@ -384,6 +387,39 @@ impl PartitionCache {
         map.entry(key)
             .or_insert_with(|| Arc::new(compute()))
             .clone()
+    }
+
+    /// Whether a split is cached under `key` (test observability for
+    /// the inner-backend strategy plumbing).
+    #[cfg(test)]
+    fn contains(&self, key: (usize, usize, u64)) -> bool {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(&key)
+    }
+}
+
+/// The cached row partition for a matrix under the given strategy and
+/// worker count — shared by [`ParallelBackend`] and the width-limited
+/// inner [`SpawnBackend`]s its concurrent stream batches run on, so a
+/// batch op on `--backend parallel-nnz` keeps the nnz-balanced split
+/// instead of silently recomputing an even one (the former nested-pool
+/// limitation (b) in ROADMAP.md).
+fn strategy_parts<S: Scalar>(
+    cache: &PartitionCache,
+    strategy: PartitionStrategy,
+    workers: usize,
+    a: &Csr<S>,
+) -> SharedPartition {
+    match strategy {
+        PartitionStrategy::EvenRows => cache.get_with((a.nrows(), workers, 0), || {
+            par::row_partition(a.nrows(), workers)
+        }),
+        PartitionStrategy::NnzBalanced => cache
+            .get_with((a.nrows(), workers, a.nnz() as u64), || {
+                par::nnz_partition(a, workers)
+            }),
     }
 }
 
@@ -449,18 +485,7 @@ impl ParallelBackend {
     /// nnz-balanced per [`PartitionStrategy`], computed on first use per
     /// matrix shape and shared across clones.
     fn matrix_parts<S: Scalar>(&self, a: &Csr<S>) -> SharedPartition {
-        match self.strategy {
-            PartitionStrategy::EvenRows => {
-                self.partitions.get_with((a.nrows(), self.threads, 0), || {
-                    par::row_partition(a.nrows(), self.threads)
-                })
-            }
-            PartitionStrategy::NnzBalanced => self
-                .partitions
-                .get_with((a.nrows(), self.threads, a.nnz() as u64), || {
-                    par::nnz_partition(a, self.threads)
-                }),
-        }
+        strategy_parts(&self.partitions, self.strategy, self.threads, a)
     }
 }
 
@@ -548,13 +573,15 @@ impl Backend for ParallelBackend {
     /// concurrently executed op runs its kernels through a width-limited
     /// scoped-spawn backend (`threads / batch_len` workers each — a
     /// small batch on a wide pool keeps intra-op parallelism instead of
-    /// degrading to fully sequential kernels). By the determinism
-    /// contract every kernel is bit-identical across backends, so the
-    /// switch is unobservable in the results. A single ready op keeps
-    /// the full width of the pool-parallel kernels instead.
-    fn execute_batch(&self, batch: Vec<ReadyOp>) {
+    /// degrading to fully sequential kernels). The inner backends share
+    /// this backend's partition strategy and cache, so batch ops keep
+    /// nnz-balanced matrix splits. By the determinism contract every
+    /// kernel is bit-identical across backends, so the switch is
+    /// unobservable in the results. A single ready op keeps the full
+    /// width of the pool-parallel kernels instead.
+    fn execute_batch(&self, batch: Batch<'_>) {
         if batch.len() <= 1 || self.threads <= 1 {
-            stream::run_batch_serial(self, batch);
+            batch.run_serial(self);
             return;
         }
         // Divide the pool's width across the batch, spreading the
@@ -565,17 +592,12 @@ impl Backend for ParallelBackend {
         let inners: Vec<SpawnBackend> = (0..batch.len())
             .map(|i| SpawnBackend {
                 threads: (base + usize::from(i < extra)).max(1),
+                strategy: self.strategy,
+                partitions: Arc::clone(&self.partitions),
             })
             .collect();
-        let slots: Vec<Mutex<Option<ReadyOp>>> =
-            batch.into_iter().map(|op| Mutex::new(Some(op))).collect();
-        self.pool.run(slots.len(), |i| {
-            let op = slots[i]
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .take()
-                .expect("batch op executed twice");
-            (op.exec)(&inners[i]);
+        self.pool.run(batch.len(), |i| {
+            batch.run(i, &inners[i]);
         });
     }
 }
@@ -584,26 +606,65 @@ impl Backend for ParallelBackend {
 /// each op of a concurrent stream batch. It reuses the per-call
 /// scoped-spawn kernels (the pre-pool dispatch style), so it can run
 /// inside a pool worker without re-entering the pool; at `threads = 1`
-/// every kernel takes the sequential path. Bit-identical to the other
-/// backends by the determinism contract. Known limitations (tracked in
-/// ROADMAP.md under "nested pool reservations"): ops executed here pay
-/// scoped-spawn dispatch again, and matrix kernels use even row splits
-/// regardless of the outer backend's [`PartitionStrategy`] — neither
-/// affects results, only multicore wall-clock.
+/// every kernel takes the sequential path. It inherits the outer
+/// backend's [`PartitionStrategy`] and shares its partition cache, so
+/// matrix kernels inside a concurrent batch keep the nnz-balanced split
+/// a `parallel-nnz` backend was configured with (cached under this
+/// backend's own width). Bit-identical to the other backends by the
+/// determinism contract. Remaining limitation (tracked in ROADMAP.md
+/// under "nested pool reservations"): ops executed here pay scoped-spawn
+/// dispatch again — which affects only multicore wall-clock, never
+/// results.
 #[derive(Debug)]
 struct SpawnBackend {
     threads: usize,
+    strategy: PartitionStrategy,
+    partitions: Arc<PartitionCache>,
+}
+
+impl SpawnBackend {
+    /// The cached row partition at this backend's width (even or
+    /// nnz-balanced per the inherited strategy).
+    fn matrix_parts<S: Scalar>(&self, a: &Csr<S>) -> SharedPartition {
+        strategy_parts(&self.partitions, self.strategy, self.threads, a)
+    }
 }
 
 impl<S: Scalar> ScalarBackend<S> for SpawnBackend {
     fn spmv(&self, a: &Csr<S>, x: &[S], y: &mut [S]) {
-        par::spmv(self.threads, a, x, y);
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+            a.spmv(x, y);
+            return;
+        }
+        par::spmv_parts_on(&ScopedSpawn(self.threads), &self.matrix_parts(a), a, x, y);
     }
     fn residual(&self, a: &Csr<S>, b: &[S], x: &[S], r: &mut [S]) {
-        par::residual(self.threads, a, b, x, r);
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+            a.residual(b, x, r);
+            return;
+        }
+        par::residual_parts_on(
+            &ScopedSpawn(self.threads),
+            &self.matrix_parts(a),
+            a,
+            b,
+            x,
+            r,
+        );
     }
     fn spmm(&self, a: &Csr<S>, x: &MultiVec<S>, k: usize, y: &mut MultiVec<S>) {
-        par::spmm(self.threads, a, x, k, y);
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+            par::spmm_parts(&[(0, a.nrows())], a, x, k, y);
+            return;
+        }
+        par::spmm_parts_on(
+            &ScopedSpawn(self.threads),
+            &self.matrix_parts(a),
+            a,
+            x,
+            k,
+            y,
+        );
     }
     fn gemv_t(
         &self,
@@ -653,8 +714,8 @@ impl Backend for SpawnBackend {
         self.threads
     }
 
-    fn execute_batch(&self, batch: Vec<ReadyOp>) {
-        stream::run_batch_serial(self, batch);
+    fn execute_batch(&self, batch: Batch<'_>) {
+        batch.run_serial(self);
     }
 }
 
@@ -772,5 +833,134 @@ mod tests {
         }
         let b = BackendKind::Parallel.create();
         assert_eq!(norm_via(&*b, &[3.0f64, 4.0]), 5.0);
+    }
+
+    /// Arrow matrix (dense first row + column over a diagonal): the
+    /// skew that makes even row splits pathological. Sized above the
+    /// parallel threshold so batch ops take the partitioned path.
+    fn arrow_matrix(n: usize) -> Csr<f64> {
+        let mut coo = mpgmres_la::coo::Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0);
+            if i > 0 {
+                coo.push(0, i, 1.0);
+                coo.push(i, 0, 1.0);
+            }
+        }
+        coo.into_csr()
+    }
+
+    fn worker_nnz(a: &Csr<f64>, parts: &[(usize, usize)]) -> Vec<usize> {
+        parts
+            .iter()
+            .map(|&(lo, hi)| a.row_ptr()[hi] - a.row_ptr()[lo])
+            .collect()
+    }
+
+    /// The inner scoped-spawn backend of a concurrent batch must honor
+    /// the outer backend's partition strategy instead of recomputing an
+    /// even split (ROADMAP nested-pool limitation (b)).
+    #[test]
+    fn spawn_backend_inherits_nnz_strategy() {
+        let a = arrow_matrix(12_000);
+        assert!(a.nnz() >= par::SPMV_PAR_THRESHOLD);
+        let outer = ParallelBackend::with_threads(4).with_strategy(PartitionStrategy::NnzBalanced);
+        let inner = SpawnBackend {
+            threads: 2,
+            strategy: outer.strategy,
+            partitions: Arc::clone(&outer.partitions),
+        };
+        let parts = inner.matrix_parts(&a);
+        assert_eq!(&*parts, &par::nnz_partition(&a, 2));
+        assert_ne!(&*parts, &par::row_partition(a.nrows(), 2));
+        // Balanced: no worker holds more than ~1.1x the mean nnz; the
+        // even split leaves the arrow head's worker with ~1.33x.
+        let mean = a.nnz() as f64 / 2.0;
+        let max_nnz = *worker_nnz(&a, &parts).iter().max().unwrap() as f64;
+        assert!(
+            max_nnz < 1.1 * mean,
+            "nnz split unbalanced: {max_nnz} vs mean {mean}"
+        );
+        let even_max = *worker_nnz(&a, &par::row_partition(a.nrows(), 2))
+            .iter()
+            .max()
+            .unwrap() as f64;
+        assert!(
+            even_max > 1.25 * mean,
+            "arrow not skewed enough: {even_max}"
+        );
+    }
+
+    /// End-to-end regression through `execute_batch`: two independent
+    /// SpMVs on a skewed matrix under `parallel-nnz` must produce
+    /// reference-identical results AND leave the nnz-balanced split (at
+    /// the inner width) in the shared partition cache — proof the inner
+    /// backends did not silently fall back to even rows.
+    #[test]
+    fn batch_ops_use_nnz_partitions_through_execute_batch() {
+        use stream::{BoundOp, OpArgs, OpGraph, Span};
+
+        let a = arrow_matrix(12_000);
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 / 7.0).collect();
+        let mut y1 = vec![0.0f64; n];
+        let mut y2 = vec![0.0f64; n];
+
+        fn exec_spmv(b: &dyn Backend, arena: &mpgmres_la::raw::BufferArena, args: &OpArgs) {
+            // SAFETY: the test keeps every registered buffer alive
+            // across the submit, and the two ops write disjoint outputs.
+            unsafe {
+                let a: &Csr<f64> = arena.obj(args.bufs[0]);
+                let x = arena.slice::<f64>(args.bufs[1], 0, args.lens[1]);
+                let y = arena.slice_mut::<f64>(args.bufs[2], 0, args.lens[2]);
+                <f64 as BackendScalar>::view(b).spmv(a, x, y);
+            }
+        }
+
+        let mut arena = mpgmres_la::raw::BufferArena::new();
+        // SAFETY: a, x, y1, y2 outlive the submit below; y1/y2 are
+        // registered mutably exactly once each.
+        let (ha, hx, hy1, hy2) = unsafe {
+            (
+                arena.register_obj(&a as *const Csr<f64>),
+                arena.register_slice(x.as_ptr(), n),
+                arena.register_slice_mut(y1.as_mut_ptr(), n),
+                arena.register_slice_mut(y2.as_mut_ptr(), n),
+            )
+        };
+        let mut graph = OpGraph::new();
+        let nb = n as u32 * 8;
+        graph.push("spmv", &[Span::new(hx, 0, nb)], &[Span::new(hy1, 0, nb)]);
+        graph.push("spmv", &[Span::new(hx, 0, nb)], &[Span::new(hy2, 0, nb)]);
+        graph.finalize();
+        assert_eq!(graph.num_batches(), 1, "independent ops share a wavefront");
+        let mk = |hy: u32| BoundOp {
+            exec: exec_spmv,
+            args: OpArgs {
+                bufs: [ha, hx, hy, 0],
+                lens: [0, n as u32, n as u32, 0],
+                ..OpArgs::default()
+            },
+        };
+        let ops = vec![mk(hy1), mk(hy2)];
+
+        let backend =
+            ParallelBackend::with_threads(4).with_strategy(PartitionStrategy::NnzBalanced);
+        stream::submit(&graph, &ops, &arena, &backend);
+
+        let mut want = vec![0.0f64; n];
+        a.spmv(&x, &mut want);
+        assert_eq!(y1, want);
+        assert_eq!(y2, want);
+        // 4 workers over a 2-op batch -> inner width 2; the nnz-salted
+        // split must have been cached at that width.
+        assert!(
+            backend.partitions.contains((n, 2, a.nnz() as u64)),
+            "inner backends did not use the nnz-balanced partition"
+        );
+        assert!(
+            !backend.partitions.contains((n, 2, 0)),
+            "inner backends recomputed an even split"
+        );
     }
 }

@@ -1,16 +1,30 @@
-//! Recorded kernel streams: typed op nodes, the read/write dependency
-//! DAG, and deferred batch submission.
+//! Recorded kernel streams: the payload-free dependency graph, the
+//! per-submit payload bindings, and deferred batch submission.
 //!
 //! Real GPU GMRES implementations hide launch latency by recording
 //! kernels into streams/graphs and letting the driver overlap
-//! independent work. This module is the workspace's equivalent: a
-//! recorder (`mpgmres::Stream`, built on these types) enqueues one
-//! [`OpNode`] per kernel call, each carrying the *byte spans* the kernel
-//! reads and writes; [`OpGraph`] derives the dependency DAG from span
-//! overlap (read-after-write, write-after-write, and write-after-read
-//! all order; concurrent reads do not); and [`submit`] walks the DAG in
-//! wavefronts, handing each batch of mutually independent ready ops to
-//! [`Backend::execute_batch`] for execution.
+//! independent work; CUDA Graphs goes one step further and *replays* a
+//! captured graph every iteration instead of re-recording it. This
+//! module is the workspace's equivalent, split the same way CUDA splits
+//! it:
+//!
+//! - [`OpGraph`] is the **payload-free graph**: one [`OpShape`] per
+//!   recorded kernel (a label plus the buffer-handle byte [`Span`]s it
+//!   reads and writes), the dependency edges derived from span overlap
+//!   at push time, and — after [`OpGraph::finalize`] — the topological
+//!   wavefront batches. Nothing in the graph points at memory, so a
+//!   graph can be cached and replayed across iterations whose op
+//!   sequence is shape-stable (the recorder in `mpgmres::Stream` does
+//!   exactly that, keyed by region/shape).
+//! - [`BoundOp`] is the **per-submit payload binding**: a monomorphized
+//!   kernel-launch function pointer plus a plain-data [`OpArgs`]
+//!   describing the op's operands as handles into a
+//!   [`BufferArena`]. Bindings are plain
+//!   `Copy` data — no boxed closures — so a replayed iteration performs
+//!   no graph-node or payload allocation at all.
+//! - [`submit`] walks the finalized wavefronts in order, handing each
+//!   batch of mutually independent ready ops to
+//!   [`Backend::execute_batch`] as a [`Batch`] view.
 //!
 //! # Determinism
 //!
@@ -25,107 +39,107 @@
 //!
 //! # Safety model
 //!
-//! Recorded ops capture raw views ([`RawSlice`], [`RawSliceMut`],
-//! [`RawRef`]) of the caller's buffers, exactly like a device API holds
-//! buffer handles across an asynchronous launch. The recorder upholds
-//! the stream contract: every captured buffer outlives the stream, and
-//! the host neither reads nor writes a recorded buffer between record
-//! and sync. `mpgmres::Stream` documents the same contract to solver
-//! authors; all dereferences happen inside [`submit`], which the
-//! recorder runs before the borrows it took at record time can expire.
+//! Recorded ops hold **no pointers** — only handles and spans. The
+//! pointers live in the arena, derived once per buffer at registration
+//! time from borrows the recorder keeps alive until sync, which is what
+//! makes the whole pipeline pass Miri: there is no per-op raw view for
+//! a later safe reborrow to invalidate. See `mpgmres_la::raw` for the
+//! arena contract and `mpgmres::Stream` for the safe recording surface.
+
+use mpgmres_la::raw::BufferArena;
+use mpgmres_la::vec_ops::ReductionOrder;
 
 use crate::Backend;
 
-/// A half-open range of host addresses used as a dependency token for
-/// one buffer a kernel touches.
+/// A half-open byte range within one registered buffer, used as the
+/// dependency token for one operand of a recorded kernel. Spans of
+/// different buffers never conflict (the safe registration surface
+/// guarantees distinct mutable registrations are disjoint), so overlap
+/// is handle equality plus byte-range intersection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Span {
-    lo: usize,
-    hi: usize,
+    /// Arena handle of the buffer.
+    pub buf: u32,
+    /// First byte (inclusive) within the buffer.
+    pub lo: u32,
+    /// Last byte (exclusive) within the buffer.
+    pub hi: u32,
 }
 
 impl Span {
-    /// The address span of a slice.
-    pub fn of<T>(s: &[T]) -> Span {
-        let lo = s.as_ptr() as usize;
-        Span {
-            lo,
-            hi: lo + std::mem::size_of_val(s),
-        }
-    }
-
-    /// The address span of a single value (norm results and other
-    /// device-to-host scalars).
-    pub fn of_value<T>(v: &T) -> Span {
-        let lo = v as *const T as usize;
-        Span {
-            lo,
-            hi: lo + std::mem::size_of::<T>(),
-        }
-    }
-
-    /// A raw byte range (for tests and synthetic graphs).
-    pub fn from_range(lo: usize, hi: usize) -> Span {
+    /// A byte range within buffer `buf`.
+    pub fn new(buf: u32, lo: u32, hi: u32) -> Span {
         assert!(lo <= hi, "span: lo must not exceed hi");
-        Span { lo, hi }
+        Span { buf, lo, hi }
+    }
+
+    /// The span of `len` elements of size `size` at element offset
+    /// `off` within buffer `buf`.
+    pub fn elems(buf: u32, off: u32, len: u32, size: usize) -> Span {
+        let lo = off as u64 * size as u64;
+        let hi = (off as u64 + len as u64) * size as u64;
+        Span {
+            buf,
+            lo: u32::try_from(lo).expect("span: byte offset overflow"),
+            hi: u32::try_from(hi).expect("span: byte offset overflow"),
+        }
+    }
+
+    /// The span covering all of buffer `buf` (whole-object operands).
+    pub fn whole(buf: u32) -> Span {
+        Span {
+            buf,
+            lo: 0,
+            hi: u32::MAX,
+        }
     }
 
     /// Whether two spans share at least one byte.
     pub fn overlaps(&self, other: &Span) -> bool {
-        self.lo < other.hi && other.lo < self.hi
-    }
-
-    /// Smallest span covering both (used to summarize a contiguous run
-    /// of basis columns as one dependency token).
-    pub fn hull(self, other: Span) -> Span {
-        Span {
-            lo: self.lo.min(other.lo),
-            hi: self.hi.max(other.hi),
-        }
+        self.buf == other.buf && self.lo < other.hi && other.lo < self.hi
     }
 }
 
-/// One recorded kernel: a label for diagnostics plus the buffer spans it
-/// reads and writes. The spans are the *entire* dependency interface —
-/// the DAG builder never looks inside the op.
+/// The shape of one recorded kernel: a label for diagnostics plus the
+/// buffer spans it reads and writes. The spans are the *entire*
+/// dependency interface — the DAG builder never looks inside the op —
+/// and the shape is the *entire* replay-verification interface: a
+/// cached graph accepts a re-recorded op iff its shape matches.
 #[derive(Clone, Debug)]
-pub struct OpNode {
+pub struct OpShape {
     /// Kernel name for diagnostics (`"spmv"`, `"gemv_t"`, ...).
     pub label: &'static str,
-    /// Buffers the op reads.
+    /// Buffer spans the op reads.
     pub reads: Vec<Span>,
-    /// Buffers the op writes (read-modify-write buffers belong here).
+    /// Buffer spans the op writes (read-modify-write spans belong here).
     pub writes: Vec<Span>,
-}
-
-impl OpNode {
-    /// New node with the given read/write sets.
-    pub fn new(label: &'static str, reads: Vec<Span>, writes: Vec<Span>) -> Self {
-        OpNode {
-            label,
-            reads,
-            writes,
-        }
-    }
 }
 
 /// Whether `later` must wait for `earlier`: true on any RAW
 /// (earlier-write feeding later-read), WAW (write-write), or WAR
 /// (later-write clobbering an earlier read) span overlap.
-pub fn conflicts(earlier: &OpNode, later: &OpNode) -> bool {
+pub fn conflicts(earlier: &OpShape, later: &OpShape) -> bool {
     let hits = |xs: &[Span], ys: &[Span]| xs.iter().any(|x| ys.iter().any(|y| x.overlaps(y)));
     hits(&earlier.writes, &later.reads)
         || hits(&earlier.writes, &later.writes)
         || hits(&earlier.reads, &later.writes)
 }
 
-/// The dependency DAG over a recorded op sequence. Edges point from each
-/// op to the earlier ops it must wait for, derived purely from span
-/// conflicts at [`OpGraph::push`] time.
+/// The payload-free dependency DAG over a recorded op sequence. Edges
+/// point from each op to the earlier ops it must wait for, derived
+/// purely from span conflicts at [`OpGraph::push`] time; after
+/// [`OpGraph::finalize`] the graph also carries its wavefront batches,
+/// ready to be replayed against fresh payload bindings any number of
+/// times.
 #[derive(Debug, Default)]
 pub struct OpGraph {
-    nodes: Vec<OpNode>,
+    nodes: Vec<OpShape>,
     preds: Vec<Vec<usize>>,
+    /// Record-order op ids sorted by (wavefront level, record order);
+    /// filled by `finalize`.
+    order: Vec<u32>,
+    /// `(start, end)` ranges into `order`, one per wavefront batch.
+    bounds: Vec<(u32, u32)>,
 }
 
 impl OpGraph {
@@ -144,20 +158,36 @@ impl OpGraph {
         self.nodes.is_empty()
     }
 
-    /// Record an op, deriving its dependencies on every earlier
-    /// conflicting op. Returns the op's index.
-    pub fn push(&mut self, node: OpNode) -> usize {
+    /// Record an op shape, deriving its dependencies on every earlier
+    /// conflicting op. Returns the op's index. Invalidates a previous
+    /// [`OpGraph::finalize`].
+    pub fn push(&mut self, label: &'static str, reads: &[Span], writes: &[Span]) -> usize {
+        let node = OpShape {
+            label,
+            reads: reads.to_vec(),
+            writes: writes.to_vec(),
+        };
         let deps: Vec<usize> = (0..self.nodes.len())
             .filter(|&i| conflicts(&self.nodes[i], &node))
             .collect();
         self.nodes.push(node);
         self.preds.push(deps);
+        self.order.clear();
+        self.bounds.clear();
         self.nodes.len() - 1
     }
 
-    /// The node at `index`.
-    pub fn node(&self, index: usize) -> &OpNode {
+    /// The shape of the op at `index`.
+    pub fn node(&self, index: usize) -> &OpShape {
         &self.nodes[index]
+    }
+
+    /// Whether the op at `index` has exactly this shape — the replay
+    /// check a cached graph runs per re-recorded op (O(spans), not the
+    /// O(ops) conflict scan of a fresh [`OpGraph::push`]).
+    pub fn matches(&self, index: usize, label: &str, reads: &[Span], writes: &[Span]) -> bool {
+        let n = &self.nodes[index];
+        n.label == label && n.reads == reads && n.writes == writes
     }
 
     /// Indices of the ops `index` must wait for.
@@ -165,12 +195,16 @@ impl OpGraph {
         &self.preds[index]
     }
 
-    /// Topological wavefronts: batch `b` holds every op whose
-    /// predecessors all sit in batches `< b`, in record order within a
-    /// batch. Ops inside one batch are mutually conflict-free (any two
-    /// conflicting ops have an edge, which forces distinct batches), so
-    /// a backend may execute a batch in any order or concurrently.
-    pub fn batches(&self) -> Vec<Vec<usize>> {
+    /// Compute the wavefront schedule (idempotent). Batch `b` holds
+    /// every op whose predecessors all sit in batches `< b`, in record
+    /// order within a batch. Ops inside one batch are mutually
+    /// conflict-free (any two conflicting ops have an edge, which
+    /// forces distinct batches), so a backend may execute a batch in
+    /// any order or concurrently.
+    pub fn finalize(&mut self) {
+        if !self.order.is_empty() || self.nodes.is_empty() {
+            return;
+        }
         let n = self.nodes.len();
         let mut level = vec![0usize; n];
         let mut height = 0usize;
@@ -183,152 +217,278 @@ impl OpGraph {
             level[i] = l;
             height = height.max(l + 1);
         }
-        let mut out: Vec<Vec<usize>> = vec![Vec::new(); height.min(n)];
-        for i in 0..n {
-            out[level[i]].push(i);
+        let mut counts = vec![0u32; height];
+        for &l in &level {
+            counts[l] += 1;
         }
-        out
+        let mut start = 0u32;
+        self.bounds.reserve(height);
+        for &c in &counts {
+            self.bounds.push((start, start + c));
+            start += c;
+        }
+        self.order.resize(n, 0);
+        let mut next: Vec<u32> = self.bounds.iter().map(|&(s, _)| s).collect();
+        for (i, &l) in level.iter().enumerate() {
+            self.order[next[l] as usize] = i as u32;
+            next[l] += 1;
+        }
+    }
+
+    /// Number of wavefront batches (requires [`OpGraph::finalize`]).
+    pub fn num_batches(&self) -> usize {
+        debug_assert!(
+            self.nodes.is_empty() || !self.bounds.is_empty(),
+            "not finalized"
+        );
+        self.bounds.len()
+    }
+
+    /// The record-order op ids of batch `b` (requires finalize).
+    pub fn batch(&self, b: usize) -> &[u32] {
+        let (s, e) = self.bounds[b];
+        &self.order[s as usize..e as usize]
+    }
+
+    /// All wavefront batches as owned vectors (test/diagnostic helper;
+    /// finalizes a clone-free view by computing on demand is not
+    /// possible here, so call [`OpGraph::finalize`] first).
+    pub fn batches(&mut self) -> Vec<Vec<usize>> {
+        self.finalize();
+        (0..self.num_batches())
+            .map(|b| self.batch(b).iter().map(|&i| i as usize).collect())
+            .collect()
     }
 }
 
-/// The execution payload of a recorded op: runs the kernel against a
-/// backend, dereferencing the raw views captured at record time.
-pub type ExecOp = Box<dyn FnOnce(&dyn Backend) + Send>;
+/// A monomorphized kernel launch: resolves its operands from the arena
+/// via the plain-data args and calls one backend kernel.
+pub type ExecFn = fn(&dyn Backend, &BufferArena, &OpArgs);
 
-/// One ready op of a submitted batch: its record-order index (backends
-/// executing serially run batches in index order for reproducible
-/// diagnostics) and its execution payload.
-pub struct ReadyOp {
-    /// Record-order index in the stream.
-    pub index: usize,
+/// Plain-data operand description of one bound op: up to four
+/// handle/offset/length operand slots, two integer shape parameters, a
+/// handle-list range (the batched kernels' per-column basis lists), a
+/// scalar coefficient (stored as `f64`; exact for every working
+/// precision), and the reduction order. Offsets and lengths are in
+/// elements of the op's scalar type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpArgs {
+    /// Arena handles, one per operand slot.
+    pub bufs: [u32; 4],
+    /// Element offsets per operand slot.
+    pub offs: [u32; 4],
+    /// Element lengths per operand slot.
+    pub lens: [u32; 4],
+    /// Primary shape parameter (`ncols` / block width `k`).
+    pub n0: u32,
+    /// `(start, len)` into the arena's handle-list store.
+    pub list: [u32; 2],
+    /// Scalar coefficient (axpy/scal).
+    pub alpha: f64,
+    /// Reduction order for dot/norm-shaped kernels.
+    pub order: ReductionOrder,
+}
+
+/// One op's per-submit payload binding: the launch function plus its
+/// operand description. `Copy` plain data — rebinding a cached graph
+/// refills a reused `Vec<BoundOp>` without allocating.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundOp {
     /// The kernel launch.
-    pub exec: ExecOp,
+    pub exec: ExecFn,
+    /// Its operands.
+    pub args: OpArgs,
 }
 
-/// Execute a batch serially in record order — the baseline
-/// [`Backend::execute_batch`] every sequential backend uses.
-pub fn run_batch_serial(backend: &dyn Backend, batch: Vec<ReadyOp>) {
-    for op in batch {
-        (op.exec)(backend);
+/// One wavefront of a submitted graph: a view over the ready ops'
+/// bindings plus the arena they resolve against. Ops in a batch are
+/// mutually conflict-free (see [`OpGraph::finalize`]), so a backend may
+/// run them in any order or concurrently.
+#[derive(Clone, Copy)]
+pub struct Batch<'a> {
+    ids: &'a [u32],
+    ops: &'a [BoundOp],
+    arena: &'a BufferArena,
+}
+
+impl<'a> Batch<'a> {
+    /// Assemble a batch view (`ids` are record-order op indices into
+    /// `ops`).
+    pub fn new(ids: &'a [u32], ops: &'a [BoundOp], arena: &'a BufferArena) -> Self {
+        Batch { ids, ops, arena }
     }
-}
 
-/// Submit a recorded graph: walk the wavefront batches in order, handing
-/// each to `backend.execute_batch`. `execs[i]` must hold op `i`'s
-/// payload; ops without a payload (already taken, or pure bookkeeping)
-/// are skipped.
-pub fn submit(graph: &OpGraph, mut execs: Vec<Option<ExecOp>>, backend: &dyn Backend) {
-    assert_eq!(execs.len(), graph.len(), "submit: payload count mismatch");
-    for batch in graph.batches() {
-        let ready: Vec<ReadyOp> = batch
-            .into_iter()
-            .filter_map(|index| execs[index].take().map(|exec| ReadyOp { index, exec }))
-            .collect();
-        if !ready.is_empty() {
-            backend.execute_batch(ready);
+    /// Ready ops in this batch.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Record-order index of the `i`-th ready op (diagnostics; serial
+    /// backends run batches in `i` order for reproducible logs).
+    pub fn op_index(&self, i: usize) -> usize {
+        self.ids[i] as usize
+    }
+
+    /// Execute the `i`-th ready op of the batch on `backend`.
+    pub fn run(&self, i: usize, backend: &dyn Backend) {
+        let op = &self.ops[self.ids[i] as usize];
+        (op.exec)(backend, self.arena, &op.args);
+    }
+
+    /// Execute the whole batch serially in record order — the baseline
+    /// every sequential [`Backend::execute_batch`] uses.
+    pub fn run_serial(&self, backend: &dyn Backend) {
+        for i in 0..self.len() {
+            self.run(i, backend);
         }
     }
 }
 
-// ----- raw views -------------------------------------------------------
-
-// The captured buffer handles of a recorded op — one audited
-// implementation lives in `mpgmres_la::raw` (shared with the parallel
-// kernel dispatchers) and is re-exported here as part of the stream
-// surface. All carry the stream contract: the underlying borrow must
-// outlive the stream, and the host must not touch the buffer until
-// sync. See `mpgmres_la::raw` for the pointer-provenance caveat.
-pub use mpgmres_la::raw::{RawMut, RawRef, RawSlice, RawSliceMut};
+/// Submit a finalized graph: walk the wavefront batches in order,
+/// handing each to `backend.execute_batch`. `ops[i]` must hold op `i`'s
+/// binding; a replayed (cached) graph is submitted against fresh
+/// bindings each iteration.
+pub fn submit(graph: &OpGraph, ops: &[BoundOp], arena: &BufferArena, backend: &dyn Backend) {
+    assert_eq!(ops.len(), graph.len(), "submit: binding count mismatch");
+    for b in 0..graph.num_batches() {
+        let batch = Batch::new(graph.batch(b), ops, arena);
+        if !batch.is_empty() {
+            backend.execute_batch(batch);
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
-    fn node(label: &'static str, reads: &[(usize, usize)], writes: &[(usize, usize)]) -> OpNode {
-        OpNode::new(
-            label,
-            reads
-                .iter()
-                .map(|&(lo, hi)| Span::from_range(lo, hi))
-                .collect(),
-            writes
-                .iter()
-                .map(|&(lo, hi)| Span::from_range(lo, hi))
-                .collect(),
-        )
+    fn span(buf: usize, lo: u32, hi: u32) -> Span {
+        Span::new(buf as u32, lo, hi)
+    }
+
+    fn push(g: &mut OpGraph, label: &'static str, reads: &[Span], writes: &[Span]) -> usize {
+        g.push(label, reads, writes)
     }
 
     #[test]
-    fn span_overlap_is_half_open() {
-        let a = Span::from_range(0, 8);
-        let b = Span::from_range(8, 16);
+    fn span_overlap_is_half_open_and_per_buffer() {
+        let a = span(0, 0, 8);
+        let b = span(0, 8, 16);
         assert!(!a.overlaps(&b));
         assert!(!b.overlaps(&a));
-        let c = Span::from_range(7, 9);
+        let c = span(0, 7, 9);
         assert!(a.overlaps(&c) && c.overlaps(&b));
-        let v = [1.0f64; 4];
-        let s = Span::of(&v[..2]);
-        let t = Span::of(&v[2..]);
-        assert!(!s.overlaps(&t));
-        assert!(Span::of(&v[..]).overlaps(&s));
-        assert!(Span::of_value(&v[0]).overlaps(&s));
+        // Same bytes, different buffers: never a conflict.
+        let other = span(1, 0, 8);
+        assert!(!a.overlaps(&other));
+        assert!(Span::whole(0).overlaps(&a));
+        assert!(!Span::whole(1).overlaps(&a));
+        assert_eq!(Span::elems(2, 3, 4, 8), span(2, 24, 56));
     }
 
     #[test]
     fn raw_and_war_and_waw_all_order() {
-        let w = node("w", &[], &[(0, 8)]);
-        let raw = node("raw", &[(0, 8)], &[]);
-        let war = node("war", &[], &[(4, 12)]);
-        let unrelated = node("free", &[(100, 108)], &[(200, 208)]);
+        let mk = |reads: &[Span], writes: &[Span]| OpShape {
+            label: "t",
+            reads: reads.to_vec(),
+            writes: writes.to_vec(),
+        };
+        let w = mk(&[], &[span(0, 0, 8)]);
+        let raw = mk(&[span(0, 0, 8)], &[]);
+        let war = mk(&[], &[span(0, 4, 12)]);
+        let unrelated = mk(&[span(1, 0, 8)], &[span(2, 0, 8)]);
         assert!(conflicts(&w, &raw), "read-after-write");
         assert!(conflicts(&raw, &war), "write-after-read");
         assert!(conflicts(&w, &war), "write-after-write");
         assert!(!conflicts(&w, &unrelated));
-        // Two pure readers never conflict.
-        let r2 = node("r2", &[(0, 8)], &[]);
-        assert!(!conflicts(&raw, &r2));
+        let r2 = mk(&[span(0, 0, 8)], &[]);
+        assert!(!conflicts(&raw, &r2), "two pure readers never conflict");
     }
 
     #[test]
     fn chain_graph_is_one_op_per_batch() {
         let mut g = OpGraph::new();
-        g.push(node("a", &[], &[(0, 8)]));
-        g.push(node("b", &[(0, 8)], &[(8, 16)]));
-        g.push(node("c", &[(8, 16)], &[(16, 24)]));
+        push(&mut g, "a", &[], &[span(0, 0, 8)]);
+        push(&mut g, "b", &[span(0, 0, 8)], &[span(1, 0, 8)]);
+        push(&mut g, "c", &[span(1, 0, 8)], &[span(2, 0, 8)]);
         assert_eq!(g.preds(1), &[0]);
         assert_eq!(g.preds(2), &[1]);
-        let batches = g.batches();
-        assert_eq!(batches, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(g.batches(), vec![vec![0], vec![1], vec![2]]);
     }
 
     #[test]
     fn independent_ops_share_a_batch() {
         let mut g = OpGraph::new();
-        g.push(node("a", &[(64, 72)], &[(0, 8)]));
-        g.push(node("b", &[(64, 72)], &[(8, 16)])); // shares only a read
-        g.push(node("c", &[(0, 8), (8, 16)], &[(16, 24)])); // joins both
-        let batches = g.batches();
-        assert_eq!(batches, vec![vec![0, 1], vec![2]]);
+        push(&mut g, "a", &[span(3, 0, 8)], &[span(0, 0, 8)]);
+        push(&mut g, "b", &[span(3, 0, 8)], &[span(1, 0, 8)]); // shares only a read
+        push(
+            &mut g,
+            "c",
+            &[span(0, 0, 8), span(1, 0, 8)],
+            &[span(2, 0, 8)],
+        );
+        assert_eq!(g.batches(), vec![vec![0, 1], vec![2]]);
         assert_eq!(g.preds(2), &[0, 1]);
     }
 
     #[test]
-    fn submit_respects_batch_order() {
-        use std::sync::{Arc, Mutex};
+    fn shape_matching_is_exact() {
         let mut g = OpGraph::new();
-        g.push(node("a", &[], &[(0, 8)]));
-        g.push(node("b", &[(0, 8)], &[(8, 16)]));
-        g.push(node("free", &[], &[(32, 40)]));
-        let log = Arc::new(Mutex::new(Vec::new()));
-        let execs: Vec<Option<ExecOp>> = (0..3)
-            .map(|i| {
-                let log = Arc::clone(&log);
-                Some(Box::new(move |_: &dyn Backend| {
-                    log.lock().unwrap().push(i);
-                }) as ExecOp)
+        push(&mut g, "a", &[span(0, 0, 8)], &[span(1, 0, 8)]);
+        assert!(g.matches(0, "a", &[span(0, 0, 8)], &[span(1, 0, 8)]));
+        assert!(!g.matches(0, "b", &[span(0, 0, 8)], &[span(1, 0, 8)]));
+        assert!(!g.matches(0, "a", &[span(0, 0, 9)], &[span(1, 0, 8)]));
+        assert!(!g.matches(0, "a", &[span(0, 0, 8)], &[]));
+    }
+
+    #[test]
+    fn finalize_is_idempotent_and_push_invalidates_it() {
+        let mut g = OpGraph::new();
+        push(&mut g, "a", &[], &[span(0, 0, 8)]);
+        g.finalize();
+        let first = g.batches();
+        g.finalize();
+        assert_eq!(g.batches(), first);
+        push(&mut g, "b", &[span(0, 0, 8)], &[span(1, 0, 8)]);
+        assert_eq!(g.batches(), vec![vec![0], vec![1]]);
+    }
+
+    /// Submitted bindings execute in a batch order that respects the
+    /// DAG (logging via an arena-registered mutex, exactly how tests
+    /// drive the payload machinery without solver kernels).
+    #[test]
+    fn submit_respects_batch_order() {
+        let log: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let mut arena = BufferArena::new();
+        // SAFETY: `log` outlives every use of the arena below.
+        let hlog = unsafe { arena.register_obj(&log as *const Mutex<Vec<usize>>) };
+        fn log_exec(_b: &dyn Backend, arena: &BufferArena, args: &OpArgs) {
+            // SAFETY: the registered log outlives the submit below.
+            let log: &Mutex<Vec<usize>> = unsafe { arena.obj(args.bufs[0]) };
+            log.lock().unwrap().push(args.n0 as usize);
+        }
+        let mut g = OpGraph::new();
+        push(&mut g, "a", &[], &[span(0, 0, 8)]);
+        push(&mut g, "b", &[span(0, 0, 8)], &[span(1, 0, 8)]);
+        push(&mut g, "free", &[], &[span(2, 0, 8)]);
+        g.finalize();
+        let ops: Vec<BoundOp> = (0..3)
+            .map(|i| BoundOp {
+                exec: log_exec,
+                args: OpArgs {
+                    bufs: [hlog, 0, 0, 0],
+                    n0: i as u32,
+                    ..OpArgs::default()
+                },
             })
             .collect();
-        submit(&g, execs, &crate::ReferenceBackend);
+        submit(&g, &ops, &arena, &crate::ReferenceBackend);
         let order = log.lock().unwrap().clone();
         let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
         assert_eq!(order.len(), 3);

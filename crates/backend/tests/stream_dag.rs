@@ -1,15 +1,18 @@
 //! Property tests for the recorded-stream dependency DAG: the scheduler
 //! must never reorder dependent ops, for any random read/write span
 //! sets, on any backend (including the parallel backend's concurrent
-//! batch execution).
+//! batch execution) — and the wavefront schedule must be a pure
+//! function of the op *shapes*, so replaying a cached graph against
+//! rebound buffers can never change the partitioning.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 
-use mpgmres_backend::stream::{conflicts, submit, ExecOp, OpGraph, OpNode, Span};
+use mpgmres_backend::stream::{conflicts, submit, BoundOp, OpArgs, OpGraph, OpShape, Span};
 use mpgmres_backend::{Backend, ParallelBackend, ReferenceBackend};
+use mpgmres_la::raw::BufferArena;
 use proptest::prelude::*;
 
-/// A synthetic op over an arena of `NBUF` fixed 64-byte buffers.
+/// A synthetic op over `NBUF` fixed 64-byte buffers.
 #[derive(Clone, Debug)]
 struct SynthOp {
     reads: Vec<usize>,
@@ -19,44 +22,55 @@ struct SynthOp {
 const NBUF: usize = 8;
 
 fn buf_span(b: usize) -> Span {
-    Span::from_range(b * 64, b * 64 + 64)
+    Span::new(b as u32, 0, 64)
 }
 
-fn to_node(op: &SynthOp) -> OpNode {
-    OpNode::new(
-        "synth",
-        op.reads.iter().map(|&b| buf_span(b)).collect(),
-        op.writes.iter().map(|&b| buf_span(b)).collect(),
-    )
-}
-
-/// Decode a u32 mask pair into buffer index sets.
-fn decode(mask_r: u32, mask_w: u32) -> SynthOp {
-    let pick = |mask: u32| (0..NBUF).filter(|b| mask & (1 << b) != 0).collect();
-    SynthOp {
-        reads: pick(mask_r),
-        writes: pick(mask_w),
+fn to_shape(op: &SynthOp) -> OpShape {
+    OpShape {
+        label: "synth",
+        reads: op.reads.iter().map(|&b| buf_span(b)).collect(),
+        writes: op.writes.iter().map(|&b| buf_span(b)).collect(),
     }
+}
+
+fn build_graph(ops: &[SynthOp]) -> OpGraph {
+    let mut graph = OpGraph::new();
+    for op in ops {
+        let shape = to_shape(op);
+        graph.push(shape.label, &shape.reads, &shape.writes);
+    }
+    graph.finalize();
+    graph
+}
+
+/// The execution payload of every synthetic op: append the op's index
+/// (carried in `args.n0`) to the arena-registered log.
+fn log_exec(_b: &dyn Backend, arena: &BufferArena, args: &OpArgs) {
+    // SAFETY: the log outlives the submit (registered by the caller).
+    let log: &Mutex<Vec<usize>> = unsafe { arena.obj(args.bufs[0]) };
+    log.lock().unwrap().push(args.n0 as usize);
 }
 
 /// Run the scheduler over the ops on `backend`, returning the observed
 /// execution order (one entry per op, the op's record index).
 fn schedule_and_log(ops: &[SynthOp], backend: &dyn Backend) -> Vec<usize> {
-    let mut graph = OpGraph::new();
-    for op in ops {
-        graph.push(to_node(op));
-    }
-    let log = Arc::new(Mutex::new(Vec::new()));
-    let execs: Vec<Option<ExecOp>> = (0..ops.len())
-        .map(|i| {
-            let log = Arc::clone(&log);
-            Some(Box::new(move |_: &dyn Backend| {
-                log.lock().unwrap().push(i);
-            }) as ExecOp)
+    let graph = build_graph(ops);
+    let log: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let mut arena = BufferArena::new();
+    // SAFETY: `log` outlives the submit below.
+    let hlog = unsafe { arena.register_obj(&log as *const Mutex<Vec<usize>>) };
+    let bindings: Vec<BoundOp> = (0..ops.len())
+        .map(|i| BoundOp {
+            exec: log_exec,
+            args: OpArgs {
+                bufs: [hlog, 0, 0, 0],
+                n0: i as u32,
+                ..OpArgs::default()
+            },
         })
         .collect();
-    submit(&graph, execs, backend);
-    Arc::try_unwrap(log).unwrap().into_inner().unwrap()
+    submit(&graph, &bindings, &arena, backend);
+    log.into_inner().unwrap()
 }
 
 fn check_order(ops: &[SynthOp], order: &[usize], what: &str) {
@@ -69,13 +83,22 @@ fn check_order(ops: &[SynthOp], order: &[usize], what: &str) {
     let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
     for i in 0..ops.len() {
         for j in (i + 1)..ops.len() {
-            if conflicts(&to_node(&ops[i]), &to_node(&ops[j])) {
+            if conflicts(&to_shape(&ops[i]), &to_shape(&ops[j])) {
                 assert!(
                     pos(i) < pos(j),
                     "{what}: dependent pair ({i}, {j}) reordered: {order:?} (ops {ops:?})"
                 );
             }
         }
+    }
+}
+
+/// Decode a u32 mask pair into buffer index sets.
+fn decode(mask_r: u32, mask_w: u32) -> SynthOp {
+    let pick = |mask: u32| (0..NBUF).filter(|b| mask & (1 << b) != 0).collect();
+    SynthOp {
+        reads: pick(mask_r),
+        writes: pick(mask_w),
     }
 }
 
@@ -106,10 +129,7 @@ proptest! {
         masks in proptest::collection::vec((0u32..(1 << NBUF), 0u32..(1 << NBUF)), 1..24),
     ) {
         let ops: Vec<SynthOp> = masks.iter().map(|&(r, w)| decode(r, w)).collect();
-        let mut graph = OpGraph::new();
-        for op in &ops {
-            graph.push(to_node(op));
-        }
+        let mut graph = build_graph(&ops);
         let batches = graph.batches();
         let mut seen = vec![false; ops.len()];
         for batch in &batches {
@@ -118,8 +138,8 @@ proptest! {
                 seen[i] = true;
                 for &j in &batch[a + 1..] {
                     prop_assert!(
-                        !conflicts(&to_node(&ops[i]), &to_node(&ops[j]))
-                            && !conflicts(&to_node(&ops[j]), &to_node(&ops[i])),
+                        !conflicts(&to_shape(&ops[i]), &to_shape(&ops[j]))
+                            && !conflicts(&to_shape(&ops[j]), &to_shape(&ops[i])),
                         "conflicting ops {} and {} share a batch",
                         i,
                         j
@@ -135,6 +155,35 @@ proptest! {
                 prop_assert!(batch_of(p) < batch_of(i));
             }
         }
+    }
+
+    /// Replay invariance: the graph (edges AND wavefront partitioning)
+    /// is a pure function of the op shapes — rebinding the payloads to
+    /// different buffer values between submits can never change it, and
+    /// the per-op shape verification a replay runs accepts exactly the
+    /// recorded sequence.
+    #[test]
+    fn rebinding_never_changes_wavefront_partitioning(
+        masks in proptest::collection::vec((0u32..(1 << NBUF), 0u32..(1 << NBUF)), 1..24),
+        perturb in 0usize..24,
+    ) {
+        let ops: Vec<SynthOp> = masks.iter().map(|&(r, w)| decode(r, w)).collect();
+        let mut first = build_graph(&ops);
+        let mut second = build_graph(&ops); // "rebound" iteration: same shapes
+        prop_assert_eq!(first.len(), second.len());
+        for i in 0..ops.len() {
+            prop_assert_eq!(first.preds(i), second.preds(i));
+            // The replay check accepts the identical shape...
+            let s = to_shape(&ops[i]);
+            prop_assert!(first.matches(i, s.label, &s.reads, &s.writes));
+        }
+        prop_assert_eq!(first.batches(), second.batches());
+        // ...and rejects a perturbed one (extra write span).
+        let i = perturb % ops.len();
+        let s = to_shape(&ops[i]);
+        let mut writes = s.writes.clone();
+        writes.push(Span::new(NBUF as u32 + 1, 0, 64));
+        prop_assert!(!first.matches(i, s.label, &s.reads, &writes));
     }
 }
 

@@ -37,6 +37,7 @@ use crate::config::{GmresConfig, OrthoMethod};
 use crate::context::{GpuContext, GpuMatrix};
 use crate::precond::Preconditioner;
 use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
+use crate::stream::{region, RegionKey};
 use mpgmres_backend::BackendScalar;
 use mpgmres_la::givens::GivensLsq;
 use mpgmres_la::multivec::MultiVec;
@@ -144,23 +145,24 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
         // Initial residuals R = B - A X and reference norms: the k
         // per-column residuals are independent of each other, so they
         // form the first recorded region (the fused norm joins them).
+        // Shape-stable in (n, k): cached and replayed across solves.
         {
-            let mut st = ctx.stream();
-            // SAFETY: a, b, x, r, norms all outlive `st` (function
-            // locals / parameters) and the host does not touch them
-            // before the sync below.
-            unsafe {
-                for l in 0..k {
-                    st.residual_as(
-                        mpgmres_gpusim::KernelClass::SpMV,
-                        self.a,
-                        b.col(l),
-                        x.col(l),
-                        r.col_mut(l),
-                    );
-                }
-                st.block_norm2_into(&r, k, &mut norms);
+            let mut st = ctx.stream_for(RegionKey::new(region::BLOCK_INIT, n).with_k(k));
+            let ah = st.matrix(self.a);
+            let bh = st.block(b);
+            let xh = st.block(&*x);
+            let rh = st.block_mut(&mut r);
+            let nh = st.slice_mut(&mut norms);
+            for l in 0..k {
+                st.residual_as(
+                    mpgmres_gpusim::KernelClass::SpMV,
+                    ah,
+                    bh.col(l),
+                    xh.col(l),
+                    rh.col_mut(l),
+                );
             }
+            st.block_norm2_into(rh.read(), k, nh);
             st.sync();
         }
 
@@ -298,35 +300,45 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
 
                 // W = A Z (one matrix read for all kc columns) plus the
                 // blocked orthogonalization: one recorded region, a
-                // chain through W like the single-RHS CGS region.
+                // chain through W like the single-RHS CGS region. The
+                // shape is stable in (n, ncols, kc, active lane set),
+                // so steady-state lockstep iterations replay a cached
+                // graph; a lane set that doesn't fit the 64-bit mask
+                // falls back to an uncached (re-derived) region.
                 match self.cfg.ortho {
-                    OrthoMethod::Cgs2 => {
+                    OrthoMethod::Cgs2 | OrthoMethod::Cgs1 => {
+                        let two_pass = self.cfg.ortho == OrthoMethod::Cgs2;
                         let vs: Vec<&MultiVector<S>> = act.iter().map(|&l| &lanes[l].v).collect();
-                        let mut st = ctx.stream();
-                        // SAFETY: a, z, w, h1, h2, norms, and the lane
-                        // bases behind `vs` all outlive `st`; the host
-                        // does not touch them before the sync below
-                        // (lane bases are only modified after it).
-                        unsafe {
-                            st.spmm(self.a, &z, kc, &mut w);
-                            st.block_gemv_t(&vs, ncols, &w, &mut h1[..kc * ncols]);
-                            st.block_gemv_n_sub(&vs, ncols, &h1[..kc * ncols], &mut w);
-                            st.block_gemv_t(&vs, ncols, &w, &mut h2[..kc * ncols]);
-                            st.block_gemv_n_sub(&vs, ncols, &h2[..kc * ncols], &mut w);
-                            st.block_norm2_into(&w, kc, &mut norms);
+                        let key = RegionKey::lane_mask(&act).map(|m| {
+                            let id = if two_pass {
+                                region::BLOCK_CGS
+                            } else {
+                                region::BLOCK_CGS1
+                            };
+                            RegionKey::new(id, n)
+                                .with_ncols(ncols)
+                                .with_k(kc)
+                                .with_lanes(m)
+                        });
+                        let mut st = match key {
+                            Some(key) => ctx.stream_for(key),
+                            None => ctx.stream(),
+                        };
+                        let ah = st.matrix(self.a);
+                        let zh = st.block(&z);
+                        let wh = st.block_mut(&mut w);
+                        let vsh = st.bases(&vs);
+                        let h1h = st.slice_mut(&mut h1[..kc * ncols]);
+                        let nh = st.slice_mut(&mut norms);
+                        st.spmm(ah, zh, kc, wh);
+                        st.block_gemv_t(vsh, ncols, wh.read(), h1h);
+                        st.block_gemv_n_sub(vsh, ncols, h1h.read(), wh);
+                        if two_pass {
+                            let h2h = st.slice_mut(&mut h2[..kc * ncols]);
+                            st.block_gemv_t(vsh, ncols, wh.read(), h2h);
+                            st.block_gemv_n_sub(vsh, ncols, h2h.read(), wh);
                         }
-                        st.sync();
-                    }
-                    OrthoMethod::Cgs1 => {
-                        let vs: Vec<&MultiVector<S>> = act.iter().map(|&l| &lanes[l].v).collect();
-                        let mut st = ctx.stream();
-                        // SAFETY: as in the Cgs2 region above.
-                        unsafe {
-                            st.spmm(self.a, &z, kc, &mut w);
-                            st.block_gemv_t(&vs, ncols, &w, &mut h1[..kc * ncols]);
-                            st.block_gemv_n_sub(&vs, ncols, &h1[..kc * ncols], &mut w);
-                            st.block_norm2_into(&w, kc, &mut norms);
-                        }
+                        st.block_norm2_into(wh.read(), kc, nh);
                         st.sync();
                     }
                     OrthoMethod::Mgs => {
@@ -442,37 +454,42 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
             // and explicit residuals. Each lane's chain (GEMV-N -> axpy
             // -> residual -> norm) is independent of every other lane's,
             // so the recorded DAG overlaps them — this is where the
-            // critical path drops below the serial sum for k > 1.
-            // SAFETY (all three regions below): a, b, x, r, u, gammas,
-            // the per-lane `y` vectors held alive in `upds`, and the
-            // lane bases all outlive each stream, and the host does not
-            // touch them until the region's sync.
+            // critical path drops below the serial sum for k > 1. The
+            // per-lane update widths (`kc`) vary lane to lane, so these
+            // regions are not shape-stable and record uncached.
             if self.precond.is_identity() {
                 let mut st = ctx.stream();
-                unsafe {
-                    for (l, kc, y) in &upds {
-                        st.gemv_n_add(&lanes[*l].v, *kc, y, u.col_mut(*l));
-                        st.axpy(S::one(), u.col(*l), x.col_mut(*l));
-                    }
-                    for &l in &cycle {
-                        st.residual_as(
-                            mpgmres_gpusim::KernelClass::SpMV,
-                            self.a,
-                            b.col(l),
-                            x.col(l),
-                            r.col_mut(l),
-                        );
-                        st.norm2_into(r.col(l), &mut gammas[l]);
-                    }
+                let ah = st.matrix(self.a);
+                let bh = st.block(b);
+                let xh = st.block_mut(&mut *x);
+                let rh = st.block_mut(&mut r);
+                let uh = st.block_mut(&mut u);
+                let gh = st.slice_mut(&mut gammas);
+                for (l, kc, y) in &upds {
+                    let vh = st.basis(&lanes[*l].v);
+                    let yh = st.slice(y);
+                    st.gemv_n_add(vh, *kc, yh, uh.col_mut(*l));
+                    st.axpy(S::one(), uh.col(*l), xh.col_mut(*l));
+                }
+                for &l in &cycle {
+                    st.residual_as(
+                        mpgmres_gpusim::KernelClass::SpMV,
+                        ah,
+                        bh.col(l),
+                        xh.col(l),
+                        rh.col_mut(l),
+                    );
+                    st.norm2_into(rh.col(l), gh.at(l));
                 }
                 st.sync();
             } else {
                 {
                     let mut st = ctx.stream();
-                    unsafe {
-                        for (l, kc, y) in &upds {
-                            st.gemv_n_add(&lanes[*l].v, *kc, y, u.col_mut(*l));
-                        }
+                    let uh = st.block_mut(&mut u);
+                    for (l, kc, y) in &upds {
+                        let vh = st.basis(&lanes[*l].v);
+                        let yh = st.slice(y);
+                        st.gemv_n_add(vh, *kc, yh, uh.col_mut(*l));
                     }
                     st.sync();
                 }
@@ -483,17 +500,20 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                     ctx.axpy(S::one(), &zvec, x.col_mut(*l));
                 }
                 let mut st = ctx.stream();
-                unsafe {
-                    for &l in &cycle {
-                        st.residual_as(
-                            mpgmres_gpusim::KernelClass::SpMV,
-                            self.a,
-                            b.col(l),
-                            x.col(l),
-                            r.col_mut(l),
-                        );
-                        st.norm2_into(r.col(l), &mut gammas[l]);
-                    }
+                let ah = st.matrix(self.a);
+                let bh = st.block(b);
+                let xh = st.block(&*x);
+                let rh = st.block_mut(&mut r);
+                let gh = st.slice_mut(&mut gammas);
+                for &l in &cycle {
+                    st.residual_as(
+                        mpgmres_gpusim::KernelClass::SpMV,
+                        ah,
+                        bh.col(l),
+                        xh.col(l),
+                        rh.col_mut(l),
+                    );
+                    st.norm2_into(rh.col(l), gh.at(l));
                 }
                 st.sync();
             }

@@ -13,16 +13,21 @@
 //! `mpgmres-backend`'s determinism contract), so is the convergence
 //! behaviour.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
+use mpgmres_backend::stream::{BoundOp, OpGraph};
 use mpgmres_backend::{contracts, Backend, BackendKind, BackendScalar};
 use mpgmres_gpusim::{cost, DeviceModel, KernelClass, Profiler, TimingReport};
 use mpgmres_la::csr::Csr;
 use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
+use mpgmres_la::raw::BufferArena;
 use mpgmres_la::stats::MatrixStats;
 use mpgmres_la::vec_ops::ReductionOrder;
 use mpgmres_scalar::Scalar;
+
+use crate::stream::{RegionKey, StreamStats};
 
 /// A sparse matrix prepared for the simulated device: the CSR data plus
 /// the structural statistics the cost model needs (bandwidth drives the
@@ -76,6 +81,17 @@ impl<S: Scalar> GpuMatrix<S> {
     }
 }
 
+/// Reused per-region recording state: the buffer arena, the payload
+/// bindings, and the per-op finish times of the overlap timeline. Lives
+/// on the context (not the stream) so steady-state recording allocates
+/// nothing once the capacities are warm.
+#[derive(Debug, Default)]
+pub(crate) struct StreamScratch {
+    pub(crate) arena: BufferArena,
+    pub(crate) bindings: Vec<BoundOp>,
+    pub(crate) finish: Vec<f64>,
+}
+
 /// Instrumented kernel executor: charges the profiler, delegates
 /// computation to the configured [`Backend`].
 ///
@@ -83,13 +99,16 @@ impl<S: Scalar> GpuMatrix<S> {
 ///
 /// - **eager** (each method below): validate, charge the profiler,
 ///   execute — semantically "record one op and sync immediately".
-/// - **recorded**: [`GpuContext::stream`] opens a
-///   [`Stream`](crate::Stream) that enqueues ops carrying read/write
-///   buffer spans, derives the dependency DAG, and executes ready
-///   batches at sync. Recorded execution is bit-identical to eager (the
-///   DAG only relaxes ordering between ops that cannot observe each
-///   other) and lets the simulated timeline overlap independent ops
-///   (the critical-path figure of [`TimingReport`]).
+/// - **recorded**: [`GpuContext::stream`] (or
+///   [`GpuContext::stream_for`], which additionally caches and replays
+///   the derived graph for shape-stable regions) opens a
+///   [`Stream`](crate::Stream) that registers buffers into an arena and
+///   enqueues ops carrying read/write handle spans; the dependency DAG
+///   executes in ready batches at sync. Recorded execution is
+///   bit-identical to eager (the DAG only relaxes ordering between ops
+///   that cannot observe each other) and lets the simulated timeline
+///   overlap independent ops (the critical-path figure of
+///   [`TimingReport`]).
 ///
 /// [`GpuContext::set_streaming`] turns recording off globally (every
 /// stream then degenerates to eager per-op execution) — the switch the
@@ -101,6 +120,10 @@ pub struct GpuContext {
     reduction: ReductionOrder,
     backend: Arc<dyn Backend>,
     streaming: bool,
+    /// Cached payload-free op graphs, keyed by recording region shape.
+    stream_cache: HashMap<RegionKey, Arc<OpGraph>>,
+    scratch: StreamScratch,
+    stream_stats: StreamStats,
 }
 
 impl GpuContext {
@@ -133,6 +156,9 @@ impl GpuContext {
             reduction,
             backend,
             streaming: true,
+            stream_cache: HashMap::new(),
+            scratch: StreamScratch::default(),
+            stream_stats: StreamStats::default(),
         }
     }
 
@@ -189,10 +215,35 @@ impl GpuContext {
         self.streaming = on;
     }
 
-    /// Open a command recorder on this context. See
-    /// [`Stream`](crate::Stream) for the recording contract.
+    /// Open an ad-hoc command recorder on this context (no graph
+    /// caching; the DAG is derived for this region instance only). See
+    /// [`Stream`](crate::Stream) for the recording model.
     pub fn stream(&mut self) -> crate::Stream<'_> {
-        crate::Stream::begin(self)
+        crate::Stream::begin(self, None)
+    }
+
+    /// Open a command recorder for a shape-stable region: the first
+    /// recording under `key` derives and caches the payload-free op
+    /// graph; later recordings replay it, verifying each op's shape and
+    /// rebinding only the payload (no node allocation, no span scans).
+    /// See [`Stream`](crate::Stream).
+    pub fn stream_for(&mut self, key: RegionKey) -> crate::Stream<'_> {
+        crate::Stream::begin(self, Some(key))
+    }
+
+    /// Graph-cache hit/miss/allocation counters (see [`StreamStats`]).
+    pub fn stream_stats(&self) -> StreamStats {
+        self.stream_stats
+    }
+
+    /// Number of cached region graphs.
+    pub fn stream_cache_len(&self) -> usize {
+        self.stream_cache.len()
+    }
+
+    /// Drop every cached region graph (counters are kept).
+    pub fn clear_stream_cache(&mut self) {
+        self.stream_cache.clear();
     }
 
     pub(crate) fn profiler_mut(&mut self) -> &mut Profiler {
@@ -201,6 +252,58 @@ impl GpuContext {
 
     pub(crate) fn reduction(&self) -> ReductionOrder {
         self.reduction
+    }
+
+    // ----- recorded-stream plumbing ----------------------------------
+
+    pub(crate) fn scratch(&self) -> &StreamScratch {
+        &self.scratch
+    }
+
+    pub(crate) fn scratch_mut(&mut self) -> &mut StreamScratch {
+        &mut self.scratch
+    }
+
+    pub(crate) fn arena_mut(&mut self) -> &mut BufferArena {
+        &mut self.scratch.arena
+    }
+
+    /// Reset the per-region recording state (keeps allocations).
+    pub(crate) fn scratch_reset(&mut self) {
+        self.scratch.arena.clear();
+        self.scratch.bindings.clear();
+        self.scratch.finish.clear();
+    }
+
+    pub(crate) fn cached_graph(&self, key: &RegionKey) -> Option<Arc<OpGraph>> {
+        self.stream_cache.get(key).cloned()
+    }
+
+    pub(crate) fn store_graph(&mut self, key: RegionKey, graph: Arc<OpGraph>) {
+        self.stream_cache.insert(key, graph);
+    }
+
+    pub(crate) fn bump_hits(&mut self) {
+        self.stream_stats.hits += 1;
+    }
+
+    pub(crate) fn bump_misses(&mut self) {
+        self.stream_stats.misses += 1;
+    }
+
+    pub(crate) fn bump_nodes_allocated(&mut self, n: u64) {
+        self.stream_stats.nodes_allocated += n;
+    }
+
+    /// Submit a finalized recorded graph against the current scratch
+    /// bindings and arena.
+    pub(crate) fn submit_recorded(&self, graph: &OpGraph) {
+        mpgmres_backend::stream::submit(
+            graph,
+            &self.scratch.bindings,
+            &self.scratch.arena,
+            &*self.backend,
+        );
     }
 
     // ----- cost specs -------------------------------------------------

@@ -15,6 +15,7 @@ use crate::config::{GmresConfig, OrthoMethod};
 use crate::context::{GpuContext, GpuMatrix};
 use crate::precond::Preconditioner;
 use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
+use crate::stream::{region, RegionKey};
 use mpgmres_backend::BackendScalar;
 use mpgmres_la::givens::GivensLsq;
 use mpgmres_la::multivector::MultiVector;
@@ -134,39 +135,53 @@ impl<'a, S: BackendScalar> Gmres<'a, S> {
                 // CGS passes form one recorded region: the ops chain
                 // through w/h, so the DAG reproduces eager order (and
                 // eager timing) exactly — this region is the parity
-                // anchor for recorded single-RHS execution.
+                // anchor for recorded single-RHS execution. The op
+                // sequence is shape-stable in (n, ncols, ortho), so the
+                // region records once per shape and replays the cached
+                // graph on every later cycle (the steady-state GMRES(m)
+                // iteration re-derives nothing).
                 let ncols = j + 1;
                 let mut hj1 = S::zero();
                 match self.cfg.ortho {
                     OrthoMethod::Cgs2 => {
                         // Two classical passes: 2x (GEMV-T + GEMV-N).
-                        let mut st = ctx.stream();
-                        // SAFETY: every recorded buffer (a, v, z, w, h1,
-                        // h2, hj1) is a local of this function that
-                        // outlives `st`, and none is touched by the host
-                        // before the sync below.
-                        unsafe {
-                            st.spmv(self.a, dir, &mut w);
-                            st.gemv_t(&v, ncols, &w, &mut h1);
-                            st.gemv_n_sub(&v, ncols, &h1, &mut w);
-                            st.gemv_t(&v, ncols, &w, &mut h2);
-                            st.gemv_n_sub(&v, ncols, &h2, &mut w);
-                            st.norm2_into(&w, &mut hj1);
-                        }
+                        let key = RegionKey::new(region::GMRES_CGS, n)
+                            .with_ncols(ncols)
+                            .with_k(2);
+                        let mut st = ctx.stream_for(key);
+                        let ah = st.matrix(self.a);
+                        let dh = st.slice(dir);
+                        let vh = st.basis(&v);
+                        let wh = st.slice_mut(&mut w);
+                        let h1h = st.slice_mut(&mut h1);
+                        let h2h = st.slice_mut(&mut h2);
+                        let nh = st.val_mut(&mut hj1);
+                        st.spmv(ah, dh, wh);
+                        st.gemv_t(vh, ncols, wh.read(), h1h);
+                        st.gemv_n_sub(vh, ncols, h1h.read(), wh);
+                        st.gemv_t(vh, ncols, wh.read(), h2h);
+                        st.gemv_n_sub(vh, ncols, h2h.read(), wh);
+                        st.norm2_into(wh.read(), nh);
                         st.sync();
                         for i in 0..ncols {
                             hcol[i] = h1[i] + h2[i];
                         }
                     }
                     OrthoMethod::Cgs1 => {
-                        let mut st = ctx.stream();
-                        // SAFETY: as in the Cgs2 region above.
-                        unsafe {
-                            st.spmv(self.a, dir, &mut w);
-                            st.gemv_t(&v, ncols, &w, &mut h1);
-                            st.gemv_n_sub(&v, ncols, &h1, &mut w);
-                            st.norm2_into(&w, &mut hj1);
-                        }
+                        let key = RegionKey::new(region::GMRES_CGS, n)
+                            .with_ncols(ncols)
+                            .with_k(1);
+                        let mut st = ctx.stream_for(key);
+                        let ah = st.matrix(self.a);
+                        let dh = st.slice(dir);
+                        let vh = st.basis(&v);
+                        let wh = st.slice_mut(&mut w);
+                        let h1h = st.slice_mut(&mut h1);
+                        let nh = st.val_mut(&mut hj1);
+                        st.spmv(ah, dh, wh);
+                        st.gemv_t(vh, ncols, wh.read(), h1h);
+                        st.gemv_n_sub(vh, ncols, h1h.read(), wh);
+                        st.norm2_into(wh.read(), nh);
                         st.sync();
                         hcol[..ncols].copy_from_slice(&h1[..ncols]);
                     }

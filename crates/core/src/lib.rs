@@ -78,4 +78,4 @@ pub use mpgmres_backend::{
 };
 pub use mpgmres_la::multivec::MultiVec;
 pub use status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
-pub use stream::Stream;
+pub use stream::{RegionKey, Stream, StreamStats};

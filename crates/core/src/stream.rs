@@ -1,17 +1,52 @@
-//! The command recorder: kernel calls enqueue typed ops, `sync` builds
-//! and executes the dependency DAG.
+//! The command recorder: solver regions register buffers into an
+//! arena, record kernel ops against stable handles, and `sync` submits
+//! the dependency DAG — re-deriving it on a cache miss, replaying a
+//! cached shape-identical graph otherwise.
 //!
 //! [`Stream`] is the recorded counterpart of [`GpuContext`]'s eager
-//! kernel methods. Each record call validates shapes and charges the
-//! profiler exactly like its eager twin (the two share the same cost
-//! specs, so the per-class accounting of a recorded run is bit-identical
-//! to an eager run of the same call sequence), but instead of executing
-//! immediately it pushes an [`OpNode`] carrying the call's read/write
-//! buffer spans. Dependencies are derived from span overlap as ops are
-//! recorded; at [`Stream::sync`] (or drop) the DAG's wavefronts of
-//! mutually independent ready ops go to
+//! kernel methods. A region opens a stream, **registers** each buffer
+//! it will touch exactly once (obtaining a `Copy` handle), then records
+//! kernel calls against the handles. Each record call validates shapes
+//! and charges the profiler exactly like its eager twin (the two share
+//! the same cost specs, so the per-class accounting of a recorded run
+//! is bit-identical to an eager run of the same call sequence); the op
+//! itself is a [`Span`]-shaped node in a payload-free graph plus a
+//! plain-data payload binding. At [`Stream::sync`] (or drop) the
+//! graph's wavefronts of mutually independent ready ops go to
 //! [`Backend::execute_batch`](mpgmres_backend::Backend), which may run
 //! them concurrently.
+//!
+//! # Safety story (why the record methods are safe functions)
+//!
+//! Every registration method ties the buffer's borrow to the stream's
+//! lifetime: `slice_mut(&'c mut [S])` keeps the buffer exclusively
+//! borrowed until the stream syncs, so the host *cannot* touch it
+//! mid-region, and the arena pointer derived once at registration stays
+//! valid under Stacked Borrows (nothing ever reborrows the owner while
+//! the stream lives). Ops hold handles, not pointers — the
+//! Miri-flagged pattern of PR 3 (per-op raw views derived from `&mut`
+//! borrows that the next record call's reborrow invalidated) is gone,
+//! and with it the `unsafe fn` record surface and the per-region
+//! `// SAFETY` comments in the solvers. The borrow checker now proves
+//! the old stream contract: buffers outlive sync, and the host neither
+//! reads nor writes them in between.
+//!
+//! # Graph replay (record once, rebind every iteration)
+//!
+//! A GMRES iteration records the same shape-stable op sequence every
+//! cycle — the situation CUDA Graphs exploits. [`GpuContext::stream_for`]
+//! takes a [`RegionKey`] (region id + problem/shape dimensions); the
+//! first recording under a key derives the DAG (O(R²) span scans) and
+//! caches the finalized payload-free graph, and every later recording
+//! under the same key *replays* it: each record call is verified
+//! against the cached node's shape (an O(spans) equality check) and
+//! only the payload binding — kernel fn pointer + handle/offset args —
+//! is refilled into a reused buffer. A replayed region allocates no
+//! graph nodes and no boxed payloads. If the recorded sequence ever
+//! deviates from the cached shape, the stream transparently falls back
+//! to a fresh derivation and replaces the cache entry, so a key
+//! collision costs time, never correctness. [`GpuContext::stream_stats`]
+//! exposes hit/miss/node counters.
 //!
 //! Two things distinguish a recorded region from eager execution, and
 //! bit-identical results are *not* one of them (see the determinism
@@ -23,532 +58,1178 @@
 //!   drop below the serial sum. For a chain-shaped region the two
 //!   timelines agree bit-for-bit.
 //!
-//! # Recording contract
-//!
-//! A recorded op holds raw views of the buffers passed to the record
-//! call, exactly like a device stream holds buffer handles across an
-//! asynchronous launch — the borrow checker cannot see them, which is
-//! why every record method is `unsafe fn`. The caller promises that
-//! between the record call and `sync`:
-//!
-//! - every recorded buffer (and matrix/basis) stays alive, and
-//! - the host neither reads nor writes it.
-//!
-//! `sync` runs automatically when the stream drops, and the stream
-//! mutably borrows the context, so in the usual pattern — record a
-//! region over locals that outlive the stream, sync, read results — a
-//! single `// SAFETY` comment per region discharges the obligation.
-//! Reading a result buffer (e.g. a [`Stream::norm2_into`] slot) before
-//! `sync` yields unspecified *values*; letting a recorded buffer drop
-//! before `sync` is a use-after-free, which is exactly what the
-//! `unsafe` marks.
-//!
 //! With [`GpuContext::set_streaming`] turned off, every record call
 //! executes eagerly in place (record + immediate sync), which is the
-//! reference behavior the parity suite compares against.
+//! reference behavior the parity suite compares against. Reading a
+//! result slot (e.g. a [`Stream::norm2_into`] target) is only possible
+//! after `sync` releases the registration borrows, at which point the
+//! value is defined — the type system enforces the old "don't read
+//! before sync" rule too.
 
-use mpgmres_backend::stream::{
-    ExecOp, OpGraph, OpNode, RawMut, RawRef, RawSlice, RawSliceMut, Span,
-};
-use mpgmres_backend::{contracts, BackendScalar};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use mpgmres_backend::stream::{BoundOp, ExecFn, OpArgs, OpGraph, Span};
+use mpgmres_backend::{Backend, BackendScalar};
 use mpgmres_gpusim::KernelClass;
-use mpgmres_la::csr::Csr;
 use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
+use mpgmres_la::raw::BufferArena;
+use mpgmres_scalar::Scalar;
 
 use crate::context::{GpuContext, GpuMatrix};
 
-/// A recording session on a [`GpuContext`]. See the module docs for the
-/// recording contract; obtain one with [`GpuContext::stream`].
+/// Well-known region ids for [`RegionKey`]. Solvers pick one id per
+/// textual recording region; the rest of the key carries the shape.
+pub mod region {
+    /// `Gmres` CGS1/CGS2 SpMV + orthogonalization region.
+    pub const GMRES_CGS: u32 = 1;
+    /// `BlockGmres` initial residuals + fused norm region.
+    pub const BLOCK_INIT: u32 = 2;
+    /// `BlockGmres` SpMM + blocked CGS2 region.
+    pub const BLOCK_CGS: u32 = 3;
+    /// `BlockGmres` SpMM + blocked CGS1 region (one projection pass, so
+    /// a different shape than [`BLOCK_CGS`]).
+    pub const BLOCK_CGS1: u32 = 4;
+}
+
+/// Cache key of one shape-stable recording region: a region id plus
+/// every dimension that determines the recorded op sequence's shape
+/// (problem size, basis width, block width, active lane set). Two
+/// recordings with equal keys are expected — and verified op-by-op — to
+/// have identical graphs up to the bound buffer values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RegionKey {
+    /// Region id (see [`region`]).
+    pub region: u32,
+    /// Problem dimension (rows).
+    pub n: usize,
+    /// Basis column count (`ncols`), 0 when irrelevant.
+    pub ncols: usize,
+    /// Block width (`k`), 0 when irrelevant.
+    pub k: usize,
+    /// Active-lane bitmask, 0 when irrelevant.
+    pub lanes: u64,
+}
+
+impl RegionKey {
+    /// Key for `region` at problem size `n`.
+    pub fn new(region: u32, n: usize) -> Self {
+        RegionKey {
+            region,
+            n,
+            ncols: 0,
+            k: 0,
+            lanes: 0,
+        }
+    }
+
+    /// Set the basis column count.
+    pub fn with_ncols(mut self, ncols: usize) -> Self {
+        self.ncols = ncols;
+        self
+    }
+
+    /// Set the block width.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Set the active-lane bitmask.
+    pub fn with_lanes(mut self, lanes: u64) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Bitmask of a lane-index set, or `None` when a lane id does not
+    /// fit the 64-bit mask (callers then fall back to an uncached
+    /// stream).
+    pub fn lane_mask(lanes: &[usize]) -> Option<u64> {
+        let mut mask = 0u64;
+        for &l in lanes {
+            if l >= 64 {
+                return None;
+            }
+            mask |= 1u64 << l;
+        }
+        Some(mask)
+    }
+}
+
+/// Hit/miss/allocation counters of the recorded-graph cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Keyed regions replayed from a cached graph (no node allocation,
+    /// no span scans).
+    pub hits: u64,
+    /// Keyed regions that derived (or re-derived) their graph.
+    pub misses: u64,
+    /// Total graph nodes ever allocated by this context's streams
+    /// (cached and uncached); flat across replayed iterations.
+    pub nodes_allocated: u64,
+}
+
+// ----- typed buffer handles -------------------------------------------
+
+/// Handle of a registered [`GpuMatrix`].
+#[derive(Clone, Copy, Debug)]
+pub struct MatRef<S> {
+    id: u32,
+    _s: PhantomData<fn() -> S>,
+}
+
+/// Handle of a registered Krylov basis ([`MultiVector`]).
+#[derive(Clone, Copy, Debug)]
+pub struct BasisRef<S> {
+    id: u32,
+    n: u32,
+    ncap: u32,
+    _s: PhantomData<fn() -> S>,
+}
+
+/// Handle list of a per-lane basis set (the batched kernels' `vs`).
+#[derive(Clone, Copy, Debug)]
+pub struct BasisList<S> {
+    start: u32,
+    len: u32,
+    n: u32,
+    ncap: u32,
+    _s: PhantomData<fn() -> S>,
+}
+
+impl<S> BasisList<S> {
+    /// Number of bases in the list.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Read view of (part of) a registered slice or block column.
+#[derive(Clone, Copy, Debug)]
+pub struct ArgSlice<S> {
+    buf: u32,
+    off: u32,
+    len: u32,
+    _s: PhantomData<fn() -> S>,
+}
+
+/// Write view of (part of) a mutably registered slice or block column.
+#[derive(Clone, Copy, Debug)]
+pub struct ArgSliceMut<S> {
+    buf: u32,
+    off: u32,
+    len: u32,
+    _s: PhantomData<fn() -> S>,
+}
+
+/// Write view of a single scalar result slot.
+#[derive(Clone, Copy, Debug)]
+pub struct ArgValMut<S> {
+    buf: u32,
+    off: u32,
+    _s: PhantomData<fn() -> S>,
+}
+
+impl<S: Scalar> ArgSlice<S> {
+    fn span(&self) -> Span {
+        Span::elems(self.buf, self.off, self.len, std::mem::size_of::<S>())
+    }
+}
+
+impl<S: Scalar> ArgSliceMut<S> {
+    /// Read view of the same elements.
+    pub fn read(self) -> ArgSlice<S> {
+        ArgSlice {
+            buf: self.buf,
+            off: self.off,
+            len: self.len,
+            _s: PhantomData,
+        }
+    }
+
+    /// Write view of the single element at `i` (per-lane result slots).
+    pub fn at(self, i: usize) -> ArgValMut<S> {
+        let i = u32::try_from(i).expect("arg index");
+        assert!(i < self.len, "arg slot out of range");
+        ArgValMut {
+            buf: self.buf,
+            off: self.off + i,
+            _s: PhantomData,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::elems(self.buf, self.off, self.len, std::mem::size_of::<S>())
+    }
+
+    fn prefix_span(&self, len: u32) -> Span {
+        debug_assert!(len <= self.len);
+        Span::elems(self.buf, self.off, len, std::mem::size_of::<S>())
+    }
+}
+
+impl<S: Scalar> ArgValMut<S> {
+    fn span(&self) -> Span {
+        Span::elems(self.buf, self.off, 1, std::mem::size_of::<S>())
+    }
+}
+
+/// Handle of a read-registered right-hand-side block ([`MultiVec`]):
+/// addressable as a whole (batched kernels) or per column.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockRef<S> {
+    id: u32,
+    n: u32,
+    k: u32,
+    _s: PhantomData<fn() -> S>,
+}
+
+/// Handle of a mutably registered block.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockMut<S> {
+    id: u32,
+    n: u32,
+    k: u32,
+    _s: PhantomData<fn() -> S>,
+}
+
+impl<S: Scalar> BlockRef<S> {
+    /// Read view of column `j`.
+    pub fn col(self, j: usize) -> ArgSlice<S> {
+        let j = u32::try_from(j).expect("block column");
+        assert!(j < self.k, "block column out of range");
+        ArgSlice {
+            buf: self.id,
+            off: j * self.n,
+            len: self.n,
+            _s: PhantomData,
+        }
+    }
+}
+
+impl<S: Scalar> BlockMut<S> {
+    /// Read view of the whole block (batched kernels).
+    pub fn read(self) -> BlockRef<S> {
+        BlockRef {
+            id: self.id,
+            n: self.n,
+            k: self.k,
+            _s: PhantomData,
+        }
+    }
+
+    /// Read view of column `j`.
+    pub fn col(self, j: usize) -> ArgSlice<S> {
+        self.read().col(j)
+    }
+
+    /// Write view of column `j`.
+    pub fn col_mut(self, j: usize) -> ArgSliceMut<S> {
+        let c = self.col(j);
+        ArgSliceMut {
+            buf: c.buf,
+            off: c.off,
+            len: c.len,
+            _s: PhantomData,
+        }
+    }
+}
+
+// ----- the recorder ----------------------------------------------------
+
+enum Mode {
+    /// Streaming disabled: every record call executes eagerly in place.
+    Eager,
+    /// First recording under this shape (or uncached region): derive
+    /// the graph op by op.
+    Build(OpGraph),
+    /// Cached graph: verify shapes, bind payloads, allocate nothing.
+    Replay { graph: Arc<OpGraph>, pos: usize },
+}
+
+/// A recording session on a [`GpuContext`]. See the module docs; obtain
+/// one with [`GpuContext::stream`] (ad-hoc region) or
+/// [`GpuContext::stream_for`] (cached/replayed region).
 pub struct Stream<'c> {
     ctx: &'c mut GpuContext,
-    graph: OpGraph,
-    execs: Vec<Option<ExecOp>>,
-    finish: Vec<f64>,
+    mode: Mode,
+    key: Option<RegionKey>,
     base: f64,
-    eager: bool,
-}
-
-/// Dependency span of the leading `ncols` columns of a Krylov basis
-/// (they are one contiguous run of the backing allocation).
-fn basis_span<S: mpgmres_scalar::Scalar>(v: &MultiVector<S>, ncols: usize) -> Span {
-    debug_assert!(ncols >= 1);
-    Span::of(v.col(0)).hull(Span::of(v.col(ncols - 1)))
-}
-
-/// Dependency span of the leading `k` columns of a multi-RHS block.
-fn block_span<S: mpgmres_scalar::Scalar>(x: &MultiVec<S>, k: usize) -> Span {
-    Span::of(&x.data()[..k * x.n()])
 }
 
 impl<'c> Stream<'c> {
-    pub(crate) fn begin(ctx: &'c mut GpuContext) -> Self {
+    pub(crate) fn begin(ctx: &'c mut GpuContext, key: Option<RegionKey>) -> Self {
         let base = ctx.profiler().critical_seconds();
-        let eager = !ctx.streaming();
+        ctx.scratch_reset();
+        let mode = if !ctx.streaming() {
+            Mode::Eager
+        } else if let Some(graph) = key.as_ref().and_then(|k| ctx.cached_graph(k)) {
+            Mode::Replay { graph, pos: 0 }
+        } else {
+            Mode::Build(OpGraph::new())
+        };
         Stream {
             ctx,
-            graph: OpGraph::new(),
-            execs: Vec::new(),
-            finish: Vec::new(),
+            mode,
+            key,
             base,
-            eager,
         }
     }
 
     /// Ops recorded so far (0 in eager mode — everything already ran).
     pub fn recorded(&self) -> usize {
-        self.graph.len()
+        self.ctx.scratch().bindings.len()
     }
 
-    fn record(&mut self, node: OpNode, charge: Option<(KernelClass, f64, usize)>, exec: ExecOp) {
-        let idx = self.graph.push(node);
+    fn eager(&self) -> bool {
+        matches!(self.mode, Mode::Eager)
+    }
+
+    fn arena(&self) -> &BufferArena {
+        &self.ctx.scratch().arena
+    }
+
+    // ----- buffer registration ---------------------------------------
+    //
+    // Each method derives the buffer's arena pointer exactly once from
+    // a borrow held for the stream's whole lifetime — the Miri-clean
+    // discipline the arena documents. The borrow checker guarantees
+    // mutable registrations are disjoint from every other registration.
+
+    /// Register the system matrix (read-only).
+    pub fn matrix<S: Scalar>(&mut self, a: &'c GpuMatrix<S>) -> MatRef<S> {
+        // SAFETY: `a` stays borrowed until the stream's sync/drop.
+        let id = unsafe { self.ctx.arena_mut().register_obj(a as *const GpuMatrix<S>) };
+        MatRef {
+            id,
+            _s: PhantomData,
+        }
+    }
+
+    /// Register a Krylov basis (read-only).
+    pub fn basis<S: Scalar>(&mut self, v: &'c MultiVector<S>) -> BasisRef<S> {
+        let (n, ncap) = (v.n(), v.max_cols());
+        // SAFETY: `v` stays borrowed until the stream's sync/drop.
+        let id = unsafe {
+            self.ctx
+                .arena_mut()
+                .register_obj(v as *const MultiVector<S>)
+        };
+        BasisRef {
+            id,
+            n: u32::try_from(n).expect("basis rows"),
+            ncap: u32::try_from(ncap).expect("basis cols"),
+            _s: PhantomData,
+        }
+    }
+
+    /// Register a per-lane basis set (read-only, all the same shape).
+    pub fn bases<S: Scalar>(&mut self, vs: &[&'c MultiVector<S>]) -> BasisList<S> {
+        assert!(!vs.is_empty(), "stream bases: empty lane set");
+        let (n, ncap) = (vs[0].n(), vs[0].max_cols());
+        let mut ids = Vec::with_capacity(vs.len());
+        for v in vs {
+            assert_eq!(v.n(), n, "stream bases: ragged lane set");
+            assert!(v.max_cols() >= 1);
+            // SAFETY: every lane basis stays borrowed until sync/drop.
+            ids.push(unsafe {
+                self.ctx
+                    .arena_mut()
+                    .register_obj(*v as *const MultiVector<S>)
+            });
+        }
+        let (start, len) = self.ctx.arena_mut().push_list(ids);
+        BasisList {
+            start,
+            len,
+            n: u32::try_from(n).expect("basis rows"),
+            ncap: u32::try_from(ncap).expect("basis cols"),
+            _s: PhantomData,
+        }
+    }
+
+    /// Register a read-only vector.
+    pub fn slice<S: Scalar>(&mut self, x: &'c [S]) -> ArgSlice<S> {
+        // SAFETY: `x` stays borrowed until the stream's sync/drop.
+        let buf = unsafe { self.ctx.arena_mut().register_slice(x.as_ptr(), x.len()) };
+        ArgSlice {
+            buf,
+            off: 0,
+            len: u32::try_from(x.len()).expect("slice length"),
+            _s: PhantomData,
+        }
+    }
+
+    /// Register an exclusively borrowed vector.
+    pub fn slice_mut<S: Scalar>(&mut self, x: &'c mut [S]) -> ArgSliceMut<S> {
+        let (ptr, len) = (x.as_mut_ptr(), x.len());
+        // SAFETY: `x` stays exclusively borrowed until sync/drop, and
+        // the pointer is derived exactly once here.
+        let buf = unsafe { self.ctx.arena_mut().register_slice_mut(ptr, len) };
+        ArgSliceMut {
+            buf,
+            off: 0,
+            len: u32::try_from(len).expect("slice length"),
+            _s: PhantomData,
+        }
+    }
+
+    /// Register an exclusively borrowed scalar result slot.
+    pub fn val_mut<S: Scalar>(&mut self, x: &'c mut S) -> ArgValMut<S> {
+        let ptr: *mut S = x;
+        // SAFETY: as [`Stream::slice_mut`], for one element.
+        let buf = unsafe { self.ctx.arena_mut().register_slice_mut(ptr, 1) };
+        ArgValMut {
+            buf,
+            off: 0,
+            _s: PhantomData,
+        }
+    }
+
+    /// Register a read-only right-hand-side block.
+    pub fn block<S: Scalar>(&mut self, x: &'c MultiVec<S>) -> BlockRef<S> {
+        let (n, k) = (x.n(), x.k());
+        let data = x.data();
+        // SAFETY: `x` stays borrowed until sync/drop; both pointers are
+        // derived from the same shared borrow.
+        let id = unsafe {
+            self.ctx.arena_mut().register_obj_with_data(
+                x as *const MultiVec<S>,
+                data.as_ptr(),
+                data.len(),
+            )
+        };
+        BlockRef {
+            id,
+            n: u32::try_from(n).expect("block rows"),
+            k: u32::try_from(k).expect("block cols"),
+            _s: PhantomData,
+        }
+    }
+
+    /// Register an exclusively borrowed block. Within one region the
+    /// recorder addresses it either as a whole value (chained batched
+    /// kernels) or column-wise (independent per-lane ops) — the
+    /// discipline the arena contract requires.
+    pub fn block_mut<S: Scalar>(&mut self, x: &'c mut MultiVec<S>) -> BlockMut<S> {
+        let (n, k) = (x.n(), x.k());
+        let (obj, data, len) = x.arena_parts();
+        // SAFETY: `x` stays exclusively borrowed until sync/drop; the
+        // data pointer is derived through the object pointer (see
+        // `MultiVec::arena_parts`), keeping one provenance chain.
+        let id = unsafe { self.ctx.arena_mut().register_obj_mut(obj, data, len) };
+        BlockMut {
+            id,
+            n: u32::try_from(n).expect("block rows"),
+            k: u32::try_from(k).expect("block cols"),
+            _s: PhantomData,
+        }
+    }
+
+    // ----- recording core --------------------------------------------
+
+    /// One kernel call must not read and write overlapping memory (its
+    /// launch would materialize aliasing `&`/`&mut` views). The borrow
+    /// checker proved this for the old reference-taking API; with
+    /// `Copy` handles it is checked here, in both eager and recorded
+    /// mode, before anything executes.
+    fn assert_noalias(label: &str, reads: &[Span], writes: &[Span]) {
+        for w in writes {
+            assert!(
+                !reads.iter().any(|r| r.overlaps(w)),
+                "stream {label}: an operand is both read and written"
+            );
+            assert!(
+                writes.iter().filter(|x| x.overlaps(w)).count() == 1,
+                "stream {label}: overlapping write operands"
+            );
+        }
+    }
+
+    /// Append one op: derive (build) or verify (replay) its graph node,
+    /// charge the profiler at the op's DAG-ready time, and bind its
+    /// payload.
+    fn record(
+        &mut self,
+        label: &'static str,
+        reads: &[Span],
+        writes: &[Span],
+        charge: Option<(KernelClass, f64, usize)>,
+        exec: ExecFn,
+        args: OpArgs,
+    ) {
+        let idx = self.advance(label, reads, writes);
         let mut ready = self.base;
-        for &p in self.graph.preds(idx) {
-            if self.finish[p] > ready {
-                ready = self.finish[p];
+        {
+            let preds = match &self.mode {
+                Mode::Build(graph) => graph.preds(idx),
+                Mode::Replay { graph, .. } => graph.preds(idx),
+                Mode::Eager => unreachable!("record in eager mode"),
+            };
+            let finish = &self.ctx.scratch().finish;
+            for &p in preds {
+                if finish[p] > ready {
+                    ready = finish[p];
+                }
             }
         }
         let fin = match charge {
             Some((class, t, bytes)) => self.ctx.profiler_mut().charge_ready(class, t, bytes, ready),
             None => ready,
         };
-        self.finish.push(fin);
-        self.execs.push(Some(exec));
+        let scratch = self.ctx.scratch_mut();
+        scratch.finish.push(fin);
+        scratch.bindings.push(BoundOp { exec, args });
+    }
+
+    /// Build/replay step for one op shape; falls back from replay to a
+    /// fresh build when the recorded sequence deviates from the cached
+    /// graph (a key collision or a solver-shape bug — costs a
+    /// re-derivation, never correctness).
+    fn advance(&mut self, label: &'static str, reads: &[Span], writes: &[Span]) -> usize {
+        if let Mode::Replay { graph, pos } = &mut self.mode {
+            // A sequence that runs past the cached graph's end is a
+            // shape deviation too (key collision with an extension of
+            // the cached sequence) — fall back instead of indexing
+            // out of bounds.
+            if *pos < graph.len() && graph.matches(*pos, label, reads, writes) {
+                let idx = *pos;
+                *pos += 1;
+                return idx;
+            }
+            let verified = *pos;
+            self.fallback_to_build(verified);
+        }
+        match &mut self.mode {
+            Mode::Build(graph) => {
+                self.ctx.bump_nodes_allocated(1);
+                graph.push(label, reads, writes)
+            }
+            _ => unreachable!("advance in eager mode"),
+        }
+    }
+
+    /// Replace replay mode with a build whose prefix re-derives the
+    /// already-verified cached nodes.
+    fn fallback_to_build(&mut self, verified: usize) {
+        let old = match std::mem::replace(&mut self.mode, Mode::Build(OpGraph::new())) {
+            Mode::Replay { graph, .. } => graph,
+            _ => unreachable!(),
+        };
+        if let Mode::Build(g) = &mut self.mode {
+            for i in 0..verified {
+                let nd = old.node(i);
+                g.push(nd.label, &nd.reads, &nd.writes);
+            }
+            self.ctx.bump_nodes_allocated(verified as u64);
+        }
+    }
+
+    fn finish(&mut self) {
+        match std::mem::replace(&mut self.mode, Mode::Eager) {
+            Mode::Eager => {}
+            Mode::Build(mut graph) => {
+                // Empty region: no graph setup, no submission, no cache
+                // traffic, no profiler charge — sync is free.
+                if graph.is_empty() {
+                    return;
+                }
+                graph.finalize();
+                let graph = Arc::new(graph);
+                self.ctx.submit_recorded(&graph);
+                if let Some(key) = self.key {
+                    self.ctx.store_graph(key, graph);
+                    self.ctx.bump_misses();
+                }
+            }
+            Mode::Replay { graph, pos } => {
+                if pos == graph.len() {
+                    self.ctx.submit_recorded(&graph);
+                    self.ctx.bump_hits();
+                } else {
+                    // The region recorded a strict prefix of the cached
+                    // shape: re-derive that prefix and replace the entry.
+                    self.fallback_to_build(pos);
+                    self.finish();
+                }
+            }
+        }
     }
 
     /// Submit everything recorded and wait for completion. Dropping the
     /// stream does the same; `sync` just makes the barrier explicit at
-    /// the point where the host reads results.
+    /// the point where the registration borrows end and the host may
+    /// read results.
     pub fn sync(self) {}
 
     // ----- recordable kernels ----------------------------------------
 
     /// Record `y = A x` (charged as a solver SpMV).
-    ///
-    /// # Safety
-    /// The stream contract (module docs): every buffer recorded here
-    /// must outlive the stream's sync/drop, and the host must not
-    /// read or write it until then.
-    pub unsafe fn spmv<S: BackendScalar>(&mut self, a: &GpuMatrix<S>, x: &[S], y: &mut [S]) {
-        if self.eager {
-            self.ctx.spmv(a, x, y);
+    pub fn spmv<S: BackendScalar>(&mut self, a: MatRef<S>, x: ArgSlice<S>, y: ArgSliceMut<S>) {
+        // SAFETY: registered borrows are live for the stream's lifetime.
+        let am: &GpuMatrix<S> = unsafe { self.arena().obj(a.id) };
+        assert_eq!(x.len as usize, am.n(), "stream spmv: x length");
+        assert_eq!(y.len as usize, am.n(), "stream spmv: y length");
+        Self::assert_noalias("spmv", &[x.span()], &[y.span()]);
+        if self.eager() {
+            // SAFETY: as above; no other view of y exists during the call.
+            let (xs, ys) = unsafe {
+                (
+                    self.arena().slice::<S>(x.buf, x.off, x.len),
+                    self.arena().slice_mut::<S>(y.buf, y.off, y.len),
+                )
+            };
+            self.ctx.spmv(am, xs, ys);
             return;
         }
-        contracts::spmv(a.csr(), x, y);
-        let (t, bytes) = self.ctx.spmv_spec::<S>(a);
-        let node = OpNode::new("spmv", vec![Span::of(x)], vec![Span::of(y)]);
-        let (ar, xr, yw): (RawRef<Csr<S>>, _, _) =
-            (RawRef::new(a.csr()), RawSlice::new(x), RawSliceMut::new(y));
+        let (t, bytes) = self.ctx.spmv_spec::<S>(am);
         self.record(
-            node,
+            "spmv",
+            &[x.span()],
+            &[y.span()],
             Some((KernelClass::SpMV, t, bytes)),
-            Box::new(move |b| {
-                // SAFETY: stream contract (module docs).
-                unsafe { S::view(b).spmv(ar.get(), xr.get(), yw.get()) }
-            }),
+            exec_spmv::<S>,
+            OpArgs {
+                bufs: [a.id, x.buf, y.buf, 0],
+                offs: [0, x.off, y.off, 0],
+                lens: [0, x.len, y.len, 0],
+                ..OpArgs::default()
+            },
         );
     }
 
     /// Record the fused residual `r = b - A x`, charged to `class`.
-    ///
-    /// # Safety
-    /// The stream contract (module docs): every buffer recorded here
-    /// must outlive the stream's sync/drop, and the host must not
-    /// read or write it until then.
-    pub unsafe fn residual_as<S: BackendScalar>(
+    pub fn residual_as<S: BackendScalar>(
         &mut self,
         class: KernelClass,
-        a: &GpuMatrix<S>,
-        b: &[S],
-        x: &[S],
-        r: &mut [S],
+        a: MatRef<S>,
+        b: ArgSlice<S>,
+        x: ArgSlice<S>,
+        r: ArgSliceMut<S>,
     ) {
-        if self.eager {
-            self.ctx.residual_as(class, a, b, x, r);
+        // SAFETY: registered borrows are live for the stream's lifetime.
+        let am: &GpuMatrix<S> = unsafe { self.arena().obj(a.id) };
+        assert_eq!(b.len as usize, am.n(), "stream residual: b length");
+        assert_eq!(x.len as usize, am.n(), "stream residual: x length");
+        assert_eq!(r.len as usize, am.n(), "stream residual: r length");
+        Self::assert_noalias("residual", &[b.span(), x.span()], &[r.span()]);
+        if self.eager() {
+            // SAFETY: as above.
+            let (bs, xs, rs) = unsafe {
+                (
+                    self.arena().slice::<S>(b.buf, b.off, b.len),
+                    self.arena().slice::<S>(x.buf, x.off, x.len),
+                    self.arena().slice_mut::<S>(r.buf, r.off, r.len),
+                )
+            };
+            self.ctx.residual_as(class, am, bs, xs, rs);
             return;
         }
-        contracts::residual(a.csr(), b, x, r);
-        let (t, bytes) = self.ctx.residual_spec::<S>(a);
-        let node = OpNode::new(
-            "residual",
-            vec![Span::of(b), Span::of(x)],
-            vec![Span::of(r)],
-        );
-        let (ar, br, xr, rw): (RawRef<Csr<S>>, _, _, _) = (
-            RawRef::new(a.csr()),
-            RawSlice::new(b),
-            RawSlice::new(x),
-            RawSliceMut::new(r),
-        );
+        let (t, bytes) = self.ctx.residual_spec::<S>(am);
         self.record(
-            node,
+            "residual",
+            &[b.span(), x.span()],
+            &[r.span()],
             Some((class, t, bytes)),
-            Box::new(move |be| {
-                // SAFETY: stream contract.
-                unsafe { S::view(be).residual(ar.get(), br.get(), xr.get(), rw.get()) }
-            }),
+            exec_residual::<S>,
+            OpArgs {
+                bufs: [a.id, b.buf, x.buf, r.buf],
+                offs: [0, b.off, x.off, r.off],
+                lens: [0, b.len, x.len, r.len],
+                ..OpArgs::default()
+            },
         );
     }
 
     /// Record `h = V^T w` over the first `ncols` basis columns.
-    ///
-    /// # Safety
-    /// The stream contract (module docs): every buffer recorded here
-    /// must outlive the stream's sync/drop, and the host must not
-    /// read or write it until then.
-    pub unsafe fn gemv_t<S: BackendScalar>(
+    pub fn gemv_t<S: BackendScalar>(
         &mut self,
-        v: &MultiVector<S>,
+        v: BasisRef<S>,
         ncols: usize,
-        w: &[S],
-        h: &mut [S],
+        w: ArgSlice<S>,
+        h: ArgSliceMut<S>,
     ) {
-        if self.eager {
-            self.ctx.gemv_t(v, ncols, w, h);
+        let nc = u32::try_from(ncols).expect("ncols");
+        assert!(nc <= v.ncap, "stream gemv_t: ncols over basis capacity");
+        assert_eq!(w.len, v.n, "stream gemv_t: w length");
+        assert!(h.len >= nc, "stream gemv_t: h too short");
+        Self::assert_noalias("gemv_t", &[w.span()], &[h.prefix_span(nc)]);
+        if self.eager() {
+            // SAFETY: registered borrows are live for the stream's lifetime.
+            let (vm, ws, hs) = unsafe {
+                (
+                    self.arena().obj::<MultiVector<S>>(v.id),
+                    self.arena().slice::<S>(w.buf, w.off, w.len),
+                    self.arena().slice_mut::<S>(h.buf, h.off, h.len),
+                )
+            };
+            self.ctx.gemv_t(vm, ncols, ws, hs);
             return;
         }
-        contracts::gemv(v, ncols, w, h);
-        let (t, bytes) = self.ctx.gemv_t_spec::<S>(v.n(), ncols);
-        let node = OpNode::new(
-            "gemv_t",
-            vec![basis_span(v, ncols), Span::of(w)],
-            vec![Span::of(&h[..ncols])],
-        );
-        let order = self.ctx.reduction();
-        let (vr, wr, hw) = (RawRef::new(v), RawSlice::new(w), RawSliceMut::new(h));
+        let (t, bytes) = self.ctx.gemv_t_spec::<S>(v.n as usize, ncols);
         self.record(
-            node,
+            "gemv_t",
+            &[Span::whole(v.id), w.span()],
+            &[h.prefix_span(nc)],
             Some((KernelClass::GemvT, t, bytes)),
-            Box::new(move |b| {
-                // SAFETY: stream contract.
-                unsafe { S::view(b).gemv_t(vr.get(), ncols, wr.get(), hw.get(), order) }
-            }),
+            exec_gemv_t::<S>,
+            OpArgs {
+                bufs: [v.id, w.buf, h.buf, 0],
+                offs: [0, w.off, h.off, 0],
+                lens: [0, w.len, nc, 0],
+                n0: nc,
+                order: self.ctx.reduction(),
+                ..OpArgs::default()
+            },
         );
     }
 
     /// Record `w -= V h` (GEMV No-Trans).
-    ///
-    /// # Safety
-    /// The stream contract (module docs): every buffer recorded here
-    /// must outlive the stream's sync/drop, and the host must not
-    /// read or write it until then.
-    pub unsafe fn gemv_n_sub<S: BackendScalar>(
+    pub fn gemv_n_sub<S: BackendScalar>(
         &mut self,
-        v: &MultiVector<S>,
+        v: BasisRef<S>,
         ncols: usize,
-        h: &[S],
-        w: &mut [S],
+        h: ArgSlice<S>,
+        w: ArgSliceMut<S>,
     ) {
-        if self.eager {
-            self.ctx.gemv_n_sub(v, ncols, h, w);
-            return;
-        }
-        contracts::gemv(v, ncols, w, h);
-        let (t, bytes) = self.ctx.gemv_n_spec::<S>(v.n(), ncols);
-        let node = OpNode::new(
-            "gemv_n_sub",
-            vec![basis_span(v, ncols), Span::of(&h[..ncols])],
-            vec![Span::of(w)],
-        );
-        let (vr, hr, ww) = (RawRef::new(v), RawSlice::new(h), RawSliceMut::new(w));
-        self.record(
-            node,
-            Some((KernelClass::GemvN, t, bytes)),
-            Box::new(move |b| {
-                // SAFETY: stream contract.
-                unsafe { S::view(b).gemv_n_sub(vr.get(), ncols, hr.get(), ww.get()) }
-            }),
-        );
+        self.gemv_n(v, ncols, h, w, false);
     }
 
     /// Record `y += V h` (GEMV No-Trans; the solution update).
-    ///
-    /// # Safety
-    /// The stream contract (module docs): every buffer recorded here
-    /// must outlive the stream's sync/drop, and the host must not
-    /// read or write it until then.
-    pub unsafe fn gemv_n_add<S: BackendScalar>(
+    pub fn gemv_n_add<S: BackendScalar>(
         &mut self,
-        v: &MultiVector<S>,
+        v: BasisRef<S>,
         ncols: usize,
-        h: &[S],
-        y: &mut [S],
+        h: ArgSlice<S>,
+        y: ArgSliceMut<S>,
     ) {
-        if self.eager {
-            self.ctx.gemv_n_add(v, ncols, h, y);
+        self.gemv_n(v, ncols, h, y, true);
+    }
+
+    fn gemv_n<S: BackendScalar>(
+        &mut self,
+        v: BasisRef<S>,
+        ncols: usize,
+        h: ArgSlice<S>,
+        w: ArgSliceMut<S>,
+        add: bool,
+    ) {
+        let nc = u32::try_from(ncols).expect("ncols");
+        assert!(nc <= v.ncap, "stream gemv_n: ncols over basis capacity");
+        assert_eq!(w.len, v.n, "stream gemv_n: vector length");
+        assert!(h.len >= nc, "stream gemv_n: h too short");
+        {
+            let h_read = ArgSlice::<S> {
+                buf: h.buf,
+                off: h.off,
+                len: nc,
+                _s: PhantomData,
+            };
+            Self::assert_noalias("gemv_n", &[h_read.span()], &[w.span()]);
+        }
+        if self.eager() {
+            // SAFETY: registered borrows are live for the stream's lifetime.
+            let (vm, hs, ws) = unsafe {
+                (
+                    self.arena().obj::<MultiVector<S>>(v.id),
+                    self.arena().slice::<S>(h.buf, h.off, h.len),
+                    self.arena().slice_mut::<S>(w.buf, w.off, w.len),
+                )
+            };
+            if add {
+                self.ctx.gemv_n_add(vm, ncols, hs, ws);
+            } else {
+                self.ctx.gemv_n_sub(vm, ncols, hs, ws);
+            }
             return;
         }
-        contracts::gemv(v, ncols, y, h);
-        let (t, bytes) = self.ctx.gemv_n_spec::<S>(v.n(), ncols);
-        let node = OpNode::new(
-            "gemv_n_add",
-            vec![basis_span(v, ncols), Span::of(&h[..ncols])],
-            vec![Span::of(y)],
-        );
-        let (vr, hr, yw) = (RawRef::new(v), RawSlice::new(h), RawSliceMut::new(y));
+        let (t, bytes) = self.ctx.gemv_n_spec::<S>(v.n as usize, ncols);
+        let h_read = ArgSlice::<S> {
+            buf: h.buf,
+            off: h.off,
+            len: nc,
+            _s: PhantomData,
+        };
         self.record(
-            node,
+            if add { "gemv_n_add" } else { "gemv_n_sub" },
+            &[Span::whole(v.id), h_read.span()],
+            &[w.span()],
             Some((KernelClass::GemvN, t, bytes)),
-            Box::new(move |b| {
-                // SAFETY: stream contract.
-                unsafe { S::view(b).gemv_n_add(vr.get(), ncols, hr.get(), yw.get()) }
-            }),
+            if add {
+                exec_gemv_n_add::<S>
+            } else {
+                exec_gemv_n_sub::<S>
+            },
+            OpArgs {
+                bufs: [v.id, h.buf, w.buf, 0],
+                offs: [0, h.off, w.off, 0],
+                lens: [0, nc, w.len, 0],
+                n0: nc,
+                ..OpArgs::default()
+            },
         );
     }
 
     /// Record `y += alpha x`.
-    ///
-    /// # Safety
-    /// The stream contract (module docs): every buffer recorded here
-    /// must outlive the stream's sync/drop, and the host must not
-    /// read or write it until then.
-    pub unsafe fn axpy<S: BackendScalar>(&mut self, alpha: S, x: &[S], y: &mut [S]) {
-        if self.eager {
-            self.ctx.axpy(alpha, x, y);
+    pub fn axpy<S: BackendScalar>(&mut self, alpha: S, x: ArgSlice<S>, y: ArgSliceMut<S>) {
+        assert_eq!(x.len, y.len, "stream axpy: length mismatch");
+        Self::assert_noalias("axpy", &[x.span()], &[y.span()]);
+        if self.eager() {
+            // SAFETY: registered borrows are live for the stream's lifetime.
+            let (xs, ys) = unsafe {
+                (
+                    self.arena().slice::<S>(x.buf, x.off, x.len),
+                    self.arena().slice_mut::<S>(y.buf, y.off, y.len),
+                )
+            };
+            self.ctx.axpy(alpha, xs, ys);
             return;
         }
-        contracts::same_len("axpy", x, y);
-        let (t, bytes) = self.ctx.axpy_spec::<S>(x.len());
-        let node = OpNode::new("axpy", vec![Span::of(x)], vec![Span::of(y)]);
-        let (xr, yw) = (RawSlice::new(x), RawSliceMut::new(y));
+        let (t, bytes) = self.ctx.axpy_spec::<S>(x.len as usize);
         self.record(
-            node,
+            "axpy",
+            &[x.span()],
+            &[y.span()],
             Some((KernelClass::Axpy, t, bytes)),
-            Box::new(move |b| {
-                // SAFETY: stream contract.
-                unsafe { S::view(b).axpy(alpha, xr.get(), yw.get()) }
-            }),
+            exec_axpy::<S>,
+            OpArgs {
+                bufs: [x.buf, y.buf, 0, 0],
+                offs: [x.off, y.off, 0, 0],
+                lens: [x.len, y.len, 0, 0],
+                alpha: alpha.to_f64(),
+                ..OpArgs::default()
+            },
         );
     }
 
     /// Record `x *= alpha`.
-    ///
-    /// # Safety
-    /// The stream contract (module docs): every buffer recorded here
-    /// must outlive the stream's sync/drop, and the host must not
-    /// read or write it until then.
-    pub unsafe fn scal<S: BackendScalar>(&mut self, alpha: S, x: &mut [S]) {
-        if self.eager {
-            self.ctx.scal(alpha, x);
+    pub fn scal<S: BackendScalar>(&mut self, alpha: S, x: ArgSliceMut<S>) {
+        if self.eager() {
+            // SAFETY: registered borrows are live for the stream's lifetime.
+            let xs = unsafe { self.arena().slice_mut::<S>(x.buf, x.off, x.len) };
+            self.ctx.scal(alpha, xs);
             return;
         }
-        let (t, bytes) = self.ctx.scal_spec::<S>(x.len());
-        let node = OpNode::new("scal", Vec::new(), vec![Span::of(x)]);
-        let xw = RawSliceMut::new(x);
+        let (t, bytes) = self.ctx.scal_spec::<S>(x.len as usize);
         self.record(
-            node,
+            "scal",
+            &[],
+            &[x.span()],
             Some((KernelClass::Scal, t, bytes)),
-            Box::new(move |b| {
-                // SAFETY: stream contract.
-                unsafe { S::view(b).scal(alpha, xw.get()) }
-            }),
+            exec_scal::<S>,
+            OpArgs {
+                bufs: [x.buf, 0, 0, 0],
+                offs: [x.off, 0, 0, 0],
+                lens: [x.len, 0, 0, 0],
+                alpha: alpha.to_f64(),
+                ..OpArgs::default()
+            },
         );
     }
 
     /// Record a device-resident copy (uncharged, like
     /// [`GpuContext::copy`]; still a DAG node so dependent ops order).
-    ///
-    /// # Safety
-    /// The stream contract (module docs): every buffer recorded here
-    /// must outlive the stream's sync/drop, and the host must not
-    /// read or write it until then.
-    pub unsafe fn copy<S: BackendScalar>(&mut self, src: &[S], dst: &mut [S]) {
-        if self.eager {
-            self.ctx.copy(src, dst);
+    pub fn copy<S: BackendScalar>(&mut self, src: ArgSlice<S>, dst: ArgSliceMut<S>) {
+        assert_eq!(src.len, dst.len, "stream copy: length mismatch");
+        Self::assert_noalias("copy", &[src.span()], &[dst.span()]);
+        if self.eager() {
+            // SAFETY: registered borrows are live for the stream's lifetime.
+            let (ss, ds) = unsafe {
+                (
+                    self.arena().slice::<S>(src.buf, src.off, src.len),
+                    self.arena().slice_mut::<S>(dst.buf, dst.off, dst.len),
+                )
+            };
+            self.ctx.copy(ss, ds);
             return;
         }
-        contracts::same_len("copy", src, dst);
-        let node = OpNode::new("copy", vec![Span::of(src)], vec![Span::of(dst)]);
-        let (sr, dw) = (RawSlice::new(src), RawSliceMut::new(dst));
         self.record(
-            node,
+            "copy",
+            &[src.span()],
+            &[dst.span()],
             None,
-            Box::new(move |b| {
-                // SAFETY: stream contract.
-                unsafe { S::view(b).copy(sr.get(), dw.get()) }
-            }),
+            exec_copy::<S>,
+            OpArgs {
+                bufs: [src.buf, dst.buf, 0, 0],
+                offs: [src.off, dst.off, 0, 0],
+                lens: [src.len, dst.len, 0, 0],
+                ..OpArgs::default()
+            },
         );
     }
 
-    /// Record a Euclidean norm whose result lands in `*out` after sync
+    /// Record a Euclidean norm whose result lands in `out` after sync
     /// (the recordable form of [`GpuContext::norm2`]).
-    ///
-    /// # Safety
-    /// The stream contract (module docs): every buffer recorded here
-    /// must outlive the stream's sync/drop, and the host must not
-    /// read or write it until then.
-    pub unsafe fn norm2_into<S: BackendScalar>(&mut self, x: &[S], out: &mut S) {
-        if self.eager {
-            *out = self.ctx.norm2(x);
+    pub fn norm2_into<S: BackendScalar>(&mut self, x: ArgSlice<S>, out: ArgValMut<S>) {
+        Self::assert_noalias("norm2", &[x.span()], &[out.span()]);
+        if self.eager() {
+            // SAFETY: registered borrows are live for the stream's lifetime.
+            let (xs, os) = unsafe {
+                (
+                    self.arena().slice::<S>(x.buf, x.off, x.len),
+                    self.arena().value_mut::<S>(out.buf, out.off),
+                )
+            };
+            *os = self.ctx.norm2(xs);
             return;
         }
-        let (t, bytes) = self.ctx.norm_spec::<S>(x.len());
-        let node = OpNode::new("norm2", vec![Span::of(x)], vec![Span::of_value(out)]);
-        let order = self.ctx.reduction();
-        let (xr, ow) = (RawSlice::new(x), RawMut::new(out));
+        let (t, bytes) = self.ctx.norm_spec::<S>(x.len as usize);
         self.record(
-            node,
+            "norm2",
+            &[x.span()],
+            &[out.span()],
             Some((KernelClass::Norm, t, bytes)),
-            Box::new(move |b| {
-                // SAFETY: stream contract.
-                unsafe { *ow.get() = S::view(b).norm2(xr.get(), order) }
-            }),
+            exec_norm2::<S>,
+            OpArgs {
+                bufs: [x.buf, out.buf, 0, 0],
+                offs: [x.off, out.off, 0, 0],
+                lens: [x.len, 1, 0, 0],
+                order: self.ctx.reduction(),
+                ..OpArgs::default()
+            },
         );
     }
 
     // ----- batched multi-RHS kernels ---------------------------------
 
     /// Record the batched SpMM `Y[:, ..k] = A X[:, ..k]`.
-    ///
-    /// # Safety
-    /// The stream contract (module docs): every buffer recorded here
-    /// must outlive the stream's sync/drop, and the host must not
-    /// read or write it until then.
-    pub unsafe fn spmm<S: BackendScalar>(
+    pub fn spmm<S: BackendScalar>(
         &mut self,
-        a: &GpuMatrix<S>,
-        x: &MultiVec<S>,
+        a: MatRef<S>,
+        x: BlockRef<S>,
         k: usize,
-        y: &mut MultiVec<S>,
+        y: BlockMut<S>,
     ) {
-        if self.eager {
-            self.ctx.spmm(a, x, k, y);
+        // SAFETY: registered borrows are live for the stream's lifetime.
+        let am: &GpuMatrix<S> = unsafe { self.arena().obj(a.id) };
+        let kk = u32::try_from(k).expect("block width");
+        assert!(kk >= 1 && kk <= x.k && kk <= y.k, "stream spmm: width");
+        assert_eq!(x.n as usize, am.n(), "stream spmm: X rows");
+        assert_eq!(y.n as usize, am.n(), "stream spmm: Y rows");
+        Self::assert_noalias("spmm", &[Span::whole(x.id)], &[Span::whole(y.id)]);
+        if self.eager() {
+            // SAFETY: as above; y's sole view during the call.
+            let (xm, ym) = unsafe {
+                (
+                    self.arena().obj::<MultiVec<S>>(x.id),
+                    self.arena().obj_mut::<MultiVec<S>>(y.id),
+                )
+            };
+            self.ctx.spmm(am, xm, k, ym);
             return;
         }
-        contracts::spmm(a.csr(), x, k, y);
-        let (t, bytes) = self.ctx.spmm_spec::<S>(a, k);
-        let node = OpNode::new("spmm", vec![block_span(x, k)], vec![block_span(y, k)]);
-        let ar: RawRef<Csr<S>> = RawRef::new(a.csr());
-        let (xr, yw) = (RawRef::new(x), RawMut::new(y));
+        let (t, bytes) = self.ctx.spmm_spec::<S>(am, k);
         self.record(
-            node,
+            "spmm",
+            &[Span::whole(x.id)],
+            &[Span::whole(y.id)],
             Some((KernelClass::SpMV, t, bytes)),
-            Box::new(move |b| {
-                // SAFETY: stream contract.
-                unsafe { S::view(b).spmm(ar.get(), xr.get(), k, yw.get()) }
-            }),
+            exec_spmm::<S>,
+            OpArgs {
+                bufs: [a.id, x.id, y.id, 0],
+                n0: kk,
+                ..OpArgs::default()
+            },
         );
     }
 
     /// Record the batched GEMV-Trans over one basis per block column.
-    ///
-    /// # Safety
-    /// The stream contract (module docs): every buffer recorded here
-    /// must outlive the stream's sync/drop, and the host must not
-    /// read or write it until then.
-    pub unsafe fn block_gemv_t<S: BackendScalar>(
+    pub fn block_gemv_t<S: BackendScalar>(
         &mut self,
-        vs: &[&MultiVector<S>],
+        vs: BasisList<S>,
         ncols: usize,
-        w: &MultiVec<S>,
-        h: &mut [S],
+        w: BlockRef<S>,
+        h: ArgSliceMut<S>,
     ) {
-        if self.eager {
-            self.ctx.block_gemv_t(vs, ncols, w, h);
+        let nc = u32::try_from(ncols).expect("ncols");
+        let k = vs.len;
+        assert!(nc <= vs.ncap, "stream block_gemv_t: ncols over capacity");
+        assert_eq!(vs.n, w.n, "stream block_gemv_t: basis/block rows");
+        assert!(k <= w.k, "stream block_gemv_t: more bases than columns");
+        assert!(h.len >= k * nc, "stream block_gemv_t: h too short");
+        Self::assert_noalias(
+            "block_gemv_t",
+            &[Span::whole(w.id)],
+            &[h.prefix_span(k * nc)],
+        );
+        if self.eager() {
+            self.eager_block_gemv(vs, ncols, h, w.id, BlockGemvKind::T);
             return;
         }
-        contracts::block_gemv(vs, ncols, w, h);
-        let k = vs.len();
-        let (t, bytes) = self.ctx.gemm_t_spec::<S>(w.n(), ncols, k);
-        let mut reads: Vec<Span> = vs.iter().map(|v| basis_span(v, ncols)).collect();
-        reads.push(block_span(w, k));
-        let node = OpNode::new("block_gemv_t", reads, vec![Span::of(&h[..k * ncols])]);
-        let order = self.ctx.reduction();
-        let vrs: Vec<RawRef<MultiVector<S>>> = vs.iter().map(|v| RawRef::new(*v)).collect();
-        let (wr, hw): (RawRef<MultiVec<S>>, _) = (RawRef::new(w), RawSliceMut::new(h));
+        let (t, bytes) = self.ctx.gemm_t_spec::<S>(w.n as usize, ncols, k as usize);
+        let mut reads: Vec<Span> = self.basis_spans(vs);
+        reads.push(Span::whole(w.id));
         self.record(
-            node,
+            "block_gemv_t",
+            &reads,
+            &[h.prefix_span(k * nc)],
             Some((KernelClass::GemvT, t, bytes)),
-            Box::new(move |b| {
-                // SAFETY: stream contract.
-                unsafe {
-                    let vs: Vec<&MultiVector<S>> = vrs.iter().map(|v| v.get()).collect();
-                    S::view(b).block_gemv_t(&vs, ncols, wr.get(), hw.get(), order)
-                }
-            }),
+            exec_block_gemv_t::<S>,
+            OpArgs {
+                bufs: [w.id, h.buf, 0, 0],
+                offs: [0, h.off, 0, 0],
+                lens: [0, k * nc, 0, 0],
+                n0: nc,
+                list: [vs.start, vs.len],
+                order: self.ctx.reduction(),
+                ..OpArgs::default()
+            },
         );
     }
 
     /// Record the batched GEMV-NoTrans `w_c -= V_c h_c`.
-    ///
-    /// # Safety
-    /// The stream contract (module docs): every buffer recorded here
-    /// must outlive the stream's sync/drop, and the host must not
-    /// read or write it until then.
-    pub unsafe fn block_gemv_n_sub<S: BackendScalar>(
+    pub fn block_gemv_n_sub<S: BackendScalar>(
         &mut self,
-        vs: &[&MultiVector<S>],
+        vs: BasisList<S>,
         ncols: usize,
-        h: &[S],
-        w: &mut MultiVec<S>,
+        h: ArgSlice<S>,
+        w: BlockMut<S>,
     ) {
-        if self.eager {
-            self.ctx.block_gemv_n_sub(vs, ncols, h, w);
+        let nc = u32::try_from(ncols).expect("ncols");
+        let k = vs.len;
+        assert!(nc <= vs.ncap, "stream block_gemv_n: ncols over capacity");
+        assert_eq!(vs.n, w.n, "stream block_gemv_n: basis/block rows");
+        assert!(k <= w.k, "stream block_gemv_n: more bases than columns");
+        assert!(h.len >= k * nc, "stream block_gemv_n: h too short");
+        {
+            let h_read = ArgSlice::<S> {
+                buf: h.buf,
+                off: h.off,
+                len: k * nc,
+                _s: PhantomData,
+            };
+            Self::assert_noalias("block_gemv_n", &[h_read.span()], &[Span::whole(w.id)]);
+        }
+        if self.eager() {
+            let hm = ArgSliceMut::<S> {
+                buf: h.buf,
+                off: h.off,
+                len: h.len,
+                _s: PhantomData,
+            };
+            self.eager_block_gemv(vs, ncols, hm, w.id, BlockGemvKind::NSub);
             return;
         }
-        contracts::block_gemv(vs, ncols, w, h);
-        let k = vs.len();
-        let (t, bytes) = self.ctx.gemm_n_spec::<S>(w.n(), ncols, k);
-        let mut reads: Vec<Span> = vs.iter().map(|v| basis_span(v, ncols)).collect();
-        reads.push(Span::of(&h[..k * ncols]));
-        let node = OpNode::new("block_gemv_n_sub", reads, vec![block_span(w, k)]);
-        let vrs: Vec<RawRef<MultiVector<S>>> = vs.iter().map(|v| RawRef::new(*v)).collect();
-        let (hr, ww): (_, RawMut<MultiVec<S>>) = (RawSlice::new(h), RawMut::new(w));
+        let (t, bytes) = self.ctx.gemm_n_spec::<S>(w.n as usize, ncols, k as usize);
+        let h_read = ArgSlice::<S> {
+            buf: h.buf,
+            off: h.off,
+            len: k * nc,
+            _s: PhantomData,
+        };
+        let mut reads: Vec<Span> = self.basis_spans(vs);
+        reads.push(h_read.span());
         self.record(
-            node,
+            "block_gemv_n_sub",
+            &reads,
+            &[Span::whole(w.id)],
             Some((KernelClass::GemvN, t, bytes)),
-            Box::new(move |b| {
-                // SAFETY: stream contract.
-                unsafe {
-                    let vs: Vec<&MultiVector<S>> = vrs.iter().map(|v| v.get()).collect();
-                    S::view(b).block_gemv_n_sub(&vs, ncols, hr.get(), ww.get())
-                }
-            }),
+            exec_block_gemv_n_sub::<S>,
+            OpArgs {
+                bufs: [w.id, h.buf, 0, 0],
+                offs: [0, h.off, 0, 0],
+                lens: [0, k * nc, 0, 0],
+                n0: nc,
+                list: [vs.start, vs.len],
+                ..OpArgs::default()
+            },
         );
     }
 
     /// Record fused column norms whose results land in `out[..k]` after
     /// sync.
-    ///
-    /// # Safety
-    /// The stream contract (module docs): every buffer recorded here
-    /// must outlive the stream's sync/drop, and the host must not
-    /// read or write it until then.
-    pub unsafe fn block_norm2_into<S: BackendScalar>(
+    pub fn block_norm2_into<S: BackendScalar>(
         &mut self,
-        x: &MultiVec<S>,
+        x: BlockRef<S>,
         k: usize,
-        out: &mut [S],
+        out: ArgSliceMut<S>,
     ) {
-        if self.eager {
-            self.ctx.block_norm2(x, k, out);
+        let kk = u32::try_from(k).expect("block width");
+        assert!(kk >= 1 && kk <= x.k, "stream block_norm2: width");
+        assert!(out.len >= kk, "stream block_norm2: out too short");
+        Self::assert_noalias("block_norm2", &[Span::whole(x.id)], &[out.prefix_span(kk)]);
+        if self.eager() {
+            // SAFETY: registered borrows are live for the stream's lifetime.
+            let (xm, os) = unsafe {
+                (
+                    self.arena().obj::<MultiVec<S>>(x.id),
+                    self.arena().slice_mut::<S>(out.buf, out.off, out.len),
+                )
+            };
+            self.ctx.block_norm2(xm, k, os);
             return;
         }
-        contracts::block_scalars("block_norm2", x, k, out);
-        let (t, bytes) = self.ctx.block_norm_spec::<S>(x.n(), k);
-        let node = OpNode::new(
-            "block_norm2",
-            vec![block_span(x, k)],
-            vec![Span::of(&out[..k])],
-        );
-        let order = self.ctx.reduction();
-        let (xr, ow): (RawRef<MultiVec<S>>, _) = (RawRef::new(x), RawSliceMut::new(out));
+        let (t, bytes) = self.ctx.block_norm_spec::<S>(x.n as usize, k);
         self.record(
-            node,
+            "block_norm2",
+            &[Span::whole(x.id)],
+            &[out.prefix_span(kk)],
             Some((KernelClass::Norm, t, bytes)),
-            Box::new(move |b| {
-                // SAFETY: stream contract.
-                unsafe { S::view(b).block_norm2(xr.get(), k, ow.get(), order) }
-            }),
+            exec_block_norm2::<S>,
+            OpArgs {
+                bufs: [x.id, out.buf, 0, 0],
+                offs: [0, out.off, 0, 0],
+                lens: [0, kk, 0, 0],
+                n0: kk,
+                order: self.ctx.reduction(),
+                ..OpArgs::default()
+            },
         );
     }
+
+    fn basis_spans<S>(&self, vs: BasisList<S>) -> Vec<Span> {
+        self.arena()
+            .list(vs.start, vs.len)
+            .iter()
+            .map(|&id| Span::whole(id))
+            .collect()
+    }
+
+    fn eager_block_gemv<S: BackendScalar>(
+        &mut self,
+        vs: BasisList<S>,
+        ncols: usize,
+        h: ArgSliceMut<S>,
+        w_id: u32,
+        kind: BlockGemvKind,
+    ) {
+        // SAFETY: registered borrows are live for the stream's lifetime.
+        unsafe {
+            let bases: Vec<&MultiVector<S>> = self
+                .arena()
+                .list(vs.start, vs.len)
+                .iter()
+                .map(|&id| self.arena().obj::<MultiVector<S>>(id))
+                .collect();
+            match kind {
+                BlockGemvKind::T => {
+                    let wm = self.arena().obj::<MultiVec<S>>(w_id);
+                    let hs = self.arena().slice_mut::<S>(h.buf, h.off, h.len);
+                    self.ctx.block_gemv_t(&bases, ncols, wm, hs);
+                }
+                BlockGemvKind::NSub => {
+                    let hs = self.arena().slice::<S>(h.buf, h.off, h.len);
+                    let wm = self.arena().obj_mut::<MultiVec<S>>(w_id);
+                    self.ctx.block_gemv_n_sub(&bases, ncols, hs, wm);
+                }
+            }
+        }
+    }
+}
+
+enum BlockGemvKind {
+    T,
+    NSub,
 }
 
 impl Drop for Stream<'_> {
     fn drop(&mut self) {
-        if self.graph.is_empty() {
-            return;
-        }
         // A record call's contract assert can fire mid-region; running
         // the half-recorded graph while unwinding would risk a
         // double-panic abort that masks the original message. Pending
@@ -556,8 +1237,149 @@ impl Drop for Stream<'_> {
         if std::thread::panicking() {
             return;
         }
-        let execs = std::mem::take(&mut self.execs);
-        mpgmres_backend::stream::submit(&self.graph, execs, self.ctx.backend());
+        self.finish();
+    }
+}
+
+// ----- monomorphized kernel launches -----------------------------------
+//
+// One function per kernel shape, resolving operands from the arena via
+// the plain-data args. Discipline (the arena contract): materialize a
+// `&mut` only for memory the op declared a write span on, a `&` only
+// for declared reads; the DAG guarantees no conflicting op runs
+// concurrently, and the recorder keeps every registration borrowed
+// until after submit.
+
+fn exec_spmv<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract (above).
+    unsafe {
+        let m: &GpuMatrix<S> = arena.obj(a.bufs[0]);
+        let x = arena.slice::<S>(a.bufs[1], a.offs[1], a.lens[1]);
+        let y = arena.slice_mut::<S>(a.bufs[2], a.offs[2], a.lens[2]);
+        S::view(b).spmv(m.csr(), x, y);
+    }
+}
+
+fn exec_residual<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract.
+    unsafe {
+        let m: &GpuMatrix<S> = arena.obj(a.bufs[0]);
+        let bb = arena.slice::<S>(a.bufs[1], a.offs[1], a.lens[1]);
+        let x = arena.slice::<S>(a.bufs[2], a.offs[2], a.lens[2]);
+        let r = arena.slice_mut::<S>(a.bufs[3], a.offs[3], a.lens[3]);
+        S::view(b).residual(m.csr(), bb, x, r);
+    }
+}
+
+fn exec_gemv_t<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract.
+    unsafe {
+        let v: &MultiVector<S> = arena.obj(a.bufs[0]);
+        let w = arena.slice::<S>(a.bufs[1], a.offs[1], a.lens[1]);
+        let h = arena.slice_mut::<S>(a.bufs[2], a.offs[2], a.lens[2]);
+        S::view(b).gemv_t(v, a.n0 as usize, w, h, a.order);
+    }
+}
+
+fn exec_gemv_n_sub<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract.
+    unsafe {
+        let v: &MultiVector<S> = arena.obj(a.bufs[0]);
+        let h = arena.slice::<S>(a.bufs[1], a.offs[1], a.lens[1]);
+        let w = arena.slice_mut::<S>(a.bufs[2], a.offs[2], a.lens[2]);
+        S::view(b).gemv_n_sub(v, a.n0 as usize, h, w);
+    }
+}
+
+fn exec_gemv_n_add<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract.
+    unsafe {
+        let v: &MultiVector<S> = arena.obj(a.bufs[0]);
+        let h = arena.slice::<S>(a.bufs[1], a.offs[1], a.lens[1]);
+        let y = arena.slice_mut::<S>(a.bufs[2], a.offs[2], a.lens[2]);
+        S::view(b).gemv_n_add(v, a.n0 as usize, h, y);
+    }
+}
+
+fn exec_axpy<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract.
+    unsafe {
+        let x = arena.slice::<S>(a.bufs[0], a.offs[0], a.lens[0]);
+        let y = arena.slice_mut::<S>(a.bufs[1], a.offs[1], a.lens[1]);
+        S::view(b).axpy(S::from_f64(a.alpha), x, y);
+    }
+}
+
+fn exec_scal<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract.
+    unsafe {
+        let x = arena.slice_mut::<S>(a.bufs[0], a.offs[0], a.lens[0]);
+        S::view(b).scal(S::from_f64(a.alpha), x);
+    }
+}
+
+fn exec_copy<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract.
+    unsafe {
+        let src = arena.slice::<S>(a.bufs[0], a.offs[0], a.lens[0]);
+        let dst = arena.slice_mut::<S>(a.bufs[1], a.offs[1], a.lens[1]);
+        S::view(b).copy(src, dst);
+    }
+}
+
+fn exec_norm2<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract.
+    unsafe {
+        let x = arena.slice::<S>(a.bufs[0], a.offs[0], a.lens[0]);
+        *arena.value_mut::<S>(a.bufs[1], a.offs[1]) = S::view(b).norm2(x, a.order);
+    }
+}
+
+fn exec_spmm<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract; the write span covers all of y, so the
+    // whole-object `&mut` aliases nothing.
+    unsafe {
+        let m: &GpuMatrix<S> = arena.obj(a.bufs[0]);
+        let x: &MultiVec<S> = arena.obj(a.bufs[1]);
+        let y: &mut MultiVec<S> = arena.obj_mut(a.bufs[2]);
+        S::view(b).spmm(m.csr(), x, a.n0 as usize, y);
+    }
+}
+
+fn exec_block_gemv_t<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract.
+    unsafe {
+        let vs: Vec<&MultiVector<S>> = arena
+            .list(a.list[0], a.list[1])
+            .iter()
+            .map(|&id| arena.obj::<MultiVector<S>>(id))
+            .collect();
+        let w: &MultiVec<S> = arena.obj(a.bufs[0]);
+        let h = arena.slice_mut::<S>(a.bufs[1], a.offs[1], a.lens[1]);
+        S::view(b).block_gemv_t(&vs, a.n0 as usize, w, h, a.order);
+    }
+}
+
+fn exec_block_gemv_n_sub<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract; the write span covers all of w.
+    unsafe {
+        let vs: Vec<&MultiVector<S>> = arena
+            .list(a.list[0], a.list[1])
+            .iter()
+            .map(|&id| arena.obj::<MultiVector<S>>(id))
+            .collect();
+        let h = arena.slice::<S>(a.bufs[1], a.offs[1], a.lens[1]);
+        let w: &mut MultiVec<S> = arena.obj_mut(a.bufs[0]);
+        S::view(b).block_gemv_n_sub(&vs, a.n0 as usize, h, w);
+    }
+}
+
+fn exec_block_norm2<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract.
+    unsafe {
+        let x: &MultiVec<S> = arena.obj(a.bufs[0]);
+        let out = arena.slice_mut::<S>(a.bufs[1], a.offs[1], a.lens[1]);
+        S::view(b).block_norm2(x, a.n0 as usize, out, a.order);
     }
 }
 
@@ -592,11 +1414,12 @@ mod tests {
             let mut nrm = 0.0f64;
             {
                 let mut st = ctx.stream();
-                // SAFETY: all recorded buffers are locals outliving the stream.
-                unsafe {
-                    st.spmv(&a, &x, &mut y);
-                    st.norm2_into(&y, &mut nrm);
-                }
+                let ah = st.matrix(&a);
+                let xh = st.slice(&x);
+                let yh = st.slice_mut(&mut y);
+                let nh = st.val_mut(&mut nrm);
+                st.spmv(ah, xh, yh);
+                st.norm2_into(yh.read(), nh);
                 st.sync();
             }
             (y, nrm, ctx.elapsed(), ctx.profiler().critical_seconds())
@@ -622,11 +1445,11 @@ mod tests {
             let mut y2 = vec![3.0f64; 64];
             {
                 let mut st = ctx.stream();
-                // SAFETY: all recorded buffers are locals outliving the stream.
-                unsafe {
-                    st.axpy(1.5, &x, &mut y1);
-                    st.axpy(-0.5, &x, &mut y2); // independent of the first
-                }
+                let xh = st.slice(&x);
+                let y1h = st.slice_mut(&mut y1);
+                let y2h = st.slice_mut(&mut y2);
+                st.axpy(1.5, xh, y1h);
+                st.axpy(-0.5, xh, y2h); // independent of the first
                 st.sync();
             }
             (y1, y2, ctx.elapsed(), ctx.profiler().critical_seconds())
@@ -651,11 +1474,10 @@ mod tests {
         let mut h = vec![0.0f64; 2];
         {
             let mut st = ctx.stream();
-            // SAFETY: all recorded buffers are locals outliving the stream.
-            unsafe {
-                st.axpy(2.0, &w, &mut h); // reads the original w
-                st.scal(0.5, &mut w); // then clobbers it
-            }
+            let wh = st.slice_mut(&mut w);
+            let hh = st.slice_mut(&mut h);
+            st.axpy(2.0, wh.read(), hh); // reads the original w
+            st.scal(0.5, wh); // then clobbers it
             st.sync();
         }
         assert_eq!(h, vec![6.0, 8.0], "axpy must see w before the scal");
@@ -672,16 +1494,193 @@ mod tests {
         let mut nrm = 0.0f64;
         {
             let mut st = ctx.stream();
-            // SAFETY: all recorded buffers are locals outliving the stream.
-            unsafe {
-                st.spmv(&a, &x, &mut y); // writes y
-                st.scal(2.0, &mut y); // WAW + RAW on y
-                st.norm2_into(&y, &mut nrm); // RAW on y
-            }
+            let ah = st.matrix(&a);
+            let xh = st.slice(&x);
+            let yh = st.slice_mut(&mut y);
+            let nh = st.val_mut(&mut nrm);
+            st.spmv(ah, xh, yh); // writes y
+            st.scal(2.0, yh); // WAW + RAW on y
+            st.norm2_into(yh.read(), nh); // RAW on y
             st.sync();
         }
         // A 1D Laplacian row sums: y = [1, 0, 1] then doubled.
         assert_eq!(y, [2.0, 0.0, 2.0]);
         assert_eq!(nrm, (8.0f64).sqrt());
+    }
+
+    /// Satellite: syncing an empty recorded region must be free — no
+    /// graph setup, no submission, no profiler charge, no cache entry.
+    #[test]
+    fn empty_region_sync_is_free() {
+        let mut ctx =
+            GpuContext::with_reduction(DeviceModel::v100_belos(), ReductionOrder::Sequential);
+        // Charge something first so "unchanged" is a bitwise statement
+        // about non-zero totals.
+        let x = vec![1.0f64; 8];
+        let mut y = vec![0.0f64; 8];
+        ctx.axpy(1.0, &x, &mut y);
+        let (total, critical) = (ctx.elapsed(), ctx.profiler().critical_seconds());
+        let stats = ctx.stream_stats();
+        {
+            let st = ctx.stream();
+            assert_eq!(st.recorded(), 0);
+            st.sync();
+        }
+        {
+            let st = ctx.stream_for(RegionKey::new(99, 8));
+            st.sync();
+        }
+        assert_eq!(ctx.elapsed().to_bits(), total.to_bits());
+        assert_eq!(
+            ctx.profiler().critical_seconds().to_bits(),
+            critical.to_bits()
+        );
+        assert_eq!(ctx.stream_stats(), stats, "empty regions touch no cache");
+    }
+
+    /// A keyed region records once, then replays: the second recording
+    /// is a cache hit, allocates no graph nodes, and produces
+    /// bit-identical results and charges.
+    #[test]
+    fn keyed_region_replays_from_cache() {
+        let a = small_matrix();
+        let mut ctx =
+            GpuContext::with_reduction(DeviceModel::v100_belos(), ReductionOrder::Sequential);
+        let x = [1.0, 2.0, 3.0];
+        let key = RegionKey::new(region::GMRES_CGS, a.n()).with_ncols(1);
+        let run = |ctx: &mut GpuContext| {
+            let mut y = [0.0f64; 3];
+            let mut nrm = 0.0f64;
+            ctx.reset_profile();
+            {
+                let mut st = ctx.stream_for(key);
+                let ah = st.matrix(&a);
+                let xh = st.slice(&x);
+                let yh = st.slice_mut(&mut y);
+                let nh = st.val_mut(&mut nrm);
+                st.spmv(ah, xh, yh);
+                st.norm2_into(yh.read(), nh);
+                st.sync();
+            }
+            (y, nrm, ctx.elapsed())
+        };
+        let s0 = ctx.stream_stats();
+        let (y1, n1, t1) = run(&mut ctx);
+        let s1 = ctx.stream_stats();
+        assert_eq!(s1.misses, s0.misses + 1);
+        assert_eq!(s1.hits, s0.hits);
+        let (y2, n2, t2) = run(&mut ctx);
+        let s2 = ctx.stream_stats();
+        assert_eq!(s2.hits, s1.hits + 1, "second recording must replay");
+        assert_eq!(s2.misses, s1.misses);
+        assert_eq!(
+            s2.nodes_allocated, s1.nodes_allocated,
+            "replay allocates no graph nodes"
+        );
+        assert_eq!(y1, y2);
+        assert_eq!(n1.to_bits(), n2.to_bits());
+        assert_eq!(t1.to_bits(), t2.to_bits(), "replayed charges identical");
+    }
+
+    /// A shape that deviates from the cached graph under the same key
+    /// falls back to a fresh derivation and replaces the entry —
+    /// results stay correct, the region counts as a miss.
+    #[test]
+    fn replay_shape_mismatch_falls_back_and_replaces() {
+        let mut ctx =
+            GpuContext::with_reduction(DeviceModel::v100_belos(), ReductionOrder::Sequential);
+        let key = RegionKey::new(7, 16);
+        let x = vec![1.0f64; 16];
+        // First shape: one axpy.
+        let mut y = vec![0.0f64; 16];
+        {
+            let mut st = ctx.stream_for(key);
+            let xh = st.slice(&x);
+            let yh = st.slice_mut(&mut y);
+            st.axpy(1.0, xh, yh);
+            st.sync();
+        }
+        // Same key, different shape: a different op first (scal) to hit
+        // the mid-sequence mismatch, then one more op than cached.
+        let mut z = vec![2.0f64; 16];
+        {
+            let mut st = ctx.stream_for(key);
+            let xh = st.slice(&x);
+            let zh = st.slice_mut(&mut z);
+            st.scal(0.5, zh);
+            st.axpy(3.0, xh, zh);
+            st.sync();
+        }
+        assert_eq!(z, vec![4.0f64; 16], "0.5*2 + 3*1");
+        let s = ctx.stream_stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 2);
+        // Shorter-than-cached sequences also fall back (prefix replay).
+        let mut w = vec![1.0f64; 16];
+        {
+            let mut st = ctx.stream_for(key);
+            let wh = st.slice_mut(&mut w);
+            st.scal(3.0, wh);
+            st.sync();
+        }
+        assert_eq!(w, vec![3.0f64; 16]);
+        assert_eq!(ctx.stream_stats().misses, 3);
+        // And so do sequences that EXTEND the cached one (the cached
+        // graph is now the single scal; match it, then keep recording).
+        let mut v = vec![1.0f64; 16];
+        {
+            let mut st = ctx.stream_for(key);
+            let xh = st.slice(&x);
+            let vh = st.slice_mut(&mut v);
+            st.scal(2.0, vh);
+            st.axpy(1.0, xh, vh);
+            st.sync();
+        }
+        assert_eq!(v, vec![3.0f64; 16], "2*1 + 1");
+        assert_eq!(ctx.stream_stats().misses, 4);
+        assert_eq!(ctx.stream_stats().hits, 0);
+    }
+
+    /// The initial-residual shape of `BlockGmres`: independent
+    /// per-column writes through a block's data pointer followed by a
+    /// whole-block fused norm through its object pointer — the mixed
+    /// access pattern the arena's dual-pointer registration exists for.
+    #[test]
+    fn block_columns_and_fused_norm_share_one_registration() {
+        let a = small_matrix();
+        let n = a.n();
+        let k = 2;
+        let run = |streaming: bool| {
+            let mut ctx =
+                GpuContext::with_reduction(DeviceModel::v100_belos(), ReductionOrder::Sequential);
+            ctx.set_streaming(streaming);
+            let b = MultiVec::from_columns(&[&[1.0f64, 0.0, 1.0][..], &[0.0f64, 2.0, 0.0][..]]);
+            let x = MultiVec::<f64>::zeros(n, k);
+            let mut r = MultiVec::<f64>::zeros(n, k);
+            let mut norms = vec![0.0f64; k];
+            {
+                let mut st = ctx.stream();
+                let ah = st.matrix(&a);
+                let bh = st.block(&b);
+                let xh = st.block(&x);
+                let rh = st.block_mut(&mut r);
+                let nh = st.slice_mut(&mut norms);
+                for l in 0..k {
+                    st.residual_as(KernelClass::SpMV, ah, bh.col(l), xh.col(l), rh.col_mut(l));
+                }
+                st.block_norm2_into(rh.read(), k, nh);
+                st.sync();
+            }
+            (r, norms, ctx.elapsed(), ctx.profiler().critical_seconds())
+        };
+        let (r_r, n_r, t_r, c_r) = run(true);
+        let (r_e, n_e, t_e, _) = run(false);
+        assert_eq!(r_r.data(), r_e.data());
+        for (a, b) in n_r.iter().zip(&n_e) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(t_r.to_bits(), t_e.to_bits());
+        // The two residual columns overlap on the recorded timeline.
+        assert!(c_r < t_r, "independent columns must overlap: {c_r} {t_r}");
     }
 }

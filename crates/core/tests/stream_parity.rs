@@ -289,6 +289,198 @@ fn preconditioned_block_gmres_recorded_matches_eager() {
     }
 }
 
+/// ISSUE 4 acceptance: a cached-graph (replayed) solve is bit-identical
+/// to a fresh-record solve and to eager — solution, history, and the
+/// full `TimingReport` (serial totals, categories, critical path) — on
+/// both backends. The second solve on a warm context replays every
+/// shape-stable region and allocates no graph nodes.
+#[test]
+fn replayed_solve_is_bit_identical_to_fresh_record_and_eager() {
+    let a = laplace2d_matrix(32);
+    let n = a.n();
+    let b = rhs(n, 5);
+    let cfg = GmresConfig::default().with_m(12).with_max_iters(3_000);
+    for (name, backend) in backends() {
+        let solve = |ctx: &mut GpuContext| {
+            ctx.reset_profile();
+            let mut x = vec![0.0f64; n];
+            let res = Gmres::new(&a, &Identity, cfg).solve(ctx, &b, &mut x);
+            (x, res)
+        };
+        // Fresh context: first solve records (cache cold), second solve
+        // replays every shape-stable region.
+        let mut ctx_fresh = ctx_on(backend.clone(), true);
+        let (x_f, res_f) = solve(&mut ctx_fresh);
+        let fresh_report = ctx_fresh.report();
+        let stats_fresh = ctx_fresh.stream_stats();
+        assert!(stats_fresh.misses > 0, "{name}: first solve must record");
+
+        let mut ctx_warm = ctx_on(backend.clone(), true);
+        let _ = solve(&mut ctx_warm);
+        let (x_w, res_w) = solve(&mut ctx_warm); // cache-warm solve
+        let warm_stats_before = ctx_warm.stream_stats();
+
+        let mut ctx_eager = ctx_on(backend.clone(), false);
+        let (x_e, res_e) = solve(&mut ctx_eager);
+
+        let what = format!("{name}: replayed vs fresh");
+        assert_results_identical(&res_w, &res_f, &what);
+        assert_results_identical(&res_w, &res_e, &format!("{name}: replayed vs eager"));
+        for (i, (xw, xf)) in x_w.iter().zip(&x_f).enumerate() {
+            assert_eq!(xw.to_bits(), xf.to_bits(), "{what}: x[{i}]");
+        }
+        for (xw, xe) in x_w.iter().zip(&x_e) {
+            assert_eq!(xw.to_bits(), xe.to_bits(), "{name}: replayed vs eager x");
+        }
+        let warm_report = ctx_warm.report();
+        assert_eq!(
+            warm_report.total_seconds.to_bits(),
+            fresh_report.total_seconds.to_bits(),
+            "{what}: serial total"
+        );
+        assert_eq!(
+            warm_report.critical_path_seconds.to_bits(),
+            fresh_report.critical_path_seconds.to_bits(),
+            "{what}: critical path"
+        );
+        for cat in PaperCategory::ALL {
+            let w = warm_report
+                .categories
+                .get(&cat)
+                .copied()
+                .unwrap_or_default();
+            let f = fresh_report
+                .categories
+                .get(&cat)
+                .copied()
+                .unwrap_or_default();
+            assert_eq!(w.calls, f.calls, "{what}: {cat} calls");
+            assert_eq!(w.seconds.to_bits(), f.seconds.to_bits(), "{what}: {cat} s");
+        }
+        // The warm solve replayed: hits grew, nodes did not.
+        let before_third = warm_stats_before;
+        let (x2, _) = solve(&mut ctx_warm);
+        let after_third = ctx_warm.stream_stats();
+        assert_eq!(x2, x_w);
+        assert!(
+            after_third.hits > before_third.hits,
+            "{name}: warm solves must replay"
+        );
+        assert_eq!(
+            after_third.nodes_allocated, before_third.nodes_allocated,
+            "{name}: replayed iterations must allocate no graph nodes"
+        );
+    }
+}
+
+/// Replay parity for `BlockGmres`, preconditioned included: warm-cache
+/// block solves are bit-identical (per-column results, serial AND
+/// critical timing) to cold-cache solves on both backends.
+#[test]
+fn replayed_block_solve_is_bit_identical() {
+    let a = laplace2d_matrix(28);
+    let n = a.n();
+    let precond = BlockJacobi::build(&a, 8);
+    let cols_data: Vec<Vec<f64>> = (0..3).map(|l| rhs(n, 30 + l)).collect();
+    let cols: Vec<&[f64]> = cols_data.iter().map(|c| c.as_slice()).collect();
+    let cfg = GmresConfig::default().with_m(15).with_max_iters(3_000);
+    for (name, backend) in backends() {
+        for (pname, pc) in [
+            ("identity", &Identity as &dyn Preconditioner<f64>),
+            ("block-jacobi", &precond),
+        ] {
+            let solve = |ctx: &mut GpuContext| {
+                ctx.reset_profile();
+                let bb = MultiVec::from_columns(&cols);
+                let mut x = MultiVec::<f64>::zeros(n, 3);
+                let res = BlockGmres::new(&a, pc, cfg).solve(ctx, &bb, &mut x);
+                (x, res)
+            };
+            let mut ctx = ctx_on(backend.clone(), true);
+            let (x_f, res_f) = solve(&mut ctx);
+            let rep_f = ctx.report();
+            let stats_first = ctx.stream_stats();
+            let (x_w, res_w) = solve(&mut ctx);
+            let rep_w = ctx.report();
+            let what = format!("{name}/{pname}");
+            for l in 0..3 {
+                assert_results_identical(&res_w[l], &res_f[l], &format!("{what}: col {l}"));
+                for (xw, xf) in x_w.col(l).iter().zip(x_f.col(l)) {
+                    assert_eq!(xw.to_bits(), xf.to_bits(), "{what}: col {l} x");
+                }
+            }
+            assert_eq!(
+                rep_w.total_seconds.to_bits(),
+                rep_f.total_seconds.to_bits(),
+                "{what}: serial"
+            );
+            assert_eq!(
+                rep_w.critical_path_seconds.to_bits(),
+                rep_f.critical_path_seconds.to_bits(),
+                "{what}: critical"
+            );
+            let stats = ctx.stream_stats();
+            assert!(
+                stats.hits > stats_first.hits,
+                "{what}: warm solve must replay"
+            );
+            // Every keyed (shape-stable) region replays on the warm
+            // solve: no new misses, so no keyed region re-derived its
+            // graph. The cycle-barrier regions stay unkeyed (their
+            // per-lane update widths vary), which is the only node
+            // allocation left — strictly less than a cold solve's.
+            assert_eq!(
+                stats.misses, stats_first.misses,
+                "{what}: keyed regions must not re-derive on a warm solve"
+            );
+            let cold_nodes = stats_first.nodes_allocated;
+            let warm_nodes = stats.nodes_allocated - cold_nodes;
+            assert!(
+                warm_nodes < cold_nodes / 2,
+                "{what}: warm solve re-derived too much ({warm_nodes} vs cold {cold_nodes})"
+            );
+        }
+    }
+}
+
+/// ISSUE 4 acceptance: the graph-cache hit counter shows at least
+/// (m - 1) hits per steady-state GMRES(m) cycle — from the second
+/// restart cycle on, every CGS iteration replays its cached graph.
+#[test]
+fn cache_hits_cover_steady_state_gmres_cycles() {
+    let a = laplace2d_matrix(24);
+    let n = a.n();
+    let b = rhs(n, 11);
+    let m = 10;
+    // Tight tolerance + small restart: many full-length cycles.
+    let cfg = GmresConfig::default()
+        .with_m(m)
+        .with_max_iters(2_000)
+        .with_rtol(1e-10);
+    let mut ctx = ctx_on(Arc::new(ReferenceBackend), true);
+    let mut x = vec![0.0f64; n];
+    let res = Gmres::new(&a, &Identity, cfg).solve(&mut ctx, &b, &mut x);
+    assert!(
+        res.restarts >= 3,
+        "need steady-state cycles: {}",
+        res.restarts
+    );
+    let stats = ctx.stream_stats();
+    // Every iteration after the first cycle whose ncols was already
+    // seen is a hit; with full-length cycles that is >= (m - 1) hits
+    // per cycle from cycle 2 on.
+    let steady_cycles = res.restarts as u64 - 1;
+    assert!(
+        stats.hits >= steady_cycles * (m as u64 - 1),
+        "hits {} < {} x (m - 1)",
+        stats.hits,
+        steady_cycles
+    );
+    // The cache holds one graph per distinct ncols (plus none for the
+    // uncached regions), and misses stay bounded by it.
+    assert!(stats.misses <= m as u64, "misses {} > m", stats.misses);
+}
+
 /// Sequential reduction order (the fully bit-deterministic mode): the
 /// recorded path holds the same contract there.
 #[test]

@@ -86,6 +86,20 @@ impl<S: Scalar> MultiVec<S> {
         &self.data
     }
 
+    /// Raw `(object, element-data, element-count)` pointers for the
+    /// recorded-stream buffer arena. The data pointer is derived
+    /// *through* the object pointer — not by a second reborrow of
+    /// `self` — so both share one provenance chain and registering a
+    /// block never invalidates either pointer (the arena stores them
+    /// for the lifetime of the recording region's borrow).
+    pub fn arena_parts(&mut self) -> (*mut Self, *mut S, usize) {
+        let obj: *mut Self = self;
+        // SAFETY: `obj` was just derived from a live `&mut self`;
+        // materializing the interior data pointer and length through it
+        // keeps the derivation chain obj -> data intact.
+        unsafe { (obj, (*obj).data.as_mut_ptr(), (*obj).data.len()) }
+    }
+
     /// Mutably borrow the leading `k` columns as separate slices (for
     /// lane-set kernels that scatter into several columns at once).
     pub fn cols_mut(&mut self, k: usize) -> Vec<&mut [S]> {
