@@ -100,15 +100,36 @@ impl Span {
     }
 }
 
-/// The shape of one recorded kernel: a label for diagnostics plus the
-/// buffer spans it reads and writes. The spans are the *entire*
-/// dependency interface — the DAG builder never looks inside the op —
-/// and the shape is the *entire* replay-verification interface: a
-/// cached graph accepts a re-recorded op iff its shape matches.
+/// Where a recorded op executes. Device ops are kernel launches handed
+/// to [`Backend::execute_batch`]; host ops model CPU-side work (the
+/// pipelined drivers' deferred Givens/least-squares decisions) that the
+/// scheduler runs on the submitting thread. A host op participates in
+/// the dependency DAG exactly like a device op — its read spans are the
+/// (possibly lagged) device results it consumed and its write spans the
+/// host state it advances — which is what lets the graph *prove* that a
+/// one-iteration-lagged host step conflicts with nothing the current
+/// iteration's device kernels touch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OpKind {
+    /// A device kernel launch.
+    #[default]
+    Device,
+    /// A deferred host step (runs on the submitting thread).
+    Host,
+}
+
+/// The shape of one recorded kernel: a label for diagnostics, the op's
+/// [`OpKind`], plus the buffer spans it reads and writes. The spans are
+/// the *entire* dependency interface — the DAG builder never looks
+/// inside the op — and the shape is the *entire* replay-verification
+/// interface: a cached graph accepts a re-recorded op iff its shape
+/// matches.
 #[derive(Clone, Debug)]
 pub struct OpShape {
     /// Kernel name for diagnostics (`"spmv"`, `"gemv_t"`, ...).
     pub label: &'static str,
+    /// Device kernel or deferred host step.
+    pub kind: OpKind,
     /// Buffer spans the op reads.
     pub reads: Vec<Span>,
     /// Buffer spans the op writes (read-modify-write spans belong here).
@@ -135,11 +156,13 @@ pub fn conflicts(earlier: &OpShape, later: &OpShape) -> bool {
 pub struct OpGraph {
     nodes: Vec<OpShape>,
     preds: Vec<Vec<usize>>,
-    /// Record-order op ids sorted by (wavefront level, record order);
-    /// filled by `finalize`.
+    /// Record-order op ids sorted by (wavefront level, host-before-
+    /// device, record order); filled by `finalize`.
     order: Vec<u32>,
-    /// `(start, end)` ranges into `order`, one per wavefront batch.
-    bounds: Vec<(u32, u32)>,
+    /// `(start, host_end, end)` ranges into `order`, one per wavefront
+    /// batch: `[start, host_end)` are the batch's host ops,
+    /// `[host_end, end)` its device ops.
+    bounds: Vec<(u32, u32, u32)>,
 }
 
 impl OpGraph {
@@ -158,12 +181,26 @@ impl OpGraph {
         self.nodes.is_empty()
     }
 
-    /// Record an op shape, deriving its dependencies on every earlier
-    /// conflicting op. Returns the op's index. Invalidates a previous
-    /// [`OpGraph::finalize`].
+    /// Record a device op shape, deriving its dependencies on every
+    /// earlier conflicting op. Returns the op's index. Invalidates a
+    /// previous [`OpGraph::finalize`].
     pub fn push(&mut self, label: &'static str, reads: &[Span], writes: &[Span]) -> usize {
+        self.push_kind(label, OpKind::Device, reads, writes)
+    }
+
+    /// Record an op shape of an explicit [`OpKind`] (host ops are the
+    /// pipelined drivers' deferred decisions). Same dependency
+    /// derivation as [`OpGraph::push`].
+    pub fn push_kind(
+        &mut self,
+        label: &'static str,
+        kind: OpKind,
+        reads: &[Span],
+        writes: &[Span],
+    ) -> usize {
         let node = OpShape {
             label,
+            kind,
             reads: reads.to_vec(),
             writes: writes.to_vec(),
         };
@@ -185,9 +222,16 @@ impl OpGraph {
     /// Whether the op at `index` has exactly this shape — the replay
     /// check a cached graph runs per re-recorded op (O(spans), not the
     /// O(ops) conflict scan of a fresh [`OpGraph::push`]).
-    pub fn matches(&self, index: usize, label: &str, reads: &[Span], writes: &[Span]) -> bool {
+    pub fn matches(
+        &self,
+        index: usize,
+        label: &str,
+        kind: OpKind,
+        reads: &[Span],
+        writes: &[Span],
+    ) -> bool {
         let n = &self.nodes[index];
-        n.label == label && n.reads == reads && n.writes == writes
+        n.label == label && n.kind == kind && n.reads == reads && n.writes == writes
     }
 
     /// Indices of the ops `index` must wait for.
@@ -196,11 +240,13 @@ impl OpGraph {
     }
 
     /// Compute the wavefront schedule (idempotent). Batch `b` holds
-    /// every op whose predecessors all sit in batches `< b`, in record
-    /// order within a batch. Ops inside one batch are mutually
-    /// conflict-free (any two conflicting ops have an edge, which
-    /// forces distinct batches), so a backend may execute a batch in
-    /// any order or concurrently.
+    /// every op whose predecessors all sit in batches `< b`, host ops
+    /// first, then device ops, each sub-group in record order. Ops
+    /// inside one batch are mutually conflict-free (any two conflicting
+    /// ops have an edge, which forces distinct batches), so a backend
+    /// may execute a batch in any order or concurrently — and the host
+    /// sub-group may run on the submitting thread alongside the device
+    /// sub-group without observing it.
     pub fn finalize(&mut self) {
         if !self.order.is_empty() || self.nodes.is_empty() {
             return;
@@ -217,21 +263,37 @@ impl OpGraph {
             level[i] = l;
             height = height.max(l + 1);
         }
-        let mut counts = vec![0u32; height];
-        for &l in &level {
-            counts[l] += 1;
+        let mut host_counts = vec![0u32; height];
+        let mut dev_counts = vec![0u32; height];
+        for (i, &l) in level.iter().enumerate() {
+            if self.nodes[i].kind == OpKind::Host {
+                host_counts[l] += 1;
+            } else {
+                dev_counts[l] += 1;
+            }
         }
         let mut start = 0u32;
         self.bounds.reserve(height);
-        for &c in &counts {
-            self.bounds.push((start, start + c));
-            start += c;
+        for l in 0..height {
+            let host_end = start + host_counts[l];
+            let end = host_end + dev_counts[l];
+            self.bounds.push((start, host_end, end));
+            start = end;
         }
         self.order.resize(n, 0);
-        let mut next: Vec<u32> = self.bounds.iter().map(|&(s, _)| s).collect();
+        let mut next_host: Vec<u32> = self.bounds.iter().map(|&(s, _, _)| s).collect();
+        let mut next_dev: Vec<u32> = self.bounds.iter().map(|&(_, h, _)| h).collect();
         for (i, &l) in level.iter().enumerate() {
-            self.order[next[l] as usize] = i as u32;
-            next[l] += 1;
+            let slot = if self.nodes[i].kind == OpKind::Host {
+                let s = next_host[l];
+                next_host[l] += 1;
+                s
+            } else {
+                let s = next_dev[l];
+                next_dev[l] += 1;
+                s
+            };
+            self.order[slot as usize] = i as u32;
         }
     }
 
@@ -246,8 +308,19 @@ impl OpGraph {
 
     /// The record-order op ids of batch `b` (requires finalize).
     pub fn batch(&self, b: usize) -> &[u32] {
-        let (s, e) = self.bounds[b];
+        let (s, _, e) = self.bounds[b];
         &self.order[s as usize..e as usize]
+    }
+
+    /// Batch `b` split into its `(host, device)` op-id sub-groups
+    /// (requires finalize). The host ops run on the submitting thread;
+    /// the device ops go to [`Backend::execute_batch`].
+    pub fn batch_split(&self, b: usize) -> (&[u32], &[u32]) {
+        let (s, h, e) = self.bounds[b];
+        (
+            &self.order[s as usize..h as usize],
+            &self.order[h as usize..e as usize],
+        )
     }
 
     /// All wavefront batches as owned vectors (test/diagnostic helper;
@@ -350,13 +423,19 @@ impl<'a> Batch<'a> {
 }
 
 /// Submit a finalized graph: walk the wavefront batches in order,
-/// handing each to `backend.execute_batch`. `ops[i]` must hold op `i`'s
-/// binding; a replayed (cached) graph is submitted against fresh
+/// running each batch's host ops on the submitting thread and handing
+/// its device ops to `backend.execute_batch`. `ops[i]` must hold op
+/// `i`'s binding; a replayed (cached) graph is submitted against fresh
 /// bindings each iteration.
 pub fn submit(graph: &OpGraph, ops: &[BoundOp], arena: &BufferArena, backend: &dyn Backend) {
     assert_eq!(ops.len(), graph.len(), "submit: binding count mismatch");
     for b in 0..graph.num_batches() {
-        let batch = Batch::new(graph.batch(b), ops, arena);
+        let (host, device) = graph.batch_split(b);
+        for &i in host {
+            let op = &ops[i as usize];
+            (op.exec)(backend, arena, &op.args);
+        }
+        let batch = Batch::new(device, ops, arena);
         if !batch.is_empty() {
             backend.execute_batch(batch);
         }
@@ -396,6 +475,7 @@ mod tests {
     fn raw_and_war_and_waw_all_order() {
         let mk = |reads: &[Span], writes: &[Span]| OpShape {
             label: "t",
+            kind: OpKind::Device,
             reads: reads.to_vec(),
             writes: writes.to_vec(),
         };
@@ -441,10 +521,38 @@ mod tests {
     fn shape_matching_is_exact() {
         let mut g = OpGraph::new();
         push(&mut g, "a", &[span(0, 0, 8)], &[span(1, 0, 8)]);
-        assert!(g.matches(0, "a", &[span(0, 0, 8)], &[span(1, 0, 8)]));
-        assert!(!g.matches(0, "b", &[span(0, 0, 8)], &[span(1, 0, 8)]));
-        assert!(!g.matches(0, "a", &[span(0, 0, 9)], &[span(1, 0, 8)]));
-        assert!(!g.matches(0, "a", &[span(0, 0, 8)], &[]));
+        let d = OpKind::Device;
+        assert!(g.matches(0, "a", d, &[span(0, 0, 8)], &[span(1, 0, 8)]));
+        assert!(!g.matches(0, "b", d, &[span(0, 0, 8)], &[span(1, 0, 8)]));
+        assert!(!g.matches(0, "a", d, &[span(0, 0, 9)], &[span(1, 0, 8)]));
+        assert!(!g.matches(0, "a", d, &[span(0, 0, 8)], &[]));
+        assert!(
+            !g.matches(0, "a", OpKind::Host, &[span(0, 0, 8)], &[span(1, 0, 8)]),
+            "a host op never matches a cached device node"
+        );
+    }
+
+    /// Host ops run on the submitting thread, ordered by the same DAG:
+    /// a host op reading a device-produced span waits for it, and two
+    /// independent host/device ops share a wavefront (host sub-group
+    /// first).
+    #[test]
+    fn host_ops_schedule_with_device_ops() {
+        let mut g = OpGraph::new();
+        g.push("dev_a", &[], &[span(0, 0, 8)]);
+        g.push_kind(
+            "host_lagged",
+            OpKind::Host,
+            &[span(0, 0, 8)],
+            &[span(9, 0, 8)],
+        );
+        g.push("dev_b", &[], &[span(1, 0, 8)]);
+        g.finalize();
+        assert_eq!(g.batches(), vec![vec![0, 2], vec![1]]);
+        let (h0, d0) = g.batch_split(0);
+        assert_eq!((h0, d0), (&[][..], &[0u32, 2][..]));
+        let (h1, d1) = g.batch_split(1);
+        assert_eq!((h1, d1), (&[1u32][..], &[][..]));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use std::sync::Mutex;
 
-use mpgmres_backend::stream::{conflicts, submit, BoundOp, OpArgs, OpGraph, OpShape, Span};
+use mpgmres_backend::stream::{conflicts, submit, BoundOp, OpArgs, OpGraph, OpKind, OpShape, Span};
 use mpgmres_backend::{Backend, ParallelBackend, ReferenceBackend};
 use mpgmres_la::raw::BufferArena;
 use proptest::prelude::*;
@@ -28,6 +28,7 @@ fn buf_span(b: usize) -> Span {
 fn to_shape(op: &SynthOp) -> OpShape {
     OpShape {
         label: "synth",
+        kind: OpKind::Device,
         reads: op.reads.iter().map(|&b| buf_span(b)).collect(),
         writes: op.writes.iter().map(|&b| buf_span(b)).collect(),
     }
@@ -175,15 +176,165 @@ proptest! {
             prop_assert_eq!(first.preds(i), second.preds(i));
             // The replay check accepts the identical shape...
             let s = to_shape(&ops[i]);
-            prop_assert!(first.matches(i, s.label, &s.reads, &s.writes));
+            prop_assert!(first.matches(i, s.label, s.kind, &s.reads, &s.writes));
         }
         prop_assert_eq!(first.batches(), second.batches());
-        // ...and rejects a perturbed one (extra write span).
+        // ...and rejects a perturbed one (extra write span)...
         let i = perturb % ops.len();
         let s = to_shape(&ops[i]);
         let mut writes = s.writes.clone();
         writes.push(Span::new(NBUF as u32 + 1, 0, 64));
-        prop_assert!(!first.matches(i, s.label, &s.reads, &writes));
+        prop_assert!(!first.matches(i, s.label, s.kind, &s.reads, &writes));
+        // ...and one whose kind flipped to a deferred host op.
+        prop_assert!(!first.matches(i, s.label, OpKind::Host, &s.reads, &s.writes));
+    }
+}
+
+/// The software-pipelined op shape over whole-buffer spans: per
+/// (lane, parity) result buffers (the `h`/`norms` ping-pong) plus a
+/// per-lane host-state token buffer. Mirrors `BlockGmres`'s pipelined
+/// regions: each iteration records one device op per lane (reading the
+/// lane's previous result, writing the current parity), then one
+/// deferred host op per lane reading the result of iteration
+/// `iter - depth` and advancing the lane's token.
+fn result_buf(lane: usize, iter: usize) -> usize {
+    lane * 2 + iter % 2
+}
+
+fn token_buf(lane: usize) -> usize {
+    1000 + lane
+}
+
+fn pipelined_ops(nlanes: usize, iters: usize, depth: usize) -> (Vec<SynthOp>, Vec<bool>) {
+    let mut ops = Vec::new();
+    let mut is_host = Vec::new();
+    for iter in 0..iters {
+        for l in 0..nlanes {
+            let reads = if iter > 0 {
+                vec![result_buf(l, iter - 1)]
+            } else {
+                Vec::new()
+            };
+            ops.push(SynthOp {
+                reads,
+                writes: vec![result_buf(l, iter)],
+            });
+            is_host.push(false);
+        }
+        for l in 0..nlanes {
+            if iter < depth {
+                continue; // pipeline still filling
+            }
+            ops.push(SynthOp {
+                reads: vec![result_buf(l, iter - depth)],
+                writes: vec![token_buf(l)],
+            });
+            is_host.push(true);
+        }
+    }
+    (ops, is_host)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ISSUE 5 satellite: a deferred host op can never be scheduled
+    /// before the device op producing its lagged read span — for random
+    /// lane counts and pipeline depths in {0, 1}, on both the serial
+    /// and the concurrent execution path. Host ops are real
+    /// [`OpKind::Host`] nodes, so this also pins that running the host
+    /// sub-group on the submitting thread preserves every cross-kind
+    /// dependency — and that at depth 1 the graph carries NO edge from
+    /// the same iteration's device op to the host op (the independence
+    /// that makes the overlap legal).
+    #[test]
+    fn deferred_host_ops_wait_for_their_lagged_producers(
+        nlanes in 1usize..6,
+        iters in 1usize..7,
+        depth in 0usize..2,
+        threads in 2usize..5,
+    ) {
+        let (ops, is_host) = pipelined_ops(nlanes, iters, depth);
+        let mut graph = OpGraph::new();
+        for (op, &host) in ops.iter().zip(&is_host) {
+            let s = to_shape(op);
+            graph.push_kind(
+                s.label,
+                if host { OpKind::Host } else { OpKind::Device },
+                &s.reads,
+                &s.writes,
+            );
+        }
+        graph.finalize();
+
+        // Index map from the construction walk.
+        let mut dev_idx = vec![vec![0usize; iters]; nlanes];
+        let mut host_idx: Vec<(usize, usize, usize)> = Vec::new(); // (op, lane, iter)
+        let mut idx = 0usize;
+        for iter in 0..iters {
+            for l in 0..nlanes {
+                dev_idx[l][iter] = idx;
+                idx += 1;
+            }
+            for l in 0..nlanes {
+                if iter < depth {
+                    continue;
+                }
+                host_idx.push((idx, l, iter));
+                idx += 1;
+            }
+        }
+
+        // The graph itself proves the lag: each host op depends on its
+        // lagged producer, and at depth 1 NOT on the same iteration's
+        // device op for its lane.
+        for &(h, l, iter) in &host_idx {
+            let producer = dev_idx[l][iter - depth];
+            prop_assert!(
+                graph.preds(h).contains(&producer),
+                "host op {h} lacks its lagged producer edge {producer}"
+            );
+            if depth == 1 {
+                prop_assert!(
+                    !graph.preds(h).contains(&dev_idx[l][iter]),
+                    "host op {h} must not wait for the in-flight device op"
+                );
+            }
+        }
+
+        // Execute on both paths: every host op runs after the device op
+        // that produced its lagged read span.
+        for backend in [
+            Box::new(ReferenceBackend) as Box<dyn Backend>,
+            Box::new(ParallelBackend::with_threads(threads)) as Box<dyn Backend>,
+        ] {
+            let log: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+            let mut arena = BufferArena::new();
+            // SAFETY: `log` outlives the submit below.
+            let hlog = unsafe { arena.register_obj(&log as *const Mutex<Vec<usize>>) };
+            let bindings: Vec<BoundOp> = (0..ops.len())
+                .map(|i| BoundOp {
+                    exec: log_exec,
+                    args: OpArgs {
+                        bufs: [hlog, 0, 0, 0],
+                        n0: i as u32,
+                        ..OpArgs::default()
+                    },
+                })
+                .collect();
+            submit(&graph, &bindings, &arena, &*backend);
+            let order = log.into_inner().unwrap();
+            prop_assert_eq!(order.len(), ops.len());
+            let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+            for &(h, l, iter) in &host_idx {
+                let producer = dev_idx[l][iter - depth];
+                prop_assert!(
+                    pos(producer) < pos(h),
+                    "host op {h} (lane {l}, iter {iter}, depth {depth}) ran \
+                     before its lagged producer {producer}: {order:?}"
+                );
+            }
+        }
     }
 }
 

@@ -1,0 +1,184 @@
+//! CI perf-trajectory gate: collect the fast-bench artifacts
+//! (`results/stream.json`, `results/multirhs.json`,
+//! `results/pipeline.json`) into one schema-stable, git-SHA-stamped
+//! `results/BENCH_ci.json`, and FAIL the job when a load-bearing perf
+//! property regresses:
+//!
+//! - the software-pipelined `BlockGmres` overlap ratio must stay
+//!   strictly below the lockstep baseline (and the pipelined runs must
+//!   still be bit-identical);
+//! - the recorded `BlockGmres` overlap ratio must stay below 1.0 (the
+//!   chain baseline);
+//! - the graph-replay cache hit-rate pinned by `stream_stats()` must
+//!   not drop (every replay iteration of the bench must hit).
+//!
+//! The workspace's serde_json shim is write-only, so the gate reads the
+//! (self-produced, schema-stable) artifacts with a minimal scanner
+//! keyed on uniquely-named fields, and splices the verbatim file
+//! contents into the combined artifact — every future PR's perf deltas
+//! become one machine-readable, diffable file.
+//!
+//! Set `MPGMRES_PERF_INJECT_REGRESSION=overlap` (or `replay`) to
+//! deliberately corrupt the gated value before checking: CI runs this
+//! as an expected-failure step, proving the gate actually fires. The
+//! injected run writes `BENCH_ci_injected.json` so it can never
+//! masquerade as the real artifact.
+
+use std::fs;
+use std::process::Command;
+
+use mpgmres_bench::output;
+
+/// Extract the number following the FIRST occurrence of `"key":` —
+/// sufficient for the uniquely-named gate fields of our own artifacts.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn extract_bool(json: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+struct Gate {
+    name: &'static str,
+    ok: bool,
+    detail: String,
+}
+
+fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    let dir = output::results_dir(None);
+    let read = |name: &str| -> String {
+        let path = dir.join(name);
+        fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!(
+                "perfgate: cannot read {} ({e}); run the fast benches first",
+                path.display()
+            );
+            std::process::exit(2);
+        })
+    };
+    let stream = read("stream.json");
+    let multirhs = read("multirhs.json");
+    let pipeline = read("pipeline.json");
+
+    let inject = std::env::var("MPGMRES_PERF_INJECT_REGRESSION").unwrap_or_default();
+
+    // --- gate 1: pipelined overlap must beat the lockstep baseline ---
+    let lockstep_ratio =
+        extract_number(&pipeline, "lockstep_overlap_ratio").expect("pipeline.json gate fields");
+    let mut pipelined_ratio =
+        extract_number(&pipeline, "pipelined_overlap_ratio").expect("pipeline.json gate fields");
+    if inject == "overlap" {
+        println!("perfgate: INJECTING overlap-ratio regression (+1.0)");
+        pipelined_ratio += 1.0;
+    }
+    let bit_identical = extract_bool(&pipeline, "gate_bit_identical").unwrap_or(false);
+    let g1 = Gate {
+        name: "pipeline_overlap_beats_lockstep",
+        ok: pipelined_ratio < lockstep_ratio && bit_identical,
+        detail: format!(
+            "pipelined {pipelined_ratio:.6} vs lockstep {lockstep_ratio:.6}, bit_identical {bit_identical}"
+        ),
+    };
+
+    // --- gate 2: recorded BlockGmres overlap stays below the chain ---
+    let overlap = extract_number(&stream, "overlap_ratio").expect("stream.json overlap");
+    let g2 = Gate {
+        name: "block_overlap_below_chain",
+        ok: overlap < 1.0,
+        detail: format!("overlap_ratio {overlap:.6}"),
+    };
+
+    // --- gate 3: replay hit-rate pinned by stream_stats() ----------
+    let mut hits = extract_number(&stream, "cache_hits").expect("stream.json cache_hits");
+    let misses = extract_number(&stream, "cache_misses").expect("stream.json cache_misses");
+    let iters = extract_number(&stream, "iterations").expect("stream.json iterations");
+    if inject == "replay" {
+        println!("perfgate: INJECTING replay hit-rate regression (hits = 0)");
+        hits = 0.0;
+    }
+    // The stream bench replays the keyed region 5 x iterations times
+    // after one warming record; every one of them must have hit.
+    let g3 = Gate {
+        name: "replay_hit_rate",
+        ok: hits >= 5.0 * iters && hits / (hits + misses).max(1.0) >= 0.99,
+        detail: format!("hits {hits}, misses {misses}, bench iterations {iters}"),
+    };
+
+    let gates = [g1, g2, g3];
+    let mut ok = true;
+    for g in &gates {
+        println!(
+            "perfgate: [{}] {} — {}",
+            if g.ok { "PASS" } else { "FAIL" },
+            g.name,
+            g.detail
+        );
+        ok &= g.ok;
+    }
+
+    // --- assemble the combined, SHA-stamped artifact ----------------
+    let gates_json: Vec<String> = gates
+        .iter()
+        .map(|g| {
+            format!(
+                "    {{ \"name\": \"{}\", \"ok\": {}, \"detail\": \"{}\" }}",
+                g.name,
+                g.ok,
+                g.detail.replace('"', "'")
+            )
+        })
+        .collect();
+    let combined = format!(
+        "{{\n  \"schema\": 1,\n  \"git_sha\": \"{}\",\n  \"gates\": [\n{}\n  ],\n  \"stream\": {},\n  \"multirhs\": {},\n  \"pipeline\": {}\n}}\n",
+        git_sha(),
+        gates_json.join(",\n"),
+        stream.trim(),
+        multirhs.trim(),
+        pipeline.trim(),
+    );
+    let out = if inject.is_empty() {
+        dir.join("BENCH_ci.json")
+    } else {
+        dir.join("BENCH_ci_injected.json")
+    };
+    fs::write(&out, combined).expect("write BENCH_ci.json");
+    println!("perfgate: wrote {}", out.display());
+
+    if !ok {
+        eprintln!("perfgate: perf trajectory regressed — failing the job");
+        std::process::exit(1);
+    }
+}

@@ -1,5 +1,5 @@
 //! Batched multi-RHS restarted GMRES(m): `k` independent solves in
-//! lockstep, sharing kernel launches.
+//! lockstep, sharing kernel launches — optionally software-pipelined.
 //!
 //! [`BlockGmres`] solves `A X = B` for a block of `k` right-hand sides.
 //! It is **not** a block-Krylov method: each column keeps its own Krylov
@@ -10,15 +10,39 @@
 //! Aliaga et al.'s multi-RHS work targets on GPUs) and the CGS2
 //! projections become batched GEMM-shaped calls.
 //!
+//! # Software pipelining (`GmresConfig::pipeline_depth = 1`)
+//!
+//! The lockstep driver syncs every lane at every iteration to run its
+//! host-side Givens rotations and convergence test — the host step
+//! serializes against the device stream, which is exactly the
+//! launch-latency exposure the paper's GPU runs pay. The pipelined
+//! variant defers each lane's host step one iteration: iteration `j`'s
+//! Givens/update bookkeeping is recorded into iteration `j+1`'s region
+//! as a *host node* whose read spans are the previous-parity
+//! norm/coefficient buffers (`h`/`norms` ping-pong by iteration
+//! parity), so the dependency DAG itself proves the lagged host work
+//! conflicts with nothing the in-flight SpMM + blocked-CGS2 kernels
+//! touch — and the overlap-aware timeline hides the host latency
+//! behind them. At the cycle barrier the per-lane least-squares solves
+//! become host nodes feeding each lane's own update chain, so lane
+//! `l`'s host step overlaps the other lanes' device work.
+//!
+//! The pipelining changes *when the simulated timeline charges the host
+//! work*, never what executes: the arithmetic runs in the identical
+//! order as lockstep, so per-lane results are bit-identical by
+//! construction (pinned in `stream_parity.rs`) and the serial
+//! accounting is unchanged — only `overlap_ratio()` improves.
+//!
 //! # Determinism contract
 //!
 //! Because every batched kernel preserves the per-column operation order
 //! of its single-vector counterpart (see `mpgmres-backend`'s multi-RHS
 //! contract), each column's solution, iteration history, and terminal
 //! status are **bit-for-bit identical** to an independent [`Gmres`]
-//! solve of that column, on every backend. With `k = 1` the simulated
-//! timing report is also bit-identical to [`Gmres`] (every block cost
-//! collapses to the single-vector cost at width 1).
+//! solve of that column, on every backend and at every pipeline depth.
+//! With `k = 1` the simulated timing report is also bit-identical to
+//! [`Gmres`] (every block cost collapses to the single-vector cost at
+//! width 1).
 //!
 //! # Deflation
 //!
@@ -37,13 +61,14 @@ use crate::config::{GmresConfig, OrthoMethod};
 use crate::context::{GpuContext, GpuMatrix};
 use crate::precond::Preconditioner;
 use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
-use crate::stream::{region, RegionKey};
+use crate::stream::{region, ArgSlice, BasisMut, RegionKey};
 use mpgmres_backend::BackendScalar;
 use mpgmres_la::givens::GivensLsq;
 use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
 
-/// Batched multi-RHS GMRES(m): `k` single-RHS solves in lockstep.
+/// Batched multi-RHS GMRES(m): `k` single-RHS solves in lockstep, with
+/// optional software-pipelined host steps (`pipeline_depth = 1`).
 pub struct BlockGmres<'a, S: BackendScalar> {
     a: &'a GpuMatrix<S>,
     precond: &'a dyn Preconditioner<S>,
@@ -97,11 +122,67 @@ fn lane_cols_mut<'l, S: BackendScalar>(
     out
 }
 
+/// Collect `&mut lane.v` for the lane indices in `which` (ascending) —
+/// the piecewise-mutable gather behind the pipelined regions' exclusive
+/// basis registrations.
+fn lane_vs_mut<'l, S: BackendScalar>(
+    lanes: &'l mut [Lane<S>],
+    which: &[usize],
+) -> Vec<&'l mut MultiVector<S>> {
+    debug_assert!(
+        which.windows(2).all(|w| w[0] < w[1]),
+        "lane sets must be ascending"
+    );
+    let mut out = Vec::with_capacity(which.len());
+    let mut it = which.iter().copied().peekable();
+    for (li, lane) in lanes.iter_mut().enumerate() {
+        if it.peek() == Some(&li) {
+            it.next();
+            out.push(&mut lane.v);
+        }
+    }
+    assert_eq!(out.len(), which.len(), "lane set not found in order");
+    out
+}
+
+/// Split a parity pair into `(previous, current)` for iteration parity
+/// `cur` — the ping-pong buffers of the pipelined driver.
+fn parity_split<T>(pair: &mut [T; 2], cur: usize) -> (&T, &mut T) {
+    let (lo, hi) = pair.split_at_mut(1);
+    if cur == 0 {
+        (&hi[0], &mut lo[0])
+    } else {
+        (&lo[0], &mut hi[0])
+    }
+}
+
+/// Bitmask of the update-lane set, packed into a `RegionKey` field (the
+/// per-lane update widths live only in payloads, so the mask is the
+/// only remaining shape discriminator of a barrier region).
+fn upds_mask(upds: &[(usize, usize)]) -> u64 {
+    upds.iter().fold(0u64, |m, &(l, _)| m | (1u64 << l))
+}
+
+/// Fold a pipelined region's deferred-work discriminators (the pending
+/// and store lane masks, whose sets shape the drained host/extension
+/// ops but have no dedicated `RegionKey` field) into the spare bits of
+/// the `k` field. Deflation transitions then get their own cache
+/// entries instead of ping-ponging one key between shapes; a hash
+/// collision only costs a verified fallback, never correctness.
+fn pipe_disc(width: usize, masks: [u64; 2]) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the masks
+    for m in masks {
+        h = (h ^ m).wrapping_mul(0x100_0000_01b3);
+    }
+    (width as u64 ^ (h << 8)) as usize
+}
+
 impl<'a, S: BackendScalar> BlockGmres<'a, S> {
     /// Build a solver for `A X = B` with a right preconditioner shared
     /// by all columns.
     pub fn new(a: &'a GpuMatrix<S>, precond: &'a dyn Preconditioner<S>, cfg: GmresConfig) -> Self {
         assert!(cfg.m >= 1, "restart length must be at least 1");
+        assert!(cfg.pipeline_depth <= 1, "pipeline depth must be 0 or 1");
         BlockGmres { a, precond, cfg }
     }
 
@@ -113,7 +194,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
     /// Solve `A X = B` starting from the initial guesses in `x`; the
     /// solutions are written back into `x`. Returns one [`SolveResult`]
     /// per column, each bit-identical to an independent single-RHS
-    /// solve of that column.
+    /// solve of that column (at every pipeline depth).
     pub fn solve(
         &self,
         ctx: &mut GpuContext,
@@ -125,34 +206,37 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
         assert_eq!(b.n(), n, "rhs row count mismatch");
         assert_eq!(x.n(), n, "solution row count mismatch");
         assert_eq!(x.k(), k, "solution column count mismatch");
+        // MGS interleaves every kernel with a host decision — there is
+        // no device stream to pipeline against, so it always runs the
+        // lockstep driver.
+        if self.cfg.pipeline_depth == 0 || self.cfg.ortho == OrthoMethod::Mgs {
+            self.solve_lockstep(ctx, b, x)
+        } else {
+            self.solve_pipelined(ctx, b, x)
+        }
+    }
+
+    /// Initial residuals `R = B - A X`, reference norms, and per-lane
+    /// state (shared by both drivers). The residual region is
+    /// shape-stable in `(n, k)`: cached and replayed across solves.
+    fn init_lanes(
+        &self,
+        ctx: &mut GpuContext,
+        b: &MultiVec<S>,
+        x: &MultiVec<S>,
+        r: &mut MultiVec<S>,
+        norms: &mut [S],
+    ) -> (Vec<Lane<S>>, Vec<Option<SolveResult>>) {
+        let n = self.a.n();
+        let k = b.k();
         let m = self.cfg.m;
-
-        // Shared workspaces. `z` holds the (preconditioned) directions
-        // fed to SpMM, `w` the SpMM output being orthogonalized; both
-        // are compacted over the active columns each step. `u` holds one
-        // update-assembly column per lane so the barrier's per-lane
-        // chains stay independent in the recorded DAG.
-        let mut r = MultiVec::<S>::zeros(n, k);
-        let mut z = MultiVec::<S>::zeros(n, k);
-        let mut w = MultiVec::<S>::zeros(n, k);
-        let mut u = MultiVec::<S>::zeros(n, k);
-        let mut zvec = vec![S::zero(); n];
-        let mut h1 = vec![S::zero(); k * m.max(1)];
-        let mut h2 = vec![S::zero(); k * m.max(1)];
-        let mut norms = vec![S::zero(); k];
-        let mut gammas = vec![S::zero(); k];
-
-        // Initial residuals R = B - A X and reference norms: the k
-        // per-column residuals are independent of each other, so they
-        // form the first recorded region (the fused norm joins them).
-        // Shape-stable in (n, k): cached and replayed across solves.
         {
             let mut st = ctx.stream_for(RegionKey::new(region::BLOCK_INIT, n).with_k(k));
             let ah = st.matrix(self.a);
             let bh = st.block(b);
-            let xh = st.block(&*x);
-            let rh = st.block_mut(&mut r);
-            let nh = st.slice_mut(&mut norms);
+            let xh = st.block(x);
+            let rh = st.block_mut(r);
+            let nh = st.slice_mut(norms);
             for l in 0..k {
                 st.residual_as(
                     mpgmres_gpusim::KernelClass::SpMV,
@@ -223,52 +307,305 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                 lucky: false,
             });
         }
+        (lanes, results)
+    }
+
+    /// Columns still solving, in lane order; lanes at the iteration cap
+    /// are resolved here (mirror of `Gmres`'s outer-loop-top check).
+    fn collect_cycle(
+        &self,
+        lanes: &mut [Lane<S>],
+        results: &mut [Option<SolveResult>],
+    ) -> Vec<usize> {
+        let mut cycle = Vec::with_capacity(lanes.len());
+        for (l, result) in results.iter_mut().enumerate() {
+            if result.is_some() {
+                continue;
+            }
+            let lane = &mut lanes[l];
+            if lane.total_iters >= self.cfg.max_iters {
+                *result = Some(SolveResult {
+                    status: SolveStatus::MaxIters,
+                    iterations: lane.total_iters,
+                    restarts: lane.restarts,
+                    final_relative_residual: lane.final_rel,
+                    history: std::mem::take(&mut lane.history),
+                });
+                continue;
+            }
+            cycle.push(l);
+        }
+        cycle
+    }
+
+    /// Start a cycle on every participating lane: `v1 = r / gamma`,
+    /// fused over the lane set (one batched normalize-and-store;
+    /// bit-identical per lane, charged once as a width-|cycle| block
+    /// scaling).
+    fn start_cycle(
+        &self,
+        ctx: &mut GpuContext,
+        lanes: &mut [Lane<S>],
+        r: &MultiVec<S>,
+        cycle: &[usize],
+    ) {
+        let m = self.cfg.m;
+        let mut alphas: Vec<S> = Vec::with_capacity(cycle.len());
+        let mut srcs: Vec<&[S]> = Vec::with_capacity(cycle.len());
+        for &l in cycle {
+            let lane = &mut lanes[l];
+            alphas.push(S::from_f64(1.0 / lane.gamma.to_f64()));
+            srcs.push(r.col(l));
+            lane.lsq = Some(GivensLsq::new(m, lane.gamma));
+            lane.in_cycle = true;
+            lane.implicit_claims_convergence = false;
+            lane.lucky = false;
+        }
+        let mut dsts = lane_cols_mut(lanes, cycle, 0);
+        ctx.lane_scal_copy(&alphas, &srcs, &mut dsts);
+    }
+
+    /// One lane's host step after iteration `j`'s device results are
+    /// on the host: assemble the Hessenberg column, push the Givens
+    /// update, record history, decide continuation. Returns the basis
+    /// extension coefficient `1/h_{j+1,j}` when the lane extends. The
+    /// HostDense charge is the *caller's* responsibility — the lockstep
+    /// driver charges eagerly before calling, the pipelined driver
+    /// defers it into the next recorded region.
+    #[allow(clippy::too_many_arguments)]
+    fn lane_host_step(
+        &self,
+        lane: &mut Lane<S>,
+        c: usize,
+        ncols: usize,
+        h1: &[S],
+        h2: &[S],
+        hj1: S,
+    ) -> Option<S> {
+        match self.cfg.ortho {
+            OrthoMethod::Cgs2 => {
+                for i in 0..ncols {
+                    lane.hcol[i] = h1[c * ncols + i] + h2[c * ncols + i];
+                }
+            }
+            OrthoMethod::Cgs1 | OrthoMethod::Mgs => {
+                lane.hcol[..ncols].copy_from_slice(&h1[c * ncols..(c + 1) * ncols]);
+            }
+        }
+        lane.hcol[ncols] = hj1;
+        lane.total_iters += 1;
+
+        if !hj1.is_finite() {
+            lane.pending = Some(SolveStatus::Breakdown);
+            lane.in_cycle = false;
+            return None;
+        }
+
+        let implicit = lane
+            .lsq
+            .as_mut()
+            .expect("lane in cycle has an lsq")
+            .push_column(&lane.hcol[..ncols + 1]);
+        let implicit_rel = implicit.to_f64() / lane.scale;
+
+        if self.cfg.record_history {
+            lane.history.push(HistoryPoint {
+                iteration: lane.total_iters,
+                relative_residual: implicit_rel,
+                kind: HistoryKind::Implicit,
+            });
+        }
+
+        if hj1.to_f64() <= lane.scale * f64::from(f32::MIN_POSITIVE) * f64::EPSILON {
+            lane.lucky = true;
+            lane.implicit_claims_convergence = true;
+            lane.in_cycle = false;
+            return None;
+        }
+        let inv = S::from_f64(1.0 / hj1.to_f64());
+
+        if self.cfg.monitor_implicit && implicit_rel <= self.cfg.rtol {
+            lane.implicit_claims_convergence = true;
+            lane.in_cycle = false;
+        }
+        Some(inv)
+    }
+
+    /// Per-lane least-squares solves and restart bookkeeping at the
+    /// cycle barrier. Fills each solved lane's width-padded coefficient
+    /// column of `ymat` (zeros beyond `kc`, so the padded GEMV spans
+    /// read defined memory) and zeroes its update-assembly column.
+    /// HostDense charges are the caller's responsibility.
+    fn barrier_lsq(
+        &self,
+        lanes: &mut [Lane<S>],
+        cycle: &[usize],
+        u: &mut MultiVec<S>,
+        ymat: &mut MultiVec<S>,
+    ) -> Vec<(usize, usize)> {
+        let mut upds: Vec<(usize, usize)> = Vec::new();
+        for &l in cycle {
+            let lane = &mut lanes[l];
+            lane.in_cycle = false;
+            let lsq = lane.lsq.as_ref().expect("cycle lane has an lsq");
+            let kc = lsq.ncols();
+            if kc > 0 {
+                if lsq.is_degenerate() {
+                    lane.pending = Some(SolveStatus::Breakdown);
+                } else {
+                    let y = lsq.solve(kc);
+                    for ui in u.col_mut(l) {
+                        *ui = S::zero();
+                    }
+                    let ycol = ymat.col_mut(l);
+                    ycol[..kc].copy_from_slice(&y);
+                    for yi in ycol[kc..].iter_mut() {
+                        *yi = S::zero();
+                    }
+                    upds.push((l, kc));
+                }
+            }
+            lane.restarts += 1;
+        }
+        upds
+    }
+
+    /// Record the barrier's explicit-residual half (residual + fused
+    /// norm per cycle lane) — shared by the lockstep and pipelined
+    /// preconditioned barriers so the region shape (and hence the
+    /// replay cache) is common to both.
+    #[allow(clippy::too_many_arguments)]
+    fn barrier_residual_region(
+        &self,
+        ctx: &mut GpuContext,
+        b: &MultiVec<S>,
+        x: &MultiVec<S>,
+        r: &mut MultiVec<S>,
+        gammas: &mut [S],
+        cycle: &[usize],
+    ) {
+        let n = self.a.n();
+        let key = RegionKey::lane_mask(cycle).map(|cm| {
+            RegionKey::new(region::BLOCK_BARRIER_RES, n)
+                .with_k(b.k())
+                .with_lanes(cm)
+        });
+        let mut st = match key {
+            Some(key) => ctx.stream_for(key),
+            None => ctx.stream(),
+        };
+        let ah = st.matrix(self.a);
+        let bh = st.block(b);
+        let xh = st.block(x);
+        let rh = st.block_mut(r);
+        let gh = st.slice_mut(gammas);
+        for &l in cycle {
+            st.residual_as(
+                mpgmres_gpusim::KernelClass::SpMV,
+                ah,
+                bh.col(l),
+                xh.col(l),
+                rh.col_mut(l),
+            );
+            st.norm2_into(rh.col(l), gh.at(l));
+        }
+        st.sync();
+    }
+
+    /// Per-lane status resolution (the tail of `Gmres`'s outer loop);
+    /// terminal lanes are deflated.
+    fn resolve_cycle(
+        &self,
+        lanes: &mut [Lane<S>],
+        results: &mut [Option<SolveResult>],
+        gammas: &[S],
+        cycle: &[usize],
+    ) {
+        for &l in cycle {
+            lanes[l].gamma = gammas[l];
+        }
+        for &l in cycle {
+            let lane = &mut lanes[l];
+            let explicit_rel = lane.gamma.to_f64() / lane.scale;
+            lane.final_rel = explicit_rel;
+            if self.cfg.record_history {
+                lane.history.push(HistoryPoint {
+                    iteration: lane.total_iters,
+                    relative_residual: explicit_rel,
+                    kind: HistoryKind::Explicit,
+                });
+            }
+            let status = if let Some(s) = lane.pending {
+                // Breakdown paths: report convergence if the explicit
+                // residual happens to clear the tolerance.
+                Some(if explicit_rel <= self.cfg.rtol {
+                    SolveStatus::Converged
+                } else {
+                    s
+                })
+            } else if !explicit_rel.is_finite() {
+                Some(SolveStatus::Breakdown)
+            } else if explicit_rel <= self.cfg.rtol {
+                Some(SolveStatus::Converged)
+            } else if (lane.implicit_claims_convergence || lane.lucky)
+                && explicit_rel > self.cfg.loa_factor * self.cfg.rtol
+            {
+                Some(SolveStatus::LossOfAccuracy)
+            } else if lane.total_iters >= self.cfg.max_iters {
+                Some(SolveStatus::MaxIters)
+            } else {
+                None
+            };
+            if let Some(status) = status {
+                results[l] = Some(SolveResult {
+                    status,
+                    iterations: lane.total_iters,
+                    restarts: lane.restarts,
+                    final_relative_residual: lane.final_rel,
+                    history: std::mem::take(&mut lane.history),
+                });
+            }
+        }
+    }
+
+    // ----- the lockstep driver (pipeline depth 0, the baseline) ------
+
+    fn solve_lockstep(
+        &self,
+        ctx: &mut GpuContext,
+        b: &MultiVec<S>,
+        x: &mut MultiVec<S>,
+    ) -> Vec<SolveResult> {
+        let n = self.a.n();
+        let k = b.k();
+        let m = self.cfg.m;
+
+        // Shared workspaces. `z` holds the (preconditioned) directions
+        // fed to SpMM, `w` the SpMM output being orthogonalized; both
+        // are compacted over the active columns each step. `u` holds one
+        // update-assembly column per lane so the barrier's per-lane
+        // chains stay independent in the recorded DAG; `ymat` holds the
+        // width-padded per-lane update coefficients that keep the
+        // barrier regions shape-stable (ROADMAP learning (c)).
+        let mut r = MultiVec::<S>::zeros(n, k);
+        let mut z = MultiVec::<S>::zeros(n, k);
+        let mut w = MultiVec::<S>::zeros(n, k);
+        let mut u = MultiVec::<S>::zeros(n, k);
+        let mut ymat = MultiVec::<S>::zeros(m, k);
+        let mut zvec = vec![S::zero(); n];
+        let mut h1 = vec![S::zero(); k * m.max(1)];
+        let mut h2 = vec![S::zero(); k * m.max(1)];
+        let mut norms = vec![S::zero(); k];
+        let mut gammas = vec![S::zero(); k];
+
+        let (mut lanes, mut results) = self.init_lanes(ctx, b, x, &mut r, &mut norms);
 
         loop {
-            // Columns still solving, in lane order; columns whose lane
-            // finished are deflated out of every batched kernel below.
-            let mut cycle: Vec<usize> = Vec::with_capacity(k);
-            for (l, result) in results.iter_mut().enumerate() {
-                if result.is_some() {
-                    continue;
-                }
-                let lane = &mut lanes[l];
-                if lane.total_iters >= self.cfg.max_iters {
-                    // Mirror of Gmres's outer-loop-top cap check.
-                    *result = Some(SolveResult {
-                        status: SolveStatus::MaxIters,
-                        iterations: lane.total_iters,
-                        restarts: lane.restarts,
-                        final_relative_residual: lane.final_rel,
-                        history: std::mem::take(&mut lane.history),
-                    });
-                    continue;
-                }
-                cycle.push(l);
-            }
+            let cycle = self.collect_cycle(&mut lanes, &mut results);
             if cycle.is_empty() {
                 break;
             }
-
-            // Start a cycle on every participating lane: v1 = r / gamma,
-            // fused over the lane set (one batched normalize-and-store
-            // instead of a copy + scal per lane; bit-identical per lane,
-            // charged once as a width-|cycle| block scaling).
-            {
-                let mut alphas: Vec<S> = Vec::with_capacity(cycle.len());
-                let mut srcs: Vec<&[S]> = Vec::with_capacity(cycle.len());
-                for &l in &cycle {
-                    let lane = &mut lanes[l];
-                    alphas.push(S::from_f64(1.0 / lane.gamma.to_f64()));
-                    srcs.push(r.col(l));
-                    lane.lsq = Some(GivensLsq::new(m, lane.gamma));
-                    lane.in_cycle = true;
-                    lane.implicit_claims_convergence = false;
-                    lane.lucky = false;
-                }
-                let mut dsts = lane_cols_mut(&mut lanes, &cycle, 0);
-                ctx.lane_scal_copy(&alphas, &srcs, &mut dsts);
-            }
+            self.start_cycle(ctx, &mut lanes, &r, &cycle);
 
             for j in 0..m {
                 // Lanes still iterating this cycle (lockstep: all share j).
@@ -362,54 +699,11 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                 // lane-set scatter below.
                 let mut store: Vec<(usize, usize, S)> = Vec::new(); // (col, lane, 1/h)
                 for (c, &l) in act.iter().enumerate() {
-                    let lane = &mut lanes[l];
-                    match self.cfg.ortho {
-                        OrthoMethod::Cgs2 => {
-                            for i in 0..ncols {
-                                lane.hcol[i] = h1[c * ncols + i] + h2[c * ncols + i];
-                            }
-                        }
-                        OrthoMethod::Cgs1 | OrthoMethod::Mgs => {
-                            lane.hcol[..ncols].copy_from_slice(&h1[c * ncols..(c + 1) * ncols]);
-                        }
-                    }
-                    let hj1 = norms[c];
-                    lane.hcol[ncols] = hj1;
-                    lane.total_iters += 1;
                     ctx.charge_iteration_host(j);
-
-                    if !hj1.is_finite() {
-                        lane.pending = Some(SolveStatus::Breakdown);
-                        lane.in_cycle = false;
-                        continue;
-                    }
-
-                    let implicit = lane
-                        .lsq
-                        .as_mut()
-                        .expect("lane in cycle has an lsq")
-                        .push_column(&lane.hcol[..ncols + 1]);
-                    let implicit_rel = implicit.to_f64() / lane.scale;
-
-                    if self.cfg.record_history {
-                        lane.history.push(HistoryPoint {
-                            iteration: lane.total_iters,
-                            relative_residual: implicit_rel,
-                            kind: HistoryKind::Implicit,
-                        });
-                    }
-
-                    if hj1.to_f64() <= lane.scale * f64::from(f32::MIN_POSITIVE) * f64::EPSILON {
-                        lane.lucky = true;
-                        lane.implicit_claims_convergence = true;
-                        lane.in_cycle = false;
-                        continue;
-                    }
-                    store.push((c, l, S::from_f64(1.0 / hj1.to_f64())));
-
-                    if self.cfg.monitor_implicit && implicit_rel <= self.cfg.rtol {
-                        lane.implicit_claims_convergence = true;
-                        lane.in_cycle = false;
+                    if let Some(inv) =
+                        self.lane_host_step(&mut lanes[l], c, ncols, &h1, &h2, norms[c])
+                    {
+                        store.push((c, l, inv));
                     }
                 }
 
@@ -428,48 +722,46 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
 
             // Cycle barrier, phase 1 (host): per-lane least-squares
             // solves and restart bookkeeping; each solved lane queues
-            // its update for the recorded device phase.
-            let mut upds: Vec<(usize, usize, Vec<S>)> = Vec::new(); // (lane, kc, y)
-            for &l in &cycle {
-                let lane = &mut lanes[l];
-                lane.in_cycle = false;
-                let lsq = lane.lsq.as_ref().expect("cycle lane has an lsq");
-                let kc = lsq.ncols();
-                if kc > 0 {
-                    if lsq.is_degenerate() {
-                        lane.pending = Some(SolveStatus::Breakdown);
-                    } else {
-                        let y = lsq.solve(kc);
-                        ctx.charge_restart_host(kc);
-                        for ui in u.col_mut(l) {
-                            *ui = S::zero();
-                        }
-                        upds.push((l, kc, y));
-                    }
-                }
-                lane.restarts += 1;
+            // its (width-padded) update for the recorded device phase.
+            // The shared helper charges nothing; the eager restart
+            // charges are emitted here per update lane in the same
+            // order (nothing else charges in between), keeping the
+            // lockstep charge sequence bitwise unchanged.
+            let upds = self.barrier_lsq(&mut lanes, &cycle, &mut u, &mut ymat);
+            for &(_, kc) in &upds {
+                ctx.charge_restart_host(kc);
             }
 
             // Phase 2 (device): per-lane update chains x += M^{-1} V y
             // and explicit residuals. Each lane's chain (GEMV-N -> axpy
             // -> residual -> norm) is independent of every other lane's,
-            // so the recorded DAG overlaps them — this is where the
-            // critical path drops below the serial sum for k > 1. The
-            // per-lane update widths (`kc`) vary lane to lane, so these
-            // regions are not shape-stable and record uncached.
+            // so the recorded DAG overlaps them. The per-lane update
+            // widths (`kc`) vary lane to lane, but they live only in
+            // the payload: the recorded GEMV reads the full width-padded
+            // coefficient span, so the region is shape-stable and hits
+            // the replay cache (keyed on the cycle/update lane sets).
             if self.precond.is_identity() {
-                let mut st = ctx.stream();
+                let key = RegionKey::lane_mask(&cycle).map(|cm| {
+                    RegionKey::new(region::BLOCK_BARRIER, n)
+                        .with_ncols(upds_mask(&upds) as usize)
+                        .with_k(k)
+                        .with_lanes(cm)
+                });
+                let mut st = match key {
+                    Some(key) => ctx.stream_for(key),
+                    None => ctx.stream(),
+                };
                 let ah = st.matrix(self.a);
                 let bh = st.block(b);
                 let xh = st.block_mut(&mut *x);
                 let rh = st.block_mut(&mut r);
                 let uh = st.block_mut(&mut u);
+                let yh = st.block(&ymat);
                 let gh = st.slice_mut(&mut gammas);
-                for (l, kc, y) in &upds {
-                    let vh = st.basis(&lanes[*l].v);
-                    let yh = st.slice(y);
-                    st.gemv_n_add(vh, *kc, yh, uh.col_mut(*l));
-                    st.axpy(S::one(), uh.col(*l), xh.col_mut(*l));
+                for &(l, kc) in &upds {
+                    let vh = st.basis(&lanes[l].v);
+                    st.gemv_n_add_padded(vh, kc, yh.col(l), uh.col_mut(l));
+                    st.axpy(S::one(), uh.col(l), xh.col_mut(l));
                 }
                 for &l in &cycle {
                     st.residual_as(
@@ -484,27 +776,412 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                 st.sync();
             } else {
                 {
-                    let mut st = ctx.stream();
+                    let key = RegionKey::lane_mask(&cycle).map(|cm| {
+                        RegionKey::new(region::BLOCK_BARRIER_UPD, n)
+                            .with_ncols(upds_mask(&upds) as usize)
+                            .with_k(k)
+                            .with_lanes(cm)
+                    });
+                    let mut st = match key {
+                        Some(key) => ctx.stream_for(key),
+                        None => ctx.stream(),
+                    };
                     let uh = st.block_mut(&mut u);
-                    for (l, kc, y) in &upds {
-                        let vh = st.basis(&lanes[*l].v);
-                        let yh = st.slice(y);
-                        st.gemv_n_add(vh, *kc, yh, uh.col_mut(*l));
+                    let yh = st.block(&ymat);
+                    for &(l, kc) in &upds {
+                        let vh = st.basis(&lanes[l].v);
+                        st.gemv_n_add_padded(vh, kc, yh.col(l), uh.col_mut(l));
                     }
                     st.sync();
                 }
                 // Preconditioner applications run eagerly between the
                 // two recorded regions.
-                for (l, _, _) in &upds {
+                for (l, _) in &upds {
                     self.precond.apply(ctx, self.a, u.col(*l), &mut zvec);
                     ctx.axpy(S::one(), &zvec, x.col_mut(*l));
                 }
-                let mut st = ctx.stream();
+                self.barrier_residual_region(ctx, b, x, &mut r, &mut gammas, &cycle);
+            }
+
+            self.resolve_cycle(&mut lanes, &mut results, &gammas, &cycle);
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every column resolved"))
+            .collect()
+    }
+
+    // ----- the software-pipelined driver (pipeline depth 1) ----------
+    //
+    // Identical arithmetic in the identical order — the difference is
+    // WHERE the host work is charged: each iteration's Givens/update
+    // bookkeeping and the barrier's least-squares solves are recorded
+    // as host nodes inside the NEXT region, reading the previous
+    // parity's norm/coefficient spans (ping-pong buffers), so the DAG
+    // proves them independent of the in-flight device kernels and the
+    // timeline hides their latency. The basis extension and direction
+    // gather migrate into the recorded region too (preserving the
+    // lockstep charge order exactly, so serial accounting is bitwise
+    // unchanged).
+
+    fn solve_pipelined(
+        &self,
+        ctx: &mut GpuContext,
+        b: &MultiVec<S>,
+        x: &mut MultiVec<S>,
+    ) -> Vec<SolveResult> {
+        let n = self.a.n();
+        let k = b.k();
+        let m = self.cfg.m;
+        let identity = self.precond.is_identity();
+        let two_pass = self.cfg.ortho == OrthoMethod::Cgs2;
+
+        let mut r = MultiVec::<S>::zeros(n, k);
+        let mut z = MultiVec::<S>::zeros(n, k);
+        let mut w = MultiVec::<S>::zeros(n, k);
+        let mut u = MultiVec::<S>::zeros(n, k);
+        let mut ymat = MultiVec::<S>::zeros(m, k);
+        let mut zvec = vec![S::zero(); n];
+        // Ping-pong host-visible results: iteration j writes parity
+        // j % 2, so the deferred host step for j reads spans no later
+        // iteration's device kernels touch — the one-iteration lag the
+        // DAG verifies.
+        let mut h1 = [vec![S::zero(); k * m.max(1)], vec![S::zero(); k * m.max(1)]];
+        let mut h2 = [vec![S::zero(); k * m.max(1)], vec![S::zero(); k * m.max(1)]];
+        let mut norms = [vec![S::zero(); k], vec![S::zero(); k]];
+        let mut init_norms = vec![S::zero(); k];
+        let mut gammas = vec![S::zero(); k];
+        // Host-state tokens (one slot per lane): consecutive host nodes
+        // of a lane chain through WAW on its token, keeping the Givens
+        // recurrence ordered while distinct lanes overlap.
+        let mut tokens = vec![S::zero(); k];
+        // Extension coefficients of the drained iteration, registered
+        // as the recorded lane_scal_copy's operand.
+        let mut alphas_buf = vec![S::zero(); k];
+
+        let (mut lanes, mut results) = self.init_lanes(ctx, b, x, &mut r, &mut init_norms);
+
+        loop {
+            let cycle = self.collect_cycle(&mut lanes, &mut results);
+            if cycle.is_empty() {
+                break;
+            }
+            self.start_cycle(ctx, &mut lanes, &r, &cycle);
+
+            // Work deferred from the previous iteration: the host steps
+            // of its act set (`pending`, with their compact positions
+            // implied by order) and the basis extensions of its
+            // continuing lanes (`store`: position, lane, 1/h).
+            let mut pending: Vec<usize> = Vec::new();
+            let mut pending_j = 0usize;
+            let mut store: Vec<(usize, usize, S)> = Vec::new();
+
+            for j in 0..m {
+                let act: Vec<usize> = cycle
+                    .iter()
+                    .copied()
+                    .filter(|&l| lanes[l].in_cycle && lanes[l].total_iters < self.cfg.max_iters)
+                    .collect();
+                if act.is_empty() {
+                    break;
+                }
+                let kc = act.len();
+                let ncols = j + 1;
+                let cur = j % 2;
+                for (i, &(_, _, inv)) in store.iter().enumerate() {
+                    alphas_buf[i] = inv;
+                }
+                // Lanes whose bases the region writes: the drained
+                // extension's. The CGS reads `act`'s bases, and act is
+                // a subset of store's lanes after the first iteration
+                // (a lane only stays in the cycle if it extended).
+                let store_lanes: Vec<usize> = store.iter().map(|&(_, l, _)| l).collect();
+                let reg: Vec<usize> = if j == 0 {
+                    act.clone()
+                } else {
+                    store_lanes.clone()
+                };
+                let ncols_prev = j;
+                let deferred_masks = RegionKey::lane_mask(&pending)
+                    .zip(RegionKey::lane_mask(&store_lanes))
+                    .map(|(pm, sm)| [pm, sm]);
+
+                if identity {
+                    let rid = if two_pass {
+                        region::BLOCK_PIPE_CGS
+                    } else {
+                        region::BLOCK_PIPE_CGS1
+                    };
+                    let key =
+                        RegionKey::lane_mask(&act)
+                            .zip(deferred_masks)
+                            .map(|(mask, masks)| {
+                                RegionKey::new(rid, n)
+                                    .with_ncols(ncols)
+                                    .with_k(pipe_disc(kc, masks))
+                                    .with_lanes(mask)
+                            });
+                    let (h1_prev, h1_cur) = parity_split(&mut h1, cur);
+                    let (h2_prev, h2_cur) = parity_split(&mut h2, cur);
+                    let (nr_prev, nr_cur) = parity_split(&mut norms, cur);
+                    let mut st = match key {
+                        Some(key) => ctx.stream_for(key),
+                        None => ctx.stream(),
+                    };
+                    let ah = st.matrix(self.a);
+                    let th = st.slice_mut(&mut tokens);
+                    let aph = st.slice(&alphas_buf[..]);
+                    let h1p = st.slice(&h1_prev[..]);
+                    let h2p = st.slice(&h2_prev[..]);
+                    let npv = st.slice(&nr_prev[..]);
+                    let h1c = st.slice_mut(&mut h1_cur[..kc * ncols]);
+                    let h2c = if two_pass {
+                        Some(st.slice_mut(&mut h2_cur[..kc * ncols]))
+                    } else {
+                        None
+                    };
+                    let nc = st.slice_mut(&mut nr_cur[..]);
+                    let zh = st.block_mut(&mut z);
+                    let wh = st.block_mut(&mut w);
+                    let handles = st.bases_mut(lane_vs_mut(&mut lanes, &reg));
+                    let mut bh_of: Vec<Option<BasisMut<S>>> = vec![None; k];
+                    for (i, &l) in reg.iter().enumerate() {
+                        bh_of[l] = Some(handles[i]);
+                    }
+
+                    // 1. Deferred host steps of iteration j-1 (one
+                    //    HostDense charge per lane, act order — the
+                    //    lockstep charge sequence, at lagged spans).
+                    for (c, &l) in pending.iter().enumerate() {
+                        let lagged = lagged_spans(h1p, h2p, npv, c, ncols_prev, two_pass);
+                        st.host_givens(pending_j, &lagged, th.at(l));
+                    }
+                    // 2. Drained basis extension v_j = w / h.
+                    if !store.is_empty() {
+                        let srcs: Vec<_> = store.iter().map(|&(c, _, _)| wh.col(c)).collect();
+                        let dsts: Vec<_> = store
+                            .iter()
+                            .map(|&(_, l, _)| bh_of[l].expect("stored lane registered").col_mut(j))
+                            .collect();
+                        st.lane_scal_copy(aph, &srcs, &dsts);
+                    }
+                    // 3. Direction gather Z[:, c] = v_j.
+                    {
+                        let srcs: Vec<_> = act
+                            .iter()
+                            .map(|&l| bh_of[l].expect("active lane registered").col(j))
+                            .collect();
+                        let dsts: Vec<_> = (0..kc).map(|c| zh.col_mut(c)).collect();
+                        st.lane_copy(&srcs, &dsts);
+                    }
+                    // 4. SpMM + blocked CGS (the chain the host nodes
+                    //    overlap).
+                    let vrefs: Vec<_> = act
+                        .iter()
+                        .map(|&l| bh_of[l].expect("active lane registered").read())
+                        .collect();
+                    let vsl = st.basis_list(&vrefs);
+                    st.spmm(ah, zh.read(), kc, wh);
+                    st.block_gemv_t(vsl, ncols, wh.read(), h1c);
+                    st.block_gemv_n_sub(vsl, ncols, h1c.read(), wh);
+                    if let Some(h2c) = h2c {
+                        st.block_gemv_t(vsl, ncols, wh.read(), h2c);
+                        st.block_gemv_n_sub(vsl, ncols, h2c.read(), wh);
+                    }
+                    st.block_norm2_into(wh.read(), kc, nc);
+                    st.sync();
+                } else {
+                    // Preconditioned: the drained host steps + extension
+                    // record first (the eager preconditioner needs the
+                    // extended v_j), then the lockstep-shaped CGS region
+                    // over the parity buffers.
+                    if !pending.is_empty() || !store.is_empty() {
+                        let key = RegionKey::lane_mask(&pending).zip(deferred_masks).map(
+                            |(mask, masks)| {
+                                RegionKey::new(region::BLOCK_PIPE_DRAIN, n)
+                                    .with_ncols(ncols_prev)
+                                    .with_k(pipe_disc(store.len(), masks))
+                                    .with_lanes(mask)
+                            },
+                        );
+                        let (h1_prev, _) = parity_split(&mut h1, cur);
+                        let (h2_prev, _) = parity_split(&mut h2, cur);
+                        let (nr_prev, _) = parity_split(&mut norms, cur);
+                        let mut st = match key {
+                            Some(key) => ctx.stream_for(key),
+                            None => ctx.stream(),
+                        };
+                        let th = st.slice_mut(&mut tokens);
+                        let aph = st.slice(&alphas_buf[..]);
+                        let h1p = st.slice(&h1_prev[..]);
+                        let h2p = st.slice(&h2_prev[..]);
+                        let npv = st.slice(&nr_prev[..]);
+                        let wh = st.block(&w);
+                        let handles = if store_lanes.is_empty() {
+                            Vec::new()
+                        } else {
+                            st.bases_mut(lane_vs_mut(&mut lanes, &store_lanes))
+                        };
+                        for (c, &l) in pending.iter().enumerate() {
+                            let lagged = lagged_spans(h1p, h2p, npv, c, ncols_prev, two_pass);
+                            st.host_givens(pending_j, &lagged, th.at(l));
+                        }
+                        if !store.is_empty() {
+                            let srcs: Vec<_> = store.iter().map(|&(c, _, _)| wh.col(c)).collect();
+                            let dsts: Vec<_> = handles.iter().map(|h| h.col_mut(j)).collect();
+                            st.lane_scal_copy(aph, &srcs, &dsts);
+                        }
+                        st.sync();
+                    }
+                    for (c, &l) in act.iter().enumerate() {
+                        self.precond
+                            .apply(ctx, self.a, lanes[l].v.col(j), z.col_mut(c));
+                    }
+                    let rid = if two_pass {
+                        region::BLOCK_PIPE_CGS
+                    } else {
+                        region::BLOCK_PIPE_CGS1
+                    };
+                    let key = RegionKey::lane_mask(&act).map(|mask| {
+                        RegionKey::new(rid, n)
+                            .with_ncols(ncols)
+                            .with_k(kc)
+                            .with_lanes(mask)
+                    });
+                    let (_, h1_cur) = parity_split(&mut h1, cur);
+                    let (_, h2_cur) = parity_split(&mut h2, cur);
+                    let (_, nr_cur) = parity_split(&mut norms, cur);
+                    let vs: Vec<&MultiVector<S>> = act.iter().map(|&l| &lanes[l].v).collect();
+                    let mut st = match key {
+                        Some(key) => ctx.stream_for(key),
+                        None => ctx.stream(),
+                    };
+                    let ah = st.matrix(self.a);
+                    let zh = st.block(&z);
+                    let wh = st.block_mut(&mut w);
+                    let vsh = st.bases(&vs);
+                    let h1c = st.slice_mut(&mut h1_cur[..kc * ncols]);
+                    let nc = st.slice_mut(&mut nr_cur[..]);
+                    st.spmm(ah, zh, kc, wh);
+                    st.block_gemv_t(vsh, ncols, wh.read(), h1c);
+                    st.block_gemv_n_sub(vsh, ncols, h1c.read(), wh);
+                    if two_pass {
+                        let h2c = st.slice_mut(&mut h2_cur[..kc * ncols]);
+                        st.block_gemv_t(vsh, ncols, wh.read(), h2c);
+                        st.block_gemv_n_sub(vsh, ncols, h2c.read(), wh);
+                    }
+                    st.block_norm2_into(wh.read(), kc, nc);
+                    st.sync();
+                }
+
+                // Host arithmetic for iteration j runs now (it decides
+                // the next act set — control flow cannot be deferred);
+                // its CHARGE is deferred into the next region as the
+                // host node recorded above on the following pass.
+                store.clear();
+                let h1c = &h1[cur];
+                let h2c = &h2[cur];
+                let nrc = &norms[cur];
+                for (c, &l) in act.iter().enumerate() {
+                    if let Some(inv) =
+                        self.lane_host_step(&mut lanes[l], c, ncols, h1c, h2c, nrc[c])
+                    {
+                        store.push((c, l, inv));
+                    }
+                }
+                pending = act;
+                pending_j = j;
+            }
+
+            // Cycle barrier. The final iteration's host steps and
+            // extension drain here, the per-lane least-squares solves
+            // become host nodes, and each lane's update chain hangs off
+            // its own host node — per-lane host->device chains that
+            // overlap across lanes (the k >= 2 win).
+            for (i, &(_, _, inv)) in store.iter().enumerate() {
+                alphas_buf[i] = inv;
+            }
+            let drained = pending_j + 1; // ncols of the drained host steps
+            let p = pending_j % 2;
+            let upds = self.barrier_lsq(&mut lanes, &cycle, &mut u, &mut ymat);
+            let store_lanes: Vec<usize> = store.iter().map(|&(_, l, _)| l).collect();
+            let deferred_masks = RegionKey::lane_mask(&pending)
+                .zip(RegionKey::lane_mask(&store_lanes))
+                .map(|(pm, sm)| [pm, sm]);
+            let reg: Vec<usize> = {
+                // Union of the drained extension's lanes and the update
+                // lanes, ascending (both already are).
+                let mut reg = store_lanes.clone();
+                for &(l, _) in &upds {
+                    if !reg.contains(&l) {
+                        reg.push(l);
+                    }
+                }
+                reg.sort_unstable();
+                reg
+            };
+
+            if identity {
+                let key = RegionKey::lane_mask(&cycle)
+                    .zip(deferred_masks)
+                    .map(|(cm, masks)| {
+                        RegionKey::new(region::BLOCK_PIPE_BARRIER, n)
+                            .with_ncols(upds_mask(&upds) as usize)
+                            .with_k(pipe_disc(drained, masks))
+                            .with_lanes(cm)
+                    });
+                let (h1_prev, _) = parity_split(&mut h1, 1 - p);
+                let (h2_prev, _) = parity_split(&mut h2, 1 - p);
+                let (nr_prev, _) = parity_split(&mut norms, 1 - p);
+                let mut st = match key {
+                    Some(key) => ctx.stream_for(key),
+                    None => ctx.stream(),
+                };
                 let ah = st.matrix(self.a);
+                let th = st.slice_mut(&mut tokens);
+                let aph = st.slice(&alphas_buf[..]);
+                let h1p = st.slice(&h1_prev[..]);
+                let h2p = st.slice(&h2_prev[..]);
+                let npv = st.slice(&nr_prev[..]);
                 let bh = st.block(b);
-                let xh = st.block(&*x);
+                let wh = st.block(&w);
+                let xh = st.block_mut(&mut *x);
                 let rh = st.block_mut(&mut r);
+                let uh = st.block_mut(&mut u);
+                let ymh = st.block_mut(&mut ymat);
                 let gh = st.slice_mut(&mut gammas);
+                let handles = if reg.is_empty() {
+                    Vec::new()
+                } else {
+                    st.bases_mut(lane_vs_mut(&mut lanes, &reg))
+                };
+                let mut bh_of: Vec<Option<BasisMut<S>>> = vec![None; k];
+                for (i, &l) in reg.iter().enumerate() {
+                    bh_of[l] = Some(handles[i]);
+                }
+                for (c, &l) in pending.iter().enumerate() {
+                    let lagged = lagged_spans(h1p, h2p, npv, c, drained, two_pass);
+                    st.host_givens(pending_j, &lagged, th.at(l));
+                }
+                if !store.is_empty() {
+                    let srcs: Vec<_> = store.iter().map(|&(c, _, _)| wh.col(c)).collect();
+                    let dsts: Vec<_> = store
+                        .iter()
+                        .map(|&(_, l, _)| {
+                            bh_of[l].expect("stored lane registered").col_mut(drained)
+                        })
+                        .collect();
+                    st.lane_scal_copy(aph, &srcs, &dsts);
+                }
+                for &(l, kc) in &upds {
+                    st.host_lsq(kc, th.at(l), ymh.col_mut(l));
+                }
+                for &(l, kc) in &upds {
+                    let vh = bh_of[l].expect("update lane registered").read();
+                    st.gemv_n_add_padded(vh, kc, ymh.col(l), uh.col_mut(l));
+                    st.axpy(S::one(), uh.col(l), xh.col_mut(l));
+                }
                 for &l in &cycle {
                     st.residual_as(
                         mpgmres_gpusim::KernelClass::SpMV,
@@ -516,55 +1193,81 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                     st.norm2_into(rh.col(l), gh.at(l));
                 }
                 st.sync();
-            }
-            for &l in &cycle {
-                lanes[l].gamma = gammas[l];
+            } else {
+                // Preconditioned barrier: drained host steps + extension
+                // record first, then [per-lane lsq host node + padded
+                // GEMV] chains, then the eager preconditioner applies,
+                // then the shared residual region.
+                {
+                    let key =
+                        RegionKey::lane_mask(&pending)
+                            .zip(deferred_masks)
+                            .map(|(mask, masks)| {
+                                RegionKey::new(region::BLOCK_PIPE_DRAIN, n)
+                                    .with_ncols(drained)
+                                    .with_k(pipe_disc(store.len(), masks))
+                                    .with_lanes(mask)
+                            });
+                    let (h1_prev, _) = parity_split(&mut h1, 1 - p);
+                    let (h2_prev, _) = parity_split(&mut h2, 1 - p);
+                    let (nr_prev, _) = parity_split(&mut norms, 1 - p);
+                    let mut st = match key {
+                        Some(key) => ctx.stream_for(key),
+                        None => ctx.stream(),
+                    };
+                    let th = st.slice_mut(&mut tokens);
+                    let aph = st.slice(&alphas_buf[..]);
+                    let h1p = st.slice(&h1_prev[..]);
+                    let h2p = st.slice(&h2_prev[..]);
+                    let npv = st.slice(&nr_prev[..]);
+                    let wh = st.block(&w);
+                    let handles = if store_lanes.is_empty() {
+                        Vec::new()
+                    } else {
+                        st.bases_mut(lane_vs_mut(&mut lanes, &store_lanes))
+                    };
+                    for (c, &l) in pending.iter().enumerate() {
+                        let lagged = lagged_spans(h1p, h2p, npv, c, drained, two_pass);
+                        st.host_givens(pending_j, &lagged, th.at(l));
+                    }
+                    if !store.is_empty() {
+                        let srcs: Vec<_> = store.iter().map(|&(c, _, _)| wh.col(c)).collect();
+                        let dsts: Vec<_> = handles.iter().map(|h| h.col_mut(drained)).collect();
+                        st.lane_scal_copy(aph, &srcs, &dsts);
+                    }
+                    st.sync();
+                }
+                {
+                    let key = RegionKey::lane_mask(&cycle).map(|cm| {
+                        RegionKey::new(region::BLOCK_PIPE_BARRIER, n)
+                            .with_ncols(upds_mask(&upds) as usize)
+                            .with_k(k)
+                            .with_lanes(cm)
+                    });
+                    let mut st = match key {
+                        Some(key) => ctx.stream_for(key),
+                        None => ctx.stream(),
+                    };
+                    let th = st.slice_mut(&mut tokens);
+                    let uh = st.block_mut(&mut u);
+                    let ymh = st.block_mut(&mut ymat);
+                    for &(l, kc) in &upds {
+                        st.host_lsq(kc, th.at(l), ymh.col_mut(l));
+                    }
+                    for &(l, kc) in &upds {
+                        let vh = st.basis(&lanes[l].v);
+                        st.gemv_n_add_padded(vh, kc, ymh.col(l), uh.col_mut(l));
+                    }
+                    st.sync();
+                }
+                for &(l, _) in &upds {
+                    self.precond.apply(ctx, self.a, u.col(l), &mut zvec);
+                    ctx.axpy(S::one(), &zvec, x.col_mut(l));
+                }
+                self.barrier_residual_region(ctx, b, x, &mut r, &mut gammas, &cycle);
             }
 
-            // Per-lane status resolution (the tail of Gmres's outer loop);
-            // terminal lanes are deflated.
-            for &l in &cycle {
-                let lane = &mut lanes[l];
-                let explicit_rel = lane.gamma.to_f64() / lane.scale;
-                lane.final_rel = explicit_rel;
-                if self.cfg.record_history {
-                    lane.history.push(HistoryPoint {
-                        iteration: lane.total_iters,
-                        relative_residual: explicit_rel,
-                        kind: HistoryKind::Explicit,
-                    });
-                }
-                let status = if let Some(s) = lane.pending {
-                    // Breakdown paths: report convergence if the explicit
-                    // residual happens to clear the tolerance.
-                    Some(if explicit_rel <= self.cfg.rtol {
-                        SolveStatus::Converged
-                    } else {
-                        s
-                    })
-                } else if !explicit_rel.is_finite() {
-                    Some(SolveStatus::Breakdown)
-                } else if explicit_rel <= self.cfg.rtol {
-                    Some(SolveStatus::Converged)
-                } else if (lane.implicit_claims_convergence || lane.lucky)
-                    && explicit_rel > self.cfg.loa_factor * self.cfg.rtol
-                {
-                    Some(SolveStatus::LossOfAccuracy)
-                } else if lane.total_iters >= self.cfg.max_iters {
-                    Some(SolveStatus::MaxIters)
-                } else {
-                    None
-                };
-                if let Some(status) = status {
-                    results[l] = Some(SolveResult {
-                        status,
-                        iterations: lane.total_iters,
-                        restarts: lane.restarts,
-                        final_relative_residual: lane.final_rel,
-                        history: std::mem::take(&mut lane.history),
-                    });
-                }
-            }
+            self.resolve_cycle(&mut lanes, &mut results, &gammas, &cycle);
         }
 
         results
@@ -572,4 +1275,23 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
             .map(|r| r.expect("every column resolved"))
             .collect()
     }
+}
+
+/// The lagged read spans of one lane's deferred host step: its slice of
+/// the previous-parity Hessenberg coefficients (both CGS passes when
+/// two-pass) and its subdiagonal norm slot.
+fn lagged_spans<S: BackendScalar>(
+    h1p: ArgSlice<S>,
+    h2p: ArgSlice<S>,
+    npv: ArgSlice<S>,
+    c: usize,
+    ncols_prev: usize,
+    two_pass: bool,
+) -> Vec<ArgSlice<S>> {
+    let mut lagged = vec![h1p.sub(c * ncols_prev, ncols_prev)];
+    if two_pass {
+        lagged.push(h2p.sub(c * ncols_prev, ncols_prev));
+    }
+    lagged.push(npv.sub(c, 1));
+    lagged
 }

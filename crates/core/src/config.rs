@@ -48,6 +48,17 @@ pub struct GmresConfig {
     pub loa_factor: f64,
     /// Record the per-iteration residual history (costs memory only).
     pub record_history: bool,
+    /// Software-pipeline depth of the `BlockGmres` driver. `0` (the
+    /// default) is the lockstep baseline: every lane's host-side
+    /// Givens/least-squares step serializes against the device stream
+    /// each iteration. `1` defers each lane's host step one iteration:
+    /// it is recorded as a host node whose lagged read spans prove it
+    /// independent of the next iteration's device kernels, so the
+    /// simulated timeline hides the host latency behind device work
+    /// (the paper's launch-latency hiding). Results are bit-identical
+    /// to depth 0 by construction — only the timeline changes. Ignored
+    /// by the single-RHS [`crate::Gmres`] driver.
+    pub pipeline_depth: usize,
 }
 
 impl Default for GmresConfig {
@@ -60,6 +71,7 @@ impl Default for GmresConfig {
             monitor_implicit: true,
             loa_factor: 10.0,
             record_history: true,
+            pipeline_depth: 0,
         }
     }
 }
@@ -89,6 +101,13 @@ impl GmresConfig {
         self
     }
 
+    /// Builder-style `BlockGmres` software-pipeline depth (0 or 1).
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        assert!(depth <= 1, "pipeline depth must be 0 or 1");
+        self.pipeline_depth = depth;
+        self
+    }
+
     /// Configuration for the GMRES-IR inner solver: one full-`m` cycle,
     /// no implicit monitoring.
     pub fn inner_cycle(m: usize) -> Self {
@@ -100,6 +119,7 @@ impl GmresConfig {
             monitor_implicit: false,
             loa_factor: f64::INFINITY,
             record_history: false,
+            pipeline_depth: 0,
         }
     }
 }

@@ -718,17 +718,31 @@ impl GpuContext {
         self.profiler.charge(KernelClass::SpMV, t, bytes);
     }
 
+    /// Simulated seconds of one iteration's host bookkeeping (Givens
+    /// rotations, status tests). Shared by the eager charge below and
+    /// the pipelined drivers' deferred host nodes, so the two modes
+    /// charge bit-identical costs.
+    pub(crate) fn host_iter_spec(&self, j: usize) -> f64 {
+        self.device.iter_overhead + cost::host_dense_time(&self.device, 12 * (j + 1))
+    }
+
+    /// Simulated seconds of one restart's host bookkeeping
+    /// (least-squares back-solve, allocations, manager overhead).
+    pub(crate) fn host_restart_spec(&self, m: usize) -> f64 {
+        self.device.restart_overhead + cost::host_dense_time(&self.device, m * m / 2)
+    }
+
     /// Host-side per-iteration bookkeeping (Givens rotations, status
     /// tests through the Belos interface).
     pub fn charge_iteration_host(&mut self, j: usize) {
-        let t = self.device.iter_overhead + cost::host_dense_time(&self.device, 12 * (j + 1));
+        let t = self.host_iter_spec(j);
         self.profiler.charge(KernelClass::HostDense, t, 0);
     }
 
     /// Host-side per-restart bookkeeping (least-squares back-solve,
     /// allocations, solver-manager overhead).
     pub fn charge_restart_host(&mut self, m: usize) {
-        let t = self.device.restart_overhead + cost::host_dense_time(&self.device, m * m / 2);
+        let t = self.host_restart_spec(m);
         self.profiler.charge(KernelClass::HostDense, t, 0);
     }
 

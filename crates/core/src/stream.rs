@@ -69,7 +69,7 @@
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use mpgmres_backend::stream::{BoundOp, ExecFn, OpArgs, OpGraph, Span};
+use mpgmres_backend::stream::{BoundOp, ExecFn, OpArgs, OpGraph, OpKind, Span};
 use mpgmres_backend::{Backend, BackendScalar};
 use mpgmres_gpusim::KernelClass;
 use mpgmres_la::multivec::MultiVec;
@@ -91,6 +91,29 @@ pub mod region {
     /// `BlockGmres` SpMM + blocked CGS1 region (one projection pass, so
     /// a different shape than [`BLOCK_CGS`]).
     pub const BLOCK_CGS1: u32 = 4;
+    /// `BlockGmres` cycle-barrier region (identity preconditioner: the
+    /// fused per-lane update + explicit-residual chains). Keys pack the
+    /// update-lane mask into `ncols` and the cycle-lane mask into
+    /// `lanes`; the per-lane update widths live only in the payload —
+    /// the width-padded coefficient spans keep the shape stable.
+    pub const BLOCK_BARRIER: u32 = 5;
+    /// Preconditioned cycle barrier, update half (per-lane GEMV-N).
+    pub const BLOCK_BARRIER_UPD: u32 = 6;
+    /// Preconditioned cycle barrier, residual half (residual + norm).
+    pub const BLOCK_BARRIER_RES: u32 = 7;
+    /// Pipelined `BlockGmres` iteration region: deferred host steps of
+    /// the previous iteration + basis extension + SpMM + blocked CGS2.
+    pub const BLOCK_PIPE_CGS: u32 = 8;
+    /// Pipelined iteration region, CGS1 variant.
+    pub const BLOCK_PIPE_CGS1: u32 = 9;
+    /// Pipelined cycle barrier (drained host steps + per-lane
+    /// least-squares host nodes + update/residual chains). Keys pack
+    /// the update-lane mask into `ncols`, the drained iteration count
+    /// into `k`, and the cycle-lane mask into `lanes`.
+    pub const BLOCK_PIPE_BARRIER: u32 = 10;
+    /// Pipelined preconditioned pre-region (drained host steps + basis
+    /// extension, recorded before the eager preconditioner applies).
+    pub const BLOCK_PIPE_DRAIN: u32 = 11;
 }
 
 /// Cache key of one shape-stable recording region: a region id plus
@@ -188,6 +211,61 @@ pub struct BasisRef<S> {
     _s: PhantomData<fn() -> S>,
 }
 
+impl<S: Scalar> BasisRef<S> {
+    /// Read view of basis column `j`.
+    pub fn col(self, j: usize) -> ArgSlice<S> {
+        let j = u32::try_from(j).expect("basis column");
+        assert!(j < self.ncap, "basis column out of range");
+        ArgSlice {
+            buf: self.id,
+            off: j * self.n,
+            len: self.n,
+            _s: PhantomData,
+        }
+    }
+}
+
+/// Handle of a *mutably* registered Krylov basis: the pipelined
+/// `BlockGmres` regions read the basis whole (batched CGS kernels)
+/// while the recorded basis extension writes one column — the mixed
+/// access pattern that needs a single exclusive registration with
+/// column-granular spans.
+#[derive(Clone, Copy, Debug)]
+pub struct BasisMut<S> {
+    id: u32,
+    n: u32,
+    ncap: u32,
+    _s: PhantomData<fn() -> S>,
+}
+
+impl<S: Scalar> BasisMut<S> {
+    /// Read view of the whole basis (batched CGS kernels).
+    pub fn read(self) -> BasisRef<S> {
+        BasisRef {
+            id: self.id,
+            n: self.n,
+            ncap: self.ncap,
+            _s: PhantomData,
+        }
+    }
+
+    /// Read view of basis column `j`.
+    pub fn col(self, j: usize) -> ArgSlice<S> {
+        self.read().col(j)
+    }
+
+    /// Write view of basis column `j` (the recorded basis extension).
+    pub fn col_mut(self, j: usize) -> ArgSliceMut<S> {
+        let c = self.col(j);
+        ArgSliceMut {
+            buf: c.buf,
+            off: c.off,
+            len: c.len,
+            _s: PhantomData,
+        }
+    }
+}
+
 /// Handle list of a per-lane basis set (the batched kernels' `vs`).
 #[derive(Clone, Copy, Debug)]
 pub struct BasisList<S> {
@@ -237,6 +315,20 @@ pub struct ArgValMut<S> {
 }
 
 impl<S: Scalar> ArgSlice<S> {
+    /// Read view of `len` elements starting at element `off` within
+    /// this view (the pipelined driver's lagged per-lane sub-spans).
+    pub fn sub(self, off: usize, len: usize) -> ArgSlice<S> {
+        let off = u32::try_from(off).expect("arg offset");
+        let len = u32::try_from(len).expect("arg length");
+        assert!(off + len <= self.len, "arg sub-view out of range");
+        ArgSlice {
+            buf: self.buf,
+            off: self.off + off,
+            len,
+            _s: PhantomData,
+        }
+    }
+
     fn span(&self) -> Span {
         Span::elems(self.buf, self.off, self.len, std::mem::size_of::<S>())
     }
@@ -429,6 +521,61 @@ impl<'c> Stream<'c> {
         }
     }
 
+    /// Register an exclusively borrowed Krylov basis. Within one region
+    /// the recorder addresses it column-wise for writes (the recorded
+    /// basis extension) and whole-value for the batched CGS reads — the
+    /// RAW span overlap is exactly the edge that orders the extension
+    /// before the projections.
+    pub fn basis_mut<S: Scalar>(&mut self, v: &'c mut MultiVector<S>) -> BasisMut<S> {
+        let (n, ncap) = (v.n(), v.max_cols());
+        let (obj, data, len) = v.arena_parts();
+        // SAFETY: `v` stays exclusively borrowed until sync/drop; the
+        // data pointer is derived through the object pointer (see
+        // `MultiVector::arena_parts`), keeping one provenance chain.
+        let id = unsafe { self.ctx.arena_mut().register_obj_mut(obj, data, len) };
+        BasisMut {
+            id,
+            n: u32::try_from(n).expect("basis rows"),
+            ncap: u32::try_from(ncap).expect("basis cols"),
+            _s: PhantomData,
+        }
+    }
+
+    /// Register a per-lane basis set mutably (all the same shape),
+    /// returning one [`BasisMut`] per lane in order.
+    pub fn bases_mut<S: Scalar>(&mut self, vs: Vec<&'c mut MultiVector<S>>) -> Vec<BasisMut<S>> {
+        assert!(!vs.is_empty(), "stream bases_mut: empty lane set");
+        let (n, ncap) = (vs[0].n(), vs[0].max_cols());
+        vs.into_iter()
+            .map(|v| {
+                assert_eq!(v.n(), n, "stream bases_mut: ragged lane set");
+                assert_eq!(v.max_cols(), ncap, "stream bases_mut: ragged lane set");
+                self.basis_mut(v)
+            })
+            .collect()
+    }
+
+    /// Build a [`BasisList`] (the batched kernels' per-column basis
+    /// argument) from already-registered basis handles — the pipelined
+    /// regions register their lane bases mutably once, then hand a
+    /// subset to the CGS kernels by reference.
+    pub fn basis_list<S: Scalar>(&mut self, refs: &[BasisRef<S>]) -> BasisList<S> {
+        assert!(!refs.is_empty(), "stream basis_list: empty lane set");
+        let (n, ncap) = (refs[0].n, refs[0].ncap);
+        for r in refs {
+            assert_eq!(r.n, n, "stream basis_list: ragged lane set");
+            assert_eq!(r.ncap, ncap, "stream basis_list: ragged lane set");
+        }
+        let (start, len) = self.ctx.arena_mut().push_list(refs.iter().map(|r| r.id));
+        BasisList {
+            start,
+            len,
+            n,
+            ncap,
+            _s: PhantomData,
+        }
+    }
+
     /// Register a per-lane basis set (read-only, all the same shape).
     pub fn bases<S: Scalar>(&mut self, vs: &[&'c MultiVector<S>]) -> BasisList<S> {
         assert!(!vs.is_empty(), "stream bases: empty lane set");
@@ -564,7 +711,23 @@ impl<'c> Stream<'c> {
         exec: ExecFn,
         args: OpArgs,
     ) {
-        let idx = self.advance(label, reads, writes);
+        self.record_kind(label, OpKind::Device, reads, writes, charge, exec, args);
+    }
+
+    /// As [`Stream::record`], for an explicit [`OpKind`] (deferred host
+    /// steps record as [`OpKind::Host`] nodes).
+    #[allow(clippy::too_many_arguments)]
+    fn record_kind(
+        &mut self,
+        label: &'static str,
+        kind: OpKind,
+        reads: &[Span],
+        writes: &[Span],
+        charge: Option<(KernelClass, f64, usize)>,
+        exec: ExecFn,
+        args: OpArgs,
+    ) {
+        let idx = self.advance(label, kind, reads, writes);
         let mut ready = self.base;
         {
             let preds = match &self.mode {
@@ -592,13 +755,19 @@ impl<'c> Stream<'c> {
     /// fresh build when the recorded sequence deviates from the cached
     /// graph (a key collision or a solver-shape bug — costs a
     /// re-derivation, never correctness).
-    fn advance(&mut self, label: &'static str, reads: &[Span], writes: &[Span]) -> usize {
+    fn advance(
+        &mut self,
+        label: &'static str,
+        kind: OpKind,
+        reads: &[Span],
+        writes: &[Span],
+    ) -> usize {
         if let Mode::Replay { graph, pos } = &mut self.mode {
             // A sequence that runs past the cached graph's end is a
             // shape deviation too (key collision with an extension of
             // the cached sequence) — fall back instead of indexing
             // out of bounds.
-            if *pos < graph.len() && graph.matches(*pos, label, reads, writes) {
+            if *pos < graph.len() && graph.matches(*pos, label, kind, reads, writes) {
                 let idx = *pos;
                 *pos += 1;
                 return idx;
@@ -609,7 +778,7 @@ impl<'c> Stream<'c> {
         match &mut self.mode {
             Mode::Build(graph) => {
                 self.ctx.bump_nodes_allocated(1);
-                graph.push(label, reads, writes)
+                graph.push_kind(label, kind, reads, writes)
             }
             _ => unreachable!("advance in eager mode"),
         }
@@ -625,7 +794,7 @@ impl<'c> Stream<'c> {
         if let Mode::Build(g) = &mut self.mode {
             for i in 0..verified {
                 let nd = old.node(i);
-                g.push(nd.label, &nd.reads, &nd.writes);
+                g.push_kind(nd.label, nd.kind, &nd.reads, &nd.writes);
             }
             self.ctx.bump_nodes_allocated(verified as u64);
         }
@@ -996,6 +1165,233 @@ impl<'c> Stream<'c> {
         );
     }
 
+    // ----- deferred host steps (software pipelining) -----------------
+
+    /// Record one lane's deferred Givens/update bookkeeping for a PAST
+    /// iteration `j` (the software-pipelined `BlockGmres` host step).
+    /// The arithmetic already ran on the host when it consumed the
+    /// synced results, so the node executes nothing; it carries the
+    /// host-dense charge at its DAG-ready time instead — which is how
+    /// the timeline shows the host latency hidden behind the *current*
+    /// iteration's device kernels. `lagged` are the previous-parity
+    /// norm/coefficient spans the step consumed (they conflict with
+    /// nothing the current iteration writes — the DAG proves the
+    /// one-iteration lag safe), and `token` is the lane's host-state
+    /// slot: consecutive host steps of one lane chain through it (WAW),
+    /// keeping the Givens recurrence ordered per lane while distinct
+    /// lanes overlap freely.
+    pub fn host_givens<S: BackendScalar>(
+        &mut self,
+        j: usize,
+        lagged: &[ArgSlice<S>],
+        token: ArgValMut<S>,
+    ) {
+        let t = self.ctx.host_iter_spec(j);
+        self.host_node("host_givens", t, lagged, &[token.span()]);
+    }
+
+    /// Record one lane's deferred least-squares solve at the cycle
+    /// barrier: charged as the per-restart host cost for `kc` columns,
+    /// writing the lane's (width-padded) update-coefficient column and
+    /// its host-state token. The write on `y` is what orders the lane's
+    /// device update chain (GEMV-N reading `y`) after this host step,
+    /// and the token WAW orders it after the lane's drained Givens
+    /// steps — per-lane host→device chains that overlap across lanes.
+    pub fn host_lsq<S: BackendScalar>(
+        &mut self,
+        kc: usize,
+        token: ArgValMut<S>,
+        y: ArgSliceMut<S>,
+    ) {
+        let t = self.ctx.host_restart_spec(kc);
+        self.host_node::<S>("host_lsq", t, &[], &[token.span(), y.span()]);
+    }
+
+    fn host_node<S: BackendScalar>(
+        &mut self,
+        label: &'static str,
+        seconds: f64,
+        reads: &[ArgSlice<S>],
+        writes: &[Span],
+    ) {
+        let read_spans: Vec<Span> = reads.iter().map(|r| r.span()).collect();
+        Self::assert_noalias(label, &read_spans, writes);
+        if self.eager() {
+            // The arithmetic already happened on the host; only the
+            // charge remains, serialized like every eager charge.
+            self.ctx
+                .profiler_mut()
+                .charge(KernelClass::HostDense, seconds, 0);
+            return;
+        }
+        self.record_kind(
+            label,
+            OpKind::Host,
+            &read_spans,
+            writes,
+            Some((KernelClass::HostDense, seconds, 0)),
+            exec_host_step,
+            OpArgs::default(),
+        );
+    }
+
+    // ----- fused lane-set kernels (recorded forms) -------------------
+
+    /// Record the fused per-lane normalize-and-store
+    /// `dsts[c] = alphas[c] * srcs[c]` (the recorded twin of
+    /// [`GpuContext::lane_scal_copy`], charged identically as a
+    /// width-`k` block scaling). `alphas` must be a registered view
+    /// holding one coefficient per lane; sources and destinations are
+    /// arbitrary registered column views of one shared length.
+    pub fn lane_scal_copy<S: BackendScalar>(
+        &mut self,
+        alphas: ArgSlice<S>,
+        srcs: &[ArgSlice<S>],
+        dsts: &[ArgSliceMut<S>],
+    ) {
+        let k = srcs.len();
+        assert_eq!(k, dsts.len(), "stream lane_scal_copy: lane count");
+        assert!(k >= 1, "stream lane_scal_copy: empty lane set");
+        assert!(alphas.len as usize >= k, "stream lane_scal_copy: alphas");
+        let n = srcs[0].len;
+        let (t, bytes) = self.ctx.block_scal_spec::<S>(n as usize, k);
+        self.lane_op(
+            "lane_scal_copy",
+            Some((alphas, (KernelClass::Scal, t, bytes))),
+            srcs,
+            dsts,
+            exec_lane_scal_copy::<S>,
+        );
+    }
+
+    /// Record the fused per-lane copy `dsts[c] = srcs[c]` (the recorded
+    /// twin of [`GpuContext::lane_copy`]; uncharged, like every copy).
+    pub fn lane_copy<S: BackendScalar>(&mut self, srcs: &[ArgSlice<S>], dsts: &[ArgSliceMut<S>]) {
+        assert_eq!(srcs.len(), dsts.len(), "stream lane_copy: lane count");
+        assert!(!srcs.is_empty(), "stream lane_copy: empty lane set");
+        self.lane_op("lane_copy", None, srcs, dsts, exec_lane_copy::<S>);
+    }
+
+    fn lane_op<S: BackendScalar>(
+        &mut self,
+        label: &'static str,
+        alphas: Option<(ArgSlice<S>, (KernelClass, f64, usize))>,
+        srcs: &[ArgSlice<S>],
+        dsts: &[ArgSliceMut<S>],
+        exec: ExecFn,
+    ) {
+        let k = srcs.len();
+        let n = srcs[0].len;
+        let mut reads: Vec<Span> = Vec::with_capacity(k + 1);
+        if let Some((a, _)) = &alphas {
+            reads.push(a.sub(0, k).span());
+        }
+        let mut writes: Vec<Span> = Vec::with_capacity(k);
+        for (s, d) in srcs.iter().zip(dsts) {
+            assert_eq!(s.len, n, "stream {label}: ragged source lanes");
+            assert_eq!(d.len, n, "stream {label}: ragged destination lanes");
+            reads.push(s.span());
+            writes.push(d.span());
+        }
+        Self::assert_noalias(label, &reads, &writes);
+        if self.eager() {
+            // SAFETY: registered borrows are live for the stream's
+            // lifetime; each dst is the sole live view of its span.
+            unsafe {
+                let ss: Vec<&[S]> = srcs
+                    .iter()
+                    .map(|s| self.arena().slice::<S>(s.buf, s.off, s.len))
+                    .collect();
+                let mut ds: Vec<&mut [S]> = dsts
+                    .iter()
+                    .map(|d| self.arena().slice_mut::<S>(d.buf, d.off, d.len))
+                    .collect();
+                match alphas {
+                    Some((a, _)) => {
+                        let al = self.arena().slice::<S>(a.buf, a.off, a.len);
+                        self.ctx.lane_scal_copy(&al[..k], &ss, &mut ds);
+                    }
+                    None => self.ctx.lane_copy(&ss, &mut ds),
+                }
+            }
+            return;
+        }
+        let quads: Vec<u32> = srcs
+            .iter()
+            .zip(dsts)
+            .flat_map(|(s, d)| [s.buf, s.off, d.buf, d.off])
+            .collect();
+        let (start, len) = self.ctx.arena_mut().push_list(quads);
+        let (abuf, aoff, charge) = match alphas {
+            Some((a, charge)) => (a.buf, a.off, Some(charge)),
+            None => (0, 0, None),
+        };
+        self.record(
+            label,
+            &reads,
+            &writes,
+            charge,
+            exec,
+            OpArgs {
+                bufs: [abuf, 0, 0, 0],
+                offs: [aoff, 0, 0, 0],
+                lens: [u32::try_from(k).expect("lane count"), n, 0, 0],
+                n0: u32::try_from(k).expect("lane count"),
+                list: [start, len],
+                ..OpArgs::default()
+            },
+        );
+    }
+
+    /// Record `y += V h[..ncols]`, declaring the read span over the
+    /// WHOLE registered `h` view rather than its `ncols` prefix. With
+    /// the coefficient column padded to a fixed width (zeros beyond
+    /// `ncols`), the op's *shape* no longer depends on the per-lane
+    /// update width — what makes the `BlockGmres` cycle-barrier regions
+    /// shape-stable and replay-cacheable (ROADMAP learning (c)). The
+    /// execution and the charge still use the true `ncols`, so results
+    /// and accounting are bit-identical to [`Stream::gemv_n_add`].
+    pub fn gemv_n_add_padded<S: BackendScalar>(
+        &mut self,
+        v: BasisRef<S>,
+        ncols: usize,
+        h: ArgSlice<S>,
+        y: ArgSliceMut<S>,
+    ) {
+        let nc = u32::try_from(ncols).expect("ncols");
+        assert!(nc <= v.ncap, "stream gemv_n: ncols over basis capacity");
+        assert_eq!(y.len, v.n, "stream gemv_n: vector length");
+        assert!(h.len >= nc, "stream gemv_n: h too short");
+        Self::assert_noalias("gemv_n", &[h.span()], &[y.span()]);
+        if self.eager() {
+            // SAFETY: registered borrows are live for the stream's lifetime.
+            let (vm, hs, ys) = unsafe {
+                (
+                    self.arena().obj::<MultiVector<S>>(v.id),
+                    self.arena().slice::<S>(h.buf, h.off, h.len),
+                    self.arena().slice_mut::<S>(y.buf, y.off, y.len),
+                )
+            };
+            self.ctx.gemv_n_add(vm, ncols, hs, ys);
+            return;
+        }
+        let (t, bytes) = self.ctx.gemv_n_spec::<S>(v.n as usize, ncols);
+        self.record(
+            "gemv_n_add",
+            &[Span::whole(v.id), h.span()],
+            &[y.span()],
+            Some((KernelClass::GemvN, t, bytes)),
+            exec_gemv_n_add::<S>,
+            OpArgs {
+                bufs: [v.id, h.buf, y.buf, 0],
+                offs: [0, h.off, y.off, 0],
+                lens: [0, h.len, y.len, 0],
+                n0: nc,
+                ..OpArgs::default()
+            },
+        );
+    }
+
     // ----- batched multi-RHS kernels ---------------------------------
 
     /// Record the batched SpMM `Y[:, ..k] = A X[:, ..k]`.
@@ -1335,6 +1731,45 @@ fn exec_norm2<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs
     }
 }
 
+/// Deferred host step: the arithmetic already ran on the host when it
+/// consumed the synced results; the node exists for its DAG edges and
+/// its ready-time charge, so its launch is a no-op.
+fn exec_host_step(_b: &dyn Backend, _arena: &BufferArena, _a: &OpArgs) {}
+
+fn exec_lane_scal_copy<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract; each destination quad names a distinct
+    // declared write span.
+    unsafe {
+        let k = a.n0 as usize;
+        let n = a.lens[1];
+        let alphas = arena.slice::<S>(a.bufs[0], a.offs[0], a.lens[0]);
+        let quads = arena.list(a.list[0], a.list[1]);
+        let srcs: Vec<&[S]> = (0..k)
+            .map(|c| arena.slice::<S>(quads[4 * c], quads[4 * c + 1], n))
+            .collect();
+        let mut dsts: Vec<&mut [S]> = (0..k)
+            .map(|c| arena.slice_mut::<S>(quads[4 * c + 2], quads[4 * c + 3], n))
+            .collect();
+        S::view(b).lane_scal_copy(alphas, &srcs, &mut dsts);
+    }
+}
+
+fn exec_lane_copy<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract; as `exec_lane_scal_copy`.
+    unsafe {
+        let k = a.n0 as usize;
+        let n = a.lens[1];
+        let quads = arena.list(a.list[0], a.list[1]);
+        let srcs: Vec<&[S]> = (0..k)
+            .map(|c| arena.slice::<S>(quads[4 * c], quads[4 * c + 1], n))
+            .collect();
+        let mut dsts: Vec<&mut [S]> = (0..k)
+            .map(|c| arena.slice_mut::<S>(quads[4 * c + 2], quads[4 * c + 3], n))
+            .collect();
+        S::view(b).lane_copy(&srcs, &mut dsts);
+    }
+}
+
 fn exec_spmm<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
     // SAFETY: arena contract; the write span covers all of y, so the
     // whole-object `&mut` aliases nothing.
@@ -1639,6 +2074,64 @@ mod tests {
         assert_eq!(v, vec![3.0f64; 16], "2*1 + 1");
         assert_eq!(ctx.stream_stats().misses, 4);
         assert_eq!(ctx.stream_stats().hits, 0);
+    }
+
+    /// The pipelined building blocks — a deferred host node, a recorded
+    /// fused lane normalize-and-store, and a recorded lane copy — are
+    /// bit-identical eager vs recorded (values AND charges), replay
+    /// from cache when keyed, and the host node's latency hides under
+    /// the independent device work on the overlap timeline.
+    #[test]
+    fn host_nodes_and_lane_ops_record_replay_and_overlap() {
+        let run = |streaming: bool| {
+            let mut ctx =
+                GpuContext::with_reduction(DeviceModel::v100_belos(), ReductionOrder::Sequential);
+            ctx.set_streaming(streaming);
+            let alphas = [2.0f64, -1.0];
+            let xs = [1.0f64, 2.0, 3.0, 4.0]; // two source lanes of length 2
+            let mut ys = [0.0f64; 4];
+            let mut zs = [0.0f64; 2];
+            let mut token = 0.0f64;
+            let mut criticals = Vec::new();
+            for _ in 0..2 {
+                let (y0, y1) = ys.split_at_mut(2);
+                let mut st = ctx.stream_for(RegionKey::new(42, 2));
+                let ah = st.slice(&alphas);
+                let xh = st.slice(&xs);
+                let y0h = st.slice_mut(y0);
+                let y1h = st.slice_mut(y1);
+                let zh = st.slice_mut(&mut zs);
+                let th = st.val_mut(&mut token);
+                // Deferred host step reading a lagged span the device
+                // ops below never touch: independent, so it overlaps.
+                st.host_givens(3, &[xh.sub(0, 2)], th);
+                st.lane_scal_copy(ah, &[xh.sub(0, 2), xh.sub(2, 2)], &[y0h, y1h]);
+                st.lane_copy(&[y0h.read()], &[zh]);
+                st.sync();
+                criticals.push(ctx.profiler().critical_seconds());
+            }
+            (ys, zs, ctx.elapsed(), criticals, ctx.stream_stats())
+        };
+        let (ys_r, zs_r, t_r, crit_r, stats) = run(true);
+        let (ys_e, zs_e, t_e, _, _) = run(false);
+        assert_eq!(ys_r, [2.0, 4.0, -3.0, -4.0]);
+        assert_eq!(zs_r, [2.0, 4.0]);
+        assert_eq!(ys_r, ys_e);
+        assert_eq!(zs_r, zs_e);
+        assert_eq!(t_r.to_bits(), t_e.to_bits(), "charges identical");
+        // Second pass replayed the keyed region (host node included).
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        // The host node overlapped the lane kernels on the recorded
+        // timeline: critical < serial after the first region (the two
+        // regions charge identical sums, so serial-after-first is
+        // exactly half the final total).
+        assert!(
+            crit_r[0] < t_r / 2.0,
+            "host node must hide: {} !< {}",
+            crit_r[0],
+            t_r / 2.0
+        );
     }
 
     /// The initial-residual shape of `BlockGmres`: independent

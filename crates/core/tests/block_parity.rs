@@ -200,6 +200,42 @@ fn width_four_columns_match_independent_solves() {
     }
 }
 
+/// ISSUE 5: the software-pipelined driver keeps the same contract —
+/// every column of a `pipeline_depth = 1` block solve is bit-identical
+/// to an independent single-RHS `Gmres` solve (the pipelining only
+/// moves host charges on the timeline, never the arithmetic).
+#[test]
+fn pipelined_columns_match_independent_solves() {
+    let a = laplace2d_matrix(32);
+    let n = a.n();
+    let cols_data: Vec<Vec<f64>> = (0..3).map(|l| rhs(n, 40 + l)).collect();
+    let cols: Vec<&[f64]> = cols_data.iter().map(|c| c.as_slice()).collect();
+    let cfg = GmresConfig::default().with_m(25).with_max_iters(5_000);
+    for (name, backend) in backends() {
+        let order = ReductionOrder::GPU_LIKE;
+        let mut singles = Vec::new();
+        for (l, b) in cols.iter().enumerate() {
+            let mut ctx = ctx_on(backend.clone(), order);
+            let mut x = vec![0.0f64; n];
+            let res = Gmres::new(&a, &Identity, cfg).solve(&mut ctx, b, &mut x);
+            assert!(res.status.is_converged(), "{name}: single col {l}");
+            singles.push((res, x));
+        }
+        let mut ctx_b = ctx_on(backend.clone(), order);
+        let bb = MultiVec::from_columns(&cols);
+        let mut xb = MultiVec::<f64>::zeros(n, 3);
+        let res_b = BlockGmres::new(&a, &Identity, cfg.with_pipeline_depth(1))
+            .solve(&mut ctx_b, &bb, &mut xb);
+        for (l, (res_s, x_s)) in singles.iter().enumerate() {
+            let what = format!("{name}: pipelined col {l}");
+            assert_results_identical(res_s, &res_b[l], &what);
+            for (i, (xs, xbv)) in x_s.iter().zip(xb.col(l)).enumerate() {
+                assert_eq!(xs.to_bits(), xbv.to_bits(), "{what}: x[{i}]");
+            }
+        }
+    }
+}
+
 /// Preconditioned parity (block Jacobi): the preconditioner is applied
 /// per column inside the block path and per solve outside; results must
 /// still be bit-identical, k = 1 and k = 4.

@@ -60,6 +60,20 @@ impl<S: Scalar> MultiVector<S> {
         &mut self.data[j * self.n..(j + 1) * self.n]
     }
 
+    /// Raw `(object, element-data, element-count)` pointers for the
+    /// recorded-stream buffer arena. The data pointer is derived
+    /// *through* the object pointer — not by a second reborrow of
+    /// `self` — so both share one provenance chain and registering a
+    /// basis never invalidates either pointer (the arena stores them
+    /// for the lifetime of the recording region's borrow).
+    pub fn arena_parts(&mut self) -> (*mut Self, *mut S, usize) {
+        let obj: *mut Self = self;
+        // SAFETY: `obj` was just derived from a live `&mut self`;
+        // materializing the interior data pointer and length through it
+        // keeps the derivation chain obj -> data intact.
+        unsafe { (obj, (*obj).data.as_mut_ptr(), (*obj).data.len()) }
+    }
+
     /// Borrow two distinct columns, the second mutably.
     ///
     /// # Panics
