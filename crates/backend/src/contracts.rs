@@ -9,6 +9,7 @@
 use mpgmres_la::csr::Csr;
 use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
+use mpgmres_la::store::MatrixStore;
 use mpgmres_scalar::Scalar;
 
 /// `y = A x`: `x` must match the column count, `y` the row count.
@@ -90,6 +91,64 @@ pub fn spmm<S: Scalar>(a: &Csr<S>, x: &MultiVec<S>, k: usize, y: &MultiVec<S>) {
     assert!(
         k <= x.k() && k <= y.k(),
         "backend spmm: {k} columns requested but X has {} and Y has {}",
+        x.k(),
+        y.k()
+    );
+}
+
+/// Storage-path `y = A x`: same shape rules as [`spmv`].
+#[inline]
+pub fn store_spmv<S: Scalar>(a: &MatrixStore<S>, x: &[S], y: &[S]) {
+    assert_eq!(
+        x.len(),
+        a.ncols(),
+        "backend store_spmv: x has length {} but A has {} columns",
+        x.len(),
+        a.ncols()
+    );
+    assert_eq!(
+        y.len(),
+        a.nrows(),
+        "backend store_spmv: y has length {} but A has {} rows",
+        y.len(),
+        a.nrows()
+    );
+}
+
+/// Storage-path `r = b - A x`: [`store_spmv`] shapes plus `b`.
+#[inline]
+pub fn store_residual<S: Scalar>(a: &MatrixStore<S>, b: &[S], x: &[S], r: &[S]) {
+    store_spmv(a, x, r);
+    assert_eq!(
+        b.len(),
+        a.nrows(),
+        "backend store_residual: b has length {} but A has {} rows",
+        b.len(),
+        a.nrows()
+    );
+}
+
+/// Storage-path SpMM: same shape rules as [`spmm`].
+#[inline]
+pub fn store_spmm<S: Scalar>(a: &MatrixStore<S>, x: &MultiVec<S>, k: usize, y: &MultiVec<S>) {
+    assert!(k >= 1, "backend store_spmm: empty block (k = 0)");
+    assert_eq!(
+        x.n(),
+        a.ncols(),
+        "backend store_spmm: X has {} rows but A has {} columns",
+        x.n(),
+        a.ncols()
+    );
+    assert_eq!(
+        y.n(),
+        a.nrows(),
+        "backend store_spmm: Y has {} rows but A has {} rows",
+        y.n(),
+        a.nrows()
+    );
+    assert!(
+        k <= x.k() && k <= y.k(),
+        "backend store_spmm: {k} columns requested but X has {} and Y has {}",
         x.k(),
         y.k()
     );

@@ -71,6 +71,7 @@ use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
 use mpgmres_la::par;
 use mpgmres_la::pool::{ScopedSpawn, WorkerPool};
+use mpgmres_la::store::MatrixStore;
 use mpgmres_la::vec_ops::{self, ReductionOrder};
 use mpgmres_scalar::{Half, Scalar};
 
@@ -212,6 +213,31 @@ pub trait ScalarBackend<S: Scalar> {
         for j in 0..k {
             self.copy(src.col(j), dst.col_mut(j));
         }
+    }
+
+    // ----- low-precision storage-path kernels -------------------------
+    //
+    // SpMV/SpMM/residual over a [`MatrixStore`]: matrix values stream
+    // in the store's precision, every arithmetic operation happens in
+    // `S` after one exact widening per stored entry. Defaults run the
+    // store's sequential kernels; the parallel overrides row-partition
+    // the same shared per-row kernels, so every backend is bit-identical
+    // on every storage path by construction (the same contract as the
+    // plain matrix kernels).
+
+    /// `y = A x` over a low-precision matrix store.
+    fn store_spmv(&self, a: &MatrixStore<S>, x: &[S], y: &mut [S]) {
+        a.spmv(x, y);
+    }
+
+    /// `r = b - A x` (fused residual) over a matrix store.
+    fn store_residual(&self, a: &MatrixStore<S>, b: &[S], x: &[S], r: &mut [S]) {
+        a.residual(b, x, r);
+    }
+
+    /// SpMM `Y[:, ..k] = A X[:, ..k]` over a matrix store.
+    fn store_spmm(&self, a: &MatrixStore<S>, x: &MultiVec<S>, k: usize, y: &mut MultiVec<S>) {
+        a.spmm(x, k, y);
     }
 
     // ----- batched lane-set kernels -----------------------------------
@@ -423,6 +449,28 @@ fn strategy_parts<S: Scalar>(
     }
 }
 
+/// The cached row partition for a [`MatrixStore`]. Single-bucket stores
+/// partition their one CSR under the configured strategy (nnz-balanced
+/// included — the shadow shares the original's sparsity, so its nnz
+/// profile is the same); a split store spans two CSR structures, so it
+/// falls back to the even-rows split (keyed like any even split — a
+/// plain matrix of the same shape shares it harmlessly).
+fn store_strategy_parts<S: Scalar>(
+    cache: &PartitionCache,
+    strategy: PartitionStrategy,
+    workers: usize,
+    a: &MatrixStore<S>,
+) -> SharedPartition {
+    match a {
+        MatrixStore::Plain(c) => strategy_parts(cache, strategy, workers, c),
+        MatrixStore::ShadowF32(c) => strategy_parts(cache, strategy, workers, c),
+        MatrixStore::ShadowF16(c) => strategy_parts(cache, strategy, workers, c),
+        MatrixStore::Split(_) => cache.get_with((a.nrows(), workers, 0), || {
+            par::row_partition(a.nrows(), workers)
+        }),
+    }
+}
+
 /// The std-thread parallel backend: row-partitioned SpMV/SpMM/residual,
 /// column-partitioned GEMV-Trans, row-partitioned GEMV-NoTrans, and
 /// block-parallel tree reductions — all bit-identical to
@@ -556,6 +604,30 @@ impl<S: Scalar> ScalarBackend<S> for ParallelBackend {
     }
     fn lane_scal_copy(&self, alpha: &[S], srcs: &[&[S]], dsts: &mut [&mut [S]]) {
         par::lane_scal_copy_on(&*self.pool, alpha, srcs, dsts);
+    }
+    fn store_spmv(&self, a: &MatrixStore<S>, x: &[S], y: &mut [S]) {
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+            a.spmv(x, y);
+            return;
+        }
+        let parts = store_strategy_parts(&self.partitions, self.strategy, self.threads, a);
+        par::store_spmv_parts_on(&*self.pool, &parts, a, x, y);
+    }
+    fn store_residual(&self, a: &MatrixStore<S>, b: &[S], x: &[S], r: &mut [S]) {
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+            a.residual(b, x, r);
+            return;
+        }
+        let parts = store_strategy_parts(&self.partitions, self.strategy, self.threads, a);
+        par::store_residual_parts_on(&*self.pool, &parts, a, b, x, r);
+    }
+    fn store_spmm(&self, a: &MatrixStore<S>, x: &MultiVec<S>, k: usize, y: &mut MultiVec<S>) {
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+            a.spmm(x, k, y);
+            return;
+        }
+        let parts = store_strategy_parts(&self.partitions, self.strategy, self.threads, a);
+        par::store_spmm_parts_on(&*self.pool, &parts, a, x, k, y);
     }
 }
 
@@ -702,6 +774,30 @@ impl<S: Scalar> ScalarBackend<S> for SpawnBackend {
     }
     fn lane_scal_copy(&self, alpha: &[S], srcs: &[&[S]], dsts: &mut [&mut [S]]) {
         par::lane_scal_copy_on(&ScopedSpawn(self.threads), alpha, srcs, dsts);
+    }
+    fn store_spmv(&self, a: &MatrixStore<S>, x: &[S], y: &mut [S]) {
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+            a.spmv(x, y);
+            return;
+        }
+        let parts = store_strategy_parts(&self.partitions, self.strategy, self.threads, a);
+        par::store_spmv_parts_on(&ScopedSpawn(self.threads), &parts, a, x, y);
+    }
+    fn store_residual(&self, a: &MatrixStore<S>, b: &[S], x: &[S], r: &mut [S]) {
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+            a.residual(b, x, r);
+            return;
+        }
+        let parts = store_strategy_parts(&self.partitions, self.strategy, self.threads, a);
+        par::store_residual_parts_on(&ScopedSpawn(self.threads), &parts, a, b, x, r);
+    }
+    fn store_spmm(&self, a: &MatrixStore<S>, x: &MultiVec<S>, k: usize, y: &mut MultiVec<S>) {
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+            a.spmm(x, k, y);
+            return;
+        }
+        let parts = store_strategy_parts(&self.partitions, self.strategy, self.threads, a);
+        par::store_spmm_parts_on(&ScopedSpawn(self.threads), &parts, a, x, k, y);
     }
 }
 

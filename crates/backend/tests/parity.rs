@@ -13,8 +13,9 @@ use mpgmres_la::coo::Coo;
 use mpgmres_la::csr::Csr;
 use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
+use mpgmres_la::store::MatrixStore;
 use mpgmres_la::vec_ops::ReductionOrder;
-use mpgmres_scalar::ulp_diff_f64;
+use mpgmres_scalar::{ulp_diff_f64, Half, Precision};
 use proptest::prelude::*;
 
 /// Sizes straddling the parallel thresholds (1<<14 elements, 1<<15 nnz).
@@ -322,8 +323,137 @@ fn lane_kernels_bit_identical_across_backends() {
     }
 }
 
+/// Every storage-path variant over one structure: plain (the working
+/// precision), the two downcast shadows, and the magnitude split.
+fn store_variants(a: &Csr<f64>) -> Vec<(&'static str, MatrixStore<f64>)> {
+    vec![
+        ("plain", MatrixStore::plain(a.clone())),
+        ("shadow-fp32", MatrixStore::shadow(a, Precision::Fp32)),
+        ("shadow-fp16", MatrixStore::shadow(a, Precision::Fp16)),
+        ("split", MatrixStore::split_threshold(a, 1.0)),
+    ]
+}
+
+/// Storage-path kernels (low-precision values, working-precision
+/// accumulation): the backend `store_spmv`/`store_residual`/`store_spmm`
+/// are bit-identical to the per-row scalar reference (the la-layer
+/// store kernels) on BOTH backends, at sizes straddling the parallel
+/// thresholds, for every storage variant.
+#[test]
+fn store_kernels_bit_identical_across_backends() {
+    let reference = ReferenceBackend;
+    let parallel = ParallelBackend::with_threads(4);
+    for &n in &SIZES {
+        let a = banded_matrix(n, 13);
+        let x = pseudo_vec(n, 14);
+        let b = pseudo_vec(n, 15);
+        let k = 3;
+        let xm = pseudo_block(n, k, 16);
+        for (name, store) in store_variants(&a) {
+            let mut y_la = vec![0.0; n];
+            store.spmv(&x, &mut y_la);
+            let mut r_la = vec![0.0; n];
+            store.residual(&b, &x, &mut r_la);
+            for (bname, backend) in [
+                ("reference", &reference as &dyn ScalarBackend<f64>),
+                ("parallel", &parallel),
+            ] {
+                let what = format!("{name}/{bname} n={n}");
+                let mut y = vec![0.0; n];
+                backend.store_spmv(&store, &x, &mut y);
+                assert_eq!(y, y_la, "{what}: store_spmv");
+                let mut r = vec![0.0; n];
+                backend.store_residual(&store, &b, &x, &mut r);
+                assert_eq!(r, r_la, "{what}: store_residual");
+                let mut ym = MultiVec::<f64>::zeros(n, k);
+                backend.store_spmm(&store, &xm, k, &mut ym);
+                for j in 0..k {
+                    let mut yj = vec![0.0; n];
+                    backend.store_spmv(&store, xm.col(j), &mut yj);
+                    assert_eq!(ym.col(j), &yj[..], "{what}: store_spmm col {j}");
+                }
+            }
+        }
+        // The plain store is bit-identical to the matrix path.
+        let mut y_csr = vec![0.0; n];
+        a.spmv(&x, &mut y_csr);
+        let mut y_plain = vec![0.0; n];
+        reference.store_spmv(&MatrixStore::plain(a.clone()), &x, &mut y_plain);
+        assert_eq!(y_plain, y_csr, "plain store vs csr n={n}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// half16 round-trip: casting down to software fp16 and back stays
+    /// within half's machine epsilon (relative), plus the subnormal
+    /// floor 2^-24 for values near zero.
+    #[test]
+    fn half_round_trip_within_documented_bound(v in -6.0e4f64..6.0e4) {
+        let back = Half::from_f64(v).to_f64();
+        let tol = Precision::Fp16.eps() * v.abs() + 6.0e-8;
+        prop_assert!((v - back).abs() <= tol, "{} -> {}", v, back);
+    }
+
+    /// Store SpMV/SpMM vs the scalar reference, random shapes: the
+    /// backend kernels are bit-identical to the la-layer per-row
+    /// reference on both backends (0 ULPs — shared per-row kernel), and
+    /// the low-precision result sits within the documented per-row
+    /// error bound of the full-precision SpMV:
+    /// `eps(dominant) * sum_j |a_ij x_j|` plus a subnormal-floor slack.
+    #[test]
+    fn random_store_spmv_spmm_within_ulp_bound(
+        small_n in 1usize..400,
+        k in 1usize..6,
+        salt in 0u64..1_000,
+        threads in 2usize..9,
+        big in 0usize..2,
+    ) {
+        let n = if big == 1 { (1 << 15) + small_n } else { small_n };
+        let a = banded_matrix(n, salt);
+        let x = pseudo_vec(n, salt + 1);
+        let xm = pseudo_block(n, k, salt + 2);
+        let reference = ReferenceBackend;
+        let parallel = ParallelBackend::with_threads(threads);
+        let mut y64 = vec![0.0; n];
+        a.spmv(&x, &mut y64);
+        for (name, store) in store_variants(&a) {
+            let mut y_la = vec![0.0; n];
+            store.spmv(&x, &mut y_la);
+            for backend in [&reference as &dyn ScalarBackend<f64>, &parallel] {
+                let mut y = vec![0.0; n];
+                backend.store_spmv(&store, &x, &mut y);
+                for (ya, yb) in y.iter().zip(&y_la) {
+                    prop_assert_eq!(ya.to_bits(), yb.to_bits(), "{} store_spmv", name);
+                }
+                let mut ym = MultiVec::<f64>::zeros(n, k);
+                backend.store_spmm(&store, &xm, k, &mut ym);
+                for j in 0..k {
+                    let mut yj = vec![0.0; n];
+                    backend.store_spmv(&store, xm.col(j), &mut yj);
+                    for (ya, yb) in ym.col(j).iter().zip(&yj) {
+                        prop_assert_eq!(ya.to_bits(), yb.to_bits(), "{} store_spmm", name);
+                    }
+                }
+            }
+            // Error bound vs the full-precision kernel, row by row.
+            let eps = store.tag().dominant().eps();
+            for r in 0..n {
+                let (mut mag, mut cnt) = (0.0f64, 0usize);
+                for (c, v) in a.row(r) {
+                    mag += (v * x[c]).abs();
+                    cnt += 1;
+                }
+                let tol = 1.0001 * eps * mag + cnt as f64 * 6.0e-8 + 1e-300;
+                prop_assert!(
+                    (y_la[r] - y64[r]).abs() <= tol,
+                    "{} row {}: |{} - {}| > {}",
+                    name, r, y_la[r], y64[r], tol
+                );
+            }
+        }
+    }
 
     /// Random shapes and data: every kernel bit-identical across
     /// backends under Sequential, ULP-bounded (here: bit-equal) under

@@ -3,27 +3,29 @@
 //! ```text
 //! experiments <id>... [--scale F] [--paper-scale] [--quick] [--out DIR]
 //!                     [--backend reference|parallel|parallel-nnz] [--rhs-block K]
+//!                     [--precision native|fp32|fp16|split:T]
 //!
 //! ids: fig1 fig2 fig3 fig4_table1 fig5 fig6 fig7 vd_model table2 fig8
-//!      vf_degrees table3 multirhs all
+//!      vf_degrees table3 multirhs multiprec all
 //! ```
 //!
 //! `--backend` selects the kernel execution backend (wall-clock only;
 //! simulated V100 results are identical across backends). `--rhs-block`
 //! sets the block width of the `multirhs` batched-solve experiment
-//! (default 4; `multirhs` is a ROADMAP extension, not a paper artifact,
-//! and is not part of `all`).
+//! (default 4). `--precision` picks the matrix value-storage path added
+//! to the `multiprec` storage sweep. `multirhs` and `multiprec` are
+//! ROADMAP extensions, not paper artifacts, and are not part of `all`.
 //!
 //! Aliases: `fig5` runs with `fig4_table1`; `fig7` with `fig6`.
 
 use std::process::ExitCode;
 
-use mpgmres::BackendKind;
+use mpgmres::{BackendKind, StorePath};
 use mpgmres_bench::experiments::{
-    self, convergence, fd_sweep, kernel_breakdown, multirhs, poly_degrees, precond_stretched,
-    restart_sweep, spmv_model, suitesparse,
+    self, convergence, fd_sweep, kernel_breakdown, multiprec, multirhs, poly_degrees,
+    precond_stretched, restart_sweep, spmv_model, suitesparse,
 };
-use mpgmres_bench::harness::Scale;
+use mpgmres_bench::harness::{parse_store_path, Scale};
 use mpgmres_bench::output;
 
 const ALL_IDS: [&str; 10] = [
@@ -42,8 +44,9 @@ const ALL_IDS: [&str; 10] = [
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <id>... [--scale F] [--paper-scale] [--quick] [--out DIR] \
-         [--backend reference|parallel|parallel-nnz] [--rhs-block K]\n\
-         ids: {} multirhs all",
+         [--backend reference|parallel|parallel-nnz] [--rhs-block K] \
+         [--precision native|fp32|fp16|split:T]\n\
+         ids: {} multirhs multiprec all",
         ALL_IDS.join(" ")
     );
     ExitCode::FAILURE
@@ -56,9 +59,21 @@ fn main() -> ExitCode {
     let mut out_dir: Option<String> = None;
     let mut backend = BackendKind::default();
     let mut rhs_block = 4usize;
+    let mut store = StorePath::Native;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--precision" => {
+                i += 1;
+                let Some(p) = args.get(i) else { return usage() };
+                store = match parse_store_path(p) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("experiments: {e}");
+                        return usage();
+                    }
+                };
+            }
             "--backend" => {
                 i += 1;
                 let Some(b) = args.get(i).and_then(|s| s.parse::<BackendKind>().ok()) else {
@@ -105,7 +120,8 @@ fn main() -> ExitCode {
     let out = output::results_dir(out_dir.as_deref());
     let opts = experiments::ExpOpts::new(scale, out)
         .with_backend(backend)
-        .with_rhs_block(rhs_block);
+        .with_rhs_block(rhs_block)
+        .with_store(store);
     println!("kernel backend: {backend}");
 
     let t0 = std::time::Instant::now();
@@ -145,6 +161,9 @@ fn main() -> ExitCode {
             Some("multirhs") => {
                 multirhs::run(&opts);
             }
+            Some("multiprec") => {
+                multiprec::run(&opts);
+            }
             _ => {
                 eprintln!("unknown experiment id: {id}");
                 return usage();
@@ -172,6 +191,7 @@ fn normalize(id: &str) -> Option<&'static str> {
         "vf_degrees" | "vf" => Some("vf_degrees"),
         "table3" => Some("table3"),
         "multirhs" | "multi-rhs" => Some("multirhs"),
+        "multiprec" | "multi-prec" | "precision" => Some("multiprec"),
         _ => None,
     }
 }

@@ -1,8 +1,8 @@
 //! CI perf-trajectory gate: collect the fast-bench artifacts
 //! (`results/stream.json`, `results/multirhs.json`,
-//! `results/pipeline.json`) into one schema-stable, git-SHA-stamped
-//! `results/BENCH_ci.json`, and FAIL the job when a load-bearing perf
-//! property regresses:
+//! `results/pipeline.json`, `results/precision.json`) into one
+//! schema-stable, git-SHA-stamped `results/BENCH_ci.json`, and FAIL the
+//! job when a load-bearing perf property regresses:
 //!
 //! - the software-pipelined `BlockGmres` overlap ratio must stay
 //!   strictly below the lockstep baseline (and the pipelined runs must
@@ -10,7 +10,15 @@
 //! - the recorded `BlockGmres` overlap ratio must stay below 1.0 (the
 //!   chain baseline);
 //! - the graph-replay cache hit-rate pinned by `stream_stats()` must
-//!   not drop (every replay iteration of the bench must hit).
+//!   not drop (every replay iteration of the bench must hit);
+//! - the fp32 shadow store's k = 1 SpMM must move `< 0.55x` the bytes
+//!   (and simulated time) of the fp64 store at the pinned shape, with
+//!   both end-to-end IR storage paths converged;
+//! - the deterministic precision byte ratio must not regress against
+//!   the **committed baseline** `results/BENCH_ci.json` (the per-SHA
+//!   snapshot checked into the repo); the wall-clock-dependent gate
+//!   values are diffed against the same baseline and reported, not
+//!   gated, because they vary across runners.
 //!
 //! The workspace's serde_json shim is write-only, so the gate reads the
 //! (self-produced, schema-stable) artifacts with a minimal scanner
@@ -18,11 +26,11 @@
 //! contents into the combined artifact — every future PR's perf deltas
 //! become one machine-readable, diffable file.
 //!
-//! Set `MPGMRES_PERF_INJECT_REGRESSION=overlap` (or `replay`) to
-//! deliberately corrupt the gated value before checking: CI runs this
-//! as an expected-failure step, proving the gate actually fires. The
-//! injected run writes `BENCH_ci_injected.json` so it can never
-//! masquerade as the real artifact.
+//! Set `MPGMRES_PERF_INJECT_REGRESSION=overlap` (or `replay`, or
+//! `precision`) to deliberately corrupt the gated value before
+//! checking: CI runs this as an expected-failure step, proving the gate
+//! actually fires. The injected run writes `BENCH_ci_injected.json` so
+//! it can never masquerade as the real artifact.
 
 use std::fs;
 use std::process::Command;
@@ -92,6 +100,10 @@ fn main() {
     let stream = read("stream.json");
     let multirhs = read("multirhs.json");
     let pipeline = read("pipeline.json");
+    let precision = read("precision.json");
+    // The committed per-SHA baseline (this very artifact, from the last
+    // PR that refreshed it). Read BEFORE the overwrite below.
+    let baseline = fs::read_to_string(dir.join("BENCH_ci.json")).ok();
 
     let inject = std::env::var("MPGMRES_PERF_INJECT_REGRESSION").unwrap_or_default();
 
@@ -137,7 +149,95 @@ fn main() {
         detail: format!("hits {hits}, misses {misses}, bench iterations {iters}"),
     };
 
-    let gates = [g1, g2, g3];
+    // --- gate 4: fp32 store traffic under the 0.55 bar, IR converged --
+    let mut byte_ratio =
+        extract_number(&precision, "fp32_fp64_spmm_byte_ratio").expect("precision.json byte ratio");
+    let time_ratio = extract_number(&precision, "fp32_fp64_spmm_time_ratio_k1")
+        .expect("precision.json time ratio");
+    if inject == "precision" {
+        println!("perfgate: INJECTING precision byte-ratio regression (+0.5)");
+        byte_ratio += 0.5;
+    }
+    let ir_converged = extract_bool(&precision, "ir_paths_converged").unwrap_or(false);
+    let g4 = Gate {
+        name: "fp32_store_spmm_traffic_below_055",
+        ok: byte_ratio < 0.55 && time_ratio < 0.55 && ir_converged,
+        detail: format!(
+            "byte ratio {byte_ratio:.6}, k=1 time ratio {time_ratio:.6}, ir_paths_converged {ir_converged}"
+        ),
+    };
+
+    // --- gate 5 + report: diff against the committed baseline ---------
+    // Only the precision byte ratio is deterministic across machines
+    // (pure analytic model), so only it hard-gates; the wall-clock and
+    // overlap numbers are diffed for the log and the artifact.
+    let diff_keys = [
+        "pipelined_overlap_ratio",
+        "overlap_ratio",
+        "saved_us_per_region",
+        "spawn_overhead_us_per_call",
+        "fp32_fp64_spmm_byte_ratio",
+        "ir_store_sim_speedup",
+    ];
+    // Same artifact order as the combined file, so a key present in
+    // several documents resolves identically in baseline and current.
+    let current_of = |key: &str| -> Option<f64> {
+        for doc in [&stream, &multirhs, &pipeline, &precision] {
+            if let Some(v) = extract_number(doc, key) {
+                return Some(v);
+            }
+        }
+        None
+    };
+    let mut delta_lines: Vec<String> = Vec::new();
+    let mut baseline_sha = String::from("none");
+    if let Some(base) = &baseline {
+        baseline_sha = base
+            .find("\"git_sha\":")
+            .and_then(|at| {
+                let rest = &base[at + "\"git_sha\":".len()..];
+                let open = rest.find('"')?;
+                let close = rest[open + 1..].find('"')?;
+                Some(rest[open + 1..open + 1 + close].to_string())
+            })
+            .unwrap_or_else(|| "unknown".to_string());
+        println!("perfgate: diffing against committed baseline ({baseline_sha})");
+        for key in diff_keys {
+            match (extract_number(base, key), current_of(key)) {
+                (Some(b), Some(c)) => {
+                    let pct = if b != 0.0 { (c - b) / b * 100.0 } else { 0.0 };
+                    println!("perfgate:   {key}: baseline {b:.6} -> current {c:.6} ({pct:+.1}%)");
+                    delta_lines.push(format!(
+                        "    {{ \"key\": \"{key}\", \"baseline\": {b}, \"current\": {c} }}"
+                    ));
+                }
+                _ => println!("perfgate:   {key}: not present in both runs, skipped"),
+            }
+        }
+    } else {
+        println!("perfgate: no committed baseline BENCH_ci.json — skipping the diff");
+    }
+    let g5 = match &baseline {
+        Some(base) => match extract_number(base, "fp32_fp64_spmm_byte_ratio") {
+            Some(b) => Gate {
+                name: "precision_ratio_vs_baseline",
+                ok: byte_ratio <= b + 1e-9,
+                detail: format!("byte ratio {byte_ratio:.6} vs committed baseline {b:.6}"),
+            },
+            None => Gate {
+                name: "precision_ratio_vs_baseline",
+                ok: true,
+                detail: "baseline predates the precision artifact".to_string(),
+            },
+        },
+        None => Gate {
+            name: "precision_ratio_vs_baseline",
+            ok: true,
+            detail: "no committed baseline".to_string(),
+        },
+    };
+
+    let gates = [g1, g2, g3, g4, g5];
     let mut ok = true;
     for g in &gates {
         println!(
@@ -162,12 +262,15 @@ fn main() {
         })
         .collect();
     let combined = format!(
-        "{{\n  \"schema\": 1,\n  \"git_sha\": \"{}\",\n  \"gates\": [\n{}\n  ],\n  \"stream\": {},\n  \"multirhs\": {},\n  \"pipeline\": {}\n}}\n",
+        "{{\n  \"schema\": 2,\n  \"git_sha\": \"{}\",\n  \"baseline_git_sha\": \"{}\",\n  \"gates\": [\n{}\n  ],\n  \"baseline_deltas\": [\n{}\n  ],\n  \"stream\": {},\n  \"multirhs\": {},\n  \"pipeline\": {},\n  \"precision\": {}\n}}\n",
         git_sha(),
+        baseline_sha,
         gates_json.join(",\n"),
+        delta_lines.join(",\n"),
         stream.trim(),
         multirhs.trim(),
         pipeline.trim(),
+        precision.trim(),
     );
     let out = if inject.is_empty() {
         dir.join("BENCH_ci.json")

@@ -6,10 +6,15 @@
 //! batched multi-RHS path: each problem is solved for a block of K
 //! heterogeneous right-hand sides with `BlockGmres` and the per-RHS
 //! simulated cost is compared against a single-RHS solve.
+//!
+//! `--precision native|fp32|fp16|split:T` selects the matrix
+//! value-storage path of the GMRES-IR inner operand in the default
+//! sweep (the IR inner works in fp32, so `fp16` and `split:T` are the
+//! narrowing options there).
 
 use mpgmres::precond::{poly::PolyPreconditioner, Identity};
-use mpgmres::{BackendKind, BlockGmres, Gmres, GmresConfig, IrConfig, MultiVec};
-use mpgmres_bench::harness::Bench;
+use mpgmres::{BackendKind, BlockGmres, Gmres, GmresConfig, IrConfig, MultiVec, StorePath};
+use mpgmres_bench::harness::{parse_store_path, Bench};
 use mpgmres_matgen::registry::PaperProblem;
 
 fn main() {
@@ -23,6 +28,18 @@ fn main() {
             std::process::exit(2);
         };
         backend = name.parse().unwrap_or_else(|e| {
+            eprintln!("probe: {e}");
+            std::process::exit(2);
+        });
+        args.drain(pos..pos + 2);
+    }
+    let mut store = StorePath::Native;
+    if let Some(pos) = args.iter().position(|a| a == "--precision") {
+        let Some(p) = args.get(pos + 1) else {
+            eprintln!("probe: --precision requires a path (native|fp32|fp16|split:T)");
+            std::process::exit(2);
+        };
+        store = parse_store_path(p).unwrap_or_else(|e| {
             eprintln!("probe: {e}");
             std::process::exit(2);
         });
@@ -109,7 +126,10 @@ fn main() {
         );
         let (rir, _) = bench.run_ir(
             &Identity,
-            IrConfig::default().with_m(m).with_max_iters(20_000),
+            IrConfig::default()
+                .with_m(m)
+                .with_max_iters(20_000)
+                .with_store(store),
         );
         println!(
             "   ir {} iters {} rel {:.2e} sim {:.4}s speedup {:.2}",
@@ -175,10 +195,14 @@ fn main() {
         );
         let (rir, _) = bench.run_ir(
             &Identity,
-            IrConfig::default().with_m(50).with_max_iters(30_000),
+            IrConfig::default()
+                .with_m(50)
+                .with_max_iters(30_000)
+                .with_store(store),
         );
         println!(
-            "  ir  : {} iters status {} rel {:.2e} sim {:.4}s wall {:.2}s speedup {:.2}",
+            "  ir [{}]: {} iters status {} rel {:.2e} sim {:.4}s wall {:.2}s speedup {:.2}",
+            store.label(),
             rir.iterations,
             rir.status,
             rir.final_rel,

@@ -18,6 +18,7 @@
 pub mod convergence;
 pub mod fd_sweep;
 pub mod kernel_breakdown;
+pub mod multiprec;
 pub mod multirhs;
 pub mod poly_degrees;
 pub mod precond_stretched;
@@ -27,7 +28,7 @@ pub mod suitesparse;
 
 use std::path::PathBuf;
 
-use mpgmres::BackendKind;
+use mpgmres::{BackendKind, StorePath};
 
 use crate::harness::Scale;
 
@@ -44,6 +45,9 @@ pub struct ExpOpts {
     /// Right-hand-side block width for the multi-RHS experiment
     /// (`--rhs-block`); width 1 degenerates to single-RHS GMRES.
     pub rhs_block: usize,
+    /// Matrix value-storage path for the multiprecision experiment
+    /// (`--precision`); always swept alongside the built-in paths.
+    pub store: StorePath,
 }
 
 impl ExpOpts {
@@ -54,6 +58,7 @@ impl ExpOpts {
             out,
             backend: BackendKind::default(),
             rhs_block: 4,
+            store: StorePath::Native,
         }
     }
 
@@ -67,6 +72,12 @@ impl ExpOpts {
     /// >= 1).
     pub fn with_rhs_block(mut self, k: usize) -> Self {
         self.rhs_block = k.max(1);
+        self
+    }
+
+    /// Select the storage path (builder style).
+    pub fn with_store(mut self, store: StorePath) -> Self {
+        self.store = store;
         self
     }
 }

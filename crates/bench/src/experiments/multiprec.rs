@@ -1,0 +1,131 @@
+//! Multiprecision storage-path experiment (tentpole extension, not a
+//! paper artifact): the same fp64 GMRES-IR solve run over every matrix
+//! value-storage path — native fp64, fp32 shadow, fp16 shadow, and the
+//! magnitude-split store — comparing simulated V100 cost, SpMV-category
+//! time, and attained accuracy. The `--precision` path is always part
+//! of the sweep, so `experiments multiprec --precision split:0.5` probes
+//! an arbitrary split threshold.
+//!
+//! Writes `results/multiprec.{json,txt}`.
+
+use mpgmres::precond::Identity;
+use mpgmres::{GmresIr, IrConfig, Precision, StorePath};
+use mpgmres_gpusim::PaperCategory;
+use mpgmres_matgen::galeri;
+use serde::Serialize;
+
+use super::ExpOpts;
+use crate::harness::Bench;
+use crate::output::{self, fmt_secs, TextTable};
+
+#[derive(Serialize)]
+struct PathRecord {
+    path: String,
+    status: String,
+    iterations: usize,
+    restarts: usize,
+    final_rel: f64,
+    sim_seconds: f64,
+    spmv_category_seconds: f64,
+    speedup_vs_native: f64,
+}
+
+#[derive(Serialize)]
+struct MultiprecReport {
+    problem: String,
+    n: usize,
+    nnz: usize,
+    m: usize,
+    backend: String,
+    paths: Vec<PathRecord>,
+}
+
+/// Run the storage-path sweep and write `results/multiprec.{json,txt}`.
+pub fn run(opts: &ExpOpts) {
+    let nx = opts.scale.nx(48, 1500);
+    let csr = galeri::laplace2d(nx, nx);
+    let bench = Bench::new(format!("Laplace2D{nx}"), csr, 2_250_000).with_backend(opts.backend);
+    let n = bench.a.n();
+    let m = 30;
+
+    let mut paths = vec![
+        StorePath::Native,
+        StorePath::Shadow(Precision::Fp32),
+        StorePath::Shadow(Precision::Fp16),
+        StorePath::Split(1.5),
+    ];
+    if !paths.iter().any(|p| p.label() == opts.store.label()) {
+        paths.push(opts.store);
+    }
+
+    let mut table = TextTable::new(&[
+        "path",
+        "status",
+        "iters",
+        "restarts",
+        "final_rel",
+        "sim",
+        "spmv",
+        "speedup",
+    ]);
+    let mut records: Vec<PathRecord> = Vec::new();
+    let mut native_sim = 0.0f64;
+    for path in paths {
+        let mut ctx = bench.ctx();
+        let mut x = vec![0.0f64; n];
+        let cfg = IrConfig::default()
+            .with_m(m)
+            .with_max_iters(60_000)
+            .with_store(path);
+        let res =
+            GmresIr::<f64, f64>::new(&bench.a, &Identity, cfg).solve(&mut ctx, &bench.b, &mut x);
+        let sim = ctx.elapsed();
+        let spmv = ctx.report().seconds(PaperCategory::SpMV);
+        if path == StorePath::Native {
+            native_sim = sim;
+        }
+        let speedup = native_sim / sim;
+        table.row(vec![
+            path.label(),
+            format!("{:?}", res.status),
+            res.iterations.to_string(),
+            res.restarts.to_string(),
+            format!("{:.2e}", res.final_relative_residual),
+            fmt_secs(sim),
+            fmt_secs(spmv),
+            format!("{speedup:.2}x"),
+        ]);
+        records.push(PathRecord {
+            path: path.label(),
+            status: format!("{:?}", res.status),
+            iterations: res.iterations,
+            restarts: res.restarts,
+            final_rel: res.final_relative_residual,
+            sim_seconds: sim,
+            spmv_category_seconds: spmv,
+            speedup_vs_native: speedup,
+        });
+    }
+
+    let all_converged = records.iter().all(|r| r.status == "Converged");
+    let report = MultiprecReport {
+        problem: bench.name.clone(),
+        n,
+        nnz: bench.a.nnz(),
+        m,
+        backend: bench.backend.name().to_string(),
+        paths: records,
+    };
+    let rendered = format!(
+        "{}\nall storage paths reached fp64 accuracy: {all_converged}\n",
+        table.render()
+    );
+    print!("{rendered}");
+    assert!(
+        all_converged,
+        "every storage path must still converge to the fp64 tolerance"
+    );
+    let _ = output::write_json(&opts.out, "multiprec", &report);
+    let _ = output::write_text(&opts.out, "multiprec", &rendered);
+    println!("wrote {}/multiprec.{{json,txt}}", opts.out.display());
+}

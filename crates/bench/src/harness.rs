@@ -7,7 +7,7 @@ use std::time::Instant;
 use mpgmres::precond::Preconditioner;
 use mpgmres::{
     BackendKind, FdConfig, Gmres, GmresConfig, GmresFd, GmresIr, GpuContext, GpuMatrix, IrConfig,
-    SolveResult,
+    Precision, SolveResult, StorePath,
 };
 use mpgmres_gpusim::{DeviceModel, PaperCategory};
 use mpgmres_la::csr::Csr;
@@ -26,6 +26,27 @@ pub fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
         best = best.min(t0.elapsed().as_secs_f64());
     }
     best
+}
+
+/// Parse a `--precision` storage-path argument shared by the
+/// `experiments` and `probe` binaries: `native` (or `fp64`), `fp32`,
+/// `fp16`, or `split:<threshold>` (entries with magnitude below the
+/// threshold demote to fp32). A path equal to the solver's working
+/// precision stores a plain clone — valid, just not a traffic win.
+pub fn parse_store_path(s: &str) -> Result<StorePath, String> {
+    match s {
+        "native" | "fp64" => Ok(StorePath::Native),
+        "fp32" => Ok(StorePath::Shadow(Precision::Fp32)),
+        "fp16" => Ok(StorePath::Shadow(Precision::Fp16)),
+        other => other
+            .strip_prefix("split:")
+            .or_else(|| other.strip_prefix("split@"))
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(StorePath::Split)
+            .ok_or_else(|| {
+                format!("unknown storage path '{other}' (native|fp32|fp16|split:<threshold>)")
+            }),
+    }
 }
 
 /// Which solver produced a record.
@@ -325,6 +346,24 @@ mod tests {
         assert!(rfd.solver.starts_with("fd@"));
         // Latency scaling applied: projected > simulated for small n.
         assert!(r64.projected_seconds > r64.sim_seconds);
+    }
+
+    #[test]
+    fn store_path_parsing() {
+        assert_eq!(parse_store_path("native"), Ok(StorePath::Native));
+        assert_eq!(parse_store_path("fp64"), Ok(StorePath::Native));
+        assert_eq!(
+            parse_store_path("fp32"),
+            Ok(StorePath::Shadow(Precision::Fp32))
+        );
+        assert_eq!(
+            parse_store_path("fp16"),
+            Ok(StorePath::Shadow(Precision::Fp16))
+        );
+        assert_eq!(parse_store_path("split:1.5"), Ok(StorePath::Split(1.5)));
+        assert_eq!(parse_store_path("split@2"), Ok(StorePath::Split(2.0)));
+        assert!(parse_store_path("bf16").is_err());
+        assert!(parse_store_path("split:x").is_err());
     }
 
     #[test]

@@ -58,19 +58,120 @@
 //! [`Gmres`]: crate::gmres::Gmres
 
 use crate::config::{GmresConfig, OrthoMethod};
-use crate::context::{GpuContext, GpuMatrix};
-use crate::precond::Preconditioner;
+use crate::context::{GpuContext, GpuMatrix, GpuStore};
+use crate::precond::{Identity, Preconditioner};
 use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
-use crate::stream::{region, ArgSlice, BasisMut, RegionKey};
+use crate::stream::{
+    region, ArgSlice, ArgSliceMut, BasisMut, BlockMut, BlockRef, MatRef, RegionKey, StoreRef,
+    Stream,
+};
 use mpgmres_backend::BackendScalar;
 use mpgmres_la::givens::GivensLsq;
 use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
 
+/// The solver's system operator: either a plain working-precision
+/// [`GpuMatrix`] (the baseline) or a [`GpuStore`] whose values ride a
+/// low-precision storage path while the vectors stay in `S`.
+enum Operand<'a, S> {
+    Plain(&'a GpuMatrix<S>),
+    Store(&'a GpuStore<S>),
+}
+
+/// A registered operand handle inside one recording region.
+#[derive(Clone, Copy)]
+enum OpRef<S> {
+    Mat(MatRef<S>),
+    Store(StoreRef<S>),
+}
+
+impl<'a, S: BackendScalar> Operand<'a, S> {
+    fn n(&self) -> usize {
+        match self {
+            Operand::Plain(a) => a.n(),
+            Operand::Store(a) => a.n(),
+        }
+    }
+
+    /// Storage-precision tag for the solver's [`RegionKey`]s: 0 (the
+    /// untagged baseline, preserving the plain path's cache keys) for a
+    /// matrix operand, the store's [`PrecisionTag::code`] otherwise —
+    /// so a solver re-run over a different storage precision records
+    /// distinct cached graphs.
+    ///
+    /// [`PrecisionTag::code`]: mpgmres_scalar::PrecisionTag::code
+    fn tag8(&self) -> u8 {
+        match self {
+            Operand::Plain(_) => 0,
+            Operand::Store(a) => a.tag().code(),
+        }
+    }
+
+    /// The plain matrix, for the preconditioner interface. Store-path
+    /// solves require the identity preconditioner (asserted at
+    /// construction), whose apply is never reached.
+    fn plain(&self) -> &'a GpuMatrix<S> {
+        match self {
+            Operand::Plain(a) => a,
+            Operand::Store(_) => {
+                unreachable!("store-path BlockGmres requires the identity preconditioner")
+            }
+        }
+    }
+
+    fn register<'c>(&self, st: &mut Stream<'c>) -> OpRef<S>
+    where
+        'a: 'c,
+    {
+        match *self {
+            Operand::Plain(a) => OpRef::Mat(st.matrix(a)),
+            Operand::Store(a) => OpRef::Store(st.store(a)),
+        }
+    }
+
+    fn eager_spmm(&self, ctx: &mut GpuContext, x: &MultiVec<S>, k: usize, y: &mut MultiVec<S>) {
+        match *self {
+            Operand::Plain(a) => ctx.spmm(a, x, k, y),
+            Operand::Store(a) => ctx.store_spmm(a, x, k, y),
+        }
+    }
+}
+
+/// Record the fused residual `r = b - A x` against either operand kind
+/// (both charge as a solver SpMV).
+fn rec_residual<S: BackendScalar>(
+    st: &mut Stream<'_>,
+    op: OpRef<S>,
+    b: ArgSlice<S>,
+    x: ArgSlice<S>,
+    r: ArgSliceMut<S>,
+) {
+    match op {
+        OpRef::Mat(a) => st.residual_as(mpgmres_gpusim::KernelClass::SpMV, a, b, x, r),
+        OpRef::Store(a) => st.store_residual_as(mpgmres_gpusim::KernelClass::SpMV, a, b, x, r),
+    }
+}
+
+/// Record the batched SpMM against either operand kind.
+fn rec_spmm<S: BackendScalar>(
+    st: &mut Stream<'_>,
+    op: OpRef<S>,
+    x: BlockRef<S>,
+    k: usize,
+    y: BlockMut<S>,
+) {
+    match op {
+        OpRef::Mat(a) => st.spmm(a, x, k, y),
+        OpRef::Store(a) => st.store_spmm(a, x, k, y),
+    }
+}
+
+static IDENT: Identity = Identity;
+
 /// Batched multi-RHS GMRES(m): `k` single-RHS solves in lockstep, with
 /// optional software-pipelined host steps (`pipeline_depth = 1`).
 pub struct BlockGmres<'a, S: BackendScalar> {
-    a: &'a GpuMatrix<S>,
+    a: Operand<'a, S>,
     precond: &'a dyn Preconditioner<S>,
     cfg: GmresConfig,
 }
@@ -183,7 +284,28 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
     pub fn new(a: &'a GpuMatrix<S>, precond: &'a dyn Preconditioner<S>, cfg: GmresConfig) -> Self {
         assert!(cfg.m >= 1, "restart length must be at least 1");
         assert!(cfg.pipeline_depth <= 1, "pipeline depth must be 0 or 1");
-        BlockGmres { a, precond, cfg }
+        BlockGmres {
+            a: Operand::Plain(a),
+            precond,
+            cfg,
+        }
+    }
+
+    /// Build an unpreconditioned solver over a low-precision storage
+    /// path: SpMM/residual kernels read the store's values and
+    /// accumulate in `S`, and every recorded region's [`RegionKey`]
+    /// carries the store's precision tag, so solves over different
+    /// storage precisions replay distinct cached graphs. Store-path
+    /// solves do not support preconditioning (the preconditioner
+    /// interface is defined over the plain matrix).
+    pub fn over_store(a: &'a GpuStore<S>, cfg: GmresConfig) -> Self {
+        assert!(cfg.m >= 1, "restart length must be at least 1");
+        assert!(cfg.pipeline_depth <= 1, "pipeline depth must be 0 or 1");
+        BlockGmres {
+            a: Operand::Store(a),
+            precond: &IDENT,
+            cfg,
+        }
     }
 
     /// The configuration in use.
@@ -231,20 +353,18 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
         let k = b.k();
         let m = self.cfg.m;
         {
-            let mut st = ctx.stream_for(RegionKey::new(region::BLOCK_INIT, n).with_k(k));
-            let ah = st.matrix(self.a);
+            let mut st = ctx.stream_for(
+                RegionKey::new(region::BLOCK_INIT, n)
+                    .with_k(k)
+                    .with_tag(self.a.tag8()),
+            );
+            let ah = self.a.register(&mut st);
             let bh = st.block(b);
             let xh = st.block(x);
             let rh = st.block_mut(r);
             let nh = st.slice_mut(norms);
             for l in 0..k {
-                st.residual_as(
-                    mpgmres_gpusim::KernelClass::SpMV,
-                    ah,
-                    bh.col(l),
-                    xh.col(l),
-                    rh.col_mut(l),
-                );
+                rec_residual(&mut st, ah, bh.col(l), xh.col(l), rh.col_mut(l));
             }
             st.block_norm2_into(rh.read(), k, nh);
             st.sync();
@@ -489,24 +609,19 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
             RegionKey::new(region::BLOCK_BARRIER_RES, n)
                 .with_k(b.k())
                 .with_lanes(cm)
+                .with_tag(self.a.tag8())
         });
         let mut st = match key {
             Some(key) => ctx.stream_for(key),
             None => ctx.stream(),
         };
-        let ah = st.matrix(self.a);
+        let ah = self.a.register(&mut st);
         let bh = st.block(b);
         let xh = st.block(x);
         let rh = st.block_mut(r);
         let gh = st.slice_mut(gammas);
         for &l in cycle {
-            st.residual_as(
-                mpgmres_gpusim::KernelClass::SpMV,
-                ah,
-                bh.col(l),
-                xh.col(l),
-                rh.col_mut(l),
-            );
+            rec_residual(&mut st, ah, bh.col(l), xh.col(l), rh.col_mut(l));
             st.norm2_into(rh.col(l), gh.at(l));
         }
         st.sync();
@@ -631,7 +746,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                 } else {
                     for (c, &l) in act.iter().enumerate() {
                         self.precond
-                            .apply(ctx, self.a, lanes[l].v.col(j), z.col_mut(c));
+                            .apply(ctx, self.a.plain(), lanes[l].v.col(j), z.col_mut(c));
                     }
                 }
 
@@ -656,18 +771,19 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                                 .with_ncols(ncols)
                                 .with_k(kc)
                                 .with_lanes(m)
+                                .with_tag(self.a.tag8())
                         });
                         let mut st = match key {
                             Some(key) => ctx.stream_for(key),
                             None => ctx.stream(),
                         };
-                        let ah = st.matrix(self.a);
+                        let ah = self.a.register(&mut st);
                         let zh = st.block(&z);
                         let wh = st.block_mut(&mut w);
                         let vsh = st.bases(&vs);
                         let h1h = st.slice_mut(&mut h1[..kc * ncols]);
                         let nh = st.slice_mut(&mut norms);
-                        st.spmm(ah, zh, kc, wh);
+                        rec_spmm(&mut st, ah, zh, kc, wh);
                         st.block_gemv_t(vsh, ncols, wh.read(), h1h);
                         st.block_gemv_n_sub(vsh, ncols, h1h.read(), wh);
                         if two_pass {
@@ -681,7 +797,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                     OrthoMethod::Mgs => {
                         // 2j skinny kernels per lane, each feeding the
                         // next host decision; nothing to batch or record.
-                        ctx.spmm(self.a, &z, kc, &mut w);
+                        self.a.eager_spmm(ctx, &z, kc, &mut w);
                         for (c, &l) in act.iter().enumerate() {
                             for i in 0..ncols {
                                 let hi = ctx.dot(lanes[l].v.col(i), w.col(c));
@@ -746,12 +862,13 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                         .with_ncols(upds_mask(&upds) as usize)
                         .with_k(k)
                         .with_lanes(cm)
+                        .with_tag(self.a.tag8())
                 });
                 let mut st = match key {
                     Some(key) => ctx.stream_for(key),
                     None => ctx.stream(),
                 };
-                let ah = st.matrix(self.a);
+                let ah = self.a.register(&mut st);
                 let bh = st.block(b);
                 let xh = st.block_mut(&mut *x);
                 let rh = st.block_mut(&mut r);
@@ -764,13 +881,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                     st.axpy(S::one(), uh.col(l), xh.col_mut(l));
                 }
                 for &l in &cycle {
-                    st.residual_as(
-                        mpgmres_gpusim::KernelClass::SpMV,
-                        ah,
-                        bh.col(l),
-                        xh.col(l),
-                        rh.col_mut(l),
-                    );
+                    rec_residual(&mut st, ah, bh.col(l), xh.col(l), rh.col_mut(l));
                     st.norm2_into(rh.col(l), gh.at(l));
                 }
                 st.sync();
@@ -781,6 +892,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                             .with_ncols(upds_mask(&upds) as usize)
                             .with_k(k)
                             .with_lanes(cm)
+                            .with_tag(self.a.tag8())
                     });
                     let mut st = match key {
                         Some(key) => ctx.stream_for(key),
@@ -797,7 +909,8 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                 // Preconditioner applications run eagerly between the
                 // two recorded regions.
                 for (l, _) in &upds {
-                    self.precond.apply(ctx, self.a, u.col(*l), &mut zvec);
+                    self.precond
+                        .apply(ctx, self.a.plain(), u.col(*l), &mut zvec);
                     ctx.axpy(S::one(), &zvec, x.col_mut(*l));
                 }
                 self.barrier_residual_region(ctx, b, x, &mut r, &mut gammas, &cycle);
@@ -921,6 +1034,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                                     .with_ncols(ncols)
                                     .with_k(pipe_disc(kc, masks))
                                     .with_lanes(mask)
+                                    .with_tag(self.a.tag8())
                             });
                     let (h1_prev, h1_cur) = parity_split(&mut h1, cur);
                     let (h2_prev, h2_cur) = parity_split(&mut h2, cur);
@@ -929,7 +1043,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                         Some(key) => ctx.stream_for(key),
                         None => ctx.stream(),
                     };
-                    let ah = st.matrix(self.a);
+                    let ah = self.a.register(&mut st);
                     let th = st.slice_mut(&mut tokens);
                     let aph = st.slice(&alphas_buf[..]);
                     let h1p = st.slice(&h1_prev[..]);
@@ -982,7 +1096,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                         .map(|&l| bh_of[l].expect("active lane registered").read())
                         .collect();
                     let vsl = st.basis_list(&vrefs);
-                    st.spmm(ah, zh.read(), kc, wh);
+                    rec_spmm(&mut st, ah, zh.read(), kc, wh);
                     st.block_gemv_t(vsl, ncols, wh.read(), h1c);
                     st.block_gemv_n_sub(vsl, ncols, h1c.read(), wh);
                     if let Some(h2c) = h2c {
@@ -1003,6 +1117,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                                     .with_ncols(ncols_prev)
                                     .with_k(pipe_disc(store.len(), masks))
                                     .with_lanes(mask)
+                                    .with_tag(self.a.tag8())
                             },
                         );
                         let (h1_prev, _) = parity_split(&mut h1, cur);
@@ -1036,7 +1151,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                     }
                     for (c, &l) in act.iter().enumerate() {
                         self.precond
-                            .apply(ctx, self.a, lanes[l].v.col(j), z.col_mut(c));
+                            .apply(ctx, self.a.plain(), lanes[l].v.col(j), z.col_mut(c));
                     }
                     let rid = if two_pass {
                         region::BLOCK_PIPE_CGS
@@ -1048,6 +1163,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                             .with_ncols(ncols)
                             .with_k(kc)
                             .with_lanes(mask)
+                            .with_tag(self.a.tag8())
                     });
                     let (_, h1_cur) = parity_split(&mut h1, cur);
                     let (_, h2_cur) = parity_split(&mut h2, cur);
@@ -1057,13 +1173,13 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                         Some(key) => ctx.stream_for(key),
                         None => ctx.stream(),
                     };
-                    let ah = st.matrix(self.a);
+                    let ah = self.a.register(&mut st);
                     let zh = st.block(&z);
                     let wh = st.block_mut(&mut w);
                     let vsh = st.bases(&vs);
                     let h1c = st.slice_mut(&mut h1_cur[..kc * ncols]);
                     let nc = st.slice_mut(&mut nr_cur[..]);
-                    st.spmm(ah, zh, kc, wh);
+                    rec_spmm(&mut st, ah, zh, kc, wh);
                     st.block_gemv_t(vsh, ncols, wh.read(), h1c);
                     st.block_gemv_n_sub(vsh, ncols, h1c.read(), wh);
                     if two_pass {
@@ -1130,6 +1246,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                             .with_ncols(upds_mask(&upds) as usize)
                             .with_k(pipe_disc(drained, masks))
                             .with_lanes(cm)
+                            .with_tag(self.a.tag8())
                     });
                 let (h1_prev, _) = parity_split(&mut h1, 1 - p);
                 let (h2_prev, _) = parity_split(&mut h2, 1 - p);
@@ -1138,7 +1255,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                     Some(key) => ctx.stream_for(key),
                     None => ctx.stream(),
                 };
-                let ah = st.matrix(self.a);
+                let ah = self.a.register(&mut st);
                 let th = st.slice_mut(&mut tokens);
                 let aph = st.slice(&alphas_buf[..]);
                 let h1p = st.slice(&h1_prev[..]);
@@ -1183,13 +1300,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                     st.axpy(S::one(), uh.col(l), xh.col_mut(l));
                 }
                 for &l in &cycle {
-                    st.residual_as(
-                        mpgmres_gpusim::KernelClass::SpMV,
-                        ah,
-                        bh.col(l),
-                        xh.col(l),
-                        rh.col_mut(l),
-                    );
+                    rec_residual(&mut st, ah, bh.col(l), xh.col(l), rh.col_mut(l));
                     st.norm2_into(rh.col(l), gh.at(l));
                 }
                 st.sync();
@@ -1207,6 +1318,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                                     .with_ncols(drained)
                                     .with_k(pipe_disc(store.len(), masks))
                                     .with_lanes(mask)
+                                    .with_tag(self.a.tag8())
                             });
                     let (h1_prev, _) = parity_split(&mut h1, 1 - p);
                     let (h2_prev, _) = parity_split(&mut h2, 1 - p);
@@ -1243,6 +1355,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                             .with_ncols(upds_mask(&upds) as usize)
                             .with_k(k)
                             .with_lanes(cm)
+                            .with_tag(self.a.tag8())
                     });
                     let mut st = match key {
                         Some(key) => ctx.stream_for(key),
@@ -1261,7 +1374,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                     st.sync();
                 }
                 for &(l, _) in &upds {
-                    self.precond.apply(ctx, self.a, u.col(l), &mut zvec);
+                    self.precond.apply(ctx, self.a.plain(), u.col(l), &mut zvec);
                     ctx.axpy(S::one(), &zvec, x.col_mut(l));
                 }
                 self.barrier_residual_region(ctx, b, x, &mut r, &mut gammas, &cycle);

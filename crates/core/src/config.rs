@@ -1,5 +1,6 @@
 //! Solver configuration.
 
+use mpgmres_scalar::Precision;
 use serde::Serialize;
 
 /// Orthogonalization scheme for the Arnoldi basis.
@@ -124,8 +125,47 @@ impl GmresConfig {
     }
 }
 
+/// Matrix storage path of the GMRES-IR *inner* operand.
+///
+/// The inner solver's working precision and the precision its matrix
+/// values are *stored* in are independent axes. `Native` keeps the
+/// classic plain-CSR copy in the working precision (bit-identical to
+/// the pre-storage-path solver); the other variants stream fewer value
+/// bytes per SpMV/SpMM while still accumulating in the working
+/// precision. Storage paths other than `Native` require the identity
+/// preconditioner.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StorePath {
+    /// Plain CSR in the inner working precision (the legacy path).
+    Native,
+    /// Shadow value array cast down to the given precision; structure
+    /// (row pointers / column indices) is shared with the plain copy.
+    Shadow(Precision),
+    /// Magnitude-split two-bucket storage: entries with `|v|` at or
+    /// above the threshold stay in the working precision, the rest drop
+    /// to fp32.
+    Split(f64),
+}
+
+impl StorePath {
+    /// Short name for experiment output (`native`, `fp32`, `split@1e-3`).
+    pub fn label(self) -> String {
+        match self {
+            StorePath::Native => "native".to_string(),
+            StorePath::Shadow(p) => p.name().to_string(),
+            StorePath::Split(t) => format!("split@{t:e}"),
+        }
+    }
+}
+
+impl Serialize for StorePath {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label())
+    }
+}
+
 /// Configuration for GMRES-IR (Algorithm 2).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct IrConfig {
     /// Inner restart length `m` (inner fp32 GMRES runs exactly `m`
     /// iterations per refinement cycle).
@@ -141,6 +181,23 @@ pub struct IrConfig {
     pub inner_early_exit: Option<f64>,
     /// Record residual history at refinement boundaries.
     pub record_history: bool,
+    /// Storage path of the inner low-precision matrix operand.
+    /// [`StorePath::Native`] (the default) reproduces the classic
+    /// solver bit for bit.
+    pub store: StorePath,
+}
+
+impl Serialize for IrConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("m".into(), self.m.to_value()),
+            ("rtol".into(), self.rtol.to_value()),
+            ("max_iters".into(), self.max_iters.to_value()),
+            ("inner_early_exit".into(), self.inner_early_exit.to_value()),
+            ("record_history".into(), self.record_history.to_value()),
+            ("store".into(), self.store.to_value()),
+        ])
+    }
 }
 
 impl Default for IrConfig {
@@ -151,6 +208,7 @@ impl Default for IrConfig {
             max_iters: 200_000,
             inner_early_exit: None,
             record_history: true,
+            store: StorePath::Native,
         }
     }
 }
@@ -171,6 +229,12 @@ impl IrConfig {
     /// Builder-style iteration cap.
     pub fn with_max_iters(mut self, max_iters: usize) -> Self {
         self.max_iters = max_iters;
+        self
+    }
+
+    /// Builder-style inner-operand storage path.
+    pub fn with_store(mut self, store: StorePath) -> Self {
+        self.store = store;
         self
     }
 }
@@ -200,6 +264,25 @@ mod tests {
         assert_eq!(c.max_iters, 30);
         assert!(!c.monitor_implicit);
         assert_eq!(c.rtol, 0.0);
+    }
+
+    #[test]
+    fn store_path_labels_and_serialization() {
+        assert_eq!(StorePath::Native.label(), "native");
+        assert_eq!(StorePath::Shadow(Precision::Fp32).label(), "fp32");
+        assert!(StorePath::Split(1e-3).label().starts_with("split@"));
+        let ir = IrConfig::default().with_store(StorePath::Shadow(Precision::Fp16));
+        let v = ir.to_value();
+        match v {
+            serde::Value::Object(fields) => {
+                let store = fields
+                    .iter()
+                    .find(|(k, _)| k == "store")
+                    .map(|(_, v)| v.clone());
+                assert_eq!(store, Some(serde::Value::Str("fp16".into())));
+            }
+            other => panic!("IrConfig must serialize to an object, got {other:?}"),
+        }
     }
 
     #[test]

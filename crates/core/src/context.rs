@@ -24,8 +24,9 @@ use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
 use mpgmres_la::raw::BufferArena;
 use mpgmres_la::stats::MatrixStats;
+use mpgmres_la::store::MatrixStore;
 use mpgmres_la::vec_ops::ReductionOrder;
-use mpgmres_scalar::Scalar;
+use mpgmres_scalar::{Precision, PrecisionTag, Scalar};
 
 use crate::stream::{RegionKey, StreamStats};
 
@@ -78,6 +79,84 @@ impl<S: Scalar> GpuMatrix<S> {
             csr: self.csr.convert::<T>(),
             stats: self.stats,
         }
+    }
+}
+
+/// A matrix in a (possibly low-precision) storage path, prepared for
+/// the simulated device: the [`MatrixStore`] values plus the structural
+/// statistics of the operator. The structure (and therefore the
+/// bandwidth that drives the x-reuse rule) is shared with the matrix
+/// the store was derived from, so the stats are copied, never
+/// recomputed.
+#[derive(Clone, Debug)]
+pub struct GpuStore<S> {
+    store: MatrixStore<S>,
+    stats: MatrixStats,
+}
+
+impl<S: Scalar> GpuStore<S> {
+    /// Working-precision store over `a`'s values (prices and computes
+    /// bit-identically to `a` itself).
+    pub fn plain_of(a: &GpuMatrix<S>) -> Self {
+        GpuStore {
+            store: MatrixStore::plain(a.csr().clone()),
+            stats: a.stats,
+        }
+    }
+
+    /// Downcast shadow store of `a` at value precision `p` (a plain
+    /// clone when `p` is not narrower than `S`). Not charged to the
+    /// profiler: like [`GpuMatrix::convert`], the one-time demotion is
+    /// setup the paper's solve times exclude.
+    pub fn shadow_of(a: &GpuMatrix<S>, p: Precision) -> Self {
+        GpuStore {
+            store: MatrixStore::shadow(a.csr(), p),
+            stats: a.stats,
+        }
+    }
+
+    /// Magnitude-split store of `a`: entries below `threshold` demote
+    /// to fp32, the rest stay in `S`.
+    pub fn split_of(a: &GpuMatrix<S>, threshold: f64) -> Self {
+        GpuStore {
+            store: MatrixStore::split_threshold(a.csr(), threshold),
+            stats: a.stats,
+        }
+    }
+
+    /// Dimension (square systems).
+    pub fn n(&self) -> usize {
+        self.store.nrows()
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.store.nnz()
+    }
+
+    /// Structural bandwidth in rows.
+    pub fn bandwidth(&self) -> usize {
+        self.stats.bandwidth
+    }
+
+    /// The storage-precision tag (keys recorded regions).
+    pub fn tag(&self) -> PrecisionTag {
+        self.store.tag()
+    }
+
+    /// Bytes of the value stream as stored.
+    pub fn value_bytes(&self) -> usize {
+        self.store.value_bytes()
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &MatrixStore<S> {
+        &self.store
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> &MatrixStats {
+        &self.stats
     }
 }
 
@@ -349,6 +428,70 @@ impl GpuContext {
         (t, bytes)
     }
 
+    pub(crate) fn store_spmv_spec<S: Scalar>(&self, a: &GpuStore<S>) -> (f64, usize) {
+        let t = cost::store_spmv_time(
+            &self.device,
+            a.n(),
+            a.nnz(),
+            a.value_bytes(),
+            a.bandwidth(),
+            a.tag().dominant(),
+            S::PRECISION,
+        );
+        let bytes = mpgmres_gpusim::analytic::store_spmv_traffic_bytes(
+            &self.device,
+            a.n(),
+            a.nnz(),
+            a.value_bytes(),
+            a.bandwidth(),
+            S::PRECISION,
+        );
+        (t, bytes)
+    }
+
+    pub(crate) fn store_residual_spec<S: Scalar>(&self, a: &GpuStore<S>) -> (f64, usize) {
+        let t = cost::store_residual_time(
+            &self.device,
+            a.n(),
+            a.nnz(),
+            a.value_bytes(),
+            a.bandwidth(),
+            a.tag().dominant(),
+            S::PRECISION,
+        );
+        let bytes = mpgmres_gpusim::analytic::store_spmv_traffic_bytes(
+            &self.device,
+            a.n(),
+            a.nnz(),
+            a.value_bytes(),
+            a.bandwidth(),
+            S::PRECISION,
+        ) + a.n() * S::BYTES;
+        (t, bytes)
+    }
+
+    pub(crate) fn store_spmm_spec<S: Scalar>(&self, a: &GpuStore<S>, k: usize) -> (f64, usize) {
+        let t = cost::store_spmm_time(
+            &self.device,
+            a.n(),
+            a.nnz(),
+            a.value_bytes(),
+            a.bandwidth(),
+            k,
+            a.tag().dominant(),
+            S::PRECISION,
+        );
+        let bytes = mpgmres_gpusim::analytic::store_spmv_traffic_bytes(
+            &self.device,
+            a.n(),
+            a.nnz(),
+            a.value_bytes(),
+            a.bandwidth(),
+            S::PRECISION,
+        ) + (k - 1) * 2 * a.n() * S::BYTES;
+        (t, bytes)
+    }
+
     pub(crate) fn gemv_t_spec<S: Scalar>(&self, n: usize, ncols: usize) -> (f64, usize) {
         let t = cost::gemv_t_time(&self.device, n, ncols, S::PRECISION);
         (t, (ncols + 1) * n * S::BYTES)
@@ -444,6 +587,63 @@ impl GpuContext {
         let (t, bytes) = self.residual_spec::<S>(a);
         self.profiler.charge(class, t, bytes);
         S::view(&*self.backend).residual(a.csr(), b, x, r);
+    }
+
+    // ----- storage-path (multiprecision) kernels ----------------------
+    //
+    // The matrix values live in a `MatrixStore` (fp32/fp16 shadow or
+    // magnitude split) while the vectors stay in `S`; accumulation is in
+    // `S` per the store's per-row kernels. Charged under the same
+    // classes as the uniform kernels, priced with the store's own value
+    // stream and the generalized x-reuse rule — a `Plain` store charges
+    // and computes bit-identically to the `GpuMatrix` calls.
+
+    /// Storage-path `y = A x`, charged to `class`.
+    pub fn store_spmv_as<S: BackendScalar>(
+        &mut self,
+        class: KernelClass,
+        a: &GpuStore<S>,
+        x: &[S],
+        y: &mut [S],
+    ) {
+        contracts::store_spmv(a.store(), x, y);
+        let (t, bytes) = self.store_spmv_spec::<S>(a);
+        self.profiler.charge(class, t, bytes);
+        S::view(&*self.backend).store_spmv(a.store(), x, y);
+    }
+
+    /// Storage-path `y = A x` charged as a solver SpMV.
+    pub fn store_spmv<S: BackendScalar>(&mut self, a: &GpuStore<S>, x: &[S], y: &mut [S]) {
+        self.store_spmv_as(KernelClass::SpMV, a, x, y);
+    }
+
+    /// Storage-path fused residual `r = b - A x`, charged to `class`.
+    pub fn store_residual_as<S: BackendScalar>(
+        &mut self,
+        class: KernelClass,
+        a: &GpuStore<S>,
+        b: &[S],
+        x: &[S],
+        r: &mut [S],
+    ) {
+        contracts::store_residual(a.store(), b, x, r);
+        let (t, bytes) = self.store_residual_spec::<S>(a);
+        self.profiler.charge(class, t, bytes);
+        S::view(&*self.backend).store_residual(a.store(), b, x, r);
+    }
+
+    /// Storage-path batched SpMM `Y[:, ..k] = A X[:, ..k]`.
+    pub fn store_spmm<S: BackendScalar>(
+        &mut self,
+        a: &GpuStore<S>,
+        x: &MultiVec<S>,
+        k: usize,
+        y: &mut MultiVec<S>,
+    ) {
+        contracts::store_spmm(a.store(), x, k, y);
+        let (t, bytes) = self.store_spmm_spec::<S>(a, k);
+        self.profiler.charge(KernelClass::SpMV, t, bytes);
+        S::view(&*self.backend).store_spmm(a.store(), x, k, y);
     }
 
     /// `h = V^T w` over the first `ncols` basis columns (GEMV Trans).
@@ -824,6 +1024,31 @@ mod tests {
         let a32 = a.convert::<f32>();
         assert_eq!(a32.bandwidth(), a.bandwidth());
         assert_eq!(a32.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn plain_store_prices_and_computes_like_the_matrix() {
+        let a = small_matrix();
+        let s = GpuStore::plain_of(&a);
+        let mut ctx = GpuContext::new(DeviceModel::v100_belos());
+        assert_eq!(ctx.store_spmv_spec::<f64>(&s), ctx.spmv_spec::<f64>(&a));
+        assert_eq!(
+            ctx.store_residual_spec::<f64>(&s),
+            ctx.residual_spec::<f64>(&a)
+        );
+        assert_eq!(
+            ctx.store_spmm_spec::<f64>(&s, 3),
+            ctx.spmm_spec::<f64>(&a, 3)
+        );
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        ctx.store_spmv(&s, &x, &mut y);
+        assert_eq!(y, [0.0, 0.0, 4.0]);
+        // A shadow store shrinks the value stream and changes the key tag.
+        let sh = GpuStore::shadow_of(&a, Precision::Fp32);
+        assert!(sh.value_bytes() < s.value_bytes());
+        assert_ne!(sh.tag().code(), s.tag().code());
+        assert!(ctx.store_spmv_spec::<f64>(&sh).0 < ctx.store_spmv_spec::<f64>(&s).0);
     }
 
     #[test]

@@ -23,17 +23,20 @@
 
 use mpgmres_backend::BackendScalar;
 use mpgmres_gpusim::KernelClass;
+use mpgmres_la::multivec::MultiVec;
 
-use crate::config::{GmresConfig, IrConfig};
-use crate::context::{GpuContext, GpuMatrix};
-use crate::gmres::Gmres;
+use crate::block_gmres::BlockGmres;
+use crate::config::{GmresConfig, IrConfig, StorePath};
+use crate::context::{GpuContext, GpuMatrix, GpuStore};
 use crate::precond::Preconditioner;
 use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
+use crate::stream::{region, RegionKey};
 
 /// GMRES-IR: inner precision `Lo`, outer (residual/solution) precision `Hi`.
 pub struct GmresIr<'a, Lo: BackendScalar, Hi: BackendScalar> {
     a_hi: &'a GpuMatrix<Hi>,
     a_lo: GpuMatrix<Lo>,
+    store_lo: Option<GpuStore<Lo>>,
     precond_lo: &'a dyn Preconditioner<Lo>,
     cfg: IrConfig,
 }
@@ -41,15 +44,29 @@ pub struct GmresIr<'a, Lo: BackendScalar, Hi: BackendScalar> {
 impl<'a, Lo: BackendScalar, Hi: BackendScalar> GmresIr<'a, Lo, Hi> {
     /// Build the solver. The low-precision matrix copy is created here
     /// (its one-time conversion cost is excluded from solve times, as in
-    /// the paper's protocol, §V).
+    /// the paper's protocol, §V). A non-[`StorePath::Native`] storage
+    /// path additionally builds the low-precision value store the inner
+    /// block solver streams; storage paths require the identity
+    /// preconditioner.
     pub fn new(
         a_hi: &'a GpuMatrix<Hi>,
         precond_lo: &'a dyn Preconditioner<Lo>,
         cfg: IrConfig,
     ) -> Self {
+        let a_lo = a_hi.convert::<Lo>();
+        let store_lo = match cfg.store {
+            StorePath::Native => None,
+            StorePath::Shadow(p) => Some(GpuStore::shadow_of(&a_lo, p)),
+            StorePath::Split(t) => Some(GpuStore::split_of(&a_lo, t)),
+        };
+        assert!(
+            store_lo.is_none() || precond_lo.is_identity(),
+            "non-native storage paths require the identity preconditioner"
+        );
         GmresIr {
             a_hi,
-            a_lo: a_hi.convert::<Lo>(),
+            a_lo,
+            store_lo,
             precond_lo,
             cfg,
         }
@@ -61,9 +78,46 @@ impl<'a, Lo: BackendScalar, Hi: BackendScalar> GmresIr<'a, Lo, Hi> {
         &self.a_lo
     }
 
+    /// The inner low-precision value store, when a non-native
+    /// [`StorePath`] is configured.
+    pub fn store_lo(&self) -> Option<&GpuStore<Lo>> {
+        self.store_lo.as_ref()
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &IrConfig {
         &self.cfg
+    }
+
+    /// Precision-tag code keyed into the outer region: `0` for the
+    /// native path, the store's [`mpgmres_scalar::PrecisionTag`] code
+    /// otherwise — switching storage paths lands on a distinct cached
+    /// outer graph.
+    fn tag8(&self) -> u8 {
+        self.store_lo.as_ref().map_or(0, |s| s.tag().code())
+    }
+
+    /// The fp64 refinement step `r = b - A x`, `||r||`, recorded as the
+    /// [`region::IR_OUTER`] stream region (cold solve records the graph,
+    /// every later refinement replays it).
+    fn outer_residual(
+        &self,
+        ctx: &mut GpuContext,
+        b: &[Hi],
+        x: &[Hi],
+        r: &mut [Hi],
+        norm: &mut [Hi],
+    ) {
+        let n = self.a_hi.n();
+        let mut st = ctx.stream_for(RegionKey::new(region::IR_OUTER, n).with_tag(self.tag8()));
+        let ah = st.matrix(self.a_hi);
+        let bh = st.slice(b);
+        let xh = st.slice(x);
+        let rh = st.slice_mut(r);
+        let nh = st.slice_mut(norm);
+        st.residual_as(KernelClass::ResidualHi, ah, bh, xh, rh);
+        st.norm2_into_as(KernelClass::ResidualHi, rh.read(), nh.at(0));
+        st.sync();
     }
 
     /// Solve `A x = b` to the outer tolerance; `x` holds the initial
@@ -76,13 +130,15 @@ impl<'a, Lo: BackendScalar, Hi: BackendScalar> GmresIr<'a, Lo, Hi> {
 
         let mut history: Vec<HistoryPoint> = Vec::new();
         let mut r = vec![Hi::zero(); n];
-        let mut r_lo = vec![Lo::zero(); n];
-        let mut u_lo = vec![Lo::zero(); n];
+        let mut r_lo = MultiVec::<Lo>::zeros(n, 1);
+        let mut u_lo = MultiVec::<Lo>::zeros(n, 1);
         let mut u_hi = vec![Hi::zero(); n];
+        let mut nbuf = vec![Hi::zero(); 1];
 
-        // High-precision initial residual (Algorithm 2, line 1).
-        ctx.residual_as(KernelClass::ResidualHi, self.a_hi, b, x, &mut r);
-        let mut rnorm = ctx.norm2_as(KernelClass::ResidualHi, &r).to_f64();
+        // High-precision initial residual (Algorithm 2, line 1); cold
+        // call records the IR_OUTER region, refinements replay it.
+        self.outer_residual(ctx, b, x, &mut r, &mut nbuf);
+        let mut rnorm = nbuf[0].to_f64();
         let r0_norm = rnorm;
         if !r0_norm.is_finite() {
             return SolveResult {
@@ -112,7 +168,10 @@ impl<'a, Lo: BackendScalar, Hi: BackendScalar> GmresIr<'a, Lo, Hi> {
                 ..GmresConfig::inner_cycle(m)
             },
         };
-        let inner = Gmres::new(&self.a_lo, self.precond_lo, inner_cfg);
+        let inner = match &self.store_lo {
+            None => BlockGmres::new(&self.a_lo, self.precond_lo, inner_cfg),
+            Some(s) => BlockGmres::over_store(s, inner_cfg),
+        };
 
         let mut total_iters = 0usize;
         let mut restarts = 0usize;
@@ -143,13 +202,19 @@ impl<'a, Lo: BackendScalar, Hi: BackendScalar> GmresIr<'a, Lo, Hi> {
             // Normalize and cast the residual down through the host
             // interface (§IV: Belos-mediated conversions).
             ctx.scal(Hi::from_f64(1.0 / rnorm), &mut r);
-            ctx.cast_host(&r, &mut r_lo);
+            ctx.cast_host(&r, r_lo.col_mut(0));
 
-            // Inner solve A_lo u = r_lo from a zero guess (one cycle).
-            for ui in u_lo.iter_mut() {
+            // Inner solve A_lo u = r_lo from a zero guess: one cycle of
+            // the one-lane block driver — bit-identical to a single-RHS
+            // inner GMRES, and the lane shares the block storage-path
+            // (SpMM-over-store) kernels.
+            for ui in u_lo.col_mut(0).iter_mut() {
                 *ui = Lo::zero();
             }
-            let inner_res = inner.solve(ctx, &r_lo, &mut u_lo);
+            let inner_res = inner
+                .solve(ctx, &r_lo, &mut u_lo)
+                .pop()
+                .expect("one inner lane");
             if inner_res.iterations == 0 {
                 // Inner solver could make no progress (e.g. fp16 overflow).
                 status = SolveStatus::Breakdown;
@@ -173,10 +238,10 @@ impl<'a, Lo: BackendScalar, Hi: BackendScalar> GmresIr<'a, Lo, Hi> {
 
             // x += rnorm * u  (undo the normalization), then refresh the
             // true residual in high precision (Algorithm 2, lines 4-5).
-            ctx.cast_host(&u_lo, &mut u_hi);
+            ctx.cast_host(u_lo.col(0), &mut u_hi);
             ctx.axpy(Hi::from_f64(rnorm), &u_hi, x);
-            ctx.residual_as(KernelClass::ResidualHi, self.a_hi, b, x, &mut r);
-            let new_norm = ctx.norm2_as(KernelClass::ResidualHi, &r).to_f64();
+            self.outer_residual(ctx, b, x, &mut r, &mut nbuf);
+            let new_norm = nbuf[0].to_f64();
             if self.cfg.record_history {
                 history.push(HistoryPoint {
                     iteration: total_iters,
@@ -204,6 +269,7 @@ impl<'a, Lo: BackendScalar, Hi: BackendScalar> GmresIr<'a, Lo, Hi> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gmres::Gmres;
     use crate::precond::Identity;
     use mpgmres_gpusim::{DeviceModel, PaperCategory};
     use mpgmres_la::coo::Coo;
@@ -367,6 +433,59 @@ mod tests {
             res.final_relative_residual
         );
         assert!(true_rel_residual(&a, &b, &x) <= 1.2e-10);
+    }
+
+    #[test]
+    fn storage_paths_reach_fp64_accuracy() {
+        // The cuSPARSE shadow pattern: accumulate in the working
+        // precision, stream low-precision matrix values. The 1D
+        // Laplacian's entries are exact in every precision, so every
+        // storage path must hit the same fp64 target.
+        let n = 96;
+        let a = laplace1d(n);
+        let b = vec![1.0; n];
+        let paths = [
+            StorePath::Shadow(mpgmres_scalar::Precision::Fp32),
+            StorePath::Split(1.5),
+        ];
+        for store in paths {
+            let mut x = vec![0.0; n];
+            let cfg = IrConfig::default()
+                .with_m(20)
+                .with_max_iters(20_000)
+                .with_store(store);
+            let ir = GmresIr::<f64, f64>::new(&a, &Identity, cfg);
+            assert!(ir.store_lo().is_some(), "{store:?} must build a store");
+            let res = ir.solve(&mut ctx(), &b, &mut x);
+            assert_eq!(res.status, SolveStatus::Converged, "{store:?}");
+            assert!(true_rel_residual(&a, &b, &x) <= 1.2e-10, "{store:?}");
+        }
+        // fp16 value storage under an fp32 inner working precision.
+        let mut x = vec![0.0; n];
+        let cfg = IrConfig::default()
+            .with_m(20)
+            .with_max_iters(20_000)
+            .with_store(StorePath::Shadow(mpgmres_scalar::Precision::Fp16));
+        let res = GmresIr::<f32, f64>::new(&a, &Identity, cfg).solve(&mut ctx(), &b, &mut x);
+        assert_eq!(res.status, SolveStatus::Converged);
+        assert!(true_rel_residual(&a, &b, &x) <= 1.2e-10);
+    }
+
+    #[test]
+    fn native_path_builds_no_store() {
+        let a = laplace1d(16);
+        let ir = GmresIr::<f32, f64>::new(&a, &Identity, IrConfig::default());
+        assert!(ir.store_lo().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "identity preconditioner")]
+    fn storage_path_rejects_non_identity_preconditioner() {
+        let a = laplace1d(16);
+        let jacobi = crate::precond::block_jacobi::BlockJacobi::build(&a, 1);
+        let cfg =
+            IrConfig::default().with_store(StorePath::Shadow(mpgmres_scalar::Precision::Fp32));
+        let _ = GmresIr::<f64, f64>::new(&a, &jacobi, cfg);
     }
 
     #[test]

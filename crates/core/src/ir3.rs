@@ -22,11 +22,12 @@ use mpgmres_gpusim::KernelClass;
 use mpgmres_scalar::Half;
 use serde::Serialize;
 
-use crate::config::IrConfig;
+use crate::config::{IrConfig, StorePath};
 use crate::context::{GpuContext, GpuMatrix};
 use crate::ir::GmresIr;
 use crate::precond::Preconditioner;
 use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
+use crate::stream::{region, RegionKey};
 
 /// Configuration for the three-precision ladder.
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -43,6 +44,9 @@ pub struct Ir3Config {
     pub rtol: f64,
     /// Cap on total inner iterations across everything.
     pub max_iters: usize,
+    /// Storage path of the innermost (fp16-working) matrix operand,
+    /// forwarded to the middle [`GmresIr`]'s configuration.
+    pub store: StorePath,
 }
 
 impl Default for Ir3Config {
@@ -53,6 +57,7 @@ impl Default for Ir3Config {
             mid_max_iters: 2_000,
             rtol: 1e-10,
             max_iters: 200_000,
+            store: StorePath::Native,
         }
     }
 }
@@ -99,17 +104,34 @@ impl<'a> GmresIr3<'a> {
             max_iters: self.cfg.mid_max_iters,
             inner_early_exit: None,
             record_history: false,
+            store: self.cfg.store,
         };
         let middle = GmresIr::<Half, f32>::new(&self.a_mid, self.precond_lo, mid_cfg);
+        // The fp64 refinement step records as its own region, keyed on
+        // the innermost storage path so ladders over different stores
+        // land on distinct cached graphs.
+        let tag = middle.store_lo().map_or(0, |s| s.tag().code());
+        let outer_residual = |ctx: &mut GpuContext, x: &[f64], r: &mut [f64], norm: &mut [f64]| {
+            let mut st = ctx.stream_for(RegionKey::new(region::IR3_OUTER, n).with_tag(tag));
+            let ah = st.matrix(self.a_hi);
+            let bh = st.slice(b);
+            let xh = st.slice(x);
+            let rh = st.slice_mut(r);
+            let nh = st.slice_mut(norm);
+            st.residual_as(KernelClass::ResidualHi, ah, bh, xh, rh);
+            st.norm2_into_as(KernelClass::ResidualHi, rh.read(), nh.at(0));
+            st.sync();
+        };
 
         let mut history: Vec<HistoryPoint> = Vec::new();
         let mut r = vec![0.0f64; n];
         let mut r_mid = vec![0.0f32; n];
         let mut u_mid = vec![0.0f32; n];
         let mut u_hi = vec![0.0f64; n];
+        let mut nbuf = vec![0.0f64; 1];
 
-        ctx.residual_as(KernelClass::ResidualHi, self.a_hi, b, x, &mut r);
-        let mut rnorm = ctx.norm2_as(KernelClass::ResidualHi, &r);
+        outer_residual(ctx, x, &mut r, &mut nbuf);
+        let mut rnorm = nbuf[0];
         let r0 = rnorm;
         if r0 == 0.0 {
             return SolveResult {
@@ -165,8 +187,8 @@ impl<'a> GmresIr3<'a> {
 
             ctx.cast_host(&u_mid, &mut u_hi);
             ctx.axpy(rnorm, &u_hi, x);
-            ctx.residual_as(KernelClass::ResidualHi, self.a_hi, b, x, &mut r);
-            let new_norm = ctx.norm2_as(KernelClass::ResidualHi, &r);
+            outer_residual(ctx, x, &mut r, &mut nbuf);
+            let new_norm = nbuf[0];
             if !new_norm.is_finite() {
                 status = SolveStatus::Breakdown;
                 break;

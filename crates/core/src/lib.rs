@@ -66,8 +66,8 @@ pub mod status;
 pub mod stream;
 
 pub use block_gmres::BlockGmres;
-pub use config::{GmresConfig, IrConfig, OrthoMethod};
-pub use context::{GpuContext, GpuMatrix};
+pub use config::{GmresConfig, IrConfig, OrthoMethod, StorePath};
+pub use context::{GpuContext, GpuMatrix, GpuStore};
 pub use fd::{FdConfig, FdResult, GmresFd};
 pub use gmres::Gmres;
 pub use ir::GmresIr;
@@ -77,5 +77,7 @@ pub use mpgmres_backend::{
     ScalarBackend,
 };
 pub use mpgmres_la::multivec::MultiVec;
+pub use mpgmres_la::store::MatrixStore;
+pub use mpgmres_scalar::{Precision, PrecisionTag};
 pub use status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
 pub use stream::{RegionKey, Stream, StreamStats};

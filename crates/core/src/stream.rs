@@ -77,7 +77,7 @@ use mpgmres_la::multivector::MultiVector;
 use mpgmres_la::raw::BufferArena;
 use mpgmres_scalar::Scalar;
 
-use crate::context::{GpuContext, GpuMatrix};
+use crate::context::{GpuContext, GpuMatrix, GpuStore};
 
 /// Well-known region ids for [`RegionKey`]. Solvers pick one id per
 /// textual recording region; the rest of the key carries the shape.
@@ -114,6 +114,10 @@ pub mod region {
     /// Pipelined preconditioned pre-region (drained host steps + basis
     /// extension, recorded before the eager preconditioner applies).
     pub const BLOCK_PIPE_DRAIN: u32 = 11;
+    /// `GmresIr` outer refinement region (fp64 residual + norm).
+    pub const IR_OUTER: u32 = 12;
+    /// `GmresIr3` outer refinement region (fp64 residual + norm).
+    pub const IR3_OUTER: u32 = 13;
 }
 
 /// Cache key of one shape-stable recording region: a region id plus
@@ -133,6 +137,14 @@ pub struct RegionKey {
     pub k: usize,
     /// Active-lane bitmask, 0 when irrelevant.
     pub lanes: u64,
+    /// Matrix-storage precision tag ([`PrecisionTag::code`]), 0 for
+    /// untagged regions. A solver that switches its operator between
+    /// storage precisions mid-run records distinct graphs per tag —
+    /// the cached replay of an fp64 recording is never reused for the
+    /// fp32-shadow shape of the same region.
+    ///
+    /// [`PrecisionTag::code`]: mpgmres_scalar::PrecisionTag::code
+    pub tag: u8,
 }
 
 impl RegionKey {
@@ -144,6 +156,7 @@ impl RegionKey {
             ncols: 0,
             k: 0,
             lanes: 0,
+            tag: 0,
         }
     }
 
@@ -162,6 +175,12 @@ impl RegionKey {
     /// Set the active-lane bitmask.
     pub fn with_lanes(mut self, lanes: u64) -> Self {
         self.lanes = lanes;
+        self
+    }
+
+    /// Set the storage-precision tag (see [`RegionKey::tag`]).
+    pub fn with_tag(mut self, tag: u8) -> Self {
+        self.tag = tag;
         self
     }
 
@@ -198,6 +217,14 @@ pub struct StreamStats {
 /// Handle of a registered [`GpuMatrix`].
 #[derive(Clone, Copy, Debug)]
 pub struct MatRef<S> {
+    id: u32,
+    _s: PhantomData<fn() -> S>,
+}
+
+/// Handle of a registered [`GpuStore`] (a matrix in a possibly
+/// low-precision storage path).
+#[derive(Clone, Copy, Debug)]
+pub struct StoreRef<S> {
     id: u32,
     _s: PhantomData<fn() -> S>,
 }
@@ -499,6 +526,16 @@ impl<'c> Stream<'c> {
         // SAFETY: `a` stays borrowed until the stream's sync/drop.
         let id = unsafe { self.ctx.arena_mut().register_obj(a as *const GpuMatrix<S>) };
         MatRef {
+            id,
+            _s: PhantomData,
+        }
+    }
+
+    /// Register a storage-path system matrix (read-only).
+    pub fn store<S: Scalar>(&mut self, a: &'c GpuStore<S>) -> StoreRef<S> {
+        // SAFETY: `a` stays borrowed until the stream's sync/drop.
+        let id = unsafe { self.ctx.arena_mut().register_obj(a as *const GpuStore<S>) };
+        StoreRef {
             id,
             _s: PhantomData,
         }
@@ -916,6 +953,51 @@ impl<'c> Stream<'c> {
         );
     }
 
+    /// Record the storage-path fused residual `r = b - A x`, charged to
+    /// `class` with the store's own traffic model (low-precision value
+    /// stream, working-precision vectors).
+    pub fn store_residual_as<S: BackendScalar>(
+        &mut self,
+        class: KernelClass,
+        a: StoreRef<S>,
+        b: ArgSlice<S>,
+        x: ArgSlice<S>,
+        r: ArgSliceMut<S>,
+    ) {
+        // SAFETY: registered borrows are live for the stream's lifetime.
+        let am: &GpuStore<S> = unsafe { self.arena().obj(a.id) };
+        assert_eq!(b.len as usize, am.n(), "stream store_residual: b length");
+        assert_eq!(x.len as usize, am.n(), "stream store_residual: x length");
+        assert_eq!(r.len as usize, am.n(), "stream store_residual: r length");
+        Self::assert_noalias("store_residual", &[b.span(), x.span()], &[r.span()]);
+        if self.eager() {
+            // SAFETY: as above.
+            let (bs, xs, rs) = unsafe {
+                (
+                    self.arena().slice::<S>(b.buf, b.off, b.len),
+                    self.arena().slice::<S>(x.buf, x.off, x.len),
+                    self.arena().slice_mut::<S>(r.buf, r.off, r.len),
+                )
+            };
+            self.ctx.store_residual_as(class, am, bs, xs, rs);
+            return;
+        }
+        let (t, bytes) = self.ctx.store_residual_spec::<S>(am);
+        self.record(
+            "store_residual",
+            &[b.span(), x.span()],
+            &[r.span()],
+            Some((class, t, bytes)),
+            exec_store_residual::<S>,
+            OpArgs {
+                bufs: [a.id, b.buf, x.buf, r.buf],
+                offs: [0, b.off, x.off, r.off],
+                lens: [0, b.len, x.len, r.len],
+                ..OpArgs::default()
+            },
+        );
+    }
+
     /// Record `h = V^T w` over the first `ncols` basis columns.
     pub fn gemv_t<S: BackendScalar>(
         &mut self,
@@ -1136,6 +1218,19 @@ impl<'c> Stream<'c> {
     /// Record a Euclidean norm whose result lands in `out` after sync
     /// (the recordable form of [`GpuContext::norm2`]).
     pub fn norm2_into<S: BackendScalar>(&mut self, x: ArgSlice<S>, out: ArgValMut<S>) {
+        self.norm2_into_as(KernelClass::Norm, x, out);
+    }
+
+    /// As [`Stream::norm2_into`], charged to `class` (the IR outer loop
+    /// books its convergence-check norms under
+    /// [`KernelClass::ResidualHi`], matching the eager
+    /// [`GpuContext::norm2_as`]).
+    pub fn norm2_into_as<S: BackendScalar>(
+        &mut self,
+        class: KernelClass,
+        x: ArgSlice<S>,
+        out: ArgValMut<S>,
+    ) {
         Self::assert_noalias("norm2", &[x.span()], &[out.span()]);
         if self.eager() {
             // SAFETY: registered borrows are live for the stream's lifetime.
@@ -1145,7 +1240,7 @@ impl<'c> Stream<'c> {
                     self.arena().value_mut::<S>(out.buf, out.off),
                 )
             };
-            *os = self.ctx.norm2(xs);
+            *os = self.ctx.norm2_as(class, xs);
             return;
         }
         let (t, bytes) = self.ctx.norm_spec::<S>(x.len as usize);
@@ -1153,7 +1248,7 @@ impl<'c> Stream<'c> {
             "norm2",
             &[x.span()],
             &[out.span()],
-            Some((KernelClass::Norm, t, bytes)),
+            Some((class, t, bytes)),
             exec_norm2::<S>,
             OpArgs {
                 bufs: [x.buf, out.buf, 0, 0],
@@ -1435,6 +1530,51 @@ impl<'c> Stream<'c> {
         );
     }
 
+    /// Record the storage-path batched SpMM `Y[:, ..k] = A X[:, ..k]`,
+    /// charged with the store's traffic model.
+    pub fn store_spmm<S: BackendScalar>(
+        &mut self,
+        a: StoreRef<S>,
+        x: BlockRef<S>,
+        k: usize,
+        y: BlockMut<S>,
+    ) {
+        // SAFETY: registered borrows are live for the stream's lifetime.
+        let am: &GpuStore<S> = unsafe { self.arena().obj(a.id) };
+        let kk = u32::try_from(k).expect("block width");
+        assert!(
+            kk >= 1 && kk <= x.k && kk <= y.k,
+            "stream store_spmm: width"
+        );
+        assert_eq!(x.n as usize, am.n(), "stream store_spmm: X rows");
+        assert_eq!(y.n as usize, am.n(), "stream store_spmm: Y rows");
+        Self::assert_noalias("store_spmm", &[Span::whole(x.id)], &[Span::whole(y.id)]);
+        if self.eager() {
+            // SAFETY: as above; y's sole view during the call.
+            let (xm, ym) = unsafe {
+                (
+                    self.arena().obj::<MultiVec<S>>(x.id),
+                    self.arena().obj_mut::<MultiVec<S>>(y.id),
+                )
+            };
+            self.ctx.store_spmm(am, xm, k, ym);
+            return;
+        }
+        let (t, bytes) = self.ctx.store_spmm_spec::<S>(am, k);
+        self.record(
+            "store_spmm",
+            &[Span::whole(x.id)],
+            &[Span::whole(y.id)],
+            Some((KernelClass::SpMV, t, bytes)),
+            exec_store_spmm::<S>,
+            OpArgs {
+                bufs: [a.id, x.id, y.id, 0],
+                n0: kk,
+                ..OpArgs::default()
+            },
+        );
+    }
+
     /// Record the batched GEMV-Trans over one basis per block column.
     pub fn block_gemv_t<S: BackendScalar>(
         &mut self,
@@ -1667,6 +1807,17 @@ fn exec_residual<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpA
     }
 }
 
+fn exec_store_residual<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract.
+    unsafe {
+        let m: &GpuStore<S> = arena.obj(a.bufs[0]);
+        let bb = arena.slice::<S>(a.bufs[1], a.offs[1], a.lens[1]);
+        let x = arena.slice::<S>(a.bufs[2], a.offs[2], a.lens[2]);
+        let r = arena.slice_mut::<S>(a.bufs[3], a.offs[3], a.lens[3]);
+        S::view(b).store_residual(m.store(), bb, x, r);
+    }
+}
+
 fn exec_gemv_t<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
     // SAFETY: arena contract.
     unsafe {
@@ -1778,6 +1929,17 @@ fn exec_spmm<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs)
         let x: &MultiVec<S> = arena.obj(a.bufs[1]);
         let y: &mut MultiVec<S> = arena.obj_mut(a.bufs[2]);
         S::view(b).spmm(m.csr(), x, a.n0 as usize, y);
+    }
+}
+
+fn exec_store_spmm<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract; the write span covers all of y, so the
+    // whole-object `&mut` aliases nothing.
+    unsafe {
+        let m: &GpuStore<S> = arena.obj(a.bufs[0]);
+        let x: &MultiVec<S> = arena.obj(a.bufs[1]);
+        let y: &mut MultiVec<S> = arena.obj_mut(a.bufs[2]);
+        S::view(b).store_spmm(m.store(), x, a.n0 as usize, y);
     }
 }
 

@@ -19,9 +19,11 @@ use std::sync::Arc;
 
 use mpgmres::precond::block_jacobi::BlockJacobi;
 use mpgmres::precond::{Identity, Preconditioner};
+use mpgmres::stream::region;
 use mpgmres::{
-    Backend, BlockGmres, Gmres, GmresConfig, GpuContext, GpuMatrix, MultiVec, OrthoMethod,
-    ParallelBackend, ReferenceBackend, SolveResult,
+    Backend, BlockGmres, Gmres, GmresConfig, GmresIr, GpuContext, GpuMatrix, IrConfig, MultiVec,
+    OrthoMethod, ParallelBackend, Precision, PrecisionTag, ReferenceBackend, RegionKey,
+    SolveResult, StorePath,
 };
 use mpgmres_gpusim::{DeviceModel, PaperCategory};
 use mpgmres_la::coo::Coo;
@@ -664,6 +666,174 @@ fn pipelined_regions_replay_from_cache() {
         rep_w.critical_path_seconds.to_bits(),
         rep_f.critical_path_seconds.to_bits()
     );
+}
+
+/// Multiprecision acceptance: the precision tag participates in the
+/// region key, so the same region shape over a different matrix storage
+/// path keys a *distinct* cached graph.
+#[test]
+fn precision_tag_changes_region_key() {
+    let base = RegionKey::new(region::BLOCK_CGS, 1024)
+        .with_ncols(5)
+        .with_k(1);
+    let fp32 = base.with_tag(PrecisionTag::Uniform(Precision::Fp32).code());
+    let fp16 = base.with_tag(PrecisionTag::Uniform(Precision::Fp16).code());
+    let split = base.with_tag(
+        PrecisionTag::Split {
+            hi: Precision::Fp64,
+            lo: Precision::Fp32,
+        }
+        .code(),
+    );
+    assert_ne!(base, fp32, "untagged vs fp32-store keys must differ");
+    assert_ne!(fp32, fp16, "fp32 vs fp16 store keys must differ");
+    assert_ne!(fp32, split, "uniform vs split store keys must differ");
+    assert_ne!(base, split);
+}
+
+/// A solver that switches storage paths mid-run must land on distinct
+/// cached graphs, not replay the other path's: solving with a native
+/// store and then with an fp32-shadow store on the SAME warm context
+/// records fresh regions (misses grow) instead of hitting the native
+/// graphs.
+#[test]
+fn storage_path_switch_records_distinct_graphs() {
+    let a = laplace2d_matrix(24);
+    let n = a.n();
+    let b = rhs(n, 41);
+    let mut ctx = ctx_on(Arc::new(ReferenceBackend), true);
+    let solve = |ctx: &mut GpuContext, store: StorePath| {
+        let cfg = IrConfig::default()
+            .with_m(10)
+            .with_max_iters(2_000)
+            .with_store(store);
+        let mut x = vec![0.0f64; n];
+        let res = GmresIr::<f64, f64>::new(&a, &Identity, cfg).solve(ctx, &b, &mut x);
+        assert!(res.status.is_converged(), "{store:?}");
+        (x, res)
+    };
+    let _ = solve(&mut ctx, StorePath::Native);
+    let after_native = ctx.stream_stats();
+    // Same shapes again: the native path replays its own graphs.
+    let _ = solve(&mut ctx, StorePath::Native);
+    let warm_native = ctx.stream_stats();
+    assert_eq!(
+        warm_native.misses, after_native.misses,
+        "second native solve must replay"
+    );
+    // Different storage path, identical shapes: distinct keys, so the
+    // solver must record again rather than replay stale graphs.
+    let _ = solve(&mut ctx, StorePath::Shadow(Precision::Fp32));
+    let after_shadow = ctx.stream_stats();
+    assert!(
+        after_shadow.misses > warm_native.misses,
+        "fp32-shadow solve must key distinct graphs ({} !> {})",
+        after_shadow.misses,
+        warm_native.misses
+    );
+    // And the shadow path's graphs are themselves replayable.
+    let _ = solve(&mut ctx, StorePath::Shadow(Precision::Fp32));
+    let warm_shadow = ctx.stream_stats();
+    assert_eq!(
+        warm_shadow.misses, after_shadow.misses,
+        "second shadow solve must replay"
+    );
+}
+
+/// Multiprecision acceptance: warm IR-driven block inner solves replay
+/// with ZERO graph-node allocation — the outer fp64 residual region and
+/// every inner block region hit the cache on the second solve — and the
+/// warm solve is bit-identical to the cold one.
+#[test]
+fn warm_ir_block_inner_solves_replay_with_zero_node_allocation() {
+    let a = laplace2d_matrix(24);
+    let n = a.n();
+    let b = rhs(n, 43);
+    for store in [
+        StorePath::Native,
+        StorePath::Shadow(Precision::Fp32),
+        StorePath::Split(1.5),
+    ] {
+        let cfg = IrConfig::default()
+            .with_m(10)
+            .with_max_iters(2_000)
+            .with_store(store);
+        let mut ctx = ctx_on(Arc::new(ReferenceBackend), true);
+        let solve = |ctx: &mut GpuContext| {
+            ctx.reset_profile();
+            let mut x = vec![0.0f64; n];
+            let res = GmresIr::<f64, f64>::new(&a, &Identity, cfg).solve(ctx, &b, &mut x);
+            (x, res)
+        };
+        let (x_f, res_f) = solve(&mut ctx);
+        let rep_f = ctx.report();
+        let first = ctx.stream_stats();
+        assert!(first.misses > 0, "{store:?}: cold IR solve must record");
+        let (x_w, res_w) = solve(&mut ctx);
+        let rep_w = ctx.report();
+        let stats = ctx.stream_stats();
+        assert!(stats.hits > first.hits, "{store:?}: warm IR must replay");
+        assert_eq!(
+            stats.misses, first.misses,
+            "{store:?}: warm IR must not re-derive any region"
+        );
+        assert_eq!(
+            stats.nodes_allocated, first.nodes_allocated,
+            "{store:?}: warm IR solves must allocate no graph nodes"
+        );
+        assert_results_identical(&res_w, &res_f, &format!("{store:?}: warm IR"));
+        for (xw, xf) in x_w.iter().zip(&x_f) {
+            assert_eq!(xw.to_bits(), xf.to_bits(), "{store:?}: warm IR x");
+        }
+        assert_eq!(
+            rep_w.total_seconds.to_bits(),
+            rep_f.total_seconds.to_bits(),
+            "{store:?}: warm IR serial total"
+        );
+        assert_eq!(
+            rep_w.critical_path_seconds.to_bits(),
+            rep_f.critical_path_seconds.to_bits(),
+            "{store:?}: warm IR critical path"
+        );
+    }
+}
+
+/// GMRES-IR recorded vs eager, over every storage path, on both
+/// backends: results, solutions, and the serial accounting are
+/// bit-identical (the storage-path kernels price identically whether
+/// charged eagerly or replayed from a cached graph).
+#[test]
+fn ir_recorded_matches_eager_for_all_storage_paths() {
+    let a = laplace2d_matrix(24);
+    let n = a.n();
+    let b = rhs(n, 47);
+    for store in [
+        StorePath::Native,
+        StorePath::Shadow(Precision::Fp32),
+        StorePath::Split(1.5),
+    ] {
+        let cfg = IrConfig::default()
+            .with_m(12)
+            .with_max_iters(3_000)
+            .with_store(store);
+        for (name, backend) in backends() {
+            let what = format!("{name}/{store:?}");
+            let run = |streaming: bool| {
+                let mut ctx = ctx_on(backend.clone(), streaming);
+                let mut x = vec![0.0f64; n];
+                let res = GmresIr::<f64, f64>::new(&a, &Identity, cfg).solve(&mut ctx, &b, &mut x);
+                (ctx, x, res)
+            };
+            let (ctx_r, x_r, res_r) = run(true);
+            let (ctx_e, x_e, res_e) = run(false);
+            assert!(res_e.status.is_converged(), "{what}: converged");
+            assert_results_identical(&res_r, &res_e, &what);
+            for (xr, xe) in x_r.iter().zip(&x_e) {
+                assert_eq!(xr.to_bits(), xe.to_bits(), "{what}: solution");
+            }
+            assert_serial_reports_identical(&ctx_r, &ctx_e, &what);
+        }
+    }
 }
 
 /// Sequential reduction order (the fully bit-deterministic mode): the

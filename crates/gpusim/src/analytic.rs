@@ -57,6 +57,43 @@ pub fn spmv_traffic_bytes(
     stream + x
 }
 
+/// Total DRAM traffic in bytes for one storage-path `y = A x` where the
+/// matrix values live in a (possibly mixed) low-precision store while the
+/// vectors stay in the working precision `work_p`.
+///
+/// `value_bytes` is the byte count of the value stream as the store
+/// actually lays it out (`MatrixStore::value_bytes()`): `nnz * 4` for an
+/// fp32 shadow, `nnz * 2` for fp16, or the mixed sum for a split store.
+/// Index traffic is unchanged (the paper keeps 4-byte indices in every
+/// precision), and `y` is written once in the working precision.
+///
+/// The x-reuse rule generalizes [`x_reuse_is_perfect`]: what the paper
+/// observed is that *shrinking the matrix stream* leaves L2 room for `x`,
+/// so reuse kicks in when the value stream is no wider than the index
+/// stream (`value_bytes <= nnz * IDX_BYTES`, i.e. values at <= 4 bytes
+/// each on average) on a banded matrix — exactly reproducing the uniform
+/// rule when the store is uniform.
+///
+/// When `value_bytes == nnz * p.bytes()` and `work_p == p` this reduces
+/// bit-for-bit to [`spmv_traffic_bytes`] — a plain store prices exactly
+/// like the uniform kernel (pinned by a test below).
+pub fn store_spmv_traffic_bytes(
+    dev: &DeviceModel,
+    n: usize,
+    nnz: usize,
+    value_bytes: usize,
+    bandwidth_rows: usize,
+    work_p: Precision,
+) -> usize {
+    let stream = value_bytes + nnz * IDX_BYTES + (n + 1) * IDX_BYTES + n * work_p.bytes();
+    let x = if dev.is_banded(bandwidth_rows, n) && value_bytes <= nnz * IDX_BYTES {
+        n * work_p.bytes()
+    } else {
+        nnz * work_p.bytes()
+    };
+    stream + x
+}
+
 /// The paper's idealized fp64 traffic: `20 w n` bytes (no x reuse, row
 /// pointers and y stores ignored).
 pub fn paper_fp64_traffic(n: usize, w: f64) -> f64 {
@@ -108,6 +145,51 @@ mod tests {
         assert!(!x_reuse_is_perfect(&dev, n, bw, Precision::Fp64));
         // Scattered matrix: no reuse in any precision.
         assert!(!x_reuse_is_perfect(&dev, n, n - 1, Precision::Fp32));
+    }
+
+    /// A uniform store must price exactly like the plain kernel: same
+    /// value bytes, same working precision, bit-identical traffic.
+    #[test]
+    fn store_traffic_reduces_to_uniform_exactly() {
+        let dev = DeviceModel::v100_belos();
+        for (n, nnz, bw) in [
+            (2_250_000usize, 11_244_000usize, 1500usize),
+            (10_000, 49_600, 100),
+            (10_000, 49_600, 9_999), // scattered: no reuse in any precision
+        ] {
+            for p in [Precision::Fp16, Precision::Fp32, Precision::Fp64] {
+                assert_eq!(
+                    store_spmv_traffic_bytes(&dev, n, nnz, nnz * p.bytes(), bw, p),
+                    spmv_traffic_bytes(&dev, n, nnz, bw, p),
+                    "uniform {p:?} store must reduce to the plain model"
+                );
+            }
+        }
+    }
+
+    /// The tentpole ratio: an fp32 value stream under an fp64 working
+    /// precision (the shadow-store SpMV) must cut traffic roughly in
+    /// half on the banded 5-point stencil, because both the value
+    /// stream shrinks 2x and x-reuse kicks in.
+    #[test]
+    fn fp32_shadow_store_halves_banded_traffic() {
+        let dev = DeviceModel::v100_belos();
+        let (n, bw) = (250_000usize, 500usize);
+        let nnz = 5 * n; // 5-point Laplacian nnz density
+        let full = store_spmv_traffic_bytes(&dev, n, nnz, nnz * 8, bw, Precision::Fp64);
+        let shadow = store_spmv_traffic_bytes(&dev, n, nnz, nnz * 4, bw, Precision::Fp64);
+        let ratio = shadow as f64 / full as f64;
+        assert!(
+            ratio < 0.55,
+            "fp32 shadow must beat the 0.55 traffic bar: {ratio:.3}"
+        );
+        // fp16 shaves the value stream further.
+        let half = store_spmv_traffic_bytes(&dev, n, nnz, nnz * 2, bw, Precision::Fp64);
+        assert!(half < shadow);
+        // A mixed split (10% hi / 90% lo) sits between uniform extremes.
+        let split_bytes = nnz / 10 * 8 + (nnz - nnz / 10) * 4;
+        let split = store_spmv_traffic_bytes(&dev, n, nnz, split_bytes, bw, Precision::Fp64);
+        assert!(split > shadow && split < full);
     }
 
     #[test]

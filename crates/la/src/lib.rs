@@ -44,6 +44,7 @@ pub mod raw;
 pub mod rcm;
 pub mod split_csr;
 pub mod stats;
+pub mod store;
 pub mod vec_ops;
 
 pub use coo::Coo;
@@ -52,4 +53,6 @@ pub use dense::DenseMat;
 pub use givens::GivensLsq;
 pub use multivec::MultiVec;
 pub use multivector::MultiVector;
+pub use split_csr::SplitCsr;
+pub use store::MatrixStore;
 pub use vec_ops::ReductionOrder;

@@ -38,6 +38,7 @@ use crate::multivec::MultiVec;
 use crate::multivector::MultiVector;
 use crate::pool::{Executor, ScopedSpawn};
 use crate::raw::{RawSlice, RawSliceMut};
+use crate::store::MatrixStore;
 use crate::vec_ops::{self, ReductionOrder, PAR_THRESHOLD};
 
 /// Minimum stored nonzeros before SpMV/residual go parallel.
@@ -413,7 +414,13 @@ pub fn spmm_parts_on<S: Scalar>(
 /// left-to-right `mul_add` order of [`Csr::spmv`]. Common small widths
 /// dispatch to a const-generic body so the accumulators live in
 /// registers instead of a heap buffer.
-fn spmm_rows<S: Scalar>(a: &Csr<S>, xcols: &[&[S]], lo: usize, hi: usize, out: &mut [&mut [S]]) {
+pub(crate) fn spmm_rows<S: Scalar>(
+    a: &Csr<S>,
+    xcols: &[&[S]],
+    lo: usize,
+    hi: usize,
+    out: &mut [&mut [S]],
+) {
     match xcols.len() {
         1 => spmm_rows_fixed::<S, 1>(a, xcols, lo, hi, out),
         2 => spmm_rows_fixed::<S, 2>(a, xcols, lo, hi, out),
@@ -480,6 +487,90 @@ fn spmm_rows_dyn<S: Scalar>(
             out[j][r - lo] = *a_j;
         }
     }
+}
+
+/// `y = A x` for a [`MatrixStore`] over a precomputed row partition.
+///
+/// Bit-identical to [`MatrixStore::spmv`]: both paths evaluate each
+/// output row with the store's shared per-row kernel.
+pub fn store_spmv_parts_on<S: Scalar>(
+    exec: &dyn Executor,
+    parts: &[(usize, usize)],
+    a: &MatrixStore<S>,
+    x: &[S],
+    y: &mut [S],
+) {
+    assert_eq!(x.len(), a.ncols(), "store spmv: x length mismatch");
+    assert_eq!(y.len(), a.nrows(), "store spmv: y length mismatch");
+    for_each_part_mut_on(exec, parts, y, |start, chunk| {
+        for (i, yr) in chunk.iter_mut().enumerate() {
+            *yr = a.spmv_row(start + i, x);
+        }
+    });
+}
+
+/// `r = b - A x` for a [`MatrixStore`] over a precomputed row
+/// partition. Bit-identical to [`MatrixStore::residual`].
+pub fn store_residual_parts_on<S: Scalar>(
+    exec: &dyn Executor,
+    parts: &[(usize, usize)],
+    a: &MatrixStore<S>,
+    b: &[S],
+    x: &[S],
+    r: &mut [S],
+) {
+    assert_eq!(b.len(), a.nrows(), "store residual: b length mismatch");
+    assert_eq!(x.len(), a.ncols(), "store residual: x length mismatch");
+    assert_eq!(r.len(), a.nrows(), "store residual: r length mismatch");
+    for_each_part_mut_on(exec, parts, r, |start, chunk| {
+        for (i, rr) in chunk.iter_mut().enumerate() {
+            let row = start + i;
+            *rr = a.residual_row(row, b[row], x);
+        }
+    });
+}
+
+/// Fused SpMM `Y = A X` for a [`MatrixStore`] over a precomputed row
+/// partition. Per output column the accumulation order is exactly the
+/// store's per-row kernel, so the result is bit-identical to
+/// [`MatrixStore::spmm`] and to `k` independent store SpMVs.
+pub fn store_spmm_parts_on<S: Scalar>(
+    exec: &dyn Executor,
+    parts: &[(usize, usize)],
+    a: &MatrixStore<S>,
+    x: &MultiVec<S>,
+    k: usize,
+    y: &mut MultiVec<S>,
+) {
+    assert_eq!(x.n(), a.ncols(), "store spmm: x row count mismatch");
+    assert_eq!(y.n(), a.nrows(), "store spmm: y row count mismatch");
+    assert!(k <= x.k() && k <= y.k(), "store spmm: too many columns");
+    let xcols: Vec<&[S]> = (0..k).map(|j| x.col(j)).collect();
+    let mut slots = y.partition_rows_mut(k, parts);
+    if parts.len() <= 1 {
+        if let (Some(&(lo, hi)), Some(cols)) = (parts.first(), slots.first_mut()) {
+            a.spmm_rows(&xcols, lo, hi, cols);
+        }
+        return;
+    }
+    type SpmmJob<S> = (usize, usize, Vec<RawSliceMut<S>>);
+    let jobs: Vec<SpmmJob<S>> = parts
+        .iter()
+        .zip(slots.iter_mut())
+        .map(|(&(lo, hi), cols)| {
+            let raw = cols.iter_mut().map(|c| RawSliceMut::new(c)).collect();
+            (lo, hi, raw)
+        })
+        .collect();
+    let xcols = &xcols;
+    exec.run_jobs(jobs.len(), &|i| {
+        let (lo, hi, cols) = &jobs[i];
+        // SAFETY: `partition_rows_mut` produced disjoint row slices of
+        // every column; each job owns one row range (see
+        // for_each_chunk_mut_on for the barrier argument).
+        let mut slices: Vec<&mut [S]> = cols.iter().map(|p| unsafe { p.get() }).collect();
+        a.spmm_rows(xcols, *lo, *hi, &mut slices);
+    });
 }
 
 /// `r = b - A x` (fused residual), rows partitioned across threads.

@@ -27,9 +27,32 @@ pub struct SplitCsr<Hi, Lo> {
 impl<Hi: Scalar, Lo: Scalar> SplitCsr<Hi, Lo> {
     /// Split `a`: entries with `|v| >= threshold` stay in `Hi`, the rest
     /// are rounded once into `Lo`.
+    ///
+    /// When the threshold sends *every* entry to one side the `Coo`
+    /// rebuild is skipped entirely: the full side is a direct
+    /// clone/convert of `a` (identical sparsity structure, no sort or
+    /// dedup pass) and the other side is an empty matrix.
     pub fn split(a: &Csr<Hi>, threshold: f64) -> Self {
         assert!(threshold >= 0.0);
         let (nr, nc) = (a.nrows(), a.ncols());
+        fn empty<S: Scalar>(nr: usize, nc: usize) -> Csr<S> {
+            Csr::from_raw(nr, nc, vec![0; nr + 1], Vec::new(), Vec::new())
+        }
+        let is_hi = |v: &Hi| v.to_f64().abs() >= threshold;
+        if a.vals().iter().all(is_hi) {
+            return SplitCsr {
+                hi: a.clone(),
+                lo: empty(nr, nc),
+                threshold,
+            };
+        }
+        if !a.vals().iter().any(is_hi) {
+            return SplitCsr {
+                hi: empty(nr, nc),
+                lo: a.convert(),
+                threshold,
+            };
+        }
         let mut hi = Coo::with_capacity(nr, nc, a.nnz());
         let mut lo = Coo::new(nr, nc);
         for r in 0..nr {
@@ -61,6 +84,11 @@ impl<Hi: Scalar, Lo: Scalar> SplitCsr<Hi, Lo> {
     /// The split threshold.
     pub fn threshold(&self) -> f64 {
         self.threshold
+    }
+
+    /// Consume the split into `(hi, lo, threshold)`.
+    pub fn into_parts(self) -> (Csr<Hi>, Csr<Lo>, f64) {
+        (self.hi, self.lo, self.threshold)
     }
 
     /// Fraction of entries demoted to the low precision.
@@ -133,6 +161,37 @@ mod tests {
         assert_eq!(s.hi().nnz(), 0);
         assert_eq!(s.lo_fraction(), 1.0);
         assert!(s.value_bytes() < a.nnz() * 8);
+    }
+
+    #[test]
+    fn one_sided_split_fast_path_matches_coo_rebuild() {
+        let a = wide_range(24);
+        // All-hi side: structure must be exactly a's (the fast path is a
+        // clone, not a Coo round-trip), and the empty side is well formed.
+        let all_hi: SplitCsr<f64, f32> = SplitCsr::split(&a, 0.0);
+        assert_eq!(all_hi.hi().row_ptr(), a.row_ptr());
+        assert_eq!(all_hi.hi().col_idx(), a.col_idx());
+        assert_eq!(all_hi.hi().vals(), a.vals());
+        assert_eq!(all_hi.lo().nnz(), 0);
+        assert_eq!(all_hi.lo().nrows(), a.nrows());
+        // All-lo side: a straight convert of a.
+        let all_lo: SplitCsr<f64, f32> = SplitCsr::split(&a, 1e9);
+        assert_eq!(all_lo.lo().row_ptr(), a.row_ptr());
+        assert_eq!(all_lo.lo().col_idx(), a.col_idx());
+        assert_eq!(all_lo.hi().nnz(), 0);
+        for (got, want) in all_lo.lo().vals().iter().zip(a.vals()) {
+            assert_eq!(*got, *want as f32);
+        }
+        // Both one-sided SpMVs still agree with the full matrix.
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.03).collect();
+        let mut y_full = vec![0.0f64; n];
+        a.spmv(&x, &mut y_full);
+        let mut y_hi = vec![0.0f64; n];
+        all_hi.spmv_simple(&x, &mut y_hi);
+        assert_eq!(y_full, y_hi, "all-hi split is exact");
+        let (h, l, t) = all_lo.into_parts();
+        assert_eq!((h.nnz(), l.nnz(), t), (0, a.nnz(), 1e9));
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod traits;
 mod ulp;
 
 pub use half16::Half;
-pub use precision::Precision;
+pub use precision::{Precision, PrecisionTag};
 pub use traits::Scalar;
 pub use ulp::{ulp_diff_f32, ulp_diff_f64};
 

@@ -68,6 +68,76 @@ impl fmt::Display for Precision {
     }
 }
 
+/// Value-precision descriptor of a matrix *storage* path.
+///
+/// A solver's working precision `S` and the precision its matrix values
+/// are stored in are independent axes (the cuSPARSE fp32-shadow pattern:
+/// compute in fp64, stream fp32 matrix values). `PrecisionTag` names the
+/// storage side so the stream layer can key cached op graphs on it — a
+/// solver that promotes its store mid-run (e.g. IR switching fp32 -> fp64
+/// on stagnation) must land on a *distinct* cached graph, not silently
+/// rebuild or, worse, replay the stale one.
+///
+/// [`PrecisionTag::code`] packs the tag into a `u8` for cheap inclusion
+/// in a hashable region key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PrecisionTag {
+    /// All values stored in one precision.
+    Uniform(Precision),
+    /// Two-bucket split storage: large-magnitude values in `hi`,
+    /// the rest in `lo`.
+    Split {
+        /// Precision of the large-magnitude bucket.
+        hi: Precision,
+        /// Precision of the small-magnitude bucket.
+        lo: Precision,
+    },
+}
+
+impl PrecisionTag {
+    /// Dense `u8` encoding for hashing into region keys.
+    ///
+    /// Uniform tags map to `1 + precision` (1..=3); split tags map to
+    /// `16 + 4*hi + lo` so every (hi, lo) pair is distinct from every
+    /// uniform code. Code `0` is reserved for "untagged" keys.
+    #[inline]
+    pub const fn code(self) -> u8 {
+        const fn ord(p: Precision) -> u8 {
+            match p {
+                Precision::Fp16 => 0,
+                Precision::Fp32 => 1,
+                Precision::Fp64 => 2,
+            }
+        }
+        match self {
+            PrecisionTag::Uniform(p) => 1 + ord(p),
+            PrecisionTag::Split { hi, lo } => 16 + 4 * ord(hi) + ord(lo),
+        }
+    }
+
+    /// The precision that dominates the value-byte traffic.
+    ///
+    /// For a split store this is the `lo` bucket: the split exists
+    /// because most entries land there, so the bandwidth model's
+    /// efficiency lookup follows it.
+    #[inline]
+    pub const fn dominant(self) -> Precision {
+        match self {
+            PrecisionTag::Uniform(p) => p,
+            PrecisionTag::Split { lo, .. } => lo,
+        }
+    }
+}
+
+impl fmt::Display for PrecisionTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrecisionTag::Uniform(p) => f.write_str(p.name()),
+            PrecisionTag::Split { hi, lo } => write!(f, "{}/{}", hi.name(), lo.name()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +164,53 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(Precision::Fp32.to_string(), "fp32");
+    }
+
+    #[test]
+    fn tag_codes_are_distinct_and_nonzero() {
+        let mut codes = vec![];
+        for p in Precision::ALL {
+            codes.push(PrecisionTag::Uniform(p).code());
+        }
+        for hi in Precision::ALL {
+            for lo in Precision::ALL {
+                codes.push(PrecisionTag::Split { hi, lo }.code());
+            }
+        }
+        for (i, a) in codes.iter().enumerate() {
+            assert_ne!(*a, 0, "code 0 is reserved for untagged keys");
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b, "tag codes must be injective");
+            }
+        }
+    }
+
+    #[test]
+    fn tag_dominant_follows_lo_bucket() {
+        assert_eq!(
+            PrecisionTag::Uniform(Precision::Fp32).dominant(),
+            Precision::Fp32
+        );
+        assert_eq!(
+            PrecisionTag::Split {
+                hi: Precision::Fp64,
+                lo: Precision::Fp32
+            }
+            .dominant(),
+            Precision::Fp32
+        );
+    }
+
+    #[test]
+    fn tag_display_names_both_buckets() {
+        assert_eq!(
+            PrecisionTag::Split {
+                hi: Precision::Fp64,
+                lo: Precision::Fp16
+            }
+            .to_string(),
+            "fp64/fp16"
+        );
+        assert_eq!(PrecisionTag::Uniform(Precision::Fp64).to_string(), "fp64");
     }
 }
