@@ -67,7 +67,7 @@ fn bench_poly_setup(c: &mut Criterion) {
     g.bench_function("apply_d25", |bch| {
         bch.iter(|| {
             use mpgmres::precond::Preconditioner;
-            poly.apply(&mut ctx, &a, &x, &mut y)
+            poly.apply(&mut ctx, Some(&a), &x, &mut y)
         })
     });
     g.finish();

@@ -6,15 +6,16 @@
 //!                     [--precision native|fp32|fp16|split:T]
 //!
 //! ids: fig1 fig2 fig3 fig4_table1 fig5 fig6 fig7 vd_model table2 fig8
-//!      vf_degrees table3 multirhs multiprec all
+//!      vf_degrees table3 multirhs multiprec serving all
 //! ```
 //!
 //! `--backend` selects the kernel execution backend (wall-clock only;
 //! simulated V100 results are identical across backends). `--rhs-block`
 //! sets the block width of the `multirhs` batched-solve experiment
 //! (default 4). `--precision` picks the matrix value-storage path added
-//! to the `multiprec` storage sweep. `multirhs` and `multiprec` are
-//! ROADMAP extensions, not paper artifacts, and are not part of `all`.
+//! to the `multiprec` storage sweep. `multirhs`, `multiprec`, and
+//! `serving` (offered-load sweep through `SolverService`) are ROADMAP
+//! extensions, not paper artifacts, and are not part of `all`.
 //!
 //! Aliases: `fig5` runs with `fig4_table1`; `fig7` with `fig6`.
 
@@ -23,7 +24,7 @@ use std::process::ExitCode;
 use mpgmres::{BackendKind, StorePath};
 use mpgmres_bench::experiments::{
     self, convergence, fd_sweep, kernel_breakdown, multiprec, multirhs, poly_degrees,
-    precond_stretched, restart_sweep, spmv_model, suitesparse,
+    precond_stretched, restart_sweep, serving, spmv_model, suitesparse,
 };
 use mpgmres_bench::harness::{parse_store_path, Scale};
 use mpgmres_bench::output;
@@ -46,7 +47,7 @@ fn usage() -> ExitCode {
         "usage: experiments <id>... [--scale F] [--paper-scale] [--quick] [--out DIR] \
          [--backend reference|parallel|parallel-nnz] [--rhs-block K] \
          [--precision native|fp32|fp16|split:T]\n\
-         ids: {} multirhs multiprec all",
+         ids: {} multirhs multiprec serving all",
         ALL_IDS.join(" ")
     );
     ExitCode::FAILURE
@@ -164,6 +165,9 @@ fn main() -> ExitCode {
             Some("multiprec") => {
                 multiprec::run(&opts);
             }
+            Some("serving") => {
+                serving::run(&opts);
+            }
             _ => {
                 eprintln!("unknown experiment id: {id}");
                 return usage();
@@ -192,6 +196,7 @@ fn normalize(id: &str) -> Option<&'static str> {
         "table3" => Some("table3"),
         "multirhs" | "multi-rhs" => Some("multirhs"),
         "multiprec" | "multi-prec" | "precision" => Some("multiprec"),
+        "serving" | "serve" => Some("serving"),
         _ => None,
     }
 }

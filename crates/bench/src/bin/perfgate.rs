@@ -1,6 +1,7 @@
 //! CI perf-trajectory gate: collect the fast-bench artifacts
 //! (`results/stream.json`, `results/multirhs.json`,
-//! `results/pipeline.json`, `results/precision.json`) into one
+//! `results/pipeline.json`, `results/precision.json`,
+//! `results/serving.json`) into one
 //! schema-stable, git-SHA-stamped `results/BENCH_ci.json`, and FAIL the
 //! job when a load-bearing perf property regresses:
 //!
@@ -14,6 +15,11 @@
 //! - the fp32 shadow store's k = 1 SpMM must move `< 0.55x` the bytes
 //!   (and simulated time) of the fp64 store at the pinned shape, with
 //!   both end-to-end IR storage paths converged;
+//! - the serving admission replay hit-rate must stay at 1.0 (a warm
+//!   `SolverService` rerun allocates zero graph nodes and serves every
+//!   admission/cycle graph from cache), every served solve must stay
+//!   bit-identical to an independent `Gmres`, and the hit-rate must not
+//!   regress against the committed baseline;
 //! - the deterministic precision byte ratio must not regress against
 //!   the **committed baseline** `results/BENCH_ci.json` (the per-SHA
 //!   snapshot checked into the repo); the wall-clock-dependent gate
@@ -27,7 +33,7 @@
 //! become one machine-readable, diffable file.
 //!
 //! Set `MPGMRES_PERF_INJECT_REGRESSION=overlap` (or `replay`, or
-//! `precision`) to deliberately corrupt the gated value before
+//! `precision`, or `serving`) to deliberately corrupt the gated value before
 //! checking: CI runs this as an expected-failure step, proving the gate
 //! actually fires. The injected run writes `BENCH_ci_injected.json` so
 //! it can never masquerade as the real artifact.
@@ -101,6 +107,7 @@ fn main() {
     let multirhs = read("multirhs.json");
     let pipeline = read("pipeline.json");
     let precision = read("precision.json");
+    let serving = read("serving.json");
     // The committed per-SHA baseline (this very artifact, from the last
     // PR that refreshed it). Read BEFORE the overwrite below.
     let baseline = fs::read_to_string(dir.join("BENCH_ci.json")).ok();
@@ -167,7 +174,33 @@ fn main() {
         ),
     };
 
-    // --- gate 5 + report: diff against the committed baseline ---------
+    // --- gate 5: serving admission replay economics -------------------
+    let mut serving_hit_rate =
+        extract_number(&serving, "serving_replay_hit_rate").expect("serving.json replay hit rate");
+    let serving_nodes = extract_number(&serving, "serving_warm_nodes_delta")
+        .expect("serving.json warm nodes delta");
+    if inject == "serving" {
+        println!("perfgate: INJECTING serving replay hit-rate regression (rate = 0)");
+        serving_hit_rate = 0.0;
+    }
+    let serving_parity = extract_bool(&serving, "serving_parity_ok").unwrap_or(false);
+    // The hit-rate must not regress against the committed baseline
+    // either (it is deterministic: pure graph-cache accounting).
+    let serving_floor = baseline
+        .as_deref()
+        .and_then(|b| extract_number(b, "serving_replay_hit_rate"))
+        .unwrap_or(0.99)
+        .max(0.99);
+    let g5 = Gate {
+        name: "serving_admission_replay",
+        ok: serving_hit_rate >= serving_floor - 1e-9 && serving_nodes == 0.0 && serving_parity,
+        detail: format!(
+            "hit rate {serving_hit_rate:.6} (floor {serving_floor:.6}), warm nodes delta \
+             {serving_nodes}, parity {serving_parity}"
+        ),
+    };
+
+    // --- gate 6 + report: diff against the committed baseline ---------
     // Only the precision byte ratio is deterministic across machines
     // (pure analytic model), so only it hard-gates; the wall-clock and
     // overlap numbers are diffed for the log and the artifact.
@@ -178,11 +211,15 @@ fn main() {
         "spawn_overhead_us_per_call",
         "fp32_fp64_spmm_byte_ratio",
         "ir_store_sim_speedup",
+        "serving_p50_seconds",
+        "serving_p99_seconds",
+        "serving_occupancy",
+        "serving_replay_hit_rate",
     ];
     // Same artifact order as the combined file, so a key present in
     // several documents resolves identically in baseline and current.
     let current_of = |key: &str| -> Option<f64> {
-        for doc in [&stream, &multirhs, &pipeline, &precision] {
+        for doc in [&stream, &multirhs, &pipeline, &precision, &serving] {
             if let Some(v) = extract_number(doc, key) {
                 return Some(v);
             }
@@ -217,7 +254,7 @@ fn main() {
     } else {
         println!("perfgate: no committed baseline BENCH_ci.json — skipping the diff");
     }
-    let g5 = match &baseline {
+    let g6 = match &baseline {
         Some(base) => match extract_number(base, "fp32_fp64_spmm_byte_ratio") {
             Some(b) => Gate {
                 name: "precision_ratio_vs_baseline",
@@ -237,7 +274,7 @@ fn main() {
         },
     };
 
-    let gates = [g1, g2, g3, g4, g5];
+    let gates = [g1, g2, g3, g4, g5, g6];
     let mut ok = true;
     for g in &gates {
         println!(
@@ -262,7 +299,7 @@ fn main() {
         })
         .collect();
     let combined = format!(
-        "{{\n  \"schema\": 2,\n  \"git_sha\": \"{}\",\n  \"baseline_git_sha\": \"{}\",\n  \"gates\": [\n{}\n  ],\n  \"baseline_deltas\": [\n{}\n  ],\n  \"stream\": {},\n  \"multirhs\": {},\n  \"pipeline\": {},\n  \"precision\": {}\n}}\n",
+        "{{\n  \"schema\": 3,\n  \"git_sha\": \"{}\",\n  \"baseline_git_sha\": \"{}\",\n  \"gates\": [\n{}\n  ],\n  \"baseline_deltas\": [\n{}\n  ],\n  \"stream\": {},\n  \"multirhs\": {},\n  \"pipeline\": {},\n  \"precision\": {},\n  \"serving\": {}\n}}\n",
         git_sha(),
         baseline_sha,
         gates_json.join(",\n"),
@@ -271,6 +308,7 @@ fn main() {
         multirhs.trim(),
         pipeline.trim(),
         precision.trim(),
+        serving.trim(),
     );
     let out = if inject.is_empty() {
         dir.join("BENCH_ci.json")

@@ -23,6 +23,7 @@ pub mod multirhs;
 pub mod poly_degrees;
 pub mod precond_stretched;
 pub mod restart_sweep;
+pub mod serving;
 pub mod spmv_model;
 pub mod suitesparse;
 

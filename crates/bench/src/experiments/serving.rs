@@ -1,0 +1,206 @@
+//! Serving-throughput experiment (ROADMAP extension, not a paper
+//! artifact): push a deterministic open-loop arrival stream through
+//! [`SolverService`] and measure the latency distribution and lane
+//! occupancy the continuous-admission engine sustains at each offered
+//! load, all under the simulated V100 clock.
+//!
+//! The drive loop is shared with `benches/serving.rs` so the CI gate
+//! and the experiment table measure exactly the same scenario: arrivals
+//! accrue as fractional credit per cycle barrier (an offered load of
+//! 0.5 submits one request every other cycle), queued requests admit
+//! into vacated lanes, and each outcome's latency is its simulated
+//! queue wait plus solve time.
+
+use mpgmres::prelude::*;
+use serde::Serialize;
+
+use super::ExpOpts;
+use crate::output::{self, fmt_secs, TextTable};
+
+/// Deterministic payload source: 64-bit LCG (MMIX constants), uniform
+/// in (-1, 1). No `rand`, no wall-clock — reruns are bit-identical.
+pub struct Lcg(pub u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// Uniform in (-1, 1) from the high mantissa bits.
+    pub fn signed_unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+}
+
+/// `count` right-hand sides of dimension `n`, reproducible from `seed`.
+pub fn traffic(seed: u64, n: usize, count: usize) -> Vec<Vec<f64>> {
+    let mut lcg = Lcg(seed);
+    (0..count)
+        .map(|_| (0..n).map(|_| lcg.signed_unit()).collect())
+        .collect()
+}
+
+/// Everything one drive of the service produces, for callers that want
+/// to post-process (parity checks, percentile math, gate fields).
+pub struct DriveResult {
+    /// Outcomes sorted by request id (submission order).
+    pub outcomes: Vec<SolveOutcome<f64>>,
+    pub stats: ServiceStats,
+    /// Simulated seconds the whole drive spanned.
+    pub sim_seconds: f64,
+}
+
+/// Open-loop drive: submit `rhs` at `load` mean arrivals per cycle
+/// barrier (fractional credit accrual), stepping the service until the
+/// last outcome resolves.
+pub fn drive(
+    ctx: &mut GpuContext,
+    a: &GpuMatrix<f64>,
+    cfg: GmresConfig,
+    lanes: usize,
+    rhs: &[Vec<f64>],
+    load: f64,
+) -> DriveResult {
+    assert!(load > 0.0, "offered load must be positive");
+    let mut service = SolverService::new(ServiceConfig::default().with_lanes(lanes));
+    let t0 = ctx.elapsed();
+    let mut next = 0usize;
+    let mut credit = 0.0f64;
+    while next < rhs.len() || service.pending() + service.in_flight() > 0 {
+        credit += load;
+        while credit >= 1.0 && next < rhs.len() {
+            let req = SolveRequest::new(Operator::Matrix(a), &rhs[next]).with_config(cfg);
+            service.submit(ctx, &req).expect("valid serving request");
+            credit -= 1.0;
+            next += 1;
+        }
+        service.step(ctx);
+    }
+    let mut outcomes = service.drain_outcomes();
+    outcomes.sort_by_key(|o| o.id.0);
+    DriveResult {
+        stats: service.stats(),
+        sim_seconds: ctx.elapsed() - t0,
+        outcomes,
+    }
+}
+
+/// Nearest-rank quantile over an ascending-sorted slice.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One measured offered-load point.
+#[derive(Serialize)]
+pub struct LoadPoint {
+    /// Mean arrivals per cycle barrier.
+    pub offered_load: f64,
+    pub completed: usize,
+    /// End-to-end simulated latency (queue wait + solve) percentiles.
+    pub p50_latency_seconds: f64,
+    pub p99_latency_seconds: f64,
+    pub mean_queue_seconds: f64,
+    /// Occupied-lane-cycles over offered lane-cycles.
+    pub occupancy: f64,
+    pub admissions: usize,
+    pub cycles: usize,
+    pub sim_seconds: f64,
+    /// Completed requests per simulated second.
+    pub throughput_per_second: f64,
+}
+
+/// Measure one drive into a [`LoadPoint`].
+pub fn measure(load: f64, r: &DriveResult) -> LoadPoint {
+    let mut lat: Vec<f64> = r
+        .outcomes
+        .iter()
+        .map(|o| o.queued_seconds + o.solve_seconds)
+        .collect();
+    lat.sort_by(f64::total_cmp);
+    let queued: f64 = r.outcomes.iter().map(|o| o.queued_seconds).sum();
+    LoadPoint {
+        offered_load: load,
+        completed: r.outcomes.len(),
+        p50_latency_seconds: quantile(&lat, 0.50),
+        p99_latency_seconds: quantile(&lat, 0.99),
+        mean_queue_seconds: queued / r.outcomes.len().max(1) as f64,
+        occupancy: r.stats.occupancy(),
+        admissions: r.stats.admissions,
+        cycles: r.stats.cycles,
+        sim_seconds: r.sim_seconds,
+        throughput_per_second: r.outcomes.len() as f64 / r.sim_seconds.max(f64::MIN_POSITIVE),
+    }
+}
+
+#[derive(Serialize)]
+struct ServingReport {
+    problem: String,
+    n: usize,
+    lanes: usize,
+    m: usize,
+    requests: usize,
+    points: Vec<LoadPoint>,
+}
+
+/// The `serving` experiment id: offered-load sweep on a 2-D Laplacian,
+/// text table plus `results/serving_experiment.json`.
+pub fn run(opts: &ExpOpts) {
+    let side = 32;
+    let a = GpuMatrix::new(mpgmres_matgen::galeri::laplace2d(side, side));
+    let n = a.n();
+    let dev = DeviceModel::v100_belos().scaled_latencies(n as f64 / 2_250_000.0);
+    let lanes = opts.rhs_block.max(1);
+    let cfg = GmresConfig::default()
+        .with_m(25)
+        .with_rtol(1e-8)
+        .with_max_iters(2_000);
+    let requests = 48;
+    let rhs = traffic(0x5e41_71c3, n, requests);
+
+    println!("serving sweep: laplace2d({side}x{side}), lanes={lanes}, {requests} requests");
+    let mut table = TextTable::new(&[
+        "offered/cycle",
+        "p50 latency",
+        "p99 latency",
+        "mean queue",
+        "occupancy",
+        "throughput/s",
+    ]);
+    let mut points = Vec::new();
+    for load in [0.25, 0.5, 1.0, 2.0] {
+        let mut ctx = GpuContext::new(dev.clone());
+        let r = drive(&mut ctx, &a, cfg, lanes, &rhs, load);
+        let p = measure(load, &r);
+        table.row(vec![
+            format!("{load:.2}"),
+            fmt_secs(p.p50_latency_seconds),
+            fmt_secs(p.p99_latency_seconds),
+            fmt_secs(p.mean_queue_seconds),
+            format!("{:.3}", p.occupancy),
+            format!("{:.1}", p.throughput_per_second),
+        ]);
+        points.push(p);
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+
+    let report = ServingReport {
+        problem: format!("laplace2d({side}x{side})"),
+        n,
+        lanes,
+        m: cfg.m,
+        requests,
+        points,
+    };
+    match output::write_json(&opts.out, "serving_experiment", &report) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => println!("could not write results JSON: {e}"),
+    }
+    let _ = output::write_text(&opts.out, "serving_experiment", &rendered);
+}

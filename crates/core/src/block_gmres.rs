@@ -57,9 +57,10 @@
 //!
 //! [`Gmres`]: crate::gmres::Gmres
 
-use crate::config::{GmresConfig, OrthoMethod};
+use crate::config::{GmresConfig, OrthoMethod, StorePath};
 use crate::context::{GpuContext, GpuMatrix, GpuStore};
 use crate::precond::{Identity, Preconditioner};
+use crate::service::{Disposition, Operator, RequestId, SolveError, SolveOutcome, SolveRequest};
 use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
 use crate::stream::{
     region, ArgSlice, ArgSliceMut, BasisMut, BlockMut, BlockRef, MatRef, RegionKey, StoreRef,
@@ -107,15 +108,14 @@ impl<'a, S: BackendScalar> Operand<'a, S> {
         }
     }
 
-    /// The plain matrix, for the preconditioner interface. Store-path
-    /// solves require the identity preconditioner (asserted at
-    /// construction), whose apply is never reached.
-    fn plain(&self) -> &'a GpuMatrix<S> {
+    /// The plain matrix, for the preconditioner interface. `None` on
+    /// store paths — the boundary rejects preconditioners that need the
+    /// matrix there (`needs_matrix()`), so applies receiving `None` are
+    /// ones that work without it (block Jacobi, cast wrappers).
+    fn plain_opt(&self) -> Option<&'a GpuMatrix<S>> {
         match self {
-            Operand::Plain(a) => a,
-            Operand::Store(_) => {
-                unreachable!("store-path BlockGmres requires the identity preconditioner")
-            }
+            Operand::Plain(a) => Some(a),
+            Operand::Store(_) => None,
         }
     }
 
@@ -177,7 +177,12 @@ pub struct BlockGmres<'a, S: BackendScalar> {
 }
 
 /// Per-column solver state (one lane per right-hand side).
-struct Lane<S> {
+///
+/// `pub(crate)` so the serving engine ([`crate::service`]) can hold lane
+/// slots across admission epochs; all mutation goes through
+/// [`BlockGmres`] methods, which keeps the bit-parity contract in one
+/// place.
+pub(crate) struct Lane<S> {
     /// This lane's own Krylov basis (n x (m+1)).
     v: MultiVector<S>,
     /// Current Hessenberg column assembly buffer (m+2).
@@ -195,6 +200,57 @@ struct Lane<S> {
     in_cycle: bool,
     implicit_claims_convergence: bool,
     lucky: bool,
+    /// Per-lane stopping tolerance. Batch solves copy the solver config;
+    /// the serving engine seeds each admitted request's own tolerance.
+    /// Tolerances only steer stopping decisions — the arithmetic each
+    /// lane runs is tolerance-independent, so mixed-tolerance lanes keep
+    /// the per-lane bit-parity contract.
+    rtol: f64,
+    /// Per-lane iteration cap (same seeding rule as `rtol`).
+    max_iters: usize,
+}
+
+/// Shared lockstep workspaces, sized once for `(n, k, m)` and reused
+/// across cycles — and, in the serving engine, across admission epochs
+/// (reuse is what keeps the recorded regions' buffer registrations
+/// shape-stable between cycles).
+pub(crate) struct LockstepWs<S> {
+    /// Current residual block (n x k), one column per lane slot.
+    pub(crate) r: MultiVec<S>,
+    /// Preconditioned directions Z (n x k, compacted to active lanes).
+    z: MultiVec<S>,
+    /// SpMM output W = A Z (n x k, compacted to active lanes).
+    w: MultiVec<S>,
+    /// Barrier update accumulators (n x k).
+    u: MultiVec<S>,
+    /// Least-squares coefficients, one m-column per lane.
+    ymat: MultiVec<S>,
+    /// Scratch vector for eager preconditioner applications.
+    zvec: Vec<S>,
+    /// First/second-pass projection coefficients (k * m each).
+    h1: Vec<S>,
+    h2: Vec<S>,
+    /// Per-active-lane candidate-basis norms.
+    pub(crate) norms: Vec<S>,
+    /// Per-lane explicit residual norms at the cycle barrier.
+    gammas: Vec<S>,
+}
+
+impl<S: BackendScalar> LockstepWs<S> {
+    pub(crate) fn new(n: usize, k: usize, m: usize) -> Self {
+        LockstepWs {
+            r: MultiVec::zeros(n, k),
+            z: MultiVec::zeros(n, k),
+            w: MultiVec::zeros(n, k),
+            u: MultiVec::zeros(n, k),
+            ymat: MultiVec::zeros(m, k),
+            zvec: vec![S::zero(); n],
+            h1: vec![S::zero(); k * m.max(1)],
+            h2: vec![S::zero(); k * m.max(1)],
+            norms: vec![S::zero(); k],
+            gammas: vec![S::zero(); k],
+        }
+    }
 }
 
 /// Collect `&mut lane.v.col(col)` for the lane indices in `which`, in
@@ -270,7 +326,7 @@ fn upds_mask(upds: &[(usize, usize)]) -> u64 {
 /// the `k` field. Deflation transitions then get their own cache
 /// entries instead of ping-ponging one key between shapes; a hash
 /// collision only costs a verified fallback, never correctness.
-fn pipe_disc(width: usize, masks: [u64; 2]) -> usize {
+pub(crate) fn pipe_disc(width: usize, masks: [u64; 2]) -> usize {
     let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the masks
     for m in masks {
         h = (h ^ m).wrapping_mul(0x100_0000_01b3);
@@ -280,37 +336,132 @@ fn pipe_disc(width: usize, masks: [u64; 2]) -> usize {
 
 impl<'a, S: BackendScalar> BlockGmres<'a, S> {
     /// Build a solver for `A X = B` with a right preconditioner shared
-    /// by all columns.
+    /// by all columns. Panics on an invalid configuration; see
+    /// [`BlockGmres::try_new`] for the typed-error variant.
     pub fn new(a: &'a GpuMatrix<S>, precond: &'a dyn Preconditioner<S>, cfg: GmresConfig) -> Self {
-        assert!(cfg.m >= 1, "restart length must be at least 1");
-        assert!(cfg.pipeline_depth <= 1, "pipeline depth must be 0 or 1");
-        BlockGmres {
+        Self::try_new(a, precond, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`BlockGmres::new`] with the configuration checked into a typed
+    /// [`SolveError`] instead of a panic.
+    pub fn try_new(
+        a: &'a GpuMatrix<S>,
+        precond: &'a dyn Preconditioner<S>,
+        cfg: GmresConfig,
+    ) -> Result<Self, SolveError> {
+        cfg.validate()?;
+        Ok(BlockGmres {
             a: Operand::Plain(a),
             precond,
             cfg,
-        }
+        })
     }
 
     /// Build an unpreconditioned solver over a low-precision storage
     /// path: SpMM/residual kernels read the store's values and
     /// accumulate in `S`, and every recorded region's [`RegionKey`]
     /// carries the store's precision tag, so solves over different
-    /// storage precisions replay distinct cached graphs. Store-path
-    /// solves do not support preconditioning (the preconditioner
-    /// interface is defined over the plain matrix).
+    /// storage precisions replay distinct cached graphs. For
+    /// preconditioned store-path solves see
+    /// [`BlockGmres::try_over_store`].
     pub fn over_store(a: &'a GpuStore<S>, cfg: GmresConfig) -> Self {
-        assert!(cfg.m >= 1, "restart length must be at least 1");
-        assert!(cfg.pipeline_depth <= 1, "pipeline depth must be 0 or 1");
-        BlockGmres {
+        Self::try_over_store(a, &IDENT, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build a solver over a storage path with a preconditioner that
+    /// does not need the plain matrix at application time
+    /// ([`Preconditioner::needs_matrix`] is `false`: identity, block
+    /// Jacobi, cast wrappers). The SpMM streams the store's narrow
+    /// values while the preconditioner applies in the working
+    /// precision. A matrix-needing preconditioner degrades to
+    /// [`SolveError::UnsupportedCombination`] — a packed store cannot
+    /// feed its SpMVs.
+    pub fn try_over_store(
+        a: &'a GpuStore<S>,
+        precond: &'a dyn Preconditioner<S>,
+        cfg: GmresConfig,
+    ) -> Result<Self, SolveError> {
+        cfg.validate()?;
+        if precond.needs_matrix() {
+            return Err(SolveError::UnsupportedCombination(format!(
+                "preconditioner '{}' needs the plain matrix, which a packed \
+                 storage path ({} values) does not carry",
+                precond.describe(),
+                a.tag(),
+            )));
+        }
+        Ok(BlockGmres {
             a: Operand::Store(a),
-            precond: &IDENT,
+            precond,
             cfg,
+        })
+    }
+
+    /// Serve one [`SolveRequest`] through this driver (k = 1). A plain
+    /// matrix operand with a non-native [`StorePath`] gets a store
+    /// built on the spot; every outcome is bit-identical to the
+    /// equivalent ahead-of-time construction.
+    pub fn serve(
+        ctx: &mut GpuContext,
+        req: &SolveRequest<'a, '_, S>,
+    ) -> Result<SolveOutcome<S>, SolveError> {
+        req.validate()?;
+        match (req.operator, req.store) {
+            (Operator::Matrix(a), StorePath::Native) => {
+                let solver = Self::try_new(a, req.precond, req.config)?;
+                Ok(solver.serve_one(ctx, req))
+            }
+            (Operator::Matrix(a), StorePath::Shadow(p)) => {
+                let store = GpuStore::shadow_of(a, p);
+                let solver = BlockGmres::try_over_store(&store, req.precond, req.config)?;
+                Ok(solver.serve_one(ctx, req))
+            }
+            (Operator::Matrix(a), StorePath::Split(t)) => {
+                let store = GpuStore::split_of(a, t);
+                let solver = BlockGmres::try_over_store(&store, req.precond, req.config)?;
+                Ok(solver.serve_one(ctx, req))
+            }
+            (Operator::Store(s), StorePath::Native) => {
+                let solver = Self::try_over_store(s, req.precond, req.config)?;
+                Ok(solver.serve_one(ctx, req))
+            }
+            (Operator::Store(_), _) => Err(SolveError::UnsupportedCombination(
+                "a store operand already fixes the storage path; \
+                 leave `store` at StorePath::Native"
+                    .into(),
+            )),
+        }
+    }
+
+    /// Run a validated single-RHS request to completion on this solver.
+    fn serve_one(&self, ctx: &mut GpuContext, req: &SolveRequest<'_, '_, S>) -> SolveOutcome<S> {
+        let n = self.a.n();
+        let mut b = MultiVec::<S>::zeros(n, 1);
+        b.col_mut(0).copy_from_slice(req.rhs);
+        let mut x = MultiVec::<S>::zeros(n, 1);
+        if let Some(x0) = req.x0 {
+            x.col_mut(0).copy_from_slice(x0);
+        }
+        let start = ctx.elapsed();
+        let mut results = self.solve(ctx, &b, &mut x);
+        SolveOutcome {
+            id: RequestId(0),
+            x: x.col(0).to_vec(),
+            result: Some(results.pop().expect("one column solved")),
+            disposition: Disposition::Completed,
+            queued_seconds: 0.0,
+            solve_seconds: ctx.elapsed() - start,
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &GmresConfig {
         &self.cfg
+    }
+
+    /// Operand dimension (for the serving engine's buffer sizing).
+    pub(crate) fn n(&self) -> usize {
+        self.a.n()
     }
 
     /// Solve `A X = B` starting from the initial guesses in `x`; the
@@ -325,9 +476,11 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
     ) -> Vec<SolveResult> {
         let n = self.a.n();
         let k = b.k();
-        assert_eq!(b.n(), n, "rhs row count mismatch");
-        assert_eq!(x.n(), n, "solution row count mismatch");
-        assert_eq!(x.k(), k, "solution column count mismatch");
+        // The request surface reports these as SolveError::DimensionMismatch;
+        // callers reaching the raw driver keep the debug-build guard.
+        debug_assert_eq!(b.n(), n, "rhs row count mismatch");
+        debug_assert_eq!(x.n(), n, "solution row count mismatch");
+        debug_assert_eq!(x.k(), k, "solution column count mismatch");
         // MGS interleaves every kernel with a host decision — there is
         // no device stream to pipeline against, so it always runs the
         // lockstep driver.
@@ -351,7 +504,6 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
     ) -> (Vec<Lane<S>>, Vec<Option<SolveResult>>) {
         let n = self.a.n();
         let k = b.k();
-        let m = self.cfg.m;
         {
             let mut st = ctx.stream_for(
                 RegionKey::new(region::BLOCK_INIT, n)
@@ -374,60 +526,171 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
         let mut results: Vec<Option<SolveResult>> = (0..k).map(|_| None).collect();
 
         for (l, result) in results.iter_mut().enumerate() {
-            let gamma = norms[l];
-            let r0_norm = gamma.to_f64();
-            let mut history: Vec<HistoryPoint> = Vec::new();
-            if !r0_norm.is_finite() {
-                *result = Some(SolveResult {
-                    status: SolveStatus::Breakdown,
-                    iterations: 0,
-                    restarts: 0,
-                    final_relative_residual: f64::NAN,
-                    history: Vec::new(),
+            let (lane, terminal) = self.lane_from_norm(norms[l], self.cfg.rtol, self.cfg.max_iters);
+            *result = terminal;
+            lanes.push(lane);
+        }
+        (lanes, results)
+    }
+
+    /// Initial residuals and reference norms for a set of lanes being
+    /// admitted into a running engine: `r[:, l] = b[:, l] - A x[:, l]`
+    /// and `norms[l]` for each admitted slot `l`, recorded as one
+    /// [`region::BLOCK_ADMIT`] region. The admitted-slot set rides the
+    /// key's lane mask and `disc` (a hash of the tenant and any other
+    /// admission discriminators) rides the spare `k` bits, exactly how
+    /// deflation masks already key the pipelined regions — so each
+    /// admission-transition shape warms its own cached graph instead of
+    /// ping-ponging one entry. A slot set that does not fit the 64-bit
+    /// mask falls back to an uncached region.
+    pub(crate) fn admit_lanes(
+        &self,
+        ctx: &mut GpuContext,
+        b: &MultiVec<S>,
+        x: &MultiVec<S>,
+        ws: &mut LockstepWs<S>,
+        admit: &[usize],
+        disc: usize,
+    ) {
+        let n = self.a.n();
+        let key = RegionKey::lane_mask(admit).map(|mask| {
+            RegionKey::new(region::BLOCK_ADMIT, n)
+                .with_k(disc)
+                .with_lanes(mask)
+                .with_tag(self.a.tag8())
+        });
+        let mut st = match key {
+            Some(key) => ctx.stream_for(key),
+            None => ctx.stream(),
+        };
+        let ah = self.a.register(&mut st);
+        let bh = st.block(b);
+        let xh = st.block(x);
+        let rh = st.block_mut(&mut ws.r);
+        let nh = st.slice_mut(&mut ws.norms);
+        for &l in admit {
+            rec_residual(&mut st, ah, bh.col(l), xh.col(l), rh.col_mut(l));
+            st.norm2_into(rh.col(l), nh.at(l));
+        }
+        st.sync();
+    }
+
+    /// A vacant lane slot for the serving engine: zero-row basis, no
+    /// state, immediately terminal if ever collected (it never is — the
+    /// engine only cycles occupied slots).
+    pub(crate) fn free_lane(&self) -> Lane<S> {
+        Lane {
+            v: MultiVector::zeros(0, self.cfg.m + 1),
+            hcol: vec![S::zero(); self.cfg.m + 2],
+            lsq: None,
+            gamma: S::zero(),
+            scale: 0.0,
+            total_iters: 0,
+            restarts: 0,
+            history: Vec::new(),
+            final_rel: 1.0,
+            pending: None,
+            in_cycle: false,
+            implicit_claims_convergence: false,
+            lucky: false,
+            rtol: self.cfg.rtol,
+            max_iters: self.cfg.max_iters,
+        }
+    }
+
+    /// Fresh lane state from an initial residual norm — the per-lane
+    /// half of [`BlockGmres::init_lanes`], shared with the serving
+    /// engine's admission path so a mid-flight seeded lane starts from
+    /// the exact state an independent solve would. Returns the lane and
+    /// an immediately-terminal result for degenerate starts (NaN
+    /// residual, zero RHS, vacuous tolerance).
+    pub(crate) fn lane_from_norm(
+        &self,
+        norm: S,
+        rtol: f64,
+        max_iters: usize,
+    ) -> (Lane<S>, Option<SolveResult>) {
+        let n = self.a.n();
+        let m = self.cfg.m;
+        let r0_norm = norm.to_f64();
+        let mut history: Vec<HistoryPoint> = Vec::new();
+        let mut result = None;
+        if !r0_norm.is_finite() {
+            result = Some(SolveResult {
+                status: SolveStatus::Breakdown,
+                iterations: 0,
+                restarts: 0,
+                final_relative_residual: f64::NAN,
+                history: Vec::new(),
+            });
+        } else if r0_norm == 0.0 {
+            result = Some(SolveResult {
+                status: SolveStatus::Converged,
+                iterations: 0,
+                restarts: 0,
+                final_relative_residual: 0.0,
+                history: Vec::new(),
+            });
+        } else {
+            if self.cfg.record_history {
+                history.push(HistoryPoint {
+                    iteration: 0,
+                    relative_residual: 1.0,
+                    kind: HistoryKind::Explicit,
                 });
-            } else if r0_norm == 0.0 {
-                *result = Some(SolveResult {
+            }
+            if rtol >= 1.0 {
+                result = Some(SolveResult {
                     status: SolveStatus::Converged,
                     iterations: 0,
                     restarts: 0,
-                    final_relative_residual: 0.0,
-                    history: Vec::new(),
+                    final_relative_residual: 1.0,
+                    history: std::mem::take(&mut history),
                 });
-            } else {
-                if self.cfg.record_history {
-                    history.push(HistoryPoint {
-                        iteration: 0,
-                        relative_residual: 1.0,
-                        kind: HistoryKind::Explicit,
-                    });
-                }
-                if self.cfg.rtol >= 1.0 {
-                    *result = Some(SolveResult {
-                        status: SolveStatus::Converged,
-                        iterations: 0,
-                        restarts: 0,
-                        final_relative_residual: 1.0,
-                        history: std::mem::take(&mut history),
-                    });
-                }
             }
-            lanes.push(Lane {
-                v: MultiVector::zeros(if result.is_none() { n } else { 0 }, m + 1),
-                hcol: vec![S::zero(); m + 2],
-                lsq: None,
-                gamma,
-                scale: r0_norm,
-                total_iters: 0,
-                restarts: 0,
-                history,
-                final_rel: 1.0,
-                pending: None,
-                in_cycle: false,
-                implicit_claims_convergence: false,
-                lucky: false,
-            });
         }
-        (lanes, results)
+        let lane = Lane {
+            v: MultiVector::zeros(if result.is_none() { n } else { 0 }, m + 1),
+            hcol: vec![S::zero(); m + 2],
+            lsq: None,
+            gamma: norm,
+            scale: r0_norm,
+            total_iters: 0,
+            restarts: 0,
+            history,
+            final_rel: 1.0,
+            pending: None,
+            in_cycle: false,
+            implicit_claims_convergence: false,
+            lucky: false,
+            rtol,
+            max_iters,
+        };
+        (lane, result)
+    }
+
+    /// Re-seed an existing lane slot in place (serving-engine admission):
+    /// same state transition as [`BlockGmres::lane_from_norm`], but the
+    /// basis allocation is reused when the slot was occupied before.
+    pub(crate) fn reseed_lane(
+        &self,
+        slot: &mut Lane<S>,
+        norm: S,
+        rtol: f64,
+        max_iters: usize,
+    ) -> Option<SolveResult> {
+        let n = self.a.n();
+        let m = self.cfg.m;
+        let (mut lane, result) = self.lane_from_norm(norm, rtol, max_iters);
+        if result.is_none() && slot.v.n() == n && slot.v.max_cols() == m + 1 {
+            // Reuse the previous occupant's basis storage: every column
+            // the new solve reads is written earlier in the same cycle,
+            // so stale values are never observed (same argument that
+            // lets restart cycles reuse the basis in place).
+            std::mem::swap(&mut lane.v, &mut slot.v);
+        }
+        *slot = lane;
+        result
     }
 
     /// Columns still solving, in lane order; lanes at the iteration cap
@@ -437,13 +700,25 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
         lanes: &mut [Lane<S>],
         results: &mut [Option<SolveResult>],
     ) -> Vec<usize> {
+        self.collect_cycle_eligible(lanes, results, |_| true)
+    }
+
+    /// [`BlockGmres::collect_cycle`] restricted to eligible slots — the
+    /// serving engine passes its occupancy map so vacant lane slots
+    /// never enter a cycle.
+    pub(crate) fn collect_cycle_eligible(
+        &self,
+        lanes: &mut [Lane<S>],
+        results: &mut [Option<SolveResult>],
+        eligible: impl Fn(usize) -> bool,
+    ) -> Vec<usize> {
         let mut cycle = Vec::with_capacity(lanes.len());
         for (l, result) in results.iter_mut().enumerate() {
-            if result.is_some() {
+            if result.is_some() || !eligible(l) {
                 continue;
             }
             let lane = &mut lanes[l];
-            if lane.total_iters >= self.cfg.max_iters {
+            if lane.total_iters >= lane.max_iters {
                 *result = Some(SolveResult {
                     status: SolveStatus::MaxIters,
                     iterations: lane.total_iters,
@@ -544,7 +819,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
         }
         let inv = S::from_f64(1.0 / hj1.to_f64());
 
-        if self.cfg.monitor_implicit && implicit_rel <= self.cfg.rtol {
+        if self.cfg.monitor_implicit && implicit_rel <= lane.rtol {
             lane.implicit_claims_convergence = true;
             lane.in_cycle = false;
         }
@@ -653,20 +928,20 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
             let status = if let Some(s) = lane.pending {
                 // Breakdown paths: report convergence if the explicit
                 // residual happens to clear the tolerance.
-                Some(if explicit_rel <= self.cfg.rtol {
+                Some(if explicit_rel <= lane.rtol {
                     SolveStatus::Converged
                 } else {
                     s
                 })
             } else if !explicit_rel.is_finite() {
                 Some(SolveStatus::Breakdown)
-            } else if explicit_rel <= self.cfg.rtol {
+            } else if explicit_rel <= lane.rtol {
                 Some(SolveStatus::Converged)
             } else if (lane.implicit_claims_convergence || lane.lucky)
-                && explicit_rel > self.cfg.loa_factor * self.cfg.rtol
+                && explicit_rel > self.cfg.loa_factor * lane.rtol
             {
                 Some(SolveStatus::LossOfAccuracy)
-            } else if lane.total_iters >= self.cfg.max_iters {
+            } else if lane.total_iters >= lane.max_iters {
                 Some(SolveStatus::MaxIters)
             } else {
                 None
@@ -693,172 +968,214 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
     ) -> Vec<SolveResult> {
         let n = self.a.n();
         let k = b.k();
-        let m = self.cfg.m;
+        let mut ws = LockstepWs::new(n, k, self.cfg.m);
 
-        // Shared workspaces. `z` holds the (preconditioned) directions
-        // fed to SpMM, `w` the SpMM output being orthogonalized; both
-        // are compacted over the active columns each step. `u` holds one
-        // update-assembly column per lane so the barrier's per-lane
-        // chains stay independent in the recorded DAG; `ymat` holds the
-        // width-padded per-lane update coefficients that keep the
-        // barrier regions shape-stable (ROADMAP learning (c)).
-        let mut r = MultiVec::<S>::zeros(n, k);
-        let mut z = MultiVec::<S>::zeros(n, k);
-        let mut w = MultiVec::<S>::zeros(n, k);
-        let mut u = MultiVec::<S>::zeros(n, k);
-        let mut ymat = MultiVec::<S>::zeros(m, k);
-        let mut zvec = vec![S::zero(); n];
-        let mut h1 = vec![S::zero(); k * m.max(1)];
-        let mut h2 = vec![S::zero(); k * m.max(1)];
-        let mut norms = vec![S::zero(); k];
-        let mut gammas = vec![S::zero(); k];
-
-        let (mut lanes, mut results) = self.init_lanes(ctx, b, x, &mut r, &mut norms);
+        let (mut lanes, mut results) = self.init_lanes(ctx, b, x, &mut ws.r, &mut ws.norms);
 
         loop {
             let cycle = self.collect_cycle(&mut lanes, &mut results);
             if cycle.is_empty() {
                 break;
             }
-            self.start_cycle(ctx, &mut lanes, &r, &cycle);
+            self.run_cycle(ctx, &mut lanes, &mut results, &mut ws, b, x, &cycle);
+        }
 
-            for j in 0..m {
-                // Lanes still iterating this cycle (lockstep: all share j).
-                let act: Vec<usize> = cycle
-                    .iter()
-                    .copied()
-                    .filter(|&l| lanes[l].in_cycle && lanes[l].total_iters < self.cfg.max_iters)
-                    .collect();
-                if act.is_empty() {
-                    break;
-                }
-                let kc = act.len();
-                let ncols = j + 1;
+        results
+            .into_iter()
+            .map(|r| r.expect("every column resolved"))
+            .collect()
+    }
 
-                // Direction block: Z[:, c] = M^{-1} v_j^{(c)} — one
-                // fused lane gather when the preconditioner is the
-                // identity (the per-lane copies the recorded DAG was
-                // built to absorb), per-lane applications otherwise.
-                if self.precond.is_identity() {
-                    let srcs: Vec<&[S]> = act.iter().map(|&l| lanes[l].v.col(j)).collect();
-                    let mut dsts = z.cols_mut(kc);
-                    ctx.lane_copy(&srcs, &mut dsts);
-                } else {
-                    for (c, &l) in act.iter().enumerate() {
-                        self.precond
-                            .apply(ctx, self.a.plain(), lanes[l].v.col(j), z.col_mut(c));
-                    }
-                }
+    /// One full lockstep GMRES(m) cycle over the given lane set: cycle
+    /// start (`v1 = r/gamma`), `m` lockstep Arnoldi steps, the cycle
+    /// barrier (per-lane least-squares solves, solution updates,
+    /// explicit residuals), and per-lane status resolution. Extracted
+    /// verbatim from the lockstep driver so the serving engine runs the
+    /// identical arithmetic between admission barriers — the existing
+    /// batch parity suite therefore covers the served path too.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_cycle(
+        &self,
+        ctx: &mut GpuContext,
+        lanes: &mut [Lane<S>],
+        results: &mut [Option<SolveResult>],
+        ws: &mut LockstepWs<S>,
+        b: &MultiVec<S>,
+        x: &mut MultiVec<S>,
+        cycle: &[usize],
+    ) {
+        let n = self.a.n();
+        let k = b.k();
+        let m = self.cfg.m;
+        self.start_cycle(ctx, lanes, &ws.r, cycle);
 
-                // W = A Z (one matrix read for all kc columns) plus the
-                // blocked orthogonalization: one recorded region, a
-                // chain through W like the single-RHS CGS region. The
-                // shape is stable in (n, ncols, kc, active lane set),
-                // so steady-state lockstep iterations replay a cached
-                // graph; a lane set that doesn't fit the 64-bit mask
-                // falls back to an uncached (re-derived) region.
-                match self.cfg.ortho {
-                    OrthoMethod::Cgs2 | OrthoMethod::Cgs1 => {
-                        let two_pass = self.cfg.ortho == OrthoMethod::Cgs2;
-                        let vs: Vec<&MultiVector<S>> = act.iter().map(|&l| &lanes[l].v).collect();
-                        let key = RegionKey::lane_mask(&act).map(|m| {
-                            let id = if two_pass {
-                                region::BLOCK_CGS
-                            } else {
-                                region::BLOCK_CGS1
-                            };
-                            RegionKey::new(id, n)
-                                .with_ncols(ncols)
-                                .with_k(kc)
-                                .with_lanes(m)
-                                .with_tag(self.a.tag8())
-                        });
-                        let mut st = match key {
-                            Some(key) => ctx.stream_for(key),
-                            None => ctx.stream(),
-                        };
-                        let ah = self.a.register(&mut st);
-                        let zh = st.block(&z);
-                        let wh = st.block_mut(&mut w);
-                        let vsh = st.bases(&vs);
-                        let h1h = st.slice_mut(&mut h1[..kc * ncols]);
-                        let nh = st.slice_mut(&mut norms);
-                        rec_spmm(&mut st, ah, zh, kc, wh);
-                        st.block_gemv_t(vsh, ncols, wh.read(), h1h);
-                        st.block_gemv_n_sub(vsh, ncols, h1h.read(), wh);
-                        if two_pass {
-                            let h2h = st.slice_mut(&mut h2[..kc * ncols]);
-                            st.block_gemv_t(vsh, ncols, wh.read(), h2h);
-                            st.block_gemv_n_sub(vsh, ncols, h2h.read(), wh);
-                        }
-                        st.block_norm2_into(wh.read(), kc, nh);
-                        st.sync();
-                    }
-                    OrthoMethod::Mgs => {
-                        // 2j skinny kernels per lane, each feeding the
-                        // next host decision; nothing to batch or record.
-                        self.a.eager_spmm(ctx, &z, kc, &mut w);
-                        for (c, &l) in act.iter().enumerate() {
-                            for i in 0..ncols {
-                                let hi = ctx.dot(lanes[l].v.col(i), w.col(c));
-                                ctx.axpy(-hi, lanes[l].v.col(i), w.col_mut(c));
-                                h1[c * ncols + i] = hi;
-                            }
-                        }
-                        ctx.block_norm2(&w, kc, &mut norms);
-                    }
-                }
-
-                // Per-lane host steps (Hessenberg column assembly,
-                // Givens update, convergence decisions); lanes that keep
-                // iterating queue their basis extension for one fused
-                // lane-set scatter below.
-                let mut store: Vec<(usize, usize, S)> = Vec::new(); // (col, lane, 1/h)
-                for (c, &l) in act.iter().enumerate() {
-                    ctx.charge_iteration_host(j);
-                    if let Some(inv) =
-                        self.lane_host_step(&mut lanes[l], c, ncols, &h1, &h2, norms[c])
-                    {
-                        store.push((c, l, inv));
-                    }
-                }
-
-                // v_{j+1}^{(l)} = w_c / h_{j+1,j}: one fused lane-set
-                // normalize-and-store for every extending lane (the
-                // per-lane copy + scal pair this replaces is the small
-                // kernel the ROADMAP flagged; bit-identical per lane).
-                if !store.is_empty() {
-                    let alphas: Vec<S> = store.iter().map(|&(_, _, inv)| inv).collect();
-                    let srcs: Vec<&[S]> = store.iter().map(|&(c, _, _)| w.col(c)).collect();
-                    let which: Vec<usize> = store.iter().map(|&(_, l, _)| l).collect();
-                    let mut dsts = lane_cols_mut(&mut lanes, &which, j + 1);
-                    ctx.lane_scal_copy(&alphas, &srcs, &mut dsts);
-                }
+        for j in 0..m {
+            // Lanes still iterating this cycle (lockstep: all share j).
+            let act: Vec<usize> = cycle
+                .iter()
+                .copied()
+                .filter(|&l| lanes[l].in_cycle && lanes[l].total_iters < lanes[l].max_iters)
+                .collect();
+            if act.is_empty() {
+                break;
             }
+            let kc = act.len();
+            let ncols = j + 1;
 
-            // Cycle barrier, phase 1 (host): per-lane least-squares
-            // solves and restart bookkeeping; each solved lane queues
-            // its (width-padded) update for the recorded device phase.
-            // The shared helper charges nothing; the eager restart
-            // charges are emitted here per update lane in the same
-            // order (nothing else charges in between), keeping the
-            // lockstep charge sequence bitwise unchanged.
-            let upds = self.barrier_lsq(&mut lanes, &cycle, &mut u, &mut ymat);
-            for &(_, kc) in &upds {
-                ctx.charge_restart_host(kc);
-            }
-
-            // Phase 2 (device): per-lane update chains x += M^{-1} V y
-            // and explicit residuals. Each lane's chain (GEMV-N -> axpy
-            // -> residual -> norm) is independent of every other lane's,
-            // so the recorded DAG overlaps them. The per-lane update
-            // widths (`kc`) vary lane to lane, but they live only in
-            // the payload: the recorded GEMV reads the full width-padded
-            // coefficient span, so the region is shape-stable and hits
-            // the replay cache (keyed on the cycle/update lane sets).
+            // Direction block: Z[:, c] = M^{-1} v_j^{(c)} — one
+            // fused lane gather when the preconditioner is the
+            // identity (the per-lane copies the recorded DAG was
+            // built to absorb), per-lane applications otherwise.
             if self.precond.is_identity() {
-                let key = RegionKey::lane_mask(&cycle).map(|cm| {
-                    RegionKey::new(region::BLOCK_BARRIER, n)
+                let srcs: Vec<&[S]> = act.iter().map(|&l| lanes[l].v.col(j)).collect();
+                let mut dsts = ws.z.cols_mut(kc);
+                ctx.lane_copy(&srcs, &mut dsts);
+            } else {
+                for (c, &l) in act.iter().enumerate() {
+                    self.precond
+                        .apply(ctx, self.a.plain_opt(), lanes[l].v.col(j), ws.z.col_mut(c));
+                }
+            }
+
+            // W = A Z (one matrix read for all kc columns) plus the
+            // blocked orthogonalization: one recorded region, a
+            // chain through W like the single-RHS CGS region. The
+            // shape is stable in (n, ncols, kc, active lane set),
+            // so steady-state lockstep iterations replay a cached
+            // graph; a lane set that doesn't fit the 64-bit mask
+            // falls back to an uncached (re-derived) region.
+            match self.cfg.ortho {
+                OrthoMethod::Cgs2 | OrthoMethod::Cgs1 => {
+                    let two_pass = self.cfg.ortho == OrthoMethod::Cgs2;
+                    let vs: Vec<&MultiVector<S>> = act.iter().map(|&l| &lanes[l].v).collect();
+                    let key = RegionKey::lane_mask(&act).map(|m| {
+                        let id = if two_pass {
+                            region::BLOCK_CGS
+                        } else {
+                            region::BLOCK_CGS1
+                        };
+                        RegionKey::new(id, n)
+                            .with_ncols(ncols)
+                            .with_k(kc)
+                            .with_lanes(m)
+                            .with_tag(self.a.tag8())
+                    });
+                    let mut st = match key {
+                        Some(key) => ctx.stream_for(key),
+                        None => ctx.stream(),
+                    };
+                    let ah = self.a.register(&mut st);
+                    let zh = st.block(&ws.z);
+                    let wh = st.block_mut(&mut ws.w);
+                    let vsh = st.bases(&vs);
+                    let h1h = st.slice_mut(&mut ws.h1[..kc * ncols]);
+                    let nh = st.slice_mut(&mut ws.norms);
+                    rec_spmm(&mut st, ah, zh, kc, wh);
+                    st.block_gemv_t(vsh, ncols, wh.read(), h1h);
+                    st.block_gemv_n_sub(vsh, ncols, h1h.read(), wh);
+                    if two_pass {
+                        let h2h = st.slice_mut(&mut ws.h2[..kc * ncols]);
+                        st.block_gemv_t(vsh, ncols, wh.read(), h2h);
+                        st.block_gemv_n_sub(vsh, ncols, h2h.read(), wh);
+                    }
+                    st.block_norm2_into(wh.read(), kc, nh);
+                    st.sync();
+                }
+                OrthoMethod::Mgs => {
+                    // 2j skinny kernels per lane, each feeding the
+                    // next host decision; nothing to batch or record.
+                    self.a.eager_spmm(ctx, &ws.z, kc, &mut ws.w);
+                    for (c, &l) in act.iter().enumerate() {
+                        for i in 0..ncols {
+                            let hi = ctx.dot(lanes[l].v.col(i), ws.w.col(c));
+                            ctx.axpy(-hi, lanes[l].v.col(i), ws.w.col_mut(c));
+                            ws.h1[c * ncols + i] = hi;
+                        }
+                    }
+                    ctx.block_norm2(&ws.w, kc, &mut ws.norms);
+                }
+            }
+
+            // Per-lane host steps (Hessenberg column assembly,
+            // Givens update, convergence decisions); lanes that keep
+            // iterating queue their basis extension for one fused
+            // lane-set scatter below.
+            let mut store: Vec<(usize, usize, S)> = Vec::new(); // (col, lane, 1/h)
+            for (c, &l) in act.iter().enumerate() {
+                ctx.charge_iteration_host(j);
+                if let Some(inv) =
+                    self.lane_host_step(&mut lanes[l], c, ncols, &ws.h1, &ws.h2, ws.norms[c])
+                {
+                    store.push((c, l, inv));
+                }
+            }
+
+            // v_{j+1}^{(l)} = w_c / h_{j+1,j}: one fused lane-set
+            // normalize-and-store for every extending lane (the
+            // per-lane copy + scal pair this replaces is the small
+            // kernel the ROADMAP flagged; bit-identical per lane).
+            if !store.is_empty() {
+                let alphas: Vec<S> = store.iter().map(|&(_, _, inv)| inv).collect();
+                let srcs: Vec<&[S]> = store.iter().map(|&(c, _, _)| ws.w.col(c)).collect();
+                let which: Vec<usize> = store.iter().map(|&(_, l, _)| l).collect();
+                let mut dsts = lane_cols_mut(lanes, &which, j + 1);
+                ctx.lane_scal_copy(&alphas, &srcs, &mut dsts);
+            }
+        }
+
+        // Cycle barrier, phase 1 (host): per-lane least-squares
+        // solves and restart bookkeeping; each solved lane queues
+        // its (width-padded) update for the recorded device phase.
+        // The shared helper charges nothing; the eager restart
+        // charges are emitted here per update lane in the same
+        // order (nothing else charges in between), keeping the
+        // lockstep charge sequence bitwise unchanged.
+        let upds = self.barrier_lsq(lanes, cycle, &mut ws.u, &mut ws.ymat);
+        for &(_, kc) in &upds {
+            ctx.charge_restart_host(kc);
+        }
+
+        // Phase 2 (device): per-lane update chains x += M^{-1} V y
+        // and explicit residuals. Each lane's chain (GEMV-N -> axpy
+        // -> residual -> norm) is independent of every other lane's,
+        // so the recorded DAG overlaps them. The per-lane update
+        // widths (`kc`) vary lane to lane, but they live only in
+        // the payload: the recorded GEMV reads the full width-padded
+        // coefficient span, so the region is shape-stable and hits
+        // the replay cache (keyed on the cycle/update lane sets).
+        if self.precond.is_identity() {
+            let key = RegionKey::lane_mask(cycle).map(|cm| {
+                RegionKey::new(region::BLOCK_BARRIER, n)
+                    .with_ncols(upds_mask(&upds) as usize)
+                    .with_k(k)
+                    .with_lanes(cm)
+                    .with_tag(self.a.tag8())
+            });
+            let mut st = match key {
+                Some(key) => ctx.stream_for(key),
+                None => ctx.stream(),
+            };
+            let ah = self.a.register(&mut st);
+            let bh = st.block(b);
+            let xh = st.block_mut(&mut *x);
+            let rh = st.block_mut(&mut ws.r);
+            let uh = st.block_mut(&mut ws.u);
+            let yh = st.block(&ws.ymat);
+            let gh = st.slice_mut(&mut ws.gammas);
+            for &(l, kc) in &upds {
+                let vh = st.basis(&lanes[l].v);
+                st.gemv_n_add_padded(vh, kc, yh.col(l), uh.col_mut(l));
+                st.axpy(S::one(), uh.col(l), xh.col_mut(l));
+            }
+            for &l in cycle {
+                rec_residual(&mut st, ah, bh.col(l), xh.col(l), rh.col_mut(l));
+                st.norm2_into(rh.col(l), gh.at(l));
+            }
+            st.sync();
+        } else {
+            {
+                let key = RegionKey::lane_mask(cycle).map(|cm| {
+                    RegionKey::new(region::BLOCK_BARRIER_UPD, n)
                         .with_ncols(upds_mask(&upds) as usize)
                         .with_k(k)
                         .with_lanes(cm)
@@ -868,61 +1185,25 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                     Some(key) => ctx.stream_for(key),
                     None => ctx.stream(),
                 };
-                let ah = self.a.register(&mut st);
-                let bh = st.block(b);
-                let xh = st.block_mut(&mut *x);
-                let rh = st.block_mut(&mut r);
-                let uh = st.block_mut(&mut u);
-                let yh = st.block(&ymat);
-                let gh = st.slice_mut(&mut gammas);
+                let uh = st.block_mut(&mut ws.u);
+                let yh = st.block(&ws.ymat);
                 for &(l, kc) in &upds {
                     let vh = st.basis(&lanes[l].v);
                     st.gemv_n_add_padded(vh, kc, yh.col(l), uh.col_mut(l));
-                    st.axpy(S::one(), uh.col(l), xh.col_mut(l));
-                }
-                for &l in &cycle {
-                    rec_residual(&mut st, ah, bh.col(l), xh.col(l), rh.col_mut(l));
-                    st.norm2_into(rh.col(l), gh.at(l));
                 }
                 st.sync();
-            } else {
-                {
-                    let key = RegionKey::lane_mask(&cycle).map(|cm| {
-                        RegionKey::new(region::BLOCK_BARRIER_UPD, n)
-                            .with_ncols(upds_mask(&upds) as usize)
-                            .with_k(k)
-                            .with_lanes(cm)
-                            .with_tag(self.a.tag8())
-                    });
-                    let mut st = match key {
-                        Some(key) => ctx.stream_for(key),
-                        None => ctx.stream(),
-                    };
-                    let uh = st.block_mut(&mut u);
-                    let yh = st.block(&ymat);
-                    for &(l, kc) in &upds {
-                        let vh = st.basis(&lanes[l].v);
-                        st.gemv_n_add_padded(vh, kc, yh.col(l), uh.col_mut(l));
-                    }
-                    st.sync();
-                }
-                // Preconditioner applications run eagerly between the
-                // two recorded regions.
-                for (l, _) in &upds {
-                    self.precond
-                        .apply(ctx, self.a.plain(), u.col(*l), &mut zvec);
-                    ctx.axpy(S::one(), &zvec, x.col_mut(*l));
-                }
-                self.barrier_residual_region(ctx, b, x, &mut r, &mut gammas, &cycle);
             }
-
-            self.resolve_cycle(&mut lanes, &mut results, &gammas, &cycle);
+            // Preconditioner applications run eagerly between the
+            // two recorded regions.
+            for (l, _) in &upds {
+                self.precond
+                    .apply(ctx, self.a.plain_opt(), ws.u.col(*l), &mut ws.zvec);
+                ctx.axpy(S::one(), &ws.zvec, x.col_mut(*l));
+            }
+            self.barrier_residual_region(ctx, b, x, &mut ws.r, &mut ws.gammas, cycle);
         }
 
-        results
-            .into_iter()
-            .map(|r| r.expect("every column resolved"))
-            .collect()
+        self.resolve_cycle(lanes, results, &ws.gammas, cycle);
     }
 
     // ----- the software-pipelined driver (pipeline depth 1) ----------
@@ -994,7 +1275,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                 let act: Vec<usize> = cycle
                     .iter()
                     .copied()
-                    .filter(|&l| lanes[l].in_cycle && lanes[l].total_iters < self.cfg.max_iters)
+                    .filter(|&l| lanes[l].in_cycle && lanes[l].total_iters < lanes[l].max_iters)
                     .collect();
                 if act.is_empty() {
                     break;
@@ -1150,8 +1431,12 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                         st.sync();
                     }
                     for (c, &l) in act.iter().enumerate() {
-                        self.precond
-                            .apply(ctx, self.a.plain(), lanes[l].v.col(j), z.col_mut(c));
+                        self.precond.apply(
+                            ctx,
+                            self.a.plain_opt(),
+                            lanes[l].v.col(j),
+                            z.col_mut(c),
+                        );
                     }
                     let rid = if two_pass {
                         region::BLOCK_PIPE_CGS
@@ -1374,7 +1659,8 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                     st.sync();
                 }
                 for &(l, _) in &upds {
-                    self.precond.apply(ctx, self.a.plain(), u.col(l), &mut zvec);
+                    self.precond
+                        .apply(ctx, self.a.plain_opt(), u.col(l), &mut zvec);
                     ctx.axpy(S::one(), &zvec, x.col_mut(l));
                 }
                 self.barrier_residual_region(ctx, b, x, &mut r, &mut gammas, &cycle);

@@ -103,10 +103,43 @@ impl GmresConfig {
     }
 
     /// Builder-style `BlockGmres` software-pipeline depth (0 or 1).
+    /// Out-of-range depths are reported by [`GmresConfig::validate`] at
+    /// the request surface (and still trip a `debug_assert!` here).
     pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
-        assert!(depth <= 1, "pipeline depth must be 0 or 1");
+        debug_assert!(depth <= 1, "pipeline depth must be 0 or 1");
         self.pipeline_depth = depth;
         self
+    }
+
+    /// Check the configuration at the request surface; everything the
+    /// drivers used to `assert!` at construction now reports a typed
+    /// [`SolveError`](crate::SolveError).
+    pub fn validate(&self) -> Result<(), crate::service::SolveError> {
+        use crate::service::SolveError;
+        if self.m < 1 {
+            return Err(SolveError::InvalidConfig(
+                "restart length must be at least 1".into(),
+            ));
+        }
+        if self.pipeline_depth > 1 {
+            return Err(SolveError::InvalidConfig(format!(
+                "pipeline depth must be 0 or 1, got {}",
+                self.pipeline_depth
+            )));
+        }
+        if !(self.rtol >= 0.0) {
+            return Err(SolveError::InvalidConfig(format!(
+                "relative tolerance must be non-negative and not NaN, got {}",
+                self.rtol
+            )));
+        }
+        if !(self.loa_factor >= 1.0) {
+            return Err(SolveError::InvalidConfig(format!(
+                "loss-of-accuracy factor must be at least 1, got {}",
+                self.loa_factor
+            )));
+        }
+        Ok(())
     }
 
     /// Configuration for the GMRES-IR inner solver: one full-`m` cycle,

@@ -275,6 +275,20 @@ impl GpuContext {
         self.profiler.total_seconds()
     }
 
+    /// Overlap-aware simulated makespan so far (`<=` [`GpuContext::elapsed`];
+    /// the clock the serving latency percentiles are quoted on).
+    pub fn critical_elapsed(&self) -> f64 {
+        self.profiler.critical_seconds()
+    }
+
+    /// Mark an admission-epoch boundary on the profiler timeline (see
+    /// [`mpgmres_gpusim::EpochMark`]); the serving engine calls this at
+    /// every admission barrier so per-epoch cost attribution stays
+    /// exact across epochs that share cycles.
+    pub fn mark_epoch(&mut self) {
+        self.profiler.mark_epoch();
+    }
+
     /// Reset the profile (e.g. to exclude preconditioner setup, as the
     /// paper's solve times do).
     pub fn reset_profile(&mut self) {

@@ -11,9 +11,11 @@
 //! - Belos-style "loss of accuracy" detection when the two disagree
 //!   (§V-F).
 
-use crate::config::{GmresConfig, OrthoMethod};
+use crate::block_gmres::BlockGmres;
+use crate::config::{GmresConfig, OrthoMethod, StorePath};
 use crate::context::{GpuContext, GpuMatrix};
 use crate::precond::Preconditioner;
+use crate::service::{Disposition, Operator, RequestId, SolveError, SolveOutcome, SolveRequest};
 use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
 use crate::stream::{region, RegionKey};
 use mpgmres_backend::BackendScalar;
@@ -29,9 +31,54 @@ pub struct Gmres<'a, S: BackendScalar> {
 
 impl<'a, S: BackendScalar> Gmres<'a, S> {
     /// Build a solver for `A x = b` with a right preconditioner.
+    /// Panics on an invalid configuration; see [`Gmres::try_new`] for
+    /// the typed-error variant.
     pub fn new(a: &'a GpuMatrix<S>, precond: &'a dyn Preconditioner<S>, cfg: GmresConfig) -> Self {
-        assert!(cfg.m >= 1, "restart length must be at least 1");
-        Gmres { a, precond, cfg }
+        Self::try_new(a, precond, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Gmres::new`] with the configuration checked into a typed
+    /// [`SolveError`] instead of a panic.
+    pub fn try_new(
+        a: &'a GpuMatrix<S>,
+        precond: &'a dyn Preconditioner<S>,
+        cfg: GmresConfig,
+    ) -> Result<Self, SolveError> {
+        cfg.validate()?;
+        Ok(Gmres { a, precond, cfg })
+    }
+
+    /// Serve one [`SolveRequest`]. A plain native-path matrix operand
+    /// runs this single-RHS driver directly; packed-storage requests
+    /// route through the one-lane block driver, whose columns are
+    /// bit-identical to this driver by the block parity contract — the
+    /// outcome does not depend on the route.
+    pub fn serve(
+        ctx: &mut GpuContext,
+        req: &SolveRequest<'a, '_, S>,
+    ) -> Result<SolveOutcome<S>, SolveError> {
+        req.validate()?;
+        match (req.operator, req.store) {
+            (Operator::Matrix(a), StorePath::Native) => {
+                let solver = Self::try_new(a, req.precond, req.config)?;
+                let n = a.n();
+                let mut x = req
+                    .x0
+                    .map(|x| x.to_vec())
+                    .unwrap_or_else(|| vec![S::zero(); n]);
+                let start = ctx.elapsed();
+                let result = solver.solve(ctx, req.rhs, &mut x);
+                Ok(SolveOutcome {
+                    id: RequestId(0),
+                    x,
+                    result: Some(result),
+                    disposition: Disposition::Completed,
+                    queued_seconds: 0.0,
+                    solve_seconds: ctx.elapsed() - start,
+                })
+            }
+            _ => BlockGmres::serve(ctx, req),
+        }
     }
 
     /// The configuration in use.
@@ -43,8 +90,10 @@ impl<'a, S: BackendScalar> Gmres<'a, S> {
     /// solution is written back into `x`.
     pub fn solve(&self, ctx: &mut GpuContext, b: &[S], x: &mut [S]) -> SolveResult {
         let n = self.a.n();
-        assert_eq!(b.len(), n, "rhs length mismatch");
-        assert_eq!(x.len(), n, "solution length mismatch");
+        // The request surface reports these as SolveError::DimensionMismatch;
+        // callers reaching the raw driver keep the debug-build guard.
+        debug_assert_eq!(b.len(), n, "rhs length mismatch");
+        debug_assert_eq!(x.len(), n, "solution length mismatch");
         let m = self.cfg.m;
 
         let mut history: Vec<HistoryPoint> = Vec::new();
@@ -127,7 +176,7 @@ impl<'a, S: BackendScalar> Gmres<'a, S> {
                 let dir: &[S] = if self.precond.is_identity() {
                     v.col(j)
                 } else {
-                    self.precond.apply(ctx, self.a, v.col(j), &mut z);
+                    self.precond.apply(ctx, Some(self.a), v.col(j), &mut z);
                     &z
                 };
 
@@ -255,7 +304,7 @@ impl<'a, S: BackendScalar> Gmres<'a, S> {
                     if self.precond.is_identity() {
                         ctx.axpy(S::one(), &u, x);
                     } else {
-                        self.precond.apply(ctx, self.a, &u, &mut z);
+                        self.precond.apply(ctx, Some(self.a), &u, &mut z);
                         ctx.axpy(S::one(), &z, x);
                     }
                 }

@@ -28,7 +28,8 @@ use mpgmres_la::multivec::MultiVec;
 use crate::block_gmres::BlockGmres;
 use crate::config::{GmresConfig, IrConfig, StorePath};
 use crate::context::{GpuContext, GpuMatrix, GpuStore};
-use crate::precond::Preconditioner;
+use crate::precond::{Identity, Preconditioner};
+use crate::service::{Disposition, Operator, RequestId, SolveError, SolveOutcome, SolveRequest};
 use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
 use crate::stream::{region, RegionKey};
 
@@ -46,30 +47,116 @@ impl<'a, Lo: BackendScalar, Hi: BackendScalar> GmresIr<'a, Lo, Hi> {
     /// (its one-time conversion cost is excluded from solve times, as in
     /// the paper's protocol, §V). A non-[`StorePath::Native`] storage
     /// path additionally builds the low-precision value store the inner
-    /// block solver streams; storage paths require the identity
-    /// preconditioner.
+    /// block solver streams. Panics on an unsupported combination; see
+    /// [`GmresIr::try_new`] for the typed-error variant.
     pub fn new(
         a_hi: &'a GpuMatrix<Hi>,
         precond_lo: &'a dyn Preconditioner<Lo>,
         cfg: IrConfig,
     ) -> Self {
+        Self::try_new(a_hi, precond_lo, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`GmresIr::new`] with typed errors. A non-native storage path
+    /// packs the inner operand, so it supports exactly the
+    /// preconditioners that never touch the matrix at apply time
+    /// ([`Preconditioner::needs_matrix`] is `false`: identity, block
+    /// Jacobi, cast wrappers — they apply in the working precision
+    /// while the SpMM streams narrow values). A matrix-needing
+    /// preconditioner degrades to
+    /// [`SolveError::UnsupportedCombination`].
+    pub fn try_new(
+        a_hi: &'a GpuMatrix<Hi>,
+        precond_lo: &'a dyn Preconditioner<Lo>,
+        cfg: IrConfig,
+    ) -> Result<Self, SolveError> {
         let a_lo = a_hi.convert::<Lo>();
         let store_lo = match cfg.store {
             StorePath::Native => None,
             StorePath::Shadow(p) => Some(GpuStore::shadow_of(&a_lo, p)),
             StorePath::Split(t) => Some(GpuStore::split_of(&a_lo, t)),
         };
-        assert!(
-            store_lo.is_none() || precond_lo.is_identity(),
-            "non-native storage paths require the identity preconditioner"
-        );
-        GmresIr {
+        if store_lo.is_some() && precond_lo.needs_matrix() {
+            return Err(SolveError::UnsupportedCombination(format!(
+                "preconditioner '{}' needs the plain matrix at apply time, \
+                 which the packed inner operand of a non-native storage path \
+                 does not carry; use a matrix-free preconditioner (identity, \
+                 block Jacobi, or a cast wrapper owning its own copy)",
+                precond_lo.describe()
+            )));
+        }
+        Ok(GmresIr {
             a_hi,
             a_lo,
             store_lo,
             precond_lo,
             cfg,
+        })
+    }
+
+    /// Serve one [`SolveRequest`] through GMRES-IR with an explicit
+    /// inner-precision preconditioner (the request's own preconditioner
+    /// field lives in `Hi` and cannot run in `Lo` arithmetic; it must
+    /// be the identity here).
+    pub fn serve_with(
+        ctx: &mut GpuContext,
+        req: &SolveRequest<'a, '_, Hi>,
+        precond_lo: &'a dyn Preconditioner<Lo>,
+    ) -> Result<SolveOutcome<Hi>, SolveError> {
+        req.validate()?;
+        if !req.precond.is_identity() {
+            return Err(SolveError::UnsupportedCombination(
+                "GMRES-IR applies its preconditioner in the inner precision; \
+                 pass it as `precond_lo` and leave the request's own \
+                 preconditioner at the identity"
+                    .into(),
+            ));
         }
+        let a = match req.operator {
+            Operator::Matrix(a) => a,
+            Operator::Store(_) => {
+                return Err(SolveError::UnsupportedCombination(
+                    "GMRES-IR needs the plain high-precision matrix for its \
+                     outer residual; select a storage path for the *inner* \
+                     operand via the request's `store` field instead"
+                        .into(),
+                ))
+            }
+        };
+        let cfg = IrConfig::default()
+            .with_m(req.config.m)
+            .with_rtol(req.config.rtol)
+            .with_max_iters(req.config.max_iters)
+            .with_store(req.store);
+        let cfg = IrConfig {
+            record_history: req.config.record_history,
+            ..cfg
+        };
+        let ir = Self::try_new(a, precond_lo, cfg)?;
+        let n = a.n();
+        let mut x = req
+            .x0
+            .map(|x| x.to_vec())
+            .unwrap_or_else(|| vec![Hi::zero(); n]);
+        let start = ctx.elapsed();
+        let result = ir.solve(ctx, req.rhs, &mut x);
+        Ok(SolveOutcome {
+            id: RequestId(0),
+            x,
+            result: Some(result),
+            disposition: Disposition::Completed,
+            queued_seconds: 0.0,
+            solve_seconds: ctx.elapsed() - start,
+        })
+    }
+
+    /// Serve one [`SolveRequest`] with the identity inner
+    /// preconditioner (the paper's baseline GMRES-IR).
+    pub fn serve(
+        ctx: &mut GpuContext,
+        req: &SolveRequest<'a, '_, Hi>,
+    ) -> Result<SolveOutcome<Hi>, SolveError> {
+        Self::serve_with(ctx, req, &Identity)
     }
 
     /// The low-precision matrix copy (GMRES-IR keeps both in memory,
@@ -170,7 +257,12 @@ impl<'a, Lo: BackendScalar, Hi: BackendScalar> GmresIr<'a, Lo, Hi> {
         };
         let inner = match &self.store_lo {
             None => BlockGmres::new(&self.a_lo, self.precond_lo, inner_cfg),
-            Some(s) => BlockGmres::over_store(s, inner_cfg),
+            // The construction boundary already vetted the
+            // preconditioner as matrix-free, so the packed path applies
+            // it in the working precision while the SpMM streams the
+            // store's narrow values.
+            Some(s) => BlockGmres::try_over_store(s, self.precond_lo, inner_cfg)
+                .expect("vetted at construction"),
         };
 
         let mut total_iters = 0usize;
@@ -479,13 +571,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "identity preconditioner")]
-    fn storage_path_rejects_non_identity_preconditioner() {
+    fn storage_path_accepts_matrix_free_preconditioners_only() {
         let a = laplace1d(16);
-        let jacobi = crate::precond::block_jacobi::BlockJacobi::build(&a, 1);
         let cfg =
             IrConfig::default().with_store(StorePath::Shadow(mpgmres_scalar::Precision::Fp32));
-        let _ = GmresIr::<f64, f64>::new(&a, &jacobi, cfg);
+        // Block Jacobi extracts its factors at build time and never
+        // touches A at apply time: allowed over packed storage.
+        let jacobi = crate::precond::block_jacobi::BlockJacobi::build(&a, 1);
+        assert!(GmresIr::<f64, f64>::try_new(&a, &jacobi, cfg).is_ok());
+        // Chebyshev streams SpMVs against the plain matrix: degrades to
+        // a typed error instead of the old panic.
+        let cheb =
+            crate::precond::chebyshev::ChebyshevPreconditioner::with_bounds(4, 0.1, 4.0).unwrap();
+        let err = match GmresIr::<f64, f64>::try_new(&a, &cheb, cfg) {
+            Ok(_) => panic!("chebyshev must be rejected over packed storage"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, SolveError::UnsupportedCombination(_)));
+    }
+
+    #[test]
+    fn block_jacobi_over_shadow_path_matches_native_bitwise() {
+        // The PR-6 restriction lift, end to end: block Jacobi applied in
+        // the working precision while the SpMM streams fp32 shadow
+        // values. Laplacian entries are fp32-exact, so the shadow path
+        // must reproduce the native preconditioned solve bit for bit.
+        let n = 64;
+        let a = laplace1d(n);
+        let jacobi = crate::precond::block_jacobi::BlockJacobi::build(&a.convert::<f32>(), 4);
+        let b = vec![1.0f64; n];
+        let cfg = IrConfig::default().with_m(15).with_max_iters(5_000);
+        let mut x_native = vec![0.0f64; n];
+        let res_native =
+            GmresIr::<f32, f64>::new(&a, &jacobi, cfg).solve(&mut ctx(), &b, &mut x_native);
+        let mut x_shadow = vec![0.0f64; n];
+        let res_shadow = GmresIr::<f32, f64>::new(
+            &a,
+            &jacobi,
+            IrConfig {
+                store: StorePath::Shadow(mpgmres_scalar::Precision::Fp32),
+                ..cfg
+            },
+        )
+        .solve(&mut ctx(), &b, &mut x_shadow);
+        assert_eq!(res_native.status, SolveStatus::Converged);
+        assert_eq!(res_native.iterations, res_shadow.iterations);
+        for (ns, ss) in x_native.iter().zip(&x_shadow) {
+            assert_eq!(ns.to_bits(), ss.to_bits(), "shadow path diverged");
+        }
     }
 
     #[test]

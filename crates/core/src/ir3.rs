@@ -25,7 +25,8 @@ use serde::Serialize;
 use crate::config::{IrConfig, StorePath};
 use crate::context::{GpuContext, GpuMatrix};
 use crate::ir::GmresIr;
-use crate::precond::Preconditioner;
+use crate::precond::{Identity, Preconditioner};
+use crate::service::{Disposition, Operator, RequestId, SolveError, SolveOutcome, SolveRequest};
 use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
 use crate::stream::{region, RegionKey};
 
@@ -73,18 +74,102 @@ pub struct GmresIr3<'a> {
 
 impl<'a> GmresIr3<'a> {
     /// Build the ladder; fp32 and fp16 matrix copies are made here (the
-    /// fp16 copy lives inside the middle solver).
+    /// fp16 copy lives inside the middle solver). Panics on an
+    /// unsupported combination; see [`GmresIr3::try_new`].
     pub fn new(
         a_hi: &'a GpuMatrix<f64>,
         precond_lo: &'a dyn Preconditioner<Half>,
         cfg: Ir3Config,
     ) -> Self {
-        GmresIr3 {
+        Self::try_new(a_hi, precond_lo, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`GmresIr3::new`] with typed errors: a non-native innermost
+    /// storage path supports exactly the matrix-free preconditioners
+    /// ([`Preconditioner::needs_matrix`] is `false`), mirroring
+    /// [`crate::GmresIr::try_new`].
+    pub fn try_new(
+        a_hi: &'a GpuMatrix<f64>,
+        precond_lo: &'a dyn Preconditioner<Half>,
+        cfg: Ir3Config,
+    ) -> Result<Self, SolveError> {
+        if !matches!(cfg.store, StorePath::Native) && precond_lo.needs_matrix() {
+            return Err(SolveError::UnsupportedCombination(format!(
+                "preconditioner '{}' needs the plain matrix at apply time, \
+                 which the packed innermost operand of a non-native storage \
+                 path does not carry",
+                precond_lo.describe()
+            )));
+        }
+        Ok(GmresIr3 {
             a_hi,
             a_mid: a_hi.convert::<f32>(),
             precond_lo,
             cfg,
+        })
+    }
+
+    /// Serve one [`SolveRequest`] through the three-precision ladder
+    /// with an explicit fp16 preconditioner. The request's own
+    /// preconditioner field lives in fp64 and cannot run in fp16
+    /// arithmetic, so it must be the identity.
+    pub fn serve_with(
+        ctx: &mut GpuContext,
+        req: &SolveRequest<'a, '_, f64>,
+        precond_lo: &'a dyn Preconditioner<Half>,
+    ) -> Result<SolveOutcome<f64>, SolveError> {
+        req.validate()?;
+        if !req.precond.is_identity() {
+            return Err(SolveError::UnsupportedCombination(
+                "GMRES-IR3 applies its preconditioner in fp16; pass it as \
+                 `precond_lo` and leave the request's own preconditioner at \
+                 the identity"
+                    .into(),
+            ));
         }
+        let a = match req.operator {
+            Operator::Matrix(a) => a,
+            Operator::Store(_) => {
+                return Err(SolveError::UnsupportedCombination(
+                    "GMRES-IR3 needs the plain fp64 matrix for its outer \
+                     residual; select a storage path for the innermost \
+                     operand via the request's `store` field instead"
+                        .into(),
+                ))
+            }
+        };
+        let cfg = Ir3Config {
+            m: req.config.m,
+            rtol: req.config.rtol,
+            max_iters: req.config.max_iters,
+            store: req.store,
+            ..Ir3Config::default()
+        };
+        let ladder = Self::try_new(a, precond_lo, cfg)?;
+        let n = a.n();
+        let mut x = req
+            .x0
+            .map(|x| x.to_vec())
+            .unwrap_or_else(|| vec![0.0f64; n]);
+        let start = ctx.elapsed();
+        let result = ladder.solve(ctx, req.rhs, &mut x);
+        Ok(SolveOutcome {
+            id: RequestId(0),
+            x,
+            result: Some(result),
+            disposition: Disposition::Completed,
+            queued_seconds: 0.0,
+            solve_seconds: ctx.elapsed() - start,
+        })
+    }
+
+    /// Serve one [`SolveRequest`] with the identity fp16
+    /// preconditioner.
+    pub fn serve(
+        ctx: &mut GpuContext,
+        req: &SolveRequest<'a, '_, f64>,
+    ) -> Result<SolveOutcome<f64>, SolveError> {
+        Self::serve_with(ctx, req, &Identity)
     }
 
     /// The configuration in use.
@@ -95,8 +180,10 @@ impl<'a> GmresIr3<'a> {
     /// Solve `A x = b`; `x` carries the initial guess in, solution out.
     pub fn solve(&self, ctx: &mut GpuContext, b: &[f64], x: &mut [f64]) -> SolveResult {
         let n = self.a_hi.n();
-        assert_eq!(b.len(), n);
-        assert_eq!(x.len(), n);
+        // The request surface reports these as SolveError::DimensionMismatch;
+        // callers reaching the raw driver keep the debug-build guard.
+        debug_assert_eq!(b.len(), n);
+        debug_assert_eq!(x.len(), n);
 
         let mid_cfg = IrConfig {
             m: self.cfg.m,

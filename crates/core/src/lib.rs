@@ -62,6 +62,8 @@ pub mod gmres;
 pub mod ir;
 pub mod ir3;
 pub mod precond;
+pub mod prelude;
+pub mod service;
 pub mod status;
 pub mod stream;
 
@@ -79,5 +81,9 @@ pub use mpgmres_backend::{
 pub use mpgmres_la::multivec::MultiVec;
 pub use mpgmres_la::store::MatrixStore;
 pub use mpgmres_scalar::{Precision, PrecisionTag};
+pub use service::{
+    Disposition, Operator, RequestId, ServiceConfig, ServiceStats, SolveError, SolveOutcome,
+    SolveRequest, SolverService,
+};
 pub use status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
 pub use stream::{RegionKey, Stream, StreamStats};

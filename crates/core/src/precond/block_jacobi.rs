@@ -89,7 +89,7 @@ impl<S: Scalar> BlockJacobi<S> {
 }
 
 impl<S: Scalar> Preconditioner<S> for BlockJacobi<S> {
-    fn apply(&self, ctx: &mut GpuContext, _a: &GpuMatrix<S>, x: &[S], y: &mut [S]) {
+    fn apply(&self, ctx: &mut GpuContext, _a: Option<&GpuMatrix<S>>, x: &[S], y: &mut [S]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
         ctx.block_solve_charge::<S>(self.n, self.block_size);
@@ -118,6 +118,12 @@ impl<S: Scalar> Preconditioner<S> for BlockJacobi<S> {
 
     fn describe(&self) -> String {
         format!("block-jacobi({})", self.block_size)
+    }
+
+    fn needs_matrix(&self) -> bool {
+        // The factors were extracted at build time; application never
+        // touches `A`, so block Jacobi works on packed storage paths too.
+        false
     }
 }
 
@@ -156,7 +162,7 @@ mod tests {
         let mut ax = vec![0.0; 10];
         a.csr().spmv(&x, &mut ax);
         let mut y = vec![0.0; 10];
-        Preconditioner::apply(&bj, &mut ctx(), &a, &ax, &mut y);
+        Preconditioner::apply(&bj, &mut ctx(), Some(&a), &ax, &mut y);
         for (yi, xi) in y.iter().zip(&x) {
             assert!((yi - xi).abs() < 1e-13, "M^-1 A x != x: {yi} vs {xi}");
         }
@@ -172,7 +178,7 @@ mod tests {
         let a = GpuMatrix::new(coo.into_csr());
         let bj = BlockJacobi::build(&a, 1);
         let mut y = vec![0.0; 3];
-        Preconditioner::apply(&bj, &mut ctx(), &a, &[2.0, 4.0, 8.0], &mut y);
+        Preconditioner::apply(&bj, &mut ctx(), Some(&a), &[2.0, 4.0, 8.0], &mut y);
         assert_eq!(y, vec![1.0, 1.0, 1.0]);
     }
 
@@ -182,7 +188,7 @@ mod tests {
         let bj = BlockJacobi::build(&a, 4); // blocks of 4 and 2
         assert_eq!(bj.nblocks(), 2);
         let mut y = vec![0.0; 6];
-        Preconditioner::apply(&bj, &mut ctx(), &a, &[1.0; 6], &mut y);
+        Preconditioner::apply(&bj, &mut ctx(), Some(&a), &[1.0; 6], &mut y);
         assert!(y.iter().all(|v| v.is_finite()));
     }
 
@@ -197,7 +203,7 @@ mod tests {
         let bj = BlockJacobi::build(&a, 1);
         assert_eq!(bj.singular_blocks(), 1);
         let mut y = vec![0.0; 3];
-        Preconditioner::apply(&bj, &mut ctx(), &a, &[5.0, 7.0, 9.0], &mut y);
+        Preconditioner::apply(&bj, &mut ctx(), Some(&a), &[5.0, 7.0, 9.0], &mut y);
         assert_eq!(y, vec![5.0, 7.0, 9.0]); // identity fallback passes through
     }
 
@@ -206,7 +212,7 @@ mod tests {
         let a = block_diag(4).convert::<f32>();
         let bj = BlockJacobi::build(&a, 2);
         let mut y = vec![0.0f32; 8];
-        Preconditioner::apply(&bj, &mut ctx(), &a, &[1.0f32; 8], &mut y);
+        Preconditioner::apply(&bj, &mut ctx(), Some(&a), &[1.0f32; 8], &mut y);
         // [[3,1],[1,3]] solve of [1,1] is [0.25, 0.25].
         for v in &y {
             assert!((v - 0.25).abs() < 1e-6);
@@ -219,7 +225,7 @@ mod tests {
         let bj = BlockJacobi::build(&a, 2);
         let mut c = ctx();
         let mut y = vec![0.0; 8];
-        Preconditioner::apply(&bj, &mut c, &a, &[1.0; 8], &mut y);
+        Preconditioner::apply(&bj, &mut c, Some(&a), &[1.0; 8], &mut y);
         assert!(c.elapsed() > 0.0);
     }
 }

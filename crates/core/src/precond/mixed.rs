@@ -51,16 +51,22 @@ impl<Hi: Scalar, Lo: Scalar, P: Preconditioner<Lo>> CastPreconditioner<Hi, Lo, P
 impl<Hi: Scalar, Lo: Scalar, P: Preconditioner<Lo>> Preconditioner<Hi>
     for CastPreconditioner<Hi, Lo, P>
 {
-    fn apply(&self, ctx: &mut GpuContext, _a: &GpuMatrix<Hi>, x: &[Hi], y: &mut [Hi]) {
+    fn apply(&self, ctx: &mut GpuContext, _a: Option<&GpuMatrix<Hi>>, x: &[Hi], y: &mut [Hi]) {
         let mut bufs = self.bufs.lock();
         let (x_lo, y_lo) = &mut *bufs;
         ctx.cast_device(x, x_lo);
-        self.inner.apply(ctx, &self.a_lo, x_lo, y_lo);
+        self.inner.apply(ctx, Some(&self.a_lo), x_lo, y_lo);
         ctx.cast_device(y_lo, y);
     }
 
     fn describe(&self) -> String {
         format!("{}[{}]", self.inner.describe(), Lo::NAME)
+    }
+
+    fn needs_matrix(&self) -> bool {
+        // The wrapper owns its low-precision matrix copy and never touches
+        // the high-precision operand it is handed.
+        false
     }
 
     fn spmvs_per_apply(&self) -> usize {
@@ -103,7 +109,7 @@ mod tests {
         let mut c = ctx();
         let x = vec![1.0f64; 16];
         let mut y = vec![0.0f64; 16];
-        wrap.apply(&mut c, &a, &x, &mut y);
+        wrap.apply(&mut c, Some(&a), &x, &mut y);
         assert_eq!(y, x); // identity through fp32 of exact values
         let casts = c.profiler().class_stats(KernelClass::CastDevice).calls;
         assert_eq!(casts, 2, "down-cast and up-cast per application");
@@ -121,7 +127,7 @@ mod tests {
             CastPreconditioner::new(a32, poly);
         let x = vec![1.0f64; n];
         let mut y = vec![0.0f64; n];
-        wrap.apply(&mut c, &a, &x, &mut y);
+        wrap.apply(&mut c, Some(&a), &x, &mut y);
         let mut ay = vec![0.0f64; n];
         a.csr().spmv(&y, &mut ay);
         // fp32 polynomial: expect rough inverse, fp32-level accuracy.

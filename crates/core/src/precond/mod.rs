@@ -23,10 +23,16 @@ use crate::context::{GpuContext, GpuMatrix};
 ///
 /// `apply` computes `y = M^{-1} x`. The operator `A` is passed in so that
 /// matrix-polynomial preconditioners can run their SpMVs through the
-/// instrumented context without owning the matrix.
+/// instrumented context without owning the matrix. It is `None` when the
+/// solver holds the operator only as a packed [`crate::MatrixStore`]
+/// (non-Native [`crate::StorePath`]s): preconditioners that report
+/// `needs_matrix() == false` (block Jacobi, the identity, cast wrappers
+/// that own their low-precision copy) must work in that case, applying in
+/// working precision while the SpMVs stream narrow values.
 pub trait Preconditioner<S: Scalar>: Send + Sync {
-    /// `y = M^{-1} x`.
-    fn apply(&self, ctx: &mut GpuContext, a: &GpuMatrix<S>, x: &[S], y: &mut [S]);
+    /// `y = M^{-1} x`. Implementations with `needs_matrix() == true` may
+    /// unwrap `a`; the solver boundary guarantees it is `Some` for them.
+    fn apply(&self, ctx: &mut GpuContext, a: Option<&GpuMatrix<S>>, x: &[S], y: &mut [S]);
 
     /// Human-readable description for reports (e.g. `"poly(40)"`).
     fn describe(&self) -> String;
@@ -35,6 +41,14 @@ pub trait Preconditioner<S: Scalar>: Send + Sync {
     /// buffer traffic entirely).
     fn is_identity(&self) -> bool {
         false
+    }
+
+    /// `true` when `apply` dereferences the `A` passed to it (polynomial
+    /// preconditioners running their own SpMVs). Such preconditioners are
+    /// rejected with [`crate::SolveError::UnsupportedCombination`] on
+    /// non-Native storage paths, where no plain matrix exists.
+    fn needs_matrix(&self) -> bool {
+        true
     }
 
     /// SpMV applications of `A` per preconditioner application (drives
@@ -49,7 +63,7 @@ pub trait Preconditioner<S: Scalar>: Send + Sync {
 pub struct Identity;
 
 impl<S: Scalar> Preconditioner<S> for Identity {
-    fn apply(&self, _ctx: &mut GpuContext, _a: &GpuMatrix<S>, x: &[S], y: &mut [S]) {
+    fn apply(&self, _ctx: &mut GpuContext, _a: Option<&GpuMatrix<S>>, x: &[S], y: &mut [S]) {
         y.copy_from_slice(x);
     }
 
@@ -59,6 +73,10 @@ impl<S: Scalar> Preconditioner<S> for Identity {
 
     fn is_identity(&self) -> bool {
         true
+    }
+
+    fn needs_matrix(&self) -> bool {
+        false
     }
 }
 
@@ -74,10 +92,11 @@ mod tests {
         let mut ctx = GpuContext::new(DeviceModel::v100_belos());
         let x = [1.0, 2.0, 3.0, 4.0];
         let mut y = [0.0; 4];
-        Preconditioner::apply(&Identity, &mut ctx, &a, &x, &mut y);
+        Preconditioner::apply(&Identity, &mut ctx, Some(&a), &x, &mut y);
         assert_eq!(x, y);
         assert_eq!(ctx.elapsed(), 0.0);
         assert!(Preconditioner::<f64>::is_identity(&Identity));
+        assert!(!Preconditioner::<f64>::needs_matrix(&Identity));
         assert_eq!(Preconditioner::<f64>::spmvs_per_apply(&Identity), 0);
     }
 }

@@ -308,7 +308,8 @@ fn push_with_conjugate(chosen: &mut Vec<Complex>, z: Complex) {
 }
 
 impl<S: BackendScalar> Preconditioner<S> for PolyPreconditioner {
-    fn apply(&self, ctx: &mut GpuContext, a: &GpuMatrix<S>, x: &[S], y: &mut [S]) {
+    fn apply(&self, ctx: &mut GpuContext, a: Option<&GpuMatrix<S>>, x: &[S], y: &mut [S]) {
+        let a = a.expect("polynomial preconditioner needs the plain matrix");
         let n = x.len();
         debug_assert_eq!(y.len(), n);
         let mut prod = x.to_vec();
@@ -431,7 +432,7 @@ mod tests {
         let mut c = ctx();
         let p = PolyPreconditioner::build(&mut c, &a, n, &b).unwrap();
         let mut pb = vec![0.0; n];
-        Preconditioner::apply(&p, &mut c, &a, &b, &mut pb);
+        Preconditioner::apply(&p, &mut c, Some(&a), &b, &mut pb);
         let mut apb = vec![0.0; n];
         a.csr().spmv(&pb, &mut apb);
         let err: f64 = apb
@@ -468,7 +469,7 @@ mod tests {
         // This lopsided operator genuinely has complex harmonic Ritz values.
         assert!(saw_complex, "expected complex roots for nonsymmetric A");
         let mut pb = vec![0.0; n];
-        Preconditioner::apply(&p, &mut c, &a, &b, &mut pb);
+        Preconditioner::apply(&p, &mut c, Some(&a), &b, &mut pb);
         let mut apb = vec![0.0; n];
         a.csr().spmv(&pb, &mut apb);
         let err: f64 = apb
@@ -493,7 +494,7 @@ mod tests {
         let mut c = ctx();
         let p = PolyPreconditioner::build(&mut c, &a, 12, &b).unwrap();
         let mut pb = vec![0.0; n];
-        Preconditioner::apply(&p, &mut c, &a, &b, &mut pb);
+        Preconditioner::apply(&p, &mut c, Some(&a), &b, &mut pb);
         let mut apb = vec![0.0; n];
         a.csr().spmv(&pb, &mut apb);
         let err: f64 = apb
@@ -525,7 +526,7 @@ mod tests {
             let mut c = ctx();
             let p = PolyPreconditioner::build(&mut c, &a, 9, &b).unwrap();
             let mut pb = vec![0.0; n];
-            Preconditioner::apply(&p, &mut c, &a, &b, &mut pb);
+            Preconditioner::apply(&p, &mut c, Some(&a), &b, &mut pb);
             let mut apb = vec![0.0; n];
             a.csr().spmv(&pb, &mut apb);
             let err: f64 = apb
@@ -589,7 +590,7 @@ mod tests {
         let p = PolyPreconditioner::build(&mut c, &a, 8, &b).unwrap();
         c.reset_profile();
         let mut y = vec![0.0; n];
-        Preconditioner::apply(&p, &mut c, &a, &b, &mut y);
+        Preconditioner::apply(&p, &mut c, Some(&a), &b, &mut y);
         let spmvs = c
             .profiler()
             .class_stats(mpgmres_gpusim::KernelClass::SpMV)
@@ -630,7 +631,7 @@ mod tests {
         let mut c = ctx();
         let p = PolyPreconditioner::build(&mut c, &a, 10, &b).unwrap();
         let mut y = vec![0.0f32; n];
-        Preconditioner::apply(&p, &mut c, &a, &b, &mut y);
+        Preconditioner::apply(&p, &mut c, Some(&a), &b, &mut y);
         assert!(y.iter().all(|v| v.is_finite()));
     }
 }

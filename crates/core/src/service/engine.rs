@@ -1,0 +1,230 @@
+//! The long-running lane engine: a [`BlockGmres`] whose `k` lane slots
+//! are re-seeded mid-flight. Batch solves run init → cycle → ... →
+//! done over a fixed set of right-hand sides; the engine instead keeps
+//! the lockstep cycle machinery alive indefinitely, admitting pending
+//! requests into slots vacated by deflation at cycle barriers.
+//!
+//! Parity: an admitted lane runs exactly the arithmetic of the same
+//! column in a batch [`BlockGmres::solve`] — admission records the same
+//! residual + norm ops as batch init (its own [`region`] so replay keys
+//! never collide), re-seeding swaps in a fresh lane state, and cycles
+//! run through the very same [`BlockGmres::run_cycle`] the batch driver
+//! uses. Since every batch column is bit-identical to an independent
+//! [`crate::Gmres`] solve, so is every served request.
+//!
+//! [`region`]: crate::stream::region::BLOCK_ADMIT
+
+use mpgmres_backend::BackendScalar;
+use mpgmres_la::multivec::MultiVec;
+
+use crate::block_gmres::{pipe_disc, BlockGmres, Lane, LockstepWs};
+use crate::context::GpuContext;
+use crate::service::request::{Disposition, RequestId, SolveOutcome};
+use crate::status::SolveResult;
+
+/// One queued request: payload copied out of the caller's borrow at
+/// submission, plus the stopping parameters that stay per-lane.
+pub(crate) struct Queued<S> {
+    pub(crate) id: RequestId,
+    pub(crate) rhs: Vec<S>,
+    pub(crate) x0: Vec<S>,
+    pub(crate) rtol: f64,
+    pub(crate) max_iters: usize,
+    /// Simulated seconds at submission.
+    pub(crate) submitted: f64,
+}
+
+/// Book-keeping for one occupied lane slot.
+struct Slot {
+    id: RequestId,
+    submitted: f64,
+    admitted: f64,
+    cancelled: bool,
+}
+
+/// A continuously running [`BlockGmres`] lane group serving one
+/// compatible family of requests (same operand, preconditioner,
+/// restart/orthogonalization configuration, and tenant; tolerances and
+/// iteration caps vary per lane).
+pub(crate) struct LaneEngine<'a, S: BackendScalar> {
+    solver: BlockGmres<'a, S>,
+    tenant: u32,
+    b: MultiVec<S>,
+    x: MultiVec<S>,
+    ws: LockstepWs<S>,
+    lanes: Vec<Lane<S>>,
+    results: Vec<Option<SolveResult>>,
+    slots: Vec<Option<Slot>>,
+    cycles: usize,
+    lane_cycles: usize,
+    admissions: usize,
+}
+
+impl<'a, S: BackendScalar> LaneEngine<'a, S> {
+    /// An idle engine with `k` vacant lane slots.
+    pub(crate) fn new(solver: BlockGmres<'a, S>, k: usize, tenant: u32) -> Self {
+        let n = solver.n();
+        let m = solver.config().m;
+        let lanes: Vec<Lane<S>> = (0..k).map(|_| solver.free_lane()).collect();
+        LaneEngine {
+            b: MultiVec::zeros(n, k),
+            x: MultiVec::zeros(n, k),
+            ws: LockstepWs::new(n, k, m),
+            lanes,
+            results: (0..k).map(|_| None).collect(),
+            slots: (0..k).map(|_| None).collect(),
+            solver,
+            tenant,
+            cycles: 0,
+            lane_cycles: 0,
+            admissions: 0,
+        }
+    }
+
+    /// Currently occupied lane slots.
+    pub(crate) fn occupied(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// No lanes in flight.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.occupied() == 0
+    }
+
+    /// Cycles run / occupied-lane-cycle pairs / admission barriers.
+    pub(crate) fn counters(&self) -> (usize, usize, usize) {
+        (self.cycles, self.lane_cycles, self.admissions)
+    }
+
+    /// Flag an in-flight request for cancellation; takes effect at the
+    /// next cycle barrier. Returns whether the id occupies a slot.
+    pub(crate) fn cancel(&mut self, id: RequestId) -> bool {
+        for slot in self.slots.iter_mut().flatten() {
+            if slot.id == id {
+                slot.cancelled = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Admit as many queued requests as there are vacant slots:
+    /// one recorded admission region for the whole batch, then per-slot
+    /// lane re-seeding. Requests that resolve at the admission barrier
+    /// itself (zero right-hand side, non-finite data, `rtol >= 1`)
+    /// produce their outcome immediately.
+    pub(crate) fn admit_from(
+        &mut self,
+        ctx: &mut GpuContext,
+        queue: &mut Vec<Queued<S>>,
+        outcomes: &mut Vec<SolveOutcome<S>>,
+    ) {
+        let free: Vec<usize> = (0..self.slots.len())
+            .filter(|&l| self.slots[l].is_none())
+            .collect();
+        let take = free.len().min(queue.len());
+        if take == 0 {
+            return;
+        }
+        let admit = &free[..take];
+        let batch: Vec<Queued<S>> = queue.drain(..take).collect();
+        for (&slot, q) in admit.iter().zip(&batch) {
+            self.b.col_mut(slot).copy_from_slice(&q.rhs);
+            self.x.col_mut(slot).copy_from_slice(&q.x0);
+        }
+        // Epoch boundary: everything charged before this mark belongs
+        // to earlier admissions.
+        ctx.mark_epoch();
+        let disc = pipe_disc(self.slots.len(), [self.tenant as u64, 0]);
+        self.solver
+            .admit_lanes(ctx, &self.b, &self.x, &mut self.ws, admit, disc);
+        let now = ctx.elapsed();
+        for (&slot, q) in admit.iter().zip(batch.iter()) {
+            let terminal = self.solver.reseed_lane(
+                &mut self.lanes[slot],
+                self.ws.norms[slot],
+                q.rtol,
+                q.max_iters,
+            );
+            self.results[slot] = None;
+            self.slots[slot] = Some(Slot {
+                id: q.id,
+                submitted: q.submitted,
+                admitted: now,
+                cancelled: false,
+            });
+            if let Some(res) = terminal {
+                self.results[slot] = Some(res);
+                self.finish(slot, outcomes, Disposition::Completed, now);
+            }
+        }
+        self.admissions += 1;
+    }
+
+    /// Run one lockstep cycle over the occupied slots. Cancellations
+    /// take effect first (the request leaves with the iterate of the
+    /// last completed barrier); newly terminal lanes produce outcomes
+    /// and vacate their slots.
+    pub(crate) fn step(&mut self, ctx: &mut GpuContext, outcomes: &mut Vec<SolveOutcome<S>>) {
+        let now = ctx.elapsed();
+        for l in 0..self.slots.len() {
+            if self.slots[l].as_ref().is_some_and(|s| s.cancelled) {
+                self.finish(l, outcomes, Disposition::Cancelled, now);
+            }
+        }
+        let slots = &self.slots;
+        let cycle = self
+            .solver
+            .collect_cycle_eligible(&mut self.lanes, &mut self.results, |l| slots[l].is_some());
+        // Collection can resolve lanes terminal at the barrier (caps,
+        // lucky breakdowns) without running another cycle.
+        for l in 0..self.slots.len() {
+            if self.slots[l].is_some() && self.results[l].is_some() {
+                self.finish(l, outcomes, Disposition::Completed, now);
+            }
+        }
+        if cycle.is_empty() {
+            return;
+        }
+        self.solver.run_cycle(
+            ctx,
+            &mut self.lanes,
+            &mut self.results,
+            &mut self.ws,
+            &self.b,
+            &mut self.x,
+            &cycle,
+        );
+        self.cycles += 1;
+        self.lane_cycles += cycle.len();
+        let now = ctx.elapsed();
+        for &l in &cycle {
+            if self.slots[l].is_some() && self.results[l].is_some() {
+                self.finish(l, outcomes, Disposition::Completed, now);
+            }
+        }
+    }
+
+    /// Vacate `slot` into an outcome. The lane keeps its basis
+    /// allocation — `reseed_lane` swaps it into the next occupant, so
+    /// warm slots admit without reallocating.
+    fn finish(
+        &mut self,
+        slot: usize,
+        outcomes: &mut Vec<SolveOutcome<S>>,
+        disposition: Disposition,
+        now: f64,
+    ) {
+        let s = self.slots[slot].take().expect("slot occupied");
+        let result = self.results[slot].take();
+        debug_assert!(result.is_some() || disposition == Disposition::Cancelled);
+        outcomes.push(SolveOutcome {
+            id: s.id,
+            x: self.x.col(slot).to_vec(),
+            result,
+            disposition,
+            queued_seconds: s.admitted - s.submitted,
+            solve_seconds: now - s.admitted,
+        });
+    }
+}

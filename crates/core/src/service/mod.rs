@@ -1,0 +1,446 @@
+//! Solve-as-a-service: continuous lane admission behind the unified
+//! [`SolveRequest`] API.
+//!
+//! ```text
+//!   submit() ──► per-group request queue
+//!                      │  admission (at cycle barriers, into
+//!                      ▼   lanes vacated by deflation)
+//!                ┌───────────────────────────────┐
+//!                │ LaneEngine: BlockGmres lanes  │──► SolveOutcome
+//!                │ cycle ► barrier ► admit ► ... │    (drain_outcomes)
+//!                └───────────────────────────────┘
+//! ```
+//!
+//! A [`SolverService`] keeps one [`engine::LaneEngine`] per *group* of
+//! compatible requests — same operand, preconditioner, tenant, and
+//! cycle-shaping configuration (restart length, orthogonalization,
+//! pipeline depth, monitoring flags). Within a group, per-request
+//! tolerances and iteration caps ride the individual lanes: stopping
+//! parameters steer decisions, never arithmetic, so mixed-tolerance
+//! lanes keep the bit-parity contract. Requests from different tenants
+//! never share a group, and the admission regions fold the tenant into
+//! their replay keys, so cached op graphs stay per-tenant.
+//!
+//! Every completed request is bit-identical to an independent
+//! [`crate::Gmres`] solve with the same configuration — the service
+//! adds scheduling, not arithmetic. Cancellations take effect at cycle
+//! barriers and return the iterate of the last completed barrier.
+
+pub(crate) mod engine;
+mod request;
+
+pub use request::{Disposition, Operator, RequestId, SolveError, SolveOutcome, SolveRequest};
+
+use mpgmres_backend::BackendScalar;
+
+use crate::block_gmres::BlockGmres;
+use crate::config::{OrthoMethod, StorePath};
+use crate::context::GpuContext;
+use engine::{LaneEngine, Queued};
+
+/// Service tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Lane slots per engine group — the `k` of the underlying
+    /// [`BlockGmres`]. Offered load beyond this queues until deflation
+    /// vacates a lane.
+    pub lanes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { lanes: 8 }
+    }
+}
+
+impl ServiceConfig {
+    /// Builder-style lane count.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        assert!(lanes >= 1, "a lane group needs at least one lane");
+        self.lanes = lanes;
+        self
+    }
+}
+
+/// Groups requests that can share one lane engine: operand and
+/// preconditioner identity, tenant, and every configuration field that
+/// shapes the lockstep cycle. Tolerances and iteration caps are
+/// per-lane and deliberately absent.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct GroupKey {
+    op_addr: usize,
+    op_tag: u8,
+    precond_addr: usize,
+    tenant: u32,
+    m: usize,
+    ortho: OrthoMethod,
+    monitor_implicit: bool,
+    loa_bits: u64,
+    record_history: bool,
+    pipeline_depth: usize,
+}
+
+struct Group<'a, S: BackendScalar> {
+    key: GroupKey,
+    queue: Vec<Queued<S>>,
+    engine: LaneEngine<'a, S>,
+}
+
+/// Aggregate service counters; see [`SolverService::stats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Requests accepted by [`SolverService::submit`].
+    pub submitted: usize,
+    /// Requests that ran to a terminal solver status.
+    pub completed: usize,
+    /// Requests cancelled (queued or mid-flight).
+    pub cancelled: usize,
+    /// Lockstep cycles run across all engine groups.
+    pub cycles: usize,
+    /// Occupied-lane ⨯ cycle pairs (the occupancy numerator).
+    pub lane_cycles: usize,
+    /// Admission barriers taken.
+    pub admissions: usize,
+    /// Engine groups materialized.
+    pub groups: usize,
+    /// Lane slots per group.
+    pub lanes_per_group: usize,
+}
+
+impl ServiceStats {
+    /// Mean fraction of lane slots doing work per cycle, in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        let denom = self.cycles * self.lanes_per_group;
+        if denom == 0 {
+            0.0
+        } else {
+            self.lane_cycles as f64 / denom as f64
+        }
+    }
+}
+
+/// A long-running multi-tenant solver front end over continuously
+/// re-seeded [`BlockGmres`] lane engines.
+///
+/// Lifecycle: [`submit`](SolverService::submit) requests (payload is
+/// copied; operand and preconditioner borrows must outlive the
+/// service), drive with [`step`](SolverService::step) or
+/// [`run_until_idle`](SolverService::run_until_idle), collect with
+/// [`drain_outcomes`](SolverService::drain_outcomes).
+pub struct SolverService<'a, S: BackendScalar> {
+    cfg: ServiceConfig,
+    groups: Vec<Group<'a, S>>,
+    next_id: u64,
+    outcomes: Vec<SolveOutcome<S>>,
+    submitted: usize,
+    completed: usize,
+    cancelled: usize,
+}
+
+impl<'a, S: BackendScalar> SolverService<'a, S> {
+    /// An empty service.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        SolverService {
+            cfg,
+            groups: Vec::new(),
+            next_id: 0,
+            outcomes: Vec::new(),
+            submitted: 0,
+            completed: 0,
+            cancelled: 0,
+        }
+    }
+
+    /// Enqueue a request. Validation happens here — a rejected request
+    /// never enters a queue. The context is only read (for the
+    /// submission timestamp).
+    pub fn submit(
+        &mut self,
+        ctx: &GpuContext,
+        req: &SolveRequest<'a, '_, S>,
+    ) -> Result<RequestId, SolveError> {
+        req.validate()?;
+        if !matches!(req.store, StorePath::Native) {
+            return Err(SolveError::UnsupportedCombination(
+                "the service keeps operands alive across requests: build a \
+                 GpuStore up front and submit it as Operator::Store instead \
+                 of asking for a StorePath conversion"
+                    .into(),
+            ));
+        }
+        let key = GroupKey {
+            op_addr: req.operator.addr(),
+            op_tag: req.operator.tag_code(),
+            precond_addr: req.precond as *const _ as *const () as usize,
+            tenant: req.tenant,
+            m: req.config.m,
+            ortho: req.config.ortho,
+            monitor_implicit: req.config.monitor_implicit,
+            loa_bits: req.config.loa_factor.to_bits(),
+            record_history: req.config.record_history,
+            pipeline_depth: req.config.pipeline_depth,
+        };
+        let gi = match self.groups.iter().position(|g| g.key == key) {
+            Some(i) => i,
+            None => {
+                let solver = match req.operator {
+                    Operator::Matrix(a) => BlockGmres::try_new(a, req.precond, req.config)?,
+                    Operator::Store(s) => BlockGmres::try_over_store(s, req.precond, req.config)?,
+                };
+                self.groups.push(Group {
+                    key,
+                    queue: Vec::new(),
+                    engine: LaneEngine::new(solver, self.cfg.lanes, req.tenant),
+                });
+                self.groups.len() - 1
+            }
+        };
+        self.next_id += 1;
+        let id = RequestId(self.next_id);
+        let n = req.operator.n();
+        self.groups[gi].queue.push(Queued {
+            id,
+            rhs: req.rhs.to_vec(),
+            x0: req
+                .x0
+                .map(|x| x.to_vec())
+                .unwrap_or_else(|| vec![S::zero(); n]),
+            rtol: req.config.rtol,
+            max_iters: req.config.max_iters,
+            submitted: ctx.elapsed(),
+        });
+        self.submitted += 1;
+        Ok(id)
+    }
+
+    /// Cancel a request. Queued requests leave immediately (outcome
+    /// carries the untouched initial guess); in-flight requests leave
+    /// at the next cycle barrier with the iterate of the last completed
+    /// barrier. [`SolveError::UnknownRequest`] if the id is neither
+    /// queued nor in flight (e.g. already completed).
+    pub fn cancel(&mut self, ctx: &GpuContext, id: RequestId) -> Result<(), SolveError> {
+        for g in &mut self.groups {
+            if let Some(pos) = g.queue.iter().position(|q| q.id == id) {
+                let q = g.queue.remove(pos);
+                self.outcomes.push(SolveOutcome {
+                    id,
+                    x: q.x0,
+                    result: None,
+                    disposition: Disposition::Cancelled,
+                    queued_seconds: ctx.elapsed() - q.submitted,
+                    solve_seconds: 0.0,
+                });
+                self.cancelled += 1;
+                return Ok(());
+            }
+            if g.engine.cancel(id) {
+                return Ok(());
+            }
+        }
+        Err(SolveError::UnknownRequest { id })
+    }
+
+    /// One scheduling round per group: admit pending requests into
+    /// vacant lanes, then run one lockstep cycle. Returns how many
+    /// outcomes this step produced.
+    pub fn step(&mut self, ctx: &mut GpuContext) -> usize {
+        let before = self.outcomes.len();
+        for g in &mut self.groups {
+            g.engine.admit_from(ctx, &mut g.queue, &mut self.outcomes);
+            if !g.engine.is_idle() {
+                g.engine.step(ctx, &mut self.outcomes);
+            }
+        }
+        for o in &self.outcomes[before..] {
+            match o.disposition {
+                Disposition::Completed => self.completed += 1,
+                Disposition::Cancelled => self.cancelled += 1,
+            }
+        }
+        self.outcomes.len() - before
+    }
+
+    /// Step until every queue is empty and every engine idle.
+    pub fn run_until_idle(&mut self, ctx: &mut GpuContext) {
+        while self.pending() > 0 || self.in_flight() > 0 {
+            self.step(ctx);
+        }
+    }
+
+    /// Requests waiting in queues.
+    pub fn pending(&self) -> usize {
+        self.groups.iter().map(|g| g.queue.len()).sum()
+    }
+
+    /// Requests occupying lanes.
+    pub fn in_flight(&self) -> usize {
+        self.groups.iter().map(|g| g.engine.occupied()).sum()
+    }
+
+    /// Take every outcome produced since the last drain, in completion
+    /// order.
+    pub fn drain_outcomes(&mut self) -> Vec<SolveOutcome<S>> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    /// Aggregate counters across all groups.
+    pub fn stats(&self) -> ServiceStats {
+        let mut st = ServiceStats {
+            submitted: self.submitted,
+            completed: self.completed,
+            cancelled: self.cancelled,
+            groups: self.groups.len(),
+            lanes_per_group: self.cfg.lanes,
+            ..ServiceStats::default()
+        };
+        for g in &self.groups {
+            let (cycles, lane_cycles, admissions) = g.engine.counters();
+            st.cycles += cycles;
+            st.lane_cycles += lane_cycles;
+            st.admissions += admissions;
+        }
+        st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GmresConfig;
+    use crate::context::{GpuContext, GpuMatrix};
+    use crate::gmres::Gmres;
+    use crate::precond::Identity;
+    use mpgmres_gpusim::DeviceModel;
+    use mpgmres_la::coo::Coo;
+    use mpgmres_la::vec_ops::ReductionOrder;
+
+    fn ctx() -> GpuContext {
+        GpuContext::with_reduction(DeviceModel::v100_belos(), ReductionOrder::Sequential)
+    }
+
+    fn laplace1d(n: usize) -> GpuMatrix<f64> {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+            }
+        }
+        GpuMatrix::new(coo.into_csr())
+    }
+
+    fn rhs(n: usize, seed: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i * 37 + seed * 101) % 23) as f64 / 11.0 - 1.0)
+            .collect()
+    }
+
+    #[test]
+    fn served_solves_match_independent_gmres_bitwise() {
+        let n = 48;
+        let a = laplace1d(n);
+        let cfg = GmresConfig::default().with_m(12).with_rtol(1e-9);
+        let mut c = ctx();
+        let mut svc = SolverService::new(ServiceConfig::default().with_lanes(2));
+        // 5 requests into 2 lanes: forces queueing and admission into
+        // vacated slots.
+        let payloads: Vec<Vec<f64>> = (0..5).map(|s| rhs(n, s)).collect();
+        let ids: Vec<RequestId> = payloads
+            .iter()
+            .map(|b| {
+                svc.submit(
+                    &c,
+                    &SolveRequest::new(Operator::Matrix(&a), b).with_config(cfg),
+                )
+                .unwrap()
+            })
+            .collect();
+        svc.run_until_idle(&mut c);
+        let outcomes = svc.drain_outcomes();
+        assert_eq!(outcomes.len(), 5);
+        for (id, b) in ids.iter().zip(&payloads) {
+            let out = outcomes.iter().find(|o| o.id == *id).unwrap();
+            assert_eq!(out.disposition, Disposition::Completed);
+            let mut x_ref = vec![0.0f64; n];
+            let r_ref = Gmres::new(&a, &Identity, cfg).solve(&mut ctx(), b, &mut x_ref);
+            let res = out.result.as_ref().unwrap();
+            assert_eq!(res.status, r_ref.status);
+            assert_eq!(res.iterations, r_ref.iterations);
+            for (sx, rx) in out.x.iter().zip(&x_ref) {
+                assert_eq!(sx.to_bits(), rx.to_bits(), "served x diverged from Gmres");
+            }
+        }
+        let st = svc.stats();
+        assert_eq!(st.completed, 5);
+        assert!(st.admissions >= 2, "5 requests through 2 lanes re-admit");
+        assert!(st.occupancy() > 0.0 && st.occupancy() <= 1.0);
+        assert!(!c.profiler().epochs().is_empty());
+    }
+
+    #[test]
+    fn tenants_never_share_groups() {
+        let n = 24;
+        let a = laplace1d(n);
+        let b = rhs(n, 1);
+        let c = ctx();
+        let mut svc = SolverService::<f64>::new(ServiceConfig::default());
+        let req = SolveRequest::new(Operator::Matrix(&a), &b);
+        svc.submit(&c, &req.with_tenant(1)).unwrap();
+        svc.submit(&c, &req.with_tenant(2)).unwrap();
+        svc.submit(&c, &req.with_tenant(1)).unwrap();
+        assert_eq!(svc.stats().groups, 2);
+    }
+
+    #[test]
+    fn queued_cancellation_returns_initial_guess() {
+        let n = 24;
+        let a = laplace1d(n);
+        let b = rhs(n, 3);
+        let mut c = ctx();
+        let mut svc = SolverService::new(ServiceConfig::default().with_lanes(1));
+        let keep = svc
+            .submit(&c, &SolveRequest::new(Operator::Matrix(&a), &b))
+            .unwrap();
+        let x0 = vec![0.5f64; n];
+        let dropped = svc
+            .submit(
+                &c,
+                &SolveRequest::new(Operator::Matrix(&a), &b).with_x0(&x0),
+            )
+            .unwrap();
+        svc.cancel(&c, dropped).unwrap();
+        assert!(matches!(
+            svc.cancel(&c, RequestId(999)),
+            Err(SolveError::UnknownRequest { .. })
+        ));
+        svc.run_until_idle(&mut c);
+        let outcomes = svc.drain_outcomes();
+        let d = outcomes.iter().find(|o| o.id == dropped).unwrap();
+        assert_eq!(d.disposition, Disposition::Cancelled);
+        assert!(d.result.is_none());
+        assert_eq!(d.x, x0);
+        let k = outcomes.iter().find(|o| o.id == keep).unwrap();
+        assert_eq!(k.disposition, Disposition::Completed);
+    }
+
+    #[test]
+    fn service_rejects_store_path_conversions() {
+        let n = 16;
+        let a = laplace1d(n);
+        let b = rhs(n, 0);
+        let c = ctx();
+        let mut svc = SolverService::new(ServiceConfig::default());
+        let err = svc
+            .submit(
+                &c,
+                &SolveRequest::new(Operator::Matrix(&a), &b).with_store(
+                    crate::config::StorePath::Shadow(mpgmres_scalar::Precision::Fp32),
+                ),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SolveError::UnsupportedCombination(_)));
+    }
+}

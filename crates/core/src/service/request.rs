@@ -1,0 +1,376 @@
+//! The unified request surface: one [`SolveRequest`] type accepted by
+//! every driver ([`crate::Gmres`], [`crate::BlockGmres`],
+//! [`crate::GmresIr`], [`crate::GmresIr3`]) and by the continuous
+//! [`crate::service::SolverService`], one [`SolveOutcome`] coming back,
+//! and one typed [`SolveError`] for everything the boundary used to
+//! reject with a panic.
+
+use mpgmres_backend::BackendScalar;
+
+use crate::config::{GmresConfig, StorePath};
+use crate::context::{GpuMatrix, GpuStore};
+use crate::precond::{Identity, Preconditioner};
+use crate::status::SolveResult;
+
+/// The operand of a solve: either the plain matrix in the working
+/// precision, or a packed low-precision storage path prepared with
+/// [`GpuStore`]. Copy-cheap — both variants borrow.
+#[derive(Clone, Copy)]
+pub enum Operator<'a, S> {
+    /// Plain CSR matrix in the working precision.
+    Matrix(&'a GpuMatrix<S>),
+    /// A (possibly low-precision) packed storage path.
+    Store(&'a GpuStore<S>),
+}
+
+impl<'a, S: BackendScalar> Operator<'a, S> {
+    /// Dimension (square systems).
+    pub fn n(&self) -> usize {
+        match self {
+            Operator::Matrix(a) => a.n(),
+            Operator::Store(a) => a.n(),
+        }
+    }
+
+    /// Storage-precision tag code (0 for the plain matrix), matching
+    /// the byte the recorded-region keys carry.
+    pub(crate) fn tag_code(&self) -> u8 {
+        match self {
+            Operator::Matrix(_) => 0,
+            Operator::Store(a) => a.tag().code(),
+        }
+    }
+
+    /// Stable identity of the borrowed operand (groups service requests
+    /// that share a matrix).
+    pub(crate) fn addr(&self) -> usize {
+        match self {
+            Operator::Matrix(a) => *a as *const GpuMatrix<S> as usize,
+            Operator::Store(a) => *a as *const GpuStore<S> as usize,
+        }
+    }
+}
+
+/// One linear solve, fully described: operand, right-hand side,
+/// optional initial guess, solver configuration, storage path, right
+/// preconditioner, and the tenant the request belongs to.
+///
+/// Two lifetimes: `'a` is the long-lived solver state (operand and
+/// preconditioner — what a [`crate::service::SolverService`] keeps
+/// borrowing between requests), `'r` the per-request payload (`rhs`,
+/// `x0` — copied at submission, so it may be as short-lived as one
+/// loop iteration).
+///
+/// ```
+/// use mpgmres::prelude::*;
+/// # let mut coo = mpgmres_la::coo::Coo::new(4, 4);
+/// # for i in 0..4 { coo.push(i, i, 2.0f64); }
+/// # let a = GpuMatrix::new(coo.into_csr());
+/// let b = vec![1.0f64; 4];
+/// let req = SolveRequest::new(Operator::Matrix(&a), &b)
+///     .with_config(GmresConfig::default().with_m(10));
+/// let mut ctx = GpuContext::new(DeviceModel::v100_belos());
+/// let out = Gmres::serve(&mut ctx, &req).unwrap();
+/// assert!(out.result.unwrap().status.is_converged());
+/// ```
+#[derive(Clone, Copy)]
+pub struct SolveRequest<'a, 'r, S> {
+    /// The operand `A`.
+    pub operator: Operator<'a, S>,
+    /// Right-hand side `b` (length `n`).
+    pub rhs: &'r [S],
+    /// Initial guess (length `n`); zero when absent.
+    pub x0: Option<&'r [S]>,
+    /// Solver configuration (restart length, tolerance, caps, ...).
+    pub config: GmresConfig,
+    /// Storage path for drivers that build their own low-precision
+    /// operand copies (the IR drivers, or the direct drivers when the
+    /// operand is a plain matrix). [`StorePath::Native`] means "as
+    /// given".
+    pub store: StorePath,
+    /// Right preconditioner (identity by default).
+    pub precond: &'a dyn Preconditioner<S>,
+    /// Tenant tag: requests from different tenants never share lane
+    /// groups or cached op graphs in the service.
+    pub tenant: u32,
+}
+
+impl<'a, 'r, S: BackendScalar> SolveRequest<'a, 'r, S> {
+    /// A request with the default configuration, identity
+    /// preconditioner, native storage, zero initial guess, tenant 0.
+    pub fn new(operator: Operator<'a, S>, rhs: &'r [S]) -> Self {
+        SolveRequest {
+            operator,
+            rhs,
+            x0: None,
+            config: GmresConfig::default(),
+            store: StorePath::Native,
+            precond: &Identity,
+            tenant: 0,
+        }
+    }
+
+    /// Builder-style initial guess.
+    pub fn with_x0(mut self, x0: &'r [S]) -> Self {
+        self.x0 = Some(x0);
+        self
+    }
+
+    /// Builder-style solver configuration.
+    pub fn with_config(mut self, config: GmresConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builder-style storage path.
+    pub fn with_store(mut self, store: StorePath) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Builder-style right preconditioner.
+    pub fn with_precond(mut self, precond: &'a dyn Preconditioner<S>) -> Self {
+        self.precond = precond;
+        self
+    }
+
+    /// Builder-style tenant tag.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Check everything the drivers used to `assert!` at the boundary:
+    /// dimensions, configuration, and operand/preconditioner
+    /// compatibility.
+    pub fn validate(&self) -> Result<(), SolveError> {
+        self.config.validate()?;
+        let n = self.operator.n();
+        if self.rhs.len() != n {
+            return Err(SolveError::DimensionMismatch {
+                what: "rhs length",
+                expected: n,
+                got: self.rhs.len(),
+            });
+        }
+        if let Some(x0) = self.x0 {
+            if x0.len() != n {
+                return Err(SolveError::DimensionMismatch {
+                    what: "initial guess length",
+                    expected: n,
+                    got: x0.len(),
+                });
+            }
+        }
+        let packed =
+            matches!(self.operator, Operator::Store(_)) || !matches!(self.store, StorePath::Native);
+        if packed && self.precond.needs_matrix() {
+            return Err(SolveError::UnsupportedCombination(format!(
+                "preconditioner '{}' needs the plain matrix, which a packed \
+                 storage path does not carry; use a matrix-free preconditioner \
+                 (identity, block Jacobi, or a cast wrapper owning its own copy)",
+                self.precond.describe()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Identifier handed back by [`crate::service::SolverService::submit`];
+/// one-shot driver serves always report id 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl core::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// How a request left the system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Disposition {
+    /// Ran to a terminal solver status (converged or not — inspect
+    /// [`SolveOutcome::result`]).
+    Completed,
+    /// Cancelled before reaching a terminal status (in queue, or at a
+    /// cycle barrier mid-solve).
+    Cancelled,
+}
+
+/// The answer to one [`SolveRequest`].
+#[derive(Clone, Debug)]
+pub struct SolveOutcome<S> {
+    /// The id echoed from submission (0 for one-shot serves).
+    pub id: RequestId,
+    /// The solution (or, for cancelled requests, the iterate as of the
+    /// last completed cycle barrier).
+    pub x: Vec<S>,
+    /// Terminal solver result; `None` exactly when the request was
+    /// cancelled before resolving.
+    pub result: Option<SolveResult>,
+    /// Completed or cancelled.
+    pub disposition: Disposition,
+    /// Simulated seconds spent queued before lane admission.
+    pub queued_seconds: f64,
+    /// Simulated seconds from lane admission to the terminal barrier.
+    pub solve_seconds: f64,
+}
+
+/// Typed rejection at the request surface. Everything here used to be
+/// an `assert!` inside the drivers; the internal invariants those
+/// asserts also guarded remain as `debug_assert!`s.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// A buffer length does not match the operand dimension.
+    DimensionMismatch {
+        /// Which buffer.
+        what: &'static str,
+        /// The operand dimension it must match.
+        expected: usize,
+        /// What was handed in.
+        got: usize,
+    },
+    /// The [`GmresConfig`] is out of range (restart length 0, pipeline
+    /// depth > 1, non-finite tolerance, ...).
+    InvalidConfig(String),
+    /// The request combines features that cannot run together (e.g. a
+    /// matrix-needing preconditioner over a packed storage path).
+    UnsupportedCombination(String),
+    /// A [`RequestId`] the service has no record of (already drained,
+    /// or never submitted).
+    UnknownRequest {
+        /// The offending id.
+        id: RequestId,
+    },
+}
+
+impl core::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SolveError::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => {
+                write!(f, "{what} mismatch: expected {expected}, got {got}")
+            }
+            SolveError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            SolveError::UnsupportedCombination(msg) => {
+                write!(f, "unsupported combination: {msg}")
+            }
+            SolveError::UnknownRequest { id } => write!(f, "unknown request {id}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::block_jacobi::BlockJacobi;
+    use mpgmres_la::coo::Coo;
+    use mpgmres_scalar::Precision;
+
+    fn laplace1d(n: usize) -> GpuMatrix<f64> {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+            }
+        }
+        GpuMatrix::new(coo.into_csr())
+    }
+
+    #[test]
+    fn validate_catches_dimension_mismatches() {
+        let a = laplace1d(8);
+        let b = vec![1.0f64; 7];
+        let err = SolveRequest::new(Operator::Matrix(&a), &b)
+            .validate()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::DimensionMismatch {
+                what: "rhs length",
+                expected: 8,
+                got: 7
+            }
+        );
+        let b = vec![1.0f64; 8];
+        let x0 = vec![0.0f64; 9];
+        let err = SolveRequest::new(Operator::Matrix(&a), &b)
+            .with_x0(&x0)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, SolveError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn validate_catches_bad_config() {
+        let a = laplace1d(8);
+        let b = vec![1.0f64; 8];
+        let cfg = GmresConfig {
+            m: 0,
+            ..GmresConfig::default()
+        };
+        let err = SolveRequest::new(Operator::Matrix(&a), &b)
+            .with_config(cfg)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, SolveError::InvalidConfig(_)));
+        let cfg = GmresConfig {
+            pipeline_depth: 2,
+            ..GmresConfig::default()
+        };
+        let err = SolveRequest::new(Operator::Matrix(&a), &b)
+            .with_config(cfg)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, SolveError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn matrix_needing_preconditioner_rejected_on_packed_paths() {
+        let a = laplace1d(8);
+        let bj = BlockJacobi::build(&a, 2);
+        let cheb =
+            crate::precond::chebyshev::ChebyshevPreconditioner::with_bounds(4, 0.1, 4.0).unwrap();
+        let b = vec![1.0f64; 8];
+        // Block Jacobi never touches A at apply time: fine on a shadow path.
+        assert!(SolveRequest::new(Operator::Matrix(&a), &b)
+            .with_store(StorePath::Shadow(Precision::Fp32))
+            .with_precond(&bj)
+            .validate()
+            .is_ok());
+        // Chebyshev streams SpMVs against the plain matrix: rejected.
+        let err = SolveRequest::new(Operator::Matrix(&a), &b)
+            .with_store(StorePath::Shadow(Precision::Fp32))
+            .with_precond(&cheb)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, SolveError::UnsupportedCombination(_)));
+    }
+
+    #[test]
+    fn errors_display() {
+        let msgs = [
+            SolveError::DimensionMismatch {
+                what: "rhs length",
+                expected: 4,
+                got: 3,
+            }
+            .to_string(),
+            SolveError::InvalidConfig("m = 0".into()).to_string(),
+            SolveError::UnsupportedCombination("x".into()).to_string(),
+            SolveError::UnknownRequest { id: RequestId(7) }.to_string(),
+        ];
+        assert!(msgs[0].contains("expected 4"));
+        assert!(msgs[3].contains("req#7"));
+    }
+}

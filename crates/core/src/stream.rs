@@ -118,6 +118,13 @@ pub mod region {
     pub const IR_OUTER: u32 = 12;
     /// `GmresIr3` outer refinement region (fp64 residual + norm).
     pub const IR3_OUTER: u32 = 13;
+    /// Serving-engine lane admission (per-admitted-slot residual +
+    /// reference norm at a cycle barrier). Keys pack the admitted-slot
+    /// set into `lanes` and a tenant/admission discriminator hash into
+    /// the spare `k` bits — the same convention the pipelined regions
+    /// use for deflation-transition masks — so each admission shape
+    /// replays its own cached graph.
+    pub const BLOCK_ADMIT: u32 = 14;
 }
 
 /// Cache key of one shape-stable recording region: a region id plus

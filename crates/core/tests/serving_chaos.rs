@@ -1,0 +1,271 @@
+//! Chaos tests for continuous lane admission: deterministic LCG-driven
+//! bursts of requests with mixed tolerances, iteration caps, restart
+//! lengths, and cancellations, pushed through [`SolverService`].
+//!
+//! The invariant under chaos is the serving contract from
+//! `service`'s module docs: every *completed* request is bit-identical
+//! to an independent [`Gmres`] solve with the same stopping parameters,
+//! no matter how lanes were shared, when the request was admitted, or
+//! which requests around it were cancelled. Cancelled requests leave
+//! with the iterate of the last completed cycle barrier.
+
+use mpgmres::prelude::*;
+use mpgmres_la::coo::Coo;
+use mpgmres_la::vec_ops::ReductionOrder;
+
+fn laplace1d(n: usize) -> GpuMatrix<f64> {
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 2.0);
+        if i > 0 {
+            coo.push(i, i - 1, -1.0);
+        }
+        if i + 1 < n {
+            coo.push(i, i + 1, -1.0);
+        }
+    }
+    GpuMatrix::new(coo.into_csr())
+}
+
+/// Deterministic arrival/payload source (no `rand` dependency, no
+/// wall-clock): a 64-bit LCG with the constants from MMIX.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() >> 33) as usize % bound
+    }
+
+    /// Uniform in (-1, 1), built from the high mantissa bits.
+    fn signed_unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+}
+
+const RTOLS: [f64; 3] = [1e-6, 1e-8, 1e-10];
+const CAPS: [usize; 3] = [60, 400, 2_000];
+
+struct Arrival {
+    rhs: Vec<f64>,
+    rtol: f64,
+    max_iters: usize,
+    m: usize,
+}
+
+/// The request mix a given seed produces, shared by every scenario so
+/// backend/streaming runs see identical traffic.
+fn arrivals(seed: u64, n: usize, count: usize, ms: &[usize]) -> Vec<Arrival> {
+    let mut lcg = Lcg(seed);
+    (0..count)
+        .map(|_| Arrival {
+            rhs: (0..n).map(|_| lcg.signed_unit()).collect(),
+            rtol: RTOLS[lcg.below(RTOLS.len())],
+            max_iters: CAPS[lcg.below(CAPS.len())],
+            m: ms[lcg.below(ms.len())],
+        })
+        .collect()
+}
+
+/// Drive `service.step` under a bursty schedule: submit a random burst
+/// (0..=3 requests), step a random 1..=4 cycles, repeat until the
+/// traffic is drained. Optionally cancels roughly one in `cancel_one_in`
+/// outstanding requests, mixing queued and mid-flight victims.
+fn run_scenario(
+    ctx: &mut GpuContext,
+    a: &GpuMatrix<f64>,
+    traffic: &[Arrival],
+    lanes: usize,
+    cancel_one_in: Option<usize>,
+) -> Vec<SolveOutcome<f64>> {
+    let mut service = SolverService::new(ServiceConfig::default().with_lanes(lanes));
+    // Schedule decisions come from their own stream so payload and
+    // schedule stay independently reproducible.
+    let mut lcg = Lcg(0x05ee_d0fc_4a05_u64);
+    let mut ids: Vec<RequestId> = Vec::new();
+    let mut next = 0;
+    while next < traffic.len() || service.pending() + service.in_flight() > 0 {
+        let burst = lcg.below(4).min(traffic.len() - next);
+        for arr in &traffic[next..next + burst] {
+            let cfg = GmresConfig::default()
+                .with_m(arr.m)
+                .with_rtol(arr.rtol)
+                .with_max_iters(arr.max_iters);
+            let req = SolveRequest::new(Operator::Matrix(a), &arr.rhs).with_config(cfg);
+            ids.push(service.submit(ctx, &req).expect("valid request"));
+        }
+        next += burst;
+        if let Some(rate) = cancel_one_in {
+            if !ids.is_empty() && lcg.below(rate) == 0 {
+                let victim = ids.swap_remove(lcg.below(ids.len()));
+                // Already-finished ids surface as UnknownRequest: fine,
+                // the chaos schedule doesn't track completion.
+                let _ = service.cancel(ctx, victim);
+            }
+        }
+        for _ in 0..1 + lcg.below(4) {
+            service.step(ctx);
+        }
+    }
+    let outcomes = service.drain_outcomes();
+    assert_eq!(outcomes.len(), traffic.len(), "every request resolves");
+    outcomes
+}
+
+/// Bitwise comparison of a completed serving outcome against an
+/// independent single-RHS `Gmres` solve with identical stopping
+/// parameters (the serving parity contract).
+fn assert_matches_independent(
+    ctx: &mut GpuContext,
+    a: &GpuMatrix<f64>,
+    arr: &Arrival,
+    out: &SolveOutcome<f64>,
+) {
+    let cfg = GmresConfig::default()
+        .with_m(arr.m)
+        .with_rtol(arr.rtol)
+        .with_max_iters(arr.max_iters);
+    let solo = Gmres::new(a, &Identity, cfg);
+    let mut x = vec![0.0f64; a.n()];
+    let want = solo.solve(ctx, &arr.rhs, &mut x);
+    let got = out.result.as_ref().expect("completed outcome has result");
+    assert_eq!(got.status, want.status, "{}: status", out.id);
+    assert_eq!(got.iterations, want.iterations, "{}: iterations", out.id);
+    for (i, (sx, bx)) in x.iter().zip(&out.x).enumerate() {
+        assert_eq!(
+            sx.to_bits(),
+            bx.to_bits(),
+            "{}: x[{i}] must be bit-identical",
+            out.id
+        );
+    }
+}
+
+fn ctx_with(kind: BackendKind, streaming: bool) -> GpuContext {
+    let mut ctx =
+        GpuContext::with_backend_kind(DeviceModel::v100_belos(), ReductionOrder::Sequential, kind);
+    ctx.set_streaming(streaming);
+    ctx
+}
+
+#[test]
+fn bursty_admission_matches_independent_gmres_bitwise() {
+    let n = 40;
+    let a = laplace1d(n);
+    let traffic = arrivals(0xb00b5, n, 12, &[10]);
+    let mut ctx = ctx_with(BackendKind::Reference, true);
+    let outcomes = run_scenario(&mut ctx, &a, &traffic, 3, None);
+    let mut solo_ctx = ctx_with(BackendKind::Reference, true);
+    for out in &outcomes {
+        assert_eq!(out.disposition, Disposition::Completed);
+        let arr = &traffic[out.id.0 as usize - 1];
+        assert_matches_independent(&mut solo_ctx, &a, arr, out);
+        assert!(out.queued_seconds >= 0.0 && out.solve_seconds >= 0.0);
+    }
+}
+
+#[test]
+fn parity_holds_across_backends_and_streaming_modes() {
+    let n = 40;
+    let a = laplace1d(n);
+    let traffic = arrivals(0xcafe, n, 8, &[12]);
+    let runs: Vec<Vec<SolveOutcome<f64>>> = [
+        (BackendKind::Reference, true),
+        (BackendKind::Reference, false),
+        (BackendKind::Parallel, true),
+        (BackendKind::Parallel, false),
+    ]
+    .into_iter()
+    .map(|(kind, streaming)| {
+        let mut ctx = ctx_with(kind, streaming);
+        let mut outcomes = run_scenario(&mut ctx, &a, &traffic, 2, None);
+        outcomes.sort_by_key(|o| o.id.0);
+        outcomes
+    })
+    .collect();
+    let base = &runs[0];
+    for (r, run) in runs.iter().enumerate().skip(1) {
+        for (want, got) in base.iter().zip(run) {
+            assert_eq!(want.id, got.id);
+            assert_eq!(want.disposition, got.disposition, "run {r}: {}", want.id);
+            let (rw, rg) = (want.result.as_ref().unwrap(), got.result.as_ref().unwrap());
+            assert_eq!(rw.status, rg.status, "run {r}: {}", want.id);
+            assert_eq!(rw.iterations, rg.iterations, "run {r}: {}", want.id);
+            for (wx, gx) in want.x.iter().zip(&got.x) {
+                assert_eq!(wx.to_bits(), gx.to_bits(), "run {r}: {}", want.id);
+            }
+        }
+    }
+}
+
+#[test]
+fn cancellation_chaos_never_perturbs_surviving_solves() {
+    let n = 40;
+    let a = laplace1d(n);
+    let traffic = arrivals(0xdead, n, 14, &[10]);
+    let mut ctx = ctx_with(BackendKind::Reference, true);
+    let outcomes = run_scenario(&mut ctx, &a, &traffic, 2, Some(2));
+    let cancelled = outcomes
+        .iter()
+        .filter(|o| o.disposition == Disposition::Cancelled)
+        .count();
+    assert!(cancelled > 0, "chaos schedule must actually cancel");
+    assert!(cancelled < outcomes.len(), "and must let some complete");
+    let mut solo_ctx = ctx_with(BackendKind::Reference, true);
+    for out in &outcomes {
+        match out.disposition {
+            // Survivors are untouched by their neighbours' removal.
+            Disposition::Completed => {
+                let arr = &traffic[out.id.0 as usize - 1];
+                assert_matches_independent(&mut solo_ctx, &a, arr, out);
+            }
+            // Cancelled lanes leave with the last barrier iterate:
+            // always finite, never a poisoned slot.
+            Disposition::Cancelled => {
+                assert!(out.x.iter().all(|v| v.is_finite()), "{}", out.id);
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_restart_lengths_split_groups_and_keep_parity() {
+    let n = 40;
+    let a = laplace1d(n);
+    let traffic = arrivals(0xfeed, n, 10, &[8, 12]);
+    let mut ctx = ctx_with(BackendKind::Reference, true);
+    let outcomes = run_scenario(&mut ctx, &a, &traffic, 2, None);
+    let mut solo_ctx = ctx_with(BackendKind::Reference, true);
+    for out in &outcomes {
+        let arr = &traffic[out.id.0 as usize - 1];
+        assert_matches_independent(&mut solo_ctx, &a, arr, out);
+    }
+}
+
+#[test]
+fn admission_replay_allocates_no_nodes_once_warm() {
+    let n = 40;
+    let a = laplace1d(n);
+    let traffic = arrivals(0xace, n, 10, &[10]);
+    let mut ctx = ctx_with(BackendKind::Reference, true);
+    // First pass warms every admission-mask graph variant the schedule
+    // produces (plus the cycle/barrier graphs).
+    run_scenario(&mut ctx, &a, &traffic, 3, None);
+    let warm = ctx.stream_stats();
+    assert!(warm.nodes_allocated > 0, "warmup must build graphs");
+    // An identical rerun replays every graph: zero new nodes, all hits.
+    run_scenario(&mut ctx, &a, &traffic, 3, None);
+    let replay = ctx.stream_stats();
+    assert_eq!(
+        replay.nodes_allocated, warm.nodes_allocated,
+        "warm admission must not allocate graph nodes"
+    );
+    assert!(replay.hits > warm.hits, "rerun must be served from cache");
+}

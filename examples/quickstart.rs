@@ -4,8 +4,10 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Demonstrates the core API: build a matrix, pick a device model, run
-//! fp64 GMRES(m), fp32 GMRES(m), and GMRES-IR, and read iterations +
+//! Demonstrates the core API through the unified request surface: build
+//! a matrix, pick a device model, serve fp64 GMRES(m) via
+//! [`SolveRequest`], run fp32 GMRES(m) and GMRES-IR, push a burst of
+//! right-hand sides through [`SolverService`], and read iterations +
 //! simulated V100 time + the per-kernel breakdown.
 
 use multiprec_gmres::matgen::galeri;
@@ -22,11 +24,13 @@ fn main() {
     // time ratios match a paper-scale (n ~ millions) run; see DESIGN.md.
     let device = DeviceModel::v100_belos().scaled_latencies(n as f64 / 2_250_000.0);
 
-    // fp64 GMRES(50) — the baseline the paper measures everything against.
+    // fp64 GMRES(50) — the baseline the paper measures everything
+    // against, through the unified request surface: a `SolveRequest`
+    // in, a `SolveOutcome` (solution + result + timings) out.
     let mut ctx = GpuContext::new(device.clone());
-    let mut x64 = vec![0.0f64; n];
-    let g = Gmres::new(&a, &Identity, GmresConfig::default());
-    let r64 = g.solve(&mut ctx, &b, &mut x64);
+    let out64 = Gmres::serve(&mut ctx, &SolveRequest::new(Operator::Matrix(&a), &b))
+        .expect("well-formed request");
+    let r64 = out64.result.expect("completed outcome");
     let t64 = ctx.elapsed();
     println!(
         "fp64 GMRES(50):  {:?} in {} iterations, simulated {:.3} ms",
@@ -70,6 +74,46 @@ fn main() {
         "final residuals: fp64 {:.2e}, IR {:.2e} (both certified at 1e-10)",
         r64.final_relative_residual, rir.final_relative_residual
     );
+
+    // Solve-as-a-service: queue a burst of right-hand sides and let the
+    // continuous-admission lane engine schedule them into 4 lanes,
+    // admitting queued work at cycle barriers as lanes deflate. Each
+    // completed outcome is bit-identical to its independent solve.
+    let mut svc_ctx = GpuContext::new(DeviceModel::v100_belos());
+    let mut service = SolverService::new(ServiceConfig::default().with_lanes(4));
+    let burst: Vec<Vec<f64>> = (0..6)
+        .map(|j| {
+            (0..n)
+                .map(|i| 1.0 + ((i * (j + 2)) % 7) as f64 / 7.0)
+                .collect()
+        })
+        .collect();
+    for rhs in &burst {
+        service
+            .submit(&svc_ctx, &SolveRequest::new(Operator::Matrix(&a), rhs))
+            .expect("well-formed request");
+    }
+    service.run_until_idle(&mut svc_ctx);
+    let outcomes = service.drain_outcomes();
+    let stats = service.stats();
+    println!(
+        "\nSolverService:   {} requests over {} lanes: {} cycles, occupancy {:.2}",
+        outcomes.len(),
+        4,
+        stats.cycles,
+        stats.occupancy()
+    );
+    for o in &outcomes {
+        let r = o.result.as_ref().expect("completed");
+        println!(
+            "  {}: {:?} in {} iterations (queued {:.3} ms, solved {:.3} ms)",
+            o.id,
+            r.status,
+            r.iterations,
+            o.queued_seconds * 1e3,
+            o.solve_seconds * 1e3
+        );
+    }
 
     println!("\nper-kernel simulated time, fp64 solve (the paper's Fig. 4 categories):");
     print!("{}", ctx.report().table());

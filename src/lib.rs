@@ -36,17 +36,17 @@ pub use mpgmres_la as la;
 pub use mpgmres_matgen as matgen;
 pub use mpgmres_scalar as scalar;
 
-/// Convenient glob-import surface for examples and downstream users.
+/// Convenient glob-import surface for examples and downstream users:
+/// the solver crate's own [`mpgmres::prelude`] (drivers, the
+/// `SolveRequest`/`SolverService` serving surface, configurations,
+/// operand and device handles) plus the backend handles, preconditioner
+/// constructors, and profiler categories examples reach for.
 pub mod prelude {
     pub use mpgmres::precond::block_jacobi::BlockJacobi;
     pub use mpgmres::precond::mixed::CastPreconditioner;
     pub use mpgmres::precond::poly::PolyPreconditioner;
-    pub use mpgmres::precond::{Identity, Preconditioner};
-    pub use mpgmres::{
-        Backend, BackendKind, BackendScalar, BlockGmres, FdConfig, Gmres, GmresConfig, GmresFd,
-        GmresIr, GmresIr3, GpuContext, GpuMatrix, Ir3Config, IrConfig, MultiVec, OrthoMethod,
-        ParallelBackend, ReferenceBackend, SolveResult, SolveStatus,
-    };
-    pub use mpgmres_gpusim::{DeviceModel, KernelClass, PaperCategory};
-    pub use mpgmres_scalar::{Half, Precision, Scalar};
+    pub use mpgmres::prelude::*;
+    pub use mpgmres::{Backend, ParallelBackend, ReferenceBackend};
+    pub use mpgmres_gpusim::{KernelClass, PaperCategory};
+    pub use mpgmres_scalar::Scalar;
 }
