@@ -70,14 +70,16 @@ use mpgmres_la::csr::Csr;
 use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
 use mpgmres_la::par;
-use mpgmres_la::pool::{ScopedSpawn, WorkerPool};
+use mpgmres_la::pool::{Lease, WorkerPool};
 use mpgmres_la::store::MatrixStore;
 use mpgmres_la::vec_ops::{self, ReductionOrder};
 use mpgmres_scalar::{Half, Scalar};
 
 pub mod contracts;
+pub mod sharded;
 pub mod stream;
 
+pub use sharded::ShardedBackend;
 use stream::Batch;
 
 /// The kernel call surface for one working precision `S`.
@@ -278,6 +280,15 @@ pub trait Backend:
     /// loops (e.g. block Jacobi's batched solves): 1 for sequential
     /// backends, the thread count for parallel ones.
     fn parallelism(&self) -> usize {
+        1
+    }
+
+    /// Number of row shards this backend decomposes matrix kernels
+    /// over: 1 for single-device backends, N for [`ShardedBackend`].
+    /// The stream layer uses this to expand SpMV/SpMM/residual into
+    /// per-shard halo-exchange + compute ops (and to salt region keys
+    /// so sharded graphs replay from their own cache entries).
+    fn shard_count(&self) -> usize {
         1
     }
 
@@ -640,103 +651,93 @@ impl Backend for ParallelBackend {
         self.threads
     }
 
-    /// Multi-op batches run concurrently, one pinned pool worker per
-    /// op. The pool must not be re-entered from a worker, so each
-    /// concurrently executed op runs its kernels through a width-limited
-    /// scoped-spawn backend (`threads / batch_len` workers each — a
-    /// small batch on a wide pool keeps intra-op parallelism instead of
-    /// degrading to fully sequential kernels). The inner backends share
-    /// this backend's partition strategy and cache, so batch ops keep
-    /// nnz-balanced matrix splits. By the determinism contract every
-    /// kernel is bit-identical across backends, so the switch is
-    /// unobservable in the results. A single ready op keeps the full
-    /// width of the pool-parallel kernels instead.
+    /// Multi-op batches run concurrently, each op on its own *leased*
+    /// disjoint subset of the persistent pool's workers
+    /// ([`WorkerPool::leases`]): one scoped coordinator thread per op
+    /// drives the op's kernels, and those kernels parallelize over the
+    /// op's leased workers — no per-kernel scoped spawns, no queueing
+    /// behind sibling ops (each lease submission has its own barrier).
+    /// The per-op lease backends share this backend's partition
+    /// strategy and cache, so batch ops keep nnz-balanced matrix
+    /// splits. By the determinism contract every kernel is
+    /// bit-identical across backends, so the split is unobservable in
+    /// the results. A single ready op keeps the full width of the
+    /// pool-parallel kernels instead.
     fn execute_batch(&self, batch: Batch<'_>) {
         if batch.len() <= 1 || self.threads <= 1 {
             batch.run_serial(self);
             return;
         }
-        // Divide the pool's width across the batch, spreading the
-        // remainder so no worker idles when threads % batch_len != 0
-        // (e.g. 4 workers, 3 ops -> widths 2, 1, 1).
-        let base = self.threads / batch.len();
-        let extra = self.threads % batch.len();
-        let inners: Vec<SpawnBackend> = (0..batch.len())
-            .map(|i| SpawnBackend {
-                threads: (base + usize::from(i < extra)).max(1),
+        let leases = self.pool.leases(batch.len());
+        let inners: Vec<LeaseBackend<'_>> = leases
+            .into_iter()
+            .map(|lease| LeaseBackend {
+                lease,
                 strategy: self.strategy,
                 partitions: Arc::clone(&self.partitions),
             })
             .collect();
-        self.pool.run(batch.len(), |i| {
-            batch.run(i, &inners[i]);
+        let batch = &batch;
+        std::thread::scope(|scope| {
+            for (i, inner) in inners.iter().enumerate() {
+                scope.spawn(move || batch.run(i, inner));
+            }
         });
     }
 }
 
-/// Width-limited scoped-spawn backend: the execution context handed to
-/// each op of a concurrent stream batch. It reuses the per-call
-/// scoped-spawn kernels (the pre-pool dispatch style), so it can run
-/// inside a pool worker without re-entering the pool; at `threads = 1`
-/// every kernel takes the sequential path. It inherits the outer
-/// backend's [`PartitionStrategy`] and shares its partition cache, so
-/// matrix kernels inside a concurrent batch keep the nnz-balanced split
-/// a `parallel-nnz` backend was configured with (cached under this
-/// backend's own width). Bit-identical to the other backends by the
-/// determinism contract. Remaining limitation (tracked in ROADMAP.md
-/// under "nested pool reservations"): ops executed here pay scoped-spawn
-/// dispatch again — which affects only multicore wall-clock, never
-/// results.
+/// The execution context handed to each op of a concurrent stream
+/// batch: kernels parallelize over a leased disjoint worker subset of
+/// the outer backend's persistent pool ([`Lease`]), replacing the old
+/// per-kernel scoped-spawn fallback — pool workers stay warm and
+/// pinned, and concurrent ops never queue behind each other because
+/// their leases are disjoint with independent barriers. A lease
+/// narrower than two workers runs every kernel sequentially. It
+/// inherits the outer backend's [`PartitionStrategy`] and shares its
+/// partition cache, so matrix kernels inside a concurrent batch keep
+/// the nnz-balanced split a `parallel-nnz` backend was configured with
+/// (cached under the lease's own width). Bit-identical to the other
+/// backends by the determinism contract.
 #[derive(Debug)]
-struct SpawnBackend {
-    threads: usize,
+struct LeaseBackend<'p> {
+    lease: Lease<'p>,
     strategy: PartitionStrategy,
     partitions: Arc<PartitionCache>,
 }
 
-impl SpawnBackend {
-    /// The cached row partition at this backend's width (even or
+impl LeaseBackend<'_> {
+    fn width(&self) -> usize {
+        self.lease.count().max(1)
+    }
+
+    /// The cached row partition at this lease's width (even or
     /// nnz-balanced per the inherited strategy).
     fn matrix_parts<S: Scalar>(&self, a: &Csr<S>) -> SharedPartition {
-        strategy_parts(&self.partitions, self.strategy, self.threads, a)
+        strategy_parts(&self.partitions, self.strategy, self.width(), a)
     }
 }
 
-impl<S: Scalar> ScalarBackend<S> for SpawnBackend {
+impl<S: Scalar> ScalarBackend<S> for LeaseBackend<'_> {
     fn spmv(&self, a: &Csr<S>, x: &[S], y: &mut [S]) {
-        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.width() <= 1 {
             a.spmv(x, y);
             return;
         }
-        par::spmv_parts_on(&ScopedSpawn(self.threads), &self.matrix_parts(a), a, x, y);
+        par::spmv_parts_on(&self.lease, &self.matrix_parts(a), a, x, y);
     }
     fn residual(&self, a: &Csr<S>, b: &[S], x: &[S], r: &mut [S]) {
-        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.width() <= 1 {
             a.residual(b, x, r);
             return;
         }
-        par::residual_parts_on(
-            &ScopedSpawn(self.threads),
-            &self.matrix_parts(a),
-            a,
-            b,
-            x,
-            r,
-        );
+        par::residual_parts_on(&self.lease, &self.matrix_parts(a), a, b, x, r);
     }
     fn spmm(&self, a: &Csr<S>, x: &MultiVec<S>, k: usize, y: &mut MultiVec<S>) {
-        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.width() <= 1 {
             par::spmm_parts(&[(0, a.nrows())], a, x, k, y);
             return;
         }
-        par::spmm_parts_on(
-            &ScopedSpawn(self.threads),
-            &self.matrix_parts(a),
-            a,
-            x,
-            k,
-            y,
-        );
+        par::spmm_parts_on(&self.lease, &self.matrix_parts(a), a, x, k, y);
     }
     fn gemv_t(
         &self,
@@ -746,68 +747,68 @@ impl<S: Scalar> ScalarBackend<S> for SpawnBackend {
         h: &mut [S],
         order: ReductionOrder,
     ) {
-        par::gemv_t(self.threads, v, ncols, w, h, order);
+        par::gemv_t_on(&self.lease, v, ncols, w, h, order);
     }
     fn gemv_n_sub(&self, v: &MultiVector<S>, ncols: usize, h: &[S], w: &mut [S]) {
-        par::gemv_n_sub(self.threads, v, ncols, h, w);
+        par::gemv_n_sub_on(&self.lease, v, ncols, h, w);
     }
     fn gemv_n_add(&self, v: &MultiVector<S>, ncols: usize, h: &[S], y: &mut [S]) {
-        par::gemv_n_add(self.threads, v, ncols, h, y);
+        par::gemv_n_add_on(&self.lease, v, ncols, h, y);
     }
     fn dot(&self, x: &[S], y: &[S], order: ReductionOrder) -> S {
-        par::dot(self.threads, x, y, order)
+        par::dot_on(&self.lease, x, y, order)
     }
     fn norm2(&self, x: &[S], order: ReductionOrder) -> S {
-        par::norm2(self.threads, x, order)
+        par::norm2_on(&self.lease, x, order)
     }
     fn axpy(&self, alpha: S, x: &[S], y: &mut [S]) {
-        par::axpy(self.threads, alpha, x, y);
+        par::axpy_on(&self.lease, alpha, x, y);
     }
     fn scal(&self, alpha: S, x: &mut [S]) {
-        par::scal(self.threads, alpha, x);
+        par::scal_on(&self.lease, alpha, x);
     }
     fn copy(&self, src: &[S], dst: &mut [S]) {
-        par::copy(self.threads, src, dst);
+        par::copy_on(&self.lease, src, dst);
     }
     fn lane_copy(&self, srcs: &[&[S]], dsts: &mut [&mut [S]]) {
-        par::lane_copy_on(&ScopedSpawn(self.threads), srcs, dsts);
+        par::lane_copy_on(&self.lease, srcs, dsts);
     }
     fn lane_scal_copy(&self, alpha: &[S], srcs: &[&[S]], dsts: &mut [&mut [S]]) {
-        par::lane_scal_copy_on(&ScopedSpawn(self.threads), alpha, srcs, dsts);
+        par::lane_scal_copy_on(&self.lease, alpha, srcs, dsts);
     }
     fn store_spmv(&self, a: &MatrixStore<S>, x: &[S], y: &mut [S]) {
-        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.width() <= 1 {
             a.spmv(x, y);
             return;
         }
-        let parts = store_strategy_parts(&self.partitions, self.strategy, self.threads, a);
-        par::store_spmv_parts_on(&ScopedSpawn(self.threads), &parts, a, x, y);
+        let parts = store_strategy_parts(&self.partitions, self.strategy, self.width(), a);
+        par::store_spmv_parts_on(&self.lease, &parts, a, x, y);
     }
     fn store_residual(&self, a: &MatrixStore<S>, b: &[S], x: &[S], r: &mut [S]) {
-        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.width() <= 1 {
             a.residual(b, x, r);
             return;
         }
-        let parts = store_strategy_parts(&self.partitions, self.strategy, self.threads, a);
-        par::store_residual_parts_on(&ScopedSpawn(self.threads), &parts, a, b, x, r);
+        let parts = store_strategy_parts(&self.partitions, self.strategy, self.width(), a);
+        par::store_residual_parts_on(&self.lease, &parts, a, b, x, r);
     }
     fn store_spmm(&self, a: &MatrixStore<S>, x: &MultiVec<S>, k: usize, y: &mut MultiVec<S>) {
-        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.threads <= 1 {
+        if a.nnz() < par::SPMV_PAR_THRESHOLD || self.width() <= 1 {
             a.spmm(x, k, y);
             return;
         }
-        let parts = store_strategy_parts(&self.partitions, self.strategy, self.threads, a);
-        par::store_spmm_parts_on(&ScopedSpawn(self.threads), &parts, a, x, k, y);
+        let parts = store_strategy_parts(&self.partitions, self.strategy, self.width(), a);
+        par::store_spmm_parts_on(&self.lease, &parts, a, x, k, y);
     }
 }
 
-impl Backend for SpawnBackend {
+impl Backend for LeaseBackend<'_> {
     fn name(&self) -> &'static str {
-        "parallel-spawn"
+        "parallel-lease"
     }
 
     fn parallelism(&self) -> usize {
-        self.threads
+        self.width()
     }
 
     fn execute_batch(&self, batch: Batch<'_>) {
@@ -826,14 +827,21 @@ pub enum BackendKind {
     /// Std-thread parallel kernels with nnz-balanced matrix partitions
     /// (for skewed matrices).
     ParallelNnz,
+    /// Row-sharded composite backend: `shards` reference shards with
+    /// explicit halo exchange ([`ShardedBackend`]).
+    Sharded {
+        /// Number of row shards.
+        shards: usize,
+    },
 }
 
 impl BackendKind {
-    /// All selectable kinds.
-    pub const ALL: [BackendKind; 3] = [
+    /// All selectable kinds (sharded at its default width).
+    pub const ALL: [BackendKind; 4] = [
         BackendKind::Reference,
         BackendKind::Parallel,
         BackendKind::ParallelNnz,
+        BackendKind::Sharded { shards: 2 },
     ];
 
     /// Instantiate the backend.
@@ -844,15 +852,18 @@ impl BackendKind {
             BackendKind::ParallelNnz => {
                 Arc::new(ParallelBackend::new().with_strategy(PartitionStrategy::NnzBalanced))
             }
+            BackendKind::Sharded { shards } => Arc::new(ShardedBackend::new(shards)),
         }
     }
 
-    /// The selector's CLI name.
+    /// The selector's CLI name (without the `:N` shard suffix; see
+    /// [`fmt::Display`] for the round-trippable form).
     pub fn name(self) -> &'static str {
         match self {
             BackendKind::Reference => "reference",
             BackendKind::Parallel => "parallel",
             BackendKind::ParallelNnz => "parallel-nnz",
+            BackendKind::Sharded { .. } => "sharded",
         }
     }
 }
@@ -861,12 +872,25 @@ impl std::str::FromStr for BackendKind {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(n) = s
+            .strip_prefix("sharded:")
+            .or_else(|| s.strip_prefix("shard:"))
+        {
+            let shards: usize = n
+                .parse()
+                .map_err(|_| format!("bad shard count `{n}` in backend `{s}`"))?;
+            if shards == 0 {
+                return Err(format!("backend `{s}` needs >= 1 shard"));
+            }
+            return Ok(BackendKind::Sharded { shards });
+        }
         match s {
             "reference" | "ref" | "seq" | "sequential" => Ok(BackendKind::Reference),
             "parallel" | "par" | "threads" => Ok(BackendKind::Parallel),
             "parallel-nnz" | "nnz" => Ok(BackendKind::ParallelNnz),
+            "sharded" | "shard" => Ok(BackendKind::Sharded { shards: 2 }),
             other => Err(format!(
-                "unknown backend `{other}` (expected reference|parallel|parallel-nnz)"
+                "unknown backend `{other}` (expected reference|parallel|parallel-nnz|sharded[:N])"
             )),
         }
     }
@@ -874,7 +898,10 @@ impl std::str::FromStr for BackendKind {
 
 impl fmt::Display for BackendKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
+        match *self {
+            BackendKind::Sharded { shards } => write!(f, "sharded:{shards}"),
+            other => f.write_str(other.name()),
+        }
     }
 }
 
@@ -914,6 +941,28 @@ mod tests {
         assert_eq!(BackendKind::Reference.create().name(), "reference");
         assert_eq!(BackendKind::Parallel.create().name(), "parallel");
         assert_eq!(BackendKind::default(), BackendKind::Reference);
+        assert_eq!(
+            "sharded:3".parse::<BackendKind>().unwrap(),
+            BackendKind::Sharded { shards: 3 }
+        );
+        assert_eq!(
+            "shard:4".parse::<BackendKind>().unwrap(),
+            BackendKind::Sharded { shards: 4 }
+        );
+        assert_eq!(
+            "sharded".parse::<BackendKind>().unwrap(),
+            BackendKind::Sharded { shards: 2 }
+        );
+        assert!("sharded:0".parse::<BackendKind>().is_err());
+        assert!("sharded:x".parse::<BackendKind>().is_err());
+        let sharded = BackendKind::Sharded { shards: 3 }.create();
+        assert_eq!(sharded.name(), "sharded");
+        assert_eq!(sharded.shard_count(), 3);
+        assert_eq!(BackendKind::Sharded { shards: 3 }.to_string(), "sharded:3");
+        assert_eq!(
+            "sharded:3".parse::<BackendKind>().unwrap().to_string(),
+            "sharded:3"
+        );
     }
 
     #[test]
@@ -953,19 +1002,20 @@ mod tests {
             .collect()
     }
 
-    /// The inner scoped-spawn backend of a concurrent batch must honor
-    /// the outer backend's partition strategy instead of recomputing an
-    /// even split (ROADMAP nested-pool limitation (b)).
+    /// The inner lease backend of a concurrent batch must honor the
+    /// outer backend's partition strategy instead of recomputing an
+    /// even split.
     #[test]
-    fn spawn_backend_inherits_nnz_strategy() {
+    fn lease_backend_inherits_nnz_strategy() {
         let a = arrow_matrix(12_000);
         assert!(a.nnz() >= par::SPMV_PAR_THRESHOLD);
         let outer = ParallelBackend::with_threads(4).with_strategy(PartitionStrategy::NnzBalanced);
-        let inner = SpawnBackend {
-            threads: 2,
+        let inner = LeaseBackend {
+            lease: outer.pool().lease(0, 2),
             strategy: outer.strategy,
             partitions: Arc::clone(&outer.partitions),
         };
+        assert_eq!(inner.width(), 2);
         let parts = inner.matrix_parts(&a);
         assert_eq!(&*parts, &par::nnz_partition(&a, 2));
         assert_ne!(&*parts, &par::row_partition(a.nrows(), 2));

@@ -35,6 +35,9 @@ struct GateRecord {
     serving_replay_hit_rate: f64,
     /// Graph nodes allocated during the warm rerun (must be 0).
     serving_warm_nodes_delta: f64,
+    /// Payload buffers allocated by warm request waves on a recycled
+    /// service (must be 0: pooled rhs/x0 carriers and outcome buffers).
+    serving_warm_payload_allocs_delta: f64,
     /// Every completed solve bit-identical to an independent `Gmres`.
     serving_parity_ok: bool,
 }
@@ -128,6 +131,41 @@ fn summary(_c: &mut Criterion) {
          {nodes_delta} graph nodes allocated"
     );
 
+    // Zero-copy payloads: a warmed service recycling its outcomes must
+    // serve repeated request waves without allocating a single payload
+    // carrier — submissions, admissions, and outcome solutions all ride
+    // the pool.
+    let mut wave_ctx = GpuContext::new(dev.clone());
+    let mut service = SolverService::new(ServiceConfig::default().with_lanes(lanes));
+    let mut sink = Vec::new();
+    let mut warm_allocs = 0usize;
+    let wave_len = rhs.len().min(12);
+    for wave in 0..3usize {
+        for b in rhs.iter().take(wave_len) {
+            let req = SolveRequest::new(Operator::Matrix(&a), b).with_config(cfg);
+            service.submit(&wave_ctx, &req).expect("wave request");
+        }
+        service.run_until_idle(&mut wave_ctx);
+        service.drain_outcomes_into(&mut sink);
+        assert_eq!(sink.len(), wave_len, "every wave request resolves");
+        for out in sink.drain(..) {
+            service.recycle(out);
+        }
+        if wave == 0 {
+            warm_allocs = service.stats().payload_allocs;
+            assert!(warm_allocs > 0, "cold wave allocates carriers");
+        }
+    }
+    let payload_allocs_delta = (service.stats().payload_allocs - warm_allocs) as f64;
+    assert_eq!(
+        payload_allocs_delta, 0.0,
+        "warm serving waves must allocate no payload buffers"
+    );
+    println!(
+        "  warm waves: {warm_allocs} pooled carriers after cold wave, \
+         {payload_allocs_delta} allocated across warm waves"
+    );
+
     let gp = points.last().expect("gate point");
     let gate = GateRecord {
         gate_offered_load: gate_load,
@@ -136,6 +174,7 @@ fn summary(_c: &mut Criterion) {
         serving_occupancy: gp.occupancy,
         serving_replay_hit_rate: hit_rate,
         serving_warm_nodes_delta: nodes_delta,
+        serving_warm_payload_allocs_delta: payload_allocs_delta,
         serving_parity_ok: parity_ok,
     };
     let artifact = ServingArtifact {

@@ -1,7 +1,7 @@
 //! CI perf-trajectory gate: collect the fast-bench artifacts
 //! (`results/stream.json`, `results/multirhs.json`,
 //! `results/pipeline.json`, `results/precision.json`,
-//! `results/serving.json`) into one
+//! `results/serving.json`, `results/sharding.json`) into one
 //! schema-stable, git-SHA-stamped `results/BENCH_ci.json`, and FAIL the
 //! job when a load-bearing perf property regresses:
 //!
@@ -20,6 +20,11 @@
 //!   admission/cycle graph from cache), every served solve must stay
 //!   bit-identical to an independent `Gmres`, and the hit-rate must not
 //!   regress against the committed baseline;
+//! - the sharded backend's charged halo traffic must match the
+//!   machine-independent analytic model exactly, the per-shard pieces
+//!   must overlap (critical/serial < 1.0 at >= 2 shards), warm sharded
+//!   solves must replay with zero new graph nodes, and every sharded
+//!   solution must stay bit-identical to the reference backend;
 //! - the deterministic precision byte ratio must not regress against
 //!   the **committed baseline** `results/BENCH_ci.json` (the per-SHA
 //!   snapshot checked into the repo); the wall-clock-dependent gate
@@ -33,7 +38,7 @@
 //! become one machine-readable, diffable file.
 //!
 //! Set `MPGMRES_PERF_INJECT_REGRESSION=overlap` (or `replay`, or
-//! `precision`, or `serving`) to deliberately corrupt the gated value before
+//! `precision`, or `serving`, or `sharding`) to deliberately corrupt the gated value before
 //! checking: CI runs this as an expected-failure step, proving the gate
 //! actually fires. The injected run writes `BENCH_ci_injected.json` so
 //! it can never masquerade as the real artifact.
@@ -108,6 +113,7 @@ fn main() {
     let pipeline = read("pipeline.json");
     let precision = read("precision.json");
     let serving = read("serving.json");
+    let sharding = read("sharding.json");
     // The committed per-SHA baseline (this very artifact, from the last
     // PR that refreshed it). Read BEFORE the overwrite below.
     let baseline = fs::read_to_string(dir.join("BENCH_ci.json")).ok();
@@ -200,7 +206,37 @@ fn main() {
         ),
     };
 
-    // --- gate 6 + report: diff against the committed baseline ---------
+    // --- gate 6: sharded halo model + overlap + warm replay ----------
+    let mut halo_model_error = extract_number(&sharding, "sharding_halo_model_error")
+        .expect("sharding.json halo model error");
+    let sharding_overlap =
+        extract_number(&sharding, "sharding_overlap_ratio").expect("sharding.json overlap");
+    let sharding_hit_rate = extract_number(&sharding, "sharding_replay_hit_rate")
+        .expect("sharding.json replay hit rate");
+    let sharding_nodes = extract_number(&sharding, "sharding_warm_nodes_delta")
+        .expect("sharding.json warm nodes delta");
+    if inject == "sharding" {
+        println!("perfgate: INJECTING sharded halo-model regression (error = 0.5)");
+        halo_model_error = 0.5;
+    }
+    let sharding_parity = extract_bool(&sharding, "sharding_parity_ok").unwrap_or(false);
+    // The halo traffic model is pure accounting (no wall clock), so it
+    // hard-gates at zero error on any machine.
+    let g6 = Gate {
+        name: "sharded_halo_model_and_overlap",
+        ok: halo_model_error < 1e-9
+            && sharding_overlap < 1.0
+            && sharding_hit_rate >= 0.99
+            && sharding_nodes == 0.0
+            && sharding_parity,
+        detail: format!(
+            "halo model error {halo_model_error:.2e}, overlap {sharding_overlap:.6}, \
+             warm hit rate {sharding_hit_rate:.6}, warm nodes delta {sharding_nodes}, \
+             parity {sharding_parity}"
+        ),
+    };
+
+    // --- gate 7 + report: diff against the committed baseline ---------
     // Only the precision byte ratio is deterministic across machines
     // (pure analytic model), so only it hard-gates; the wall-clock and
     // overlap numbers are diffed for the log and the artifact.
@@ -215,11 +251,15 @@ fn main() {
         "serving_p99_seconds",
         "serving_occupancy",
         "serving_replay_hit_rate",
+        "sharding_overlap_ratio",
+        "sharding_replay_hit_rate",
     ];
     // Same artifact order as the combined file, so a key present in
     // several documents resolves identically in baseline and current.
     let current_of = |key: &str| -> Option<f64> {
-        for doc in [&stream, &multirhs, &pipeline, &precision, &serving] {
+        for doc in [
+            &stream, &multirhs, &pipeline, &precision, &serving, &sharding,
+        ] {
             if let Some(v) = extract_number(doc, key) {
                 return Some(v);
             }
@@ -254,7 +294,7 @@ fn main() {
     } else {
         println!("perfgate: no committed baseline BENCH_ci.json — skipping the diff");
     }
-    let g6 = match &baseline {
+    let g7 = match &baseline {
         Some(base) => match extract_number(base, "fp32_fp64_spmm_byte_ratio") {
             Some(b) => Gate {
                 name: "precision_ratio_vs_baseline",
@@ -274,7 +314,7 @@ fn main() {
         },
     };
 
-    let gates = [g1, g2, g3, g4, g5, g6];
+    let gates = [g1, g2, g3, g4, g5, g6, g7];
     let mut ok = true;
     for g in &gates {
         println!(
@@ -299,7 +339,7 @@ fn main() {
         })
         .collect();
     let combined = format!(
-        "{{\n  \"schema\": 3,\n  \"git_sha\": \"{}\",\n  \"baseline_git_sha\": \"{}\",\n  \"gates\": [\n{}\n  ],\n  \"baseline_deltas\": [\n{}\n  ],\n  \"stream\": {},\n  \"multirhs\": {},\n  \"pipeline\": {},\n  \"precision\": {},\n  \"serving\": {}\n}}\n",
+        "{{\n  \"schema\": 4,\n  \"git_sha\": \"{}\",\n  \"baseline_git_sha\": \"{}\",\n  \"gates\": [\n{}\n  ],\n  \"baseline_deltas\": [\n{}\n  ],\n  \"stream\": {},\n  \"multirhs\": {},\n  \"pipeline\": {},\n  \"precision\": {},\n  \"serving\": {},\n  \"sharding\": {}\n}}\n",
         git_sha(),
         baseline_sha,
         gates_json.join(",\n"),
@@ -309,6 +349,7 @@ fn main() {
         pipeline.trim(),
         precision.trim(),
         serving.trim(),
+        sharding.trim(),
     );
     let out = if inject.is_empty() {
         dir.join("BENCH_ci.json")

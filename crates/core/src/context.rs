@@ -23,6 +23,16 @@ use mpgmres_la::csr::Csr;
 use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
 use mpgmres_la::raw::BufferArena;
+use mpgmres_la::shard::{ShardPlan, ShardPlanCache};
+
+/// Which matrix-op shape a sharded compute piece prices as (see
+/// [`GpuContext::sharded_piece_spec`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ShardedMatOp {
+    Spmv,
+    Residual,
+    Spmm,
+}
 use mpgmres_la::stats::MatrixStats;
 use mpgmres_la::store::MatrixStore;
 use mpgmres_la::vec_ops::ReductionOrder;
@@ -203,6 +213,16 @@ pub struct GpuContext {
     stream_cache: HashMap<RegionKey, Arc<OpGraph>>,
     scratch: StreamScratch,
     stream_stats: StreamStats,
+    /// Shard plans of matrices run under a sharded backend (structure
+    /// keyed, never evicted — recorded ops hold raw plan pointers for a
+    /// region's lifetime).
+    shard_plans: ShardPlanCache,
+    /// Reusable halo-exchange scratch buffers (u64-aligned so one pool
+    /// serves every precision). Boxes never move once handed out, and
+    /// `halo_used` rewinds at every region start, so warm sharded
+    /// regions allocate nothing.
+    halo_pool: Vec<Box<[u64]>>,
+    halo_used: usize,
 }
 
 impl GpuContext {
@@ -238,6 +258,9 @@ impl GpuContext {
             stream_cache: HashMap::new(),
             scratch: StreamScratch::default(),
             stream_stats: StreamStats::default(),
+            shard_plans: ShardPlanCache::new(),
+            halo_pool: Vec::new(),
+            halo_used: 0,
         }
     }
 
@@ -321,6 +344,11 @@ impl GpuContext {
     /// rebinding only the payload (no node allocation, no span scans).
     /// See [`Stream`](crate::Stream).
     pub fn stream_for(&mut self, key: RegionKey) -> crate::Stream<'_> {
+        // Salt every keyed region with the backend's shard count: a
+        // sharded backend expands SpMV/SpMM/residual into per-shard op
+        // chains, so its graphs must never collide with single-backend
+        // recordings of the same region shape.
+        let key = key.with_shards(self.backend.shard_count());
         crate::Stream::begin(self, Some(key))
     }
 
@@ -366,6 +394,7 @@ impl GpuContext {
         self.scratch.arena.clear();
         self.scratch.bindings.clear();
         self.scratch.finish.clear();
+        self.halo_used = 0;
     }
 
     pub(crate) fn cached_graph(&self, key: &RegionKey) -> Option<Arc<OpGraph>> {
@@ -506,6 +535,118 @@ impl GpuContext {
         (t, bytes)
     }
 
+    // ----- sharded matrix-op plumbing --------------------------------
+    //
+    // Under a sharded backend every matrix op decomposes into per-shard
+    // pieces: a halo exchange (remote x-entries the shard's boundary
+    // rows read), an interior kernel over rows touching only owned
+    // columns, and a boundary kernel gated on the exchange. Eager and
+    // recorded modes both walk the SAME piece sequence through the SAME
+    // spec functions, preserving the bitwise charge-parity invariant.
+
+    /// The shard plan for `a` under the current backend, or `None` when
+    /// the backend is unsharded (every op then takes the plain path).
+    pub(crate) fn shard_plan_for<S: Scalar>(&self, a: &GpuMatrix<S>) -> Option<Arc<ShardPlan>> {
+        let shards = self.backend.shard_count();
+        if shards <= 1 {
+            return None;
+        }
+        Some(self.shard_plans.get(a.csr(), shards))
+    }
+
+    /// Register a halo scratch buffer of `elems` elements of `S` in the
+    /// recording arena, backed by the context's reusable pool (warm
+    /// regions allocate nothing; `scratch_reset` rewinds the cursor).
+    pub(crate) fn register_halo<S: Scalar>(&mut self, elems: usize) -> u32 {
+        let words = (elems * core::mem::size_of::<S>()).div_ceil(8).max(1);
+        if self.halo_used == self.halo_pool.len() {
+            self.halo_pool.push(vec![0u64; words].into_boxed_slice());
+        } else if self.halo_pool[self.halo_used].len() < words {
+            self.halo_pool[self.halo_used] = vec![0u64; words].into_boxed_slice();
+        }
+        let ptr = self.halo_pool[self.halo_used].as_mut_ptr().cast::<S>();
+        self.halo_used += 1;
+        // SAFETY: the pool box outlives the region (boxes are only
+        // replaced when too small, before registration), is u64-aligned
+        // (covers every scalar), and holds >= `elems` elements of `S`.
+        unsafe { self.scratch.arena.register_slice_mut(ptr, elems) }
+    }
+
+    /// Halo exchange piece: `(time, bytes)` for shipping `halo_elems`
+    /// owned x-entries times `k` right-hand-side columns.
+    pub(crate) fn halo_spec<S: Scalar>(&self, halo_elems: usize, k: usize) -> (f64, usize) {
+        let bytes = mpgmres_gpusim::analytic::halo_bytes(halo_elems, k, S::BYTES);
+        (cost::halo_time(&self.device, bytes), bytes)
+    }
+
+    /// Compute piece of a sharded matrix op: a row-range of `a` with
+    /// `rows` rows and `nnz` nonzeros, priced with the same model as the
+    /// whole-matrix specs (full-matrix bandwidth; the row block inherits
+    /// the parent's banded/scattered classification per-piece).
+    pub(crate) fn sharded_piece_spec<S: Scalar>(
+        &self,
+        a: &GpuMatrix<S>,
+        rows: usize,
+        nnz: usize,
+        k: usize,
+        op: ShardedMatOp,
+    ) -> (f64, usize) {
+        let bw = a.bandwidth();
+        let base =
+            mpgmres_gpusim::analytic::spmv_traffic_bytes(&self.device, rows, nnz, bw, S::PRECISION);
+        match op {
+            ShardedMatOp::Spmv => (
+                cost::spmv_time(&self.device, rows, nnz, bw, S::PRECISION),
+                base,
+            ),
+            ShardedMatOp::Residual => (
+                cost::residual_time(&self.device, rows, nnz, bw, S::PRECISION),
+                base + rows * S::BYTES,
+            ),
+            ShardedMatOp::Spmm => (
+                cost::spmm_time(&self.device, rows, nnz, bw, k, S::PRECISION),
+                base + (k - 1) * 2 * rows * S::BYTES,
+            ),
+        }
+    }
+
+    /// Eager-mode decomposed charging for a sharded matrix op: walks the
+    /// identical piece sequence (halo, interior, boundary per shard,
+    /// same skip rules) the recorded path emits as stream nodes, so
+    /// eager and recorded totals stay bit-identical.
+    pub(crate) fn charge_sharded<S: Scalar>(
+        &mut self,
+        class: KernelClass,
+        a: &GpuMatrix<S>,
+        plan: &ShardPlan,
+        k: usize,
+        op: ShardedMatOp,
+    ) {
+        let row_ptr = a.csr().row_ptr();
+        for region in &plan.regions {
+            if region.rows() == 0 {
+                continue;
+            }
+            if region.halo_len() > 0 {
+                let (t, bytes) = self.halo_spec::<S>(region.halo_len(), k);
+                self.profiler.charge(KernelClass::Halo, t, bytes);
+            }
+            if region.ihi > region.ilo {
+                let nnz = row_ptr[region.ihi] - row_ptr[region.ilo];
+                let (t, bytes) =
+                    self.sharded_piece_spec::<S>(a, region.ihi - region.ilo, nnz, k, op);
+                self.profiler.charge(class, t, bytes);
+            }
+            let brows = (region.ilo - region.lo) + (region.hi - region.ihi);
+            if brows > 0 {
+                let bnnz = (row_ptr[region.ilo] - row_ptr[region.lo])
+                    + (row_ptr[region.hi] - row_ptr[region.ihi]);
+                let (t, bytes) = self.sharded_piece_spec::<S>(a, brows, bnnz, k, op);
+                self.profiler.charge(class, t, bytes);
+            }
+        }
+    }
+
     pub(crate) fn gemv_t_spec<S: Scalar>(&self, n: usize, ncols: usize) -> (f64, usize) {
         let t = cost::gemv_t_time(&self.device, n, ncols, S::PRECISION);
         (t, (ncols + 1) * n * S::BYTES)
@@ -578,8 +719,12 @@ impl GpuContext {
         y: &mut [S],
     ) {
         contracts::spmv(a.csr(), x, y);
-        let (t, bytes) = self.spmv_spec::<S>(a);
-        self.profiler.charge(class, t, bytes);
+        if let Some(plan) = self.shard_plan_for(a) {
+            self.charge_sharded::<S>(class, a, &plan, 1, ShardedMatOp::Spmv);
+        } else {
+            let (t, bytes) = self.spmv_spec::<S>(a);
+            self.profiler.charge(class, t, bytes);
+        }
         S::view(&*self.backend).spmv(a.csr(), x, y);
     }
 
@@ -598,8 +743,12 @@ impl GpuContext {
         r: &mut [S],
     ) {
         contracts::residual(a.csr(), b, x, r);
-        let (t, bytes) = self.residual_spec::<S>(a);
-        self.profiler.charge(class, t, bytes);
+        if let Some(plan) = self.shard_plan_for(a) {
+            self.charge_sharded::<S>(class, a, &plan, 1, ShardedMatOp::Residual);
+        } else {
+            let (t, bytes) = self.residual_spec::<S>(a);
+            self.profiler.charge(class, t, bytes);
+        }
         S::view(&*self.backend).residual(a.csr(), b, x, r);
     }
 
@@ -766,8 +915,12 @@ impl GpuContext {
         y: &mut MultiVec<S>,
     ) {
         contracts::spmm(a.csr(), x, k, y);
-        let (t, bytes) = self.spmm_spec::<S>(a, k);
-        self.profiler.charge(KernelClass::SpMV, t, bytes);
+        if let Some(plan) = self.shard_plan_for(a) {
+            self.charge_sharded::<S>(KernelClass::SpMV, a, &plan, k, ShardedMatOp::Spmm);
+        } else {
+            let (t, bytes) = self.spmm_spec::<S>(a, k);
+            self.profiler.charge(KernelClass::SpMV, t, bytes);
+        }
         S::view(&*self.backend).spmm(a.csr(), x, k, y);
     }
 

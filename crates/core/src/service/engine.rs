@@ -20,6 +20,7 @@ use mpgmres_la::multivec::MultiVec;
 use crate::block_gmres::{pipe_disc, BlockGmres, Lane, LockstepWs};
 use crate::context::GpuContext;
 use crate::service::request::{Disposition, RequestId, SolveOutcome};
+use crate::service::BufferPool;
 use crate::status::SolveResult;
 
 /// One queued request: payload copied out of the caller's borrow at
@@ -118,6 +119,7 @@ impl<'a, S: BackendScalar> LaneEngine<'a, S> {
         ctx: &mut GpuContext,
         queue: &mut Vec<Queued<S>>,
         outcomes: &mut Vec<SolveOutcome<S>>,
+        pool: &mut BufferPool<S>,
     ) {
         let free: Vec<usize> = (0..self.slots.len())
             .filter(|&l| self.slots[l].is_none())
@@ -139,7 +141,7 @@ impl<'a, S: BackendScalar> LaneEngine<'a, S> {
         self.solver
             .admit_lanes(ctx, &self.b, &self.x, &mut self.ws, admit, disc);
         let now = ctx.elapsed();
-        for (&slot, q) in admit.iter().zip(batch.iter()) {
+        for (&slot, q) in admit.iter().zip(batch) {
             let terminal = self.solver.reseed_lane(
                 &mut self.lanes[slot],
                 self.ws.norms[slot],
@@ -153,9 +155,13 @@ impl<'a, S: BackendScalar> LaneEngine<'a, S> {
                 admitted: now,
                 cancelled: false,
             });
+            // The payload lives in the lane columns now; the carrier
+            // buffers go back to the pool for the next submission.
+            pool.give(q.rhs);
+            pool.give(q.x0);
             if let Some(res) = terminal {
                 self.results[slot] = Some(res);
-                self.finish(slot, outcomes, Disposition::Completed, now);
+                self.finish(slot, outcomes, Disposition::Completed, now, pool);
             }
         }
         self.admissions += 1;
@@ -165,11 +171,16 @@ impl<'a, S: BackendScalar> LaneEngine<'a, S> {
     /// take effect first (the request leaves with the iterate of the
     /// last completed barrier); newly terminal lanes produce outcomes
     /// and vacate their slots.
-    pub(crate) fn step(&mut self, ctx: &mut GpuContext, outcomes: &mut Vec<SolveOutcome<S>>) {
+    pub(crate) fn step(
+        &mut self,
+        ctx: &mut GpuContext,
+        outcomes: &mut Vec<SolveOutcome<S>>,
+        pool: &mut BufferPool<S>,
+    ) {
         let now = ctx.elapsed();
         for l in 0..self.slots.len() {
             if self.slots[l].as_ref().is_some_and(|s| s.cancelled) {
-                self.finish(l, outcomes, Disposition::Cancelled, now);
+                self.finish(l, outcomes, Disposition::Cancelled, now, pool);
             }
         }
         let slots = &self.slots;
@@ -180,7 +191,7 @@ impl<'a, S: BackendScalar> LaneEngine<'a, S> {
         // lucky breakdowns) without running another cycle.
         for l in 0..self.slots.len() {
             if self.slots[l].is_some() && self.results[l].is_some() {
-                self.finish(l, outcomes, Disposition::Completed, now);
+                self.finish(l, outcomes, Disposition::Completed, now, pool);
             }
         }
         if cycle.is_empty() {
@@ -200,27 +211,33 @@ impl<'a, S: BackendScalar> LaneEngine<'a, S> {
         let now = ctx.elapsed();
         for &l in &cycle {
             if self.slots[l].is_some() && self.results[l].is_some() {
-                self.finish(l, outcomes, Disposition::Completed, now);
+                self.finish(l, outcomes, Disposition::Completed, now, pool);
             }
         }
     }
 
     /// Vacate `slot` into an outcome. The lane keeps its basis
     /// allocation — `reseed_lane` swaps it into the next occupant, so
-    /// warm slots admit without reallocating.
+    /// warm slots admit without reallocating — and the outcome's
+    /// solution rides a pooled buffer, so warm serving allocates
+    /// nothing per request.
     fn finish(
         &mut self,
         slot: usize,
         outcomes: &mut Vec<SolveOutcome<S>>,
         disposition: Disposition,
         now: f64,
+        pool: &mut BufferPool<S>,
     ) {
         let s = self.slots[slot].take().expect("slot occupied");
         let result = self.results[slot].take();
         debug_assert!(result.is_some() || disposition == Disposition::Cancelled);
+        let col = self.x.col(slot);
+        let mut x = pool.take(col.len());
+        x.extend_from_slice(col);
         outcomes.push(SolveOutcome {
             id: s.id,
-            x: self.x.col(slot).to_vec(),
+            x,
             result,
             disposition,
             queued_seconds: s.admitted - s.submitted,

@@ -11,7 +11,7 @@
 //!                └───────────────────────────────┘
 //! ```
 //!
-//! A [`SolverService`] keeps one [`engine::LaneEngine`] per *group* of
+//! A [`SolverService`] keeps one lane engine per *group* of
 //! compatible requests — same operand, preconditioner, tenant, and
 //! cycle-shaping configuration (restart length, orthogonalization,
 //! pipeline depth, monitoring flags). Within a group, per-request
@@ -45,11 +45,20 @@ pub struct ServiceConfig {
     /// [`BlockGmres`]. Offered load beyond this queues until deflation
     /// vacates a lane.
     pub lanes: usize,
+    /// Evict an engine group after this many consecutive
+    /// [`SolverService::step`] calls with an empty queue and no lane in
+    /// flight (`0` = never evict). Evicted groups free their lane
+    /// workspaces; a later submission with the same key transparently
+    /// rebuilds the group (cold admission, identical arithmetic).
+    pub idle_evict_cycles: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { lanes: 8 }
+        ServiceConfig {
+            lanes: 8,
+            idle_evict_cycles: 64,
+        }
     }
 }
 
@@ -59,6 +68,50 @@ impl ServiceConfig {
         assert!(lanes >= 1, "a lane group needs at least one lane");
         self.lanes = lanes;
         self
+    }
+
+    /// Builder-style idle-eviction horizon (`0` disables eviction).
+    pub fn with_idle_evict_cycles(mut self, cycles: usize) -> Self {
+        self.idle_evict_cycles = cycles;
+        self
+    }
+}
+
+/// Free-list of payload carriers. `submit` fills a pooled buffer
+/// instead of `to_vec`-ing the caller's slices, lane admission returns
+/// the carrier once the payload lives in the lane columns, and outcome
+/// solutions ride pooled buffers that [`SolverService::recycle`] puts
+/// back. After warm-up (steady request size), serving allocates
+/// nothing per request — pinned by [`ServiceStats::payload_allocs`].
+pub(crate) struct BufferPool<S> {
+    free: Vec<Vec<S>>,
+    allocs: usize,
+}
+
+impl<S> BufferPool<S> {
+    fn new() -> Self {
+        BufferPool {
+            free: Vec::new(),
+            allocs: 0,
+        }
+    }
+
+    /// An empty buffer with capacity for `n` elements. Counts an
+    /// allocation whenever the free list cannot supply the capacity.
+    pub(crate) fn take(&mut self, n: usize) -> Vec<S> {
+        let mut v = self.free.pop().unwrap_or_default();
+        v.clear();
+        if v.capacity() < n {
+            self.allocs += 1;
+            v.reserve(n);
+        }
+        v
+    }
+
+    /// Return a buffer to the free list (contents discarded).
+    pub(crate) fn give(&mut self, mut v: Vec<S>) {
+        v.clear();
+        self.free.push(v);
     }
 }
 
@@ -84,6 +137,9 @@ struct Group<'a, S: BackendScalar> {
     key: GroupKey,
     queue: Vec<Queued<S>>,
     engine: LaneEngine<'a, S>,
+    /// Consecutive `step` calls this group spent with an empty queue
+    /// and no lane in flight; reset by any submission or activity.
+    idle_steps: usize,
 }
 
 /// Aggregate service counters; see [`SolverService::stats`].
@@ -101,8 +157,13 @@ pub struct ServiceStats {
     pub lane_cycles: usize,
     /// Admission barriers taken.
     pub admissions: usize,
-    /// Engine groups materialized.
+    /// Engine groups currently live.
     pub groups: usize,
+    /// Idle engine groups evicted over the service lifetime.
+    pub evicted_groups: usize,
+    /// Payload buffers freshly allocated (pool misses). Flat across
+    /// warm serving rounds of steady request size.
+    pub payload_allocs: usize,
     /// Lane slots per group.
     pub lanes_per_group: usize,
 }
@@ -132,9 +193,14 @@ pub struct SolverService<'a, S: BackendScalar> {
     groups: Vec<Group<'a, S>>,
     next_id: u64,
     outcomes: Vec<SolveOutcome<S>>,
+    pool: BufferPool<S>,
     submitted: usize,
     completed: usize,
     cancelled: usize,
+    evicted_groups: usize,
+    /// Counters carried over from evicted groups so `stats` stays
+    /// monotone across evictions.
+    retired: (usize, usize, usize),
 }
 
 impl<'a, S: BackendScalar> SolverService<'a, S> {
@@ -145,9 +211,12 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
             groups: Vec::new(),
             next_id: 0,
             outcomes: Vec::new(),
+            pool: BufferPool::new(),
             submitted: 0,
             completed: 0,
             cancelled: 0,
+            evicted_groups: 0,
+            retired: (0, 0, 0),
         }
     }
 
@@ -191,6 +260,7 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
                     key,
                     queue: Vec::new(),
                     engine: LaneEngine::new(solver, self.cfg.lanes, req.tenant),
+                    idle_steps: 0,
                 });
                 self.groups.len() - 1
             }
@@ -198,13 +268,20 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
         self.next_id += 1;
         let id = RequestId(self.next_id);
         let n = req.operator.n();
+        // Payloads ride pooled carriers: no fresh allocation once the
+        // pool is warm at this request size.
+        let mut rhs = self.pool.take(n);
+        rhs.extend_from_slice(req.rhs);
+        let mut x0 = self.pool.take(n);
+        match req.x0 {
+            Some(x) => x0.extend_from_slice(x),
+            None => x0.resize(n, S::zero()),
+        }
+        self.groups[gi].idle_steps = 0;
         self.groups[gi].queue.push(Queued {
             id,
-            rhs: req.rhs.to_vec(),
-            x0: req
-                .x0
-                .map(|x| x.to_vec())
-                .unwrap_or_else(|| vec![S::zero(); n]),
+            rhs,
+            x0,
             rtol: req.config.rtol,
             max_iters: req.config.max_iters,
             submitted: ctx.elapsed(),
@@ -222,6 +299,7 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
         for g in &mut self.groups {
             if let Some(pos) = g.queue.iter().position(|q| q.id == id) {
                 let q = g.queue.remove(pos);
+                self.pool.give(q.rhs);
                 self.outcomes.push(SolveOutcome {
                     id,
                     x: q.x0,
@@ -241,15 +319,40 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
     }
 
     /// One scheduling round per group: admit pending requests into
-    /// vacant lanes, then run one lockstep cycle. Returns how many
-    /// outcomes this step produced.
+    /// vacant lanes, then run one lockstep cycle. Groups that stay idle
+    /// for [`ServiceConfig::idle_evict_cycles`] consecutive steps are
+    /// evicted (their lane workspaces freed); a later submission with
+    /// the same key rebuilds them. Returns how many outcomes this step
+    /// produced.
     pub fn step(&mut self, ctx: &mut GpuContext) -> usize {
         let before = self.outcomes.len();
         for g in &mut self.groups {
-            g.engine.admit_from(ctx, &mut g.queue, &mut self.outcomes);
+            g.engine
+                .admit_from(ctx, &mut g.queue, &mut self.outcomes, &mut self.pool);
             if !g.engine.is_idle() {
-                g.engine.step(ctx, &mut self.outcomes);
+                g.engine.step(ctx, &mut self.outcomes, &mut self.pool);
             }
+            if g.queue.is_empty() && g.engine.is_idle() {
+                g.idle_steps += 1;
+            } else {
+                g.idle_steps = 0;
+            }
+        }
+        let horizon = self.cfg.idle_evict_cycles;
+        if horizon > 0 {
+            let retired = &mut self.retired;
+            let evicted = &mut self.evicted_groups;
+            self.groups.retain(|g| {
+                if g.idle_steps < horizon {
+                    return true;
+                }
+                let (cycles, lane_cycles, admissions) = g.engine.counters();
+                retired.0 += cycles;
+                retired.1 += lane_cycles;
+                retired.2 += admissions;
+                *evicted += 1;
+                false
+            });
         }
         for o in &self.outcomes[before..] {
             match o.disposition {
@@ -283,15 +386,34 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
         std::mem::take(&mut self.outcomes)
     }
 
-    /// Aggregate counters across all groups.
+    /// Drain outcomes into a caller-owned buffer (in completion order),
+    /// keeping the service's internal outcome vector and its capacity.
+    /// Pair with [`recycle`](SolverService::recycle) for allocation-free
+    /// warm serving loops.
+    pub fn drain_outcomes_into(&mut self, out: &mut Vec<SolveOutcome<S>>) {
+        out.append(&mut self.outcomes);
+    }
+
+    /// Return a consumed outcome's solution buffer to the payload pool,
+    /// so the next submission or completion reuses it instead of
+    /// allocating.
+    pub fn recycle(&mut self, outcome: SolveOutcome<S>) {
+        self.pool.give(outcome.x);
+    }
+
+    /// Aggregate counters across all groups (including evicted ones).
     pub fn stats(&self) -> ServiceStats {
         let mut st = ServiceStats {
             submitted: self.submitted,
             completed: self.completed,
             cancelled: self.cancelled,
+            cycles: self.retired.0,
+            lane_cycles: self.retired.1,
+            admissions: self.retired.2,
             groups: self.groups.len(),
+            evicted_groups: self.evicted_groups,
+            payload_allocs: self.pool.allocs,
             lanes_per_group: self.cfg.lanes,
-            ..ServiceStats::default()
         };
         for g in &self.groups {
             let (cycles, lane_cycles, admissions) = g.engine.counters();
@@ -424,6 +546,102 @@ mod tests {
         assert_eq!(d.x, x0);
         let k = outcomes.iter().find(|o| o.id == keep).unwrap();
         assert_eq!(k.disposition, Disposition::Completed);
+    }
+
+    #[test]
+    fn idle_groups_are_evicted_and_rebuilt_on_demand() {
+        let n = 32;
+        let a = laplace1d(n);
+        let b = rhs(n, 2);
+        let mut c = ctx();
+        let mut svc = SolverService::new(
+            ServiceConfig::default()
+                .with_lanes(2)
+                .with_idle_evict_cycles(3),
+        );
+        svc.submit(&c, &SolveRequest::new(Operator::Matrix(&a), &b))
+            .unwrap();
+        svc.run_until_idle(&mut c);
+        assert_eq!(svc.stats().groups, 1, "group stays live right after idle");
+        let cycles_before = svc.stats().cycles;
+        // Three idle steps cross the horizon; the group is evicted.
+        for _ in 0..3 {
+            svc.step(&mut c);
+        }
+        let st = svc.stats();
+        assert_eq!(st.groups, 0, "idle group must be evicted");
+        assert_eq!(st.evicted_groups, 1);
+        assert_eq!(
+            st.cycles, cycles_before,
+            "eviction must not lose retired counters"
+        );
+        // Resubmission transparently rebuilds the group and solves.
+        let id = svc
+            .submit(&c, &SolveRequest::new(Operator::Matrix(&a), &b))
+            .unwrap();
+        assert_eq!(svc.stats().groups, 1);
+        svc.run_until_idle(&mut c);
+        let outcomes = svc.drain_outcomes();
+        let o = outcomes.iter().find(|o| o.id == id).unwrap();
+        assert_eq!(o.disposition, Disposition::Completed);
+        assert!(st.cycles > 0);
+    }
+
+    #[test]
+    fn eviction_disabled_with_zero_horizon() {
+        let n = 16;
+        let a = laplace1d(n);
+        let b = rhs(n, 1);
+        let mut c = ctx();
+        let mut svc = SolverService::new(
+            ServiceConfig::default()
+                .with_lanes(1)
+                .with_idle_evict_cycles(0),
+        );
+        svc.submit(&c, &SolveRequest::new(Operator::Matrix(&a), &b))
+            .unwrap();
+        svc.run_until_idle(&mut c);
+        for _ in 0..200 {
+            svc.step(&mut c);
+        }
+        assert_eq!(svc.stats().groups, 1, "horizon 0 must never evict");
+        assert_eq!(svc.stats().evicted_groups, 0);
+    }
+
+    #[test]
+    fn warm_serving_reuses_payload_buffers() {
+        let n = 40;
+        let a = laplace1d(n);
+        let cfg = GmresConfig::default().with_m(10).with_rtol(1e-8);
+        let mut c = ctx();
+        let mut svc = SolverService::new(ServiceConfig::default().with_lanes(2));
+        let mut sink = Vec::new();
+        let mut warm = 0;
+        for salt in 0..4 {
+            for s in 0..3 {
+                let b = rhs(n, salt * 10 + s);
+                svc.submit(
+                    &c,
+                    &SolveRequest::new(Operator::Matrix(&a), &b).with_config(cfg),
+                )
+                .unwrap();
+            }
+            svc.run_until_idle(&mut c);
+            svc.drain_outcomes_into(&mut sink);
+            for o in sink.drain(..) {
+                assert_eq!(o.disposition, Disposition::Completed);
+                svc.recycle(o);
+            }
+            if salt == 0 {
+                warm = svc.stats().payload_allocs;
+                assert!(warm > 0, "cold round must have allocated carriers");
+            }
+        }
+        assert_eq!(
+            svc.stats().payload_allocs,
+            warm,
+            "warm serving rounds must allocate no payload buffers"
+        );
     }
 
     #[test]

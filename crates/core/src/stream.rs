@@ -75,9 +75,10 @@ use mpgmres_gpusim::KernelClass;
 use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
 use mpgmres_la::raw::BufferArena;
+use mpgmres_la::shard::{self, ShardPlan};
 use mpgmres_scalar::Scalar;
 
-use crate::context::{GpuContext, GpuMatrix, GpuStore};
+use crate::context::{GpuContext, GpuMatrix, GpuStore, ShardedMatOp};
 
 /// Well-known region ids for [`RegionKey`]. Solvers pick one id per
 /// textual recording region; the rest of the key carries the shape.
@@ -152,6 +153,13 @@ pub struct RegionKey {
     ///
     /// [`PrecisionTag::code`]: mpgmres_scalar::PrecisionTag::code
     pub tag: u8,
+    /// Backend shard count (0 or 1 for unsharded backends; saturates at
+    /// 255). Sharded backends expand matrix ops into per-shard halo /
+    /// interior / boundary chains, so the same region shape records a
+    /// structurally different graph per shard count —
+    /// [`GpuContext::stream_for`](crate::GpuContext::stream_for) salts
+    /// every key with the active backend's count automatically.
+    pub shards: u8,
 }
 
 impl RegionKey {
@@ -164,6 +172,7 @@ impl RegionKey {
             k: 0,
             lanes: 0,
             tag: 0,
+            shards: 0,
         }
     }
 
@@ -188,6 +197,12 @@ impl RegionKey {
     /// Set the storage-precision tag (see [`RegionKey::tag`]).
     pub fn with_tag(mut self, tag: u8) -> Self {
         self.tag = tag;
+        self
+    }
+
+    /// Set the backend shard count (see [`RegionKey::shards`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = u8::try_from(shards).unwrap_or(u8::MAX);
         self
     }
 
@@ -901,6 +916,20 @@ impl<'c> Stream<'c> {
             self.ctx.spmv(am, xs, ys);
             return;
         }
+        if let Some(plan) = self.ctx.shard_plan_for(am) {
+            self.record_sharded_matvec::<S>(
+                KernelClass::SpMV,
+                ShardedMatOp::Spmv,
+                &plan,
+                am,
+                a.id,
+                None,
+                (x.buf, x.off, 0),
+                (y.buf, y.off, 0),
+                1,
+            );
+            return;
+        }
         let (t, bytes) = self.ctx.spmv_spec::<S>(am);
         self.record(
             "spmv",
@@ -915,6 +944,176 @@ impl<'c> Stream<'c> {
                 ..OpArgs::default()
             },
         );
+    }
+
+    /// Expand one matrix op over a sharded backend into per-shard op
+    /// chains: an optional halo exchange (the remote x-entries the
+    /// shard's boundary rows read, copied into pooled scratch and
+    /// charged as [`KernelClass::Halo`] interconnect traffic), an
+    /// interior kernel over rows reading only owned columns (no edge to
+    /// the exchange — it overlaps the comm on the timeline), and a
+    /// boundary kernel gated on the halo buffer by a real RAW span
+    /// dependency. The piece sequence and its skip rules mirror the
+    /// eager `GpuContext::charge_sharded` walk exactly, so eager and
+    /// recorded charge sequences stay bit-identical; execution order
+    /// within and across shards is free to overlap because every node
+    /// declares exact element spans.
+    ///
+    /// `x`/`y` are `(buffer, base element offset, column stride)` —
+    /// stride 0 for single vectors, the block's row count for
+    /// multi-RHS ops addressed column-wise. `b` is the residual
+    /// right-hand side (single-vector ops only).
+    #[allow(clippy::too_many_arguments)]
+    fn record_sharded_matvec<S: BackendScalar>(
+        &mut self,
+        class: KernelClass,
+        op: ShardedMatOp,
+        plan: &Arc<ShardPlan>,
+        am: &GpuMatrix<S>,
+        a_id: u32,
+        b: Option<(u32, u32)>,
+        x: (u32, u32, u32),
+        y: (u32, u32, u32),
+        k: usize,
+    ) {
+        // SAFETY: the plan Arc is held alive by the context's plan
+        // cache (entries are never evicted), outliving the region.
+        let plan_id = unsafe { self.ctx.arena_mut().register_obj(Arc::as_ptr(plan)) };
+        let row_ptr = am.csr().row_ptr();
+        let kk = u32::try_from(k).expect("sharded: block width");
+        let (xb, xo, xs) = x;
+        let (yb, yo, ys) = y;
+        let (bb, bo) = b.unwrap_or((0, 0));
+        let (interior_exec, boundary_exec): (ExecFn, ExecFn) = match op {
+            ShardedMatOp::Residual => (
+                exec_shard_residual_interior::<S>,
+                exec_shard_residual_boundary::<S>,
+            ),
+            _ => (exec_shard_mat_interior::<S>, exec_shard_mat_boundary::<S>),
+        };
+        let span32 = |v: usize| u32::try_from(v).expect("sharded: span bound");
+        for (s, region) in plan.regions.iter().enumerate() {
+            if region.rows() == 0 {
+                continue;
+            }
+            let (lo, hi, ilo, ihi) = (region.lo, region.hi, region.ilo, region.ihi);
+            let halo_len = region.halo_len();
+            let halo_id = if halo_len > 0 {
+                self.ctx.register_halo::<S>(halo_len * k)
+            } else {
+                0
+            };
+            let (ls, ll) = self.ctx.arena_mut().push_list([plan_id, halo_id]);
+            let args = OpArgs {
+                bufs: [a_id, xb, yb, bb],
+                offs: [0, xo, yo, bo],
+                lens: [kk, xs, ys, 0],
+                n0: u32::try_from(s).expect("sharded: shard index"),
+                list: [ls, ll],
+                ..OpArgs::default()
+            };
+            if halo_len > 0 {
+                let (t, bytes) = self.ctx.halo_spec::<S>(halo_len, k);
+                let mut reads = Vec::with_capacity(k * region.halo_spans.len());
+                for j in 0..kk {
+                    for sp in &region.halo_spans {
+                        reads.push(Span::elems(
+                            xb,
+                            xo + j * xs + span32(sp.col),
+                            span32(sp.len),
+                            S::BYTES,
+                        ));
+                    }
+                }
+                self.record(
+                    "shard_halo",
+                    &reads,
+                    &[Span::elems(halo_id, 0, span32(halo_len * k), S::BYTES)],
+                    Some((KernelClass::Halo, t, bytes)),
+                    exec_shard_halo::<S>,
+                    args,
+                );
+            }
+            // Per-column owned-x read spans, shared by both kernels.
+            let x_reads: Vec<Span> = (0..kk)
+                .map(|j| Span::elems(xb, xo + j * xs + span32(lo), span32(hi - lo), S::BYTES))
+                .collect();
+            if ihi > ilo {
+                let nnz = row_ptr[ihi] - row_ptr[ilo];
+                let (t, bytes) = self.ctx.sharded_piece_spec::<S>(am, ihi - ilo, nnz, k, op);
+                let mut reads = x_reads.clone();
+                if op == ShardedMatOp::Residual {
+                    reads.push(Span::elems(
+                        bb,
+                        bo + span32(ilo),
+                        span32(ihi - ilo),
+                        S::BYTES,
+                    ));
+                }
+                let writes: Vec<Span> = (0..kk)
+                    .map(|j| {
+                        Span::elems(yb, yo + j * ys + span32(ilo), span32(ihi - ilo), S::BYTES)
+                    })
+                    .collect();
+                self.record(
+                    "shard_interior",
+                    &reads,
+                    &writes,
+                    Some((class, t, bytes)),
+                    interior_exec,
+                    args,
+                );
+            }
+            let brows = (ilo - lo) + (hi - ihi);
+            if brows > 0 {
+                let bnnz = (row_ptr[ilo] - row_ptr[lo]) + (row_ptr[hi] - row_ptr[ihi]);
+                let (t, bytes) = self.ctx.sharded_piece_spec::<S>(am, brows, bnnz, k, op);
+                let mut reads = x_reads;
+                if halo_len > 0 {
+                    reads.push(Span::elems(halo_id, 0, span32(halo_len * k), S::BYTES));
+                }
+                if op == ShardedMatOp::Residual {
+                    if ilo > lo {
+                        reads.push(Span::elems(bb, bo + span32(lo), span32(ilo - lo), S::BYTES));
+                    }
+                    if hi > ihi {
+                        reads.push(Span::elems(
+                            bb,
+                            bo + span32(ihi),
+                            span32(hi - ihi),
+                            S::BYTES,
+                        ));
+                    }
+                }
+                let mut writes = Vec::with_capacity(2 * k);
+                for j in 0..kk {
+                    if ilo > lo {
+                        writes.push(Span::elems(
+                            yb,
+                            yo + j * ys + span32(lo),
+                            span32(ilo - lo),
+                            S::BYTES,
+                        ));
+                    }
+                    if hi > ihi {
+                        writes.push(Span::elems(
+                            yb,
+                            yo + j * ys + span32(ihi),
+                            span32(hi - ihi),
+                            S::BYTES,
+                        ));
+                    }
+                }
+                self.record(
+                    "shard_boundary",
+                    &reads,
+                    &writes,
+                    Some((class, t, bytes)),
+                    boundary_exec,
+                    args,
+                );
+            }
+        }
     }
 
     /// Record the fused residual `r = b - A x`, charged to `class`.
@@ -942,6 +1141,20 @@ impl<'c> Stream<'c> {
                 )
             };
             self.ctx.residual_as(class, am, bs, xs, rs);
+            return;
+        }
+        if let Some(plan) = self.ctx.shard_plan_for(am) {
+            self.record_sharded_matvec::<S>(
+                class,
+                ShardedMatOp::Residual,
+                &plan,
+                am,
+                a.id,
+                Some((b.buf, b.off)),
+                (x.buf, x.off, 0),
+                (r.buf, r.off, 0),
+                1,
+            );
             return;
         }
         let (t, bytes) = self.ctx.residual_spec::<S>(am);
@@ -1522,6 +1735,22 @@ impl<'c> Stream<'c> {
             self.ctx.spmm(am, xm, k, ym);
             return;
         }
+        if let Some(plan) = self.ctx.shard_plan_for(am) {
+            // Column stride of a MultiVec is its row count; per-column
+            // element spans keep the per-shard hazard tracking exact.
+            self.record_sharded_matvec::<S>(
+                KernelClass::SpMV,
+                ShardedMatOp::Spmm,
+                &plan,
+                am,
+                a.id,
+                None,
+                (x.id, 0, x.n),
+                (y.id, 0, y.n),
+                k,
+            );
+            return;
+        }
         let (t, bytes) = self.ctx.spmm_spec::<S>(am, k);
         self.record(
             "spmm",
@@ -1939,6 +2168,177 @@ fn exec_spmm<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs)
     }
 }
 
+// Sharded matrix-op launches. Args layout (see
+// `Stream::record_sharded_matvec`): bufs = [matrix, x, y, b],
+// offs = [0, x base, y base, b base], lens = [k, x stride, y stride, 0],
+// n0 = shard index, list = [plan handle, halo handle].
+
+fn exec_shard_halo<S: BackendScalar>(_b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract; the copies materialize exactly the
+    // declared per-span x reads and the halo write span.
+    unsafe {
+        let ids = arena.list(a.list[0], a.list[1]);
+        let plan: &ShardPlan = arena.obj(ids[0]);
+        let region = &plan.regions[a.n0 as usize];
+        let hl = region.halo_len();
+        let k = a.lens[0] as usize;
+        let stride = a.lens[1] as usize;
+        let halo = arena.slice_mut::<S>(ids[1], 0, (hl * k) as u32);
+        for j in 0..k {
+            let base = a.offs[1] + (j * stride) as u32;
+            let hj = &mut halo[j * hl..(j + 1) * hl];
+            for sp in &region.halo_spans {
+                let src = arena.slice::<S>(a.bufs[1], base + sp.col as u32, sp.len as u32);
+                hj[sp.dst..sp.dst + sp.len].copy_from_slice(src);
+            }
+        }
+    }
+}
+
+fn exec_shard_mat_interior<S: BackendScalar>(_b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract; per-column views match the declared
+    // owned-x read spans and interior-row write spans.
+    unsafe {
+        let ids = arena.list(a.list[0], a.list[1]);
+        let plan: &ShardPlan = arena.obj(ids[0]);
+        let m: &GpuMatrix<S> = arena.obj(a.bufs[0]);
+        let region = &plan.regions[a.n0 as usize];
+        let (lo, hi, ilo, ihi) = (region.lo, region.hi, region.ilo, region.ihi);
+        let k = a.lens[0] as usize;
+        let (xs, ys) = (a.lens[1] as usize, a.lens[2] as usize);
+        for j in 0..k {
+            let x_owned = arena.slice::<S>(
+                a.bufs[1],
+                a.offs[1] + (j * xs + lo) as u32,
+                (hi - lo) as u32,
+            );
+            let yj = arena.slice_mut::<S>(
+                a.bufs[2],
+                a.offs[2] + (j * ys + ilo) as u32,
+                (ihi - ilo) as u32,
+            );
+            shard::spmv_rows_local(m.csr(), ilo, ihi, lo, x_owned, yj);
+        }
+    }
+}
+
+fn exec_shard_mat_boundary<S: BackendScalar>(_b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
+    // SAFETY: arena contract; per-column views match the declared
+    // owned-x/halo read spans and lead/trail write spans.
+    unsafe {
+        let ids = arena.list(a.list[0], a.list[1]);
+        let plan: &ShardPlan = arena.obj(ids[0]);
+        let m: &GpuMatrix<S> = arena.obj(a.bufs[0]);
+        let region = &plan.regions[a.n0 as usize];
+        let (lo, hi, ilo, ihi) = (region.lo, region.hi, region.ilo, region.ihi);
+        let hl = region.halo_len();
+        let k = a.lens[0] as usize;
+        let (xs, ys) = (a.lens[1] as usize, a.lens[2] as usize);
+        let halo_all: &[S] = if hl > 0 {
+            arena.slice::<S>(ids[1], 0, (hl * k) as u32)
+        } else {
+            &[]
+        };
+        for j in 0..k {
+            let x_owned = arena.slice::<S>(
+                a.bufs[1],
+                a.offs[1] + (j * xs + lo) as u32,
+                (hi - lo) as u32,
+            );
+            let halo = if hl > 0 {
+                &halo_all[j * hl..(j + 1) * hl]
+            } else {
+                halo_all
+            };
+            if ilo > lo {
+                let yj = arena.slice_mut::<S>(
+                    a.bufs[2],
+                    a.offs[2] + (j * ys + lo) as u32,
+                    (ilo - lo) as u32,
+                );
+                shard::spmv_rows_ghost(m.csr(), lo, ilo, &region.ghost_lead, x_owned, halo, yj);
+            }
+            if hi > ihi {
+                let yj = arena.slice_mut::<S>(
+                    a.bufs[2],
+                    a.offs[2] + (j * ys + ihi) as u32,
+                    (hi - ihi) as u32,
+                );
+                shard::spmv_rows_ghost(m.csr(), ihi, hi, &region.ghost_trail, x_owned, halo, yj);
+            }
+        }
+    }
+}
+
+fn exec_shard_residual_interior<S: BackendScalar>(
+    _b: &dyn Backend,
+    arena: &BufferArena,
+    a: &OpArgs,
+) {
+    // SAFETY: arena contract; views match the declared spans.
+    unsafe {
+        let ids = arena.list(a.list[0], a.list[1]);
+        let plan: &ShardPlan = arena.obj(ids[0]);
+        let m: &GpuMatrix<S> = arena.obj(a.bufs[0]);
+        let region = &plan.regions[a.n0 as usize];
+        let (lo, hi, ilo, ihi) = (region.lo, region.hi, region.ilo, region.ihi);
+        let x_owned = arena.slice::<S>(a.bufs[1], a.offs[1] + lo as u32, (hi - lo) as u32);
+        let b_rows = arena.slice::<S>(a.bufs[3], a.offs[3] + ilo as u32, (ihi - ilo) as u32);
+        let r = arena.slice_mut::<S>(a.bufs[2], a.offs[2] + ilo as u32, (ihi - ilo) as u32);
+        shard::residual_rows_local(m.csr(), ilo, ihi, lo, b_rows, x_owned, r);
+    }
+}
+
+fn exec_shard_residual_boundary<S: BackendScalar>(
+    _b: &dyn Backend,
+    arena: &BufferArena,
+    a: &OpArgs,
+) {
+    // SAFETY: arena contract; views match the declared spans.
+    unsafe {
+        let ids = arena.list(a.list[0], a.list[1]);
+        let plan: &ShardPlan = arena.obj(ids[0]);
+        let m: &GpuMatrix<S> = arena.obj(a.bufs[0]);
+        let region = &plan.regions[a.n0 as usize];
+        let (lo, hi, ilo, ihi) = (region.lo, region.hi, region.ilo, region.ihi);
+        let hl = region.halo_len();
+        let x_owned = arena.slice::<S>(a.bufs[1], a.offs[1] + lo as u32, (hi - lo) as u32);
+        let halo: &[S] = if hl > 0 {
+            arena.slice::<S>(ids[1], 0, hl as u32)
+        } else {
+            &[]
+        };
+        if ilo > lo {
+            let b_rows = arena.slice::<S>(a.bufs[3], a.offs[3] + lo as u32, (ilo - lo) as u32);
+            let r = arena.slice_mut::<S>(a.bufs[2], a.offs[2] + lo as u32, (ilo - lo) as u32);
+            shard::residual_rows_ghost(
+                m.csr(),
+                lo,
+                ilo,
+                &region.ghost_lead,
+                b_rows,
+                x_owned,
+                halo,
+                r,
+            );
+        }
+        if hi > ihi {
+            let b_rows = arena.slice::<S>(a.bufs[3], a.offs[3] + ihi as u32, (hi - ihi) as u32);
+            let r = arena.slice_mut::<S>(a.bufs[2], a.offs[2] + ihi as u32, (hi - ihi) as u32);
+            shard::residual_rows_ghost(
+                m.csr(),
+                ihi,
+                hi,
+                &region.ghost_trail,
+                b_rows,
+                x_owned,
+                halo,
+                r,
+            );
+        }
+    }
+}
+
 fn exec_store_spmm<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
     // SAFETY: arena contract; the write span covers all of y, so the
     // whole-object `&mut` aliases nothing.
@@ -2344,5 +2744,212 @@ mod tests {
         assert_eq!(t_r.to_bits(), t_e.to_bits());
         // The two residual columns overlap on the recorded timeline.
         assert!(c_r < t_r, "independent columns must overlap: {c_r} {t_r}");
+    }
+
+    // ----- sharded-backend recording ---------------------------------
+
+    fn laplacian(n: usize) -> GpuMatrix<f64> {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+            }
+        }
+        GpuMatrix::new(coo.into_csr())
+    }
+
+    /// One keyed spmv + residual region under every shard count must be
+    /// bit-identical to the reference backend; at >= 2 shards the
+    /// per-shard pieces (and the halo exchange behind the interior
+    /// kernels) must overlap on the timeline, and the Halo class must
+    /// carry the interconnect traffic.
+    #[test]
+    fn sharded_region_matches_reference_and_overlaps() {
+        use mpgmres_backend::BackendKind;
+        let n = 64;
+        let a = laplacian(n);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let run = |kind: BackendKind, streaming: bool| {
+            let mut ctx = GpuContext::with_backend_kind(
+                DeviceModel::v100_belos(),
+                ReductionOrder::Sequential,
+                kind,
+            );
+            ctx.set_streaming(streaming);
+            let mut y = vec![0.0f64; n];
+            let mut r = vec![0.0f64; n];
+            {
+                let mut st = ctx.stream_for(RegionKey::new(90, n));
+                let ah = st.matrix(&a);
+                let xh = st.slice(&x);
+                let bh = st.slice(&b);
+                let yh = st.slice_mut(&mut y);
+                let rh = st.slice_mut(&mut r);
+                st.spmv(ah, xh, yh);
+                st.residual_as(KernelClass::ResidualHi, ah, bh, yh.read(), rh);
+                st.sync();
+            }
+            let halo = ctx.profiler().class_stats(KernelClass::Halo);
+            (y, r, ctx.elapsed(), ctx.profiler().critical_seconds(), halo)
+        };
+        let (y_ref, r_ref, _, _, halo_ref) = run(BackendKind::Reference, true);
+        assert_eq!(halo_ref.bytes, 0, "reference backend must not touch Halo");
+        for shards in [1usize, 2, 3, 4] {
+            let (y_s, r_s, serial, critical, halo) = run(BackendKind::Sharded { shards }, true);
+            for (p, q) in y_s.iter().zip(&y_ref) {
+                assert_eq!(p.to_bits(), q.to_bits(), "spmv parity at {shards} shards");
+            }
+            for (p, q) in r_s.iter().zip(&r_ref) {
+                assert_eq!(
+                    p.to_bits(),
+                    q.to_bits(),
+                    "residual parity at {shards} shards"
+                );
+            }
+            if shards >= 2 {
+                assert!(
+                    critical < serial,
+                    "{shards} shards must overlap: {critical} !< {serial}"
+                );
+                assert!(halo.bytes > 0, "halo traffic must be charged");
+            }
+        }
+        // Eager and recorded sharded runs charge the same decomposed
+        // piece sequence — serial totals agree bit-for-bit.
+        let (y_rec, _, t_rec, _, halo_rec) = run(BackendKind::Sharded { shards: 3 }, true);
+        let (y_eag, _, t_eag, _, halo_eag) = run(BackendKind::Sharded { shards: 3 }, false);
+        assert_eq!(y_rec, y_eag);
+        assert_eq!(t_rec.to_bits(), t_eag.to_bits());
+        assert_eq!(halo_rec.bytes, halo_eag.bytes);
+    }
+
+    /// A warm sharded region replays its cached graph: one hit, zero
+    /// new nodes, and the pooled halo scratch allocates nothing new.
+    #[test]
+    fn sharded_region_replays_with_zero_node_allocation() {
+        use mpgmres_backend::BackendKind;
+        let n = 48;
+        let a = laplacian(n);
+        let x = vec![1.0f64; n];
+        let mut ctx = GpuContext::with_backend_kind(
+            DeviceModel::v100_belos(),
+            ReductionOrder::Sequential,
+            BackendKind::Sharded { shards: 3 },
+        );
+        let mut y = vec![0.0f64; n];
+        for pass in 0..3 {
+            let mut st = ctx.stream_for(RegionKey::new(91, n));
+            let ah = st.matrix(&a);
+            let xh = st.slice(&x);
+            let yh = st.slice_mut(&mut y);
+            st.spmv(ah, xh, yh);
+            st.sync();
+            if pass == 0 {
+                assert_eq!(ctx.stream_stats().misses, 1);
+            }
+        }
+        let stats = ctx.stream_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        // All nodes were allocated by the single cold recording.
+        let cold_nodes = stats.nodes_allocated;
+        {
+            let mut st = ctx.stream_for(RegionKey::new(91, n));
+            let ah = st.matrix(&a);
+            let xh = st.slice(&x);
+            let yh = st.slice_mut(&mut y);
+            st.spmv(ah, xh, yh);
+            st.sync();
+        }
+        assert_eq!(ctx.stream_stats().nodes_allocated, cold_nodes);
+        assert_eq!(ctx.stream_stats().hits, 3);
+    }
+
+    /// The same region shape under different shard counts must record
+    /// distinct cached graphs (the key is salted with the backend's
+    /// shard count), never replay across counts.
+    #[test]
+    fn shard_count_salts_the_region_key() {
+        use mpgmres_backend::BackendKind;
+        let key = RegionKey::new(92, 32);
+        assert_eq!(key.shards, 0);
+        assert_eq!(key.with_shards(3).shards, 3);
+        assert_eq!(key.with_shards(4096).shards, u8::MAX);
+        // Distinct keys hash/compare distinct.
+        assert_ne!(key, key.with_shards(2));
+        // And the context salts automatically: two backends, same
+        // nominal key, two cache entries.
+        let n = 32;
+        let a = laplacian(n);
+        let x = vec![1.0f64; n];
+        for (kind, expect_len) in [
+            (BackendKind::Sharded { shards: 2 }, 1usize),
+            (BackendKind::Sharded { shards: 3 }, 1),
+        ] {
+            let mut ctx = GpuContext::with_backend_kind(
+                DeviceModel::v100_belos(),
+                ReductionOrder::Sequential,
+                kind,
+            );
+            let mut y = vec![0.0f64; n];
+            {
+                let mut st = ctx.stream_for(key);
+                let ah = st.matrix(&a);
+                let xh = st.slice(&x);
+                let yh = st.slice_mut(&mut y);
+                st.spmv(ah, xh, yh);
+                st.sync();
+            }
+            assert_eq!(ctx.stream_cache_len(), expect_len);
+            assert_eq!(ctx.stream_stats().misses, 1);
+        }
+    }
+
+    /// Sharded SpMM: per-column per-shard spans, bit-identical to the
+    /// reference whole-block op, with halo traffic scaled by the block
+    /// width.
+    #[test]
+    fn sharded_spmm_matches_reference_bitwise() {
+        use mpgmres_backend::BackendKind;
+        let n = 40;
+        let k = 3;
+        let a = laplacian(n);
+        let cols: Vec<Vec<f64>> = (0..k)
+            .map(|c| (0..n).map(|i| ((i + c) as f64 * 0.21).cos()).collect())
+            .collect();
+        let col_refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let run = |kind: BackendKind| {
+            let mut ctx = GpuContext::with_backend_kind(
+                DeviceModel::v100_belos(),
+                ReductionOrder::Sequential,
+                kind,
+            );
+            let x = MultiVec::from_columns(&col_refs);
+            let mut y = MultiVec::<f64>::zeros(n, k);
+            {
+                let mut st = ctx.stream_for(RegionKey::new(93, n).with_k(k));
+                let ah = st.matrix(&a);
+                let xh = st.block(&x);
+                let yh = st.block_mut(&mut y);
+                st.spmm(ah, xh, k, yh);
+                st.sync();
+            }
+            let halo = ctx.profiler().class_stats(KernelClass::Halo);
+            (y, halo)
+        };
+        let (y_ref, _) = run(BackendKind::Reference);
+        let (y_one, halo_one) = run(BackendKind::Sharded { shards: 2 });
+        assert_eq!(y_ref.data(), y_one.data());
+        let (y_more, halo_more) = run(BackendKind::Sharded { shards: 4 });
+        assert_eq!(y_ref.data(), y_more.data());
+        // Block width multiplies the exchanged bytes; more shards cut
+        // more boundaries.
+        assert!(halo_one.bytes > 0);
+        assert!(halo_more.bytes > halo_one.bytes);
     }
 }

@@ -24,10 +24,15 @@
 //! - [`WorkerPool::run`] blocks until all jobs have finished; the job
 //!   closure may borrow stack data.
 //! - Jobs must **not** call back into the same pool (`run` is not
-//!   reentrant from a worker; doing so deadlocks). Callers that need
-//!   nested parallelism run the inner work sequentially — which is what
-//!   `mpgmres-backend` does when it executes independent recorded ops
-//!   concurrently.
+//!   reentrant from a worker; doing so deadlocks).
+//! - Concurrent submitters are safe: every call carries its own
+//!   completion barrier, so two threads may `run` on the same pool at
+//!   once (their jobs interleave in the worker queues). For *isolated*
+//!   concurrency — independent recorded ops of one wavefront that
+//!   should not queue behind each other — take disjoint worker subsets
+//!   with [`WorkerPool::leases`] and hand each submitter its own
+//!   [`Lease`], which is what `mpgmres-backend`'s `ParallelBackend`
+//!   does for multi-op batches.
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -97,23 +102,37 @@ unsafe impl Executor for ScopedSpawn {
     }
 }
 
-/// A job message: a lifetime-erased reference to the caller's closure
-/// plus the job index. The `'static` is a lie upheld by
-/// [`WorkerPool::run`], which does not return until every job sent for
-/// that closure has completed.
+/// A job message: a lifetime-erased reference to the caller's closure,
+/// the job index, and the submitting call's completion barrier. The
+/// `'static` is a lie upheld by the submitter, which does not return
+/// until every job sent for that closure has completed.
 struct Job {
     f: &'static (dyn Fn(usize) + Sync),
     index: usize,
+    sync: Arc<CallSync>,
 }
 
-struct PoolState {
-    /// Jobs still outstanding for the current `run` call.
+/// Per-call completion state. Each `run`/lease submission creates its
+/// own, which is what makes concurrent submitters (and disjoint leases)
+/// independent: there is no pool-global counter to serialize on.
+struct CallSync {
+    /// Jobs still outstanding for this call.
     pending: Mutex<usize>,
     done: Condvar,
-    /// First panic payload of the current `run` call; `run` resumes the
+    /// First panic payload of this call; the submitter resumes the
     /// unwind with it after the barrier, so the original message (e.g. a
     /// kernel contract assert) reaches the caller intact.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl CallSync {
+    fn new(njobs: usize) -> Arc<Self> {
+        Arc::new(CallSync {
+            pending: Mutex::new(njobs),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
 }
 
 /// A fixed set of persistent worker threads with pinned job assignment
@@ -122,11 +141,7 @@ struct PoolState {
 pub struct WorkerPool {
     threads: usize,
     senders: Vec<Sender<Job>>,
-    state: Arc<PoolState>,
     handles: Vec<JoinHandle<()>>,
-    /// Serializes `run` calls: the pending counter is per-pool, so two
-    /// concurrent submitters must not interleave.
-    submit: Mutex<()>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -137,18 +152,18 @@ impl std::fmt::Debug for WorkerPool {
     }
 }
 
-fn worker_loop(rx: Receiver<Job>, state: Arc<PoolState>) {
+fn worker_loop(rx: Receiver<Job>) {
     while let Ok(job) = rx.recv() {
         let f = job.f;
         let index = job.index;
         if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(index))) {
-            let mut slot = state.panic.lock().unwrap_or_else(|e| e.into_inner());
+            let mut slot = job.sync.panic.lock().unwrap_or_else(|e| e.into_inner());
             slot.get_or_insert(payload);
         }
-        let mut pending = state.pending.lock().unwrap_or_else(|e| e.into_inner());
+        let mut pending = job.sync.pending.lock().unwrap_or_else(|e| e.into_inner());
         *pending -= 1;
         if *pending == 0 {
-            state.done.notify_all();
+            job.sync.done.notify_all();
         }
     }
 }
@@ -160,21 +175,15 @@ impl WorkerPool {
     /// thread per backend instance.
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let state = Arc::new(PoolState {
-            pending: Mutex::new(0),
-            done: Condvar::new(),
-            panic: Mutex::new(None),
-        });
         let workers = if threads > 1 { threads } else { 0 };
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let (tx, rx) = channel::<Job>();
-            let st = Arc::clone(&state);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("mpgmres-worker-{w}"))
-                    .spawn(move || worker_loop(rx, st))
+                    .spawn(move || worker_loop(rx))
                     .expect("spawn pool worker"),
             );
             senders.push(tx);
@@ -182,9 +191,7 @@ impl WorkerPool {
         WorkerPool {
             threads,
             senders,
-            state,
             handles,
-            submit: Mutex::new(()),
         }
     }
 
@@ -196,7 +203,8 @@ impl WorkerPool {
     /// Run `f(0), .., f(njobs - 1)` on the pinned workers (job `i` on
     /// worker `i % threads`) and block until all have finished. A single
     /// job runs inline on the caller. Panics in jobs are re-raised here
-    /// after every job has drained.
+    /// after every job has drained. Safe to call from several threads at
+    /// once — each call has its own completion barrier.
     pub fn run<F: Fn(usize) + Sync>(&self, njobs: usize, f: F) {
         if njobs == 0 {
             return;
@@ -207,43 +215,134 @@ impl WorkerPool {
             }
             return;
         }
-        let guard = self.submit.lock().unwrap_or_else(|e| e.into_inner());
-        let fref: &(dyn Fn(usize) + Sync) = &f;
+        self.submit_and_wait(0, self.senders.len(), njobs, &f);
+    }
+
+    /// Lease the worker subset `[first, first + count)` (clamped to the
+    /// pool's workers). The lease is an [`Executor`] that submits only
+    /// to its own workers with its own barrier, so concurrent submitters
+    /// holding disjoint leases never queue behind each other. A lease
+    /// with fewer than two workers executes inline on the submitter.
+    pub fn lease(&self, first: usize, count: usize) -> Lease<'_> {
+        let first = first.min(self.senders.len());
+        let count = count.min(self.senders.len() - first);
+        Lease {
+            pool: self,
+            first,
+            count,
+        }
+    }
+
+    /// Split the pool's workers into `parts` disjoint leases (sizes as
+    /// even as possible, remainder spread over the leading leases — the
+    /// same split rule `ParallelBackend` used for its scoped-spawn
+    /// fallback). On a pool with fewer workers than `parts`, trailing
+    /// leases are empty and execute inline on their submitters.
+    pub fn leases(&self, parts: usize) -> Vec<Lease<'_>> {
+        let parts = parts.max(1);
+        let workers = self.senders.len();
+        let base = workers / parts;
+        let extra = workers % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut first = 0;
+        for i in 0..parts {
+            let count = base + usize::from(i < extra);
+            out.push(self.lease(first, count));
+            first += count;
+        }
+        out
+    }
+
+    /// Submit `njobs` jobs round-robin over the worker subset
+    /// `[first, first + count)` and block until all have finished
+    /// (callers guarantee `count >= 2` and `njobs >= 2`).
+    fn submit_and_wait(
+        &self,
+        first: usize,
+        count: usize,
+        njobs: usize,
+        f: &(dyn Fn(usize) + Sync),
+    ) {
         // SAFETY: the lifetime is erased only for transport to the
         // workers; the barrier below keeps `f` borrowed until every job
         // that references it has finished.
-        let fstatic: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(fref) };
-        {
-            let mut pending = self.state.pending.lock().unwrap_or_else(|e| e.into_inner());
-            *pending = njobs;
-        }
+        let fstatic: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let sync = CallSync::new(njobs);
         for index in 0..njobs {
-            self.senders[index % self.senders.len()]
-                .send(Job { f: fstatic, index })
+            self.senders[first + index % count]
+                .send(Job {
+                    f: fstatic,
+                    index,
+                    sync: Arc::clone(&sync),
+                })
                 .expect("worker pool shut down while in use");
         }
-        let mut pending = self.state.pending.lock().unwrap_or_else(|e| e.into_inner());
+        let mut pending = sync.pending.lock().unwrap_or_else(|e| e.into_inner());
         while *pending != 0 {
-            pending = self
-                .state
-                .done
-                .wait(pending)
-                .unwrap_or_else(|e| e.into_inner());
+            pending = sync.done.wait(pending).unwrap_or_else(|e| e.into_inner());
         }
         drop(pending);
-        // Consume the panic payload while still holding the submit lock:
-        // a concurrent submitter acquiring the lock next must not have
-        // its jobs' panics stolen by (or leaked into) this run.
-        let panic = self
-            .state
-            .panic
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .take();
-        drop(guard);
+        let panic = sync.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
         if let Some(payload) = panic {
             panic::resume_unwind(payload);
         }
+    }
+}
+
+/// A disjoint worker subset of a [`WorkerPool`], used as the per-op
+/// executor when several independent recorded ops of one wavefront run
+/// concurrently: each op's kernels parallelize over the op's own leased
+/// workers instead of scoped-spawning fresh threads, and disjoint
+/// leases never contend (each submission has its own barrier and its
+/// own worker queues).
+#[derive(Clone, Copy)]
+pub struct Lease<'p> {
+    pool: &'p WorkerPool,
+    first: usize,
+    count: usize,
+}
+
+impl Lease<'_> {
+    /// First leased worker index.
+    pub fn first(&self) -> usize {
+        self.first
+    }
+
+    /// Number of leased workers (0 or 1 means inline execution).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+impl std::fmt::Debug for Lease<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lease")
+            .field("first", &self.first)
+            .field("count", &self.count)
+            .finish()
+    }
+}
+
+// SAFETY: each job index is sent to exactly one leased worker and the
+// per-call barrier keeps the closure borrowed until all have finished;
+// leases with fewer than two workers run every index inline exactly
+// once.
+unsafe impl Executor for Lease<'_> {
+    fn width(&self) -> usize {
+        self.count.max(1)
+    }
+
+    fn run_jobs(&self, njobs: usize, f: &(dyn Fn(usize) + Sync)) {
+        if njobs == 0 {
+            return;
+        }
+        if njobs == 1 || self.count <= 1 {
+            for i in 0..njobs {
+                f(i);
+            }
+            return;
+        }
+        self.pool.submit_and_wait(self.first, self.count, njobs, f);
     }
 }
 
@@ -346,6 +445,104 @@ mod tests {
             count.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn leases_are_disjoint_and_cover_all_workers() {
+        let pool = WorkerPool::new(5);
+        for parts in [1usize, 2, 3, 5, 8] {
+            let leases = pool.leases(parts);
+            assert_eq!(leases.len(), parts);
+            let mut next = 0;
+            for l in &leases {
+                assert_eq!(l.first(), next);
+                next += l.count();
+            }
+            assert_eq!(next, 5, "{parts} leases must cover every worker");
+        }
+    }
+
+    #[test]
+    fn lease_runs_every_job_once_and_stays_on_its_workers() {
+        let pool = WorkerPool::new(4);
+        let leases = pool.leases(2);
+        let ids: Vec<Mutex<Vec<std::thread::ThreadId>>> =
+            (0..2).map(|_| Mutex::new(Vec::new())).collect();
+        let hits: Vec<AtomicUsize> = (0..10).map(|_| AtomicUsize::new(0)).collect();
+        for (which, lease) in leases.iter().enumerate() {
+            lease.run_jobs(5, &|i| {
+                hits[5 * which + i].fetch_add(1, Ordering::SeqCst);
+                ids[which].lock().unwrap().push(std::thread::current().id());
+            });
+        }
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        // Two workers per lease, and the two leases' worker sets are
+        // disjoint.
+        let a: std::collections::HashSet<_> = ids[0].lock().unwrap().iter().copied().collect();
+        let b: std::collections::HashSet<_> = ids[1].lock().unwrap().iter().copied().collect();
+        assert!(a.len() <= 2 && b.len() <= 2);
+        assert!(a.is_disjoint(&b), "leases must not share workers");
+    }
+
+    #[test]
+    fn concurrent_lease_submitters_complete_independently() {
+        let pool = WorkerPool::new(4);
+        let leases = pool.leases(2);
+        let hits: Vec<AtomicUsize> = (0..40).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|scope| {
+            for (which, lease) in leases.iter().enumerate() {
+                let hits = &hits;
+                scope.spawn(move || {
+                    for round in 0..10 {
+                        lease.run_jobs(2, &|i| {
+                            hits[20 * which + 2 * round + i].fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn empty_and_single_worker_leases_run_inline() {
+        let pool = WorkerPool::new(1);
+        // Width-1 pool has no workers: every lease is empty and inline.
+        let leases = pool.leases(3);
+        let caller = std::thread::current().id();
+        for lease in &leases {
+            assert_eq!(lease.count(), 0);
+            let log = Mutex::new(Vec::new());
+            lease.run_jobs(3, &|i| {
+                assert_eq!(std::thread::current().id(), caller);
+                log.lock().unwrap().push(i);
+            });
+            assert_eq!(*log.lock().unwrap(), vec![0, 1, 2]);
+        }
+        // A lease clamped past the worker range is empty, not a panic.
+        let pool = WorkerPool::new(3);
+        let lease = pool.lease(7, 2);
+        assert_eq!(lease.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_full_pool_runs_are_safe() {
+        // Per-call barriers make overlapping full-pool submissions safe
+        // (they interleave in the worker queues but wait independently).
+        let pool = WorkerPool::new(2);
+        let hits: Vec<AtomicUsize> = (0..30).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|scope| {
+            for t in 0..3 {
+                let pool = &pool;
+                let hits = &hits;
+                scope.spawn(move || {
+                    pool.run(10, |i| {
+                        hits[10 * t + i].fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
     }
 
     #[test]
