@@ -6,6 +6,7 @@
 //! message. (The reference kernels in `mpgmres-la` keep their own
 //! cheap asserts as defense in depth for direct users of that crate.)
 
+use mpgmres_la::basis::BasisStore;
 use mpgmres_la::csr::Csr;
 use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
@@ -63,6 +64,29 @@ pub fn gemv<S: Scalar>(v: &MultiVector<S>, ncols: usize, vec: &[S], coeff: &[S])
     assert!(
         coeff.len() >= ncols,
         "backend gemv: coefficient slice has length {} but {ncols} columns requested",
+        coeff.len()
+    );
+}
+
+/// GEMV over the first `ncols` columns of a stored basis: identical
+/// shape rules to [`gemv`], independent of the storage precision.
+#[inline]
+pub fn basis_gemv<S: Scalar>(v: &BasisStore<S>, ncols: usize, vec: &[S], coeff: &[S]) {
+    assert!(
+        ncols <= v.max_cols(),
+        "backend basis_gemv: {ncols} columns requested but only {} allocated",
+        v.max_cols()
+    );
+    assert_eq!(
+        vec.len(),
+        v.n(),
+        "backend basis_gemv: vector has length {} but V has {} rows",
+        vec.len(),
+        v.n()
+    );
+    assert!(
+        coeff.len() >= ncols,
+        "backend basis_gemv: coefficient slice has length {} but {ncols} columns requested",
         coeff.len()
     );
 }
@@ -182,6 +206,51 @@ pub fn block_gemv<S: Scalar>(vs: &[&MultiVector<S>], ncols: usize, w: &MultiVec<
     assert!(
         coeff.len() >= vs.len() * ncols,
         "backend block_gemv: coefficient slice has length {} but {} x {ncols} requested",
+        coeff.len(),
+        vs.len()
+    );
+}
+
+/// Batched GEMV over one stored basis per block column: the
+/// [`block_gemv`] shape rules plus a uniform storage precision across
+/// the lane set (one fused launch streams one element width).
+#[inline]
+pub fn basis_block_gemv<S: Scalar>(
+    vs: &[&BasisStore<S>],
+    ncols: usize,
+    w: &MultiVec<S>,
+    coeff: &[S],
+) {
+    assert!(
+        vs.len() <= w.k(),
+        "backend basis_block_gemv: {} bases but the block has {} columns",
+        vs.len(),
+        w.k()
+    );
+    for (c, v) in vs.iter().enumerate() {
+        assert!(
+            ncols <= v.max_cols(),
+            "backend basis_block_gemv: {ncols} columns requested but basis {c} has {}",
+            v.max_cols()
+        );
+        assert_eq!(
+            v.n(),
+            w.n(),
+            "backend basis_block_gemv: basis {c} has {} rows but the block has {}",
+            v.n(),
+            w.n()
+        );
+        assert_eq!(
+            v.elem_bytes(),
+            vs[0].elem_bytes(),
+            "backend basis_block_gemv: basis {c} stores {}-byte elements but basis 0 stores {}",
+            v.elem_bytes(),
+            vs[0].elem_bytes()
+        );
+    }
+    assert!(
+        coeff.len() >= vs.len() * ncols,
+        "backend basis_block_gemv: coefficient slice has length {} but {} x {ncols} requested",
         coeff.len(),
         vs.len()
     );

@@ -66,6 +66,7 @@ use core::fmt;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use mpgmres_la::basis::BasisStore;
 use mpgmres_la::csr::Csr;
 use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
@@ -264,6 +265,168 @@ pub trait ScalarBackend<S: Scalar> {
         for ((&a, s), d) in alpha.iter().zip(srcs).zip(dsts.iter_mut()) {
             self.copy(s, d);
             self.scal(a, d);
+        }
+    }
+
+    // ----- compressed-basis storage-path kernels ----------------------
+    //
+    // GEMV/extension kernels over a [`BasisStore`]: basis columns
+    // stream in the store's precision, every arithmetic operation
+    // happens in `S` after one exact widening per stored element (the
+    // basis-side twin of the `store_*` matrix kernels). The native arms
+    // delegate to the plain kernels through `self`, so a backend that
+    // overrides `gemv_t` (etc.) keeps its override on the native path
+    // and native results are bit-identical to the pre-`BasisStore`
+    // drivers; compressed arms run the store's shared kernels, which
+    // the parallel overrides row/column-partition without reordering.
+
+    /// GEMV-Trans over a basis store: `h[i] = widen(col_i) . w`.
+    fn basis_gemv_t(
+        &self,
+        v: &BasisStore<S>,
+        ncols: usize,
+        w: &[S],
+        h: &mut [S],
+        order: ReductionOrder,
+    ) {
+        match v {
+            BasisStore::Native(mv) => self.gemv_t(mv, ncols, w, h, order),
+            _ => v.gemv_t(ncols, w, h, order),
+        }
+    }
+
+    /// GEMV-NoTrans over a basis store: `w -= widen(V[:, ..ncols]) h`.
+    fn basis_gemv_n_sub(&self, v: &BasisStore<S>, ncols: usize, h: &[S], w: &mut [S]) {
+        match v {
+            BasisStore::Native(mv) => self.gemv_n_sub(mv, ncols, h, w),
+            _ => v.gemv_n_sub(ncols, h, w),
+        }
+    }
+
+    /// GEMV-NoTrans over a basis store: `y += widen(V[:, ..ncols]) h`.
+    fn basis_gemv_n_add(&self, v: &BasisStore<S>, ncols: usize, h: &[S], y: &mut [S]) {
+        match v {
+            BasisStore::Native(mv) => self.gemv_n_add(mv, ncols, h, y),
+            _ => v.gemv_n_add(ncols, h, y),
+        }
+    }
+
+    /// Basis extension `col_j = src` (append without scaling; demotes
+    /// once per element on compressed paths).
+    fn basis_append(&self, v: &mut BasisStore<S>, j: usize, src: &[S]) {
+        match v {
+            BasisStore::Native(mv) => self.copy(src, mv.col_mut(j)),
+            _ => v.set_col(j, src),
+        }
+    }
+
+    /// Fused basis extension `col_j = alpha * src`. The native arm is
+    /// the exact copy-then-scal sequence the drivers issued before the
+    /// refactor; compressed arms round the product once into storage.
+    fn basis_scal_copy(&self, v: &mut BasisStore<S>, j: usize, alpha: S, src: &[S]) {
+        match v {
+            BasisStore::Native(mv) => {
+                self.copy(src, mv.col_mut(j));
+                self.scal(alpha, mv.col_mut(j));
+            }
+            _ => v.scal_copy_col(j, alpha, src),
+        }
+    }
+
+    /// Promote basis column `j` into a working-precision buffer
+    /// (native: plain copy).
+    fn basis_promote_col(&self, v: &BasisStore<S>, j: usize, out: &mut [S]) {
+        match v {
+            BasisStore::Native(mv) => self.copy(mv.col(j), out),
+            _ => v.promote_col(j, out),
+        }
+    }
+
+    /// Batched GEMV-Trans over one basis store per right-hand side
+    /// (coefficients packed with stride `ncols`, as [`Self::block_gemv_t`]).
+    fn basis_block_gemv_t(
+        &self,
+        vs: &[&BasisStore<S>],
+        ncols: usize,
+        w: &MultiVec<S>,
+        h: &mut [S],
+        order: ReductionOrder,
+    ) {
+        for (c, v) in vs.iter().enumerate() {
+            self.basis_gemv_t(
+                v,
+                ncols,
+                w.col(c),
+                &mut h[c * ncols..(c + 1) * ncols],
+                order,
+            );
+        }
+    }
+
+    /// Batched GEMV-NoTrans: `w.col(c) -= widen(vs[c][:, ..ncols]) h_c`.
+    fn basis_block_gemv_n_sub(
+        &self,
+        vs: &[&BasisStore<S>],
+        ncols: usize,
+        h: &[S],
+        w: &mut MultiVec<S>,
+    ) {
+        for (c, v) in vs.iter().enumerate() {
+            self.basis_gemv_n_sub(v, ncols, &h[c * ncols..(c + 1) * ncols], w.col_mut(c));
+        }
+    }
+
+    /// Batched GEMV-NoTrans: `y.col(c) += widen(vs[c][:, ..ncols]) h_c`.
+    fn basis_block_gemv_n_add(
+        &self,
+        vs: &[&BasisStore<S>],
+        ncols: usize,
+        h: &[S],
+        y: &mut MultiVec<S>,
+    ) {
+        for (c, v) in vs.iter().enumerate() {
+            self.basis_gemv_n_add(v, ncols, &h[c * ncols..(c + 1) * ncols], y.col_mut(c));
+        }
+    }
+
+    /// Per-lane basis append: `vs[c].col(j) = srcs[c]`. An all-native
+    /// lane set routes through the fused [`Self::lane_copy`] (exactly
+    /// the pre-refactor execution, including parallel overrides).
+    fn basis_lane_copy(&self, vs: &mut [&mut BasisStore<S>], j: usize, srcs: &[&[S]]) {
+        if vs.iter().all(|v| v.is_native()) {
+            let mut dsts: Vec<&mut [S]> = vs
+                .iter_mut()
+                .map(|v| v.as_native_mut().expect("checked native").col_mut(j))
+                .collect();
+            self.lane_copy(srcs, &mut dsts);
+        } else {
+            for (v, s) in vs.iter_mut().zip(srcs) {
+                v.set_col(j, s);
+            }
+        }
+    }
+
+    /// Per-lane fused basis extension: `vs[c].col(j) = alpha[c] *
+    /// srcs[c]`. All-native lane sets route through the fused
+    /// [`Self::lane_scal_copy`]; compressed lanes round the product
+    /// once into storage.
+    fn basis_lane_scal_copy(
+        &self,
+        vs: &mut [&mut BasisStore<S>],
+        j: usize,
+        alpha: &[S],
+        srcs: &[&[S]],
+    ) {
+        if vs.iter().all(|v| v.is_native()) {
+            let mut dsts: Vec<&mut [S]> = vs
+                .iter_mut()
+                .map(|v| v.as_native_mut().expect("checked native").col_mut(j))
+                .collect();
+            self.lane_scal_copy(alpha, srcs, &mut dsts);
+        } else {
+            for ((v, &a), s) in vs.iter_mut().zip(alpha).zip(srcs) {
+                v.scal_copy_col(j, a, s);
+            }
         }
     }
 }
@@ -595,6 +758,22 @@ impl<S: Scalar> ScalarBackend<S> for ParallelBackend {
     fn gemv_n_add(&self, v: &MultiVector<S>, ncols: usize, h: &[S], y: &mut [S]) {
         par::gemv_n_add_on(&*self.pool, v, ncols, h, y);
     }
+    fn basis_gemv_t(
+        &self,
+        v: &BasisStore<S>,
+        ncols: usize,
+        w: &[S],
+        h: &mut [S],
+        order: ReductionOrder,
+    ) {
+        par::basis_gemv_t_on(&*self.pool, v, ncols, w, h, order);
+    }
+    fn basis_gemv_n_sub(&self, v: &BasisStore<S>, ncols: usize, h: &[S], w: &mut [S]) {
+        par::basis_gemv_n_sub_on(&*self.pool, v, ncols, h, w);
+    }
+    fn basis_gemv_n_add(&self, v: &BasisStore<S>, ncols: usize, h: &[S], y: &mut [S]) {
+        par::basis_gemv_n_add_on(&*self.pool, v, ncols, h, y);
+    }
     fn dot(&self, x: &[S], y: &[S], order: ReductionOrder) -> S {
         par::dot_on(&*self.pool, x, y, order)
     }
@@ -754,6 +933,22 @@ impl<S: Scalar> ScalarBackend<S> for LeaseBackend<'_> {
     }
     fn gemv_n_add(&self, v: &MultiVector<S>, ncols: usize, h: &[S], y: &mut [S]) {
         par::gemv_n_add_on(&self.lease, v, ncols, h, y);
+    }
+    fn basis_gemv_t(
+        &self,
+        v: &BasisStore<S>,
+        ncols: usize,
+        w: &[S],
+        h: &mut [S],
+        order: ReductionOrder,
+    ) {
+        par::basis_gemv_t_on(&self.lease, v, ncols, w, h, order);
+    }
+    fn basis_gemv_n_sub(&self, v: &BasisStore<S>, ncols: usize, h: &[S], w: &mut [S]) {
+        par::basis_gemv_n_sub_on(&self.lease, v, ncols, h, w);
+    }
+    fn basis_gemv_n_add(&self, v: &BasisStore<S>, ncols: usize, h: &[S], y: &mut [S]) {
+        par::basis_gemv_n_add_on(&self.lease, v, ncols, h, y);
     }
     fn dot(&self, x: &[S], y: &[S], order: ReductionOrder) -> S {
         par::dot_on(&self.lease, x, y, order)

@@ -11,6 +11,7 @@
 use mpgmres_backend::{
     BackendKind, ParallelBackend, ReferenceBackend, ScalarBackend, ShardedBackend,
 };
+use mpgmres_la::basis::BasisStore;
 use mpgmres_la::coo::Coo;
 use mpgmres_la::csr::Csr;
 use mpgmres_la::multivec::MultiVec;
@@ -674,6 +675,126 @@ proptest! {
             let view: &dyn ScalarBackend<f64> = &*b;
             view.spmv(&a, &x, &mut y);
             prop_assert_eq!(&y, &expect, "kind {}", b.name());
+        }
+    }
+}
+
+/// Reference single-rounding demotion for the compressed-basis round
+/// trip: the product is formed in f64, rounded once into the storage
+/// precision, and widened back exactly.
+fn round_trip_expect(p: Precision, x: f64) -> f64 {
+    match p {
+        Precision::Fp64 => x,
+        Precision::Fp32 => (x as f32) as f64,
+        Precision::Fp16 => mpgmres_scalar::cast::<Half, f64>(mpgmres_scalar::cast::<f64, Half>(x)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Compress/promote round trip through the backend basis kernels:
+    /// writing a scaled column into a `BasisStore` and promoting it
+    /// back must round exactly once per element (`widen(narrow(alpha *
+    /// src))`), stay within the storage precision's relative-error
+    /// bound for normal-range values, be idempotent (re-compressing
+    /// the promoted column changes nothing), and agree bit-for-bit
+    /// between the reference and parallel backends.
+    #[test]
+    fn basis_compress_promote_round_trip(
+        n in 1usize..400,
+        salt in 0u64..1000,
+        alpha in 0.25f64..4.0,
+    ) {
+        let reference = ReferenceBackend;
+        let parallel = ParallelBackend::new();
+        let src = pseudo_vec(n, salt);
+        for p in [Precision::Fp64, Precision::Fp32, Precision::Fp16] {
+            let mut store = if p == Precision::Fp64 {
+                BasisStore::<f64>::native(n, 2)
+            } else {
+                BasisStore::<f64>::compressed(n, 2, p)
+            };
+            let mut store_par = store.clone();
+            ScalarBackend::<f64>::basis_scal_copy(&reference, &mut store, 0, alpha, &src);
+            ScalarBackend::<f64>::basis_scal_copy(&parallel, &mut store_par, 0, alpha, &src);
+            let (mut out, mut out_par) = (vec![0.0; n], vec![0.0; n]);
+            ScalarBackend::<f64>::basis_promote_col(&reference, &store, 0, &mut out);
+            ScalarBackend::<f64>::basis_promote_col(&parallel, &store_par, 0, &mut out_par);
+            // The relative-error bound of one rounding into the storage
+            // precision (fp32: 2^-24, fp16: 2^-11), checked away from
+            // the subnormal range where relative error degrades.
+            let rel_bound = match p {
+                Precision::Fp64 => 0.0,
+                Precision::Fp32 => 2.0f64.powi(-24),
+                Precision::Fp16 => 2.0f64.powi(-11),
+            };
+            for (i, (&got, &got_par)) in out.iter().zip(&out_par).enumerate() {
+                let exact = src[i] * alpha;
+                let expect = round_trip_expect(p, exact);
+                prop_assert_eq!(
+                    got.to_bits(), expect.to_bits(),
+                    "{:?} round trip must round exactly once (elem {})", p, i
+                );
+                prop_assert_eq!(
+                    got.to_bits(), got_par.to_bits(),
+                    "{:?} backends must agree bit-for-bit (elem {})", p, i
+                );
+                if exact.abs() > 1e-3 {
+                    prop_assert!(
+                        ((got - exact) / exact).abs() <= rel_bound,
+                        "{:?} relative error {} exceeds {}", p, ((got - exact) / exact).abs(), rel_bound
+                    );
+                }
+            }
+            // Idempotence: compressing the promoted column again must
+            // reproduce the stored bits (the rounding is stable).
+            let mut twice = store.clone();
+            ScalarBackend::<f64>::basis_append(&reference, &mut twice, 1, &out);
+            let mut out2 = vec![0.0; n];
+            ScalarBackend::<f64>::basis_promote_col(&reference, &twice, 1, &mut out2);
+            for (a, b) in out.iter().zip(&out2) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{:?} round trip must be idempotent", p);
+            }
+        }
+    }
+
+    /// The compressed GEMV kernels must agree with an explicit
+    /// promote-then-reference-GEMV evaluation bit-for-bit: widening is
+    /// exact, so streaming the narrow array and widening inline is the
+    /// same arithmetic as promoting every column first.
+    #[test]
+    fn basis_gemv_matches_promoted_reference(
+        n in 1usize..300,
+        ncols in 1usize..12,
+        salt in 0u64..500,
+    ) {
+        let reference = ReferenceBackend;
+        for p in [Precision::Fp32, Precision::Fp16] {
+            let mut store = BasisStore::<f64>::compressed(n, ncols, p);
+            let mut promoted = MultiVector::<f64>::zeros(n, ncols);
+            for j in 0..ncols {
+                let col = pseudo_vec(n, salt.wrapping_add(j as u64));
+                ScalarBackend::<f64>::basis_append(&reference, &mut store, j, &col);
+                let mut wide = vec![0.0; n];
+                ScalarBackend::<f64>::basis_promote_col(&reference, &store, j, &mut wide);
+                promoted.set_col(j, &wide);
+            }
+            let w = pseudo_vec(n, salt.wrapping_add(77));
+            for order in orders() {
+                let (mut h_c, mut h_p) = (vec![0.0; ncols], vec![0.0; ncols]);
+                ScalarBackend::<f64>::basis_gemv_t(&reference, &store, ncols, &w, &mut h_c, order);
+                reference.gemv_t(&promoted, ncols, &w, &mut h_p, order);
+                for (a, b) in h_c.iter().zip(&h_p) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "{:?} gemv_t vs promoted", p);
+                }
+                let (mut w_c, mut w_p) = (w.clone(), w.clone());
+                ScalarBackend::<f64>::basis_gemv_n_sub(&reference, &store, ncols, &h_c, &mut w_c);
+                reference.gemv_n_sub(&promoted, ncols, &h_p, &mut w_p);
+                for (a, b) in w_c.iter().zip(&w_p) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "{:?} gemv_n_sub vs promoted", p);
+                }
+            }
         }
     }
 }

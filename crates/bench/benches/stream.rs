@@ -29,7 +29,7 @@ use mpgmres::{BlockGmres, Gmres, GmresConfig, GpuContext, GpuMatrix, MultiVec, R
 use mpgmres_bench::harness::best_of;
 use mpgmres_bench::output;
 use mpgmres_gpusim::DeviceModel;
-use mpgmres_la::multivector::MultiVector;
+use mpgmres_la::basis::BasisStore;
 use mpgmres_la::pool::{ScopedSpawn, WorkerPool};
 use mpgmres_la::vec_ops::ReductionOrder;
 use mpgmres_la::{par, Csr};
@@ -121,7 +121,7 @@ fn spmv_calls(
 fn cgs_region(
     ctx: &mut GpuContext,
     a: &GpuMatrix<f64>,
-    v: &MultiVector<f64>,
+    v: &BasisStore<f64>,
     x: &[f64],
     w: &mut [f64],
     h1: &mut [f64],
@@ -221,7 +221,7 @@ fn summary(_c: &mut Criterion) {
     let ar = GpuMatrix::new(galeri::laplace2d(16, 16));
     let nr = ar.n();
     let ncols = 20;
-    let vbase = MultiVector::<f64>::zeros(nr, ncols + 2);
+    let vbase = BasisStore::<f64>::native(nr, ncols + 2);
     let xr: Vec<f64> = (0..nr).map(|i| 1.0 + (i % 13) as f64 / 13.0).collect();
     let mut wr = vec![0.0f64; nr];
     let mut h1 = vec![0.0f64; ncols];

@@ -3,30 +3,33 @@
 //! ```text
 //! experiments <id>... [--scale F] [--paper-scale] [--quick] [--out DIR]
 //!                     [--backend reference|parallel|parallel-nnz|sharded:N] [--rhs-block K]
-//!                     [--precision native|fp32|fp16|split:T]
+//!                     [--precision native|fp32|fp16|split:T] [--basis native|fp32|fp16]
 //!
 //! ids: fig1 fig2 fig3 fig4_table1 fig5 fig6 fig7 vd_model table2 fig8
-//!      vf_degrees table3 multirhs multiprec serving all
+//!      vf_degrees table3 multirhs multiprec serving compbasis all
 //! ```
 //!
 //! `--backend` selects the kernel execution backend (wall-clock only;
 //! simulated V100 results are identical across backends). `--rhs-block`
 //! sets the block width of the `multirhs` batched-solve experiment
 //! (default 4). `--precision` picks the matrix value-storage path added
-//! to the `multiprec` storage sweep. `multirhs`, `multiprec`, and
-//! `serving` (offered-load sweep through `SolverService`) are ROADMAP
-//! extensions, not paper artifacts, and are not part of `all`.
+//! to the `multiprec` storage sweep. `--basis` picks the Krylov-basis
+//! storage policy applied to solver configs built from these options
+//! (the `compbasis` experiment always sweeps native/fp32/fp16).
+//! `multirhs`, `multiprec`, `serving` (offered-load sweep through
+//! `SolverService`), and `compbasis` are ROADMAP extensions, not paper
+//! artifacts, and are not part of `all`.
 //!
 //! Aliases: `fig5` runs with `fig4_table1`; `fig7` with `fig6`.
 
 use std::process::ExitCode;
 
-use mpgmres::{BackendKind, StorePath};
+use mpgmres::{BackendKind, BasisPolicy, StorePath};
 use mpgmres_bench::experiments::{
-    self, convergence, fd_sweep, kernel_breakdown, multiprec, multirhs, poly_degrees,
+    self, compbasis, convergence, fd_sweep, kernel_breakdown, multiprec, multirhs, poly_degrees,
     precond_stretched, restart_sweep, serving, spmv_model, suitesparse,
 };
-use mpgmres_bench::harness::{parse_store_path, Scale};
+use mpgmres_bench::harness::{parse_basis, parse_store_path, Scale};
 use mpgmres_bench::output;
 
 const ALL_IDS: [&str; 10] = [
@@ -46,8 +49,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <id>... [--scale F] [--paper-scale] [--quick] [--out DIR] \
          [--backend reference|parallel|parallel-nnz|sharded:N] [--rhs-block K] \
-         [--precision native|fp32|fp16|split:T]\n\
-         ids: {} multirhs multiprec serving all",
+         [--precision native|fp32|fp16|split:T] [--basis native|fp32|fp16]\n\
+         ids: {} multirhs multiprec serving compbasis all",
         ALL_IDS.join(" ")
     );
     ExitCode::FAILURE
@@ -61,9 +64,21 @@ fn main() -> ExitCode {
     let mut backend = BackendKind::default();
     let mut rhs_block = 4usize;
     let mut store = StorePath::Native;
+    let mut basis = BasisPolicy::Native;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--basis" => {
+                i += 1;
+                let Some(p) = args.get(i) else { return usage() };
+                basis = match parse_basis(p) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("experiments: {e}");
+                        return usage();
+                    }
+                };
+            }
             "--precision" => {
                 i += 1;
                 let Some(p) = args.get(i) else { return usage() };
@@ -122,7 +137,8 @@ fn main() -> ExitCode {
     let opts = experiments::ExpOpts::new(scale, out)
         .with_backend(backend)
         .with_rhs_block(rhs_block)
-        .with_store(store);
+        .with_store(store)
+        .with_basis(basis);
     println!("kernel backend: {backend}");
 
     let t0 = std::time::Instant::now();
@@ -168,6 +184,9 @@ fn main() -> ExitCode {
             Some("serving") => {
                 serving::run(&opts);
             }
+            Some("compbasis") => {
+                compbasis::run(&opts);
+            }
             _ => {
                 eprintln!("unknown experiment id: {id}");
                 return usage();
@@ -197,6 +216,7 @@ fn normalize(id: &str) -> Option<&'static str> {
         "multirhs" | "multi-rhs" => Some("multirhs"),
         "multiprec" | "multi-prec" | "precision" => Some("multiprec"),
         "serving" | "serve" => Some("serving"),
+        "compbasis" | "comp-basis" | "basis" => Some("compbasis"),
         _ => None,
     }
 }

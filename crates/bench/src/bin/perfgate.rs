@@ -1,9 +1,10 @@
 //! CI perf-trajectory gate: collect the fast-bench artifacts
 //! (`results/stream.json`, `results/multirhs.json`,
 //! `results/pipeline.json`, `results/precision.json`,
-//! `results/serving.json`, `results/sharding.json`) into one
-//! schema-stable, git-SHA-stamped `results/BENCH_ci.json`, and FAIL the
-//! job when a load-bearing perf property regresses:
+//! `results/serving.json`, `results/sharding.json`,
+//! `results/basis.json`) into one schema-stable, git-SHA-stamped
+//! `results/BENCH_ci.json`, and FAIL the job when a load-bearing perf
+//! property regresses:
 //!
 //! - the software-pipelined `BlockGmres` overlap ratio must stay
 //!   strictly below the lockstep baseline (and the pipelined runs must
@@ -25,6 +26,12 @@
 //!   must overlap (critical/serial < 1.0 at >= 2 shards), warm sharded
 //!   solves must replay with zero new graph nodes, and every sharded
 //!   solution must stay bit-identical to the reference backend;
+//! - the compressed Krylov basis's charged GEMV bytes must match the
+//!   machine-independent analytic `ncols x n x elem_bytes +
+//!   streams x n x work_bytes` model exactly, the pinned fp32/fp64
+//!   basis byte ratio must not regress against the committed baseline,
+//!   every basis path must converge end to end, and the native-basis
+//!   solve must stay bit-identical to a plain solve;
 //! - the deterministic precision byte ratio must not regress against
 //!   the **committed baseline** `results/BENCH_ci.json` (the per-SHA
 //!   snapshot checked into the repo); the wall-clock-dependent gate
@@ -38,10 +45,11 @@
 //! become one machine-readable, diffable file.
 //!
 //! Set `MPGMRES_PERF_INJECT_REGRESSION=overlap` (or `replay`, or
-//! `precision`, or `serving`, or `sharding`) to deliberately corrupt the gated value before
-//! checking: CI runs this as an expected-failure step, proving the gate
-//! actually fires. The injected run writes `BENCH_ci_injected.json` so
-//! it can never masquerade as the real artifact.
+//! `precision`, or `serving`, or `sharding`, or `basis`) to
+//! deliberately corrupt the gated value before checking: CI runs this
+//! as an expected-failure step, proving the gate actually fires. The
+//! injected run writes `BENCH_ci_injected.json` so it can never
+//! masquerade as the real artifact.
 
 use std::fs;
 use std::process::Command;
@@ -114,6 +122,7 @@ fn main() {
     let precision = read("precision.json");
     let serving = read("serving.json");
     let sharding = read("sharding.json");
+    let basis = read("basis.json");
     // The committed per-SHA baseline (this very artifact, from the last
     // PR that refreshed it). Read BEFORE the overwrite below.
     let baseline = fs::read_to_string(dir.join("BENCH_ci.json")).ok();
@@ -236,7 +245,38 @@ fn main() {
         ),
     };
 
-    // --- gate 7 + report: diff against the committed baseline ---------
+    // --- gate 7: compressed-basis byte model + end-to-end paths ------
+    let mut basis_model_error =
+        extract_number(&basis, "basis_model_error").expect("basis.json model error");
+    let basis_byte_ratio = extract_number(&basis, "basis_fp32_fp64_byte_ratio")
+        .expect("basis.json fp32/fp64 byte ratio");
+    if inject == "basis" {
+        println!("perfgate: INJECTING basis byte-model regression (error = 0.5)");
+        basis_model_error = 0.5;
+    }
+    let basis_converged = extract_bool(&basis, "basis_paths_converged").unwrap_or(false);
+    let basis_native_ok = extract_bool(&basis, "basis_native_bit_identical").unwrap_or(false);
+    // The pinned ratio is pure analytic accounting, so it hard-gates
+    // against the committed baseline on any machine (exact 112/216;
+    // a baseline predating the basis artifact gates on the closed form).
+    let basis_ratio_floor = baseline
+        .as_deref()
+        .and_then(|b| extract_number(b, "basis_fp32_fp64_byte_ratio"))
+        .unwrap_or(112.0 / 216.0);
+    let g7 = Gate {
+        name: "basis_byte_model_and_paths",
+        ok: basis_model_error < 1e-9
+            && basis_byte_ratio <= basis_ratio_floor + 1e-9
+            && basis_converged
+            && basis_native_ok,
+        detail: format!(
+            "byte model error {basis_model_error:.2e}, fp32/fp64 ratio {basis_byte_ratio:.6} \
+             (baseline {basis_ratio_floor:.6}), paths converged {basis_converged}, \
+             native bit-identical {basis_native_ok}"
+        ),
+    };
+
+    // --- gate 8 + report: diff against the committed baseline ---------
     // Only the precision byte ratio is deterministic across machines
     // (pure analytic model), so only it hard-gates; the wall-clock and
     // overlap numbers are diffed for the log and the artifact.
@@ -253,12 +293,13 @@ fn main() {
         "serving_replay_hit_rate",
         "sharding_overlap_ratio",
         "sharding_replay_hit_rate",
+        "basis_fp32_fp64_byte_ratio",
     ];
     // Same artifact order as the combined file, so a key present in
     // several documents resolves identically in baseline and current.
     let current_of = |key: &str| -> Option<f64> {
         for doc in [
-            &stream, &multirhs, &pipeline, &precision, &serving, &sharding,
+            &stream, &multirhs, &pipeline, &precision, &serving, &sharding, &basis,
         ] {
             if let Some(v) = extract_number(doc, key) {
                 return Some(v);
@@ -294,7 +335,7 @@ fn main() {
     } else {
         println!("perfgate: no committed baseline BENCH_ci.json — skipping the diff");
     }
-    let g7 = match &baseline {
+    let g8 = match &baseline {
         Some(base) => match extract_number(base, "fp32_fp64_spmm_byte_ratio") {
             Some(b) => Gate {
                 name: "precision_ratio_vs_baseline",
@@ -314,7 +355,7 @@ fn main() {
         },
     };
 
-    let gates = [g1, g2, g3, g4, g5, g6, g7];
+    let gates = [g1, g2, g3, g4, g5, g6, g7, g8];
     let mut ok = true;
     for g in &gates {
         println!(
@@ -339,7 +380,7 @@ fn main() {
         })
         .collect();
     let combined = format!(
-        "{{\n  \"schema\": 4,\n  \"git_sha\": \"{}\",\n  \"baseline_git_sha\": \"{}\",\n  \"gates\": [\n{}\n  ],\n  \"baseline_deltas\": [\n{}\n  ],\n  \"stream\": {},\n  \"multirhs\": {},\n  \"pipeline\": {},\n  \"precision\": {},\n  \"serving\": {},\n  \"sharding\": {}\n}}\n",
+        "{{\n  \"schema\": 5,\n  \"git_sha\": \"{}\",\n  \"baseline_git_sha\": \"{}\",\n  \"gates\": [\n{}\n  ],\n  \"baseline_deltas\": [\n{}\n  ],\n  \"stream\": {},\n  \"multirhs\": {},\n  \"pipeline\": {},\n  \"precision\": {},\n  \"serving\": {},\n  \"sharding\": {},\n  \"basis\": {}\n}}\n",
         git_sha(),
         baseline_sha,
         gates_json.join(",\n"),
@@ -350,6 +391,7 @@ fn main() {
         precision.trim(),
         serving.trim(),
         sharding.trim(),
+        basis.trim(),
     );
     let out = if inject.is_empty() {
         dir.join("BENCH_ci.json")

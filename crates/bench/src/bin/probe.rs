@@ -11,10 +11,16 @@
 //! value-storage path of the GMRES-IR inner operand in the default
 //! sweep (the IR inner works in fp32, so `fp16` and `split:T` are the
 //! narrowing options there).
+//!
+//! `--basis native|fp32|fp16` selects the Krylov-basis storage policy
+//! of the fp64 GMRES runs (`native` keeps the working-precision
+//! layout; `fp32`/`fp16` stream a demoted basis).
 
 use mpgmres::precond::{poly::PolyPreconditioner, Identity};
-use mpgmres::{BackendKind, BlockGmres, Gmres, GmresConfig, IrConfig, MultiVec, StorePath};
-use mpgmres_bench::harness::{parse_store_path, Bench};
+use mpgmres::{
+    BackendKind, BasisPolicy, BlockGmres, Gmres, GmresConfig, IrConfig, MultiVec, StorePath,
+};
+use mpgmres_bench::harness::{parse_basis, parse_store_path, Bench};
 use mpgmres_matgen::registry::PaperProblem;
 
 fn main() {
@@ -47,6 +53,18 @@ fn main() {
         });
         args.drain(pos..pos + 2);
     }
+    let mut basis = BasisPolicy::Native;
+    if let Some(pos) = args.iter().position(|a| a == "--basis") {
+        let Some(p) = args.get(pos + 1) else {
+            eprintln!("probe: --basis requires a policy (native|fp32|fp16)");
+            std::process::exit(2);
+        };
+        basis = parse_basis(p).unwrap_or_else(|e| {
+            eprintln!("probe: {e}");
+            std::process::exit(2);
+        });
+        args.drain(pos..pos + 2);
+    }
     let mut rhs_block = 1usize;
     if let Some(pos) = args.iter().position(|a| a == "--rhs-block") {
         let Some(kstr) = args.get(pos + 1) else {
@@ -72,7 +90,10 @@ fn main() {
         let m: usize = args.get(4).map(|s| s.parse().unwrap()).unwrap_or(50);
         let csr = mpgmres_matgen::galeri::stretched2d(nx, stretch);
         let bench = bench_for(format!("stretched{nx}@{stretch}"), csr, 2_250_000);
-        let cfg = GmresConfig::default().with_m(m).with_max_iters(8_000);
+        let cfg = GmresConfig::default()
+            .with_m(m)
+            .with_max_iters(8_000)
+            .with_basis(basis);
         if degree == 0 {
             let (r, _) = bench.run_fp64(&Identity, cfg);
             println!(
@@ -115,7 +136,10 @@ fn main() {
             other => panic!("unknown generator {other}"),
         };
         let bench = bench_for(format!("{gen}{nx}@pe{pe}"), csr, 2_250_000);
-        let cfg = GmresConfig::default().with_m(m).with_max_iters(20_000);
+        let cfg = GmresConfig::default()
+            .with_m(m)
+            .with_max_iters(20_000)
+            .with_basis(basis);
         let t0 = std::time::Instant::now();
         let (r64, _) = bench.run_fp64(&Identity, cfg);
         println!(
@@ -160,7 +184,10 @@ fn main() {
             bench.a.bandwidth(),
             t0.elapsed()
         );
-        let cfg = GmresConfig::default().with_m(50).with_max_iters(30_000);
+        let cfg = GmresConfig::default()
+            .with_m(50)
+            .with_max_iters(30_000)
+            .with_basis(basis);
         if rhs_block > 1 {
             if p.name().starts_with("Stretched") {
                 println!("  (skipped in --rhs-block mode: needs polynomial preconditioning)");

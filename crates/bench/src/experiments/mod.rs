@@ -15,6 +15,7 @@
 //! | `vf_degrees`| [`poly_degrees`]     | §V-F polynomial stability        |
 //! | `table3`    | [`suitesparse`]      | Table III (SuiteSparse sweep)    |
 
+pub mod compbasis;
 pub mod convergence;
 pub mod fd_sweep;
 pub mod kernel_breakdown;
@@ -29,7 +30,7 @@ pub mod suitesparse;
 
 use std::path::PathBuf;
 
-use mpgmres::{BackendKind, StorePath};
+use mpgmres::{BackendKind, BasisPolicy, StorePath};
 
 use crate::harness::Scale;
 
@@ -49,6 +50,9 @@ pub struct ExpOpts {
     /// Matrix value-storage path for the multiprecision experiment
     /// (`--precision`); always swept alongside the built-in paths.
     pub store: StorePath,
+    /// Krylov-basis storage policy (`--basis`); the `compbasis`
+    /// experiment always sweeps native/fp32/fp16 regardless.
+    pub basis: BasisPolicy,
 }
 
 impl ExpOpts {
@@ -60,6 +64,7 @@ impl ExpOpts {
             backend: BackendKind::default(),
             rhs_block: 4,
             store: StorePath::Native,
+            basis: BasisPolicy::Native,
         }
     }
 
@@ -79,6 +84,12 @@ impl ExpOpts {
     /// Select the storage path (builder style).
     pub fn with_store(mut self, store: StorePath) -> Self {
         self.store = store;
+        self
+    }
+
+    /// Select the Krylov-basis storage policy (builder style).
+    pub fn with_basis(mut self, basis: BasisPolicy) -> Self {
+        self.basis = basis;
         self
     }
 }

@@ -69,7 +69,12 @@ pub fn run(opts: &ExpOpts) {
     let csr = galeri::bentpipe2d(nx, 0.5);
     let bench = Bench::new(format!("BentPipe2D{nx}"), csr, 2_250_000).with_backend(opts.backend);
     let n = bench.a.n();
-    let cfg = GmresConfig::default().with_max_iters(60_000);
+    // `--basis` applies here: both the single-RHS baseline and the
+    // block solve store their Krylov bases under the selected policy
+    // (Native by default, so paper-default runs are unchanged).
+    let cfg = GmresConfig::default()
+        .with_max_iters(60_000)
+        .with_basis(opts.basis);
     let cols = rhs_columns(n, k);
     let col_refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
 

@@ -6,8 +6,8 @@ use std::time::Instant;
 
 use mpgmres::precond::Preconditioner;
 use mpgmres::{
-    BackendKind, FdConfig, Gmres, GmresConfig, GmresFd, GmresIr, GpuContext, GpuMatrix, IrConfig,
-    Precision, SolveResult, StorePath,
+    BackendKind, BasisPolicy, FdConfig, Gmres, GmresConfig, GmresFd, GmresIr, GpuContext,
+    GpuMatrix, IrConfig, Precision, SolveResult, StorePath,
 };
 use mpgmres_gpusim::{DeviceModel, PaperCategory};
 use mpgmres_la::csr::Csr;
@@ -46,6 +46,23 @@ pub fn parse_store_path(s: &str) -> Result<StorePath, String> {
             .ok_or_else(|| {
                 format!("unknown storage path '{other}' (native|fp32|fp16|split:<threshold>)")
             }),
+    }
+}
+
+/// Parse a `--basis` Krylov-basis storage argument shared by the
+/// `experiments` and `probe` binaries: `native` (or `fp64`) keeps the
+/// working-precision `MultiVector` layout, `fp32`/`fp16` store the
+/// basis columns demoted (the compressed-basis path). A compressed
+/// request at or above the solver's working precision degenerates to
+/// native storage at allocation time.
+pub fn parse_basis(s: &str) -> Result<BasisPolicy, String> {
+    match s {
+        "native" | "fp64" => Ok(BasisPolicy::Native),
+        "fp32" => Ok(BasisPolicy::Compressed(Precision::Fp32)),
+        "fp16" => Ok(BasisPolicy::Compressed(Precision::Fp16)),
+        other => Err(format!(
+            "unknown basis storage '{other}' (native|fp32|fp16)"
+        )),
     }
 }
 
@@ -364,6 +381,22 @@ mod tests {
         assert_eq!(parse_store_path("split@2"), Ok(StorePath::Split(2.0)));
         assert!(parse_store_path("bf16").is_err());
         assert!(parse_store_path("split:x").is_err());
+    }
+
+    #[test]
+    fn basis_parsing() {
+        assert_eq!(parse_basis("native"), Ok(BasisPolicy::Native));
+        assert_eq!(parse_basis("fp64"), Ok(BasisPolicy::Native));
+        assert_eq!(
+            parse_basis("fp32"),
+            Ok(BasisPolicy::Compressed(Precision::Fp32))
+        );
+        assert_eq!(
+            parse_basis("fp16"),
+            Ok(BasisPolicy::Compressed(Precision::Fp16))
+        );
+        assert!(parse_basis("bf16").is_err());
+        assert!(parse_basis("split:1.5").is_err());
     }
 
     #[test]

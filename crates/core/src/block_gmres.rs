@@ -67,9 +67,9 @@ use crate::stream::{
     Stream,
 };
 use mpgmres_backend::BackendScalar;
+use mpgmres_la::basis::BasisStore;
 use mpgmres_la::givens::GivensLsq;
 use mpgmres_la::multivec::MultiVec;
-use mpgmres_la::multivector::MultiVector;
 
 /// The solver's system operator: either a plain working-precision
 /// [`GpuMatrix`] (the baseline) or a [`GpuStore`] whose values ride a
@@ -174,6 +174,10 @@ pub struct BlockGmres<'a, S: BackendScalar> {
     a: Operand<'a, S>,
     precond: &'a dyn Preconditioner<S>,
     cfg: GmresConfig,
+    /// Storage code of the basis this config allocates (0 = native) —
+    /// resolved once here because a `Compressed` policy at or above the
+    /// working precision degenerates to native.
+    basis_code: u8,
 }
 
 /// Per-column solver state (one lane per right-hand side).
@@ -183,8 +187,10 @@ pub struct BlockGmres<'a, S: BackendScalar> {
 /// [`BlockGmres`] methods, which keeps the bit-parity contract in one
 /// place.
 pub(crate) struct Lane<S> {
-    /// This lane's own Krylov basis (n x (m+1)).
-    v: MultiVector<S>,
+    /// This lane's own Krylov basis (n x (m+1)), behind the solver's
+    /// storage policy: native lanes keep the classic full-width layout,
+    /// compressed lanes store columns narrow and promote on read.
+    v: BasisStore<S>,
     /// Current Hessenberg column assembly buffer (m+2).
     hcol: Vec<S>,
     lsq: Option<GivensLsq<S>>,
@@ -253,39 +259,17 @@ impl<S: BackendScalar> LockstepWs<S> {
     }
 }
 
-/// Collect `&mut lane.v.col(col)` for the lane indices in `which`, in
-/// order. The lockstep driver always builds its lane sets in ascending
-/// lane order, and the fused lane-set kernels pair sources with
-/// destinations by position — this helper asserts that invariant
-/// instead of letting an out-of-order set silently drop a lane.
-fn lane_cols_mut<'l, S: BackendScalar>(
-    lanes: &'l mut [Lane<S>],
-    which: &[usize],
-    col: usize,
-) -> Vec<&'l mut [S]> {
-    debug_assert!(
-        which.windows(2).all(|w| w[0] < w[1]),
-        "lane sets must be ascending"
-    );
-    let mut out = Vec::with_capacity(which.len());
-    let mut it = which.iter().copied().peekable();
-    for (li, lane) in lanes.iter_mut().enumerate() {
-        if it.peek() == Some(&li) {
-            it.next();
-            out.push(lane.v.col_mut(col));
-        }
-    }
-    assert_eq!(out.len(), which.len(), "lane set not found in order");
-    out
-}
-
 /// Collect `&mut lane.v` for the lane indices in `which` (ascending) —
-/// the piecewise-mutable gather behind the pipelined regions' exclusive
-/// basis registrations.
+/// the piecewise-mutable gather behind the fused lane-set basis
+/// extensions and the pipelined regions' exclusive basis registrations.
+/// The lockstep driver always builds its lane sets in ascending lane
+/// order, and the fused lane-set kernels pair sources with destinations
+/// by position — this helper asserts that invariant instead of letting
+/// an out-of-order set silently drop a lane.
 fn lane_vs_mut<'l, S: BackendScalar>(
     lanes: &'l mut [Lane<S>],
     which: &[usize],
-) -> Vec<&'l mut MultiVector<S>> {
+) -> Vec<&'l mut BasisStore<S>> {
     debug_assert!(
         which.windows(2).all(|w| w[0] < w[1]),
         "lane sets must be ascending"
@@ -354,6 +338,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
             a: Operand::Plain(a),
             precond,
             cfg,
+            basis_code: cfg.basis.store::<S>(0, 1).code(),
         })
     }
 
@@ -394,7 +379,16 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
             a: Operand::Store(a),
             precond,
             cfg,
+            basis_code: cfg.basis.store::<S>(0, 1).code(),
         })
+    }
+
+    /// Region tag: the operand's storage code in the low bits, the
+    /// basis storage code in bits 5–7. A native basis contributes 0,
+    /// so every pre-BasisStore replay-cache key is preserved; a
+    /// compressed-basis solve replays its own recorded graphs.
+    fn tag8(&self) -> u8 {
+        self.a.tag8() | (self.basis_code << 5)
     }
 
     /// Serve one [`SolveRequest`] through this driver (k = 1). A plain
@@ -508,7 +502,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
             let mut st = ctx.stream_for(
                 RegionKey::new(region::BLOCK_INIT, n)
                     .with_k(k)
-                    .with_tag(self.a.tag8()),
+                    .with_tag(self.tag8()),
             );
             let ah = self.a.register(&mut st);
             let bh = st.block(b);
@@ -557,7 +551,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
             RegionKey::new(region::BLOCK_ADMIT, n)
                 .with_k(disc)
                 .with_lanes(mask)
-                .with_tag(self.a.tag8())
+                .with_tag(self.tag8())
         });
         let mut st = match key {
             Some(key) => ctx.stream_for(key),
@@ -580,7 +574,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
     /// engine only cycles occupied slots).
     pub(crate) fn free_lane(&self) -> Lane<S> {
         Lane {
-            v: MultiVector::zeros(0, self.cfg.m + 1),
+            v: self.cfg.basis.store::<S>(0, self.cfg.m + 1),
             hcol: vec![S::zero(); self.cfg.m + 2],
             lsq: None,
             gamma: S::zero(),
@@ -650,7 +644,10 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
             }
         }
         let lane = Lane {
-            v: MultiVector::zeros(if result.is_none() { n } else { 0 }, m + 1),
+            v: self
+                .cfg
+                .basis
+                .store::<S>(if result.is_none() { n } else { 0 }, m + 1),
             hcol: vec![S::zero(); m + 2],
             lsq: None,
             gamma: norm,
@@ -682,11 +679,18 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
         let n = self.a.n();
         let m = self.cfg.m;
         let (mut lane, result) = self.lane_from_norm(norm, rtol, max_iters);
-        if result.is_none() && slot.v.n() == n && slot.v.max_cols() == m + 1 {
-            // Reuse the previous occupant's basis storage: every column
-            // the new solve reads is written earlier in the same cycle,
-            // so stale values are never observed (same argument that
-            // lets restart cycles reuse the basis in place).
+        if result.is_none()
+            && slot.v.n() == n
+            && slot.v.max_cols() == m + 1
+            && slot.v.code() == lane.v.code()
+        {
+            // Reuse the previous occupant's basis storage — but only
+            // when its storage path matches this solver's policy, so an
+            // admitted lane always inherits the group's basis layout.
+            // Every column the new solve reads is written earlier in
+            // the same cycle, so stale values are never observed (same
+            // argument that lets restart cycles reuse the basis in
+            // place).
             std::mem::swap(&mut lane.v, &mut slot.v);
         }
         *slot = lane;
@@ -756,8 +760,8 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
             lane.implicit_claims_convergence = false;
             lane.lucky = false;
         }
-        let mut dsts = lane_cols_mut(lanes, cycle, 0);
-        ctx.lane_scal_copy(&alphas, &srcs, &mut dsts);
+        let mut vs = lane_vs_mut(lanes, cycle);
+        ctx.basis_lane_scal_copy(&alphas, &srcs, &mut vs, 0);
     }
 
     /// One lane's host step after iteration `j`'s device results are
@@ -884,7 +888,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
             RegionKey::new(region::BLOCK_BARRIER_RES, n)
                 .with_k(b.k())
                 .with_lanes(cm)
-                .with_tag(self.a.tag8())
+                .with_tag(self.tag8())
         });
         let mut st = match key {
             Some(key) => ctx.stream_for(key),
@@ -1026,14 +1030,33 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
             // fused lane gather when the preconditioner is the
             // identity (the per-lane copies the recorded DAG was
             // built to absorb), per-lane applications otherwise.
+            // Native lanes lend their columns in place (the exact
+            // pre-BasisStore path); compressed lanes promote their
+            // narrow columns first (each promotion a charged cast).
+            let all_native = act.iter().all(|&l| lanes[l].v.is_native());
             if self.precond.is_identity() {
-                let srcs: Vec<&[S]> = act.iter().map(|&l| lanes[l].v.col(j)).collect();
-                let mut dsts = ws.z.cols_mut(kc);
-                ctx.lane_copy(&srcs, &mut dsts);
+                if all_native {
+                    let srcs: Vec<&[S]> = act
+                        .iter()
+                        .map(|&l| lanes[l].v.expect_native().col(j))
+                        .collect();
+                    let mut dsts = ws.z.cols_mut(kc);
+                    ctx.lane_copy(&srcs, &mut dsts);
+                } else {
+                    for (c, &l) in act.iter().enumerate() {
+                        ctx.basis_promote_col(&lanes[l].v, j, ws.z.col_mut(c));
+                    }
+                }
             } else {
                 for (c, &l) in act.iter().enumerate() {
-                    self.precond
-                        .apply(ctx, self.a.plain_opt(), lanes[l].v.col(j), ws.z.col_mut(c));
+                    if let Some(nv) = lanes[l].v.as_native() {
+                        self.precond
+                            .apply(ctx, self.a.plain_opt(), nv.col(j), ws.z.col_mut(c));
+                    } else {
+                        ctx.basis_promote_col(&lanes[l].v, j, &mut ws.zvec);
+                        self.precond
+                            .apply(ctx, self.a.plain_opt(), &ws.zvec, ws.z.col_mut(c));
+                    }
                 }
             }
 
@@ -1047,7 +1070,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
             match self.cfg.ortho {
                 OrthoMethod::Cgs2 | OrthoMethod::Cgs1 => {
                     let two_pass = self.cfg.ortho == OrthoMethod::Cgs2;
-                    let vs: Vec<&MultiVector<S>> = act.iter().map(|&l| &lanes[l].v).collect();
+                    let vs: Vec<&BasisStore<S>> = act.iter().map(|&l| &lanes[l].v).collect();
                     let key = RegionKey::lane_mask(&act).map(|m| {
                         let id = if two_pass {
                             region::BLOCK_CGS
@@ -1058,7 +1081,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                             .with_ncols(ncols)
                             .with_k(kc)
                             .with_lanes(m)
-                            .with_tag(self.a.tag8())
+                            .with_tag(self.tag8())
                     });
                     let mut st = match key {
                         Some(key) => ctx.stream_for(key),
@@ -1086,9 +1109,12 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                     // next host decision; nothing to batch or record.
                     self.a.eager_spmm(ctx, &ws.z, kc, &mut ws.w);
                     for (c, &l) in act.iter().enumerate() {
+                        // MGS reads columns through S-typed views, so it
+                        // is native-only (validate() rejects the combo).
+                        let nv = lanes[l].v.expect_native();
                         for i in 0..ncols {
-                            let hi = ctx.dot(lanes[l].v.col(i), ws.w.col(c));
-                            ctx.axpy(-hi, lanes[l].v.col(i), ws.w.col_mut(c));
+                            let hi = ctx.dot(nv.col(i), ws.w.col(c));
+                            ctx.axpy(-hi, nv.col(i), ws.w.col_mut(c));
                             ws.h1[c * ncols + i] = hi;
                         }
                     }
@@ -1118,8 +1144,8 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                 let alphas: Vec<S> = store.iter().map(|&(_, _, inv)| inv).collect();
                 let srcs: Vec<&[S]> = store.iter().map(|&(c, _, _)| ws.w.col(c)).collect();
                 let which: Vec<usize> = store.iter().map(|&(_, l, _)| l).collect();
-                let mut dsts = lane_cols_mut(lanes, &which, j + 1);
-                ctx.lane_scal_copy(&alphas, &srcs, &mut dsts);
+                let mut vs = lane_vs_mut(lanes, &which);
+                ctx.basis_lane_scal_copy(&alphas, &srcs, &mut vs, j + 1);
             }
         }
 
@@ -1149,7 +1175,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                     .with_ncols(upds_mask(&upds) as usize)
                     .with_k(k)
                     .with_lanes(cm)
-                    .with_tag(self.a.tag8())
+                    .with_tag(self.tag8())
             });
             let mut st = match key {
                 Some(key) => ctx.stream_for(key),
@@ -1179,7 +1205,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                         .with_ncols(upds_mask(&upds) as usize)
                         .with_k(k)
                         .with_lanes(cm)
-                        .with_tag(self.a.tag8())
+                        .with_tag(self.tag8())
                 });
                 let mut st = match key {
                     Some(key) => ctx.stream_for(key),
@@ -1315,7 +1341,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                                     .with_ncols(ncols)
                                     .with_k(pipe_disc(kc, masks))
                                     .with_lanes(mask)
-                                    .with_tag(self.a.tag8())
+                                    .with_tag(self.tag8())
                             });
                     let (h1_prev, h1_cur) = parity_split(&mut h1, cur);
                     let (h2_prev, h2_cur) = parity_split(&mut h2, cur);
@@ -1398,7 +1424,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                                     .with_ncols(ncols_prev)
                                     .with_k(pipe_disc(store.len(), masks))
                                     .with_lanes(mask)
-                                    .with_tag(self.a.tag8())
+                                    .with_tag(self.tag8())
                             },
                         );
                         let (h1_prev, _) = parity_split(&mut h1, cur);
@@ -1431,10 +1457,12 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                         st.sync();
                     }
                     for (c, &l) in act.iter().enumerate() {
+                        // The pipelined driver is native-only
+                        // (validate() rejects compressed + pipelined).
                         self.precond.apply(
                             ctx,
                             self.a.plain_opt(),
-                            lanes[l].v.col(j),
+                            lanes[l].v.expect_native().col(j),
                             z.col_mut(c),
                         );
                     }
@@ -1448,12 +1476,12 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                             .with_ncols(ncols)
                             .with_k(kc)
                             .with_lanes(mask)
-                            .with_tag(self.a.tag8())
+                            .with_tag(self.tag8())
                     });
                     let (_, h1_cur) = parity_split(&mut h1, cur);
                     let (_, h2_cur) = parity_split(&mut h2, cur);
                     let (_, nr_cur) = parity_split(&mut norms, cur);
-                    let vs: Vec<&MultiVector<S>> = act.iter().map(|&l| &lanes[l].v).collect();
+                    let vs: Vec<&BasisStore<S>> = act.iter().map(|&l| &lanes[l].v).collect();
                     let mut st = match key {
                         Some(key) => ctx.stream_for(key),
                         None => ctx.stream(),
@@ -1531,7 +1559,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                             .with_ncols(upds_mask(&upds) as usize)
                             .with_k(pipe_disc(drained, masks))
                             .with_lanes(cm)
-                            .with_tag(self.a.tag8())
+                            .with_tag(self.tag8())
                     });
                 let (h1_prev, _) = parity_split(&mut h1, 1 - p);
                 let (h2_prev, _) = parity_split(&mut h2, 1 - p);
@@ -1603,7 +1631,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                                     .with_ncols(drained)
                                     .with_k(pipe_disc(store.len(), masks))
                                     .with_lanes(mask)
-                                    .with_tag(self.a.tag8())
+                                    .with_tag(self.tag8())
                             });
                     let (h1_prev, _) = parity_split(&mut h1, 1 - p);
                     let (h2_prev, _) = parity_split(&mut h2, 1 - p);
@@ -1640,7 +1668,7 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
                             .with_ncols(upds_mask(&upds) as usize)
                             .with_k(k)
                             .with_lanes(cm)
-                            .with_tag(self.a.tag8())
+                            .with_tag(self.tag8())
                     });
                     let mut st = match key {
                         Some(key) => ctx.stream_for(key),

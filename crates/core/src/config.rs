@@ -60,6 +60,10 @@ pub struct GmresConfig {
     /// to depth 0 by construction — only the timeline changes. Ignored
     /// by the single-RHS [`crate::Gmres`] driver.
     pub pipeline_depth: usize,
+    /// Krylov-basis storage path (see [`BasisPolicy`]). `Native` (the
+    /// default) reproduces the pre-storage-path drivers bit for bit;
+    /// `Compressed` stores basis columns narrow and promotes on read.
+    pub basis: BasisPolicy,
 }
 
 impl Default for GmresConfig {
@@ -73,6 +77,7 @@ impl Default for GmresConfig {
             loa_factor: 10.0,
             record_history: true,
             pipeline_depth: 0,
+            basis: BasisPolicy::Native,
         }
     }
 }
@@ -111,6 +116,23 @@ impl GmresConfig {
         self
     }
 
+    /// Builder-style Krylov-basis storage path.
+    pub fn with_basis(mut self, basis: BasisPolicy) -> Self {
+        self.basis = basis;
+        self
+    }
+
+    /// Builder-style loss-of-accuracy factor. A compressed basis holds
+    /// the implicit/explicit residual gap at storage-precision level by
+    /// design; raising the factor lets the restart loop keep refining
+    /// from the true residual (IR-style) instead of aborting, while
+    /// `Converged` still requires the explicit residual to clear
+    /// `rtol`.
+    pub fn with_loa_factor(mut self, loa_factor: f64) -> Self {
+        self.loa_factor = loa_factor;
+        self
+    }
+
     /// Check the configuration at the request surface; everything the
     /// drivers used to `assert!` at construction now reports a typed
     /// [`SolveError`](crate::SolveError).
@@ -139,6 +161,29 @@ impl GmresConfig {
                 self.loa_factor
             )));
         }
+        if let BasisPolicy::Compressed(p) = self.basis {
+            if p == Precision::Fp64 {
+                return Err(SolveError::InvalidConfig(
+                    "compressed basis storage must be narrower than fp64; \
+                     use BasisPolicy::Native for full-width storage"
+                        .into(),
+                ));
+            }
+            if self.ortho == OrthoMethod::Mgs {
+                return Err(SolveError::InvalidConfig(
+                    "compressed basis storage requires CGS1/CGS2: MGS reads \
+                     basis columns one at a time through S-typed views"
+                        .into(),
+                ));
+            }
+            if self.pipeline_depth > 0 {
+                return Err(SolveError::InvalidConfig(
+                    "compressed basis storage requires pipeline depth 0: the \
+                     pipelined driver records in-place basis writes"
+                        .into(),
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -154,7 +199,72 @@ impl GmresConfig {
             loa_factor: f64::INFINITY,
             record_history: false,
             pipeline_depth: 0,
+            basis: BasisPolicy::Native,
         }
+    }
+}
+
+/// Krylov-basis storage path of a GMRES / block-GMRES solve.
+///
+/// Orthogonal to the working precision and to [`StorePath`] (which governs
+/// the *matrix* operand): the basis is by far the largest solver-owned
+/// array (`(m+1) x n`), and every CGS pass streams all of it twice. `Native`
+/// keeps the classic full-width `MultiVector` layout — bit-identical to the
+/// pre-storage-path drivers. `Compressed(p)` stores each basis column
+/// demoted to `p` (fp32 or fp16) and promotes on read, so the GEMV-T /
+/// GEMV-N kernels stream `p.bytes()` per basis element while still
+/// accumulating in the working precision. Compressed storage requires
+/// CGS1/CGS2 (MGS reads columns through full-width views) and pipeline
+/// depth 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BasisPolicy {
+    /// Full-width storage in the working precision (the legacy path).
+    Native,
+    /// Columns stored demoted to the given precision, promoted on read.
+    Compressed(Precision),
+}
+
+impl BasisPolicy {
+    /// Short name for experiment output (`native`, `fp32`, `fp16`).
+    pub fn label(self) -> &'static str {
+        match self {
+            BasisPolicy::Native => "native",
+            BasisPolicy::Compressed(p) => p.name(),
+        }
+    }
+
+    /// Allocate a basis store of this policy's storage path. A
+    /// `Compressed` precision at or above the working precision
+    /// degenerates to `Native` (demote-only, like
+    /// [`mpgmres_la::BasisStore::compressed`]).
+    pub fn store<S: mpgmres_scalar::Scalar>(
+        self,
+        n: usize,
+        max_cols: usize,
+    ) -> mpgmres_la::BasisStore<S> {
+        match self {
+            BasisPolicy::Native => mpgmres_la::BasisStore::native(n, max_cols),
+            BasisPolicy::Compressed(p) => mpgmres_la::BasisStore::compressed(n, max_cols, p),
+        }
+    }
+
+    /// Storage code matching [`mpgmres_la::BasisStore::code`]: `Native` is
+    /// 0 so native solves keep their pre-refactor replay-region keys;
+    /// fp16 is 1, fp32 is 2. Drivers salt region tags with
+    /// `code() << 5` so each storage path replays its own stream.
+    pub fn code(self) -> u8 {
+        match self {
+            BasisPolicy::Native => 0,
+            BasisPolicy::Compressed(Precision::Fp16) => 1,
+            BasisPolicy::Compressed(Precision::Fp32) => 2,
+            BasisPolicy::Compressed(Precision::Fp64) => 3,
+        }
+    }
+}
+
+impl Serialize for BasisPolicy {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_string())
     }
 }
 

@@ -18,7 +18,8 @@ use std::sync::Arc;
 
 use mpgmres_backend::stream::{BoundOp, OpGraph};
 use mpgmres_backend::{contracts, Backend, BackendKind, BackendScalar};
-use mpgmres_gpusim::{cost, DeviceModel, KernelClass, Profiler, TimingReport};
+use mpgmres_gpusim::{analytic, cost, DeviceModel, KernelClass, Profiler, TimingReport};
+use mpgmres_la::basis::BasisStore;
 use mpgmres_la::csr::Csr;
 use mpgmres_la::multivec::MultiVec;
 use mpgmres_la::multivector::MultiVector;
@@ -706,6 +707,74 @@ impl GpuContext {
         )
     }
 
+    // Basis-store specs: priced with the store's own element width `e`
+    // (bytes per stored basis element). Every one reduces bit-for-bit
+    // to its uniform counterpart at `e == S::BYTES`, so the native
+    // `BasisStore` path charges exactly what the pre-refactor
+    // `MultiVector` path did.
+
+    pub(crate) fn basis_gemv_t_spec<S: Scalar>(
+        &self,
+        n: usize,
+        ncols: usize,
+        e: usize,
+    ) -> (f64, usize) {
+        (
+            cost::basis_gemv_t_time(&self.device, n, ncols, e, S::PRECISION),
+            analytic::basis_gemv_traffic_bytes(n, ncols, e, 1, S::PRECISION),
+        )
+    }
+
+    pub(crate) fn basis_gemv_n_spec<S: Scalar>(
+        &self,
+        n: usize,
+        ncols: usize,
+        e: usize,
+    ) -> (f64, usize) {
+        (
+            cost::basis_gemv_n_time(&self.device, n, ncols, e, S::PRECISION),
+            analytic::basis_gemv_traffic_bytes(n, ncols, e, 2, S::PRECISION),
+        )
+    }
+
+    pub(crate) fn basis_gemm_t_spec<S: Scalar>(
+        &self,
+        n: usize,
+        ncols: usize,
+        k: usize,
+        e: usize,
+    ) -> (f64, usize) {
+        (
+            cost::basis_gemm_t_time(&self.device, n, ncols, k, e, S::PRECISION),
+            k * analytic::basis_gemv_traffic_bytes(n, ncols, e, 1, S::PRECISION),
+        )
+    }
+
+    pub(crate) fn basis_gemm_n_spec<S: Scalar>(
+        &self,
+        n: usize,
+        ncols: usize,
+        k: usize,
+        e: usize,
+    ) -> (f64, usize) {
+        (
+            cost::basis_gemm_n_time(&self.device, n, ncols, k, e, S::PRECISION),
+            k * analytic::basis_gemv_traffic_bytes(n, ncols, e, 2, S::PRECISION),
+        )
+    }
+
+    pub(crate) fn basis_scal_copy_spec<S: Scalar>(
+        &self,
+        n: usize,
+        k: usize,
+        e: usize,
+    ) -> (f64, usize) {
+        (
+            cost::basis_scal_copy_time(&self.device, n, k, e, S::PRECISION),
+            k * n * (S::BYTES + e),
+        )
+    }
+
     // ----- instrumented kernels --------------------------------------
 
     /// `y = A x`, charged to the given class (solvers use
@@ -1052,6 +1121,188 @@ impl GpuContext {
         let (t, bytes) = self.block_scal_spec::<S>(srcs[0].len(), srcs.len());
         self.profiler.charge(KernelClass::Scal, t, bytes);
         S::view(&*self.backend).lane_scal_copy(alpha, srcs, dsts);
+    }
+
+    // ----- basis-store kernels ----------------------------------------
+    //
+    // The Krylov basis lives in a `BasisStore` (native working-precision
+    // columns or fp32/fp16-demoted ones) while every operand vector and
+    // all accumulation stay in `S`. Charged under the same classes as
+    // the uniform GEMV/scal kernels, priced with the store's element
+    // width: a `Native` store charges and computes bit-identically to
+    // the `MultiVector` calls above.
+
+    /// `h = V^T w` over the first `ncols` stored basis columns.
+    pub fn basis_gemv_t<S: BackendScalar>(
+        &mut self,
+        v: &BasisStore<S>,
+        ncols: usize,
+        w: &[S],
+        h: &mut [S],
+    ) {
+        contracts::basis_gemv(v, ncols, w, h);
+        let (t, bytes) = self.basis_gemv_t_spec::<S>(v.n(), ncols, v.elem_bytes());
+        self.profiler.charge(KernelClass::GemvT, t, bytes);
+        S::view(&*self.backend).basis_gemv_t(v, ncols, w, h, self.reduction);
+    }
+
+    /// `w -= widen(V[:, ..ncols]) h` over a stored basis.
+    pub fn basis_gemv_n_sub<S: BackendScalar>(
+        &mut self,
+        v: &BasisStore<S>,
+        ncols: usize,
+        h: &[S],
+        w: &mut [S],
+    ) {
+        contracts::basis_gemv(v, ncols, w, h);
+        let (t, bytes) = self.basis_gemv_n_spec::<S>(v.n(), ncols, v.elem_bytes());
+        self.profiler.charge(KernelClass::GemvN, t, bytes);
+        S::view(&*self.backend).basis_gemv_n_sub(v, ncols, h, w);
+    }
+
+    /// `y += widen(V[:, ..ncols]) h` over a stored basis (the solution
+    /// update `x += V y`).
+    pub fn basis_gemv_n_add<S: BackendScalar>(
+        &mut self,
+        v: &BasisStore<S>,
+        ncols: usize,
+        h: &[S],
+        y: &mut [S],
+    ) {
+        contracts::basis_gemv(v, ncols, y, h);
+        let (t, bytes) = self.basis_gemv_n_spec::<S>(v.n(), ncols, v.elem_bytes());
+        self.profiler.charge(KernelClass::GemvN, t, bytes);
+        S::view(&*self.backend).basis_gemv_n_add(v, ncols, h, y);
+    }
+
+    /// Fused basis extension `col_j = alpha * src` (read the source,
+    /// write the stored column, demotion fused into the store). Charged
+    /// once under [`KernelClass::Scal`]; at native width the charge is
+    /// bit-identical to the copy-then-[`GpuContext::scal`] pair it
+    /// replaces (the copy was uncharged).
+    pub fn basis_scal_copy<S: BackendScalar>(
+        &mut self,
+        v: &mut BasisStore<S>,
+        j: usize,
+        alpha: S,
+        src: &[S],
+    ) {
+        assert_eq!(src.len(), v.n(), "basis_scal_copy: length mismatch");
+        let (t, bytes) = self.basis_scal_copy_spec::<S>(v.n(), 1, v.elem_bytes());
+        self.profiler.charge(KernelClass::Scal, t, bytes);
+        S::view(&*self.backend).basis_scal_copy(v, j, alpha, src);
+    }
+
+    /// Fused per-lane basis extension `vs[c][:, j] = alpha[c] * srcs[c]`
+    /// — the batched form of [`GpuContext::basis_scal_copy`] over a lane
+    /// set with one storage precision. Bit-identical in charge and
+    /// result to [`GpuContext::lane_scal_copy`] when every lane is
+    /// native.
+    pub fn basis_lane_scal_copy<S: BackendScalar>(
+        &mut self,
+        alpha: &[S],
+        srcs: &[&[S]],
+        vs: &mut [&mut BasisStore<S>],
+        j: usize,
+    ) {
+        assert_eq!(
+            srcs.len(),
+            vs.len(),
+            "basis_lane_scal_copy: {} sources for {} bases",
+            srcs.len(),
+            vs.len()
+        );
+        assert_eq!(
+            alpha.len(),
+            srcs.len(),
+            "basis_lane_scal_copy: {} scalars for {} lanes",
+            alpha.len(),
+            srcs.len()
+        );
+        if vs.is_empty() {
+            return;
+        }
+        for (c, (v, s)) in vs.iter().zip(srcs).enumerate() {
+            assert_eq!(
+                s.len(),
+                v.n(),
+                "basis_lane_scal_copy: lane {c} length mismatch"
+            );
+            assert_eq!(
+                v.elem_bytes(),
+                vs[0].elem_bytes(),
+                "basis_lane_scal_copy: lane {c} storage width differs from lane 0"
+            );
+        }
+        let (t, bytes) = self.basis_scal_copy_spec::<S>(vs[0].n(), vs.len(), vs[0].elem_bytes());
+        self.profiler.charge(KernelClass::Scal, t, bytes);
+        S::view(&*self.backend).basis_lane_scal_copy(vs, j, alpha, srcs);
+    }
+
+    /// Promote stored basis column `j` into a working-precision buffer.
+    /// Native: a plain device copy, uncharged like [`GpuContext::copy`]
+    /// (the pre-refactor direction gathers copied columns uncharged);
+    /// compressed: a device-resident widening cast, charged like
+    /// [`GpuContext::cast_device`] from the storage precision.
+    pub fn basis_promote_col<S: BackendScalar>(
+        &mut self,
+        v: &BasisStore<S>,
+        j: usize,
+        out: &mut [S],
+    ) {
+        assert_eq!(out.len(), v.n(), "basis_promote_col: length mismatch");
+        if !v.is_native() {
+            let p = v.storage_precision();
+            let t = cost::cast_device_time(&self.device, v.n(), p, S::PRECISION);
+            self.profiler
+                .charge(KernelClass::CastDevice, t, v.n() * (p.bytes() + S::BYTES));
+        }
+        S::view(&*self.backend).basis_promote_col(v, j, out);
+    }
+
+    /// Batched GEMV-Trans over one stored basis per block column.
+    pub fn basis_block_gemv_t<S: BackendScalar>(
+        &mut self,
+        vs: &[&BasisStore<S>],
+        ncols: usize,
+        w: &MultiVec<S>,
+        h: &mut [S],
+    ) {
+        contracts::basis_block_gemv(vs, ncols, w, h);
+        let e = vs.first().map_or(S::BYTES, |v| v.elem_bytes());
+        let (t, bytes) = self.basis_gemm_t_spec::<S>(w.n(), ncols, vs.len(), e);
+        self.profiler.charge(KernelClass::GemvT, t, bytes);
+        S::view(&*self.backend).basis_block_gemv_t(vs, ncols, w, h, self.reduction);
+    }
+
+    /// Batched GEMV-NoTrans over stored bases: `w_c -= V_c h_c`.
+    pub fn basis_block_gemv_n_sub<S: BackendScalar>(
+        &mut self,
+        vs: &[&BasisStore<S>],
+        ncols: usize,
+        h: &[S],
+        w: &mut MultiVec<S>,
+    ) {
+        contracts::basis_block_gemv(vs, ncols, w, h);
+        let e = vs.first().map_or(S::BYTES, |v| v.elem_bytes());
+        let (t, bytes) = self.basis_gemm_n_spec::<S>(w.n(), ncols, vs.len(), e);
+        self.profiler.charge(KernelClass::GemvN, t, bytes);
+        S::view(&*self.backend).basis_block_gemv_n_sub(vs, ncols, h, w);
+    }
+
+    /// Batched GEMV-NoTrans over stored bases: `y_c += V_c h_c`.
+    pub fn basis_block_gemv_n_add<S: BackendScalar>(
+        &mut self,
+        vs: &[&BasisStore<S>],
+        ncols: usize,
+        h: &[S],
+        y: &mut MultiVec<S>,
+    ) {
+        contracts::basis_block_gemv(vs, ncols, y, h);
+        let e = vs.first().map_or(S::BYTES, |v| v.elem_bytes());
+        let (t, bytes) = self.basis_gemm_n_spec::<S>(y.n(), ncols, vs.len(), e);
+        self.profiler.charge(KernelClass::GemvN, t, bytes);
+        S::view(&*self.backend).basis_block_gemv_n_add(vs, ncols, h, y);
     }
 
     /// Device-resident precision cast (fp32 preconditioner under an fp64

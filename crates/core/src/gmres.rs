@@ -20,7 +20,6 @@ use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
 use crate::stream::{region, RegionKey};
 use mpgmres_backend::BackendScalar;
 use mpgmres_la::givens::GivensLsq;
-use mpgmres_la::multivector::MultiVector;
 
 /// Restarted GMRES(m) in a single working precision `S`.
 pub struct Gmres<'a, S: BackendScalar> {
@@ -97,7 +96,16 @@ impl<'a, S: BackendScalar> Gmres<'a, S> {
         let m = self.cfg.m;
 
         let mut history: Vec<HistoryPoint> = Vec::new();
-        let mut v = MultiVector::<S>::zeros(n, m + 1);
+        // Basis storage path: Native is the classic full-width
+        // MultiVector (bit-identical to the pre-BasisStore driver);
+        // Compressed stores columns narrow and promotes on read. The
+        // region tag is salted with the storage code so each path
+        // replays its own recorded stream.
+        let mut v = self.cfg.basis.store::<S>(n, m + 1);
+        let basis_tag = v.code() << 5;
+        // Scratch for promoting a compressed basis column before the
+        // SpMV (a native basis borrows the column in place).
+        let mut vj = vec![S::zero(); if v.is_native() { 0 } else { n }];
         let mut r = vec![S::zero(); n];
         let mut w = vec![S::zero(); n];
         let mut z = vec![S::zero(); n];
@@ -159,12 +167,8 @@ impl<'a, S: BackendScalar> Gmres<'a, S> {
             }
 
             // Start a cycle: v1 = r / gamma.
-            v.col_mut(0).copy_from_slice(&r);
             let inv_gamma = S::from_f64(1.0 / gamma.to_f64());
-            {
-                let col0 = v.col_mut(0);
-                ctx.scal(inv_gamma, col0);
-            }
+            ctx.basis_scal_copy(&mut v, 0, inv_gamma, &r);
             let mut lsq = GivensLsq::new(m, gamma);
             let mut j = 0usize;
             let mut implicit_claims_convergence = false;
@@ -173,11 +177,24 @@ impl<'a, S: BackendScalar> Gmres<'a, S> {
             while j < m && total_iters < self.cfg.max_iters {
                 // Direction for w = A M^{-1} v_j (preconditioner
                 // applications stay eager — they run their own kernels).
-                let dir: &[S] = if self.precond.is_identity() {
-                    v.col(j)
-                } else {
-                    self.precond.apply(ctx, Some(self.a), v.col(j), &mut z);
-                    &z
+                // A native basis lends the column in place — the exact
+                // pre-BasisStore path; a compressed basis promotes the
+                // narrow column into scratch first (a charged cast).
+                let dir: &[S] = match v.as_native() {
+                    Some(nv) if self.precond.is_identity() => nv.col(j),
+                    Some(nv) => {
+                        self.precond.apply(ctx, Some(self.a), nv.col(j), &mut z);
+                        &z
+                    }
+                    None => {
+                        ctx.basis_promote_col(&v, j, &mut vj);
+                        if self.precond.is_identity() {
+                            &vj
+                        } else {
+                            self.precond.apply(ctx, Some(self.a), &vj, &mut z);
+                            &z
+                        }
+                    }
                 };
 
                 // SpMV + orthogonalization of w against V_{j+1}. The
@@ -196,7 +213,8 @@ impl<'a, S: BackendScalar> Gmres<'a, S> {
                         // Two classical passes: 2x (GEMV-T + GEMV-N).
                         let key = RegionKey::new(region::GMRES_CGS, n)
                             .with_ncols(ncols)
-                            .with_k(2);
+                            .with_k(2)
+                            .with_tag(basis_tag);
                         let mut st = ctx.stream_for(key);
                         let ah = st.matrix(self.a);
                         let dh = st.slice(dir);
@@ -219,7 +237,8 @@ impl<'a, S: BackendScalar> Gmres<'a, S> {
                     OrthoMethod::Cgs1 => {
                         let key = RegionKey::new(region::GMRES_CGS, n)
                             .with_ncols(ncols)
-                            .with_k(1);
+                            .with_k(1)
+                            .with_tag(basis_tag);
                         let mut st = ctx.stream_for(key);
                         let ah = st.matrix(self.a);
                         let dh = st.slice(dir);
@@ -238,10 +257,13 @@ impl<'a, S: BackendScalar> Gmres<'a, S> {
                         // 2j skinny kernels: stable, launch-heavy, and
                         // each dot feeds the next host decision — nothing
                         // to record.
+                        // MGS reads columns through S-typed views, so it
+                        // is native-only (validate() rejects the combo).
+                        let nv = v.expect_native();
                         ctx.spmv(self.a, dir, &mut w);
                         for i in 0..ncols {
-                            let hi = ctx.dot(v.col(i), &w);
-                            ctx.axpy(-hi, v.col(i), &mut w);
+                            let hi = ctx.dot(nv.col(i), &w);
+                            ctx.axpy(-hi, nv.col(i), &mut w);
                             hcol[i] = hi;
                         }
                         hj1 = ctx.norm2(&w);
@@ -279,9 +301,8 @@ impl<'a, S: BackendScalar> Gmres<'a, S> {
                     break;
                 }
                 // v_{j+1} = w / h_{j+1,j}.
-                v.col_mut(j).copy_from_slice(&w);
                 let inv = S::from_f64(1.0 / hj1.to_f64());
-                ctx.scal(inv, v.col_mut(j));
+                ctx.basis_scal_copy(&mut v, j, inv, &w);
 
                 if self.cfg.monitor_implicit && implicit_rel <= self.cfg.rtol {
                     implicit_claims_convergence = true;
@@ -300,7 +321,7 @@ impl<'a, S: BackendScalar> Gmres<'a, S> {
                     for ui in u.iter_mut() {
                         *ui = S::zero();
                     }
-                    ctx.gemv_n_add(&v, k, &y, &mut u);
+                    ctx.basis_gemv_n_add(&v, k, &y, &mut u);
                     if self.precond.is_identity() {
                         ctx.axpy(S::one(), &u, x);
                     } else {

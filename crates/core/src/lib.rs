@@ -68,7 +68,7 @@ pub mod status;
 pub mod stream;
 
 pub use block_gmres::BlockGmres;
-pub use config::{GmresConfig, IrConfig, OrthoMethod, StorePath};
+pub use config::{BasisPolicy, GmresConfig, IrConfig, OrthoMethod, StorePath};
 pub use context::{GpuContext, GpuMatrix, GpuStore};
 pub use fd::{FdConfig, FdResult, GmresFd};
 pub use gmres::Gmres;

@@ -19,7 +19,7 @@
 //! assert!(out.result.unwrap().status.is_converged());
 //! ```
 
-pub use crate::config::{GmresConfig, IrConfig, OrthoMethod, StorePath};
+pub use crate::config::{BasisPolicy, GmresConfig, IrConfig, OrthoMethod, StorePath};
 pub use crate::context::{GpuContext, GpuMatrix, GpuStore};
 pub use crate::fd::{FdConfig, FdResult, GmresFd};
 pub use crate::precond::{Identity, Preconditioner};

@@ -131,6 +131,11 @@ struct GroupKey {
     loa_bits: u64,
     record_history: bool,
     pipeline_depth: usize,
+    /// Basis storage policy: lanes of one engine share their cycle's
+    /// recorded regions (and reseeded slots inherit the previous
+    /// occupant's basis allocation), so requests over different basis
+    /// paths must land in different groups.
+    basis: crate::config::BasisPolicy,
 }
 
 struct Group<'a, S: BackendScalar> {
@@ -248,6 +253,7 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
             loa_bits: req.config.loa_factor.to_bits(),
             record_history: req.config.record_history,
             pipeline_depth: req.config.pipeline_depth,
+            basis: req.config.basis,
         };
         let gi = match self.groups.iter().position(|g| g.key == key) {
             Some(i) => i,

@@ -72,8 +72,8 @@ use std::sync::Arc;
 use mpgmres_backend::stream::{BoundOp, ExecFn, OpArgs, OpGraph, OpKind, Span};
 use mpgmres_backend::{Backend, BackendScalar};
 use mpgmres_gpusim::KernelClass;
+use mpgmres_la::basis::BasisStore;
 use mpgmres_la::multivec::MultiVec;
-use mpgmres_la::multivector::MultiVector;
 use mpgmres_la::raw::BufferArena;
 use mpgmres_la::shard::{self, ShardPlan};
 use mpgmres_scalar::Scalar;
@@ -251,18 +251,42 @@ pub struct StoreRef<S> {
     _s: PhantomData<fn() -> S>,
 }
 
-/// Handle of a registered Krylov basis ([`MultiVector`]).
+/// Handle of a registered Krylov basis ([`BasisStore`]): native
+/// working-precision columns or a compressed (fp32/fp16) column array.
+/// The handle carries the store's element width so recorded reads
+/// declare the exact narrow byte span a kernel streams, and charges are
+/// priced with the store's own traffic.
 #[derive(Clone, Copy, Debug)]
 pub struct BasisRef<S> {
     id: u32,
     n: u32,
     ncap: u32,
+    ebytes: u32,
     _s: PhantomData<fn() -> S>,
 }
 
 impl<S: Scalar> BasisRef<S> {
-    /// Read view of basis column `j`.
+    fn is_native(self) -> bool {
+        self.ebytes as usize == std::mem::size_of::<S>()
+    }
+
+    /// Read span of the first `ncols` stored columns: native bases keep
+    /// the whole-object span the pre-`BasisStore` recorder declared (so
+    /// cached graphs are node-for-node identical); compressed bases
+    /// declare the exact narrow element prefix one GEMV pass streams.
+    fn read_span(self, ncols: u32) -> Span {
+        if self.is_native() {
+            Span::whole(self.id)
+        } else {
+            Span::elems(self.id, 0, ncols * self.n, self.ebytes as usize)
+        }
+    }
+
+    /// Read view of basis column `j` (native-only: column views are
+    /// working-precision slices, which a compressed store does not
+    /// expose — the native-only pipelined drivers are the only users).
     pub fn col(self, j: usize) -> ArgSlice<S> {
+        assert!(self.is_native(), "basis column views are native-only");
         let j = u32::try_from(j).expect("basis column");
         assert!(j < self.ncap, "basis column out of range");
         ArgSlice {
@@ -288,12 +312,15 @@ pub struct BasisMut<S> {
 }
 
 impl<S: Scalar> BasisMut<S> {
-    /// Read view of the whole basis (batched CGS kernels).
+    /// Read view of the whole basis (batched CGS kernels). Mutable
+    /// registrations are native-only (see [`Stream::basis_mut`]), so
+    /// the element width is the working precision's.
     pub fn read(self) -> BasisRef<S> {
         BasisRef {
             id: self.id,
             n: self.n,
             ncap: self.ncap,
+            ebytes: std::mem::size_of::<S>() as u32,
             _s: PhantomData,
         }
     }
@@ -315,13 +342,15 @@ impl<S: Scalar> BasisMut<S> {
     }
 }
 
-/// Handle list of a per-lane basis set (the batched kernels' `vs`).
+/// Handle list of a per-lane basis set (the batched kernels' `vs`),
+/// uniform in shape and storage width across the lanes.
 #[derive(Clone, Copy, Debug)]
 pub struct BasisList<S> {
     start: u32,
     len: u32,
     n: u32,
     ncap: u32,
+    ebytes: u32,
     _s: PhantomData<fn() -> S>,
 }
 
@@ -563,19 +592,39 @@ impl<'c> Stream<'c> {
         }
     }
 
-    /// Register a Krylov basis (read-only).
-    pub fn basis<S: Scalar>(&mut self, v: &'c MultiVector<S>) -> BasisRef<S> {
+    /// Register a Krylov basis store (read-only). Native stores are
+    /// registered whole-object (recorded reads keep the pre-refactor
+    /// whole-buffer spans); compressed stores also register their
+    /// narrow element array so reads can declare the exact byte span a
+    /// kernel streams.
+    pub fn basis<S: Scalar>(&mut self, v: &'c BasisStore<S>) -> BasisRef<S> {
         let (n, ncap) = (v.n(), v.max_cols());
-        // SAFETY: `v` stays borrowed until the stream's sync/drop.
+        // SAFETY: `v` stays borrowed until the stream's sync/drop; the
+        // compressed data pointer is derived from the same shared
+        // borrow, keeping one provenance chain.
         let id = unsafe {
-            self.ctx
-                .arena_mut()
-                .register_obj(v as *const MultiVector<S>)
+            let obj = v as *const BasisStore<S>;
+            match v {
+                BasisStore::Native(_) => self.ctx.arena_mut().register_obj(obj),
+                BasisStore::F32(cb) => {
+                    let d = cb.data();
+                    self.ctx
+                        .arena_mut()
+                        .register_obj_with_data(obj, d.as_ptr(), d.len())
+                }
+                BasisStore::F16(cb) => {
+                    let d = cb.data();
+                    self.ctx
+                        .arena_mut()
+                        .register_obj_with_data(obj, d.as_ptr(), d.len())
+                }
+            }
         };
         BasisRef {
             id,
             n: u32::try_from(n).expect("basis rows"),
             ncap: u32::try_from(ncap).expect("basis cols"),
+            ebytes: u32::try_from(v.elem_bytes()).expect("basis elem bytes"),
             _s: PhantomData,
         }
     }
@@ -584,13 +633,19 @@ impl<'c> Stream<'c> {
     /// the recorder addresses it column-wise for writes (the recorded
     /// basis extension) and whole-value for the batched CGS reads — the
     /// RAW span overlap is exactly the edge that orders the extension
-    /// before the projections.
-    pub fn basis_mut<S: Scalar>(&mut self, v: &'c mut MultiVector<S>) -> BasisMut<S> {
+    /// before the projections. Native-only: recorded basis *writes*
+    /// exist only in the pipelined drivers, which reject compressed
+    /// storage up front (column write views are working-precision).
+    pub fn basis_mut<S: Scalar>(&mut self, v: &'c mut BasisStore<S>) -> BasisMut<S> {
         let (n, ncap) = (v.n(), v.max_cols());
         let (obj, data, len) = v.arena_parts();
+        assert!(
+            !data.is_null(),
+            "stream basis_mut: recorded basis writes are native-only"
+        );
         // SAFETY: `v` stays exclusively borrowed until sync/drop; the
         // data pointer is derived through the object pointer (see
-        // `MultiVector::arena_parts`), keeping one provenance chain.
+        // `BasisStore::arena_parts`), keeping one provenance chain.
         let id = unsafe { self.ctx.arena_mut().register_obj_mut(obj, data, len) };
         BasisMut {
             id,
@@ -602,7 +657,7 @@ impl<'c> Stream<'c> {
 
     /// Register a per-lane basis set mutably (all the same shape),
     /// returning one [`BasisMut`] per lane in order.
-    pub fn bases_mut<S: Scalar>(&mut self, vs: Vec<&'c mut MultiVector<S>>) -> Vec<BasisMut<S>> {
+    pub fn bases_mut<S: Scalar>(&mut self, vs: Vec<&'c mut BasisStore<S>>) -> Vec<BasisMut<S>> {
         assert!(!vs.is_empty(), "stream bases_mut: empty lane set");
         let (n, ncap) = (vs[0].n(), vs[0].max_cols());
         vs.into_iter()
@@ -620,10 +675,11 @@ impl<'c> Stream<'c> {
     /// subset to the CGS kernels by reference.
     pub fn basis_list<S: Scalar>(&mut self, refs: &[BasisRef<S>]) -> BasisList<S> {
         assert!(!refs.is_empty(), "stream basis_list: empty lane set");
-        let (n, ncap) = (refs[0].n, refs[0].ncap);
+        let (n, ncap, ebytes) = (refs[0].n, refs[0].ncap, refs[0].ebytes);
         for r in refs {
             assert_eq!(r.n, n, "stream basis_list: ragged lane set");
             assert_eq!(r.ncap, ncap, "stream basis_list: ragged lane set");
+            assert_eq!(r.ebytes, ebytes, "stream basis_list: mixed storage widths");
         }
         let (start, len) = self.ctx.arena_mut().push_list(refs.iter().map(|r| r.id));
         BasisList {
@@ -631,33 +687,17 @@ impl<'c> Stream<'c> {
             len,
             n,
             ncap,
+            ebytes,
             _s: PhantomData,
         }
     }
 
-    /// Register a per-lane basis set (read-only, all the same shape).
-    pub fn bases<S: Scalar>(&mut self, vs: &[&'c MultiVector<S>]) -> BasisList<S> {
+    /// Register a per-lane basis set (read-only, all the same shape and
+    /// storage width).
+    pub fn bases<S: Scalar>(&mut self, vs: &[&'c BasisStore<S>]) -> BasisList<S> {
         assert!(!vs.is_empty(), "stream bases: empty lane set");
-        let (n, ncap) = (vs[0].n(), vs[0].max_cols());
-        let mut ids = Vec::with_capacity(vs.len());
-        for v in vs {
-            assert_eq!(v.n(), n, "stream bases: ragged lane set");
-            assert!(v.max_cols() >= 1);
-            // SAFETY: every lane basis stays borrowed until sync/drop.
-            ids.push(unsafe {
-                self.ctx
-                    .arena_mut()
-                    .register_obj(*v as *const MultiVector<S>)
-            });
-        }
-        let (start, len) = self.ctx.arena_mut().push_list(ids);
-        BasisList {
-            start,
-            len,
-            n: u32::try_from(n).expect("basis rows"),
-            ncap: u32::try_from(ncap).expect("basis cols"),
-            _s: PhantomData,
-        }
+        let refs: Vec<BasisRef<S>> = vs.iter().map(|v| self.basis(v)).collect();
+        self.basis_list(&refs)
     }
 
     /// Register a read-only vector.
@@ -1235,18 +1275,20 @@ impl<'c> Stream<'c> {
             // SAFETY: registered borrows are live for the stream's lifetime.
             let (vm, ws, hs) = unsafe {
                 (
-                    self.arena().obj::<MultiVector<S>>(v.id),
+                    self.arena().obj::<BasisStore<S>>(v.id),
                     self.arena().slice::<S>(w.buf, w.off, w.len),
                     self.arena().slice_mut::<S>(h.buf, h.off, h.len),
                 )
             };
-            self.ctx.gemv_t(vm, ncols, ws, hs);
+            self.ctx.basis_gemv_t(vm, ncols, ws, hs);
             return;
         }
-        let (t, bytes) = self.ctx.gemv_t_spec::<S>(v.n as usize, ncols);
+        let (t, bytes) = self
+            .ctx
+            .basis_gemv_t_spec::<S>(v.n as usize, ncols, v.ebytes as usize);
         self.record(
             "gemv_t",
-            &[Span::whole(v.id), w.span()],
+            &[v.read_span(nc), w.span()],
             &[h.prefix_span(nc)],
             Some((KernelClass::GemvT, t, bytes)),
             exec_gemv_t::<S>,
@@ -1308,19 +1350,21 @@ impl<'c> Stream<'c> {
             // SAFETY: registered borrows are live for the stream's lifetime.
             let (vm, hs, ws) = unsafe {
                 (
-                    self.arena().obj::<MultiVector<S>>(v.id),
+                    self.arena().obj::<BasisStore<S>>(v.id),
                     self.arena().slice::<S>(h.buf, h.off, h.len),
                     self.arena().slice_mut::<S>(w.buf, w.off, w.len),
                 )
             };
             if add {
-                self.ctx.gemv_n_add(vm, ncols, hs, ws);
+                self.ctx.basis_gemv_n_add(vm, ncols, hs, ws);
             } else {
-                self.ctx.gemv_n_sub(vm, ncols, hs, ws);
+                self.ctx.basis_gemv_n_sub(vm, ncols, hs, ws);
             }
             return;
         }
-        let (t, bytes) = self.ctx.gemv_n_spec::<S>(v.n as usize, ncols);
+        let (t, bytes) = self
+            .ctx
+            .basis_gemv_n_spec::<S>(v.n as usize, ncols, v.ebytes as usize);
         let h_read = ArgSlice::<S> {
             buf: h.buf,
             off: h.off,
@@ -1329,7 +1373,7 @@ impl<'c> Stream<'c> {
         };
         self.record(
             if add { "gemv_n_add" } else { "gemv_n_sub" },
-            &[Span::whole(v.id), h_read.span()],
+            &[v.read_span(nc), h_read.span()],
             &[w.span()],
             Some((KernelClass::GemvN, t, bytes)),
             if add {
@@ -1682,15 +1726,22 @@ impl<'c> Stream<'c> {
             // SAFETY: registered borrows are live for the stream's lifetime.
             let (vm, hs, ys) = unsafe {
                 (
-                    self.arena().obj::<MultiVector<S>>(v.id),
+                    self.arena().obj::<BasisStore<S>>(v.id),
                     self.arena().slice::<S>(h.buf, h.off, h.len),
                     self.arena().slice_mut::<S>(y.buf, y.off, y.len),
                 )
             };
-            self.ctx.gemv_n_add(vm, ncols, hs, ys);
+            self.ctx.basis_gemv_n_add(vm, ncols, hs, ys);
             return;
         }
-        let (t, bytes) = self.ctx.gemv_n_spec::<S>(v.n as usize, ncols);
+        let (t, bytes) = self
+            .ctx
+            .basis_gemv_n_spec::<S>(v.n as usize, ncols, v.ebytes as usize);
+        // The read span stays whole-buffer on BOTH storage paths: the
+        // padded form exists to keep the barrier regions' shape
+        // independent of the per-lane update width, and an
+        // `ncols`-exact span would reintroduce that dependence for
+        // compressed bases. The charge still uses the true `ncols`.
         self.record(
             "gemv_n_add",
             &[Span::whole(v.id), h.span()],
@@ -1834,8 +1885,10 @@ impl<'c> Stream<'c> {
             self.eager_block_gemv(vs, ncols, h, w.id, BlockGemvKind::T);
             return;
         }
-        let (t, bytes) = self.ctx.gemm_t_spec::<S>(w.n as usize, ncols, k as usize);
-        let mut reads: Vec<Span> = self.basis_spans(vs);
+        let (t, bytes) =
+            self.ctx
+                .basis_gemm_t_spec::<S>(w.n as usize, ncols, k as usize, vs.ebytes as usize);
+        let mut reads: Vec<Span> = self.basis_spans(vs, nc);
         reads.push(Span::whole(w.id));
         self.record(
             "block_gemv_t",
@@ -1888,14 +1941,16 @@ impl<'c> Stream<'c> {
             self.eager_block_gemv(vs, ncols, hm, w.id, BlockGemvKind::NSub);
             return;
         }
-        let (t, bytes) = self.ctx.gemm_n_spec::<S>(w.n as usize, ncols, k as usize);
+        let (t, bytes) =
+            self.ctx
+                .basis_gemm_n_spec::<S>(w.n as usize, ncols, k as usize, vs.ebytes as usize);
         let h_read = ArgSlice::<S> {
             buf: h.buf,
             off: h.off,
             len: k * nc,
             _s: PhantomData,
         };
-        let mut reads: Vec<Span> = self.basis_spans(vs);
+        let mut reads: Vec<Span> = self.basis_spans(vs, nc);
         reads.push(h_read.span());
         self.record(
             "block_gemv_n_sub",
@@ -1955,11 +2010,21 @@ impl<'c> Stream<'c> {
         );
     }
 
-    fn basis_spans<S>(&self, vs: BasisList<S>) -> Vec<Span> {
+    /// Per-lane read spans of a basis list: whole-object for native
+    /// lanes (pre-refactor DAG shape), exact narrow element prefixes
+    /// for compressed ones (see [`BasisRef::read_span`]).
+    fn basis_spans<S: Scalar>(&self, vs: BasisList<S>, nc: u32) -> Vec<Span> {
+        let native = vs.ebytes as usize == std::mem::size_of::<S>();
         self.arena()
             .list(vs.start, vs.len)
             .iter()
-            .map(|&id| Span::whole(id))
+            .map(|&id| {
+                if native {
+                    Span::whole(id)
+                } else {
+                    Span::elems(id, 0, nc * vs.n, vs.ebytes as usize)
+                }
+            })
             .collect()
     }
 
@@ -1973,22 +2038,22 @@ impl<'c> Stream<'c> {
     ) {
         // SAFETY: registered borrows are live for the stream's lifetime.
         unsafe {
-            let bases: Vec<&MultiVector<S>> = self
+            let bases: Vec<&BasisStore<S>> = self
                 .arena()
                 .list(vs.start, vs.len)
                 .iter()
-                .map(|&id| self.arena().obj::<MultiVector<S>>(id))
+                .map(|&id| self.arena().obj::<BasisStore<S>>(id))
                 .collect();
             match kind {
                 BlockGemvKind::T => {
                     let wm = self.arena().obj::<MultiVec<S>>(w_id);
                     let hs = self.arena().slice_mut::<S>(h.buf, h.off, h.len);
-                    self.ctx.block_gemv_t(&bases, ncols, wm, hs);
+                    self.ctx.basis_block_gemv_t(&bases, ncols, wm, hs);
                 }
                 BlockGemvKind::NSub => {
                     let hs = self.arena().slice::<S>(h.buf, h.off, h.len);
                     let wm = self.arena().obj_mut::<MultiVec<S>>(w_id);
-                    self.ctx.block_gemv_n_sub(&bases, ncols, hs, wm);
+                    self.ctx.basis_block_gemv_n_sub(&bases, ncols, hs, wm);
                 }
             }
         }
@@ -2057,30 +2122,30 @@ fn exec_store_residual<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a
 fn exec_gemv_t<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
     // SAFETY: arena contract.
     unsafe {
-        let v: &MultiVector<S> = arena.obj(a.bufs[0]);
+        let v: &BasisStore<S> = arena.obj(a.bufs[0]);
         let w = arena.slice::<S>(a.bufs[1], a.offs[1], a.lens[1]);
         let h = arena.slice_mut::<S>(a.bufs[2], a.offs[2], a.lens[2]);
-        S::view(b).gemv_t(v, a.n0 as usize, w, h, a.order);
+        S::view(b).basis_gemv_t(v, a.n0 as usize, w, h, a.order);
     }
 }
 
 fn exec_gemv_n_sub<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
     // SAFETY: arena contract.
     unsafe {
-        let v: &MultiVector<S> = arena.obj(a.bufs[0]);
+        let v: &BasisStore<S> = arena.obj(a.bufs[0]);
         let h = arena.slice::<S>(a.bufs[1], a.offs[1], a.lens[1]);
         let w = arena.slice_mut::<S>(a.bufs[2], a.offs[2], a.lens[2]);
-        S::view(b).gemv_n_sub(v, a.n0 as usize, h, w);
+        S::view(b).basis_gemv_n_sub(v, a.n0 as usize, h, w);
     }
 }
 
 fn exec_gemv_n_add<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
     // SAFETY: arena contract.
     unsafe {
-        let v: &MultiVector<S> = arena.obj(a.bufs[0]);
+        let v: &BasisStore<S> = arena.obj(a.bufs[0]);
         let h = arena.slice::<S>(a.bufs[1], a.offs[1], a.lens[1]);
         let y = arena.slice_mut::<S>(a.bufs[2], a.offs[2], a.lens[2]);
-        S::view(b).gemv_n_add(v, a.n0 as usize, h, y);
+        S::view(b).basis_gemv_n_add(v, a.n0 as usize, h, y);
     }
 }
 
@@ -2353,28 +2418,28 @@ fn exec_store_spmm<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &O
 fn exec_block_gemv_t<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
     // SAFETY: arena contract.
     unsafe {
-        let vs: Vec<&MultiVector<S>> = arena
+        let vs: Vec<&BasisStore<S>> = arena
             .list(a.list[0], a.list[1])
             .iter()
-            .map(|&id| arena.obj::<MultiVector<S>>(id))
+            .map(|&id| arena.obj::<BasisStore<S>>(id))
             .collect();
         let w: &MultiVec<S> = arena.obj(a.bufs[0]);
         let h = arena.slice_mut::<S>(a.bufs[1], a.offs[1], a.lens[1]);
-        S::view(b).block_gemv_t(&vs, a.n0 as usize, w, h, a.order);
+        S::view(b).basis_block_gemv_t(&vs, a.n0 as usize, w, h, a.order);
     }
 }
 
 fn exec_block_gemv_n_sub<S: BackendScalar>(b: &dyn Backend, arena: &BufferArena, a: &OpArgs) {
     // SAFETY: arena contract; the write span covers all of w.
     unsafe {
-        let vs: Vec<&MultiVector<S>> = arena
+        let vs: Vec<&BasisStore<S>> = arena
             .list(a.list[0], a.list[1])
             .iter()
-            .map(|&id| arena.obj::<MultiVector<S>>(id))
+            .map(|&id| arena.obj::<BasisStore<S>>(id))
             .collect();
         let h = arena.slice::<S>(a.bufs[1], a.offs[1], a.lens[1]);
         let w: &mut MultiVec<S> = arena.obj_mut(a.bufs[0]);
-        S::view(b).block_gemv_n_sub(&vs, a.n0 as usize, h, w);
+        S::view(b).basis_block_gemv_n_sub(&vs, a.n0 as usize, h, w);
     }
 }
 

@@ -249,6 +249,87 @@ fn mixed_restart_lengths_split_groups_and_keep_parity() {
     }
 }
 
+/// Compressed-basis serving: the basis policy is part of the group key,
+/// so requests over different basis paths split into separate lane
+/// engines, and a lane *admitted into a vacated slot* inherits the
+/// group's basis allocation (reseed keeps the slot's store). The
+/// observable contract: every completed request — first occupants and
+/// reseeded successors alike — is bit-identical to an independent
+/// `Gmres` solve with the same config, compressed basis included. With
+/// more requests than lanes, later requests only ever run in reseeded
+/// slots, so a slot falling back to a native (or stale) basis store
+/// would break their bitwise parity against the compressed oracle.
+#[test]
+fn admitted_lanes_inherit_group_basis_policy() {
+    let n = 40;
+    let a = laplace1d(n);
+    let mut lcg = Lcg(0xba515);
+    let cfg_for = |basis: BasisPolicy| {
+        // Raised LoA factor: the compressed path refines the
+        // storage-precision implicit/explicit gap across restarts.
+        GmresConfig::default()
+            .with_m(10)
+            .with_rtol(1e-8)
+            .with_max_iters(2_000)
+            .with_loa_factor(1e8)
+            .with_basis(basis)
+    };
+    // 8 requests alternating native/fp32 basis over 2 lanes: each
+    // policy's group sees 4 requests through 2 lanes, so the back half
+    // is admitted exclusively via reseed into vacated slots.
+    let traffic: Vec<(Vec<f64>, BasisPolicy)> = (0..8)
+        .map(|i| {
+            let rhs: Vec<f64> = (0..n).map(|_| lcg.signed_unit()).collect();
+            let basis = if i % 2 == 0 {
+                BasisPolicy::Native
+            } else {
+                BasisPolicy::Compressed(Precision::Fp32)
+            };
+            (rhs, basis)
+        })
+        .collect();
+    let mut ctx = ctx_with(BackendKind::Reference, true);
+    let mut service = SolverService::new(ServiceConfig::default().with_lanes(2));
+    for (rhs, basis) in &traffic {
+        let req = SolveRequest::new(Operator::Matrix(&a), rhs).with_config(cfg_for(*basis));
+        service.submit(&mut ctx, &req).expect("valid request");
+    }
+    while service.pending() + service.in_flight() > 0 {
+        service.step(&mut ctx);
+    }
+    let mut outcomes = service.drain_outcomes();
+    outcomes.sort_by_key(|o| o.id.0);
+    assert_eq!(outcomes.len(), traffic.len());
+    let mut solo_ctx = ctx_with(BackendKind::Reference, true);
+    for out in &outcomes {
+        let (rhs, basis) = &traffic[out.id.0 as usize - 1];
+        assert_eq!(out.disposition, Disposition::Completed, "{}", out.id);
+        let mut x = vec![0.0f64; n];
+        let want = Gmres::new(&a, &Identity, cfg_for(*basis)).solve(&mut solo_ctx, rhs, &mut x);
+        let got = out.result.as_ref().expect("completed outcome has result");
+        assert!(
+            got.status.is_converged(),
+            "{} ({basis:?}): must converge, got {:?}",
+            out.id,
+            got.status
+        );
+        assert_eq!(got.status, want.status, "{} ({basis:?}): status", out.id);
+        assert_eq!(
+            got.iterations, want.iterations,
+            "{} ({basis:?}): iterations",
+            out.id
+        );
+        for (i, (sx, bx)) in x.iter().zip(&out.x).enumerate() {
+            assert_eq!(
+                sx.to_bits(),
+                bx.to_bits(),
+                "{} ({basis:?}): x[{i}] must be bit-identical",
+                out.id
+            );
+        }
+    }
+}
+
 #[test]
 fn admission_replay_allocates_no_nodes_once_warm() {
     let n = 40;

@@ -21,8 +21,8 @@ use mpgmres::precond::block_jacobi::BlockJacobi;
 use mpgmres::precond::{Identity, Preconditioner};
 use mpgmres::stream::region;
 use mpgmres::{
-    Backend, BlockGmres, Gmres, GmresConfig, GmresIr, GpuContext, GpuMatrix, IrConfig, MultiVec,
-    OrthoMethod, ParallelBackend, Precision, PrecisionTag, ReferenceBackend, RegionKey,
+    Backend, BasisPolicy, BlockGmres, Gmres, GmresConfig, GmresIr, GpuContext, GpuMatrix, IrConfig,
+    MultiVec, OrthoMethod, ParallelBackend, Precision, PrecisionTag, ReferenceBackend, RegionKey,
     SolveResult, StorePath,
 };
 use mpgmres_gpusim::{DeviceModel, PaperCategory};
@@ -834,6 +834,178 @@ fn ir_recorded_matches_eager_for_all_storage_paths() {
             assert_serial_reports_identical(&ctx_r, &ctx_e, &what);
         }
     }
+}
+
+/// Compressed-basis acceptance: an explicit `BasisPolicy::Native` must
+/// be indistinguishable from the default config — bit-identical
+/// solutions, histories, and serial accounting on both backends, with
+/// streaming on and off, for both `Gmres` and a pipelined `BlockGmres`.
+/// This pins the `BasisStore` refactor as a no-op at native width.
+#[test]
+fn native_basis_policy_matches_default_bitwise() {
+    let a = laplace2d_matrix(24);
+    let n = a.n();
+    let b = rhs(n, 53);
+    let base = GmresConfig::default().with_m(12).with_max_iters(2_000);
+    assert_eq!(base.basis, BasisPolicy::Native, "default basis is native");
+    for (name, backend) in backends() {
+        for streaming in [true, false] {
+            let what = format!("{name}/streaming={streaming}");
+            let run = |cfg: GmresConfig| {
+                let mut ctx = ctx_on(backend.clone(), streaming);
+                let mut x = vec![0.0f64; n];
+                let res = Gmres::new(&a, &Identity, cfg).solve(&mut ctx, &b, &mut x);
+                (ctx, x, res)
+            };
+            let (ctx_d, x_d, res_d) = run(base);
+            let (ctx_n, x_n, res_n) = run(base.with_basis(BasisPolicy::Native));
+            assert!(res_d.status.is_converged(), "{what}: converged");
+            assert_results_identical(&res_n, &res_d, &what);
+            for (xn, xd) in x_n.iter().zip(&x_d) {
+                assert_eq!(xn.to_bits(), xd.to_bits(), "{what}: solution");
+            }
+            assert_serial_reports_identical(&ctx_n, &ctx_d, &what);
+        }
+    }
+    // Pipelined block path: native basis must stay a no-op there too.
+    let bcfg = base.with_pipeline_depth(1);
+    let nrhs = 3;
+    let mut bb = MultiVec::<f64>::zeros(n, nrhs);
+    for l in 0..nrhs {
+        bb.col_mut(l).copy_from_slice(&rhs(n, 60 + l as u64));
+    }
+    let run_block = |cfg: GmresConfig| {
+        let mut ctx = ctx_on(Arc::new(ReferenceBackend), true);
+        let mut x = MultiVec::<f64>::zeros(n, nrhs);
+        let res = BlockGmres::new(&a, &Identity, cfg).solve(&mut ctx, &bb, &mut x);
+        (x, res)
+    };
+    let (x_d, res_d) = run_block(bcfg);
+    let (x_n, res_n) = run_block(bcfg.with_basis(BasisPolicy::Native));
+    for l in 0..nrhs {
+        assert_results_identical(&res_n[l], &res_d[l], &format!("pipelined lane {l}"));
+        for (xn, xd) in x_n.col(l).iter().zip(x_d.col(l)) {
+            assert_eq!(xn.to_bits(), xd.to_bits(), "pipelined lane {l} x");
+        }
+    }
+}
+
+/// Compressed-basis acceptance: switching the basis storage policy on a
+/// warm context must land on *distinct* cached graphs — the basis code
+/// is packed into the region tag, so fp32-basis regions cannot replay
+/// native graphs (or vice versa) — and the compressed path's own graphs
+/// replay warm with zero node allocation, bit-identically.
+#[test]
+fn basis_policy_switch_records_distinct_graphs() {
+    let a = laplace2d_matrix(24);
+    let n = a.n();
+    let b = rhs(n, 59);
+    let mut ctx = ctx_on(Arc::new(ReferenceBackend), true);
+    let solve = |ctx: &mut GpuContext, basis: BasisPolicy| {
+        // The compressed path holds the implicit/explicit gap at
+        // storage-precision level; the raised LoA factor lets restarts
+        // refine it away (Converged still means explicit <= rtol).
+        let cfg = GmresConfig::default()
+            .with_m(10)
+            .with_max_iters(2_000)
+            .with_loa_factor(1e8)
+            .with_basis(basis);
+        let mut x = vec![0.0f64; n];
+        let res = Gmres::new(&a, &Identity, cfg).solve(ctx, &b, &mut x);
+        assert!(res.status.is_converged(), "{basis:?}");
+        (x, res)
+    };
+    let _ = solve(&mut ctx, BasisPolicy::Native);
+    let after_native = ctx.stream_stats();
+    assert!(after_native.misses > 0, "cold native solve must record");
+    // Same shapes again: the native path replays its own graphs.
+    let _ = solve(&mut ctx, BasisPolicy::Native);
+    let warm_native = ctx.stream_stats();
+    assert_eq!(
+        warm_native.misses, after_native.misses,
+        "second native solve must replay"
+    );
+    // Compressed basis, identical shapes: the basis code in the region
+    // tag keys distinct graphs, so the solver records fresh regions.
+    let (x_c, res_c) = solve(&mut ctx, BasisPolicy::Compressed(Precision::Fp32));
+    let after_comp = ctx.stream_stats();
+    assert!(
+        after_comp.misses > warm_native.misses,
+        "fp32-basis solve must key distinct graphs ({} !> {})",
+        after_comp.misses,
+        warm_native.misses
+    );
+    // And the compressed regions replay warm: no re-derivation, zero
+    // graph-node allocation, bit-identical solve.
+    let (x_w, res_w) = solve(&mut ctx, BasisPolicy::Compressed(Precision::Fp32));
+    let warm_comp = ctx.stream_stats();
+    assert_eq!(
+        warm_comp.misses, after_comp.misses,
+        "second fp32-basis solve must replay"
+    );
+    assert_eq!(
+        warm_comp.nodes_allocated, after_comp.nodes_allocated,
+        "warm compressed-basis solve must allocate no graph nodes"
+    );
+    assert_results_identical(&res_w, &res_c, "warm fp32-basis");
+    for (xw, xc) in x_w.iter().zip(&x_c) {
+        assert_eq!(xw.to_bits(), xc.to_bits(), "warm fp32-basis x");
+    }
+}
+
+/// Compressed-basis acceptance (the ULP-side of the gate): an fp32
+/// basis is a storage-precision perturbation of the native solve, not a
+/// different algorithm. Both paths must converge to the fp64 tolerance,
+/// and over the first restart cycle — before roundoff has compounded
+/// across restarts — the recorded convergence history must track the
+/// native history at the storage precision's ULP scale.
+#[test]
+fn fp32_basis_history_tracks_native_at_storage_ulp_scale() {
+    let a = laplace2d_matrix(24);
+    let n = a.n();
+    let b = rhs(n, 61);
+    let m = 10;
+    let solve = |basis: BasisPolicy| {
+        let cfg = GmresConfig::default()
+            .with_m(m)
+            .with_max_iters(2_000)
+            .with_loa_factor(1e8)
+            .with_basis(basis);
+        let mut ctx = ctx_on(Arc::new(ReferenceBackend), true);
+        let mut x = vec![0.0f64; n];
+        let res = Gmres::new(&a, &Identity, cfg).solve(&mut ctx, &b, &mut x);
+        assert!(res.status.is_converged(), "{basis:?}");
+        res
+    };
+    let native = solve(BasisPolicy::Native);
+    let fp32 = solve(BasisPolicy::Compressed(Precision::Fp32));
+    // Storage-ULP budget per entry: the first demotion rounds at
+    // 2^-24; a cycle of CGS2 projections against the compressed basis
+    // amplifies that by a modest factor, nowhere near sqrt(eps32).
+    let ulp32 = (2f64).powi(-24);
+    let budget = 64.0 * ulp32;
+    let cycle = m.min(native.history.len()).min(fp32.history.len());
+    assert!(cycle > 3, "first cycle must record history");
+    for i in 0..cycle {
+        let (rn, rc) = (
+            native.history[i].relative_residual,
+            fp32.history[i].relative_residual,
+        );
+        let rel = (rc - rn).abs() / rn.max(f64::MIN_POSITIVE);
+        assert!(
+            rel <= budget,
+            "history[{i}]: fp32-basis residual {rc:e} deviates from native {rn:e} \
+             by {rel:e} (> {budget:e})"
+        );
+    }
+    // Across the whole solve the trajectories stay comparable: the
+    // compressed path may spend extra iterations, but not multiples.
+    assert!(
+        fp32.iterations <= native.iterations * 2,
+        "fp32 basis took {} iters vs native {}",
+        fp32.iterations,
+        native.iterations
+    );
 }
 
 /// Sequential reduction order (the fully bit-deterministic mode): the

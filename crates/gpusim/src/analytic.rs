@@ -94,6 +94,30 @@ pub fn store_spmv_traffic_bytes(
     stream + x
 }
 
+/// DRAM traffic in bytes for one GEMV pass over a Krylov basis stored
+/// at `elem_bytes` per element under working precision `work_p`: the
+/// `ncols` narrow basis columns stream once (`ncols * n * elem_bytes`),
+/// plus `vec_streams` working-precision vector streams (1 for
+/// GEMV-Trans — read `w`, coefficients return via host sync; 2 for
+/// GEMV-NoTrans — read + write `w`). This is the compressed-basis
+/// traffic model of Aliaga et al. (arXiv:2009.12101): arithmetic stays
+/// in `work_p`, only the basis *stream* shrinks.
+///
+/// Machine-independent (no device parameter): the basis perf gate
+/// checks the simulator's charged GEMV bytes against this form exactly,
+/// on any host. When `elem_bytes == work_p.bytes()` it reduces
+/// bit-for-bit to the native `(ncols + vec_streams) * n * bytes` GEMV
+/// model (pinned by a test below).
+pub fn basis_gemv_traffic_bytes(
+    n: usize,
+    ncols: usize,
+    elem_bytes: usize,
+    vec_streams: usize,
+    work_p: Precision,
+) -> usize {
+    ncols * n * elem_bytes + vec_streams * n * work_p.bytes()
+}
+
 /// Interconnect traffic in bytes for one halo exchange of a row-sharded
 /// SpMV/SpMM: `halo_elems` remote x-entries per right-hand-side column,
 /// `k` columns, `elem_bytes` per value. Machine-independent (no device
@@ -174,6 +198,34 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A native-width basis must price exactly like the plain GEMV
+    /// model, and the fp32/fp64 byte ratio on a wide basis must land
+    /// near the ~2x compressed-basis saving.
+    #[test]
+    fn basis_traffic_reduces_to_native_exactly() {
+        let (n, ncols) = (250_000usize, 26usize);
+        for p in [Precision::Fp16, Precision::Fp32, Precision::Fp64] {
+            assert_eq!(
+                basis_gemv_traffic_bytes(n, ncols, p.bytes(), 1, p),
+                (ncols + 1) * n * p.bytes(),
+                "native {p:?} basis must reduce to the plain GEMV-T model"
+            );
+            assert_eq!(
+                basis_gemv_traffic_bytes(n, ncols, p.bytes(), 2, p),
+                (ncols + 2) * n * p.bytes(),
+                "native {p:?} basis must reduce to the plain GEMV-N model"
+            );
+        }
+        let full = basis_gemv_traffic_bytes(n, ncols, 8, 1, Precision::Fp64);
+        let compressed = basis_gemv_traffic_bytes(n, ncols, 4, 1, Precision::Fp64);
+        let ratio = compressed as f64 / full as f64;
+        // (26*4 + 8) / (27*8) = 112/216: the column streams halve, the
+        // working-precision vector stream does not.
+        assert!((ratio - 112.0 / 216.0).abs() < 1e-12, "ratio {ratio}");
+        let half = basis_gemv_traffic_bytes(n, ncols, 2, 1, Precision::Fp64);
+        assert!(half < compressed);
     }
 
     /// The tentpole ratio: an fp32 value stream under an fp64 working

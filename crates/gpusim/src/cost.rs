@@ -141,6 +141,80 @@ pub fn gemv_n_time(dev: &DeviceModel, n: usize, ncols: usize, p: Precision) -> f
     dev.launch_overhead + bytes / (dev.dram_bw * dev.eff_gemv_n.get(p))
 }
 
+/// Time for `h = V_j^T w` over a basis stored at `elem_bytes` per
+/// element: the narrow columns stream once, `w` streams in the working
+/// precision, arithmetic (and the efficiency point) stays at `work_p`.
+/// Bit-identical to [`gemv_t_time`] when `elem_bytes ==
+/// work_p.bytes()` (pinned by a test below).
+pub fn basis_gemv_t_time(
+    dev: &DeviceModel,
+    n: usize,
+    ncols: usize,
+    elem_bytes: usize,
+    work_p: Precision,
+) -> f64 {
+    let bytes = analytic::basis_gemv_traffic_bytes(n, ncols, elem_bytes, 1, work_p) as f64;
+    dev.launch_overhead + dev.host_sync / 2.0 + bytes / (dev.dram_bw * dev.eff_gemv_t.get(work_p))
+}
+
+/// Time for `w -= V_j h` (or `x += V_j y`) over a stored basis (read
+/// narrow columns, read + write `w`). Bit-identical to [`gemv_n_time`]
+/// at native width.
+pub fn basis_gemv_n_time(
+    dev: &DeviceModel,
+    n: usize,
+    ncols: usize,
+    elem_bytes: usize,
+    work_p: Precision,
+) -> f64 {
+    let bytes = analytic::basis_gemv_traffic_bytes(n, ncols, elem_bytes, 2, work_p) as f64;
+    dev.launch_overhead + bytes / (dev.dram_bw * dev.eff_gemv_n.get(work_p))
+}
+
+/// Batched GEMV-Trans over `k` stored bases (one per right-hand side):
+/// `k` times the single-basis traffic, one launch + sync. Bit-identical
+/// to [`gemm_t_time`] at native width.
+pub fn basis_gemm_t_time(
+    dev: &DeviceModel,
+    n: usize,
+    ncols: usize,
+    k: usize,
+    elem_bytes: usize,
+    work_p: Precision,
+) -> f64 {
+    let bytes = (k * analytic::basis_gemv_traffic_bytes(n, ncols, elem_bytes, 1, work_p)) as f64;
+    dev.launch_overhead + dev.host_sync / 2.0 + bytes / (dev.dram_bw * dev.eff_gemv_t.get(work_p))
+}
+
+/// Batched GEMV-NoTrans over `k` stored bases. Bit-identical to
+/// [`gemm_n_time`] at native width.
+pub fn basis_gemm_n_time(
+    dev: &DeviceModel,
+    n: usize,
+    ncols: usize,
+    k: usize,
+    elem_bytes: usize,
+    work_p: Precision,
+) -> f64 {
+    let bytes = (k * analytic::basis_gemv_traffic_bytes(n, ncols, elem_bytes, 2, work_p)) as f64;
+    dev.launch_overhead + bytes / (dev.dram_bw * dev.eff_gemv_n.get(work_p))
+}
+
+/// Time for `k` fused basis extensions `col = alpha * src`: read the
+/// working-precision sources, write the stored columns at `elem_bytes`
+/// per element (the demotion is fused into the store). Bit-identical to
+/// [`block_scal_time`] at native width.
+pub fn basis_scal_copy_time(
+    dev: &DeviceModel,
+    n: usize,
+    k: usize,
+    elem_bytes: usize,
+    work_p: Precision,
+) -> f64 {
+    let bytes = (k * n * (work_p.bytes() + elem_bytes)) as f64;
+    dev.launch_overhead + bytes / (dev.dram_bw * dev.eff_vec.get(work_p))
+}
+
 /// Time for the batched GEMV-Trans (a tall-skinny GEMM): `k` independent
 /// `h_c = V_c^T w_c` projections fused into one launch with one host
 /// synchronization. Each right-hand side keeps its own Krylov basis, so
@@ -395,6 +469,44 @@ mod tests {
                 scal_time(&d, N, p).to_bits()
             );
         }
+    }
+
+    /// A native-width basis must cost bit-for-bit what the plain GEMV
+    /// kernels cost — the basis storage path is free when nothing is
+    /// demoted (the twin of `store_costs_reduce_to_uniform_exactly`).
+    #[test]
+    fn basis_costs_reduce_to_native_exactly() {
+        let d = v100();
+        for p in [Precision::Fp16, Precision::Fp32, Precision::Fp64] {
+            let e = p.bytes();
+            assert_eq!(
+                basis_gemv_t_time(&d, N, 26, e, p).to_bits(),
+                gemv_t_time(&d, N, 26, p).to_bits()
+            );
+            assert_eq!(
+                basis_gemv_n_time(&d, N, 26, e, p).to_bits(),
+                gemv_n_time(&d, N, 26, p).to_bits()
+            );
+            for k in [1usize, 2, 4] {
+                assert_eq!(
+                    basis_gemm_t_time(&d, N, 26, k, e, p).to_bits(),
+                    gemm_t_time(&d, N, 26, k, p).to_bits()
+                );
+                assert_eq!(
+                    basis_gemm_n_time(&d, N, 26, k, e, p).to_bits(),
+                    gemm_n_time(&d, N, 26, k, p).to_bits()
+                );
+                assert_eq!(
+                    basis_scal_copy_time(&d, N, k, e, p).to_bits(),
+                    block_scal_time(&d, N, k, p).to_bits()
+                );
+            }
+        }
+        // And the compressed path is strictly cheaper, monotone in width.
+        let full = basis_gemv_t_time(&d, N, 26, 8, Precision::Fp64);
+        let f32t = basis_gemv_t_time(&d, N, 26, 4, Precision::Fp64);
+        let f16t = basis_gemv_t_time(&d, N, 26, 2, Precision::Fp64);
+        assert!(f16t < f32t && f32t < full);
     }
 
     /// SpMM amortizes the matrix read: per-RHS time at k = 4 must be

@@ -18,6 +18,12 @@
 //!   parallel kernels skip the per-call thread spawn.
 //! - [`multivector`] — column-major tall-skinny matrix `V` of Krylov basis
 //!   vectors plus the two GEMV kernels CGS2 needs.
+//! - [`basis`] — [`basis::BasisStore`], the basis *storage* policy: native
+//!   working-precision columns, or columns demoted to fp32/fp16 and
+//!   promoted on read with all arithmetic in `S` (Aliaga et al.'s
+//!   compressed-basis GMRES), mirroring [`store`] for matrix values.
+//! - [`colmajor`] — the column-view/arena-registration helpers shared by
+//!   [`multivector`], [`multivec`], and [`basis`].
 //! - [`csr`] — compressed sparse row matrices and SpMV.
 //! - [`coo`] — coordinate-format builder that deduplicates and sorts.
 //! - [`dense`] — small column-major dense matrices, LU with partial
@@ -34,6 +40,8 @@
 //! - [`mtx`] — MatrixMarket coordinate IO.
 //! - [`stats`] — structural matrix statistics (bandwidth, nnz/row).
 
+pub mod basis;
+pub(crate) mod colmajor;
 pub mod coo;
 pub mod csr;
 pub mod dense;
@@ -52,6 +60,7 @@ pub mod stats;
 pub mod store;
 pub mod vec_ops;
 
+pub use basis::BasisStore;
 pub use coo::Coo;
 pub use csr::Csr;
 pub use dense::DenseMat;

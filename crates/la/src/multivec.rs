@@ -66,38 +66,12 @@ impl<S: Scalar> MultiVec<S> {
         self.k
     }
 
-    /// Borrow column `j`.
-    #[inline]
-    pub fn col(&self, j: usize) -> &[S] {
-        debug_assert!(j < self.k);
-        &self.data[j * self.n..(j + 1) * self.n]
-    }
-
-    /// Mutably borrow column `j`.
-    #[inline]
-    pub fn col_mut(&mut self, j: usize) -> &mut [S] {
-        debug_assert!(j < self.k);
-        &mut self.data[j * self.n..(j + 1) * self.n]
-    }
+    crate::colmajor::colmajor_views!(S, k);
 
     /// The whole column-major backing store.
     #[inline]
     pub fn data(&self) -> &[S] {
         &self.data
-    }
-
-    /// Raw `(object, element-data, element-count)` pointers for the
-    /// recorded-stream buffer arena. The data pointer is derived
-    /// *through* the object pointer — not by a second reborrow of
-    /// `self` — so both share one provenance chain and registering a
-    /// block never invalidates either pointer (the arena stores them
-    /// for the lifetime of the recording region's borrow).
-    pub fn arena_parts(&mut self) -> (*mut Self, *mut S, usize) {
-        let obj: *mut Self = self;
-        // SAFETY: `obj` was just derived from a live `&mut self`;
-        // materializing the interior data pointer and length through it
-        // keeps the derivation chain obj -> data intact.
-        unsafe { (obj, (*obj).data.as_mut_ptr(), (*obj).data.len()) }
     }
 
     /// Mutably borrow the leading `k` columns as separate slices (for

@@ -46,33 +46,7 @@ impl<S: Scalar> MultiVector<S> {
         self.max_cols
     }
 
-    /// Borrow column `j`.
-    #[inline]
-    pub fn col(&self, j: usize) -> &[S] {
-        debug_assert!(j < self.max_cols);
-        &self.data[j * self.n..(j + 1) * self.n]
-    }
-
-    /// Mutably borrow column `j`.
-    #[inline]
-    pub fn col_mut(&mut self, j: usize) -> &mut [S] {
-        debug_assert!(j < self.max_cols);
-        &mut self.data[j * self.n..(j + 1) * self.n]
-    }
-
-    /// Raw `(object, element-data, element-count)` pointers for the
-    /// recorded-stream buffer arena. The data pointer is derived
-    /// *through* the object pointer — not by a second reborrow of
-    /// `self` — so both share one provenance chain and registering a
-    /// basis never invalidates either pointer (the arena stores them
-    /// for the lifetime of the recording region's borrow).
-    pub fn arena_parts(&mut self) -> (*mut Self, *mut S, usize) {
-        let obj: *mut Self = self;
-        // SAFETY: `obj` was just derived from a live `&mut self`;
-        // materializing the interior data pointer and length through it
-        // keeps the derivation chain obj -> data intact.
-        unsafe { (obj, (*obj).data.as_mut_ptr(), (*obj).data.len()) }
-    }
+    crate::colmajor::colmajor_views!(S, max_cols);
 
     /// Borrow two distinct columns, the second mutably.
     ///

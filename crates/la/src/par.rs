@@ -33,6 +33,7 @@
 
 use mpgmres_scalar::Scalar;
 
+use crate::basis::BasisStore;
 use crate::csr::Csr;
 use crate::multivec::MultiVec;
 use crate::multivector::MultiVector;
@@ -707,6 +708,81 @@ pub fn gemv_n_add_on<S: Scalar>(
                 *yr = hi.mul_add(cr, *yr);
             }
         }
+    });
+}
+
+/// `h[i] = widen(col_i) . w` over the first `ncols` columns of a
+/// [`BasisStore`], columns partitioned across threads — [`gemv_t_on`]
+/// generalized to the basis storage policy.
+///
+/// Per-column dots go through [`BasisStore::col_dot`], which is the
+/// exact kernel the sequential [`BasisStore::gemv_t`] runs per column,
+/// so results are bit-identical to the reference on every storage path
+/// (on [`BasisStore::Native`] this *is* [`gemv_t_on`]'s computation).
+pub fn basis_gemv_t_on<S: Scalar>(
+    exec: &dyn Executor,
+    v: &BasisStore<S>,
+    ncols: usize,
+    w: &[S],
+    h: &mut [S],
+    order: ReductionOrder,
+) {
+    assert!(ncols <= v.max_cols(), "basis_gemv_t: too many columns");
+    assert_eq!(w.len(), v.n(), "basis_gemv_t: vector length mismatch");
+    assert!(h.len() >= ncols, "basis_gemv_t: output too short");
+    if v.n() < PAR_THRESHOLD || ncols <= 1 || exec.width() <= 1 {
+        v.gemv_t(ncols, w, h, order);
+        return;
+    }
+    for_each_chunk_mut_on(exec, &mut h[..ncols], |start, chunk| {
+        for (i, hi) in chunk.iter_mut().enumerate() {
+            *hi = v.col_dot(start + i, w, order);
+        }
+    });
+}
+
+/// `w -= widen(V[:, ..ncols]) h` over a [`BasisStore`], rows partitioned
+/// across threads. Each row range accumulates columns in the reference
+/// order via the shared row-range kernel, so results are bit-identical
+/// to [`BasisStore::gemv_n_sub`] on every storage path.
+pub fn basis_gemv_n_sub_on<S: Scalar>(
+    exec: &dyn Executor,
+    v: &BasisStore<S>,
+    ncols: usize,
+    h: &[S],
+    w: &mut [S],
+) {
+    assert!(ncols <= v.max_cols(), "basis_gemv_n_sub: too many columns");
+    assert_eq!(w.len(), v.n(), "basis_gemv_n_sub: vector length mismatch");
+    assert!(h.len() >= ncols, "basis_gemv_n_sub: coefficients too short");
+    if v.n() < PAR_THRESHOLD || exec.width() <= 1 {
+        v.gemv_n_sub(ncols, h, w);
+        return;
+    }
+    for_each_chunk_mut_on(exec, w, |start, chunk| {
+        v.gemv_n_rows(ncols, h, start, chunk, false);
+    });
+}
+
+/// `y += widen(V[:, ..ncols]) h` over a [`BasisStore`], rows partitioned
+/// across threads. Bit-identical to [`BasisStore::gemv_n_add`] on every
+/// storage path.
+pub fn basis_gemv_n_add_on<S: Scalar>(
+    exec: &dyn Executor,
+    v: &BasisStore<S>,
+    ncols: usize,
+    h: &[S],
+    y: &mut [S],
+) {
+    assert!(ncols <= v.max_cols(), "basis_gemv_n_add: too many columns");
+    assert_eq!(y.len(), v.n(), "basis_gemv_n_add: vector length mismatch");
+    assert!(h.len() >= ncols, "basis_gemv_n_add: coefficients too short");
+    if v.n() < PAR_THRESHOLD || exec.width() <= 1 {
+        v.gemv_n_add(ncols, h, y);
+        return;
+    }
+    for_each_chunk_mut_on(exec, y, |start, chunk| {
+        v.gemv_n_rows(ncols, h, start, chunk, true);
     });
 }
 
