@@ -19,7 +19,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mpgmres::prelude::*;
-use mpgmres_bench::experiments::serving::{drive, measure, traffic, LoadPoint};
+use mpgmres_bench::experiments::serving::{
+    drive, drive_with, measure, quantile, traffic, DriveOpts, LoadPoint,
+};
 use mpgmres_bench::output;
 use mpgmres_matgen::galeri;
 use serde::Serialize;
@@ -40,6 +42,28 @@ struct GateRecord {
     serving_warm_payload_allocs_delta: f64,
     /// Every completed solve bit-identical to an independent `Gmres`.
     serving_parity_ok: bool,
+    /// Deadline misses under EDF at subcritical load (must be 0).
+    serving_qos_subcritical_deadline_misses: f64,
+    /// p99 end-to-end latency at the gate load, FIFO baseline.
+    serving_qos_fifo_p99_seconds: f64,
+    /// p99 at the gate load under EDF + precision-ladder degradation.
+    serving_qos_edf_p99_seconds: f64,
+    /// EDF + degradation beats the FIFO p99 at the gate load.
+    serving_qos_p99_improved: bool,
+    /// Requests re-routed down the precision ladder at the gate load.
+    serving_qos_degradations: f64,
+    /// Every degraded completion still met its fp64 tolerance.
+    serving_qos_degraded_converged: bool,
+    /// Largest per-tenant lane-cycle share under fair-share with two
+    /// symmetric tenants (bounded near an even split).
+    serving_qos_fairshare_max_share: f64,
+    /// Replay hit-rate of the warm QoS (EDF + degradation) rerun.
+    serving_qos_replay_hit_rate: f64,
+    /// Graph nodes allocated during the warm QoS rerun (must be 0).
+    serving_qos_warm_nodes_delta: f64,
+    /// Payload buffers allocated across warm submit-then-cancel waves
+    /// (must be 0: queued cancellation returns carriers to the pool).
+    serving_qos_cancel_wave_allocs_delta: f64,
 }
 
 #[derive(Serialize)]
@@ -166,6 +190,182 @@ fn summary(_c: &mut Criterion) {
          {payload_allocs_delta} allocated across warm waves"
     );
 
+    // ---- QoS scheduling scenarios ---------------------------------
+    // One solo solve calibrates the simulated solve time so deadlines
+    // scale with the cost model instead of hard-coding seconds.
+    let solo_secs = {
+        let mut c = GpuContext::new(dev.clone());
+        Gmres::serve(
+            &mut c,
+            &SolveRequest::new(Operator::Matrix(&a), &rhs[0]).with_config(cfg),
+        )
+        .expect("solo serve")
+        .solve_seconds
+    };
+    // Generous-but-scrambled deadlines: EDF ordering is well defined,
+    // yet nothing can miss even queued behind the whole stream.
+    let generous = move |i: usize| solo_secs * 200.0 * (1.0 + ((i * 13) % 7) as f64);
+
+    // EDF at subcritical load: zero deadline misses, CI-gated.
+    let mut sub_ctx = GpuContext::new(dev.clone());
+    let sub = drive_with(
+        &mut sub_ctx,
+        &a,
+        cfg,
+        lanes,
+        &rhs,
+        0.25,
+        &DriveOpts {
+            scheduler: Some(SchedulerPolicy::EarliestDeadlineFirst),
+            deadline: Some(&generous),
+            ..DriveOpts::default()
+        },
+    );
+    assert_eq!(sub.outcomes.len(), requests);
+    let qos_sub_misses = sub.stats.deadline_misses as f64;
+    assert_eq!(
+        qos_sub_misses, 0.0,
+        "EDF must not miss deadlines at subcritical load"
+    );
+    println!(
+        "  qos subcritical (EDF, load 0.25): {} completed, {} deadline misses",
+        sub.stats.completed, sub.stats.deadline_misses
+    );
+
+    // Overload relief: at the gate load, EDF + precision-ladder
+    // degradation (fp32 shadow store) must improve p99 over the FIFO
+    // baseline measured above — the ladder adds capacity, EDF keeps
+    // the most urgent work in front.
+    let store = GpuStore::shadow_of(&a, Precision::Fp32);
+    let mut qos_ctx = GpuContext::new(dev.clone());
+    let qos_opts = DriveOpts {
+        scheduler: Some(SchedulerPolicy::EarliestDeadlineFirst),
+        degrade_after_cycles: 4,
+        deadline: Some(&generous),
+        degradable: true,
+        store: Some(&store),
+        ..DriveOpts::default()
+    };
+    let qos_run = drive_with(&mut qos_ctx, &a, cfg, lanes, &rhs, gate_load, &qos_opts);
+    assert_eq!(qos_run.outcomes.len(), requests);
+    assert_eq!(qos_run.stats.deadline_misses, 0, "generous deadlines");
+    let mut qos_lat: Vec<f64> = qos_run
+        .outcomes
+        .iter()
+        .filter(|o| o.disposition == Disposition::Completed)
+        .map(|o| o.queued_seconds + o.solve_seconds)
+        .collect();
+    qos_lat.sort_by(f64::total_cmp);
+    let qos_p99 = quantile(&qos_lat, 0.99);
+    let fifo_p99 = points.last().expect("gate point").p99_latency_seconds;
+    let degradations = qos_run.stats.degradations as f64;
+    let degraded_converged = qos_run
+        .outcomes
+        .iter()
+        .filter(|o| o.disposition == Disposition::Completed)
+        .all(|o| {
+            o.result
+                .as_ref()
+                .is_some_and(|r| r.final_relative_residual <= cfg.rtol)
+        });
+    println!(
+        "  qos overload (EDF+degradation, load {gate_load:.1}): p99 {:.3}ms vs FIFO {:.3}ms, \
+         {degradations} degradations, degraded converged: {degraded_converged}",
+        qos_p99 * 1e3,
+        fifo_p99 * 1e3,
+    );
+    assert!(
+        degradations > 0.0,
+        "overload must push requests down the ladder"
+    );
+    assert!(degraded_converged, "degraded solves must meet fp64 rtol");
+
+    // Warm QoS replay: the same scenario rerun in the warmed context
+    // must serve every graph (both rungs included) from the cache.
+    let qos_warm = qos_ctx.stream_stats();
+    let qos_rerun = drive_with(&mut qos_ctx, &a, cfg, lanes, &rhs, gate_load, &qos_opts);
+    assert_eq!(qos_rerun.outcomes.len(), requests);
+    let qos_after = qos_ctx.stream_stats();
+    let qhits = (qos_after.hits - qos_warm.hits) as f64;
+    let qmisses = (qos_after.misses - qos_warm.misses) as f64;
+    let qos_hit_rate = qhits / (qhits + qmisses).max(1.0);
+    let qos_nodes_delta = (qos_after.nodes_allocated - qos_warm.nodes_allocated) as f64;
+    println!(
+        "  qos warm rerun: {qhits} hits, {qmisses} misses (rate {qos_hit_rate:.4}), \
+         {qos_nodes_delta} graph nodes allocated"
+    );
+
+    // Fair share with two symmetric tenants: lane-cycle shares must
+    // stay near an even split.
+    let tenant_of = |i: usize| (i % 2) as u32;
+    let mut fair_ctx = GpuContext::new(dev.clone());
+    let fair = drive_with(
+        &mut fair_ctx,
+        &a,
+        cfg,
+        lanes,
+        &rhs,
+        1.0,
+        &DriveOpts {
+            scheduler: Some(SchedulerPolicy::TenantFairShare),
+            tenant: Some(&tenant_of),
+            ..DriveOpts::default()
+        },
+    );
+    assert_eq!(fair.outcomes.len(), requests);
+    let fair_max_share = fair
+        .tenant_shares
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(0.0, f64::max);
+    println!(
+        "  qos fair-share (2 tenants): shares {:?}, max {fair_max_share:.3}",
+        fair.tenant_shares
+    );
+
+    // Submit-then-cancel waves on a warm service: queued cancellation
+    // must return the pooled rhs/x0 carriers immediately, so the wave
+    // allocates nothing.
+    let mut cancel_ctx = GpuContext::new(dev.clone());
+    let mut csvc = SolverService::new(ServiceConfig::default().with_lanes(lanes));
+    let mut csink = Vec::new();
+    for b in rhs.iter().take(wave_len) {
+        let req = SolveRequest::new(Operator::Matrix(&a), b).with_config(cfg);
+        csvc.submit(&cancel_ctx, &req).expect("warm wave request");
+    }
+    csvc.run_until_idle(&mut cancel_ctx);
+    csvc.drain_outcomes_into(&mut csink);
+    for out in csink.drain(..) {
+        csvc.recycle(out);
+    }
+    let cancel_warm_allocs = csvc.stats().payload_allocs;
+    for _ in 0..3usize {
+        let ids: Vec<RequestId> = rhs
+            .iter()
+            .take(wave_len)
+            .map(|b| {
+                let req = SolveRequest::new(Operator::Matrix(&a), b).with_config(cfg);
+                csvc.submit(&cancel_ctx, &req).expect("cancel wave request")
+            })
+            .collect();
+        for id in ids {
+            csvc.cancel(&cancel_ctx, id).expect("queued cancel");
+        }
+        csvc.drain_outcomes_into(&mut csink);
+        for out in csink.drain(..) {
+            csvc.recycle(out);
+        }
+    }
+    let cancel_allocs_delta = (csvc.stats().payload_allocs - cancel_warm_allocs) as f64;
+    assert_eq!(
+        cancel_allocs_delta, 0.0,
+        "submit-then-cancel waves must ride the pool"
+    );
+    println!(
+        "  qos cancel waves: {cancel_warm_allocs} pooled carriers after warm wave, \
+         {cancel_allocs_delta} allocated across cancel waves"
+    );
+
     let gp = points.last().expect("gate point");
     let gate = GateRecord {
         gate_offered_load: gate_load,
@@ -176,6 +376,16 @@ fn summary(_c: &mut Criterion) {
         serving_warm_nodes_delta: nodes_delta,
         serving_warm_payload_allocs_delta: payload_allocs_delta,
         serving_parity_ok: parity_ok,
+        serving_qos_subcritical_deadline_misses: qos_sub_misses,
+        serving_qos_fifo_p99_seconds: fifo_p99,
+        serving_qos_edf_p99_seconds: qos_p99,
+        serving_qos_p99_improved: qos_p99 < fifo_p99,
+        serving_qos_degradations: degradations,
+        serving_qos_degraded_converged: degraded_converged,
+        serving_qos_fairshare_max_share: fair_max_share,
+        serving_qos_replay_hit_rate: qos_hit_rate,
+        serving_qos_warm_nodes_delta: qos_nodes_delta,
+        serving_qos_cancel_wave_allocs_delta: cancel_allocs_delta,
     };
     let artifact = ServingArtifact {
         problem: format!("laplace2d({side}x{side})"),

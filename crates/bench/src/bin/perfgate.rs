@@ -32,6 +32,13 @@
 //!   basis byte ratio must not regress against the committed baseline,
 //!   every basis path must converge end to end, and the native-basis
 //!   solve must stay bit-identical to a plain solve;
+//! - the QoS admission scheduler must meet its contracts: zero deadline
+//!   misses under EDF at the pinned subcritical load, EDF + precision-
+//!   ladder degradation improving p99 over FIFO at the overload point
+//!   with every degraded solve still converged to its fp64 tolerance,
+//!   fair-share tenant occupancy bounded near the even split, the warm
+//!   QoS rerun replaying with zero new graph nodes, and submit-then-
+//!   cancel waves allocating no payload buffers;
 //! - the deterministic precision byte ratio must not regress against
 //!   the **committed baseline** `results/BENCH_ci.json` (the per-SHA
 //!   snapshot checked into the repo); the wall-clock-dependent gate
@@ -45,7 +52,7 @@
 //! become one machine-readable, diffable file.
 //!
 //! Set `MPGMRES_PERF_INJECT_REGRESSION=overlap` (or `replay`, or
-//! `precision`, or `serving`, or `sharding`, or `basis`) to
+//! `precision`, or `serving`, or `sharding`, or `basis`, or `qos`) to
 //! deliberately corrupt the gated value before checking: CI runs this
 //! as an expected-failure step, proving the gate actually fires. The
 //! injected run writes `BENCH_ci_injected.json` so it can never
@@ -276,7 +283,44 @@ fn main() {
         ),
     };
 
-    // --- gate 8 + report: diff against the committed baseline ---------
+    // --- gate 8: QoS admission scheduling ----------------------------
+    let mut qos_misses = extract_number(&serving, "serving_qos_subcritical_deadline_misses")
+        .expect("serving.json qos deadline misses");
+    let qos_p99_improved = extract_bool(&serving, "serving_qos_p99_improved").unwrap_or(false);
+    let qos_degraded_converged =
+        extract_bool(&serving, "serving_qos_degraded_converged").unwrap_or(false);
+    let qos_fair_share = extract_number(&serving, "serving_qos_fairshare_max_share")
+        .expect("serving.json fair-share max share");
+    let qos_hit_rate = extract_number(&serving, "serving_qos_replay_hit_rate")
+        .expect("serving.json qos replay hit rate");
+    let qos_nodes = extract_number(&serving, "serving_qos_warm_nodes_delta")
+        .expect("serving.json qos warm nodes delta");
+    let qos_cancel_allocs = extract_number(&serving, "serving_qos_cancel_wave_allocs_delta")
+        .expect("serving.json cancel wave allocs delta");
+    if inject == "qos" {
+        println!("perfgate: INJECTING qos deadline-miss regression (misses = 7)");
+        qos_misses = 7.0;
+    }
+    // Two symmetric tenants: a fair scheduler keeps the larger share
+    // near 0.5; 0.65 leaves room for end-of-stream drain effects.
+    let g8 = Gate {
+        name: "serving_qos_scheduling",
+        ok: qos_misses == 0.0
+            && qos_p99_improved
+            && qos_degraded_converged
+            && qos_fair_share <= 0.65
+            && qos_hit_rate >= 0.99
+            && qos_nodes == 0.0
+            && qos_cancel_allocs == 0.0,
+        detail: format!(
+            "subcritical deadline misses {qos_misses}, p99 improved {qos_p99_improved}, \
+             degraded converged {qos_degraded_converged}, fair-share max {qos_fair_share:.4}, \
+             warm hit rate {qos_hit_rate:.6}, warm nodes delta {qos_nodes}, \
+             cancel wave allocs {qos_cancel_allocs}"
+        ),
+    };
+
+    // --- gate 9 + report: diff against the committed baseline ---------
     // Only the precision byte ratio is deterministic across machines
     // (pure analytic model), so only it hard-gates; the wall-clock and
     // overlap numbers are diffed for the log and the artifact.
@@ -294,6 +338,10 @@ fn main() {
         "sharding_overlap_ratio",
         "sharding_replay_hit_rate",
         "basis_fp32_fp64_byte_ratio",
+        "serving_qos_fifo_p99_seconds",
+        "serving_qos_edf_p99_seconds",
+        "serving_qos_replay_hit_rate",
+        "serving_qos_fairshare_max_share",
     ];
     // Same artifact order as the combined file, so a key present in
     // several documents resolves identically in baseline and current.
@@ -335,7 +383,7 @@ fn main() {
     } else {
         println!("perfgate: no committed baseline BENCH_ci.json — skipping the diff");
     }
-    let g8 = match &baseline {
+    let g9 = match &baseline {
         Some(base) => match extract_number(base, "fp32_fp64_spmm_byte_ratio") {
             Some(b) => Gate {
                 name: "precision_ratio_vs_baseline",
@@ -355,7 +403,7 @@ fn main() {
         },
     };
 
-    let gates = [g1, g2, g3, g4, g5, g6, g7, g8];
+    let gates = [g1, g2, g3, g4, g5, g6, g7, g8, g9];
     let mut ok = true;
     for g in &gates {
         println!(
@@ -380,7 +428,7 @@ fn main() {
         })
         .collect();
     let combined = format!(
-        "{{\n  \"schema\": 5,\n  \"git_sha\": \"{}\",\n  \"baseline_git_sha\": \"{}\",\n  \"gates\": [\n{}\n  ],\n  \"baseline_deltas\": [\n{}\n  ],\n  \"stream\": {},\n  \"multirhs\": {},\n  \"pipeline\": {},\n  \"precision\": {},\n  \"serving\": {},\n  \"sharding\": {},\n  \"basis\": {}\n}}\n",
+        "{{\n  \"schema\": 6,\n  \"git_sha\": \"{}\",\n  \"baseline_git_sha\": \"{}\",\n  \"gates\": [\n{}\n  ],\n  \"baseline_deltas\": [\n{}\n  ],\n  \"stream\": {},\n  \"multirhs\": {},\n  \"pipeline\": {},\n  \"precision\": {},\n  \"serving\": {},\n  \"sharding\": {},\n  \"basis\": {}\n}}\n",
         git_sha(),
         baseline_sha,
         gates_json.join(",\n"),

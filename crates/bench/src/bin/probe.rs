@@ -18,7 +18,8 @@
 
 use mpgmres::precond::{poly::PolyPreconditioner, Identity};
 use mpgmres::{
-    BackendKind, BasisPolicy, BlockGmres, Gmres, GmresConfig, IrConfig, MultiVec, StorePath,
+    BackendKind, BasisPolicy, BlockGmres, Gmres, GmresConfig, IrConfig, MultiVec, Operator,
+    SolveRequest, Solver, StorePath,
 };
 use mpgmres_bench::harness::{parse_basis, parse_store_path, Bench};
 use mpgmres_matgen::registry::PaperProblem;
@@ -247,11 +248,16 @@ fn main() {
 fn probe_multirhs(bench: &Bench, cfg: GmresConfig, k: usize) {
     let n = bench.a.n();
     let cols = mpgmres_bench::experiments::multirhs::rhs_columns(n, k);
-    // Reference: one single-RHS solve of column 0.
+    // Reference: one single-RHS solve of column 0, through the unified
+    // request surface every driver now serves.
     let mut ctx1 = bench.ctx();
-    let mut x1 = vec![0.0f64; n];
     let t0 = std::time::Instant::now();
-    let r1 = Gmres::new(&bench.a, &Identity, cfg).solve(&mut ctx1, &cols[0], &mut x1);
+    let out1 = Gmres::serve(
+        &mut ctx1,
+        &SolveRequest::new(Operator::Matrix(&bench.a), &cols[0]).with_config(cfg),
+    )
+    .expect("well-formed probe request");
+    let r1 = out1.result.expect("completed probe solve");
     let single_sim = ctx1.elapsed();
     let single_wall = t0.elapsed().as_secs_f64();
     // The block solve.

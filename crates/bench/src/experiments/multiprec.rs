@@ -8,8 +8,7 @@
 //!
 //! Writes `results/multiprec.{json,txt}`.
 
-use mpgmres::precond::Identity;
-use mpgmres::{GmresIr, IrConfig, Precision, StorePath};
+use mpgmres::{GmresConfig, GmresIr, Operator, Precision, SolveRequest, Solver, StorePath};
 use mpgmres_gpusim::PaperCategory;
 use mpgmres_matgen::galeri;
 use serde::Serialize;
@@ -72,13 +71,18 @@ pub fn run(opts: &ExpOpts) {
     let mut native_sim = 0.0f64;
     for path in paths {
         let mut ctx = bench.ctx();
-        let mut x = vec![0.0f64; n];
-        let cfg = IrConfig::default()
-            .with_m(m)
-            .with_max_iters(60_000)
-            .with_store(path);
-        let res =
-            GmresIr::<f64, f64>::new(&bench.a, &Identity, cfg).solve(&mut ctx, &bench.b, &mut x);
+        // Through the unified request surface: the request's `store`
+        // field selects the inner-operand storage path, exactly as the
+        // old direct `IrConfig` construction did.
+        let cfg = GmresConfig::default().with_m(m).with_max_iters(60_000);
+        let out = GmresIr::<f64, f64>::serve(
+            &mut ctx,
+            &SolveRequest::new(Operator::Matrix(&bench.a), &bench.b)
+                .with_config(cfg)
+                .with_store(path),
+        )
+        .expect("well-formed IR request");
+        let res = out.result.expect("completed IR solve");
         let sim = ctx.elapsed();
         let spmv = ctx.report().seconds(PaperCategory::SpMV);
         if path == StorePath::Native {

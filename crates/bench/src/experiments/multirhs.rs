@@ -5,7 +5,7 @@
 //! bit-for-bit per-column determinism contract along the way.
 
 use mpgmres::precond::Identity;
-use mpgmres::{BlockGmres, Gmres, GmresConfig, MultiVec};
+use mpgmres::{BlockGmres, Gmres, GmresConfig, MultiVec, Operator, SolveRequest, Solver};
 use mpgmres_gpusim::PaperCategory;
 use mpgmres_matgen::galeri;
 use serde::Serialize;
@@ -85,11 +85,15 @@ pub fn run(opts: &ExpOpts) {
     let mut singles_spmv = 0.0;
     for b in &cols {
         let mut ctx = bench.ctx();
-        let mut x = vec![0.0f64; n];
-        let res = Gmres::new(&bench.a, &Identity, cfg).solve(&mut ctx, b, &mut x);
+        let out = Gmres::serve(
+            &mut ctx,
+            &SolveRequest::new(Operator::Matrix(&bench.a), b).with_config(cfg),
+        )
+        .expect("well-formed single-RHS request");
+        let res = out.result.expect("completed single-RHS solve");
         singles_sim_total += ctx.elapsed();
         singles_spmv += ctx.report().seconds(PaperCategory::SpMV);
-        singles.push((res, x, ctx.elapsed()));
+        singles.push((res, out.x, ctx.elapsed()));
     }
 
     // One batched block solve.

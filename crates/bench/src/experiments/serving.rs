@@ -52,6 +52,30 @@ pub struct DriveResult {
     pub stats: ServiceStats,
     /// Simulated seconds the whole drive spanned.
     pub sim_seconds: f64,
+    /// Per-tenant shares of lane-cycles, sorted by tenant id.
+    pub tenant_shares: Vec<(u32, f64)>,
+    /// Submissions shed by backpressure ([`SolveError::QueueFull`]).
+    pub shed: usize,
+}
+
+/// QoS knobs for [`drive_with`], layered on the shared open-loop drive
+/// so every bench and gate measures the same arrival process.
+#[derive(Default)]
+pub struct DriveOpts<'s> {
+    /// Scheduler policy for the service.
+    pub scheduler: Option<SchedulerPolicy>,
+    /// Per-group queue depth bound (`0` = unbounded).
+    pub queue_cap: usize,
+    /// Degrade horizon in cycle barriers (`0` = never degrade).
+    pub degrade_after_cycles: usize,
+    /// Relative deadline (sim-seconds) for request `i`.
+    pub deadline: Option<&'s dyn Fn(usize) -> f64>,
+    /// Mark every request degradable.
+    pub degradable: bool,
+    /// fp32 store registered as the precision-ladder target.
+    pub store: Option<&'s GpuStore<f64>>,
+    /// Tenant tag for request `i` (all 0 when absent).
+    pub tenant: Option<&'s dyn Fn(usize) -> u32>,
 }
 
 /// Open-loop drive: submit `rhs` at `load` mean arrivals per cycle
@@ -65,16 +89,55 @@ pub fn drive(
     rhs: &[Vec<f64>],
     load: f64,
 ) -> DriveResult {
+    drive_with(ctx, a, cfg, lanes, rhs, load, &DriveOpts::default())
+}
+
+/// [`drive`] with QoS knobs: scheduler policy, backpressure, deadlines,
+/// and precision-ladder degradation. Submissions shed by a full queue
+/// are dropped (open loop) and counted in [`DriveResult::shed`].
+pub fn drive_with<'s>(
+    ctx: &mut GpuContext,
+    a: &'s GpuMatrix<f64>,
+    cfg: GmresConfig,
+    lanes: usize,
+    rhs: &'s [Vec<f64>],
+    load: f64,
+    opts: &DriveOpts<'s>,
+) -> DriveResult {
     assert!(load > 0.0, "offered load must be positive");
-    let mut service = SolverService::new(ServiceConfig::default().with_lanes(lanes));
+    let mut svc_cfg = ServiceConfig::default()
+        .with_lanes(lanes)
+        .with_queue_cap(opts.queue_cap)
+        .with_degrade_after_cycles(opts.degrade_after_cycles);
+    if let Some(policy) = opts.scheduler {
+        svc_cfg = svc_cfg.with_scheduler(policy);
+    }
+    let mut service = SolverService::new(svc_cfg);
+    if let Some(store) = opts.store {
+        service.register_degraded_store(a, store);
+    }
     let t0 = ctx.elapsed();
     let mut next = 0usize;
     let mut credit = 0.0f64;
+    let mut shed = 0usize;
     while next < rhs.len() || service.pending() + service.in_flight() > 0 {
         credit += load;
         while credit >= 1.0 && next < rhs.len() {
-            let req = SolveRequest::new(Operator::Matrix(a), &rhs[next]).with_config(cfg);
-            service.submit(ctx, &req).expect("valid serving request");
+            let mut req = SolveRequest::new(Operator::Matrix(a), &rhs[next]).with_config(cfg);
+            if let Some(deadline) = opts.deadline {
+                req = req.with_deadline(deadline(next));
+            }
+            if opts.degradable {
+                req = req.with_degradable(true);
+            }
+            if let Some(tenant) = opts.tenant {
+                req = req.with_tenant(tenant(next));
+            }
+            match service.submit(ctx, &req) {
+                Ok(_) => {}
+                Err(SolveError::QueueFull { .. }) => shed += 1,
+                Err(e) => panic!("valid serving request: {e}"),
+            }
             credit -= 1.0;
             next += 1;
         }
@@ -85,6 +148,8 @@ pub fn drive(
     DriveResult {
         stats: service.stats(),
         sim_seconds: ctx.elapsed() - t0,
+        tenant_shares: service.tenant_occupancy(),
+        shed,
         outcomes,
     }
 }

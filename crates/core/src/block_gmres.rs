@@ -60,7 +60,9 @@
 use crate::config::{GmresConfig, OrthoMethod, StorePath};
 use crate::context::{GpuContext, GpuMatrix, GpuStore};
 use crate::precond::{Identity, Preconditioner};
-use crate::service::{Disposition, Operator, RequestId, SolveError, SolveOutcome, SolveRequest};
+use crate::service::{
+    Disposition, Operator, RequestId, SolveError, SolveOutcome, SolveRequest, Solver,
+};
 use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
 use crate::stream::{
     region, ArgSlice, ArgSliceMut, BasisMut, BlockMut, BlockRef, MatRef, RegionKey, StoreRef,
@@ -318,6 +320,44 @@ pub(crate) fn pipe_disc(width: usize, masks: [u64; 2]) -> usize {
     (width as u64 ^ (h << 8)) as usize
 }
 
+impl<'a, S: BackendScalar> Solver<'a, S> for BlockGmres<'a, S> {
+    /// Serve one [`SolveRequest`] through this driver (k = 1). A plain
+    /// matrix operand with a non-native [`StorePath`] gets a store
+    /// built on the spot; every outcome is bit-identical to the
+    /// equivalent ahead-of-time construction.
+    fn serve(
+        ctx: &mut GpuContext,
+        req: &SolveRequest<'a, '_, S>,
+    ) -> Result<SolveOutcome<S>, SolveError> {
+        req.validate()?;
+        match (req.operator, req.store) {
+            (Operator::Matrix(a), StorePath::Native) => {
+                let solver = Self::try_new(a, req.precond, req.config)?;
+                Ok(solver.serve_one(ctx, req))
+            }
+            (Operator::Matrix(a), StorePath::Shadow(p)) => {
+                let store = GpuStore::shadow_of(a, p);
+                let solver = BlockGmres::try_over_store(&store, req.precond, req.config)?;
+                Ok(solver.serve_one(ctx, req))
+            }
+            (Operator::Matrix(a), StorePath::Split(t)) => {
+                let store = GpuStore::split_of(a, t);
+                let solver = BlockGmres::try_over_store(&store, req.precond, req.config)?;
+                Ok(solver.serve_one(ctx, req))
+            }
+            (Operator::Store(s), StorePath::Native) => {
+                let solver = Self::try_over_store(s, req.precond, req.config)?;
+                Ok(solver.serve_one(ctx, req))
+            }
+            (Operator::Store(_), _) => Err(SolveError::UnsupportedCombination(
+                "a store operand already fixes the storage path; \
+                 leave `store` at StorePath::Native"
+                    .into(),
+            )),
+        }
+    }
+}
+
 impl<'a, S: BackendScalar> BlockGmres<'a, S> {
     /// Build a solver for `A X = B` with a right preconditioner shared
     /// by all columns. Panics on an invalid configuration; see
@@ -391,42 +431,6 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
         self.a.tag8() | (self.basis_code << 5)
     }
 
-    /// Serve one [`SolveRequest`] through this driver (k = 1). A plain
-    /// matrix operand with a non-native [`StorePath`] gets a store
-    /// built on the spot; every outcome is bit-identical to the
-    /// equivalent ahead-of-time construction.
-    pub fn serve(
-        ctx: &mut GpuContext,
-        req: &SolveRequest<'a, '_, S>,
-    ) -> Result<SolveOutcome<S>, SolveError> {
-        req.validate()?;
-        match (req.operator, req.store) {
-            (Operator::Matrix(a), StorePath::Native) => {
-                let solver = Self::try_new(a, req.precond, req.config)?;
-                Ok(solver.serve_one(ctx, req))
-            }
-            (Operator::Matrix(a), StorePath::Shadow(p)) => {
-                let store = GpuStore::shadow_of(a, p);
-                let solver = BlockGmres::try_over_store(&store, req.precond, req.config)?;
-                Ok(solver.serve_one(ctx, req))
-            }
-            (Operator::Matrix(a), StorePath::Split(t)) => {
-                let store = GpuStore::split_of(a, t);
-                let solver = BlockGmres::try_over_store(&store, req.precond, req.config)?;
-                Ok(solver.serve_one(ctx, req))
-            }
-            (Operator::Store(s), StorePath::Native) => {
-                let solver = Self::try_over_store(s, req.precond, req.config)?;
-                Ok(solver.serve_one(ctx, req))
-            }
-            (Operator::Store(_), _) => Err(SolveError::UnsupportedCombination(
-                "a store operand already fixes the storage path; \
-                 leave `store` at StorePath::Native"
-                    .into(),
-            )),
-        }
-    }
-
     /// Run a validated single-RHS request to completion on this solver.
     fn serve_one(&self, ctx: &mut GpuContext, req: &SolveRequest<'_, '_, S>) -> SolveOutcome<S> {
         let n = self.a.n();
@@ -443,11 +447,11 @@ impl<'a, S: BackendScalar> BlockGmres<'a, S> {
             x: x.col(0).to_vec(),
             result: Some(results.pop().expect("one column solved")),
             disposition: Disposition::Completed,
+            degraded: None,
             queued_seconds: 0.0,
             solve_seconds: ctx.elapsed() - start,
         }
     }
-
     /// The configuration in use.
     pub fn config(&self) -> &GmresConfig {
         &self.cfg

@@ -307,6 +307,51 @@ impl Serialize for StorePath {
     }
 }
 
+/// Admission-scheduling policy of the serving layer: how the
+/// [`crate::service::SolverService`] orders each group's pending queue
+/// and picks which request fills a deflation-vacated lane at a cycle
+/// barrier. Scheduling decisions stay *outside* the arithmetic — a
+/// request's completed outcome is bit-identical under every policy;
+/// only its wait (and, under load, whether it degrades or expires)
+/// changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerPolicy {
+    /// Strict arrival order (the pre-QoS behavior, and the default).
+    Fifo,
+    /// Highest [`Qos::priority`] first; ties break by arrival order.
+    ///
+    /// [`Qos::priority`]: crate::service::Qos::priority
+    Priority,
+    /// Earliest absolute deadline first (no-deadline requests sort
+    /// last); ties break by arrival order. Meets every feasible
+    /// deadline at subcritical load.
+    EarliestDeadlineFirst,
+    /// Arrival order within a tenant, but lane occupancy is balanced
+    /// across tenants: while `T` tenants have work outstanding, each
+    /// tenant's groups may occupy at most `ceil(lanes / T)` lanes, so
+    /// one tenant's burst cannot starve another's trickle.
+    TenantFairShare,
+}
+
+impl SchedulerPolicy {
+    /// Short name for experiment output (`fifo`, `priority`, `edf`,
+    /// `fair-share`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerPolicy::Fifo => "fifo",
+            SchedulerPolicy::Priority => "priority",
+            SchedulerPolicy::EarliestDeadlineFirst => "edf",
+            SchedulerPolicy::TenantFairShare => "fair-share",
+        }
+    }
+}
+
+impl Serialize for SchedulerPolicy {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_string())
+    }
+}
+
 /// Configuration for GMRES-IR (Algorithm 2).
 #[derive(Clone, Copy, Debug)]
 pub struct IrConfig {

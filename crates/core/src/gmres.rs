@@ -15,7 +15,9 @@ use crate::block_gmres::BlockGmres;
 use crate::config::{GmresConfig, OrthoMethod, StorePath};
 use crate::context::{GpuContext, GpuMatrix};
 use crate::precond::Preconditioner;
-use crate::service::{Disposition, Operator, RequestId, SolveError, SolveOutcome, SolveRequest};
+use crate::service::{
+    Disposition, Operator, RequestId, SolveError, SolveOutcome, SolveRequest, Solver,
+};
 use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
 use crate::stream::{region, RegionKey};
 use mpgmres_backend::BackendScalar;
@@ -28,31 +30,13 @@ pub struct Gmres<'a, S: BackendScalar> {
     cfg: GmresConfig,
 }
 
-impl<'a, S: BackendScalar> Gmres<'a, S> {
-    /// Build a solver for `A x = b` with a right preconditioner.
-    /// Panics on an invalid configuration; see [`Gmres::try_new`] for
-    /// the typed-error variant.
-    pub fn new(a: &'a GpuMatrix<S>, precond: &'a dyn Preconditioner<S>, cfg: GmresConfig) -> Self {
-        Self::try_new(a, precond, cfg).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// [`Gmres::new`] with the configuration checked into a typed
-    /// [`SolveError`] instead of a panic.
-    pub fn try_new(
-        a: &'a GpuMatrix<S>,
-        precond: &'a dyn Preconditioner<S>,
-        cfg: GmresConfig,
-    ) -> Result<Self, SolveError> {
-        cfg.validate()?;
-        Ok(Gmres { a, precond, cfg })
-    }
-
+impl<'a, S: BackendScalar> Solver<'a, S> for Gmres<'a, S> {
     /// Serve one [`SolveRequest`]. A plain native-path matrix operand
     /// runs this single-RHS driver directly; packed-storage requests
     /// route through the one-lane block driver, whose columns are
     /// bit-identical to this driver by the block parity contract — the
     /// outcome does not depend on the route.
-    pub fn serve(
+    fn serve(
         ctx: &mut GpuContext,
         req: &SolveRequest<'a, '_, S>,
     ) -> Result<SolveOutcome<S>, SolveError> {
@@ -72,12 +56,33 @@ impl<'a, S: BackendScalar> Gmres<'a, S> {
                     x,
                     result: Some(result),
                     disposition: Disposition::Completed,
+                    degraded: None,
                     queued_seconds: 0.0,
                     solve_seconds: ctx.elapsed() - start,
                 })
             }
             _ => BlockGmres::serve(ctx, req),
         }
+    }
+}
+
+impl<'a, S: BackendScalar> Gmres<'a, S> {
+    /// Build a solver for `A x = b` with a right preconditioner.
+    /// Panics on an invalid configuration; see [`Gmres::try_new`] for
+    /// the typed-error variant.
+    pub fn new(a: &'a GpuMatrix<S>, precond: &'a dyn Preconditioner<S>, cfg: GmresConfig) -> Self {
+        Self::try_new(a, precond, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Gmres::new`] with the configuration checked into a typed
+    /// [`SolveError`] instead of a panic.
+    pub fn try_new(
+        a: &'a GpuMatrix<S>,
+        precond: &'a dyn Preconditioner<S>,
+        cfg: GmresConfig,
+    ) -> Result<Self, SolveError> {
+        cfg.validate()?;
+        Ok(Gmres { a, precond, cfg })
     }
 
     /// The configuration in use.

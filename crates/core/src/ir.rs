@@ -29,7 +29,9 @@ use crate::block_gmres::BlockGmres;
 use crate::config::{GmresConfig, IrConfig, StorePath};
 use crate::context::{GpuContext, GpuMatrix, GpuStore};
 use crate::precond::{Identity, Preconditioner};
-use crate::service::{Disposition, Operator, RequestId, SolveError, SolveOutcome, SolveRequest};
+use crate::service::{
+    Disposition, Operator, RequestId, SolveError, SolveOutcome, SolveRequest, Solver,
+};
 use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
 use crate::stream::{region, RegionKey};
 
@@ -40,6 +42,18 @@ pub struct GmresIr<'a, Lo: BackendScalar, Hi: BackendScalar> {
     store_lo: Option<GpuStore<Lo>>,
     precond_lo: &'a dyn Preconditioner<Lo>,
     cfg: IrConfig,
+}
+
+impl<'a, Lo: BackendScalar, Hi: BackendScalar> Solver<'a, Hi> for GmresIr<'a, Lo, Hi> {
+    /// Serve one [`SolveRequest`] with the identity inner
+    /// preconditioner (the paper's baseline GMRES-IR); see
+    /// [`GmresIr::serve_with`] for a low-precision preconditioner.
+    fn serve(
+        ctx: &mut GpuContext,
+        req: &SolveRequest<'a, '_, Hi>,
+    ) -> Result<SolveOutcome<Hi>, SolveError> {
+        Self::serve_with(ctx, req, &Identity)
+    }
 }
 
 impl<'a, Lo: BackendScalar, Hi: BackendScalar> GmresIr<'a, Lo, Hi> {
@@ -145,18 +159,10 @@ impl<'a, Lo: BackendScalar, Hi: BackendScalar> GmresIr<'a, Lo, Hi> {
             x,
             result: Some(result),
             disposition: Disposition::Completed,
+            degraded: None,
             queued_seconds: 0.0,
             solve_seconds: ctx.elapsed() - start,
         })
-    }
-
-    /// Serve one [`SolveRequest`] with the identity inner
-    /// preconditioner (the paper's baseline GMRES-IR).
-    pub fn serve(
-        ctx: &mut GpuContext,
-        req: &SolveRequest<'a, '_, Hi>,
-    ) -> Result<SolveOutcome<Hi>, SolveError> {
-        Self::serve_with(ctx, req, &Identity)
     }
 
     /// The low-precision matrix copy (GMRES-IR keeps both in memory,

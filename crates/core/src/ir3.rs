@@ -26,7 +26,9 @@ use crate::config::{IrConfig, StorePath};
 use crate::context::{GpuContext, GpuMatrix};
 use crate::ir::GmresIr;
 use crate::precond::{Identity, Preconditioner};
-use crate::service::{Disposition, Operator, RequestId, SolveError, SolveOutcome, SolveRequest};
+use crate::service::{
+    Disposition, Operator, RequestId, SolveError, SolveOutcome, SolveRequest, Solver,
+};
 use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
 use crate::stream::{region, RegionKey};
 
@@ -70,6 +72,18 @@ pub struct GmresIr3<'a> {
     a_mid: GpuMatrix<f32>,
     precond_lo: &'a dyn Preconditioner<Half>,
     cfg: Ir3Config,
+}
+
+impl<'a> Solver<'a, f64> for GmresIr3<'a> {
+    /// Serve one [`SolveRequest`] with the identity fp16
+    /// preconditioner; see [`GmresIr3::serve_with`] for an explicit
+    /// low-precision preconditioner.
+    fn serve(
+        ctx: &mut GpuContext,
+        req: &SolveRequest<'a, '_, f64>,
+    ) -> Result<SolveOutcome<f64>, SolveError> {
+        Self::serve_with(ctx, req, &Identity)
+    }
 }
 
 impl<'a> GmresIr3<'a> {
@@ -158,18 +172,10 @@ impl<'a> GmresIr3<'a> {
             x,
             result: Some(result),
             disposition: Disposition::Completed,
+            degraded: None,
             queued_seconds: 0.0,
             solve_seconds: ctx.elapsed() - start,
         })
-    }
-
-    /// Serve one [`SolveRequest`] with the identity fp16
-    /// preconditioner.
-    pub fn serve(
-        ctx: &mut GpuContext,
-        req: &SolveRequest<'a, '_, f64>,
-    ) -> Result<SolveOutcome<f64>, SolveError> {
-        Self::serve_with(ctx, req, &Identity)
     }
 
     /// The configuration in use.

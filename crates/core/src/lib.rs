@@ -68,7 +68,7 @@ pub mod status;
 pub mod stream;
 
 pub use block_gmres::BlockGmres;
-pub use config::{BasisPolicy, GmresConfig, IrConfig, OrthoMethod, StorePath};
+pub use config::{BasisPolicy, GmresConfig, IrConfig, OrthoMethod, SchedulerPolicy, StorePath};
 pub use context::{GpuContext, GpuMatrix, GpuStore};
 pub use fd::{FdConfig, FdResult, GmresFd};
 pub use gmres::Gmres;
@@ -82,8 +82,8 @@ pub use mpgmres_la::multivec::MultiVec;
 pub use mpgmres_la::store::MatrixStore;
 pub use mpgmres_scalar::{Precision, PrecisionTag};
 pub use service::{
-    Disposition, Operator, RequestId, ServiceConfig, ServiceStats, SolveError, SolveOutcome,
-    SolveRequest, SolverService,
+    Degradation, Disposition, Operator, Qos, RequestId, ServiceConfig, ServiceStats, SolveError,
+    SolveOutcome, SolveRequest, Solver, SolverService,
 };
 pub use status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
 pub use stream::{RegionKey, Stream, StreamStats};

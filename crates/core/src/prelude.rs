@@ -19,13 +19,15 @@
 //! assert!(out.result.unwrap().status.is_converged());
 //! ```
 
-pub use crate::config::{BasisPolicy, GmresConfig, IrConfig, OrthoMethod, StorePath};
+pub use crate::config::{
+    BasisPolicy, GmresConfig, IrConfig, OrthoMethod, SchedulerPolicy, StorePath,
+};
 pub use crate::context::{GpuContext, GpuMatrix, GpuStore};
 pub use crate::fd::{FdConfig, FdResult, GmresFd};
 pub use crate::precond::{Identity, Preconditioner};
 pub use crate::service::{
-    Disposition, Operator, RequestId, ServiceConfig, ServiceStats, SolveError, SolveOutcome,
-    SolveRequest, SolverService,
+    Degradation, Disposition, Operator, Qos, RequestId, ServiceConfig, ServiceStats, SolveError,
+    SolveOutcome, SolveRequest, Solver, SolverService,
 };
 pub use crate::status::{HistoryKind, HistoryPoint, SolveResult, SolveStatus};
 pub use crate::{BlockGmres, Gmres, GmresIr, GmresIr3, Ir3Config};

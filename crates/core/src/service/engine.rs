@@ -18,9 +18,10 @@ use mpgmres_backend::BackendScalar;
 use mpgmres_la::multivec::MultiVec;
 
 use crate::block_gmres::{pipe_disc, BlockGmres, Lane, LockstepWs};
+use crate::config::SchedulerPolicy;
 use crate::context::GpuContext;
-use crate::service::request::{Disposition, RequestId, SolveOutcome};
-use crate::service::BufferPool;
+use crate::service::request::{Degradation, Disposition, RequestId, SolveOutcome};
+use crate::service::{wait_bucket, BufferPool};
 use crate::status::SolveResult;
 
 /// One queued request: payload copied out of the caller's borrow at
@@ -33,6 +34,16 @@ pub(crate) struct Queued<S> {
     pub(crate) max_iters: usize,
     /// Simulated seconds at submission.
     pub(crate) submitted: f64,
+    /// Scheduling weight; larger admits sooner under `Priority`.
+    pub(crate) priority: i32,
+    /// Absolute simulated-seconds deadline (`INFINITY` when none).
+    pub(crate) deadline_at: f64,
+    /// May this request be re-routed down the precision ladder?
+    pub(crate) degradable: bool,
+    /// Cycle barriers spent waiting in the current group's queue.
+    pub(crate) waited: usize,
+    /// Ladder rung applied so far, if the request was re-routed.
+    pub(crate) degraded: Option<Degradation>,
 }
 
 /// Book-keeping for one occupied lane slot.
@@ -41,6 +52,8 @@ struct Slot {
     submitted: f64,
     admitted: f64,
     cancelled: bool,
+    deadline_at: f64,
+    degraded: Option<Degradation>,
 }
 
 /// A continuously running [`BlockGmres`] lane group serving one
@@ -109,27 +122,38 @@ impl<'a, S: BackendScalar> LaneEngine<'a, S> {
         false
     }
 
-    /// Admit as many queued requests as there are vacant slots:
-    /// one recorded admission region for the whole batch, then per-slot
-    /// lane re-seeding. Requests that resolve at the admission barrier
+    /// Admit as many queued requests as there are vacant slots (capped
+    /// by `max_admit` under fair-share budgeting): one recorded
+    /// admission region for the whole batch, then per-slot lane
+    /// re-seeding. Requests that resolve at the admission barrier
     /// itself (zero right-hand side, non-finite data, `rtol >= 1`)
     /// produce their outcome immediately.
+    ///
+    /// The `policy` decides *which* queued requests fill the vacancies;
+    /// it never touches the arithmetic. The selected batch keeps queue
+    /// order, and the replay discriminator depends only on the lane
+    /// count and tenant, so every policy records the same region keys
+    /// and warm admissions replay with zero new graph nodes.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn admit_from(
         &mut self,
         ctx: &mut GpuContext,
         queue: &mut Vec<Queued<S>>,
         outcomes: &mut Vec<SolveOutcome<S>>,
         pool: &mut BufferPool<S>,
+        policy: SchedulerPolicy,
+        max_admit: usize,
+        wait_hist: &mut [usize; 8],
     ) {
         let free: Vec<usize> = (0..self.slots.len())
             .filter(|&l| self.slots[l].is_none())
             .collect();
-        let take = free.len().min(queue.len());
+        let take = free.len().min(queue.len()).min(max_admit);
         if take == 0 {
             return;
         }
         let admit = &free[..take];
-        let batch: Vec<Queued<S>> = queue.drain(..take).collect();
+        let batch: Vec<Queued<S>> = Self::pick(queue, policy, take);
         for (&slot, q) in admit.iter().zip(&batch) {
             self.b.col_mut(slot).copy_from_slice(&q.rhs);
             self.x.col_mut(slot).copy_from_slice(&q.x0);
@@ -148,12 +172,15 @@ impl<'a, S: BackendScalar> LaneEngine<'a, S> {
                 q.rtol,
                 q.max_iters,
             );
+            wait_hist[wait_bucket(q.waited)] += 1;
             self.results[slot] = None;
             self.slots[slot] = Some(Slot {
                 id: q.id,
                 submitted: q.submitted,
                 admitted: now,
                 cancelled: false,
+                deadline_at: q.deadline_at,
+                degraded: q.degraded,
             });
             // The payload lives in the lane columns now; the carrier
             // buffers go back to the pool for the next submission.
@@ -167,10 +194,47 @@ impl<'a, S: BackendScalar> LaneEngine<'a, S> {
         self.admissions += 1;
     }
 
+    /// Remove the top `take` requests under `policy` from `queue`,
+    /// preserving arrival order within the selected batch (selection
+    /// decides *membership*, not slot mapping — ties fall back to
+    /// arrival order via the stable sort).
+    fn pick(queue: &mut Vec<Queued<S>>, policy: SchedulerPolicy, take: usize) -> Vec<Queued<S>> {
+        if take >= queue.len() {
+            return core::mem::take(queue);
+        }
+        let mut order: Vec<usize> = (0..queue.len()).collect();
+        match policy {
+            // FIFO semantics: fair-share shapes *how many* admit per
+            // tenant, not their order.
+            SchedulerPolicy::Fifo | SchedulerPolicy::TenantFairShare => {}
+            SchedulerPolicy::Priority => {
+                order.sort_by_key(|&i| core::cmp::Reverse(queue[i].priority));
+            }
+            SchedulerPolicy::EarliestDeadlineFirst => {
+                order.sort_by(|&i, &j| queue[i].deadline_at.total_cmp(&queue[j].deadline_at));
+            }
+        }
+        let mut selected = vec![false; queue.len()];
+        for &i in &order[..take] {
+            selected[i] = true;
+        }
+        let mut batch = Vec::with_capacity(take);
+        let mut rest = Vec::with_capacity(queue.len() - take);
+        for (i, q) in queue.drain(..).enumerate() {
+            if selected[i] {
+                batch.push(q);
+            } else {
+                rest.push(q);
+            }
+        }
+        *queue = rest;
+        batch
+    }
+
     /// Run one lockstep cycle over the occupied slots. Cancellations
-    /// take effect first (the request leaves with the iterate of the
-    /// last completed barrier); newly terminal lanes produce outcomes
-    /// and vacate their slots.
+    /// and deadline expiries take effect first (the request leaves with
+    /// the iterate of the last completed barrier); newly terminal lanes
+    /// produce outcomes and vacate their slots.
     pub(crate) fn step(
         &mut self,
         ctx: &mut GpuContext,
@@ -179,8 +243,13 @@ impl<'a, S: BackendScalar> LaneEngine<'a, S> {
     ) {
         let now = ctx.elapsed();
         for l in 0..self.slots.len() {
-            if self.slots[l].as_ref().is_some_and(|s| s.cancelled) {
+            let Some(s) = self.slots[l].as_ref() else {
+                continue;
+            };
+            if s.cancelled {
                 self.finish(l, outcomes, Disposition::Cancelled, now, pool);
+            } else if s.deadline_at <= now {
+                self.finish(l, outcomes, Disposition::DeadlineExceeded, now, pool);
             }
         }
         let slots = &self.slots;
@@ -231,7 +300,7 @@ impl<'a, S: BackendScalar> LaneEngine<'a, S> {
     ) {
         let s = self.slots[slot].take().expect("slot occupied");
         let result = self.results[slot].take();
-        debug_assert!(result.is_some() || disposition == Disposition::Cancelled);
+        debug_assert!(result.is_some() || disposition != Disposition::Completed);
         let col = self.x.col(slot);
         let mut x = pool.take(col.len());
         x.extend_from_slice(col);
@@ -240,6 +309,7 @@ impl<'a, S: BackendScalar> LaneEngine<'a, S> {
             x,
             result,
             disposition,
+            degraded: s.degraded,
             queued_seconds: s.admitted - s.submitted,
             solve_seconds: now - s.admitted,
         });

@@ -29,13 +29,17 @@
 pub(crate) mod engine;
 mod request;
 
-pub use request::{Disposition, Operator, RequestId, SolveError, SolveOutcome, SolveRequest};
+pub use request::{
+    Degradation, Disposition, Operator, Qos, RequestId, SolveError, SolveOutcome, SolveRequest,
+    Solver,
+};
 
 use mpgmres_backend::BackendScalar;
 
 use crate::block_gmres::BlockGmres;
-use crate::config::{OrthoMethod, StorePath};
-use crate::context::GpuContext;
+use crate::config::{BasisPolicy, GmresConfig, OrthoMethod, SchedulerPolicy, StorePath};
+use crate::context::{GpuContext, GpuMatrix, GpuStore};
+use crate::precond::Preconditioner;
 use engine::{LaneEngine, Queued};
 
 /// Service tuning knobs.
@@ -43,7 +47,9 @@ use engine::{LaneEngine, Queued};
 pub struct ServiceConfig {
     /// Lane slots per engine group — the `k` of the underlying
     /// [`BlockGmres`]. Offered load beyond this queues until deflation
-    /// vacates a lane.
+    /// vacates a lane. Under [`SchedulerPolicy::TenantFairShare`] the
+    /// same number doubles as the shared lane budget split across
+    /// tenants with outstanding work.
     pub lanes: usize,
     /// Evict an engine group after this many consecutive
     /// [`SolverService::step`] calls with an empty queue and no lane in
@@ -51,6 +57,20 @@ pub struct ServiceConfig {
     /// workspaces; a later submission with the same key transparently
     /// rebuilds the group (cold admission, identical arithmetic).
     pub idle_evict_cycles: usize,
+    /// How the pending queue is ordered and which requests fill
+    /// deflation-vacated lanes at cycle barriers. Scheduling only:
+    /// every policy records identical admission regions and leaves the
+    /// per-request arithmetic untouched.
+    pub scheduler: SchedulerPolicy,
+    /// Per-group queue depth bound (`0` = unbounded). A submission to a
+    /// full queue is shed with [`SolveError::QueueFull`] carrying a
+    /// retry-after-cycles hint derived from the group's occupancy.
+    pub queue_cap: usize,
+    /// Degrade horizon: once a [`Qos::degradable`] request has waited
+    /// this many cycle barriers in its group's queue, it re-routes to
+    /// the next cheaper group on the precision ladder (`0` = never
+    /// degrade). See [`SolverService::register_degraded_store`].
+    pub degrade_after_cycles: usize,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +78,9 @@ impl Default for ServiceConfig {
         ServiceConfig {
             lanes: 8,
             idle_evict_cycles: 64,
+            scheduler: SchedulerPolicy::Fifo,
+            queue_cap: 0,
+            degrade_after_cycles: 0,
         }
     }
 }
@@ -75,6 +98,30 @@ impl ServiceConfig {
         self.idle_evict_cycles = cycles;
         self
     }
+
+    /// Builder-style admission scheduler.
+    pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Builder-style queue depth bound (`0` = unbounded).
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Builder-style degrade horizon (`0` disables degradation).
+    pub fn with_degrade_after_cycles(mut self, cycles: usize) -> Self {
+        self.degrade_after_cycles = cycles;
+        self
+    }
+}
+
+/// Power-of-two wait-histogram bucket for `waited` queue barriers:
+/// `[0, 1, 2–3, 4–7, 8–15, 16–31, 32–63, 64+]`.
+pub(crate) fn wait_bucket(waited: usize) -> usize {
+    ((usize::BITS - waited.leading_zeros()) as usize).min(7)
 }
 
 /// Free-list of payload carriers. `submit` fills a pooled buffer
@@ -145,6 +192,16 @@ struct Group<'a, S: BackendScalar> {
     /// Consecutive `step` calls this group spent with an empty queue
     /// and no lane in flight; reset by any submission or activity.
     idle_steps: usize,
+    /// The operand this group solves over — kept so degradable
+    /// requests can be re-keyed onto a cheaper group.
+    op: Operator<'a, S>,
+    precond: &'a dyn Preconditioner<S>,
+    /// Cycle-shaping configuration of the request that created the
+    /// group (per-request `rtol`/`max_iters` ride the lanes instead).
+    cfg: GmresConfig,
+    /// Requests this group ran to completion (feeds the
+    /// [`SolveError::QueueFull`] retry hint).
+    served: usize,
 }
 
 /// Aggregate service counters; see [`SolverService::stats`].
@@ -171,6 +228,17 @@ pub struct ServiceStats {
     pub payload_allocs: usize,
     /// Lane slots per group.
     pub lanes_per_group: usize,
+    /// Requests that ran past their deadline (queued or in flight);
+    /// resolved at cycle barriers like cancellations.
+    pub deadline_misses: usize,
+    /// Requests re-routed down the precision ladder.
+    pub degradations: usize,
+    /// Submissions shed with [`SolveError::QueueFull`].
+    pub sheds: usize,
+    /// Queue-wait histogram over power-of-two barrier buckets
+    /// `[0, 1, 2–3, 4–7, 8–15, 16–31, 32–63, 64+]`, recorded whenever
+    /// a request leaves a queue (admission, cancellation, expiry).
+    pub wait_hist: [usize; 8],
 }
 
 impl ServiceStats {
@@ -206,6 +274,17 @@ pub struct SolverService<'a, S: BackendScalar> {
     /// Counters carried over from evicted groups so `stats` stays
     /// monotone across evictions.
     retired: (usize, usize, usize),
+    /// Per-tenant lane-cycles retired with evicted groups, so
+    /// [`tenant_occupancy`](SolverService::tenant_occupancy) stays
+    /// monotone too.
+    tenant_retired: Vec<(u32, usize)>,
+    deadline_misses: usize,
+    degradations: usize,
+    sheds: usize,
+    wait_hist: [usize; 8],
+    /// Precision-ladder registry: matrix identity → the cheaper packed
+    /// store degradable requests re-route onto.
+    ladder: Vec<(usize, &'a GpuStore<S>)>,
 }
 
 impl<'a, S: BackendScalar> SolverService<'a, S> {
@@ -222,6 +301,31 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
             cancelled: 0,
             evicted_groups: 0,
             retired: (0, 0, 0),
+            tenant_retired: Vec::new(),
+            deadline_misses: 0,
+            degradations: 0,
+            sheds: 0,
+            wait_hist: [0; 8],
+            ladder: Vec::new(),
+        }
+    }
+
+    /// Register a cheaper packed store (typically
+    /// [`GpuStore::shadow_of`] at fp32) as the precision-ladder target
+    /// for `a`: [`Qos::degradable`] requests over `a` whose queue wait
+    /// exceeds [`ServiceConfig::degrade_after_cycles`] re-route to a
+    /// group solving over `store` instead. Registering again for the
+    /// same matrix replaces the entry.
+    pub fn register_degraded_store(&mut self, a: &'a GpuMatrix<S>, store: &'a GpuStore<S>) {
+        assert_eq!(
+            a.n(),
+            store.n(),
+            "ladder store must match the operand dimension"
+        );
+        let addr = a as *const GpuMatrix<S> as usize;
+        match self.ladder.iter_mut().find(|(m, _)| *m == addr) {
+            Some(e) => e.1 = store,
+            None => self.ladder.push((addr, store)),
         }
     }
 
@@ -242,35 +346,24 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
                     .into(),
             ));
         }
-        let key = GroupKey {
-            op_addr: req.operator.addr(),
-            op_tag: req.operator.tag_code(),
-            precond_addr: req.precond as *const _ as *const () as usize,
-            tenant: req.tenant,
-            m: req.config.m,
-            ortho: req.config.ortho,
-            monitor_implicit: req.config.monitor_implicit,
-            loa_bits: req.config.loa_factor.to_bits(),
-            record_history: req.config.record_history,
-            pipeline_depth: req.config.pipeline_depth,
-            basis: req.config.basis,
-        };
-        let gi = match self.groups.iter().position(|g| g.key == key) {
-            Some(i) => i,
-            None => {
-                let solver = match req.operator {
-                    Operator::Matrix(a) => BlockGmres::try_new(a, req.precond, req.config)?,
-                    Operator::Store(s) => BlockGmres::try_over_store(s, req.precond, req.config)?,
-                };
-                self.groups.push(Group {
-                    key,
-                    queue: Vec::new(),
-                    engine: LaneEngine::new(solver, self.cfg.lanes, req.tenant),
-                    idle_steps: 0,
-                });
-                self.groups.len() - 1
-            }
-        };
+        let gi = self.group_for(req.operator, req.precond, req.tenant, req.config)?;
+        if self.cfg.queue_cap > 0 && self.groups[gi].queue.len() >= self.cfg.queue_cap {
+            self.sheds += 1;
+            let g = &self.groups[gi];
+            // Retry hint: pending depth times the observed cycles per
+            // completed solve, spread over the group's lanes.
+            let (_, lane_cycles, _) = g.engine.counters();
+            let per_solve = lane_cycles
+                .checked_div(g.served)
+                .map_or(1, |c| c.max(1));
+            let retry_after_cycles = (g.queue.len() * per_solve)
+                .div_ceil(self.cfg.lanes.max(1))
+                .max(1);
+            return Err(SolveError::QueueFull {
+                pending: g.queue.len(),
+                retry_after_cycles,
+            });
+        }
         self.next_id += 1;
         let id = RequestId(self.next_id);
         let n = req.operator.n();
@@ -283,6 +376,10 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
             Some(x) => x0.extend_from_slice(x),
             None => x0.resize(n, S::zero()),
         }
+        let deadline_at = match req.qos.deadline {
+            Some(d) => ctx.elapsed() + d,
+            None => f64::INFINITY,
+        };
         self.groups[gi].idle_steps = 0;
         self.groups[gi].queue.push(Queued {
             id,
@@ -291,9 +388,57 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
             rtol: req.config.rtol,
             max_iters: req.config.max_iters,
             submitted: ctx.elapsed(),
+            priority: req.qos.priority,
+            deadline_at,
+            degradable: req.qos.degradable,
+            waited: 0,
+            degraded: None,
         });
         self.submitted += 1;
         Ok(id)
+    }
+
+    /// Find or create the lane-engine group for `(operator, precond,
+    /// tenant, cfg)`. Engine construction errors surface here, before
+    /// any request is queued.
+    fn group_for(
+        &mut self,
+        operator: Operator<'a, S>,
+        precond: &'a dyn Preconditioner<S>,
+        tenant: u32,
+        cfg: GmresConfig,
+    ) -> Result<usize, SolveError> {
+        let key = GroupKey {
+            op_addr: operator.addr(),
+            op_tag: operator.tag_code(),
+            precond_addr: precond as *const _ as *const () as usize,
+            tenant,
+            m: cfg.m,
+            ortho: cfg.ortho,
+            monitor_implicit: cfg.monitor_implicit,
+            loa_bits: cfg.loa_factor.to_bits(),
+            record_history: cfg.record_history,
+            pipeline_depth: cfg.pipeline_depth,
+            basis: cfg.basis,
+        };
+        if let Some(i) = self.groups.iter().position(|g| g.key == key) {
+            return Ok(i);
+        }
+        let solver = match operator {
+            Operator::Matrix(a) => BlockGmres::try_new(a, precond, cfg)?,
+            Operator::Store(s) => BlockGmres::try_over_store(s, precond, cfg)?,
+        };
+        self.groups.push(Group {
+            key,
+            queue: Vec::new(),
+            engine: LaneEngine::new(solver, self.cfg.lanes, tenant),
+            idle_steps: 0,
+            op: operator,
+            precond,
+            cfg,
+            served: 0,
+        });
+        Ok(self.groups.len() - 1)
     }
 
     /// Cancel a request. Queued requests leave immediately (outcome
@@ -305,12 +450,22 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
         for g in &mut self.groups {
             if let Some(pos) = g.queue.iter().position(|q| q.id == id) {
                 let q = g.queue.remove(pos);
+                self.wait_hist[wait_bucket(q.waited)] += 1;
+                // Both pooled carriers return immediately; the outcome
+                // rides a pooled buffer carrying the initial guess.
+                // The rhs carrier goes back first so the outcome can
+                // reuse it — a submit-then-cancel wave is allocation-
+                // free once the pool is warm.
                 self.pool.give(q.rhs);
+                let mut x = self.pool.take(q.x0.len());
+                x.extend_from_slice(&q.x0);
+                self.pool.give(q.x0);
                 self.outcomes.push(SolveOutcome {
                     id,
-                    x: q.x0,
+                    x,
                     result: None,
                     disposition: Disposition::Cancelled,
+                    degraded: q.degraded,
                     queued_seconds: ctx.elapsed() - q.submitted,
                     solve_seconds: 0.0,
                 });
@@ -324,19 +479,54 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
         Err(SolveError::UnknownRequest { id })
     }
 
-    /// One scheduling round per group: admit pending requests into
-    /// vacant lanes, then run one lockstep cycle. Groups that stay idle
-    /// for [`ServiceConfig::idle_evict_cycles`] consecutive steps are
-    /// evicted (their lane workspaces freed); a later submission with
-    /// the same key rebuilds them. Returns how many outcomes this step
-    /// produced.
+    /// One scheduling round: resolve queued deadline expiries, re-route
+    /// over-waited degradable requests down the precision ladder, then
+    /// per group admit pending requests into vacant lanes (ordered by
+    /// [`ServiceConfig::scheduler`]) and run one lockstep cycle. Groups
+    /// that stay idle for [`ServiceConfig::idle_evict_cycles`]
+    /// consecutive steps are evicted (their lane workspaces freed); a
+    /// later submission with the same key rebuilds them. Returns how
+    /// many outcomes this step produced.
     pub fn step(&mut self, ctx: &mut GpuContext) -> usize {
         let before = self.outcomes.len();
-        for g in &mut self.groups {
-            g.engine
-                .admit_from(ctx, &mut g.queue, &mut self.outcomes, &mut self.pool);
+        self.expire_queued(ctx);
+        self.degrade_overwaited();
+        let fair_cap = self.fair_share_cap();
+        for gi in 0..self.groups.len() {
+            let max_admit = match fair_cap {
+                None => usize::MAX,
+                Some(cap) => {
+                    let t = self.groups[gi].key.tenant;
+                    let occupied: usize = self
+                        .groups
+                        .iter()
+                        .filter(|g| g.key.tenant == t)
+                        .map(|g| g.engine.occupied())
+                        .sum();
+                    cap.saturating_sub(occupied)
+                }
+            };
+            let done_before = self.outcomes.len();
+            let g = &mut self.groups[gi];
+            g.engine.admit_from(
+                ctx,
+                &mut g.queue,
+                &mut self.outcomes,
+                &mut self.pool,
+                self.cfg.scheduler,
+                max_admit,
+                &mut self.wait_hist,
+            );
             if !g.engine.is_idle() {
                 g.engine.step(ctx, &mut self.outcomes, &mut self.pool);
+            }
+            g.served += self.outcomes[done_before..]
+                .iter()
+                .filter(|o| o.disposition == Disposition::Completed)
+                .count();
+            // Requests still queued have waited one more barrier.
+            for q in &mut g.queue {
+                q.waited += 1;
             }
             if g.queue.is_empty() && g.engine.is_idle() {
                 g.idle_steps += 1;
@@ -347,6 +537,7 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
         let horizon = self.cfg.idle_evict_cycles;
         if horizon > 0 {
             let retired = &mut self.retired;
+            let tenant_retired = &mut self.tenant_retired;
             let evicted = &mut self.evicted_groups;
             self.groups.retain(|g| {
                 if g.idle_steps < horizon {
@@ -356,6 +547,10 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
                 retired.0 += cycles;
                 retired.1 += lane_cycles;
                 retired.2 += admissions;
+                match tenant_retired.iter_mut().find(|(t, _)| *t == g.key.tenant) {
+                    Some(e) => e.1 += lane_cycles,
+                    None => tenant_retired.push((g.key.tenant, lane_cycles)),
+                }
                 *evicted += 1;
                 false
             });
@@ -364,9 +559,141 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
             match o.disposition {
                 Disposition::Completed => self.completed += 1,
                 Disposition::Cancelled => self.cancelled += 1,
+                Disposition::DeadlineExceeded => self.deadline_misses += 1,
             }
         }
         self.outcomes.len() - before
+    }
+
+    /// Resolve queued requests whose deadline has passed: like a
+    /// cancellation, the outcome carries the untouched initial guess
+    /// and both payload carriers return to the pool.
+    fn expire_queued(&mut self, ctx: &GpuContext) {
+        let now = ctx.elapsed();
+        for g in &mut self.groups {
+            let mut i = 0;
+            while i < g.queue.len() {
+                if g.queue[i].deadline_at > now {
+                    i += 1;
+                    continue;
+                }
+                let q = g.queue.remove(i);
+                self.wait_hist[wait_bucket(q.waited)] += 1;
+                self.pool.give(q.rhs);
+                let mut x = self.pool.take(q.x0.len());
+                x.extend_from_slice(&q.x0);
+                self.pool.give(q.x0);
+                self.outcomes.push(SolveOutcome {
+                    id: q.id,
+                    x,
+                    result: None,
+                    disposition: Disposition::DeadlineExceeded,
+                    degraded: q.degraded,
+                    queued_seconds: now - q.submitted,
+                    solve_seconds: 0.0,
+                });
+            }
+        }
+    }
+
+    /// The next rung down the precision ladder for group `gi`, if any:
+    /// a plain-matrix group with a registered store re-routes to that
+    /// store (same config); otherwise a group whose basis is native —
+    /// and whose configuration supports compressed storage — swaps to
+    /// an fp32 compressed basis via [`Degradation::apply`].
+    fn next_rung(&self, gi: usize) -> Option<(Operator<'a, S>, GmresConfig, Degradation)> {
+        let g = &self.groups[gi];
+        if let Operator::Matrix(a) = g.op {
+            let addr = a as *const GpuMatrix<S> as usize;
+            if let Some(&(_, store)) = self.ladder.iter().find(|(m, _)| *m == addr) {
+                return Some((Operator::Store(store), g.cfg, Degradation::Fp32Store));
+            }
+        }
+        if g.cfg.basis == BasisPolicy::Native
+            && g.cfg.ortho != OrthoMethod::Mgs
+            && g.cfg.pipeline_depth == 0
+        {
+            let rung = Degradation::Fp32Basis;
+            return Some((g.op, rung.apply(g.cfg), rung));
+        }
+        None
+    }
+
+    /// Re-route degradable requests that have waited past the horizon
+    /// onto the next cheaper group. The move preserves submission time
+    /// and deadline (latency is end-to-end) but resets the wait
+    /// counter, so a request descends at most one rung per horizon.
+    fn degrade_overwaited(&mut self) {
+        let horizon = self.cfg.degrade_after_cycles;
+        if horizon == 0 {
+            return;
+        }
+        let mut moves = Vec::new();
+        for gi in 0..self.groups.len() {
+            if !self.groups[gi]
+                .queue
+                .iter()
+                .any(|q| q.degradable && q.waited >= horizon)
+            {
+                continue;
+            }
+            let Some((op, cfg, rung)) = self.next_rung(gi) else {
+                continue;
+            };
+            let g = &mut self.groups[gi];
+            let mut i = 0;
+            while i < g.queue.len() {
+                if g.queue[i].degradable && g.queue[i].waited >= horizon {
+                    let mut q = g.queue.remove(i);
+                    q.waited = 0;
+                    q.degraded = Some(match q.degraded {
+                        None => rung,
+                        Some(prev) => prev.combined_with(rung),
+                    });
+                    moves.push((gi, q, op, cfg));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for (gi, q, op, cfg) in moves {
+            let tenant = self.groups[gi].key.tenant;
+            let precond = self.groups[gi].precond;
+            match self.group_for(op, precond, tenant, cfg) {
+                Ok(ti) => {
+                    self.degradations += 1;
+                    self.groups[ti].idle_steps = 0;
+                    self.groups[ti].queue.push(q);
+                }
+                // Target engine construction failed: leave the request
+                // where it was rather than lose it.
+                Err(_) => self.groups[gi].queue.push(q),
+            }
+        }
+    }
+
+    /// Under [`SchedulerPolicy::TenantFairShare`], the per-tenant cap
+    /// on concurrently occupied lanes: the shared budget
+    /// ([`ServiceConfig::lanes`]) split evenly (floor, minimum 1)
+    /// across tenants with outstanding work. `None` when the policy is
+    /// different or at most one tenant is active — a lone tenant gets
+    /// the whole budget.
+    fn fair_share_cap(&self) -> Option<usize> {
+        if self.cfg.scheduler != SchedulerPolicy::TenantFairShare {
+            return None;
+        }
+        let mut tenants: Vec<u32> = self
+            .groups
+            .iter()
+            .filter(|g| !g.queue.is_empty() || g.engine.occupied() > 0)
+            .map(|g| g.key.tenant)
+            .collect();
+        tenants.sort_unstable();
+        tenants.dedup();
+        if tenants.len() <= 1 {
+            return None;
+        }
+        Some((self.cfg.lanes / tenants.len()).max(1))
     }
 
     /// Step until every queue is empty and every engine idle.
@@ -420,6 +747,10 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
             evicted_groups: self.evicted_groups,
             payload_allocs: self.pool.allocs,
             lanes_per_group: self.cfg.lanes,
+            deadline_misses: self.deadline_misses,
+            degradations: self.degradations,
+            sheds: self.sheds,
+            wait_hist: self.wait_hist,
         };
         for g in &self.groups {
             let (cycles, lane_cycles, admissions) = g.engine.counters();
@@ -428,6 +759,29 @@ impl<'a, S: BackendScalar> SolverService<'a, S> {
             st.admissions += admissions;
         }
         st
+    }
+
+    /// Per-tenant shares of all lane-cycles run so far (live and
+    /// evicted groups), sorted by tenant id; shares sum to 1. Empty
+    /// before any lane work has run.
+    pub fn tenant_occupancy(&self) -> Vec<(u32, f64)> {
+        let mut acc: Vec<(u32, usize)> = self.tenant_retired.clone();
+        for g in &self.groups {
+            let (_, lane_cycles, _) = g.engine.counters();
+            match acc.iter_mut().find(|(t, _)| *t == g.key.tenant) {
+                Some(e) => e.1 += lane_cycles,
+                None => acc.push((g.key.tenant, lane_cycles)),
+            }
+        }
+        let total: usize = acc.iter().map(|(_, c)| c).sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        acc.retain(|(_, c)| *c > 0);
+        acc.sort_unstable_by_key(|(t, _)| *t);
+        acc.into_iter()
+            .map(|(t, c)| (t, c as f64 / total as f64))
+            .collect()
     }
 }
 
@@ -647,6 +1001,313 @@ mod tests {
             svc.stats().payload_allocs,
             warm,
             "warm serving rounds must allocate no payload buffers"
+        );
+    }
+
+    #[test]
+    fn priority_policy_admits_high_priority_first() {
+        let n = 32;
+        let a = laplace1d(n);
+        let b = rhs(n, 4);
+        let mut c = ctx();
+        let mut svc = SolverService::new(
+            ServiceConfig::default()
+                .with_lanes(1)
+                .with_scheduler(SchedulerPolicy::Priority),
+        );
+        let req = SolveRequest::new(Operator::Matrix(&a), &b);
+        let low = svc.submit(&c, &req.with_priority(1)).unwrap();
+        let mid = svc.submit(&c, &req.with_priority(5)).unwrap();
+        let high = svc.submit(&c, &req.with_priority(9)).unwrap();
+        svc.run_until_idle(&mut c);
+        let order: Vec<RequestId> = svc.drain_outcomes().iter().map(|o| o.id).collect();
+        assert_eq!(order, vec![high, mid, low]);
+    }
+
+    #[test]
+    fn edf_policy_admits_nearest_deadline_first() {
+        let n = 32;
+        let a = laplace1d(n);
+        let b = rhs(n, 4);
+        let mut c = ctx();
+        let mut svc = SolverService::new(
+            ServiceConfig::default()
+                .with_lanes(1)
+                .with_scheduler(SchedulerPolicy::EarliestDeadlineFirst),
+        );
+        let req = SolveRequest::new(Operator::Matrix(&a), &b);
+        // Generous deadlines: ordering is observable, nothing expires.
+        let late = svc.submit(&c, &req.with_deadline(1e6)).unwrap();
+        let soon = svc.submit(&c, &req.with_deadline(1e2)).unwrap();
+        let mid = svc.submit(&c, &req.with_deadline(1e4)).unwrap();
+        svc.run_until_idle(&mut c);
+        let outcomes = svc.drain_outcomes();
+        let order: Vec<RequestId> = outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(order, vec![soon, mid, late]);
+        assert!(outcomes
+            .iter()
+            .all(|o| o.disposition == Disposition::Completed));
+        assert_eq!(svc.stats().deadline_misses, 0);
+        // Every departure landed in a wait-histogram bucket.
+        assert_eq!(svc.stats().wait_hist.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn queued_requests_expire_at_barriers_with_initial_guess() {
+        let n = 32;
+        let a = laplace1d(n);
+        let b = rhs(n, 5);
+        let mut c = ctx();
+        let mut svc = SolverService::new(ServiceConfig::default().with_lanes(1));
+        let req = SolveRequest::new(Operator::Matrix(&a), &b);
+        let keep = svc.submit(&c, &req).unwrap();
+        let x0 = vec![0.25f64; n];
+        // Far too tight to outlive even one cycle of the occupant.
+        let doomed = svc
+            .submit(&c, &req.with_x0(&x0).with_deadline(1e-9))
+            .unwrap();
+        svc.run_until_idle(&mut c);
+        let outcomes = svc.drain_outcomes();
+        let d = outcomes.iter().find(|o| o.id == doomed).unwrap();
+        assert_eq!(d.disposition, Disposition::DeadlineExceeded);
+        assert!(d.result.is_none());
+        assert_eq!(d.x, x0, "expired-in-queue outcome carries the guess");
+        assert_eq!(d.error(), Some(SolveError::DeadlineExceeded { id: doomed }));
+        let k = outcomes.iter().find(|o| o.id == keep).unwrap();
+        assert_eq!(k.disposition, Disposition::Completed);
+        assert_eq!(svc.stats().deadline_misses, 1);
+    }
+
+    #[test]
+    fn in_flight_requests_expire_at_barriers_with_last_iterate() {
+        let n = 48;
+        let a = laplace1d(n);
+        let b = rhs(n, 6);
+        let mut c = ctx();
+        let mut svc = SolverService::new(ServiceConfig::default().with_lanes(1));
+        // Tight tolerance so the solve needs many cycles; the deadline
+        // passes mid-flight after the admission barrier advances the
+        // clock.
+        let cfg = GmresConfig::default().with_m(4).with_rtol(1e-12);
+        let id = svc
+            .submit(
+                &c,
+                &SolveRequest::new(Operator::Matrix(&a), &b)
+                    .with_config(cfg)
+                    .with_deadline(1e-7),
+            )
+            .unwrap();
+        svc.run_until_idle(&mut c);
+        let outcomes = svc.drain_outcomes();
+        let o = outcomes.iter().find(|o| o.id == id).unwrap();
+        assert_eq!(o.disposition, Disposition::DeadlineExceeded);
+        assert!(o.x.iter().all(|v| v.is_finite()));
+        assert!(o.solve_seconds >= 0.0, "expired after admission");
+        assert_eq!(svc.stats().deadline_misses, 1);
+    }
+
+    #[test]
+    fn fair_share_caps_concurrent_lanes_per_tenant() {
+        let n = 32;
+        let a = laplace1d(n);
+        let b = rhs(n, 7);
+        let mut c = ctx();
+        let cfg = GmresConfig::default().with_m(6).with_rtol(1e-10);
+        let mut svc = SolverService::new(
+            ServiceConfig::default()
+                .with_lanes(4)
+                .with_scheduler(SchedulerPolicy::TenantFairShare),
+        );
+        let req = SolveRequest::new(Operator::Matrix(&a), &b).with_config(cfg);
+        for _ in 0..6 {
+            svc.submit(&c, &req.with_tenant(1)).unwrap();
+        }
+        for _ in 0..6 {
+            svc.submit(&c, &req.with_tenant(2)).unwrap();
+        }
+        svc.step(&mut c);
+        // Two active tenants share the 4-lane budget: 2 + 2, even
+        // though each group alone has 4 slots.
+        assert_eq!(svc.in_flight(), 4, "budget split across tenants");
+        while svc.pending() > 0 || svc.in_flight() > 0 {
+            svc.step(&mut c);
+        }
+        let shares = svc.tenant_occupancy();
+        assert_eq!(shares.len(), 2);
+        let total: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for &(t, s) in &shares {
+            assert!(
+                (s - 0.5).abs() < 0.2,
+                "tenant {t} share {s} strays from even split"
+            );
+        }
+        // A FIFO service with the same traffic runs both groups wide
+        // open: 8 lanes in flight on the first step.
+        let mut fifo = SolverService::new(ServiceConfig::default().with_lanes(4));
+        for _ in 0..6 {
+            fifo.submit(&c, &req.with_tenant(1)).unwrap();
+            fifo.submit(&c, &req.with_tenant(2)).unwrap();
+        }
+        fifo.step(&mut c);
+        assert_eq!(fifo.in_flight(), 8);
+        fifo.run_until_idle(&mut c);
+    }
+
+    #[test]
+    fn full_queues_shed_with_retry_hint() {
+        let n = 24;
+        let a = laplace1d(n);
+        let b = rhs(n, 8);
+        let c = ctx();
+        let mut svc = SolverService::new(ServiceConfig::default().with_lanes(1).with_queue_cap(2));
+        let req = SolveRequest::new(Operator::Matrix(&a), &b);
+        svc.submit(&c, &req).unwrap();
+        svc.submit(&c, &req).unwrap();
+        let err = svc.submit(&c, &req).unwrap_err();
+        match err {
+            SolveError::QueueFull {
+                pending,
+                retry_after_cycles,
+            } => {
+                assert_eq!(pending, 2);
+                assert!(retry_after_cycles >= 1);
+            }
+            other => panic!("expected QueueFull, got {other}"),
+        }
+        assert_eq!(svc.stats().sheds, 1);
+        assert_eq!(svc.stats().submitted, 2, "shed submissions don't count");
+    }
+
+    #[test]
+    fn degradable_requests_reroute_to_registered_store() {
+        let n = 48;
+        let a = laplace1d(n);
+        let mut c = ctx();
+        let store = crate::context::GpuStore::shadow_of(&a, mpgmres_scalar::Precision::Fp32);
+        let cfg = GmresConfig::default().with_m(8).with_rtol(1e-8);
+        let mut svc = SolverService::new(
+            ServiceConfig::default()
+                .with_lanes(1)
+                .with_degrade_after_cycles(2),
+        );
+        svc.register_degraded_store(&a, &store);
+        let hog = rhs(n, 0);
+        svc.submit(
+            &c,
+            &SolveRequest::new(Operator::Matrix(&a), &hog).with_config(cfg),
+        )
+        .unwrap();
+        let b = rhs(n, 9);
+        let id = svc
+            .submit(
+                &c,
+                &SolveRequest::new(Operator::Matrix(&a), &b)
+                    .with_config(cfg)
+                    .with_degradable(true),
+            )
+            .unwrap();
+        svc.run_until_idle(&mut c);
+        let outcomes = svc.drain_outcomes();
+        let o = outcomes.iter().find(|o| o.id == id).unwrap();
+        assert_eq!(o.disposition, Disposition::Completed);
+        assert_eq!(o.degraded, Some(Degradation::Fp32Store));
+        assert_eq!(svc.stats().degradations, 1);
+        // Bit-identical to an independent solve at the final (store)
+        // configuration.
+        let solo = Gmres::serve(
+            &mut ctx(),
+            &SolveRequest::new(Operator::Store(&store), &b).with_config(cfg),
+        )
+        .unwrap();
+        let res = o.result.as_ref().unwrap();
+        assert_eq!(res.iterations, solo.result.as_ref().unwrap().iterations);
+        for (sx, rx) in o.x.iter().zip(&solo.x) {
+            assert_eq!(sx.to_bits(), rx.to_bits());
+        }
+        // The degraded solve still hit the fp64 tolerance it asked for.
+        assert!(res.final_relative_residual <= cfg.rtol);
+    }
+
+    #[test]
+    fn degradable_requests_fall_back_to_compressed_basis() {
+        let n = 48;
+        let a = laplace1d(n);
+        let mut c = ctx();
+        let cfg = GmresConfig::default().with_m(8).with_rtol(1e-8);
+        let mut svc = SolverService::new(
+            ServiceConfig::default()
+                .with_lanes(1)
+                .with_degrade_after_cycles(2),
+        );
+        // No registered store: the ladder's next rung is the fp32
+        // compressed basis.
+        let hog = rhs(n, 0);
+        svc.submit(
+            &c,
+            &SolveRequest::new(Operator::Matrix(&a), &hog).with_config(cfg),
+        )
+        .unwrap();
+        let b = rhs(n, 10);
+        let id = svc
+            .submit(
+                &c,
+                &SolveRequest::new(Operator::Matrix(&a), &b)
+                    .with_config(cfg)
+                    .with_degradable(true),
+            )
+            .unwrap();
+        svc.run_until_idle(&mut c);
+        let outcomes = svc.drain_outcomes();
+        let o = outcomes.iter().find(|o| o.id == id).unwrap();
+        assert_eq!(o.disposition, Disposition::Completed);
+        assert_eq!(o.degraded, Some(Degradation::Fp32Basis));
+        let final_cfg = Degradation::Fp32Basis.apply(cfg);
+        let solo = Gmres::serve(
+            &mut ctx(),
+            &SolveRequest::new(Operator::Matrix(&a), &b).with_config(final_cfg),
+        )
+        .unwrap();
+        let res = o.result.as_ref().unwrap();
+        assert_eq!(res.iterations, solo.result.as_ref().unwrap().iterations);
+        for (sx, rx) in o.x.iter().zip(&solo.x) {
+            assert_eq!(sx.to_bits(), rx.to_bits());
+        }
+        assert!(
+            res.final_relative_residual <= cfg.rtol,
+            "fp64 rtol still met"
+        );
+    }
+
+    #[test]
+    fn submit_then_cancel_waves_return_carriers_to_pool() {
+        let n = 40;
+        let a = laplace1d(n);
+        let mut c = ctx();
+        let mut svc = SolverService::new(ServiceConfig::default().with_lanes(1));
+        // Warm the pool: one served wave, recycled.
+        let b = rhs(n, 11);
+        svc.submit(&c, &SolveRequest::new(Operator::Matrix(&a), &b))
+            .unwrap();
+        svc.run_until_idle(&mut c);
+        for o in svc.drain_outcomes() {
+            svc.recycle(o);
+        }
+        let warm = svc.stats().payload_allocs;
+        for wave in 0..3 {
+            let b = rhs(n, 12 + wave);
+            let id = svc
+                .submit(&c, &SolveRequest::new(Operator::Matrix(&a), &b))
+                .unwrap();
+            svc.cancel(&c, id).unwrap();
+            for o in svc.drain_outcomes() {
+                svc.recycle(o);
+            }
+        }
+        assert_eq!(
+            svc.stats().payload_allocs,
+            warm,
+            "queued cancellation must return carriers to the pool"
         );
     }
 

@@ -51,6 +51,97 @@ impl<'a, S: BackendScalar> Operator<'a, S> {
     }
 }
 
+/// Per-request quality-of-service contract, carried on
+/// [`SolveRequest`] and interpreted by the service scheduler only —
+/// QoS steers *ordering and lane assignment*, never arithmetic, so a
+/// request completes bit-identical to an independent solve at its
+/// final configuration no matter what QoS it carried.
+///
+/// `Qos::default()` reproduces the pre-QoS service exactly: priority
+/// 0, no deadline, not degradable.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Qos {
+    /// Scheduling weight under [`SchedulerPolicy::Priority`]: higher
+    /// values admit first (ties break by submission order).
+    ///
+    /// [`SchedulerPolicy::Priority`]: crate::config::SchedulerPolicy::Priority
+    pub priority: i32,
+    /// Relative deadline in simulated seconds from submission. Expiry
+    /// resolves at cycle barriers exactly like cancellation: the
+    /// request leaves as [`Disposition::DeadlineExceeded`] with the
+    /// iterate of the last completed barrier (the initial guess if it
+    /// never got a lane). `None` means no deadline.
+    pub deadline: Option<f64>,
+    /// Whether the service may re-route this request down the
+    /// precision ladder (native → fp32 store → fp32 basis) when its
+    /// queue wait exceeds [`ServiceConfig::degrade_after_cycles`] —
+    /// the degraded configuration still converges to the request's
+    /// fp64 `rtol`, a few restarts late.
+    ///
+    /// [`ServiceConfig::degrade_after_cycles`]: crate::service::ServiceConfig::degrade_after_cycles
+    pub degradable: bool,
+}
+
+/// Which rung of the precision ladder a degraded request landed on,
+/// reported on [`SolveOutcome::degraded`] so callers (and the parity
+/// tests) can reconstruct the *final* configuration the solve ran at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Degradation {
+    /// Matrix values re-routed to a registered fp32 [`GpuStore`]
+    /// operand (same basis, same config).
+    Fp32Store,
+    /// Krylov basis re-routed to fp32 compressed storage (config's
+    /// basis policy swapped, loss-of-accuracy factor raised).
+    Fp32Basis,
+    /// Both rungs taken: fp32 store operand and fp32 compressed basis.
+    Fp32StoreAndBasis,
+}
+
+impl Degradation {
+    /// The loss-of-accuracy factor floor a compressed-basis rung
+    /// raises the config to: the fp32 basis pins the implicit/explicit
+    /// residual gap near storage precision, and the restart loop
+    /// refines through it (the PR 9 contract), so the LoA monitor must
+    /// not abort the refinement.
+    const BASIS_LOA_FLOOR: f64 = 1e8;
+
+    /// The configuration a request degraded by `self` actually ran
+    /// at, given the configuration it was submitted with. The store
+    /// rung changes the operand, not the config; the basis rungs swap
+    /// the basis policy and raise the LoA floor.
+    pub fn apply(self, cfg: GmresConfig) -> GmresConfig {
+        match self {
+            Degradation::Fp32Store => cfg,
+            Degradation::Fp32Basis | Degradation::Fp32StoreAndBasis => {
+                let loa = cfg.loa_factor.max(Self::BASIS_LOA_FLOOR);
+                cfg.with_basis(crate::config::BasisPolicy::Compressed(
+                    mpgmres_scalar::Precision::Fp32,
+                ))
+                .with_loa_factor(loa)
+            }
+        }
+    }
+
+    /// The rung a request lands on when it degrades again: a store
+    /// rung followed by a basis rung is both; the ladder never revisits
+    /// a rung, so every other combination is just the newer rung.
+    pub(crate) fn combined_with(self, next: Degradation) -> Degradation {
+        match (self, next) {
+            (Degradation::Fp32Store, Degradation::Fp32Basis) => Degradation::Fp32StoreAndBasis,
+            (_, next) => next,
+        }
+    }
+
+    /// Short label for stats tables and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Degradation::Fp32Store => "fp32-store",
+            Degradation::Fp32Basis => "fp32-basis",
+            Degradation::Fp32StoreAndBasis => "fp32-store+basis",
+        }
+    }
+}
+
 /// One linear solve, fully described: operand, right-hand side,
 /// optional initial guess, solver configuration, storage path, right
 /// preconditioner, and the tenant the request belongs to.
@@ -93,6 +184,9 @@ pub struct SolveRequest<'a, 'r, S> {
     /// Tenant tag: requests from different tenants never share lane
     /// groups or cached op graphs in the service.
     pub tenant: u32,
+    /// Quality-of-service contract (priority, deadline, degradability)
+    /// — scheduling only, never arithmetic.
+    pub qos: Qos,
 }
 
 impl<'a, 'r, S: BackendScalar> SolveRequest<'a, 'r, S> {
@@ -107,6 +201,7 @@ impl<'a, 'r, S: BackendScalar> SolveRequest<'a, 'r, S> {
             store: StorePath::Native,
             precond: &Identity,
             tenant: 0,
+            qos: Qos::default(),
         }
     }
 
@@ -137,6 +232,33 @@ impl<'a, 'r, S: BackendScalar> SolveRequest<'a, 'r, S> {
     /// Builder-style tenant tag.
     pub fn with_tenant(mut self, tenant: u32) -> Self {
         self.tenant = tenant;
+        self
+    }
+
+    /// Builder-style scheduling priority (see [`Qos::priority`]).
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.qos.priority = priority;
+        self
+    }
+
+    /// Builder-style relative deadline in simulated seconds (see
+    /// [`Qos::deadline`]). Must be positive and finite — `validate()`
+    /// rejects a deadline of zero rather than expiring the request at
+    /// its own submission barrier.
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        self.qos.deadline = Some(deadline);
+        self
+    }
+
+    /// Builder-style degradability flag (see [`Qos::degradable`]).
+    pub fn with_degradable(mut self, degradable: bool) -> Self {
+        self.qos.degradable = degradable;
+        self
+    }
+
+    /// Builder-style whole-QoS override.
+    pub fn with_qos(mut self, qos: Qos) -> Self {
+        self.qos = qos;
         self
     }
 
@@ -172,8 +294,60 @@ impl<'a, 'r, S: BackendScalar> SolveRequest<'a, 'r, S> {
                 self.precond.describe()
             )));
         }
+        if let Some(d) = self.qos.deadline {
+            if !(d > 0.0) || !d.is_finite() {
+                return Err(SolveError::InvalidConfig(format!(
+                    "deadline must be a positive, finite number of simulated \
+                     seconds; got {d}"
+                )));
+            }
+        }
+        if self.qos.degradable && self.precond.needs_matrix() {
+            return Err(SolveError::UnsupportedCombination(format!(
+                "preconditioner '{}' needs the plain matrix, so the request \
+                 cannot ride the precision-degradation ladder (its fp32 store \
+                 rung packs the matrix away); drop `degradable` or use a \
+                 matrix-free preconditioner",
+                self.precond.describe()
+            )));
+        }
         Ok(())
     }
+}
+
+/// The unified driver entry point: every solver in the crate serves a
+/// [`SolveRequest`] through this one trait, so call sites pick a
+/// driver by *type* and keep a single signature.
+///
+/// Implemented by [`crate::Gmres`] (single-RHS, routes packed paths
+/// through the one-lane block driver), [`crate::BlockGmres`] (k = 1
+/// block serve), [`crate::GmresIr`] (two-precision iterative
+/// refinement), and [`crate::GmresIr3`] (the three-precision ladder).
+/// Exported from `mpgmres::prelude`, so `Driver::serve(&mut ctx, &req)`
+/// resolves wherever the prelude is in scope.
+///
+/// ```
+/// use mpgmres::prelude::*;
+/// # let mut coo = mpgmres_la::coo::Coo::new(4, 4);
+/// # for i in 0..4 { coo.push(i, i, 2.0f64); }
+/// # let a = GpuMatrix::new(coo.into_csr());
+/// let b = vec![1.0f64; 4];
+/// let req = SolveRequest::new(Operator::Matrix(&a), &b);
+/// let mut ctx = GpuContext::new(DeviceModel::v100_belos());
+/// // Same request, two drivers, one signature.
+/// let direct = Gmres::serve(&mut ctx, &req).unwrap();
+/// let refined = GmresIr::<f32, f64>::serve(&mut ctx, &req).unwrap();
+/// assert!(direct.result.unwrap().status.is_converged());
+/// assert!(refined.result.unwrap().status.is_converged());
+/// ```
+pub trait Solver<'a, S: BackendScalar> {
+    /// Serve one request end to end: validate, solve, and wrap the
+    /// solution, terminal result, and simulated timings in a
+    /// [`SolveOutcome`].
+    fn serve(
+        ctx: &mut crate::context::GpuContext,
+        req: &SolveRequest<'a, '_, S>,
+    ) -> Result<SolveOutcome<S>, SolveError>;
 }
 
 /// Identifier handed back by [`crate::service::SolverService::submit`];
@@ -196,6 +370,12 @@ pub enum Disposition {
     /// Cancelled before reaching a terminal status (in queue, or at a
     /// cycle barrier mid-solve).
     Cancelled,
+    /// The request's [`Qos::deadline`] passed before a terminal status.
+    /// Resolved at cycle barriers exactly like cancellation: the
+    /// outcome carries the iterate of the last completed barrier and
+    /// maps to [`SolveError::DeadlineExceeded`] via
+    /// [`SolveOutcome::error`].
+    DeadlineExceeded,
 }
 
 /// The answer to one [`SolveRequest`].
@@ -209,12 +389,30 @@ pub struct SolveOutcome<S> {
     /// Terminal solver result; `None` exactly when the request was
     /// cancelled before resolving.
     pub result: Option<SolveResult>,
-    /// Completed or cancelled.
+    /// Completed, cancelled, or expired.
     pub disposition: Disposition,
+    /// The precision-ladder rung the service degraded this request to
+    /// (`None` when it ran at its submitted configuration). The final
+    /// configuration is `degraded.apply(submitted_config)` — and for
+    /// the store rungs, the registered fp32 store operand.
+    pub degraded: Option<Degradation>,
     /// Simulated seconds spent queued before lane admission.
     pub queued_seconds: f64,
     /// Simulated seconds from lane admission to the terminal barrier.
     pub solve_seconds: f64,
+}
+
+impl<S> SolveOutcome<S> {
+    /// The typed error a non-completed disposition corresponds to —
+    /// `Some(SolveError::DeadlineExceeded)` for an expired request,
+    /// `None` for completed and cancelled outcomes (cancellation was
+    /// the caller's own doing, not an error).
+    pub fn error(&self) -> Option<SolveError> {
+        match self.disposition {
+            Disposition::DeadlineExceeded => Some(SolveError::DeadlineExceeded { id: self.id }),
+            Disposition::Completed | Disposition::Cancelled => None,
+        }
+    }
 }
 
 /// Typed rejection at the request surface. Everything here used to be
@@ -243,6 +441,26 @@ pub enum SolveError {
         /// The offending id.
         id: RequestId,
     },
+    /// Backpressure: the target group's queue is at
+    /// [`ServiceConfig::queue_cap`]. Carries a retry hint derived from
+    /// the group's occupancy history — roughly how many service cycles
+    /// until the queue has drained a lane's worth of work.
+    ///
+    /// [`ServiceConfig::queue_cap`]: crate::service::ServiceConfig::queue_cap
+    QueueFull {
+        /// Requests already waiting in the target group's queue.
+        pending: usize,
+        /// Estimated [`crate::service::SolverService::step`] calls
+        /// until a queue slot frees (always at least 1).
+        retry_after_cycles: usize,
+    },
+    /// The request's [`Qos::deadline`] passed before it reached a
+    /// terminal status; the outcome left as
+    /// [`Disposition::DeadlineExceeded`] with the last-barrier iterate.
+    DeadlineExceeded {
+        /// The expired request.
+        id: RequestId,
+    },
 }
 
 impl core::fmt::Display for SolveError {
@@ -260,6 +478,16 @@ impl core::fmt::Display for SolveError {
                 write!(f, "unsupported combination: {msg}")
             }
             SolveError::UnknownRequest { id } => write!(f, "unknown request {id}"),
+            SolveError::QueueFull {
+                pending,
+                retry_after_cycles,
+            } => write!(
+                f,
+                "queue full ({pending} pending); retry after ~{retry_after_cycles} cycles"
+            ),
+            SolveError::DeadlineExceeded { id } => {
+                write!(f, "request {id} exceeded its deadline")
+            }
         }
     }
 }
@@ -369,8 +597,93 @@ mod tests {
             SolveError::InvalidConfig("m = 0".into()).to_string(),
             SolveError::UnsupportedCombination("x".into()).to_string(),
             SolveError::UnknownRequest { id: RequestId(7) }.to_string(),
+            SolveError::QueueFull {
+                pending: 9,
+                retry_after_cycles: 3,
+            }
+            .to_string(),
+            SolveError::DeadlineExceeded { id: RequestId(8) }.to_string(),
         ];
         assert!(msgs[0].contains("expected 4"));
         assert!(msgs[3].contains("req#7"));
+        assert!(msgs[4].contains("9 pending") && msgs[4].contains('3'));
+        assert!(msgs[5].contains("req#8") && msgs[5].contains("deadline"));
+    }
+
+    #[test]
+    fn default_qos_is_backward_compatible() {
+        let q = Qos::default();
+        assert_eq!(q.priority, 0);
+        assert_eq!(q.deadline, None);
+        assert!(!q.degradable);
+        let a = laplace1d(8);
+        let b = vec![1.0f64; 8];
+        let req = SolveRequest::new(Operator::Matrix(&a), &b);
+        assert_eq!(req.qos, Qos::default());
+        assert!(req.validate().is_ok());
+    }
+
+    #[test]
+    fn qos_builders_compose() {
+        let a = laplace1d(8);
+        let b = vec![1.0f64; 8];
+        let req = SolveRequest::new(Operator::Matrix(&a), &b)
+            .with_priority(7)
+            .with_deadline(0.25)
+            .with_degradable(true);
+        assert_eq!(req.qos.priority, 7);
+        assert_eq!(req.qos.deadline, Some(0.25));
+        assert!(req.qos.degradable);
+        assert!(req.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive_or_nonfinite_deadlines() {
+        let a = laplace1d(8);
+        let b = vec![1.0f64; 8];
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = SolveRequest::new(Operator::Matrix(&a), &b)
+                .with_deadline(bad)
+                .validate()
+                .unwrap_err();
+            assert!(matches!(err, SolveError::InvalidConfig(_)), "{bad}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degradable_with_matrix_bound_preconditioner() {
+        let a = laplace1d(8);
+        let b = vec![1.0f64; 8];
+        let cheb =
+            crate::precond::chebyshev::ChebyshevPreconditioner::with_bounds(4, 0.1, 4.0).unwrap();
+        let err = SolveRequest::new(Operator::Matrix(&a), &b)
+            .with_precond(&cheb)
+            .with_degradable(true)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, SolveError::UnsupportedCombination(_)));
+        // Matrix-free preconditioners stay degradable.
+        let bj = BlockJacobi::build(&a, 2);
+        assert!(SolveRequest::new(Operator::Matrix(&a), &b)
+            .with_precond(&bj)
+            .with_degradable(true)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn degradation_rungs_compose_and_apply() {
+        use crate::config::BasisPolicy;
+        let cfg = GmresConfig::default().with_rtol(1e-8);
+        let store_cfg = Degradation::Fp32Store.apply(cfg);
+        assert_eq!(store_cfg.basis, BasisPolicy::Native);
+        let basis_cfg = Degradation::Fp32Basis.apply(cfg);
+        assert_eq!(basis_cfg.basis, BasisPolicy::Compressed(Precision::Fp32));
+        assert!(basis_cfg.loa_factor >= 1e8);
+        assert_eq!(
+            Degradation::Fp32Store.combined_with(Degradation::Fp32Basis),
+            Degradation::Fp32StoreAndBasis
+        );
+        assert_eq!(Degradation::Fp32StoreAndBasis.label(), "fp32-store+basis");
     }
 }

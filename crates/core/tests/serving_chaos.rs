@@ -231,6 +231,9 @@ fn cancellation_chaos_never_perturbs_surviving_solves() {
             Disposition::Cancelled => {
                 assert!(out.x.iter().all(|v| v.is_finite()), "{}", out.id);
             }
+            Disposition::DeadlineExceeded => {
+                panic!("no deadlines in this scenario: {}", out.id);
+            }
         }
     }
 }
@@ -292,7 +295,7 @@ fn admitted_lanes_inherit_group_basis_policy() {
     let mut service = SolverService::new(ServiceConfig::default().with_lanes(2));
     for (rhs, basis) in &traffic {
         let req = SolveRequest::new(Operator::Matrix(&a), rhs).with_config(cfg_for(*basis));
-        service.submit(&mut ctx, &req).expect("valid request");
+        service.submit(&ctx, &req).expect("valid request");
     }
     while service.pending() + service.in_flight() > 0 {
         service.step(&mut ctx);
@@ -327,6 +330,312 @@ fn admitted_lanes_inherit_group_basis_policy() {
                 out.id
             );
         }
+    }
+}
+
+/// EDF at subcritical load: every request carries a finite but
+/// generous deadline and the lane pool is never oversubscribed for
+/// long, so nothing may expire — and every completion still matches
+/// the independent solve bitwise (scheduling never touches
+/// arithmetic).
+#[test]
+fn edf_never_misses_deadlines_at_subcritical_load() {
+    let n = 40;
+    let a = laplace1d(n);
+    let traffic = arrivals(0xedf0, n, 8, &[10]);
+    let mut ctx = ctx_with(BackendKind::Reference, true);
+    let mut service = SolverService::new(
+        ServiceConfig::default()
+            .with_lanes(4)
+            .with_scheduler(SchedulerPolicy::EarliestDeadlineFirst),
+    );
+    for (i, arr) in traffic.iter().enumerate() {
+        let cfg = GmresConfig::default()
+            .with_m(arr.m)
+            .with_rtol(arr.rtol)
+            .with_max_iters(arr.max_iters);
+        // Deadlines far beyond any plausible completion, scrambled
+        // versus arrival order so EDF actually reorders admissions.
+        let deadline = 1e5 * (1.0 + ((i * 13) % 7) as f64);
+        let req = SolveRequest::new(Operator::Matrix(&a), &arr.rhs)
+            .with_config(cfg)
+            .with_deadline(deadline);
+        service.submit(&ctx, &req).expect("valid request");
+    }
+    while service.pending() + service.in_flight() > 0 {
+        service.step(&mut ctx);
+    }
+    let outcomes = service.drain_outcomes();
+    assert_eq!(outcomes.len(), traffic.len());
+    assert_eq!(service.stats().deadline_misses, 0, "subcritical: no misses");
+    let mut solo_ctx = ctx_with(BackendKind::Reference, true);
+    for out in &outcomes {
+        assert_eq!(out.disposition, Disposition::Completed, "{}", out.id);
+        let arr = &traffic[out.id.0 as usize - 1];
+        assert_matches_independent(&mut solo_ctx, &a, arr, out);
+    }
+}
+
+/// An urgent request behind two slow ones on a single lane: FIFO walks
+/// it into its deadline, EDF jumps it to the front and meets it. The
+/// deadline is derived from measured solo durations so the test tracks
+/// the cost model instead of hard-coding seconds.
+#[test]
+fn edf_meets_deadline_that_fifo_misses() {
+    let n = 40;
+    let a = laplace1d(n);
+    let slow_cfg = GmresConfig::default().with_m(8).with_rtol(1e-12);
+    let fast_cfg = GmresConfig::default().with_m(8).with_rtol(1e-6);
+    let slow_rhs: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+    let fast_rhs: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+    let solo_slow = Gmres::serve(
+        &mut ctx_with(BackendKind::Reference, true),
+        &SolveRequest::new(Operator::Matrix(&a), &slow_rhs).with_config(slow_cfg),
+    )
+    .unwrap()
+    .solve_seconds;
+    let solo_fast = Gmres::serve(
+        &mut ctx_with(BackendKind::Reference, true),
+        &SolveRequest::new(Operator::Matrix(&a), &fast_rhs).with_config(fast_cfg),
+    )
+    .unwrap()
+    .solve_seconds;
+    assert!(solo_slow > solo_fast, "scenario needs a slow blocker");
+    // Enough for "admit me first, then solve"; nowhere near enough to
+    // sit behind two slow solves.
+    let deadline = 2.0 * solo_fast + 0.25 * solo_slow;
+    for (policy, expect_miss) in [
+        (SchedulerPolicy::Fifo, true),
+        (SchedulerPolicy::EarliestDeadlineFirst, false),
+    ] {
+        let mut ctx = ctx_with(BackendKind::Reference, true);
+        let mut service = SolverService::new(
+            ServiceConfig::default()
+                .with_lanes(1)
+                .with_scheduler(policy),
+        );
+        for _ in 0..2 {
+            service
+                .submit(
+                    &ctx,
+                    &SolveRequest::new(Operator::Matrix(&a), &slow_rhs).with_config(slow_cfg),
+                )
+                .unwrap();
+        }
+        let urgent = service
+            .submit(
+                &ctx,
+                &SolveRequest::new(Operator::Matrix(&a), &fast_rhs)
+                    .with_config(fast_cfg)
+                    .with_deadline(deadline),
+            )
+            .unwrap();
+        while service.pending() + service.in_flight() > 0 {
+            service.step(&mut ctx);
+        }
+        let outcomes = service.drain_outcomes();
+        let u = outcomes.iter().find(|o| o.id == urgent).unwrap();
+        if expect_miss {
+            assert_eq!(
+                u.disposition,
+                Disposition::DeadlineExceeded,
+                "FIFO must walk the urgent request into its deadline"
+            );
+            assert!(u.result.is_none());
+            assert_eq!(u.error(), Some(SolveError::DeadlineExceeded { id: urgent }));
+            // Expired while still queued: the outcome carries the
+            // (zero) initial guess.
+            assert!(u.x.iter().all(|v| *v == 0.0));
+            assert_eq!(service.stats().deadline_misses, 1);
+        } else {
+            assert_eq!(
+                u.disposition,
+                Disposition::Completed,
+                "EDF must admit the urgent request first"
+            );
+            assert_eq!(service.stats().deadline_misses, 0);
+        }
+    }
+}
+
+/// Priority scheduling under a single lane: strictly descending
+/// priority order on completions, bitwise parity for every one.
+#[test]
+fn priority_order_respected_with_parity() {
+    let n = 40;
+    let a = laplace1d(n);
+    let traffic = arrivals(0x9909, n, 6, &[10]);
+    let mut ctx = ctx_with(BackendKind::Reference, true);
+    let mut service = SolverService::new(
+        ServiceConfig::default()
+            .with_lanes(1)
+            .with_scheduler(SchedulerPolicy::Priority),
+    );
+    let prios = [2, 5, 0, 9, 4, 7];
+    let mut ids = Vec::new();
+    for (arr, &p) in traffic.iter().zip(&prios) {
+        let cfg = GmresConfig::default()
+            .with_m(arr.m)
+            .with_rtol(arr.rtol)
+            .with_max_iters(arr.max_iters);
+        let req = SolveRequest::new(Operator::Matrix(&a), &arr.rhs)
+            .with_config(cfg)
+            .with_priority(p);
+        ids.push(service.submit(&ctx, &req).unwrap());
+    }
+    while service.pending() + service.in_flight() > 0 {
+        service.step(&mut ctx);
+    }
+    let outcomes = service.drain_outcomes();
+    let completion_prios: Vec<i32> = outcomes
+        .iter()
+        .map(|o| prios[ids.iter().position(|id| *id == o.id).unwrap()])
+        .collect();
+    let mut sorted = completion_prios.clone();
+    sorted.sort_unstable_by(|x, y| y.cmp(x));
+    assert_eq!(completion_prios, sorted, "highest priority first");
+    let mut solo_ctx = ctx_with(BackendKind::Reference, true);
+    for out in &outcomes {
+        let arr = &traffic[out.id.0 as usize - 1];
+        assert_matches_independent(&mut solo_ctx, &a, arr, out);
+    }
+}
+
+/// Precision-ladder degradation under pressure, on both backends: a
+/// non-degradable hog pins the single lane, degradable requests
+/// re-route down the ladder (fp32 store first, then fp32 compressed
+/// basis on top). Every degraded completion must (a) still meet the
+/// fp64 tolerance it asked for and (b) be bit-identical to an
+/// independent solve at its *final* operand + configuration.
+#[test]
+fn degraded_completions_match_final_config_on_both_backends() {
+    let n = 40;
+    let a = laplace1d(n);
+    let cfg = GmresConfig::default().with_m(10).with_rtol(1e-8);
+    for kind in [BackendKind::Reference, BackendKind::Parallel] {
+        let store = GpuStore::shadow_of(&a, Precision::Fp32);
+        let mut ctx = ctx_with(kind, true);
+        let mut service = SolverService::new(
+            ServiceConfig::default()
+                .with_lanes(1)
+                .with_degrade_after_cycles(2),
+        );
+        service.register_degraded_store(&a, &store);
+        let hog_rhs: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) / 4.0 - 1.0).collect();
+        let hog_cfg = GmresConfig::default().with_m(10).with_rtol(1e-12);
+        service
+            .submit(
+                &ctx,
+                &SolveRequest::new(Operator::Matrix(&a), &hog_rhs).with_config(hog_cfg),
+            )
+            .unwrap();
+        let degradable_rhs: Vec<Vec<f64>> = (0..2)
+            .map(|s| {
+                (0..n)
+                    .map(|i| ((i * 3 + s * 17) % 11) as f64 / 5.0 - 1.0)
+                    .collect()
+            })
+            .collect();
+        let ids: Vec<RequestId> = degradable_rhs
+            .iter()
+            .map(|b| {
+                service
+                    .submit(
+                        &ctx,
+                        &SolveRequest::new(Operator::Matrix(&a), b)
+                            .with_config(cfg)
+                            .with_degradable(true),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        while service.pending() + service.in_flight() > 0 {
+            service.step(&mut ctx);
+        }
+        let outcomes = service.drain_outcomes();
+        assert!(
+            service.stats().degradations >= 2,
+            "{kind:?}: pressure must degrade both requests"
+        );
+        for (id, b) in ids.iter().zip(&degradable_rhs) {
+            let out = outcomes.iter().find(|o| o.id == *id).unwrap();
+            assert_eq!(out.disposition, Disposition::Completed, "{kind:?}");
+            let rung = out.degraded.expect("request must have degraded");
+            // Reconstruct the final operand + config from the reported
+            // rung and solve it independently.
+            let final_cfg = rung.apply(cfg);
+            let operator = match rung {
+                Degradation::Fp32Store | Degradation::Fp32StoreAndBasis => Operator::Store(&store),
+                Degradation::Fp32Basis => Operator::Matrix(&a),
+            };
+            let solo = Gmres::serve(
+                &mut ctx_with(kind, true),
+                &SolveRequest::new(operator, b).with_config(final_cfg),
+            )
+            .unwrap();
+            let got = out.result.as_ref().unwrap();
+            let want = solo.result.as_ref().unwrap();
+            assert_eq!(got.status, want.status, "{kind:?} {rung:?}");
+            assert_eq!(got.iterations, want.iterations, "{kind:?} {rung:?}");
+            for (sx, bx) in solo.x.iter().zip(&out.x) {
+                assert_eq!(sx.to_bits(), bx.to_bits(), "{kind:?} {rung:?}");
+            }
+            assert!(
+                got.final_relative_residual <= cfg.rtol,
+                "{kind:?} {rung:?}: degraded solve must still meet fp64 rtol, got {}",
+                got.final_relative_residual
+            );
+        }
+    }
+}
+
+/// Scheduler policies only reorder admissions — a warm service replays
+/// its admission and cycle graphs with zero new nodes under every
+/// policy, exactly like the FIFO baseline.
+#[test]
+fn warm_admission_replays_under_every_policy() {
+    let n = 40;
+    let a = laplace1d(n);
+    let traffic = arrivals(0xf01d, n, 8, &[10]);
+    for policy in [
+        SchedulerPolicy::Fifo,
+        SchedulerPolicy::Priority,
+        SchedulerPolicy::EarliestDeadlineFirst,
+        SchedulerPolicy::TenantFairShare,
+    ] {
+        let mut ctx = ctx_with(BackendKind::Reference, true);
+        let run = |ctx: &mut GpuContext| {
+            let mut service = SolverService::new(
+                ServiceConfig::default()
+                    .with_lanes(3)
+                    .with_scheduler(policy),
+            );
+            for (i, arr) in traffic.iter().enumerate() {
+                let cfg = GmresConfig::default()
+                    .with_m(arr.m)
+                    .with_rtol(arr.rtol)
+                    .with_max_iters(arr.max_iters);
+                let req = SolveRequest::new(Operator::Matrix(&a), &arr.rhs)
+                    .with_config(cfg)
+                    .with_priority(((i * 7) % 5) as i32)
+                    .with_deadline(1e6 * (1.0 + i as f64));
+                service.submit(ctx, &req).unwrap();
+            }
+            while service.pending() + service.in_flight() > 0 {
+                service.step(ctx);
+            }
+            service.drain_outcomes()
+        };
+        run(&mut ctx);
+        let warm = ctx.stream_stats();
+        assert!(warm.nodes_allocated > 0, "{policy:?}: warmup builds graphs");
+        run(&mut ctx);
+        let replay = ctx.stream_stats();
+        assert_eq!(
+            replay.nodes_allocated, warm.nodes_allocated,
+            "{policy:?}: warm admission must not allocate graph nodes"
+        );
+        assert!(replay.hits > warm.hits, "{policy:?}: rerun hits the cache");
     }
 }
 

@@ -22,7 +22,8 @@
 //!   working-precision columns, or columns demoted to fp32/fp16 and
 //!   promoted on read with all arithmetic in `S` (Aliaga et al.'s
 //!   compressed-basis GMRES), mirroring [`store`] for matrix values.
-//! - [`colmajor`] — the column-view/arena-registration helpers shared by
+//! - `colmajor` (crate-private) — the column-view/arena-registration
+//!   helpers shared by
 //!   [`multivector`], [`multivec`], and [`basis`].
 //! - [`csr`] — compressed sparse row matrices and SpMV.
 //! - [`coo`] — coordinate-format builder that deduplicates and sorts.

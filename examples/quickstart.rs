@@ -5,10 +5,11 @@
 //! ```
 //!
 //! Demonstrates the core API through the unified request surface: build
-//! a matrix, pick a device model, serve fp64 GMRES(m) via
-//! [`SolveRequest`], run fp32 GMRES(m) and GMRES-IR, push a burst of
-//! right-hand sides through [`SolverService`], and read iterations +
-//! simulated V100 time + the per-kernel breakdown.
+//! a matrix, pick a device model, serve fp64 GMRES(m) and GMRES-IR via
+//! [`SolveRequest`] + the [`Solver`] trait, run fp32 GMRES(m), push a
+//! burst of prioritized, deadline-tagged right-hand sides through
+//! [`SolverService`], and read iterations + simulated V100 time + the
+//! per-kernel breakdown.
 
 use multiprec_gmres::matgen::galeri;
 use multiprec_gmres::prelude::*;
@@ -57,11 +58,13 @@ fn main() {
         r32.best_residual()
     );
 
-    // GMRES-IR — fp32 inner iterations, fp64 refinement at each restart.
+    // GMRES-IR — fp32 inner iterations, fp64 refinement at each restart,
+    // served through the same `Solver` trait as the fp64 baseline.
     let mut ctx_ir = GpuContext::new(device);
-    let mut x_ir = vec![0.0f64; n];
-    let ir = GmresIr::<f32, f64>::new(&a, &Identity, IrConfig::default());
-    let rir = ir.solve(&mut ctx_ir, &b, &mut x_ir);
+    let out_ir =
+        GmresIr::<f32, f64>::serve(&mut ctx_ir, &SolveRequest::new(Operator::Matrix(&a), &b))
+            .expect("well-formed request");
+    let rir = out_ir.result.expect("completed outcome");
     let tir = ctx_ir.elapsed();
     println!(
         "GMRES-IR(50):    {:?} in {} iterations, simulated {:.3} ms  ->  {:.2}x speedup over fp64",
@@ -77,10 +80,16 @@ fn main() {
 
     // Solve-as-a-service: queue a burst of right-hand sides and let the
     // continuous-admission lane engine schedule them into 4 lanes,
-    // admitting queued work at cycle barriers as lanes deflate. Each
-    // completed outcome is bit-identical to its independent solve.
+    // admitting queued work at cycle barriers as lanes deflate. QoS
+    // rides along on each request — here a priority scheduler with a
+    // generous per-request deadline — yet each completed outcome stays
+    // bit-identical to its independent solve.
     let mut svc_ctx = GpuContext::new(DeviceModel::v100_belos());
-    let mut service = SolverService::new(ServiceConfig::default().with_lanes(4));
+    let mut service = SolverService::new(
+        ServiceConfig::default()
+            .with_lanes(4)
+            .with_scheduler(SchedulerPolicy::Priority),
+    );
     let burst: Vec<Vec<f64>> = (0..6)
         .map(|j| {
             (0..n)
@@ -88,20 +97,26 @@ fn main() {
                 .collect()
         })
         .collect();
-    for rhs in &burst {
+    for (j, rhs) in burst.iter().enumerate() {
         service
-            .submit(&svc_ctx, &SolveRequest::new(Operator::Matrix(&a), rhs))
+            .submit(
+                &svc_ctx,
+                &SolveRequest::new(Operator::Matrix(&a), rhs)
+                    .with_priority(j as i32 % 3)
+                    .with_deadline(60.0),
+            )
             .expect("well-formed request");
     }
     service.run_until_idle(&mut svc_ctx);
     let outcomes = service.drain_outcomes();
     let stats = service.stats();
     println!(
-        "\nSolverService:   {} requests over {} lanes: {} cycles, occupancy {:.2}",
+        "\nSolverService:   {} requests over {} lanes: {} cycles, occupancy {:.2}, deadline misses {}",
         outcomes.len(),
         4,
         stats.cycles,
-        stats.occupancy()
+        stats.occupancy(),
+        stats.deadline_misses
     );
     for o in &outcomes {
         let r = o.result.as_ref().expect("completed");
